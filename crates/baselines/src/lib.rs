@@ -1,0 +1,30 @@
+//! # ss-baselines — comparison systems for the Yahoo! benchmark (§9.1)
+//!
+//! The paper compares Structured Streaming against Apache Flink 1.2.1
+//! and Kafka Streams 0.10.2 on the Yahoo! Streaming Benchmark. We
+//! cannot run the JVM systems here, so this crate implements the two
+//! *architectures* whose difference the paper credits for the gap:
+//!
+//! * [`flink_like`] — a continuous-operator dataflow: long-lived
+//!   chained operators processing **one record at a time** through
+//!   virtual dispatch, with boxed row values and per-record keyed-state
+//!   updates. This is the general shape of a non-codegen record-at-a-
+//!   time engine ("many systems based on per-record operations do not
+//!   maximize performance", §9.1).
+//! * [`kstreams_like`] — the same per-record processing, but every
+//!   pipeline stage **round-trips through the message bus with
+//!   serialization at each hop**, as Kafka Streams does through Kafka
+//!   topics ("Kafka Streams implements a simple message-passing model
+//!   through the Kafka message bus", §9.1).
+//!
+//! [`workload`] holds the shared Yahoo! benchmark definition (ad
+//! events, the static campaign table, the deterministic generator) so
+//! Structured Streaming and both baselines consume byte-identical
+//! input; an integration test asserts all three produce identical
+//! windowed counts.
+
+pub mod flink_like;
+pub mod kstreams_like;
+pub mod workload;
+
+pub use workload::{BenchCounts, YahooWorkload};

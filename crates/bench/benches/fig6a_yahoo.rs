@@ -1,0 +1,126 @@
+//! **Figure 6a** — Yahoo! Streaming Benchmark throughput vs. other
+//! systems (§9.1).
+//!
+//! Paper (40-core cluster): Kafka Streams 0.7 M rec/s, Apache Flink
+//! 33 M rec/s, Structured Streaming 65 M rec/s — SS ≈ 2× Flink and
+//! ≈ 93× Kafka Streams. Here every system runs single-threaded over
+//! the same in-process bus, so absolute numbers differ; the
+//! reproduction target is the *shape*: SS fastest (vectorized
+//! relational engine), the record-at-a-time dataflow ~2× behind, the
+//! bus-coupled system an order of magnitude behind. (The paper's 93×
+//! additionally includes real network round-trips to Kafka brokers,
+//! which an in-process bus cannot exhibit; see EXPERIMENTS.md.)
+//!
+//! Method: every engine consumes identical deterministic events; a
+//! correctness pre-check asserts all engines match an independent
+//! oracle; each system is measured best-of-N after a warmup run (the
+//! paper's metric is *maximum* stable throughput; this VM has noisy
+//! CPU scheduling).
+//!
+//! Usage: `cargo bench -p ss-bench --bench fig6a_yahoo`
+//! (scale with `SS_BENCH_RECORDS=<events per partition>`).
+
+use ss_baselines::workload::YahooWorkload;
+use ss_bench::*;
+
+fn main() {
+    let workload = YahooWorkload::default();
+    let partitions = 8u32;
+    let per_partition = records_per_partition(50_000);
+    let total = per_partition * partitions as u64;
+    let reps = 3;
+
+    println!("== Figure 6a: Yahoo! Streaming Benchmark, maximum throughput ==");
+    println!(
+        "   {partitions} partitions x {per_partition} events = {total} records; \
+         100 campaigns x 10 ads; 10s event-time windows; best of {reps} runs\n"
+    );
+
+    // Correctness pre-check against the oracle.
+    let small = preload_bus(&workload, 2, 2_000).expect("bus");
+    let reference = workload.reference_counts(2, 2_000);
+    for run in [
+        run_structured_streaming(&workload, small.clone(), 4_000).expect("ss"),
+        run_flink_like(&workload, &small, 4_000).expect("flink"),
+        run_kstreams_like(&workload, &small, 4_000).expect("kstreams"),
+    ] {
+        assert_eq!(run.counts, reference, "{} disagrees with oracle", run.system);
+    }
+    println!("   (correctness pre-check passed: all engines match the oracle)\n");
+
+    type Runner = Box<dyn Fn(u64) -> ThroughputRun>;
+    let w1 = workload.clone();
+    let w2 = workload.clone();
+    let w3 = workload.clone();
+    let systems: Vec<(&str, u64, Runner)> = vec![
+        (
+            "kstreams",
+            // The bus-coupled baseline is far slower; give it
+            // proportionally less work (rates are size-independent).
+            (per_partition / 10).max(1_000),
+            Box::new(move |per: u64| {
+                let bus = preload_bus(&w1, partitions, per).expect("bus");
+                run_kstreams_like(&w1, &bus, per * partitions as u64).expect("kstreams")
+            }),
+        ),
+        (
+            "flink",
+            per_partition,
+            Box::new(move |per: u64| {
+                let bus = preload_bus(&w2, partitions, per).expect("bus");
+                run_flink_like(&w2, &bus, per * partitions as u64).expect("flink")
+            }),
+        ),
+        (
+            "ss",
+            per_partition,
+            Box::new(move |per: u64| {
+                let bus = preload_bus(&w3, partitions, per).expect("bus");
+                run_structured_streaming(&w3, bus, per * partitions as u64).expect("ss")
+            }),
+        ),
+    ];
+
+    let mut results: Vec<ThroughputRun> = Vec::new();
+    for (name, per, runner) in &systems {
+        // Warmup at small scale, then best-of-N timed runs.
+        let _ = runner(2_000);
+        let mut best: Option<ThroughputRun> = None;
+        for _ in 0..reps {
+            let run = runner(*per);
+            if best
+                .as_ref()
+                .is_none_or(|b| run.records_per_second() > b.records_per_second())
+            {
+                best = Some(run);
+            }
+        }
+        let best = best.expect("at least one rep");
+        eprintln!("   measured {name}: {}", fmt_rate(best.records_per_second()));
+        results.push(best);
+    }
+
+    let ss_rate = results
+        .iter()
+        .find(|r| r.system.starts_with("Structured"))
+        .unwrap()
+        .records_per_second();
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.system.clone(),
+                format!("{}", r.records),
+                format!("{:.2}s", r.seconds),
+                fmt_rate(r.records_per_second()),
+                format!("{:.2}x", ss_rate / r.records_per_second()),
+            ]
+        })
+        .collect();
+    print_table(
+        &["system", "records", "time", "throughput", "SS advantage"],
+        &rows,
+    );
+
+    println!("\npaper: SS 65M rec/s vs Flink 33M (2.0x) vs Kafka Streams 0.7M (93x)");
+}

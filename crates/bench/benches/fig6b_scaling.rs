@@ -1,0 +1,96 @@
+//! **Figure 6b** — Yahoo! benchmark throughput vs. cluster size (§9.2).
+//!
+//! Paper: 1 / 5 / 10 / 20 c3.2xlarge workers (8 cores each), one Kafka
+//! partition per core; throughput scales "close to linearly, from 11.5
+//! million records/s on 1 node to 225 million records/s on 20 nodes".
+//!
+//! This machine has one core, so the cluster is *simulated* in virtual
+//! time (see DESIGN.md): we first **measure** the real single-core
+//! throughput of the actual Structured Streaming operators on this
+//! machine, calibrate the simulator's cost model with it, then run the
+//! paper's cluster sizes through the real scheduler logic (fine-grained
+//! tasks, dynamic load balancing, map + reduce stages). The
+//! reproduction target is the *shape*: near-linear scaling.
+//!
+//! Usage: `cargo bench -p ss-bench --bench fig6b_scaling`
+
+use ss_baselines::workload::YahooWorkload;
+use ss_bench::*;
+use ss_cluster::{ClusterSpec, CostModel, SimCluster, Stage};
+
+fn main() {
+    let workload = YahooWorkload::default();
+    let calib_partitions = 4u32;
+    let per_partition = records_per_partition(100_000);
+    let calib_total = per_partition * calib_partitions as u64;
+
+    println!("== Figure 6b: Yahoo! benchmark throughput vs. cluster size ==\n");
+
+    // Step 1: measure the real engine's single-core rate (warmup run
+    // first, then best of 3 — the paper's metric is *maximum* stable
+    // throughput and this VM's CPU scheduling is noisy).
+    {
+        let bus = preload_bus(&workload, calib_partitions, 2_000).expect("bus");
+        run_structured_streaming(&workload, bus, 2_000 * calib_partitions as u64)
+            .expect("warmup");
+    }
+    let mut measured = 0f64;
+    for _ in 0..3 {
+        let bus = preload_bus(&workload, calib_partitions, per_partition).expect("bus");
+        let run =
+            run_structured_streaming(&workload, bus, calib_total).expect("calibration run");
+        measured = measured.max(run.records_per_second());
+    }
+    println!(
+        "calibration: measured single-core Structured Streaming rate = {}\n",
+        fmt_rate(measured)
+    );
+
+    // Step 2: simulate the paper's cluster sizes in virtual time.
+    // Per-core work: one source partition per core (as in §9.2), task
+    // overhead modeling Spark's per-task scheduling cost, plus a
+    // small reduce stage (counts per campaign/window).
+    let cost = CostModel::from_measured_rate(measured, 2_000.0);
+    let records_per_core: u64 = 2_000_000;
+
+    let mut rows = Vec::new();
+    let mut base_rate = None;
+    for nodes in [1u32, 5, 10, 20] {
+        let spec = ClusterSpec::c3_2xlarge(nodes);
+        let cores = spec.total_cores();
+        let total_records = records_per_core * cores as u64;
+        let stages = vec![
+            // Fine-grained tasks (4 per core) over partitions whose
+            // sizes vary ±15% — real Kafka partitions are never even;
+            // dynamic task scheduling absorbs the imbalance (§6.2).
+            Stage::skewed("map+join+partial-agg", cores * 4, total_records, 0.15),
+            // Final merge of partial aggregates: one task per core over
+            // the (small) per-campaign-window partials.
+            Stage::even("reduce", cores, (workload.num_campaigns as u64) * 64),
+        ];
+        let sim = SimCluster::new(spec, cost);
+        let result = sim.run_job(&stages).expect("simulation");
+        let rate = result.records_per_second(total_records);
+        let base = *base_rate.get_or_insert(rate);
+        rows.push(vec![
+            format!("{nodes}"),
+            format!("{cores}"),
+            fmt_rate(rate),
+            format!("{:.2}x", rate / base),
+            format!("{:.1}%", 100.0 * rate / (base * nodes as f64)),
+        ]);
+    }
+    print_table(
+        &[
+            "nodes",
+            "cores",
+            "throughput (simulated)",
+            "speedup vs 1 node",
+            "parallel efficiency",
+        ],
+        &rows,
+    );
+    println!(
+        "\npaper: 11.5 M rec/s @ 1 node -> 225 M rec/s @ 20 nodes (19.6x, ~98% efficiency)"
+    );
+}

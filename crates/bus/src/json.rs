@@ -1,0 +1,175 @@
+//! Row ⇄ JSON conversion.
+//!
+//! Used by the file connectors (the paper's §4.1 example reads JSON
+//! files and writes Parquet; we read and write JSON) and by the
+//! Kafka-Streams-style baseline, which — like the real system — pays
+//! serialization at every topic hop.
+
+use std::fmt::Write as _;
+
+use ss_common::{DataType, Result, Row, Schema, SsError, Value};
+
+/// Serialize one row as a compact JSON object keyed by field name.
+pub fn row_to_json(schema: &Schema, row: &Row) -> Result<String> {
+    if row.len() != schema.len() {
+        return Err(SsError::Schema(format!(
+            "row has {} values, schema has {}",
+            row.len(),
+            schema.len()
+        )));
+    }
+    let mut out = String::with_capacity(row.len() * 16);
+    out.push('{');
+    for (i, (field, value)) in schema.fields().iter().zip(row.iter()).enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:", serde_json::to_string(&field.name).unwrap());
+        match value {
+            Value::Null => out.push_str("null"),
+            Value::Boolean(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Value::Int64(v) | Value::Timestamp(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::Float64(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v}");
+                } else {
+                    // JSON has no Inf/NaN; encode as null like most
+                    // JSON emitters.
+                    out.push_str("null");
+                }
+            }
+            Value::Utf8(s) => {
+                let _ = write!(out, "{}", serde_json::to_string(s.as_ref()).unwrap());
+            }
+        }
+    }
+    out.push('}');
+    Ok(out)
+}
+
+/// Parse a JSON object into a row matching `schema`. Missing fields
+/// and JSON `null` become NULL; numbers are coerced to the field type.
+pub fn row_from_json(schema: &Schema, text: &str) -> Result<Row> {
+    let v: serde_json::Value = serde_json::from_str(text)
+        .map_err(|e| SsError::Serde(format!("bad JSON record: {e}")))?;
+    let obj = v
+        .as_object()
+        .ok_or_else(|| SsError::Serde(format!("expected a JSON object, got: {text}")))?;
+    let mut values = Vec::with_capacity(schema.len());
+    for field in schema.fields() {
+        let value = match obj.get(&field.name) {
+            None | Some(serde_json::Value::Null) => Value::Null,
+            Some(j) => json_to_value(j, field.data_type).map_err(|e| {
+                SsError::Serde(format!("field `{}`: {e}", field.name))
+            })?,
+        };
+        values.push(value);
+    }
+    Ok(Row::new(values))
+}
+
+fn json_to_value(j: &serde_json::Value, ty: DataType) -> Result<Value> {
+    use serde_json::Value as J;
+    Ok(match (j, ty) {
+        (J::Bool(b), DataType::Boolean) => Value::Boolean(*b),
+        (J::Number(n), DataType::Int64) => Value::Int64(
+            n.as_i64()
+                .ok_or_else(|| SsError::Serde(format!("{n} is not a 64-bit integer")))?,
+        ),
+        (J::Number(n), DataType::Timestamp) => Value::Timestamp(
+            n.as_i64()
+                .ok_or_else(|| SsError::Serde(format!("{n} is not a 64-bit integer")))?,
+        ),
+        (J::Number(n), DataType::Float64) => Value::Float64(
+            n.as_f64()
+                .ok_or_else(|| SsError::Serde(format!("{n} is not a double")))?,
+        ),
+        (J::String(s), DataType::Utf8) => Value::str(s),
+        // Spark-style lenient coercions used by real pipelines.
+        (J::String(s), DataType::Int64) => Value::Int64(
+            s.parse()
+                .map_err(|e| SsError::Serde(format!("'{s}' is not an integer: {e}")))?,
+        ),
+        (J::String(s), DataType::Float64) => Value::Float64(
+            s.parse()
+                .map_err(|e| SsError::Serde(format!("'{s}' is not a double: {e}")))?,
+        ),
+        (J::Number(n), DataType::Utf8) => Value::str(n.to_string()),
+        (j, ty) => {
+            return Err(SsError::Serde(format!("cannot read {j} as {ty}")));
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_common::{row, Field};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("id", DataType::Int64),
+            Field::new("kind", DataType::Utf8),
+            Field::new("t", DataType::Timestamp),
+            Field::new("score", DataType::Float64),
+            Field::new("ok", DataType::Boolean),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trip() {
+        let s = schema();
+        let r = row![7i64, "view", Value::Timestamp(123), 1.5, true];
+        let text = row_to_json(&s, &r).unwrap();
+        assert_eq!(row_from_json(&s, &text).unwrap(), r);
+    }
+
+    #[test]
+    fn nulls_and_missing_fields() {
+        let s = schema();
+        let r = row![Value::Null, "x", Value::Null, Value::Null, Value::Null];
+        let text = row_to_json(&s, &r).unwrap();
+        assert!(text.contains("\"id\":null"));
+        assert_eq!(row_from_json(&s, &text).unwrap(), r);
+        // Missing fields are NULL.
+        let partial = row_from_json(&s, r#"{"kind":"y"}"#).unwrap();
+        assert_eq!(partial, row![Value::Null, "y", Value::Null, Value::Null, Value::Null]);
+    }
+
+    #[test]
+    fn string_escaping() {
+        let s = Schema::new(vec![Field::new("s", DataType::Utf8)]).unwrap();
+        let r = row!["he said \"hi\"\nbye"];
+        let text = row_to_json(&s, &r).unwrap();
+        assert_eq!(row_from_json(&s, &text).unwrap(), r);
+    }
+
+    #[test]
+    fn type_errors_name_the_field() {
+        let s = schema();
+        let err = row_from_json(&s, r#"{"id": true}"#).unwrap_err();
+        assert!(err.to_string().contains("`id`"));
+        assert!(row_from_json(&s, "[1,2]").is_err());
+        assert!(row_from_json(&s, "not json").is_err());
+    }
+
+    #[test]
+    fn lenient_coercions() {
+        let s = schema();
+        let r = row_from_json(&s, r#"{"id":"42","score":"2.5"}"#).unwrap();
+        assert_eq!(r.get(0), &Value::Int64(42));
+        assert_eq!(r.get(3), &Value::Float64(2.5));
+    }
+
+    #[test]
+    fn nonfinite_floats_become_null() {
+        let s = Schema::new(vec![Field::new("f", DataType::Float64)]).unwrap();
+        let text = row_to_json(&s, &row![f64::INFINITY]).unwrap();
+        assert_eq!(row_from_json(&s, &text).unwrap(), row![Value::Null]);
+    }
+}

@@ -1,0 +1,30 @@
+//! # ss-bus — replayable message bus and connectors
+//!
+//! The I/O layer of the reproduction:
+//!
+//! * [`bus`] — an in-process, partitioned, offset-addressed message bus:
+//!   the Kafka/Kinesis stand-in. Topics are divided into partitions,
+//!   each an ordered log addressable by offset, so any range of recent
+//!   input can be re-read after a failure — the *replayability*
+//!   requirement the paper places on sources (§3, §6.1). Retention can
+//!   be truncated to simulate expired data.
+//! * [`source`] — the [`Source`] trait plus connectors: [`BusSource`]
+//!   (read a topic), [`GeneratorSource`] (deterministic synthetic data,
+//!   replayable by construction), [`FileSource`] (JSON files appearing
+//!   in a directory — the paper's §4.1 example).
+//! * [`sink`] — the [`Sink`] trait plus connectors with *idempotent
+//!   epoch commits* (§3, §6.1): [`MemorySink`] (queryable result table),
+//!   [`FileSink`] (epoch-named JSON files; complete mode replaces a
+//!   whole result file, as in §4.1), [`BusSink`] (write back to a
+//!   topic, the "stream-to-stream transform" deployment of §6.3).
+//! * [`json`] — row ⇄ JSON conversion shared by the file connectors and
+//!   the Kafka-Streams-style baseline (which pays this cost per hop).
+
+pub mod bus;
+pub mod json;
+pub mod sink;
+pub mod source;
+
+pub use bus::{MessageBus, Record};
+pub use sink::{BusSink, CallbackSink, EpochOutput, FileSink, MemorySink, Sink};
+pub use source::{BusSource, FileSource, GeneratorSource, Source};

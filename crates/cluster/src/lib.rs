@@ -1,0 +1,28 @@
+//! # ss-cluster — a discrete-event cluster simulator (§6.2)
+//!
+//! The paper evaluates scaling on 1–20 c3.2xlarge EC2 nodes (8 cores
+//! each). This machine has one core, so thread-level scaling cannot be
+//! measured natively; instead, this crate simulates the paper's
+//! execution model in **virtual time** with the real scheduler logic:
+//!
+//! * work divided into **fine-grained independent tasks** (one per
+//!   source partition per stage), scheduled onto any idle core —
+//!   "dynamic load balancing" (§6.2);
+//! * a **barrier between stages** (map → shuffle → reduce), as in
+//!   Spark's stage execution;
+//! * **straggler mitigation** by speculative backup copies — "Spark
+//!   will launch backup copies of slow tasks [...] downstream tasks
+//!   will simply use the output from whichever copy finishes first";
+//! * **fine-grained fault recovery**: when a node fails, only its
+//!   running/lost tasks re-run, not the whole job.
+//!
+//! Task durations come from a [`CostModel`] **calibrated against real
+//! measured single-core throughput** of the actual operators (the
+//! benchmark harness measures `ss-core` first, then feeds the rate in
+//! here), so simulated throughput numbers are anchored to reality.
+
+pub mod model;
+pub mod sim;
+
+pub use model::{ClusterSpec, CostModel, Fault, Stage, Task};
+pub use sim::{JobResult, SimCluster, TaskRun};

@@ -1,0 +1,198 @@
+//! Cluster, job and cost definitions for the simulator.
+
+/// The simulated cluster: `nodes × cores_per_node` identical cores.
+/// The paper's testbed is `ClusterSpec::c3_2xlarge(n)` — n workers with
+/// 8 virtual cores each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterSpec {
+    pub nodes: u32,
+    pub cores_per_node: u32,
+}
+
+impl ClusterSpec {
+    pub fn new(nodes: u32, cores_per_node: u32) -> ClusterSpec {
+        assert!(nodes > 0 && cores_per_node > 0);
+        ClusterSpec {
+            nodes,
+            cores_per_node,
+        }
+    }
+
+    /// The paper's worker type: 8 virtual cores (§9.1).
+    pub fn c3_2xlarge(nodes: u32) -> ClusterSpec {
+        ClusterSpec::new(nodes, 8)
+    }
+
+    pub fn total_cores(&self) -> u32 {
+        self.nodes * self.cores_per_node
+    }
+}
+
+/// Task cost model, calibrated from measured throughput of the real
+/// engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Per-record processing cost (µs) on one reference core.
+    pub per_record_us: f64,
+    /// Fixed task launch/teardown overhead (µs) — the scheduling
+    /// overhead §6.2 names as microbatching's latency cost.
+    pub task_overhead_us: f64,
+}
+
+impl CostModel {
+    /// Calibrate from a measured single-core processing rate.
+    pub fn from_measured_rate(records_per_second: f64, task_overhead_us: f64) -> CostModel {
+        assert!(records_per_second > 0.0);
+        CostModel {
+            per_record_us: 1e6 / records_per_second,
+            task_overhead_us,
+        }
+    }
+
+    /// Duration of a task processing `records` on a core with speed
+    /// factor `speed` (1.0 = reference; 0.2 = 5× slower straggler).
+    pub fn task_duration_us(&self, records: u64, speed: f64) -> f64 {
+        assert!(speed > 0.0);
+        (self.task_overhead_us + records as f64 * self.per_record_us) / speed
+    }
+}
+
+/// One schedulable unit of work.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Task {
+    /// Identifier unique within its stage.
+    pub id: u32,
+    /// Records this task processes (drives its duration).
+    pub records: u64,
+}
+
+/// One stage: independent tasks separated from the next stage by a
+/// barrier (Spark's shuffle boundary).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stage {
+    pub name: String,
+    pub tasks: Vec<Task>,
+}
+
+impl Stage {
+    pub fn new(name: impl Into<String>, tasks: Vec<Task>) -> Stage {
+        Stage {
+            name: name.into(),
+            tasks,
+        }
+    }
+
+    /// A stage of `n` equal tasks over `total_records`.
+    pub fn even(name: impl Into<String>, n: u32, total_records: u64) -> Stage {
+        assert!(n > 0);
+        let base = total_records / n as u64;
+        let extra = (total_records % n as u64) as u32;
+        let tasks = (0..n)
+            .map(|i| Task {
+                id: i,
+                records: base + u64::from(i < extra),
+            })
+            .collect();
+        Stage::new(name, tasks)
+    }
+
+    pub fn total_records(&self) -> u64 {
+        self.tasks.iter().map(|t| t.records).sum()
+    }
+
+    /// A stage of `n` tasks over `total_records` with deterministic
+    /// size skew: task sizes vary by ±`skew` (0.0–1.0) in a fixed
+    /// pattern, modeling uneven partition sizes — the load imbalance
+    /// that dynamic task scheduling absorbs (§6.2).
+    pub fn skewed(name: impl Into<String>, n: u32, total_records: u64, skew: f64) -> Stage {
+        assert!(n > 0);
+        assert!((0.0..=1.0).contains(&skew));
+        // Deterministic pseudo-random factors in [1-skew, 1+skew]
+        // (SplitMix64 finalizer for good dispersion).
+        let factors: Vec<f64> = (0..n)
+            .map(|i| {
+                let mut z = (i as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                let h = z ^ (z >> 31);
+                let unit = (h % 1000) as f64 / 999.0; // [0,1]
+                1.0 - skew + 2.0 * skew * unit
+            })
+            .collect();
+        // Cumulative proportional rounding: sizes follow the factors
+        // exactly in proportion and sum exactly to `total_records` —
+        // no task absorbs the rounding drift.
+        let sum: f64 = factors.iter().sum();
+        let mut assigned = 0u64;
+        let mut prefix = 0.0f64;
+        let tasks: Vec<Task> = factors
+            .iter()
+            .enumerate()
+            .map(|(i, f)| {
+                prefix += f;
+                let target = (total_records as f64 * prefix / sum).round() as u64;
+                let records = target.min(total_records) - assigned;
+                assigned += records;
+                Task {
+                    id: i as u32,
+                    records,
+                }
+            })
+            .collect();
+        Stage::new(name, tasks)
+    }
+}
+
+/// Injected misbehaviour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fault {
+    /// The node dies at `at_us` (virtual time); its running tasks are
+    /// lost and re-queued, its cores removed.
+    NodeFailure { node: u32, at_us: f64 },
+    /// The node runs at `speed` (< 1.0) from `from_us` on — a
+    /// straggler.
+    Straggler { node: u32, from_us: f64, speed: f64 },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_model_calibration() {
+        let m = CostModel::from_measured_rate(1_000_000.0, 500.0);
+        assert!((m.per_record_us - 1.0).abs() < 1e-9);
+        // 1000 records at 1µs each + 500µs overhead.
+        assert!((m.task_duration_us(1000, 1.0) - 1500.0).abs() < 1e-9);
+        // A 2× slower core takes twice as long.
+        assert!((m.task_duration_us(1000, 0.5) - 3000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn even_stage_distributes_remainder() {
+        let s = Stage::even("map", 4, 10);
+        let sizes: Vec<u64> = s.tasks.iter().map(|t| t.records).collect();
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
+        assert_eq!(s.total_records(), 10);
+    }
+
+    #[test]
+    fn cluster_spec_totals() {
+        assert_eq!(ClusterSpec::c3_2xlarge(5).total_cores(), 40);
+    }
+
+    #[test]
+    fn skewed_stage_preserves_total_and_varies_sizes() {
+        let s = Stage::skewed("map", 16, 1_000_000, 0.3);
+        assert_eq!(s.total_records(), 1_000_000);
+        let sizes: Vec<u64> = s.tasks.iter().map(|t| t.records).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max > min, "skew should vary task sizes: {sizes:?}");
+        // Deterministic.
+        assert_eq!(Stage::skewed("map", 16, 1_000_000, 0.3), s);
+        // Zero skew behaves like `even` up to remainder placement.
+        let e = Stage::skewed("map", 4, 100, 0.0);
+        assert_eq!(e.total_records(), 100);
+    }
+}

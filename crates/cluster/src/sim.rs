@@ -1,0 +1,531 @@
+//! The event-driven simulator.
+//!
+//! Virtual time, deterministic: cores pull tasks from a shared queue
+//! (dynamic load balancing); a barrier separates stages; node failures
+//! re-queue only the lost tasks; idle cores launch speculative backups
+//! of tasks that have run far beyond the median task duration, and the
+//! first copy to finish wins (§6.2).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use ss_common::{Result, SsError};
+
+use crate::model::{ClusterSpec, CostModel, Fault, Stage};
+
+/// f64 ordered by total order, for the event heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct F64Ord(f64);
+
+impl Eq for F64Ord {}
+impl PartialOrd for F64Ord {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for F64Ord {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Event {
+    /// Process a node failure (ordered before task finishes at the
+    /// same instant, so a dying node cannot complete work).
+    NodeFail(u32),
+    /// An attempt finished.
+    AttemptFinish(usize),
+}
+
+/// One recorded task attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskRun {
+    pub stage: usize,
+    pub task: u32,
+    pub node: u32,
+    pub start_us: f64,
+    pub end_us: f64,
+    pub speculative: bool,
+    /// True if this attempt's output was used (it finished first).
+    pub won: bool,
+    /// True if the attempt died with its node.
+    pub killed: bool,
+}
+
+/// The outcome of one simulated job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobResult {
+    /// Wall-clock (virtual) duration from job start to last winning
+    /// task.
+    pub duration_us: f64,
+    /// Every attempt, in completion order.
+    pub runs: Vec<TaskRun>,
+    /// Speculative backups launched.
+    pub speculative_launched: usize,
+    /// Task re-executions caused by node failures.
+    pub reruns_after_failure: usize,
+    /// Per-stage completion times (absolute virtual time).
+    pub stage_end_us: Vec<f64>,
+}
+
+impl JobResult {
+    /// Aggregate throughput for a job that processed `records`.
+    pub fn records_per_second(&self, records: u64) -> f64 {
+        records as f64 / (self.duration_us / 1e6)
+    }
+}
+
+struct NodeState {
+    failed_at: Option<f64>,
+    slow_from: Option<(f64, f64)>, // (from_us, speed)
+}
+
+impl NodeState {
+    fn speed_at(&self, t: f64) -> f64 {
+        match self.slow_from {
+            Some((from, speed)) if t >= from => speed,
+            _ => 1.0,
+        }
+    }
+
+    fn alive_at(&self, t: f64) -> bool {
+        self.failed_at.is_none_or(|f| t < f)
+    }
+}
+
+struct Attempt {
+    stage: usize,
+    task: u32,
+    node: u32,
+    core: usize,
+    start_us: f64,
+    end_us: f64,
+    speculative: bool,
+    done: bool,
+    killed: bool,
+}
+
+/// The simulator.
+pub struct SimCluster {
+    spec: ClusterSpec,
+    cost: CostModel,
+    faults: Vec<Fault>,
+    /// Speculate when a running attempt exceeds `multiplier` × the
+    /// median completed duration (None = speculation off).
+    pub speculation_multiplier: Option<f64>,
+}
+
+impl SimCluster {
+    pub fn new(spec: ClusterSpec, cost: CostModel) -> SimCluster {
+        SimCluster {
+            spec,
+            cost,
+            faults: Vec::new(),
+            speculation_multiplier: Some(1.5),
+        }
+    }
+
+    /// Inject a fault.
+    pub fn with_fault(mut self, fault: Fault) -> SimCluster {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Disable speculative execution (for the straggler ablation).
+    pub fn without_speculation(mut self) -> SimCluster {
+        self.speculation_multiplier = None;
+        self
+    }
+
+    /// Run stages with a barrier between them, starting at virtual
+    /// time 0.
+    pub fn run_job(&self, stages: &[Stage]) -> Result<JobResult> {
+        let mut nodes: Vec<NodeState> = (0..self.spec.nodes)
+            .map(|n| {
+                let mut st = NodeState {
+                    failed_at: None,
+                    slow_from: None,
+                };
+                for f in &self.faults {
+                    match *f {
+                        Fault::NodeFailure { node, at_us } if node == n => {
+                            st.failed_at = Some(at_us)
+                        }
+                        Fault::Straggler { node, from_us, speed } if node == n => {
+                            st.slow_from = Some((from_us, speed))
+                        }
+                        _ => {}
+                    }
+                }
+                st
+            })
+            .collect();
+
+        let mut result = JobResult {
+            duration_us: 0.0,
+            runs: Vec::new(),
+            speculative_launched: 0,
+            reruns_after_failure: 0,
+            stage_end_us: Vec::with_capacity(stages.len()),
+        };
+        let mut now = 0.0f64;
+        for (stage_idx, stage) in stages.iter().enumerate() {
+            now = self.run_stage(stage_idx, stage, now, &mut nodes, &mut result)?;
+            result.stage_end_us.push(now);
+        }
+        result.duration_us = now;
+        Ok(result)
+    }
+
+    #[allow(clippy::too_many_lines)]
+    // Core loops index `core_running` by core id while also borrowing
+    // `nodes`/`attempts`; iterator forms fight the borrow checker here.
+    #[allow(clippy::needless_range_loop)]
+    fn run_stage(
+        &self,
+        stage_idx: usize,
+        stage: &Stage,
+        start_us: f64,
+        nodes: &mut [NodeState],
+        result: &mut JobResult,
+    ) -> Result<f64> {
+        // Core i lives on node i / cores_per_node.
+        let node_of = |core: usize| (core as u32) / self.spec.cores_per_node;
+        let total_cores = self.spec.total_cores() as usize;
+
+        let mut pending: VecDeque<u32> = stage.tasks.iter().map(|t| t.id).collect();
+        let mut completed = vec![false; stage.tasks.len()];
+        let mut has_backup = vec![false; stage.tasks.len()];
+        let mut n_completed = 0usize;
+        let mut completed_durations: Vec<f64> = Vec::new();
+
+        let mut attempts: Vec<Attempt> = Vec::new();
+        let mut core_running: Vec<Option<usize>> = vec![None; total_cores];
+        let mut events: BinaryHeap<Reverse<(F64Ord, Event)>> = BinaryHeap::new();
+
+        // Schedule node failures that haven't happened yet.
+        for (n, st) in nodes.iter().enumerate() {
+            if let Some(f) = st.failed_at {
+                if f >= start_us {
+                    events.push(Reverse((F64Ord(f), Event::NodeFail(n as u32))));
+                }
+            }
+        }
+
+        let records_of = |task: u32| stage.tasks[task as usize].records;
+
+        // Closure-free helpers (borrow-checker friendliness).
+        macro_rules! start_attempt {
+            ($task:expr, $core:expr, $t:expr, $spec:expr) => {{
+                let node = node_of($core);
+                let speed = nodes[node as usize].speed_at($t);
+                let dur = self.cost.task_duration_us(records_of($task), speed);
+                let attempt_id = attempts.len();
+                attempts.push(Attempt {
+                    stage: stage_idx,
+                    task: $task,
+                    node,
+                    core: $core,
+                    start_us: $t,
+                    end_us: $t + dur,
+                    speculative: $spec,
+                    done: false,
+                    killed: false,
+                });
+                core_running[$core] = Some(attempt_id);
+                events.push(Reverse((F64Ord($t + dur), Event::AttemptFinish(attempt_id))));
+                if $spec {
+                    result.speculative_launched += 1;
+                }
+            }};
+        }
+
+        // Find work for an idle core at time `t`: a pending task, or a
+        // speculative backup of a laggard.
+        macro_rules! assign_work {
+            ($core:expr, $t:expr) => {{
+                if let Some(task) = pending.pop_front() {
+                    start_attempt!(task, $core, $t, false);
+                } else if let Some(mult) = self.speculation_multiplier {
+                    if !completed_durations.is_empty() {
+                        let mut sorted = completed_durations.clone();
+                        sorted.sort_by(f64::total_cmp);
+                        let median = sorted[sorted.len() / 2];
+                        // Slowest running attempt without a backup.
+                        let candidate = attempts
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, a)| {
+                                !a.done
+                                    && !a.killed
+                                    && !a.speculative
+                                    && !completed[a.task as usize]
+                                    && !has_backup[a.task as usize]
+                                    && (a.end_us - a.start_us) > mult * median
+                            })
+                            .max_by(|(_, a), (_, b)| a.end_us.total_cmp(&b.end_us))
+                            .map(|(i, _)| i);
+                        if let Some(ai) = candidate {
+                            let task = attempts[ai].task;
+                            has_backup[task as usize] = true;
+                            start_attempt!(task, $core, $t, true);
+                        }
+                    }
+                }
+            }};
+        }
+
+        // Initial assignment on all alive cores.
+        for core in 0..total_cores {
+            let n = node_of(core) as usize;
+            if nodes[n].alive_at(start_us) {
+                if pending.is_empty() {
+                    break;
+                }
+                let task = pending.pop_front().expect("non-empty");
+                start_attempt!(task, core, start_us, false);
+            }
+        }
+
+        let mut stage_end = start_us;
+        while n_completed < stage.tasks.len() {
+            let Some(Reverse((F64Ord(t), event))) = events.pop() else {
+                return Err(SsError::Execution(format!(
+                    "cluster deadlock in stage `{}`: {} of {} tasks completed and no \
+                     events remain (all nodes failed?)",
+                    stage.name,
+                    n_completed,
+                    stage.tasks.len()
+                )));
+            };
+            match event {
+                Event::NodeFail(n) => {
+                    // Kill running attempts on the node; re-queue their
+                    // tasks.
+                    for core in 0..total_cores {
+                        if node_of(core) != n {
+                            continue;
+                        }
+                        if let Some(ai) = core_running[core].take() {
+                            let a = &mut attempts[ai];
+                            if !a.done {
+                                a.killed = true;
+                                if !completed[a.task as usize] {
+                                    if a.speculative {
+                                        has_backup[a.task as usize] = false;
+                                    } else {
+                                        pending.push_back(a.task);
+                                        result.reruns_after_failure += 1;
+                                    }
+                                }
+                                result.runs.push(TaskRun {
+                                    stage: a.stage,
+                                    task: a.task,
+                                    node: a.node,
+                                    start_us: a.start_us,
+                                    end_us: t,
+                                    speculative: a.speculative,
+                                    won: false,
+                                    killed: true,
+                                });
+                            }
+                        }
+                    }
+                    // Surviving idle cores may pick the re-queued work
+                    // up immediately.
+                    for core in 0..total_cores {
+                        let node = node_of(core) as usize;
+                        if core_running[core].is_none() && nodes[node].alive_at(t) {
+                            assign_work!(core, t);
+                        }
+                    }
+                }
+                Event::AttemptFinish(ai) => {
+                    let (task, core, killed, start, speculative) = {
+                        let a = &attempts[ai];
+                        (a.task, a.core, a.killed, a.start_us, a.speculative)
+                    };
+                    if killed {
+                        continue; // node died before the finish
+                    }
+                    attempts[ai].done = true;
+                    core_running[core] = None;
+                    let won = !completed[task as usize];
+                    if won {
+                        completed[task as usize] = true;
+                        n_completed += 1;
+                        completed_durations.push(t - start);
+                        stage_end = stage_end.max(t);
+                    }
+                    result.runs.push(TaskRun {
+                        stage: stage_idx,
+                        task,
+                        node: attempts[ai].node,
+                        start_us: start,
+                        end_us: t,
+                        speculative,
+                        won,
+                        killed: false,
+                    });
+                    let node = node_of(core) as usize;
+                    if nodes[node].alive_at(t) {
+                        assign_work!(core, t);
+                    }
+                }
+            }
+        }
+        Ok(stage_end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Task;
+
+    fn cost() -> CostModel {
+        // 1µs per record, 100µs task overhead.
+        CostModel {
+            per_record_us: 1.0,
+            task_overhead_us: 100.0,
+        }
+    }
+
+    #[test]
+    fn single_core_runs_tasks_sequentially() {
+        let sim = SimCluster::new(ClusterSpec::new(1, 1), cost());
+        let stage = Stage::even("map", 4, 4000);
+        let r = sim.run_job(&[stage]).unwrap();
+        // 4 × (1000 + 100) µs back-to-back.
+        assert!((r.duration_us - 4400.0).abs() < 1e-6);
+        assert_eq!(r.runs.len(), 4);
+        assert!(r.runs.iter().all(|t| t.won));
+    }
+
+    #[test]
+    fn scaling_is_near_linear_for_partitioned_work() {
+        // The Figure 6b shape: doubling cores halves the duration when
+        // tasks ≥ cores.
+        let stage = |n: u32| vec![Stage::even("map", n * 8, 8_000_000)];
+        let d1 = SimCluster::new(ClusterSpec::c3_2xlarge(1), cost())
+            .run_job(&stage(1))
+            .unwrap()
+            .duration_us;
+        let d4 = SimCluster::new(ClusterSpec::c3_2xlarge(4), cost())
+            .run_job(&stage(4))
+            .unwrap()
+            .duration_us;
+        let speedup = d1 / d4;
+        assert!(
+            (3.5..=4.5).contains(&speedup),
+            "expected ~4x speedup, got {speedup:.2}"
+        );
+    }
+
+    #[test]
+    fn barrier_separates_stages() {
+        let sim = SimCluster::new(ClusterSpec::new(1, 2), cost());
+        let stages = vec![
+            Stage::even("map", 2, 2000),
+            Stage::even("reduce", 2, 2000),
+        ];
+        let r = sim.run_job(&stages).unwrap();
+        assert_eq!(r.stage_end_us.len(), 2);
+        // Reduce tasks all start at/after the map stage end.
+        let map_end = r.stage_end_us[0];
+        for run in r.runs.iter().filter(|t| t.stage == 1) {
+            assert!(run.start_us >= map_end);
+        }
+    }
+
+    #[test]
+    fn node_failure_reruns_only_lost_tasks() {
+        // 2 nodes × 1 core, 4 tasks of 1000 records each (1100µs).
+        // Node 1 dies at t=500: its first task re-runs elsewhere.
+        let sim = SimCluster::new(ClusterSpec::new(2, 1), cost()).with_fault(Fault::NodeFailure {
+            node: 1,
+            at_us: 500.0,
+        });
+        let stage = Stage::new(
+            "map",
+            (0..4).map(|id| Task { id, records: 1000 }).collect(),
+        );
+        let r = sim.run_job(&[stage]).unwrap();
+        assert_eq!(r.reruns_after_failure, 1);
+        // All work lands on node 0: 4 tasks + nothing parallel =
+        // 4×1100.
+        assert!((r.duration_us - 4400.0).abs() < 1e-6);
+        // The killed attempt is recorded.
+        assert!(r.runs.iter().any(|t| t.killed && t.node == 1));
+    }
+
+    #[test]
+    fn all_nodes_failed_is_an_error() {
+        let sim = SimCluster::new(ClusterSpec::new(1, 2), cost()).with_fault(Fault::NodeFailure {
+            node: 0,
+            at_us: 50.0,
+        });
+        let err = sim.run_job(&[Stage::even("map", 4, 4000)]).unwrap_err();
+        assert!(err.to_string().contains("deadlock"));
+    }
+
+    #[test]
+    fn speculation_rescues_stragglers() {
+        // 2 nodes × 2 cores; node 1 runs 10× slow from the start.
+        // 8 equal tasks: without speculation the job waits for the
+        // slow node's tasks; with it, backups on the fast node win.
+        let spec = ClusterSpec::new(2, 2);
+        let stage = || vec![Stage::even("map", 8, 80_000)];
+        let slow = Fault::Straggler {
+            node: 1,
+            from_us: 0.0,
+            speed: 0.1,
+        };
+        let with_spec = SimCluster::new(spec, cost())
+            .with_fault(slow)
+            .run_job(&stage())
+            .unwrap();
+        let without = SimCluster::new(spec, cost())
+            .with_fault(slow)
+            .without_speculation()
+            .run_job(&stage())
+            .unwrap();
+        assert!(with_spec.speculative_launched > 0);
+        assert!(
+            with_spec.duration_us < without.duration_us * 0.7,
+            "speculation should cut straggler tail: {:.0} vs {:.0}",
+            with_spec.duration_us,
+            without.duration_us
+        );
+    }
+
+    #[test]
+    fn speculative_loser_does_not_double_count() {
+        let spec = ClusterSpec::new(2, 1);
+        let slow = Fault::Straggler {
+            node: 1,
+            from_us: 0.0,
+            speed: 0.5,
+        };
+        let r = SimCluster::new(spec, cost())
+            .with_fault(slow)
+            .run_job(&[Stage::even("map", 4, 40_000)])
+            .unwrap();
+        // Each task completes exactly once.
+        let wins: Vec<u32> = r.runs.iter().filter(|t| t.won).map(|t| t.task).collect();
+        let mut sorted = wins.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4, "each task wins once: {wins:?}");
+    }
+
+    #[test]
+    fn throughput_helper() {
+        let sim = SimCluster::new(ClusterSpec::new(1, 1), cost());
+        let r = sim.run_job(&[Stage::even("map", 1, 1000)]).unwrap();
+        let rps = r.records_per_second(1000);
+        // 1000 records in 1100µs ≈ 909k records/s.
+        assert!((rps - 1000.0 / 1.1e-3).abs() / rps < 0.01);
+    }
+}

@@ -1,0 +1,174 @@
+//! The workspace-wide error type.
+//!
+//! Every crate in the workspace returns [`SsError`] through the [`Result`]
+//! alias. Variants are grouped by the pipeline stage that raises them so a
+//! caller can distinguish "your query is invalid" (analysis-time) from
+//! "the engine broke" (runtime).
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T, E = SsError> = std::result::Result<T, E>;
+
+/// The error type shared by every crate in the workspace.
+#[derive(Debug)]
+pub enum SsError {
+    /// Schema resolution failed: unknown column, duplicate name, arity
+    /// mismatch, etc.
+    Schema(String),
+    /// A value or expression had the wrong type.
+    Type(String),
+    /// The logical plan is invalid (analysis-time rejection), e.g. an
+    /// unsupported output-mode/query combination per §5.1 of the paper.
+    Plan(String),
+    /// The query is valid but not supported by the engine (yet), e.g. a
+    /// non-map-like plan in continuous mode.
+    Unsupported(String),
+    /// A failure during physical execution.
+    Execution(String),
+    /// An I/O failure (WAL, state store, file source/sink).
+    Io(std::io::Error),
+    /// Serialization/deserialization failure (WAL entries, checkpoints).
+    Serde(String),
+    /// SQL text could not be parsed.
+    Parse(String),
+    /// An invariant the engine relies on was violated — always a bug.
+    Internal(String),
+}
+
+impl SsError {
+    /// Short machine-readable category name, handy for metrics and tests.
+    pub fn category(&self) -> &'static str {
+        match self {
+            SsError::Schema(_) => "schema",
+            SsError::Type(_) => "type",
+            SsError::Plan(_) => "plan",
+            SsError::Unsupported(_) => "unsupported",
+            SsError::Execution(_) => "execution",
+            SsError::Io(_) => "io",
+            SsError::Serde(_) => "serde",
+            SsError::Parse(_) => "parse",
+            SsError::Internal(_) => "internal",
+        }
+    }
+
+    /// True if the error indicates user error (bad query/schema/SQL), as
+    /// opposed to an engine or environment failure.
+    pub fn is_user_error(&self) -> bool {
+        matches!(
+            self,
+            SsError::Schema(_)
+                | SsError::Type(_)
+                | SsError::Plan(_)
+                | SsError::Unsupported(_)
+                | SsError::Parse(_)
+        )
+    }
+}
+
+impl fmt::Display for SsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SsError::Schema(m) => write!(f, "schema error: {m}"),
+            SsError::Type(m) => write!(f, "type error: {m}"),
+            SsError::Plan(m) => write!(f, "plan error: {m}"),
+            SsError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            SsError::Execution(m) => write!(f, "execution error: {m}"),
+            SsError::Io(e) => write!(f, "io error: {e}"),
+            SsError::Serde(m) => write!(f, "serde error: {m}"),
+            SsError::Parse(m) => write!(f, "parse error: {m}"),
+            SsError::Internal(m) => write!(f, "internal error (bug): {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SsError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SsError {
+    fn from(e: std::io::Error) -> Self {
+        SsError::Io(e)
+    }
+}
+
+/// Build an [`SsError::Internal`] with `format!`-style arguments.
+#[macro_export]
+macro_rules! internal_err {
+    ($($arg:tt)*) => {
+        $crate::error::SsError::Internal(format!($($arg)*))
+    };
+}
+
+/// Build an [`SsError::Execution`] with `format!`-style arguments.
+#[macro_export]
+macro_rules! exec_err {
+    ($($arg:tt)*) => {
+        $crate::error::SsError::Execution(format!($($arg)*))
+    };
+}
+
+/// Build an [`SsError::Plan`] with `format!`-style arguments.
+#[macro_export]
+macro_rules! plan_err {
+    ($($arg:tt)*) => {
+        $crate::error::SsError::Plan(format!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_category_and_message() {
+        let e = SsError::Schema("no column `x`".into());
+        assert_eq!(e.to_string(), "schema error: no column `x`");
+        let e = SsError::Internal("oops".into());
+        assert!(e.to_string().contains("bug"));
+    }
+
+    #[test]
+    fn category_names_are_stable() {
+        assert_eq!(SsError::Plan(String::new()).category(), "plan");
+        assert_eq!(
+            SsError::Io(std::io::Error::other("x")).category(),
+            "io"
+        );
+    }
+
+    #[test]
+    fn user_error_classification() {
+        assert!(SsError::Plan("bad".into()).is_user_error());
+        assert!(SsError::Parse("bad".into()).is_user_error());
+        assert!(!SsError::Internal("bad".into()).is_user_error());
+        assert!(!SsError::Io(std::io::Error::other("x")).is_user_error());
+    }
+
+    #[test]
+    fn io_error_round_trips_through_from() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: SsError = io.into();
+        match &e {
+            SsError::Io(inner) => assert_eq!(inner.kind(), std::io::ErrorKind::NotFound),
+            other => panic!("expected Io, got {other:?}"),
+        }
+        // `source` exposes the inner error for error-chain printers.
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn macros_build_the_right_variants() {
+        let e = internal_err!("x = {}", 42);
+        assert!(matches!(e, SsError::Internal(m) if m == "x = 42"));
+        let e = exec_err!("boom");
+        assert!(matches!(e, SsError::Execution(_)));
+        let e = plan_err!("bad plan {}", 1);
+        assert!(matches!(e, SsError::Plan(_)));
+    }
+}

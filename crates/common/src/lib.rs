@@ -1,0 +1,37 @@
+//! # ss-common — data model for the Structured Streaming reproduction
+//!
+//! This crate provides the substrate every other crate builds on:
+//!
+//! * [`DataType`] / [`Value`] — the scalar type system (null, boolean,
+//!   64-bit integer, 64-bit float, UTF-8 string, microsecond timestamp).
+//! * [`Schema`] / [`Field`] — named, typed, nullable columns.
+//! * [`Bitmap`] — a packed validity bitmap.
+//! * [`Column`] — a typed, vectorized column of values (the stand-in for
+//!   Spark's Tungsten columnar format; vectorized kernels over these
+//!   columns play the role the paper assigns to runtime code generation).
+//! * [`RecordBatch`] — a horizontal slice of a table: a schema plus one
+//!   column per field, all the same length.
+//! * [`Row`] — a boxed row of values, used for state-store entries and
+//!   low-volume paths (per-record continuous processing).
+//! * [`time`] — event-time helpers: duration parsing and window
+//!   bucketing arithmetic used by the `window()` expression.
+//! * [`SsError`] — the error type shared across the workspace.
+
+pub mod batch;
+pub mod bitmap;
+pub mod column;
+pub mod error;
+pub mod offsets;
+pub mod row;
+pub mod schema;
+pub mod time;
+pub mod types;
+
+pub use batch::RecordBatch;
+pub use bitmap::Bitmap;
+pub use column::{Column, ColumnBuilder};
+pub use error::{Result, SsError};
+pub use offsets::{OffsetRange, PartitionOffsets};
+pub use row::Row;
+pub use schema::{Field, Schema, SchemaRef};
+pub use types::{DataType, Value};

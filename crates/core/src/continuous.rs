@@ -1,0 +1,568 @@
+//! Continuous processing mode (§6.3).
+//!
+//! "A new continuous processing mode [...] executes Structured
+//! Streaming jobs using long-lived operators as in traditional
+//! streaming systems. [...] The first version released in Spark 2.3.0
+//! only supports 'map-like' jobs (i.e., no shuffle operations), which
+//! were one of the most common scenarios where users wanted lower
+//! latency" — stream-to-stream transforms between bus topics.
+//!
+//! The implementation mirrors the paper's design:
+//!
+//! * one **long-lived worker per source partition** pulls records and
+//!   pushes them through a compiled per-record pipeline (no task
+//!   scheduling on the data path — that is exactly why latency beats
+//!   microbatch mode, Figure 7);
+//! * a **coordinator** periodically snapshots every worker's offset and
+//!   writes epoch markers to the same WAL the microbatch engine uses,
+//!   so the job's progress is durable and restartable ("the master is
+//!   not on the critical path");
+//! * per-record **end-to-end latency** (sink time − bus ingest time) is
+//!   recorded, which is the metric Figure 7 plots.
+//!
+//! Like Spark 2.3's continuous mode, delivery between epoch markers is
+//! at-least-once on recovery (epochs bound the reprocessing window).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use ss_bus::MessageBus;
+use ss_common::time::now_us;
+use ss_common::{Result, Row, Schema, SchemaRef, SsError};
+use ss_expr::eval::evaluate_row;
+use ss_expr::Expr;
+use ss_plan::LogicalPlan;
+use ss_state::CheckpointBackend;
+use ss_wal::{EpochCommit, EpochOffsets, OffsetRange, WriteAheadLog};
+
+/// One stage of the compiled per-record pipeline.
+#[derive(Debug)]
+enum RecordOp {
+    Filter(Expr),
+    Project { exprs: Vec<Expr>, schema: SchemaRef },
+}
+
+/// The compiled map-like pipeline of a continuous query.
+#[derive(Debug)]
+pub struct RecordPipeline {
+    source_name: String,
+    input_schema: SchemaRef,
+    ops: Vec<RecordOp>,
+    output_schema: SchemaRef,
+}
+
+impl RecordPipeline {
+    /// Compile an analyzed plan, rejecting anything that is not
+    /// map-like (the Spark 2.3 restriction the paper describes).
+    pub fn compile(plan: &LogicalPlan) -> Result<RecordPipeline> {
+        let mut ops_rev: Vec<RecordOp> = Vec::new();
+        let mut node = plan;
+        loop {
+            match node {
+                LogicalPlan::Scan {
+                    name,
+                    schema,
+                    streaming,
+                    projection,
+                } => {
+                    if !streaming {
+                        return Err(SsError::Unsupported(
+                            "continuous processing requires a streaming source".into(),
+                        ));
+                    }
+                    if let Some(idx) = projection {
+                        // A pushed-down projection becomes a leading
+                        // Project stage.
+                        let exprs: Vec<Expr> = idx
+                            .iter()
+                            .map(|&i| ss_expr::col(schema.field(i).name.clone()))
+                            .collect();
+                        let proj_schema = Arc::new(schema.project(idx)?);
+                        ops_rev.push(RecordOp::Project {
+                            exprs,
+                            schema: proj_schema,
+                        });
+                    }
+                    let mut ops: Vec<RecordOp> = ops_rev;
+                    ops.reverse();
+                    let input_schema = schema.clone();
+                    let mut current: SchemaRef = input_schema.clone();
+                    // Recompute the output schema by walking the ops.
+                    for op in &ops {
+                        if let RecordOp::Project { schema, .. } = op {
+                            current = schema.clone();
+                        }
+                    }
+                    return Ok(RecordPipeline {
+                        source_name: name.clone(),
+                        input_schema,
+                        ops,
+                        output_schema: current,
+                    });
+                }
+                LogicalPlan::Filter { input, predicate } => {
+                    ops_rev.push(RecordOp::Filter(predicate.clone()));
+                    node = input;
+                }
+                LogicalPlan::Project { input, exprs } => {
+                    let schema = node.schema()?;
+                    ops_rev.push(RecordOp::Project {
+                        exprs: exprs.clone(),
+                        schema,
+                    });
+                    node = input;
+                }
+                // Watermarks are metadata-only; harmless to skip in a
+                // map-only pipeline.
+                LogicalPlan::Watermark { input, .. } => {
+                    node = input;
+                }
+                other => {
+                    return Err(SsError::Unsupported(format!(
+                        "continuous processing supports only map-like jobs \
+                         (selections/projections); found {}",
+                        other.describe()
+                    )))
+                }
+            }
+        }
+    }
+
+    pub fn source_name(&self) -> &str {
+        &self.source_name
+    }
+
+    pub fn output_schema(&self) -> &SchemaRef {
+        &self.output_schema
+    }
+
+    /// Process one record; `None` if filtered out.
+    #[inline]
+    pub fn process(&self, row: &Row) -> Result<Option<Row>> {
+        let mut current = row.clone();
+        let mut schema: &Schema = &self.input_schema;
+        for op in &self.ops {
+            match op {
+                RecordOp::Filter(pred) => {
+                    if evaluate_row(pred, schema, &current)?.as_bool()? != Some(true) {
+                        return Ok(None);
+                    }
+                }
+                RecordOp::Project { exprs, schema: s } => {
+                    let mut out = Vec::with_capacity(exprs.len());
+                    for e in exprs {
+                        out.push(evaluate_row(e, schema, &current)?);
+                    }
+                    current = Row::new(out);
+                    schema = s;
+                }
+            }
+        }
+        Ok(Some(current))
+    }
+}
+
+/// Where processed records go.
+pub type RecordSink = Arc<dyn Fn(u32, Row) -> Result<()> + Send + Sync>;
+
+/// Tuning for the continuous engine.
+#[derive(Clone)]
+pub struct ContinuousConfig {
+    /// How often the coordinator cuts an epoch (µs). The paper calls
+    /// continuous execution "similar to having a much larger number of
+    /// triggers".
+    pub epoch_interval_us: i64,
+    /// Max records pulled per poll.
+    pub poll_batch: usize,
+    /// Sleep when a partition has no new data.
+    pub idle_sleep: Duration,
+    /// Record per-record end-to-end latencies (Figure 7).
+    pub record_latency: bool,
+}
+
+impl Default for ContinuousConfig {
+    fn default() -> Self {
+        ContinuousConfig {
+            epoch_interval_us: 1_000_000,
+            poll_batch: 256,
+            idle_sleep: Duration::from_micros(100),
+            record_latency: true,
+        }
+    }
+}
+
+struct ContinuousShared {
+    stop: AtomicBool,
+    /// Next offset each worker will process.
+    offsets: Vec<AtomicU64>,
+    processed: AtomicU64,
+    latencies_us: Mutex<Vec<i64>>,
+    error: Mutex<Option<String>>,
+}
+
+/// A running continuous query.
+pub struct ContinuousQuery {
+    shared: Arc<ContinuousShared>,
+    workers: Vec<JoinHandle<()>>,
+    coordinator: Option<JoinHandle<()>>,
+}
+
+impl ContinuousQuery {
+    /// Start a continuous query: `plan` must be map-like over a single
+    /// bus topic.
+    pub fn start(
+        plan: &Arc<LogicalPlan>,
+        bus: Arc<MessageBus>,
+        topic: &str,
+        sink: RecordSink,
+        wal_backend: Option<Arc<dyn CheckpointBackend>>,
+        config: ContinuousConfig,
+    ) -> Result<ContinuousQuery> {
+        let analyzed = ss_plan::analyze(plan)?;
+        let optimized = ss_plan::optimize(&analyzed)?;
+        let pipeline = Arc::new(RecordPipeline::compile(&optimized)?);
+        let partitions = bus.num_partitions(topic)?;
+
+        // Resume from the last committed epoch's end offsets, if a WAL
+        // exists.
+        let wal = wal_backend.map(WriteAheadLog::new);
+        let mut start_offsets = vec![0u64; partitions as usize];
+        let mut start_epoch = 0u64;
+        if let Some(w) = &wal {
+            if let Some(last) = w.latest_commit()? {
+                if let Some(offsets) = w.read_offsets(last)? {
+                    if let Some(range) = offsets.sources.get(topic) {
+                        for (&p, &o) in &range.end {
+                            if (p as usize) < start_offsets.len() {
+                                start_offsets[p as usize] = o;
+                            }
+                        }
+                    }
+                    start_epoch = last;
+                }
+            }
+        }
+
+        let shared = Arc::new(ContinuousShared {
+            stop: AtomicBool::new(false),
+            offsets: start_offsets.iter().map(|&o| AtomicU64::new(o)).collect(),
+            processed: AtomicU64::new(0),
+            latencies_us: Mutex::new(Vec::new()),
+            error: Mutex::new(None),
+        });
+
+        // Long-lived per-partition workers (§6.3 difference (1)).
+        let mut workers = Vec::with_capacity(partitions as usize);
+        for p in 0..partitions {
+            let shared = shared.clone();
+            let bus = bus.clone();
+            let topic = topic.to_string();
+            let pipeline = pipeline.clone();
+            let sink = sink.clone();
+            let config = config.clone();
+            workers.push(std::thread::spawn(move || {
+                let mut offset = shared.offsets[p as usize].load(Ordering::SeqCst);
+                while !shared.stop.load(Ordering::SeqCst) {
+                    let records = match bus.read(&topic, p, offset, config.poll_batch) {
+                        Ok(r) => r,
+                        Err(e) => {
+                            *shared.error.lock() = Some(e.to_string());
+                            return;
+                        }
+                    };
+                    if records.is_empty() {
+                        std::thread::park_timeout(config.idle_sleep);
+                        continue;
+                    }
+                    for rec in records {
+                        match pipeline.process(&rec.row) {
+                            Ok(Some(out)) => {
+                                if let Err(e) = sink(p, out) {
+                                    *shared.error.lock() = Some(e.to_string());
+                                    return;
+                                }
+                                if config.record_latency {
+                                    let lat = now_us() - rec.ingest_time_us;
+                                    let mut l = shared.latencies_us.lock();
+                                    // Reservoir-ish cap to bound memory
+                                    // in long benchmark runs.
+                                    if l.len() < 4_000_000 {
+                                        l.push(lat);
+                                    }
+                                }
+                            }
+                            Ok(None) => {}
+                            Err(e) => {
+                                *shared.error.lock() = Some(e.to_string());
+                                return;
+                            }
+                        }
+                        offset = rec.offset + 1;
+                        shared.processed.fetch_add(1, Ordering::Relaxed);
+                        shared.offsets[p as usize].store(offset, Ordering::Release);
+                    }
+                }
+            }));
+        }
+
+        // Epoch coordinator (§6.3 difference (2)): off the data path.
+        let coordinator = wal.map(|wal| {
+            let shared = shared.clone();
+            let topic = topic.to_string();
+            let interval = Duration::from_micros(config.epoch_interval_us.max(1_000) as u64);
+            let mut prev_end: ss_common::PartitionOffsets = start_offsets
+                .iter()
+                .enumerate()
+                .map(|(p, &o)| (p as u32, o))
+                .collect();
+            let mut epoch = start_epoch;
+            std::thread::spawn(move || {
+                while !shared.stop.load(Ordering::SeqCst) {
+                    std::thread::park_timeout(interval);
+                    let end: ss_common::PartitionOffsets = shared
+                        .offsets
+                        .iter()
+                        .enumerate()
+                        .map(|(p, o)| (p as u32, o.load(Ordering::Acquire)))
+                        .collect();
+                    if end == prev_end {
+                        continue; // no progress: no epoch marker
+                    }
+                    epoch += 1;
+                    let mut sources = std::collections::BTreeMap::new();
+                    sources.insert(
+                        topic.clone(),
+                        OffsetRange {
+                            start: prev_end.clone(),
+                            end: end.clone(),
+                        },
+                    );
+                    let offsets = EpochOffsets {
+                        epoch,
+                        sources,
+                        watermark_us: i64::MIN,
+                        defined_at_us: now_us(),
+                    };
+                    let rows = offsets.sources[&topic].num_records();
+                    if wal.write_offsets(&offsets).is_ok() {
+                        let _ = wal.write_commit(&EpochCommit {
+                            epoch,
+                            rows_written: rows,
+                            committed_at_us: now_us(),
+                        });
+                    }
+                    prev_end = end;
+                }
+            })
+        });
+
+        Ok(ContinuousQuery {
+            shared,
+            workers,
+            coordinator,
+        })
+    }
+
+    /// Records processed so far.
+    pub fn processed(&self) -> u64 {
+        self.shared.processed.load(Ordering::Relaxed)
+    }
+
+    /// First worker error, if any.
+    pub fn error(&self) -> Option<String> {
+        self.shared.error.lock().clone()
+    }
+
+    /// Stop workers and the coordinator; returns collected latencies
+    /// (µs), sorted ascending.
+    pub fn stop(self) -> Result<Vec<i64>> {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        for w in self.workers {
+            w.thread().unpark();
+            w.join()
+                .map_err(|_| SsError::Execution("continuous worker panicked".into()))?;
+        }
+        if let Some(c) = self.coordinator {
+            c.thread().unpark();
+            c.join()
+                .map_err(|_| SsError::Execution("continuous coordinator panicked".into()))?;
+        }
+        if let Some(e) = self.shared.error.lock().take() {
+            return Err(SsError::Execution(format!("continuous worker failed: {e}")));
+        }
+        let mut lat = std::mem::take(&mut *self.shared.latencies_us.lock());
+        lat.sort_unstable();
+        Ok(lat)
+    }
+}
+
+/// Percentile helper for latency vectors returned by
+/// [`ContinuousQuery::stop`].
+pub fn percentile(sorted_us: &[i64], p: f64) -> Option<i64> {
+    if sorted_us.is_empty() {
+        return None;
+    }
+    let idx = ((sorted_us.len() as f64 - 1.0) * p.clamp(0.0, 1.0)).floor() as usize;
+    Some(sorted_us[idx])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_common::{row, DataType, Field};
+    use ss_expr::{col, lit};
+    use ss_plan::LogicalPlanBuilder;
+    use ss_state::MemoryBackend;
+
+    fn schema() -> SchemaRef {
+        Schema::of(vec![
+            Field::new("kind", DataType::Utf8),
+            Field::new("v", DataType::Int64),
+        ])
+    }
+
+    fn map_plan() -> Arc<LogicalPlan> {
+        LogicalPlanBuilder::scan("in", schema(), true)
+            .filter(col("kind").eq(lit("view")))
+            .project(vec![col("v").mul(lit(2i64)).alias("v2")])
+            .build()
+    }
+
+    #[test]
+    fn pipeline_compiles_and_processes_records() {
+        let plan = map_plan();
+        let optimized = ss_plan::optimize(&ss_plan::analyze(&plan).unwrap()).unwrap();
+        let p = RecordPipeline::compile(&optimized).unwrap();
+        assert_eq!(p.source_name(), "in");
+        assert_eq!(p.output_schema().field_names(), vec!["v2"]);
+        assert_eq!(
+            p.process(&row!["view", 21i64]).unwrap(),
+            Some(row![42i64])
+        );
+        assert_eq!(p.process(&row!["click", 21i64]).unwrap(), None);
+    }
+
+    #[test]
+    fn non_map_like_plans_rejected() {
+        let plan = LogicalPlanBuilder::scan("in", schema(), true)
+            .aggregate(vec![col("kind")], vec![ss_expr::count_star()])
+            .build();
+        let err = RecordPipeline::compile(&plan).unwrap_err();
+        assert!(err.to_string().contains("map-like"));
+    }
+
+    #[test]
+    fn end_to_end_continuous_run() {
+        let bus = Arc::new(MessageBus::new());
+        bus.create_topic("in", 2).unwrap();
+        let out = Arc::new(Mutex::new(Vec::<Row>::new()));
+        let out2 = out.clone();
+        let sink: RecordSink = Arc::new(move |_p, row| {
+            out2.lock().push(row);
+            Ok(())
+        });
+        let q = ContinuousQuery::start(
+            &map_plan(),
+            bus.clone(),
+            "in",
+            sink,
+            None,
+            ContinuousConfig {
+                idle_sleep: Duration::from_micros(50),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for i in 0..100i64 {
+            let kind = if i % 2 == 0 { "view" } else { "click" };
+            bus.append("in", (i % 2) as u32, vec![row![kind, i]]).unwrap();
+        }
+        // Wait for all views (50) to be processed.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while out.lock().len() < 50 {
+            assert!(std::time::Instant::now() < deadline, "timed out");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let latencies = q.stop().unwrap();
+        assert_eq!(out.lock().len(), 50);
+        assert_eq!(latencies.len(), 50);
+        // Latencies are small but positive.
+        assert!(percentile(&latencies, 0.5).unwrap() >= 0);
+    }
+
+    #[test]
+    fn coordinator_writes_epochs_and_restart_resumes() {
+        let bus = Arc::new(MessageBus::new());
+        bus.create_topic("in", 1).unwrap();
+        let backend: Arc<dyn CheckpointBackend> = Arc::new(MemoryBackend::new());
+        let processed = Arc::new(AtomicU64::new(0));
+        let p2 = processed.clone();
+        let sink: RecordSink = Arc::new(move |_p, _row| {
+            p2.fetch_add(1, Ordering::SeqCst);
+            Ok(())
+        });
+        let config = ContinuousConfig {
+            epoch_interval_us: 20_000,
+            idle_sleep: Duration::from_micros(50),
+            ..Default::default()
+        };
+        let q = ContinuousQuery::start(
+            &map_plan(),
+            bus.clone(),
+            "in",
+            sink.clone(),
+            Some(backend.clone()),
+            config.clone(),
+        )
+        .unwrap();
+        for i in 0..20i64 {
+            bus.append("in", 0, vec![row!["view", i]]).unwrap();
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while processed.load(Ordering::SeqCst) < 20 {
+            assert!(std::time::Instant::now() < deadline);
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Give the coordinator a couple of ticks to cut an epoch.
+        std::thread::sleep(Duration::from_millis(80));
+        q.stop().unwrap();
+        let wal = WriteAheadLog::new(backend.clone());
+        let last = wal.latest_commit().unwrap();
+        assert!(last.is_some(), "coordinator should have committed an epoch");
+
+        // Restart: resumes from the committed offsets, not zero.
+        let q2 = ContinuousQuery::start(
+            &map_plan(),
+            bus.clone(),
+            "in",
+            sink,
+            Some(backend),
+            config,
+        )
+        .unwrap();
+        bus.append("in", 0, vec![row!["view", 999i64]]).unwrap();
+        let before = processed.load(Ordering::SeqCst);
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while processed.load(Ordering::SeqCst) <= before {
+            assert!(std::time::Instant::now() < deadline);
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // At-least-once between epoch markers: total is bounded by the
+        // full reprocessing window, not the whole history.
+        q2.stop().unwrap();
+        assert!(processed.load(Ordering::SeqCst) <= 20 + 1 + 20);
+    }
+
+    #[test]
+    fn percentile_helper() {
+        let v: Vec<i64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 0.0), Some(1));
+        assert_eq!(percentile(&v, 0.5), Some(50));
+        assert_eq!(percentile(&v, 1.0), Some(100));
+        assert_eq!(percentile(&[], 0.5), None);
+    }
+}

@@ -1,0 +1,952 @@
+//! The incrementalizer (§5.2): mapping an analyzed, optimized logical
+//! plan onto a tree of *incremental* operators that update the result
+//! in time proportional to the new data per trigger.
+//!
+//! "The engine uses Catalyst transformation rules to map these
+//! supported queries into trees of physical operators that perform both
+//! computation and state management." The mapping implemented here:
+//!
+//! | Logical node | Incremental operator |
+//! |---|---|
+//! | streaming `Scan` | bind the epoch's new offset range |
+//! | static `Scan`/subtree | execute once via the batch engine, cache |
+//! | `Filter`/`Project` | stateless per-epoch (`ss-exec` kernels) |
+//! | `Watermark` | observe max event time; drop late rows (§4.3.1) |
+//! | `Aggregate` | `StatefulAggregate`: a [`HashAggregator`] whose groups live in the state store; emission follows the query's output mode |
+//! | stream×static `Join` | per-epoch hash join against the cached static side |
+//! | stream×stream `Join` | symmetric stateful join ([`StreamJoinExec`]) |
+//! | `MapGroupsWithState` | stateful UDF operator ([`crate::stateful`]) |
+//! | `Distinct` | stateful dedup (seen-set in the state store) |
+//! | `Sort`/`Limit` | applied to the per-epoch output (Complete mode only, enforced at analysis) |
+//!
+//! Each stateful operator is assigned a stable `op_id` so its state
+//! store entries survive restarts. Per §5.2, the *internal* output
+//! mode of each operator is inferred here — users never specify
+//! intra-DAG modes.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rustc_hash::FxHashSet;
+
+use ss_common::{RecordBatch, Result, Row, SchemaRef, SsError};
+use ss_exec::aggregate::HashAggregator;
+use ss_exec::executor::Catalog;
+use ss_exec::join::hash_join_projected;
+use ss_exec::ops;
+use ss_expr::Expr;
+use ss_plan::stateful::StatefulOpDef;
+use ss_plan::{JoinType, LogicalPlan, OutputMode, SortKey};
+use ss_state::{StateEntry, StateStore};
+
+use crate::sjoin::{JoinSide, StreamJoinExec};
+use crate::stateful::execute_map_groups;
+use crate::watermark::WatermarkTracker;
+
+/// Everything one epoch's execution can see.
+pub struct EpochContext<'a> {
+    pub epoch: u64,
+    /// Streaming scan name → this epoch's new rows (one concatenated
+    /// batch per source, already projected to the scan's columns).
+    /// Scans *take* their batch out of the map (no copy); only scans
+    /// marked shared clone it.
+    pub inputs: &'a mut HashMap<String, RecordBatch>,
+    /// Static tables for the batch-executed side of stream–static
+    /// joins.
+    pub statics: &'a dyn Catalog,
+    pub store: &'a mut StateStore,
+    /// The watermark in force for this epoch (advanced at epoch
+    /// boundaries).
+    pub watermark_us: i64,
+    pub processing_time_us: i64,
+    pub output_mode: OutputMode,
+    /// Event-time maxima observed while running this epoch; folded into
+    /// the [`WatermarkTracker`] at the epoch boundary.
+    pub tracker: &'a mut WatermarkTracker,
+}
+
+/// A tree of incremental operators.
+pub enum IncNode {
+    StreamScan {
+        name: String,
+        schema: SchemaRef,
+        projection: Option<Vec<usize>>,
+        /// True when the same source is scanned more than once in the
+        /// plan (e.g. a stream self-join): the epoch input must then be
+        /// cloned rather than moved out of the input map.
+        shared: bool,
+    },
+    Filter {
+        input: Box<IncNode>,
+        predicate: Expr,
+    },
+    Project {
+        input: Box<IncNode>,
+        exprs: Vec<Expr>,
+        schema: SchemaRef,
+    },
+    Watermark {
+        input: Box<IncNode>,
+        column: String,
+        delay_us: i64,
+    },
+    StaticJoin {
+        stream: Box<IncNode>,
+        static_plan: Arc<LogicalPlan>,
+        cache: Option<RecordBatch>,
+        stream_is_left: bool,
+        join_type: JoinType,
+        on: Vec<(Expr, Expr)>,
+        /// Output columns to materialize (indices into the full join
+        /// output); filled in when a parent aggregation only reads a
+        /// subset, so join keys are never copied into the output.
+        output_projection: Option<Vec<usize>>,
+        schema: SchemaRef,
+    },
+    StreamJoin {
+        left: Box<IncNode>,
+        right: Box<IncNode>,
+        exec: StreamJoinExec,
+    },
+    Aggregate {
+        input: Box<IncNode>,
+        op_id: String,
+        agg: HashAggregator,
+    },
+    MapGroups {
+        input: Box<IncNode>,
+        op_id: String,
+        op: StatefulOpDef,
+    },
+    Distinct {
+        input: Box<IncNode>,
+        op_id: String,
+        schema: SchemaRef,
+    },
+    Sort {
+        input: Box<IncNode>,
+        keys: Vec<SortKey>,
+    },
+    Limit {
+        input: Box<IncNode>,
+        n: usize,
+    },
+}
+
+impl IncNode {
+    /// The operator's output schema.
+    pub fn schema(&self) -> SchemaRef {
+        match self {
+            IncNode::StreamScan {
+                schema, projection, ..
+            } => match projection {
+                Some(idx) => Arc::new(schema.project(idx).expect("validated projection")),
+                None => schema.clone(),
+            },
+            IncNode::Filter { input, .. }
+            | IncNode::Watermark { input, .. }
+            | IncNode::Sort { input, .. }
+            | IncNode::Limit { input, .. } => input.schema(),
+            IncNode::Project { schema, .. } => schema.clone(),
+            IncNode::StaticJoin { schema, .. } => schema.clone(),
+            IncNode::StreamJoin { exec, .. } => exec.output_schema.clone(),
+            IncNode::Aggregate { agg, .. } => agg.output_schema().clone(),
+            IncNode::MapGroups { op, .. } => op.output_schema.clone(),
+            IncNode::Distinct { schema, .. } => schema.clone(),
+        }
+    }
+
+    /// Execute one epoch, returning this operator's output delta (or,
+    /// for Complete-mode aggregates and their parents, the full
+    /// table).
+    pub fn execute_epoch(&mut self, ctx: &mut EpochContext<'_>) -> Result<RecordBatch> {
+        match self {
+            IncNode::StreamScan {
+                name,
+                schema,
+                projection,
+                shared,
+            } => {
+                let projected_schema = match projection {
+                    Some(idx) => Arc::new(schema.project(idx)?),
+                    None => schema.clone(),
+                };
+                let batch = if *shared {
+                    ctx.inputs.get(name).cloned()
+                } else {
+                    ctx.inputs.remove(name)
+                };
+                let batch = match batch {
+                    Some(b) => b,
+                    None => return Ok(RecordBatch::empty(projected_schema)),
+                };
+                // The engine pushes the projection into the source
+                // read, so the batch usually arrives pre-projected.
+                if batch.schema().fields() == projected_schema.fields() {
+                    Ok(batch)
+                } else {
+                    match projection {
+                        Some(idx) => batch.project(idx),
+                        None => Ok(batch),
+                    }
+                }
+            }
+            IncNode::Filter { input, predicate } => {
+                let batch = input.execute_epoch(ctx)?;
+                ops::filter_batch(&batch, predicate)
+            }
+            IncNode::Project { input, exprs, .. } => {
+                // Fuse Project(Filter(x)): never materialize filtered
+                // columns the projection drops.
+                if let IncNode::Filter {
+                    input: filter_input,
+                    predicate,
+                } = input.as_mut()
+                {
+                    let batch = filter_input.execute_epoch(ctx)?;
+                    return ops::filter_project_batch(&batch, predicate, exprs);
+                }
+                let batch = input.execute_epoch(ctx)?;
+                ops::project_batch(&batch, exprs)
+            }
+            IncNode::Watermark {
+                input,
+                column,
+                delay_us: _,
+            } => {
+                let batch = input.execute_epoch(ctx)?;
+                let col = batch.column_by_name(column)?;
+                // Observe the max event time for the watermark update
+                // at the epoch boundary.
+                let mut max_seen = i64::MIN;
+                let tc = col.as_i64()?;
+                for i in 0..tc.len() {
+                    if let Some(&v) = tc.get(i) {
+                        max_seen = max_seen.max(v);
+                    }
+                }
+                if max_seen > i64::MIN {
+                    ctx.tracker.observe(column, max_seen);
+                }
+                // Drop rows already later than the in-force watermark:
+                // downstream stateful operators have (or may have)
+                // finalized their groups.
+                if ctx.watermark_us > i64::MIN {
+                    let wm = ctx.watermark_us;
+                    let mask: Vec<bool> = (0..tc.len())
+                        .map(|i| tc.get(i).is_none_or(|&v| v >= wm))
+                        .collect();
+                    batch.filter(&mask)
+                } else {
+                    Ok(batch)
+                }
+            }
+            IncNode::StaticJoin {
+                stream,
+                static_plan,
+                cache,
+                stream_is_left,
+                join_type,
+                on,
+                output_projection,
+                ..
+            } => {
+                let delta = stream.execute_epoch(ctx)?;
+                if cache.is_none() {
+                    // The static side is computed once per query run
+                    // using the batch engine (§3: "compute a static
+                    // table [...] and join it with a stream").
+                    *cache = Some(ss_exec::execute(static_plan, ctx.statics)?);
+                }
+                let static_batch = cache.as_ref().expect("just filled");
+                let proj = output_projection.as_deref();
+                if *stream_is_left {
+                    hash_join_projected(&delta, static_batch, *join_type, on, proj)
+                } else {
+                    hash_join_projected(static_batch, &delta, *join_type, on, proj)
+                }
+            }
+            IncNode::StreamJoin { left, right, exec } => {
+                let l = left.execute_epoch(ctx)?;
+                let r = right.execute_epoch(ctx)?;
+                exec.execute_epoch(&l, &r, ctx.store, ctx.watermark_us)
+            }
+            IncNode::Aggregate { input, op_id, agg } => {
+                let delta = input.execute_epoch(ctx)?;
+                agg.update_batch(&delta)?;
+                let changed = agg.take_changed();
+                // Write-through: changed groups to the state store.
+                {
+                    let op = ctx.store.operator(op_id);
+                    for key in &changed {
+                        let states = agg
+                            .state_for_key(key)
+                            .ok_or_else(|| SsError::Internal("changed key missing".into()))?;
+                        op.put(key.clone(), StateEntry::new(states));
+                    }
+                }
+                match ctx.output_mode {
+                    OutputMode::Complete => agg.finish_all(),
+                    OutputMode::Update => {
+                        let out = agg.output_for_keys(&changed)?;
+                        if agg.is_windowed() && ctx.watermark_us > i64::MIN {
+                            let evicted = agg.evict_expired(ctx.watermark_us);
+                            let op = ctx.store.operator(op_id);
+                            for k in &evicted {
+                                op.remove(k);
+                            }
+                        }
+                        Ok(out)
+                    }
+                    OutputMode::Append => {
+                        let out = agg.drain_finalized(ctx.watermark_us)?;
+                        let op = ctx.store.operator(op_id);
+                        // drain_finalized removed groups from the
+                        // aggregator; mirror in the store by removing
+                        // every stored key no longer live.
+                        let live: FxHashSet<Row> =
+                            agg.state_entries().map(|(k, _)| k.clone()).collect();
+                        let dead: Vec<Row> = op
+                            .iter()
+                            .map(|(k, _)| k.clone())
+                            .filter(|k| !live.contains(k))
+                            .collect();
+                        for k in dead {
+                            op.remove(&k);
+                        }
+                        Ok(out)
+                    }
+                }
+            }
+            IncNode::MapGroups { input, op_id, op } => {
+                let delta = input.execute_epoch(ctx)?;
+                execute_map_groups(
+                    op,
+                    op_id,
+                    &delta,
+                    ctx.store,
+                    ctx.watermark_us,
+                    ctx.processing_time_us,
+                )
+            }
+            IncNode::Distinct {
+                input,
+                op_id,
+                schema,
+            } => {
+                let delta = input.execute_epoch(ctx)?;
+                let op = ctx.store.operator(op_id);
+                let mut keep = Vec::with_capacity(delta.num_rows());
+                for i in 0..delta.num_rows() {
+                    let row = delta.row(i);
+                    if op.get(&row).is_none() {
+                        op.put(row, StateEntry::new(vec![]));
+                        keep.push(true);
+                    } else {
+                        keep.push(false);
+                    }
+                }
+                let out = delta.filter(&keep)?;
+                debug_assert_eq!(out.schema().fields(), schema.fields());
+                Ok(out)
+            }
+            IncNode::Sort { input, keys } => {
+                let batch = input.execute_epoch(ctx)?;
+                ops::sort_batch(&batch, keys)
+            }
+            IncNode::Limit { input, n } => {
+                let batch = input.execute_epoch(ctx)?;
+                ops::limit_batch(&batch, *n)
+            }
+        }
+    }
+
+    /// Rebuild in-memory operator state from the (restored) state
+    /// store — §6.1 step 4.
+    pub fn restore_state(&mut self, store: &mut StateStore) -> Result<()> {
+        match self {
+            IncNode::Aggregate { input, op_id, agg } => {
+                agg.clear();
+                let entries: Vec<(Row, Vec<Row>)> = store
+                    .operator(op_id)
+                    .iter()
+                    .map(|(k, e)| (k.clone(), e.values.clone()))
+                    .collect();
+                for (key, states) in entries {
+                    agg.restore_entry(key, &states)?;
+                }
+                input.restore_state(store)
+            }
+            IncNode::StaticJoin { stream, cache, .. } => {
+                *cache = None;
+                stream.restore_state(store)
+            }
+            IncNode::Filter { input, .. }
+            | IncNode::Project { input, .. }
+            | IncNode::Watermark { input, .. }
+            | IncNode::MapGroups { input, .. }
+            | IncNode::Distinct { input, .. }
+            | IncNode::Sort { input, .. }
+            | IncNode::Limit { input, .. } => input.restore_state(store),
+            IncNode::StreamJoin { left, right, .. } => {
+                left.restore_state(store)?;
+                right.restore_state(store)
+            }
+            IncNode::StreamScan { .. } => Ok(()),
+        }
+    }
+
+    /// Column projections to push into each source read: scan name →
+    /// projection (`None` = all columns; a name scanned with different
+    /// projections also maps to `None`).
+    pub fn scan_projections(&self) -> HashMap<String, Option<Vec<usize>>> {
+        let mut out: HashMap<String, Option<Vec<usize>>> = HashMap::new();
+        self.collect_scan_projections(&mut out);
+        out
+    }
+
+    fn collect_scan_projections(&self, out: &mut HashMap<String, Option<Vec<usize>>>) {
+        match self {
+            IncNode::StreamScan {
+                name, projection, ..
+            } => match out.get(name) {
+                None => {
+                    out.insert(name.clone(), projection.clone());
+                }
+                Some(existing) if *existing != *projection => {
+                    out.insert(name.clone(), None);
+                }
+                Some(_) => {}
+            },
+            IncNode::StreamJoin { left, right, .. } => {
+                left.collect_scan_projections(out);
+                right.collect_scan_projections(out);
+            }
+            IncNode::Filter { input, .. }
+            | IncNode::Project { input, .. }
+            | IncNode::Watermark { input, .. }
+            | IncNode::StaticJoin { stream: input, .. }
+            | IncNode::Aggregate { input, .. }
+            | IncNode::MapGroups { input, .. }
+            | IncNode::Distinct { input, .. }
+            | IncNode::Sort { input, .. }
+            | IncNode::Limit { input, .. } => input.collect_scan_projections(out),
+        }
+    }
+
+    /// Any processing-time timeouts pending at `processing_time_us`?
+    /// (Used to run an epoch even when no new data arrived.)
+    pub fn has_pending_timeouts(
+        &self,
+        store: &mut StateStore,
+        processing_time_us: i64,
+    ) -> bool {
+        match self {
+            IncNode::MapGroups { input, op_id, op } => {
+                let pending = matches!(
+                    op.timeout,
+                    ss_plan::StateTimeout::ProcessingTime
+                ) && !store
+                    .operator(op_id)
+                    .expired_keys(processing_time_us)
+                    .is_empty();
+                pending || input.has_pending_timeouts(store, processing_time_us)
+            }
+            IncNode::StreamScan { .. } => false,
+            IncNode::StreamJoin { left, right, .. } => {
+                left.has_pending_timeouts(store, processing_time_us)
+                    || right.has_pending_timeouts(store, processing_time_us)
+            }
+            IncNode::Filter { input, .. }
+            | IncNode::Project { input, .. }
+            | IncNode::Watermark { input, .. }
+            | IncNode::StaticJoin { stream: input, .. }
+            | IncNode::Aggregate { input, .. }
+            | IncNode::Distinct { input, .. }
+            | IncNode::Sort { input, .. }
+            | IncNode::Limit { input, .. } => {
+                input.has_pending_timeouts(store, processing_time_us)
+            }
+        }
+    }
+
+    /// Positions (in the final output schema) of the columns that act
+    /// as the upsert key for Update-mode sinks: the aggregate's group
+    /// columns when they survive to the output, else the whole row.
+    pub fn update_key_columns(&self, final_schema: &ss_common::Schema) -> Vec<usize> {
+        // Find the aggregate (there is at most one, per §5.2).
+        fn find_agg(node: &IncNode) -> Option<&HashAggregator> {
+            match node {
+                IncNode::Aggregate { agg, .. } => Some(agg),
+                IncNode::StreamScan { .. } => None,
+                IncNode::StreamJoin { left, right, .. } => {
+                    find_agg(left).or_else(|| find_agg(right))
+                }
+                IncNode::Filter { input, .. }
+                | IncNode::Project { input, .. }
+                | IncNode::Watermark { input, .. }
+                | IncNode::StaticJoin { stream: input, .. }
+                | IncNode::MapGroups { input, .. }
+                | IncNode::Distinct { input, .. }
+                | IncNode::Sort { input, .. }
+                | IncNode::Limit { input, .. } => find_agg(input),
+            }
+        }
+        if let Some(agg) = find_agg(self) {
+            let agg_schema = agg.output_schema();
+            // Group columns are the prefix of the aggregate schema,
+            // before the aggregate expressions.
+            let key_names: Vec<&str> = agg_schema
+                .fields()
+                .iter()
+                .take(agg.num_key_columns())
+                .map(|f| f.name.as_str())
+                .collect();
+            let positions: Vec<usize> = key_names
+                .iter()
+                .filter_map(|n| final_schema.index_of(n).ok())
+                .collect();
+            if !positions.is_empty() {
+                return positions;
+            }
+        }
+        (0..final_schema.len()).collect()
+    }
+}
+
+/// Map an analyzed, optimized logical plan to an incremental operator
+/// tree. `counter` provides stable operator ids (depth-first order, so
+/// the same query shape always gets the same ids across restarts).
+pub fn incrementalize(plan: &LogicalPlan, counter: &mut usize) -> Result<IncNode> {
+    // Sources scanned more than once (stream self-joins) must clone
+    // their epoch input; unique scans take it by move.
+    let mut scan_counts: HashMap<String, usize> = HashMap::new();
+    for s in plan.streaming_scans() {
+        *scan_counts.entry(s).or_insert(0) += 1;
+    }
+    inc_node(plan, counter, &scan_counts)
+}
+
+fn inc_node(
+    plan: &LogicalPlan,
+    counter: &mut usize,
+    scan_counts: &HashMap<String, usize>,
+) -> Result<IncNode> {
+    let next_id = |prefix: &str, counter: &mut usize| {
+        let id = format!("{prefix}-{counter}");
+        *counter += 1;
+        id
+    };
+    Ok(match plan {
+        LogicalPlan::Scan {
+            name,
+            schema,
+            streaming,
+            projection,
+        } => {
+            if !streaming {
+                return Err(SsError::Internal(format!(
+                    "static scan `{name}` reached the incrementalizer outside a join"
+                )));
+            }
+            IncNode::StreamScan {
+                name: name.clone(),
+                schema: schema.clone(),
+                projection: projection.clone(),
+                shared: scan_counts.get(name).copied().unwrap_or(0) > 1,
+            }
+        }
+        LogicalPlan::Filter { input, predicate } => IncNode::Filter {
+            input: Box::new(inc_node(input, counter, scan_counts)?),
+            predicate: predicate.clone(),
+        },
+        LogicalPlan::Project { input, exprs } => {
+            let schema = plan.schema()?;
+            IncNode::Project {
+                input: Box::new(inc_node(input, counter, scan_counts)?),
+                exprs: exprs.clone(),
+                schema,
+            }
+        }
+        LogicalPlan::Watermark {
+            input,
+            column,
+            delay_us,
+        } => IncNode::Watermark {
+            input: Box::new(inc_node(input, counter, scan_counts)?),
+            column: column.clone(),
+            delay_us: *delay_us,
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group_exprs,
+            aggregates,
+        } => {
+            let mut child = inc_node(input, counter, scan_counts)?;
+            // Fuse: when the aggregate sits directly on a stream–static
+            // join, the join only materializes the columns the
+            // aggregation reads (join keys are hashed, not output).
+            if let IncNode::StaticJoin {
+                output_projection,
+                schema,
+                ..
+            } = &mut child
+            {
+                let mut needed: Vec<String> = Vec::new();
+                for g in group_exprs {
+                    needed.extend(g.referenced_columns());
+                }
+                for a in aggregates {
+                    if let Some(arg) = &a.arg {
+                        needed.extend(arg.referenced_columns());
+                    }
+                }
+                let mut idx: Vec<usize> = needed
+                    .iter()
+                    .filter_map(|n| schema.index_of(n).ok())
+                    .collect();
+                idx.sort_unstable();
+                idx.dedup();
+                if idx.len() < schema.len() && needed.iter().all(|n| schema.contains(n)) {
+                    *schema = Arc::new(schema.project(&idx)?);
+                    *output_projection = Some(idx);
+                }
+            }
+            let agg = HashAggregator::new(
+                child.schema(),
+                group_exprs.clone(),
+                aggregates.clone(),
+            )?;
+            IncNode::Aggregate {
+                input: Box::new(child),
+                op_id: next_id("agg", counter),
+                agg,
+            }
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            join_type,
+            on,
+        } => {
+            let left_streaming = left.is_streaming();
+            let right_streaming = right.is_streaming();
+            match (left_streaming, right_streaming) {
+                (true, true) => {
+                    let watermark_cols: Vec<String> =
+                        plan.watermarks().into_iter().map(|(c, _)| c).collect();
+                    let l = inc_node(left, counter, scan_counts)?;
+                    let r = inc_node(right, counter, scan_counts)?;
+                    let lschema = l.schema();
+                    let rschema = r.schema();
+                    let time_col_of = |s: &ss_common::Schema| {
+                        watermark_cols
+                            .iter()
+                            .find_map(|c| s.index_of(c).ok())
+                    };
+                    let exec = StreamJoinExec::new(
+                        next_id("join", counter),
+                        *join_type,
+                        JoinSide {
+                            schema: lschema.clone(),
+                            key_exprs: on.iter().map(|(a, _)| a.clone()).collect(),
+                            time_col: time_col_of(&lschema),
+                        },
+                        JoinSide {
+                            schema: rschema.clone(),
+                            key_exprs: on.iter().map(|(_, b)| b.clone()).collect(),
+                            time_col: time_col_of(&rschema),
+                        },
+                    );
+                    IncNode::StreamJoin {
+                        left: Box::new(l),
+                        right: Box::new(r),
+                        exec,
+                    }
+                }
+                (true, false) => IncNode::StaticJoin {
+                    stream: Box::new(inc_node(left, counter, scan_counts)?),
+                    static_plan: right.clone(),
+                    cache: None,
+                    stream_is_left: true,
+                    join_type: *join_type,
+                    on: on.clone(),
+                    output_projection: None,
+                    schema: plan.schema()?,
+                },
+                (false, true) => IncNode::StaticJoin {
+                    stream: Box::new(inc_node(right, counter, scan_counts)?),
+                    static_plan: left.clone(),
+                    cache: None,
+                    stream_is_left: false,
+                    join_type: *join_type,
+                    on: on.clone(),
+                    output_projection: None,
+                    schema: plan.schema()?,
+                },
+                (false, false) => {
+                    return Err(SsError::Internal(
+                        "fully static join reached the incrementalizer".into(),
+                    ))
+                }
+            }
+        }
+        LogicalPlan::MapGroupsWithState { input, op } => IncNode::MapGroups {
+            input: Box::new(inc_node(input, counter, scan_counts)?),
+            op_id: next_id("mgws", counter),
+            op: op.clone(),
+        },
+        LogicalPlan::Distinct { input } => {
+            let child = inc_node(input, counter, scan_counts)?;
+            let schema = child.schema();
+            IncNode::Distinct {
+                input: Box::new(child),
+                op_id: next_id("dedup", counter),
+                schema,
+            }
+        }
+        LogicalPlan::Sort { input, keys } => IncNode::Sort {
+            input: Box::new(inc_node(input, counter, scan_counts)?),
+            keys: keys.clone(),
+        },
+        LogicalPlan::Limit { input, n } => IncNode::Limit {
+            input: Box::new(inc_node(input, counter, scan_counts)?),
+            n: *n,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_common::time::secs;
+    use ss_common::{row, DataType, Field, Schema, Value};
+    use ss_exec::MemoryCatalog;
+    use ss_expr::{col, count_star, lit, window};
+    use ss_plan::LogicalPlanBuilder;
+    use ss_state::MemoryBackend;
+
+    fn events_schema() -> SchemaRef {
+        Schema::of(vec![
+            Field::new("country", DataType::Utf8),
+            Field::new("time", DataType::Timestamp),
+        ])
+    }
+
+    fn events() -> LogicalPlanBuilder {
+        LogicalPlanBuilder::scan("events", events_schema(), true)
+    }
+
+    struct Harness {
+        node: IncNode,
+        store: StateStore,
+        tracker: WatermarkTracker,
+        statics: MemoryCatalog,
+        output_mode: OutputMode,
+        epoch: u64,
+    }
+
+    impl Harness {
+        fn new(plan: &LogicalPlan, output_mode: OutputMode) -> Harness {
+            let mut counter = 0;
+            Harness {
+                node: incrementalize(plan, &mut counter).unwrap(),
+                store: StateStore::new(Arc::new(MemoryBackend::new())),
+                tracker: WatermarkTracker::new(&plan.watermarks()),
+                statics: MemoryCatalog::new(),
+                output_mode,
+                epoch: 0,
+            }
+        }
+
+        fn run(&mut self, rows: &[Row]) -> RecordBatch {
+            self.epoch += 1;
+            let mut inputs = HashMap::new();
+            inputs.insert(
+                "events".to_string(),
+                RecordBatch::from_rows(events_schema(), rows).unwrap(),
+            );
+            let mut ctx = EpochContext {
+                epoch: self.epoch,
+                inputs: &mut inputs,
+                statics: &self.statics,
+                store: &mut self.store,
+                watermark_us: self.tracker.current(),
+                processing_time_us: self.epoch as i64 * 1_000_000,
+                output_mode: self.output_mode,
+                tracker: &mut self.tracker,
+            };
+            let out = self.node.execute_epoch(&mut ctx).unwrap();
+            self.tracker.advance();
+            out
+        }
+    }
+
+    #[test]
+    fn update_mode_emits_changed_groups_only() {
+        let plan = events()
+            .aggregate(vec![col("country")], vec![count_star()])
+            .build();
+        let mut h = Harness::new(&plan, OutputMode::Update);
+        let out = h.run(&[
+            row!["CA", Value::Timestamp(0)],
+            row!["US", Value::Timestamp(0)],
+        ]);
+        assert_eq!(out.to_rows(), vec![row!["CA", 1i64], row!["US", 1i64]]);
+        let out = h.run(&[row!["CA", Value::Timestamp(0)]]);
+        // Only CA changed.
+        assert_eq!(out.to_rows(), vec![row!["CA", 2i64]]);
+        // Empty epoch: nothing changed.
+        let out = h.run(&[]);
+        assert_eq!(out.num_rows(), 0);
+    }
+
+    #[test]
+    fn complete_mode_emits_whole_table() {
+        let plan = events()
+            .aggregate(vec![col("country")], vec![count_star()])
+            .build();
+        let mut h = Harness::new(&plan, OutputMode::Complete);
+        h.run(&[row!["CA", Value::Timestamp(0)]]);
+        let out = h.run(&[row!["US", Value::Timestamp(0)]]);
+        assert_eq!(out.to_rows(), vec![row!["CA", 1i64], row!["US", 1i64]]);
+    }
+
+    #[test]
+    fn append_mode_emits_on_watermark_passing() {
+        let plan = events()
+            .with_watermark("time", "5 seconds")
+            .unwrap()
+            .aggregate(
+                vec![window(col("time"), "10 seconds").unwrap()],
+                vec![count_star()],
+            )
+            .build();
+        let mut h = Harness::new(&plan, OutputMode::Append);
+        // Epoch 1: events in window [0,10); watermark still -inf.
+        let out = h.run(&[
+            row!["CA", Value::Timestamp(secs(1))],
+            row!["CA", Value::Timestamp(secs(9))],
+        ]);
+        assert_eq!(out.num_rows(), 0);
+        // Epoch 2: event at 21s pushes watermark to 16s (21-5) at the
+        // *end* of the epoch; during the epoch the watermark is 4s
+        // (9-5), so [0,10) is not yet closed.
+        let out = h.run(&[row!["CA", Value::Timestamp(secs(21))]]);
+        assert_eq!(out.num_rows(), 0);
+        // Epoch 3: watermark now 16s >= 10s: window [0,10) finalizes.
+        let out = h.run(&[]);
+        assert_eq!(
+            out.to_rows(),
+            vec![row![Value::Timestamp(0), Value::Timestamp(secs(10)), 2i64]]
+        );
+        // State for the closed window is gone (also from the store).
+        let out = h.run(&[]);
+        assert_eq!(out.num_rows(), 0);
+    }
+
+    #[test]
+    fn late_rows_are_dropped_at_the_watermark_operator() {
+        let plan = events()
+            .with_watermark("time", "0 seconds")
+            .unwrap()
+            .aggregate(
+                vec![window(col("time"), "10 seconds").unwrap()],
+                vec![count_star()],
+            )
+            .build();
+        let mut h = Harness::new(&plan, OutputMode::Update);
+        h.run(&[row!["CA", Value::Timestamp(secs(100))]]); // wm -> 100s
+        // A very late row (t=1s) must not recreate evicted state.
+        let out = h.run(&[row!["CA", Value::Timestamp(secs(1))]]);
+        assert_eq!(out.num_rows(), 0);
+    }
+
+    #[test]
+    fn stream_static_join_caches_static_side() {
+        let campaigns_schema = Schema::of(vec![
+            Field::new("c_country", DataType::Utf8),
+            Field::new("campaign", DataType::Utf8),
+        ]);
+        let static_side = LogicalPlanBuilder::scan("campaigns", campaigns_schema.clone(), false);
+        let plan = events()
+            .join(
+                static_side,
+                JoinType::Inner,
+                vec![(col("country"), col("c_country"))],
+            )
+            .build();
+        let mut h = Harness::new(&plan, OutputMode::Append);
+        h.statics.register(
+            "campaigns",
+            vec![RecordBatch::from_rows(
+                campaigns_schema,
+                &[row!["CA", "camp1"]],
+            )
+            .unwrap()],
+        );
+        let out = h.run(&[
+            row!["CA", Value::Timestamp(0)],
+            row!["US", Value::Timestamp(0)],
+        ]);
+        assert_eq!(out.to_rows(), vec![row!["CA", Value::Timestamp(0), "CA", "camp1"]]);
+        // Second epoch works off the cache.
+        let out = h.run(&[row!["CA", Value::Timestamp(1)]]);
+        assert_eq!(out.num_rows(), 1);
+    }
+
+    #[test]
+    fn distinct_is_stateful_across_epochs() {
+        let plan = events().project(vec![col("country")]).distinct().build();
+        let mut h = Harness::new(&plan, OutputMode::Append);
+        let out = h.run(&[
+            row!["CA", Value::Timestamp(0)],
+            row!["CA", Value::Timestamp(1)],
+        ]);
+        assert_eq!(out.to_rows(), vec![row!["CA"]]);
+        let out = h.run(&[
+            row!["CA", Value::Timestamp(2)],
+            row!["US", Value::Timestamp(3)],
+        ]);
+        assert_eq!(out.to_rows(), vec![row!["US"]]);
+    }
+
+    #[test]
+    fn aggregate_state_survives_restore() {
+        let plan = events()
+            .aggregate(vec![col("country")], vec![count_star()])
+            .build();
+        let mut h = Harness::new(&plan, OutputMode::Complete);
+        h.run(&[row!["CA", Value::Timestamp(0)]]);
+        h.store.checkpoint(1).unwrap();
+        h.run(&[row!["CA", Value::Timestamp(0)]]);
+        // Roll back to the checkpoint and rebuild the operator.
+        h.store.restore(1).unwrap();
+        h.node.restore_state(&mut h.store).unwrap();
+        let out = h.run(&[row!["CA", Value::Timestamp(0)]]);
+        // 1 (restored) + 1 (new) = 2, not 3.
+        assert_eq!(out.to_rows(), vec![row!["CA", 2i64]]);
+    }
+
+    #[test]
+    fn update_key_columns_prefer_group_keys() {
+        let plan = events()
+            .aggregate(vec![col("country")], vec![count_star()])
+            .build();
+        let h = Harness::new(&plan, OutputMode::Update);
+        let schema = h.node.schema();
+        assert_eq!(h.node.update_key_columns(&schema), vec![0]);
+        // Whole-row fallback for key-less plans.
+        let plan2 = events().filter(col("country").eq(lit("CA"))).build();
+        let h2 = Harness::new(&plan2, OutputMode::Append);
+        let s2 = h2.node.schema();
+        assert_eq!(h2.node.update_key_columns(&s2), vec![0, 1]);
+    }
+
+    #[test]
+    fn static_scan_alone_is_rejected() {
+        let plan = LogicalPlanBuilder::scan("t", events_schema(), false).build();
+        let mut c = 0;
+        assert!(incrementalize(&plan, &mut c).is_err());
+    }
+}

@@ -1,0 +1,138 @@
+//! Query progress metrics (§7.4 Monitoring).
+//!
+//! "Streaming systems need to give operators clear visibility into
+//! system load, backlogs, state size and other metrics." Every epoch
+//! produces one [`QueryProgress`] record; the query handle keeps a
+//! bounded history and exposes the latest snapshot.
+
+use std::collections::VecDeque;
+
+/// Metrics for one executed epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryProgress {
+    pub epoch: u64,
+    /// Rows read from all sources this epoch.
+    pub num_input_rows: u64,
+    /// Rows delivered to the sink this epoch.
+    pub num_output_rows: u64,
+    /// Wall-clock duration of the epoch (µs).
+    pub batch_duration_us: i64,
+    /// Input throughput for the epoch (rows/s).
+    pub input_rows_per_second: f64,
+    /// The event-time watermark in force (µs; `i64::MIN` before data).
+    pub watermark_us: i64,
+    /// Total keys across all stateful operators after the epoch — the
+    /// "state size" metric of §2.3.
+    pub state_rows: u64,
+    /// Records known to exist in the sources but not yet processed
+    /// (backlog).
+    pub backlog_rows: u64,
+}
+
+impl QueryProgress {
+    /// Render as a one-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "epoch={} in={} out={} dur={:.1}ms rate={:.0}/s state={} backlog={}",
+            self.epoch,
+            self.num_input_rows,
+            self.num_output_rows,
+            self.batch_duration_us as f64 / 1000.0,
+            self.input_rows_per_second,
+            self.state_rows,
+            self.backlog_rows
+        )
+    }
+}
+
+/// Bounded history of progress records.
+#[derive(Debug, Default)]
+pub struct ProgressHistory {
+    records: VecDeque<QueryProgress>,
+    capacity: usize,
+    total_input_rows: u64,
+    total_output_rows: u64,
+}
+
+impl ProgressHistory {
+    pub fn new(capacity: usize) -> ProgressHistory {
+        ProgressHistory {
+            records: VecDeque::with_capacity(capacity.min(1024)),
+            capacity: capacity.max(1),
+            total_input_rows: 0,
+            total_output_rows: 0,
+        }
+    }
+
+    pub fn push(&mut self, p: QueryProgress) {
+        self.total_input_rows += p.num_input_rows;
+        self.total_output_rows += p.num_output_rows;
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+        }
+        self.records.push_back(p);
+    }
+
+    pub fn last(&self) -> Option<&QueryProgress> {
+        self.records.back()
+    }
+
+    pub fn all(&self) -> impl Iterator<Item = &QueryProgress> {
+        self.records.iter()
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Cumulative rows across all epochs (not just retained ones).
+    pub fn total_input_rows(&self) -> u64 {
+        self.total_input_rows
+    }
+
+    pub fn total_output_rows(&self) -> u64 {
+        self.total_output_rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn progress(epoch: u64, rows: u64) -> QueryProgress {
+        QueryProgress {
+            epoch,
+            num_input_rows: rows,
+            num_output_rows: rows / 2,
+            batch_duration_us: 1000,
+            input_rows_per_second: rows as f64 * 1000.0,
+            watermark_us: 0,
+            state_rows: 3,
+            backlog_rows: 0,
+        }
+    }
+
+    #[test]
+    fn history_is_bounded_but_totals_are_not() {
+        let mut h = ProgressHistory::new(2);
+        for e in 1..=5 {
+            h.push(progress(e, 10));
+        }
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.last().unwrap().epoch, 5);
+        assert_eq!(h.all().next().unwrap().epoch, 4);
+        assert_eq!(h.total_input_rows(), 50);
+        assert_eq!(h.total_output_rows(), 25);
+    }
+
+    #[test]
+    fn summary_is_readable() {
+        let s = progress(3, 100).summary();
+        assert!(s.contains("epoch=3"));
+        assert!(s.contains("in=100"));
+    }
+}

@@ -1,0 +1,320 @@
+//! Query handles and the query manager (§3, §7).
+//!
+//! A [`StreamingQuery`] wraps a running [`MicroBatchExecution`] in one
+//! of two modes:
+//!
+//! * **Sync** — the caller drives epochs explicitly
+//!   ([`StreamingQuery::run_epoch`] / [`StreamingQuery::process_available`]).
+//!   Deterministic; what tests, benchmarks and run-once ("discontinuous
+//!   processing", §7.3) deployments use.
+//! * **Background** — a thread fires the trigger on schedule
+//!   (§4: "Triggers control how often the engine will attempt to
+//!   compute a new result").
+//!
+//! [`StreamingQueryManager`] tracks all queries of an application
+//! ("users can manage multiple streaming queries dynamically", §1).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+use ss_common::{Result, SsError};
+
+use crate::metrics::QueryProgress;
+use crate::microbatch::{EpochRun, MicroBatchExecution};
+
+/// When the engine attempts a new incremental computation (§4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TriggerPolicy {
+    /// Fire every interval (microbatch default).
+    ProcessingTime(Duration),
+    /// Drain what is available once, then stop — the "run-once trigger
+    /// for cost savings" of §7.3.
+    Once,
+}
+
+enum QueryInner {
+    Sync(Box<MicroBatchExecution>),
+    Background {
+        engine: Arc<Mutex<MicroBatchExecution>>,
+        stop: Arc<AtomicBool>,
+        handle: Option<JoinHandle<()>>,
+        error: Arc<Mutex<Option<String>>>,
+    },
+}
+
+/// A handle to one streaming query.
+pub struct StreamingQuery {
+    name: String,
+    inner: QueryInner,
+}
+
+impl StreamingQuery {
+    /// Wrap an engine for caller-driven (synchronous) execution.
+    pub fn new_sync(engine: MicroBatchExecution) -> StreamingQuery {
+        StreamingQuery {
+            name: engine.name().to_string(),
+            inner: QueryInner::Sync(Box::new(engine)),
+        }
+    }
+
+    /// Spawn a background thread firing `trigger`.
+    pub fn start_background(engine: MicroBatchExecution, trigger: TriggerPolicy) -> StreamingQuery {
+        let name = engine.name().to_string();
+        let engine = Arc::new(Mutex::new(engine));
+        let stop = Arc::new(AtomicBool::new(false));
+        let error: Arc<Mutex<Option<String>>> = Arc::new(Mutex::new(None));
+        let handle = {
+            let engine = engine.clone();
+            let stop = stop.clone();
+            let error = error.clone();
+            std::thread::spawn(move || match trigger {
+                TriggerPolicy::Once => {
+                    if let Err(e) = engine.lock().process_available() {
+                        *error.lock() = Some(e.to_string());
+                    }
+                }
+                TriggerPolicy::ProcessingTime(interval) => {
+                    while !stop.load(Ordering::SeqCst) {
+                        let started = Instant::now();
+                        match engine.lock().run_epoch() {
+                            Ok(_) => {}
+                            Err(e) => {
+                                *error.lock() = Some(e.to_string());
+                                return;
+                            }
+                        }
+                        let elapsed = started.elapsed();
+                        if elapsed < interval {
+                            std::thread::park_timeout(interval - elapsed);
+                        }
+                    }
+                }
+            })
+        };
+        StreamingQuery {
+            name,
+            inner: QueryInner::Background {
+                engine,
+                stop,
+                handle: Some(handle),
+                error,
+            },
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn with_engine<R>(&self, f: impl FnOnce(&MicroBatchExecution) -> R) -> R {
+        match &self.inner {
+            QueryInner::Sync(e) => f(e),
+            QueryInner::Background { engine, .. } => f(&engine.lock()),
+        }
+    }
+
+    fn with_engine_mut<R>(&mut self, f: impl FnOnce(&mut MicroBatchExecution) -> R) -> R {
+        match &mut self.inner {
+            QueryInner::Sync(e) => f(e),
+            QueryInner::Background { engine, .. } => f(&mut engine.lock()),
+        }
+    }
+
+    /// Fire one trigger now (sync and background modes both allow
+    /// manual firing; in background mode it interleaves with the
+    /// scheduled trigger under the engine lock).
+    pub fn run_epoch(&mut self) -> Result<EpochRun> {
+        self.check_error()?;
+        self.with_engine_mut(|e| e.run_epoch())
+    }
+
+    /// Drain everything currently available; returns epochs run.
+    pub fn process_available(&mut self) -> Result<u64> {
+        self.check_error()?;
+        self.with_engine_mut(|e| e.process_available())
+    }
+
+    /// Latest progress record (§7.4).
+    pub fn last_progress(&self) -> Option<QueryProgress> {
+        self.with_engine(|e| e.progress().last().cloned())
+    }
+
+    /// Retained progress records, oldest first.
+    pub fn recent_progress(&self) -> Vec<QueryProgress> {
+        self.with_engine(|e| e.progress().all().cloned().collect())
+    }
+
+    /// The last epoch whose offsets are logged.
+    pub fn current_epoch(&self) -> u64 {
+        self.with_engine(|e| e.current_epoch())
+    }
+
+    /// The event-time watermark in force.
+    pub fn watermark_us(&self) -> i64 {
+        self.with_engine(|e| e.watermark_us())
+    }
+
+    /// Total stateful-operator keys.
+    pub fn state_rows(&self) -> u64 {
+        self.with_engine(|e| e.state_rows())
+    }
+
+    /// Manual rollback (§7.2): recompute from the chosen epoch.
+    pub fn rollback_to(&mut self, epoch: u64) -> Result<()> {
+        self.check_error()?;
+        self.with_engine_mut(|e| e.rollback_to(epoch))
+    }
+
+    /// The background thread's failure, if it died.
+    pub fn exception(&self) -> Option<String> {
+        match &self.inner {
+            QueryInner::Sync(_) => None,
+            QueryInner::Background { error, .. } => error.lock().clone(),
+        }
+    }
+
+    fn check_error(&self) -> Result<()> {
+        if let Some(e) = self.exception() {
+            return Err(SsError::Execution(format!(
+                "query `{}` already failed: {e}",
+                self.name
+            )));
+        }
+        Ok(())
+    }
+
+    /// Wait until the query goes idle (all available input processed)
+    /// or the timeout expires. Background mode only makes progress on
+    /// its own; in sync mode this simply drains.
+    pub fn await_idle(&mut self, timeout: Duration) -> Result<bool> {
+        let deadline = Instant::now() + timeout;
+        match &mut self.inner {
+            QueryInner::Sync(_) => {
+                self.process_available()?;
+                Ok(true)
+            }
+            QueryInner::Background { engine, error, .. } => {
+                loop {
+                    if let Some(e) = error.lock().clone() {
+                        return Err(SsError::Execution(e));
+                    }
+                    {
+                        let mut eng = engine.lock();
+                        if matches!(eng.run_epoch()?, EpochRun::Idle) {
+                            return Ok(true);
+                        }
+                    }
+                    if Instant::now() >= deadline {
+                        return Ok(false);
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+        }
+    }
+
+    /// Stop the query (graceful shutdown, §2.3). Idempotent; the sync
+    /// mode simply drops the engine.
+    pub fn stop(mut self) -> Result<()> {
+        self.stop_in_place()
+    }
+
+    fn stop_in_place(&mut self) -> Result<()> {
+        if let QueryInner::Background {
+            stop,
+            handle,
+            error,
+            ..
+        } = &mut self.inner
+        {
+            stop.store(true, Ordering::SeqCst);
+            if let Some(h) = handle.take() {
+                h.thread().unpark();
+                h.join()
+                    .map_err(|_| SsError::Execution("query thread panicked".into()))?;
+            }
+            if let Some(e) = error.lock().clone() {
+                return Err(SsError::Execution(e));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Drop for StreamingQuery {
+    fn drop(&mut self) {
+        let _ = self.stop_in_place();
+    }
+}
+
+/// Tracks every active query in an application.
+#[derive(Default)]
+pub struct StreamingQueryManager {
+    queries: Mutex<HashMap<String, StreamingQuery>>,
+}
+
+impl StreamingQueryManager {
+    pub fn new() -> StreamingQueryManager {
+        StreamingQueryManager::default()
+    }
+
+    /// Register a query; rejects duplicate names.
+    pub fn add(&self, query: StreamingQuery) -> Result<()> {
+        let mut q = self.queries.lock();
+        if q.contains_key(query.name()) {
+            return Err(SsError::Plan(format!(
+                "a query named `{}` is already active",
+                query.name()
+            )));
+        }
+        q.insert(query.name().to_string(), query);
+        Ok(())
+    }
+
+    /// Names of active queries, sorted.
+    pub fn active(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.queries.lock().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Run a closure against one query.
+    pub fn with_query<R>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&mut StreamingQuery) -> R,
+    ) -> Result<R> {
+        let mut q = self.queries.lock();
+        let query = q
+            .get_mut(name)
+            .ok_or_else(|| SsError::Plan(format!("no active query `{name}`")))?;
+        Ok(f(query))
+    }
+
+    /// Stop and deregister one query.
+    pub fn stop_query(&self, name: &str) -> Result<()> {
+        let query = self
+            .queries
+            .lock()
+            .remove(name)
+            .ok_or_else(|| SsError::Plan(format!("no active query `{name}`")))?;
+        query.stop()
+    }
+
+    /// Stop everything (application shutdown).
+    pub fn stop_all(&self) -> Result<()> {
+        let queries: Vec<StreamingQuery> = {
+            let mut q = self.queries.lock();
+            q.drain().map(|(_, v)| v).collect()
+        };
+        for q in queries {
+            q.stop()?;
+        }
+        Ok(())
+    }
+}

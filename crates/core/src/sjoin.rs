@@ -1,0 +1,536 @@
+//! Stream–stream joins (§5.2).
+//!
+//! A symmetric hash join: both sides buffer their rows in the state
+//! store keyed by the join key; each epoch's new rows probe the other
+//! side's buffer. For outer joins, buffered rows carry a `matched`
+//! flag, and when the event-time watermark passes a buffered row's
+//! timestamp the row is evicted — emitting its NULL-extended form if it
+//! is on the outer side and never matched. This is why the analyzer
+//! requires outer stream–stream joins to declare a watermark (§5.2:
+//! "For outer joins against a stream, the join condition must involve
+//! a watermarked column").
+//!
+//! Buffered-row encoding in the state store: the original row plus two
+//! trailing bookkeeping values, `[event_time, matched]`.
+
+use ss_common::{RecordBatch, Result, Row, SchemaRef, SsError, Value};
+use ss_exec::join::{evaluate_keys, join_output_schema};
+use ss_expr::Expr;
+use ss_plan::JoinType;
+use ss_state::{StateEntry, StateStore};
+
+/// One side's configuration.
+#[derive(Debug, Clone)]
+pub struct JoinSide {
+    pub schema: SchemaRef,
+    pub key_exprs: Vec<Expr>,
+    /// Index of the watermarked event-time column in this side's
+    /// schema, used for state eviction. `None` = rows buffered forever
+    /// (legal for inner joins without watermarks, with unbounded
+    /// state — exactly the hazard §4.3.1 describes).
+    pub time_col: Option<usize>,
+}
+
+/// The stream–stream join operator.
+#[derive(Debug, Clone)]
+pub struct StreamJoinExec {
+    pub op_id: String,
+    pub join_type: JoinType,
+    pub left: JoinSide,
+    pub right: JoinSide,
+    pub output_schema: SchemaRef,
+}
+
+impl StreamJoinExec {
+    pub fn new(
+        op_id: String,
+        join_type: JoinType,
+        left: JoinSide,
+        right: JoinSide,
+    ) -> StreamJoinExec {
+        let output_schema = join_output_schema(&left.schema, &right.schema, join_type);
+        StreamJoinExec {
+            op_id,
+            join_type,
+            left,
+            right,
+            output_schema,
+        }
+    }
+
+    fn left_store_id(&self) -> String {
+        format!("{}-left", self.op_id)
+    }
+
+    fn right_store_id(&self) -> String {
+        format!("{}-right", self.op_id)
+    }
+
+    /// Execute one epoch: probe + buffer new rows on both sides, then
+    /// evict expired state against the watermark.
+    pub fn execute_epoch(
+        &self,
+        left_delta: &RecordBatch,
+        right_delta: &RecordBatch,
+        store: &mut StateStore,
+        watermark_us: i64,
+    ) -> Result<RecordBatch> {
+        let mut out: Vec<Row> = Vec::new();
+
+        // New left rows probe the right buffer, then join the buffer.
+        self.probe_and_insert(
+            left_delta,
+            true,
+            store,
+            &mut out,
+        )?;
+        // New right rows probe the left buffer — which now includes
+        // this epoch's left rows, so newL × newR pairs are produced
+        // exactly once.
+        self.probe_and_insert(
+            right_delta,
+            false,
+            store,
+            &mut out,
+        )?;
+
+        // Watermark-based eviction with outer-row emission.
+        if watermark_us > i64::MIN {
+            self.evict(true, store, watermark_us, &mut out)?;
+            self.evict(false, store, watermark_us, &mut out)?;
+        }
+
+        RecordBatch::from_rows(self.output_schema.clone(), &out)
+    }
+
+    /// Total buffered rows (state size metric).
+    pub fn buffered_rows(&self, store: &mut StateStore) -> usize {
+        let l: usize = store
+            .operator(&self.left_store_id())
+            .iter()
+            .map(|(_, e)| e.values.len())
+            .sum();
+        let r: usize = store
+            .operator(&self.right_store_id())
+            .iter()
+            .map(|(_, e)| e.values.len())
+            .sum();
+        l + r
+    }
+
+    fn probe_and_insert(
+        &self,
+        delta: &RecordBatch,
+        is_left: bool,
+        store: &mut StateStore,
+        out: &mut Vec<Row>,
+    ) -> Result<()> {
+        if delta.num_rows() == 0 {
+            return Ok(());
+        }
+        let (side, probe_id, insert_id) = if is_left {
+            (&self.left, self.right_store_id(), self.left_store_id())
+        } else {
+            (&self.right, self.left_store_id(), self.right_store_id())
+        };
+        if delta.schema().fields() != side.schema.fields() {
+            return Err(SsError::Internal(format!(
+                "stream join `{}`: {} delta schema mismatch",
+                self.op_id,
+                if is_left { "left" } else { "right" }
+            )));
+        }
+        let keys = evaluate_keys(delta, &side.key_exprs)?;
+        for (i, key) in keys.into_iter().enumerate() {
+            let row = delta.row(i);
+            let mut matched = false;
+            if let Some(key) = &key {
+                // Probe the opposite buffer.
+                if let Some(entry) = store.operator(&probe_id).get(key).cloned() {
+                    let mut updated = entry.clone();
+                    let mut any_flag_changed = false;
+                    for stored in updated.values.iter_mut() {
+                        let other = decode(stored)?;
+                        matched = true;
+                        if self.join_type != JoinType::Inner && !other.matched {
+                            set_matched(stored);
+                            any_flag_changed = true;
+                        }
+                        let joined = if is_left {
+                            row.concat(&other.row)
+                        } else {
+                            other.row.concat(&row)
+                        };
+                        out.push(joined);
+                    }
+                    if any_flag_changed {
+                        store.operator(&probe_id).put(key.clone(), updated);
+                    }
+                }
+            }
+            // Buffer the new row (NULL-keyed rows are buffered only for
+            // outer-row emission; they can never match).
+            let buffer_key = key.unwrap_or_else(|| Row::new(vec![Value::Null]));
+            let ts = match side.time_col {
+                Some(c) => row.get(c).as_i64()?.unwrap_or(i64::MIN),
+                None => i64::MIN,
+            };
+            let encoded = encode(&row, ts, matched && self.join_type != JoinType::Inner);
+            let op = store.operator(&insert_id);
+            let mut entry = op.get(&buffer_key).cloned().unwrap_or_else(|| StateEntry::new(vec![]));
+            entry.values.push(encoded);
+            op.put(buffer_key, entry);
+        }
+        Ok(())
+    }
+
+    fn evict(
+        &self,
+        is_left: bool,
+        store: &mut StateStore,
+        watermark_us: i64,
+        out: &mut Vec<Row>,
+    ) -> Result<()> {
+        let (side, store_id) = if is_left {
+            (&self.left, self.left_store_id())
+        } else {
+            (&self.right, self.right_store_id())
+        };
+        if side.time_col.is_none() {
+            return Ok(());
+        }
+        let emits_outer = matches!(
+            (self.join_type, is_left),
+            (JoinType::LeftOuter, true) | (JoinType::RightOuter, false)
+        );
+        let other_len = if is_left {
+            self.right.schema.len()
+        } else {
+            self.left.schema.len()
+        };
+        let op = store.operator(&store_id);
+        let mut keys: Vec<Row> = op.iter().map(|(k, _)| k.clone()).collect();
+        keys.sort();
+        for key in keys {
+            let Some(entry) = op.get(&key).cloned() else { continue };
+            let mut kept = Vec::with_capacity(entry.values.len());
+            for stored in &entry.values {
+                let d = decode(stored)?;
+                if d.event_time_us < watermark_us {
+                    if emits_outer && !d.matched {
+                        let nulls = Row::new(vec![Value::Null; other_len]);
+                        let joined = if is_left {
+                            d.row.concat(&nulls)
+                        } else {
+                            nulls.concat(&d.row)
+                        };
+                        out.push(joined);
+                    }
+                } else {
+                    kept.push(stored.clone());
+                }
+            }
+            if kept.len() != entry.values.len() {
+                if kept.is_empty() {
+                    op.remove(&key);
+                } else {
+                    op.put(key, StateEntry::new(kept));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+struct Decoded {
+    row: Row,
+    event_time_us: i64,
+    matched: bool,
+}
+
+fn encode(row: &Row, event_time_us: i64, matched: bool) -> Row {
+    let mut v = row.values().to_vec();
+    v.push(Value::Timestamp(event_time_us));
+    v.push(Value::Boolean(matched));
+    Row::new(v)
+}
+
+fn decode(stored: &Row) -> Result<Decoded> {
+    let n = stored.len();
+    if n < 2 {
+        return Err(SsError::Serde("corrupt buffered join row".into()));
+    }
+    let event_time_us = stored.get(n - 2).as_i64()?.unwrap_or(i64::MIN);
+    let matched = stored.get(n - 1).as_bool()?.unwrap_or(false);
+    Ok(Decoded {
+        row: Row::new(stored.values()[..n - 2].to_vec()),
+        event_time_us,
+        matched,
+    })
+}
+
+fn set_matched(stored: &mut Row) {
+    let n = stored.len();
+    stored.0[n - 1] = Value::Boolean(true);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use ss_common::time::secs;
+    use ss_common::{row, DataType, Field, Schema};
+    use ss_expr::col;
+    use ss_state::MemoryBackend;
+
+    fn left_schema() -> SchemaRef {
+        Schema::of(vec![
+            Field::new("k", DataType::Int64),
+            Field::new("lt", DataType::Timestamp),
+            Field::new("lv", DataType::Utf8),
+        ])
+    }
+
+    fn right_schema() -> SchemaRef {
+        Schema::of(vec![
+            Field::new("k2", DataType::Int64),
+            Field::new("rt", DataType::Timestamp),
+            Field::new("rv", DataType::Utf8),
+        ])
+    }
+
+    fn exec(join_type: JoinType) -> StreamJoinExec {
+        StreamJoinExec::new(
+            "j0".into(),
+            join_type,
+            JoinSide {
+                schema: left_schema(),
+                key_exprs: vec![col("k")],
+                time_col: Some(1),
+            },
+            JoinSide {
+                schema: right_schema(),
+                key_exprs: vec![col("k2")],
+                time_col: Some(1),
+            },
+        )
+    }
+
+    fn lb(rows: &[Row]) -> RecordBatch {
+        RecordBatch::from_rows(left_schema(), rows).unwrap()
+    }
+
+    fn rb(rows: &[Row]) -> RecordBatch {
+        RecordBatch::from_rows(right_schema(), rows).unwrap()
+    }
+
+    fn store() -> StateStore {
+        StateStore::new(Arc::new(MemoryBackend::new()))
+    }
+
+    #[test]
+    fn inner_join_matches_across_epochs() {
+        let j = exec(JoinType::Inner);
+        let mut st = store();
+        // Epoch 1: left row arrives, no match yet.
+        let out = j
+            .execute_epoch(
+                &lb(&[row![1i64, Value::Timestamp(secs(1)), "L1"]]),
+                &rb(&[]),
+                &mut st,
+                i64::MIN,
+            )
+            .unwrap();
+        assert_eq!(out.num_rows(), 0);
+        // Epoch 2: matching right row arrives later.
+        let out = j
+            .execute_epoch(
+                &lb(&[]),
+                &rb(&[row![1i64, Value::Timestamp(secs(2)), "R1"]]),
+                &mut st,
+                i64::MIN,
+            )
+            .unwrap();
+        assert_eq!(
+            out.to_rows(),
+            vec![row![
+                1i64,
+                Value::Timestamp(secs(1)),
+                "L1",
+                1i64,
+                Value::Timestamp(secs(2)),
+                "R1"
+            ]]
+        );
+    }
+
+    #[test]
+    fn same_epoch_pairs_produced_exactly_once() {
+        let j = exec(JoinType::Inner);
+        let mut st = store();
+        let out = j
+            .execute_epoch(
+                &lb(&[row![1i64, Value::Timestamp(0), "L"]]),
+                &rb(&[row![1i64, Value::Timestamp(0), "R"]]),
+                &mut st,
+                i64::MIN,
+            )
+            .unwrap();
+        assert_eq!(out.num_rows(), 1);
+    }
+
+    #[test]
+    fn duplicate_keys_produce_all_pairs() {
+        let j = exec(JoinType::Inner);
+        let mut st = store();
+        j.execute_epoch(
+            &lb(&[
+                row![1i64, Value::Timestamp(0), "L1"],
+                row![1i64, Value::Timestamp(0), "L2"],
+            ]),
+            &rb(&[]),
+            &mut st,
+            i64::MIN,
+        )
+        .unwrap();
+        let out = j
+            .execute_epoch(
+                &lb(&[]),
+                &rb(&[row![1i64, Value::Timestamp(0), "R"]]),
+                &mut st,
+                i64::MIN,
+            )
+            .unwrap();
+        assert_eq!(out.num_rows(), 2);
+    }
+
+    #[test]
+    fn left_outer_emits_null_extended_on_eviction() {
+        let j = exec(JoinType::LeftOuter);
+        let mut st = store();
+        j.execute_epoch(
+            &lb(&[row![7i64, Value::Timestamp(secs(1)), "lonely"]]),
+            &rb(&[]),
+            &mut st,
+            i64::MIN,
+        )
+        .unwrap();
+        // Watermark passes the row's event time: emit left + NULLs.
+        let out = j
+            .execute_epoch(&lb(&[]), &rb(&[]), &mut st, secs(5))
+            .unwrap();
+        assert_eq!(
+            out.to_rows(),
+            vec![row![
+                7i64,
+                Value::Timestamp(secs(1)),
+                "lonely",
+                Value::Null,
+                Value::Null,
+                Value::Null
+            ]]
+        );
+        // State was evicted: nothing re-emits.
+        let out = j
+            .execute_epoch(&lb(&[]), &rb(&[]), &mut st, secs(50))
+            .unwrap();
+        assert_eq!(out.num_rows(), 0);
+        assert_eq!(j.buffered_rows(&mut st), 0);
+    }
+
+    #[test]
+    fn matched_rows_do_not_emit_outer_form() {
+        let j = exec(JoinType::LeftOuter);
+        let mut st = store();
+        let out = j
+            .execute_epoch(
+                &lb(&[row![1i64, Value::Timestamp(secs(1)), "L"]]),
+                &rb(&[row![1i64, Value::Timestamp(secs(1)), "R"]]),
+                &mut st,
+                i64::MIN,
+            )
+            .unwrap();
+        assert_eq!(out.num_rows(), 1);
+        // Eviction after the match: no NULL-extended duplicate.
+        let out = j
+            .execute_epoch(&lb(&[]), &rb(&[]), &mut st, secs(10))
+            .unwrap();
+        assert_eq!(out.num_rows(), 0);
+    }
+
+    #[test]
+    fn right_outer_mirrors_left_outer() {
+        let j = exec(JoinType::RightOuter);
+        let mut st = store();
+        j.execute_epoch(
+            &lb(&[]),
+            &rb(&[row![3i64, Value::Timestamp(secs(1)), "r-only"]]),
+            &mut st,
+            i64::MIN,
+        )
+        .unwrap();
+        let out = j
+            .execute_epoch(&lb(&[]), &rb(&[]), &mut st, secs(2))
+            .unwrap();
+        assert_eq!(
+            out.to_rows(),
+            vec![row![
+                Value::Null,
+                Value::Null,
+                Value::Null,
+                3i64,
+                Value::Timestamp(secs(1)),
+                "r-only"
+            ]]
+        );
+    }
+
+    #[test]
+    fn watermark_bounds_buffered_state() {
+        let j = exec(JoinType::Inner);
+        let mut st = store();
+        for e in 0..5i64 {
+            j.execute_epoch(
+                &lb(&[row![e, Value::Timestamp(secs(e)), "x"]]),
+                &rb(&[]),
+                &mut st,
+                i64::MIN,
+            )
+            .unwrap();
+        }
+        assert_eq!(j.buffered_rows(&mut st), 5);
+        j.execute_epoch(&lb(&[]), &rb(&[]), &mut st, secs(3)).unwrap();
+        assert_eq!(j.buffered_rows(&mut st), 2);
+        // An evicted row no longer matches late arrivals.
+        let out = j
+            .execute_epoch(
+                &lb(&[]),
+                &rb(&[row![0i64, Value::Timestamp(secs(9)), "late"]]),
+                &mut st,
+                secs(3),
+            )
+            .unwrap();
+        assert_eq!(out.num_rows(), 0);
+    }
+
+    #[test]
+    fn null_keys_never_match_but_emit_outer_rows() {
+        let j = exec(JoinType::LeftOuter);
+        let mut st = store();
+        j.execute_epoch(
+            &lb(&[row![Value::Null, Value::Timestamp(secs(1)), "nullkey"]]),
+            &rb(&[row![Value::Null, Value::Timestamp(secs(1)), "r"]]),
+            &mut st,
+            i64::MIN,
+        )
+        .unwrap();
+        let out = j
+            .execute_epoch(&lb(&[]), &rb(&[]), &mut st, secs(5))
+            .unwrap();
+        // The NULL-keyed left row is emitted NULL-extended, never
+        // joined.
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.row(0).get(5), &Value::Null);
+    }
+}

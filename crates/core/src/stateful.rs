@@ -1,0 +1,432 @@
+//! Epoch execution of `mapGroupsWithState` / `flatMapGroupsWithState`
+//! (§4.3.2).
+//!
+//! Per epoch the engine:
+//! 1. groups the epoch's new rows by key and invokes the user function
+//!    once per key with *all* values received for that key since the
+//!    last call ("multiple values may be batched for efficiency");
+//! 2. fires timeouts: keys whose deadline passed (processing time or
+//!    event-time watermark, per the operator's [`StateTimeout`]
+//!    configuration) and that received no data are invoked with an
+//!    empty value list and `has_timed_out() == true`;
+//! 3. persists state changes to the state store — transparently to
+//!    user code (§6.1: "without requiring custom code to do it").
+//!
+//! A fired timeout is cleared unless the function sets a new one (the
+//! Spark contract); otherwise an idle key would time out every epoch
+//! forever.
+
+use rustc_hash::FxHashMap;
+
+use ss_common::{RecordBatch, Result, Row, SsError};
+use ss_exec::join::evaluate_keys;
+use ss_plan::stateful::{GroupState, StateTimeout, StatefulOpDef};
+use ss_state::{StateEntry, StateStore};
+
+/// Run one epoch of a stateful operator. `input` holds the epoch's new
+/// (already upstream-processed) rows.
+pub fn execute_map_groups(
+    op: &StatefulOpDef,
+    op_id: &str,
+    input: &RecordBatch,
+    store: &mut StateStore,
+    watermark_us: i64,
+    processing_time_us: i64,
+) -> Result<RecordBatch> {
+    // 1. Group this epoch's rows by key, preserving key-sorted order
+    //    for deterministic output.
+    let keys = evaluate_keys(input, &op.key_exprs)?;
+    let mut groups: FxHashMap<Row, Vec<Row>> = FxHashMap::default();
+    for (i, key) in keys.into_iter().enumerate() {
+        // Rows with NULL keys are dropped (groupByKey semantics).
+        if let Some(key) = key {
+            groups.entry(key).or_default().push(input.row(i));
+        }
+    }
+    let mut data_keys: Vec<Row> = groups.keys().cloned().collect();
+    data_keys.sort();
+
+    let mut out_rows: Vec<Row> = Vec::new();
+    for key in &data_keys {
+        let values = &groups[key];
+        invoke(
+            op,
+            op_id,
+            key,
+            values,
+            false,
+            store,
+            watermark_us,
+            processing_time_us,
+            &mut out_rows,
+        )?;
+    }
+
+    // 2. Timeouts for keys that saw no data this epoch.
+    let clock = match op.timeout {
+        StateTimeout::None => None,
+        StateTimeout::ProcessingTime => Some(processing_time_us),
+        StateTimeout::EventTime => Some(watermark_us),
+    };
+    if let Some(now) = clock {
+        let expired: Vec<Row> = store
+            .operator(op_id)
+            .expired_keys(now)
+            .into_iter()
+            .filter(|k| !groups.contains_key(k))
+            .collect();
+        for key in &expired {
+            invoke(
+                op,
+                op_id,
+                key,
+                &[],
+                true,
+                store,
+                watermark_us,
+                processing_time_us,
+                &mut out_rows,
+            )?;
+        }
+    }
+
+    RecordBatch::from_rows(op.output_schema.clone(), &out_rows)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn invoke(
+    op: &StatefulOpDef,
+    op_id: &str,
+    key: &Row,
+    values: &[Row],
+    timed_out: bool,
+    store: &mut StateStore,
+    watermark_us: i64,
+    processing_time_us: i64,
+    out_rows: &mut Vec<Row>,
+) -> Result<()> {
+    let existing = store.operator(op_id).get(key).cloned();
+    let (state_row, old_timeout) = match &existing {
+        Some(e) => (e.values.first().cloned(), e.timeout_at),
+        None => (None, None),
+    };
+    // A fired timeout is handed to the function already cleared; it
+    // must set a new one to keep the key on a clock.
+    let timeout_in = if timed_out { None } else { old_timeout };
+    let mut gs = GroupState::for_invocation(
+        state_row,
+        op.timeout,
+        timeout_in,
+        timed_out,
+        watermark_us,
+        processing_time_us,
+    );
+    let produced = (op.func)(key, values, &mut gs)?;
+    if !op.flat && produced.len() != 1 {
+        return Err(SsError::Execution(format!(
+            "mapGroupsWithState `{}` must return exactly one row per invocation, got {}",
+            op.name,
+            produced.len()
+        )));
+    }
+    for r in &produced {
+        if r.len() != op.output_schema.len() {
+            return Err(SsError::Execution(format!(
+                "stateful operator `{}` returned a row with {} values; output schema has {}",
+                op.name,
+                r.len(),
+                op.output_schema.len()
+            )));
+        }
+    }
+    out_rows.extend(produced);
+
+    // 3. Persist the state transition.
+    let op_state = store.operator(op_id);
+    if gs.was_removed() {
+        op_state.remove(key);
+    } else {
+        match gs.final_state() {
+            Some(state) => {
+                let mut entry = StateEntry::new(vec![state.clone()]);
+                entry.timeout_at = gs.timeout_at();
+                op_state.put(key.clone(), entry);
+            }
+            None => {
+                // No state, but possibly a (re-)armed timeout on an
+                // existing entry; or a cleared fired timeout.
+                if let Some(mut entry) = existing {
+                    entry.timeout_at = gs.timeout_at();
+                    op_state.put(key.clone(), entry);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use ss_common::time::{minutes, secs};
+    use ss_common::{row, DataType, Field, Schema, Value};
+    use ss_expr::col;
+    use ss_state::MemoryBackend;
+
+    fn input_schema() -> ss_common::SchemaRef {
+        Schema::of(vec![
+            Field::new("user", DataType::Utf8),
+            Field::new("time", DataType::Timestamp),
+        ])
+    }
+
+    fn batch(rows: &[Row]) -> RecordBatch {
+        RecordBatch::from_rows(input_schema(), rows).unwrap()
+    }
+
+    fn store() -> StateStore {
+        StateStore::new(Arc::new(MemoryBackend::new()))
+    }
+
+    /// The paper's Figure 3 operator: track events per session, time
+    /// out after 30 minutes, return the running count.
+    fn figure3_op() -> StatefulOpDef {
+        StatefulOpDef {
+            name: "sessions".into(),
+            key_exprs: vec![col("user")],
+            output_schema: Schema::of(vec![
+                Field::new("user", DataType::Utf8),
+                Field::new("totalEvents", DataType::Int64),
+            ]),
+            timeout: StateTimeout::ProcessingTime,
+            flat: false,
+            func: Arc::new(|key, new_values, state| {
+                let prior = state
+                    .get()
+                    .and_then(|r| r.get(0).as_i64().ok().flatten())
+                    .unwrap_or(0);
+                let total = prior + new_values.len() as i64;
+                state.update(row![total]);
+                state.set_timeout_duration(minutes(30))?;
+                Ok(vec![Row::new(vec![key.get(0).clone(), Value::Int64(total)])])
+            }),
+        }
+    }
+
+    #[test]
+    fn figure3_session_counts_accumulate_across_epochs() {
+        let mut st = store();
+        let op = figure3_op();
+        let out1 = execute_map_groups(
+            &op,
+            "mg-0",
+            &batch(&[
+                row!["alice", Value::Timestamp(0)],
+                row!["bob", Value::Timestamp(0)],
+                row!["alice", Value::Timestamp(1)],
+            ]),
+            &mut st,
+            i64::MIN,
+            0,
+        )
+        .unwrap();
+        assert_eq!(out1.to_rows(), vec![row!["alice", 2i64], row!["bob", 1i64]]);
+        let out2 = execute_map_groups(
+            &op,
+            "mg-0",
+            &batch(&[row!["alice", Value::Timestamp(2)]]),
+            &mut st,
+            i64::MIN,
+            secs(1),
+        )
+        .unwrap();
+        assert_eq!(out2.to_rows(), vec![row!["alice", 3i64]]);
+        assert_eq!(st.operator("mg-0").len(), 2);
+    }
+
+    #[test]
+    fn processing_time_timeout_fires_and_clears() {
+        let mut st = store();
+        // Operator that emits a "session closed" row on timeout and
+        // removes the key.
+        let op = StatefulOpDef {
+            name: "closer".into(),
+            key_exprs: vec![col("user")],
+            output_schema: Schema::of(vec![
+                Field::new("user", DataType::Utf8),
+                Field::new("closed", DataType::Boolean),
+            ]),
+            timeout: StateTimeout::ProcessingTime,
+            flat: true,
+            func: Arc::new(|key, new_values, state| {
+                if state.has_timed_out() {
+                    state.remove();
+                    return Ok(vec![Row::new(vec![key.get(0).clone(), Value::Boolean(true)])]);
+                }
+                let n = state
+                    .get()
+                    .and_then(|r| r.get(0).as_i64().ok().flatten())
+                    .unwrap_or(0);
+                state.update(row![n + new_values.len() as i64]);
+                state.set_timeout_duration(minutes(30))?;
+                Ok(vec![])
+            }),
+        };
+        // Epoch 1 at t=0: alice appears, timeout armed for t+30min.
+        let out = execute_map_groups(
+            &op,
+            "mg",
+            &batch(&[row!["alice", Value::Timestamp(0)]]),
+            &mut st,
+            i64::MIN,
+            0,
+        )
+        .unwrap();
+        assert_eq!(out.num_rows(), 0);
+        // Epoch 2 at t=10min: nothing expires.
+        let out = execute_map_groups(&op, "mg", &batch(&[]), &mut st, i64::MIN, minutes(10))
+            .unwrap();
+        assert_eq!(out.num_rows(), 0);
+        // Epoch 3 at t=31min: the session closes exactly once.
+        let out = execute_map_groups(&op, "mg", &batch(&[]), &mut st, i64::MIN, minutes(31))
+            .unwrap();
+        assert_eq!(out.to_rows(), vec![row!["alice", true]]);
+        assert_eq!(st.operator("mg").len(), 0);
+        // Epoch 4: nothing left to fire.
+        let out = execute_map_groups(&op, "mg", &batch(&[]), &mut st, i64::MIN, minutes(99))
+            .unwrap();
+        assert_eq!(out.num_rows(), 0);
+    }
+
+    #[test]
+    fn new_data_preempts_timeout_in_same_epoch() {
+        let mut st = store();
+        let op = figure3_op();
+        execute_map_groups(
+            &op,
+            "mg",
+            &batch(&[row!["alice", Value::Timestamp(0)]]),
+            &mut st,
+            i64::MIN,
+            0,
+        )
+        .unwrap();
+        // At t=40min alice's timeout has expired, but new data arrives
+        // in the same epoch: the data invocation wins and re-arms.
+        let out = execute_map_groups(
+            &op,
+            "mg",
+            &batch(&[row!["alice", Value::Timestamp(5)]]),
+            &mut st,
+            i64::MIN,
+            minutes(40),
+        )
+        .unwrap();
+        assert_eq!(out.to_rows(), vec![row!["alice", 2i64]]);
+        let entry = st.operator("mg").get(&row!["alice"]).unwrap().clone();
+        assert_eq!(entry.timeout_at, Some(minutes(40) + minutes(30)));
+    }
+
+    #[test]
+    fn event_time_timeout_uses_watermark_clock() {
+        let mut st = store();
+        let op = StatefulOpDef {
+            name: "evt".into(),
+            key_exprs: vec![col("user")],
+            output_schema: Schema::of(vec![Field::new("user", DataType::Utf8)]),
+            timeout: StateTimeout::EventTime,
+            flat: true,
+            func: Arc::new(|key, _vals, state| {
+                if state.has_timed_out() {
+                    state.remove();
+                    return Ok(vec![Row::new(vec![key.get(0).clone()])]);
+                }
+                state.update(row![0i64]);
+                state.set_timeout_timestamp(secs(100))?;
+                Ok(vec![])
+            }),
+        };
+        execute_map_groups(
+            &op,
+            "mg",
+            &batch(&[row!["a", Value::Timestamp(0)]]),
+            &mut st,
+            secs(1),
+            0,
+        )
+        .unwrap();
+        // Watermark below the deadline: nothing fires.
+        let out = execute_map_groups(&op, "mg", &batch(&[]), &mut st, secs(99), 0).unwrap();
+        assert_eq!(out.num_rows(), 0);
+        // Watermark passes the deadline.
+        let out = execute_map_groups(&op, "mg", &batch(&[]), &mut st, secs(101), 0).unwrap();
+        assert_eq!(out.to_rows(), vec![row!["a"]]);
+    }
+
+    #[test]
+    fn map_variant_enforces_exactly_one_row() {
+        let mut st = store();
+        let op = StatefulOpDef {
+            name: "bad".into(),
+            key_exprs: vec![col("user")],
+            output_schema: Schema::of(vec![Field::new("user", DataType::Utf8)]),
+            timeout: StateTimeout::None,
+            flat: false,
+            func: Arc::new(|_, _, _| Ok(vec![])),
+        };
+        let err = execute_map_groups(
+            &op,
+            "mg",
+            &batch(&[row!["a", Value::Timestamp(0)]]),
+            &mut st,
+            i64::MIN,
+            0,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("exactly one row"));
+    }
+
+    #[test]
+    fn wrong_arity_output_rejected() {
+        let mut st = store();
+        let op = StatefulOpDef {
+            name: "bad".into(),
+            key_exprs: vec![col("user")],
+            output_schema: Schema::of(vec![
+                Field::new("a", DataType::Utf8),
+                Field::new("b", DataType::Int64),
+            ]),
+            timeout: StateTimeout::None,
+            flat: true,
+            func: Arc::new(|key, _, _| Ok(vec![Row::new(vec![key.get(0).clone()])])),
+        };
+        assert!(execute_map_groups(
+            &op,
+            "mg",
+            &batch(&[row!["a", Value::Timestamp(0)]]),
+            &mut st,
+            i64::MIN,
+            0,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn null_keys_are_dropped() {
+        let mut st = store();
+        let op = figure3_op();
+        let out = execute_map_groups(
+            &op,
+            "mg",
+            &batch(&[row![Value::Null, Value::Timestamp(0)]]),
+            &mut st,
+            i64::MIN,
+            0,
+        )
+        .unwrap();
+        assert_eq!(out.num_rows(), 0);
+        assert_eq!(st.operator("mg").len(), 0);
+    }
+}

@@ -1,0 +1,233 @@
+//! Event-time watermark tracking (§4.3.1).
+//!
+//! "This operator gives the system a delay threshold tC for a given
+//! timestamp column C. At any point in time, the watermark for C is
+//! max(C) − tC." When a query declares several watermarked columns
+//! ("different input streams can have different watermarks"), the
+//! watermark in force is the minimum across columns, so no stateful
+//! operator finalizes results any stream could still affect.
+//!
+//! Watermarks advance only at epoch boundaries (as in Spark): the
+//! engine observes max event times while executing epoch *n* and the
+//! new watermark takes effect for epoch *n+1*. The tracker's observed
+//! maxima are persisted in the state store so recovery resumes with the
+//! same watermark and reproduces identical output.
+
+use std::collections::BTreeMap;
+
+use ss_common::{Result, Row, SsError, Value};
+use ss_state::{StateEntry, StateStore};
+
+/// Operator id under which the tracker checkpoints itself.
+pub const WATERMARK_OP_ID: &str = "__watermark";
+
+/// Tracks per-column event-time maxima and derives the global
+/// watermark.
+#[derive(Debug, Clone, Default)]
+pub struct WatermarkTracker {
+    /// column → lateness bound (µs).
+    delays: BTreeMap<String, i64>,
+    /// column → max event time observed so far (µs).
+    max_seen: BTreeMap<String, i64>,
+    /// The watermark currently in force (advances at epoch
+    /// boundaries).
+    current_us: i64,
+}
+
+impl WatermarkTracker {
+    /// Build from the plan's `(column, delay)` declarations.
+    pub fn new(watermarks: &[(String, i64)]) -> WatermarkTracker {
+        WatermarkTracker {
+            delays: watermarks.iter().cloned().collect(),
+            max_seen: BTreeMap::new(),
+            current_us: i64::MIN,
+        }
+    }
+
+    /// True if the query declares any watermark.
+    pub fn is_active(&self) -> bool {
+        !self.delays.is_empty()
+    }
+
+    /// The `(column, delay)` configuration this tracker was built with
+    /// (used to rebuild a fresh tracker on rollback).
+    pub fn clone_config(&self) -> Vec<(String, i64)> {
+        self.delays.iter().map(|(c, d)| (c.clone(), *d)).collect()
+    }
+
+    /// The watermark in force for the current epoch (µs; `i64::MIN`
+    /// before any data).
+    pub fn current(&self) -> i64 {
+        self.current_us
+    }
+
+    /// Record event times observed while executing the current epoch.
+    pub fn observe(&mut self, column: &str, max_event_time_us: i64) {
+        let e = self.max_seen.entry(column.to_string()).or_insert(i64::MIN);
+        *e = (*e).max(max_event_time_us);
+    }
+
+    /// Advance the watermark at an epoch boundary. Returns the new
+    /// watermark. Monotonic: never moves backwards ("the watermark
+    /// will not move forward arbitrarily" — and never retreats).
+    pub fn advance(&mut self) -> i64 {
+        if self.delays.is_empty() {
+            return self.current_us;
+        }
+        // min over columns of (max_seen - delay); columns with no data
+        // yet hold the watermark at -inf.
+        let mut candidate = i64::MAX;
+        for (col, delay) in &self.delays {
+            match self.max_seen.get(col) {
+                Some(&m) => candidate = candidate.min(m.saturating_sub(*delay)),
+                None => candidate = i64::MIN,
+            }
+        }
+        if candidate > self.current_us {
+            self.current_us = candidate;
+        }
+        self.current_us
+    }
+
+    /// Force the in-force watermark (used during recovery, from the
+    /// value logged in the WAL for the epoch being re-run).
+    pub fn set_current(&mut self, watermark_us: i64) {
+        self.current_us = self.current_us.max(watermark_us);
+    }
+
+    /// Persist observed maxima into the state store (called before each
+    /// state checkpoint). No-op for queries without watermarks.
+    pub fn save(&self, store: &mut StateStore) {
+        if !self.is_active() {
+            return;
+        }
+        let op = store.operator(WATERMARK_OP_ID);
+        for (col, &max) in &self.max_seen {
+            op.put(
+                Row::new(vec![Value::str(col.as_str())]),
+                StateEntry::new(vec![Row::new(vec![Value::Timestamp(max)])]),
+            );
+        }
+        op.put(
+            Row::new(vec![Value::str("__current")]),
+            StateEntry::new(vec![Row::new(vec![Value::Timestamp(self.current_us)])]),
+        );
+    }
+
+    /// Restore observed maxima from a state-store snapshot.
+    pub fn load(&mut self, store: &StateStore) -> Result<()> {
+        let Some(op) = store.operator_ref(WATERMARK_OP_ID) else {
+            return Ok(());
+        };
+        for (key, entry) in op.iter() {
+            let name = key
+                .get(0)
+                .as_str()?
+                .ok_or_else(|| SsError::Serde("bad watermark state key".into()))?
+                .to_string();
+            let value = entry
+                .values
+                .first()
+                .and_then(|r| r.values().first())
+                .and_then(|v| v.as_i64().ok().flatten())
+                .ok_or_else(|| SsError::Serde("bad watermark state value".into()))?;
+            if name == "__current" {
+                self.current_us = self.current_us.max(value);
+            } else {
+                self.observe(&name, value);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    use ss_common::time::secs;
+    use ss_state::MemoryBackend;
+
+    #[test]
+    fn watermark_is_max_minus_delay() {
+        let mut t = WatermarkTracker::new(&[("time".into(), secs(10))]);
+        assert_eq!(t.current(), i64::MIN);
+        t.observe("time", secs(100));
+        assert_eq!(t.advance(), secs(90));
+        assert_eq!(t.current(), secs(90));
+    }
+
+    #[test]
+    fn watermark_never_retreats() {
+        let mut t = WatermarkTracker::new(&[("time".into(), secs(10))]);
+        t.observe("time", secs(100));
+        t.advance();
+        // Late data with older timestamps must not move it back.
+        t.observe("time", secs(50));
+        assert_eq!(t.advance(), secs(90));
+    }
+
+    #[test]
+    fn multiple_columns_take_the_minimum() {
+        let mut t = WatermarkTracker::new(&[
+            ("a".into(), secs(5)),
+            ("b".into(), secs(1)),
+        ]);
+        t.observe("a", secs(100));
+        // b has no data yet: watermark held at -inf.
+        assert_eq!(t.advance(), i64::MIN);
+        t.observe("b", secs(50));
+        // min(100-5, 50-1) = 49s.
+        assert_eq!(t.advance(), secs(49));
+    }
+
+    #[test]
+    fn advances_only_on_advance_call() {
+        // "Watermark updates take effect at epoch boundaries."
+        let mut t = WatermarkTracker::new(&[("time".into(), secs(0))]);
+        t.observe("time", secs(10));
+        assert_eq!(t.current(), i64::MIN);
+        t.advance();
+        assert_eq!(t.current(), secs(10));
+    }
+
+    #[test]
+    fn inactive_tracker_stays_at_min() {
+        let mut t = WatermarkTracker::new(&[]);
+        assert!(!t.is_active());
+        t.observe("whatever", secs(5));
+        assert_eq!(t.advance(), i64::MIN);
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let mut store = StateStore::new(Arc::new(MemoryBackend::new()));
+        let mut t = WatermarkTracker::new(&[("time".into(), secs(10))]);
+        t.observe("time", secs(200));
+        t.advance();
+        t.save(&mut store);
+        store.checkpoint(1).unwrap();
+
+        let store2 = StateStore::new(Arc::new(MemoryBackend::new()));
+        let mut fresh = WatermarkTracker::new(&[("time".into(), secs(10))]);
+        fresh.load(&store2).unwrap(); // no state: no-op
+        assert_eq!(fresh.current(), i64::MIN);
+
+        store.restore(1).unwrap();
+        let mut restored = WatermarkTracker::new(&[("time".into(), secs(10))]);
+        restored.load(&store).unwrap();
+        assert_eq!(restored.current(), secs(190));
+        // Maxima restored too: advancing reproduces the same value.
+        assert_eq!(restored.advance(), secs(190));
+    }
+
+    #[test]
+    fn set_current_is_monotonic() {
+        let mut t = WatermarkTracker::new(&[("time".into(), secs(1))]);
+        t.set_current(secs(100));
+        assert_eq!(t.current(), secs(100));
+        t.set_current(secs(50));
+        assert_eq!(t.current(), secs(100));
+    }
+}

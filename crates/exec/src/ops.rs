@@ -1,0 +1,184 @@
+//! Stateless per-batch operators: filter, project, sort, limit,
+//! distinct.
+
+use std::sync::Arc;
+
+use rustc_hash::FxHashSet;
+
+use ss_common::{RecordBatch, Result, Row, Schema, SchemaRef};
+use ss_expr::eval::{evaluate, evaluate_to_mask};
+use ss_expr::Expr;
+use ss_plan::SortKey;
+
+/// `WHERE predicate`: keep rows where the predicate is true (NULL
+/// counts as false, per SQL).
+pub fn filter_batch(batch: &RecordBatch, predicate: &Expr) -> Result<RecordBatch> {
+    let mask = evaluate_to_mask(predicate, batch)?;
+    batch.filter(&mask)
+}
+
+/// `SELECT exprs`: evaluate each expression into an output column.
+pub fn project_batch(batch: &RecordBatch, exprs: &[Expr]) -> Result<RecordBatch> {
+    let in_schema = batch.schema();
+    let mut fields = Vec::with_capacity(exprs.len());
+    let mut columns = Vec::with_capacity(exprs.len());
+    for e in exprs {
+        let col = evaluate(e, batch)?;
+        fields.push(ss_common::Field {
+            name: e.output_name(),
+            data_type: col.data_type(),
+            nullable: e.nullable(in_schema),
+        });
+        columns.push(col);
+    }
+    RecordBatch::try_new(Arc::new(Schema::new(fields)?), columns)
+}
+
+/// Fused `SELECT exprs WHERE predicate`: evaluates the mask on the
+/// full batch, then filters **only** the columns the projection
+/// references before evaluating it — columns the projection drops are
+/// never copied (§5.3-style pipelining of selection into projection).
+pub fn filter_project_batch(
+    batch: &RecordBatch,
+    predicate: &Expr,
+    exprs: &[Expr],
+) -> Result<RecordBatch> {
+    let mask = evaluate_to_mask(predicate, batch)?;
+    let mut needed: Vec<usize> = Vec::new();
+    for e in exprs {
+        for name in e.referenced_columns() {
+            let i = batch.schema().index_of(&name)?;
+            if !needed.contains(&i) {
+                needed.push(i);
+            }
+        }
+    }
+    needed.sort_unstable();
+    if needed.is_empty() {
+        // Pure-literal projection: row count must still come from the
+        // filtered batch.
+        return project_batch(&batch.filter(&mask)?, exprs);
+    }
+    let narrowed = batch.filter_columns(&mask, &needed)?;
+    project_batch(&narrowed, exprs)
+}
+
+/// `ORDER BY keys`: total sort of the concatenated input.
+pub fn sort_batch(batch: &RecordBatch, keys: &[SortKey]) -> Result<RecordBatch> {
+    let key_cols: Vec<_> = keys
+        .iter()
+        .map(|k| evaluate(&k.expr, batch))
+        .collect::<Result<Vec<_>>>()?;
+    let mut indices: Vec<usize> = (0..batch.num_rows()).collect();
+    indices.sort_by(|&a, &b| {
+        for (kc, k) in key_cols.iter().zip(keys) {
+            let ord = kc.value(a).total_cmp(&kc.value(b));
+            let ord = if k.ascending { ord } else { ord.reverse() };
+            if !ord.is_eq() {
+                return ord;
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    batch.take(&indices)
+}
+
+/// `LIMIT n`.
+pub fn limit_batch(batch: &RecordBatch, n: usize) -> Result<RecordBatch> {
+    if batch.num_rows() <= n {
+        Ok(batch.clone())
+    } else {
+        batch.slice(0, n)
+    }
+}
+
+/// `SELECT DISTINCT`: keep the first occurrence of each row.
+pub fn distinct_batch(batch: &RecordBatch) -> Result<RecordBatch> {
+    let mut seen: FxHashSet<Row> = FxHashSet::default();
+    let mut keep = Vec::with_capacity(batch.num_rows());
+    for i in 0..batch.num_rows() {
+        keep.push(seen.insert(batch.row(i)));
+    }
+    batch.filter(&keep)
+}
+
+/// Concatenate a stream of batches into one (operators here work on a
+/// single batch; callers concatenate per-partition outputs).
+pub fn concat_batches(schema: &SchemaRef, batches: &[RecordBatch]) -> Result<RecordBatch> {
+    if batches.is_empty() {
+        return Ok(RecordBatch::empty(schema.clone()));
+    }
+    RecordBatch::concat(batches)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_common::{row, DataType, Field, Value};
+    use ss_expr::{col, lit};
+
+    fn batch() -> RecordBatch {
+        RecordBatch::from_rows(
+            Schema::of(vec![
+                Field::new("id", DataType::Int64),
+                Field::new("kind", DataType::Utf8),
+            ]),
+            &[
+                row![3i64, "view"],
+                row![1i64, "click"],
+                row![2i64, "view"],
+                row![1i64, "click"],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn filter_keeps_matching_rows() {
+        let out = filter_batch(&batch(), &col("kind").eq(lit("view"))).unwrap();
+        assert_eq!(out.num_rows(), 2);
+        assert_eq!(out.row(0), row![3i64, "view"]);
+    }
+
+    #[test]
+    fn project_computes_and_names() {
+        let out = project_batch(&batch(), &[col("id").mul(lit(10i64)).alias("x")]).unwrap();
+        assert_eq!(out.schema().field_names(), vec!["x"]);
+        assert_eq!(out.value(0, 0), Value::Int64(30));
+    }
+
+    #[test]
+    fn sort_orders_with_direction_and_ties() {
+        let out = sort_batch(
+            &batch(),
+            &[SortKey::asc(col("id")), SortKey::desc(col("kind"))],
+        )
+        .unwrap();
+        let ids: Vec<Value> = (0..4).map(|i| out.value(i, 0)).collect();
+        assert_eq!(
+            ids,
+            vec![Value::Int64(1), Value::Int64(1), Value::Int64(2), Value::Int64(3)]
+        );
+    }
+
+    #[test]
+    fn limit_truncates() {
+        assert_eq!(limit_batch(&batch(), 2).unwrap().num_rows(), 2);
+        assert_eq!(limit_batch(&batch(), 100).unwrap().num_rows(), 4);
+    }
+
+    #[test]
+    fn distinct_dedupes_whole_rows() {
+        let out = distinct_batch(&batch()).unwrap();
+        assert_eq!(out.num_rows(), 3);
+    }
+
+    #[test]
+    fn concat_handles_empty() {
+        let b = batch();
+        let empty = concat_batches(b.schema(), &[]).unwrap();
+        assert_eq!(empty.num_rows(), 0);
+        let two = concat_batches(b.schema(), &[b.clone(), b.clone()]).unwrap();
+        assert_eq!(two.num_rows(), 8);
+    }
+}

@@ -1,0 +1,514 @@
+//! Aggregate functions with mergeable partial states.
+//!
+//! The streaming engine keeps one [`AggState`] per group key in the state
+//! store and merges per-epoch partial aggregates into it (§5.2 of the
+//! paper: "an aggregation in the user query might be mapped to a
+//! StatefulAggregate operator"). Requirements this module satisfies:
+//!
+//! * partial states are **mergeable** (`merge(a, b)` is associative and
+//!   commutative), so per-partition partials combine in any order;
+//! * partial states are **serializable** ([`Row`]s of [`Value`]s), so
+//!   the state store can checkpoint them;
+//! * batch and streaming produce identical results, because a final
+//!   state is independent of how the input was split into epochs —
+//!   property-tested below.
+
+use std::fmt;
+
+use ss_common::{Column, DataType, Result, Row, Schema, SsError, Value};
+
+use crate::expr::Expr;
+
+/// The supported aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggregateFunction {
+    /// `count(expr)` counts non-NULL values; `count(*)` counts rows.
+    Count,
+    Sum,
+    Min,
+    Max,
+    Avg,
+}
+
+impl AggregateFunction {
+    pub fn name(self) -> &'static str {
+        match self {
+            AggregateFunction::Count => "count",
+            AggregateFunction::Sum => "sum",
+            AggregateFunction::Min => "min",
+            AggregateFunction::Max => "max",
+            AggregateFunction::Avg => "avg",
+        }
+    }
+}
+
+/// An aggregate call site: function + optional argument + optional alias.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregateExpr {
+    pub func: AggregateFunction,
+    /// `None` only for `count(*)`.
+    pub arg: Option<Expr>,
+    pub alias: Option<String>,
+}
+
+impl AggregateExpr {
+    pub fn new(func: AggregateFunction, arg: Option<Expr>) -> AggregateExpr {
+        AggregateExpr {
+            func,
+            arg,
+            alias: None,
+        }
+    }
+
+    pub fn alias(mut self, name: impl Into<String>) -> AggregateExpr {
+        self.alias = Some(name.into());
+        self
+    }
+
+    /// The output column name.
+    pub fn output_name(&self) -> String {
+        if let Some(a) = &self.alias {
+            return a.clone();
+        }
+        match &self.arg {
+            Some(e) => format!("{}({e})", self.func.name()),
+            None => format!("{}(*)", self.func.name()),
+        }
+    }
+
+    /// The result type against an input schema.
+    pub fn result_type(&self, schema: &Schema) -> Result<DataType> {
+        let arg_type = match &self.arg {
+            Some(e) => Some(e.data_type(schema)?),
+            None => None,
+        };
+        match self.func {
+            AggregateFunction::Count => Ok(DataType::Int64),
+            AggregateFunction::Avg => {
+                let t = arg_type
+                    .ok_or_else(|| SsError::Type("avg() requires an argument".into()))?;
+                if !t.is_numeric() {
+                    return Err(SsError::Type(format!("avg() requires numeric, got {t}")));
+                }
+                Ok(DataType::Float64)
+            }
+            AggregateFunction::Sum => {
+                let t = arg_type
+                    .ok_or_else(|| SsError::Type("sum() requires an argument".into()))?;
+                if !t.is_numeric() {
+                    return Err(SsError::Type(format!("sum() requires numeric, got {t}")));
+                }
+                Ok(t)
+            }
+            AggregateFunction::Min | AggregateFunction::Max => arg_type.ok_or_else(|| {
+                SsError::Type(format!("{}() requires an argument", self.func.name()))
+            }),
+        }
+    }
+
+    /// A fresh accumulator for this aggregate.
+    pub fn create_accumulator(&self) -> Accumulator {
+        match self.func {
+            AggregateFunction::Count => Accumulator::Count { n: 0 },
+            AggregateFunction::Sum => Accumulator::Sum { sum: Value::Null },
+            AggregateFunction::Min => Accumulator::Min { min: Value::Null },
+            AggregateFunction::Max => Accumulator::Max { max: Value::Null },
+            AggregateFunction::Avg => Accumulator::Avg { sum: 0.0, count: 0 },
+        }
+    }
+
+    /// Rehydrate an accumulator from a checkpointed state row.
+    pub fn accumulator_from_state(&self, state: &Row) -> Result<Accumulator> {
+        let mut acc = self.create_accumulator();
+        acc.merge(state)?;
+        Ok(acc)
+    }
+}
+
+impl fmt::Display for AggregateExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.output_name())
+    }
+}
+
+/// A serializable partial aggregate state. The layout is
+/// function-specific (documented on each [`Accumulator`] variant).
+pub type AggState = Row;
+
+/// A running aggregate.
+///
+/// State layouts (as [`Row`]s):
+/// * `Count` → `[Int64 n]`
+/// * `Sum`   → `[sum]` (NULL until the first non-NULL input)
+/// * `Min`   → `[min]`
+/// * `Max`   → `[max]`
+/// * `Avg`   → `[Float64 sum, Int64 count]`
+#[derive(Debug, Clone, PartialEq)]
+pub enum Accumulator {
+    Count { n: i64 },
+    Sum { sum: Value },
+    Min { min: Value },
+    Max { max: Value },
+    Avg { sum: f64, count: i64 },
+}
+
+impl Accumulator {
+    /// Vectorized update from a column (or, for `count(*)`, a bare row
+    /// count with `col = None`).
+    pub fn update_column(&mut self, col: Option<&Column>, num_rows: usize) -> Result<()> {
+        match (self, col) {
+            (Accumulator::Count { n }, None) => {
+                *n += num_rows as i64;
+            }
+            (Accumulator::Count { n }, Some(c)) => {
+                *n += (0..c.len()).filter(|&i| c.is_valid(i)).count() as i64;
+            }
+            (acc, Some(c)) => {
+                // Typed fast paths for the numeric kernels.
+                match (acc, c) {
+                    (Accumulator::Sum { sum }, Column::Int64(tc)) => {
+                        let mut s = 0i64;
+                        let mut any = false;
+                        for i in 0..tc.len() {
+                            if let Some(v) = tc.get(i) {
+                                s = s.wrapping_add(*v);
+                                any = true;
+                            }
+                        }
+                        if any {
+                            *sum = match sum {
+                                Value::Null => Value::Int64(s),
+                                Value::Int64(old) => Value::Int64(old.wrapping_add(s)),
+                                other => {
+                                    return Err(SsError::Internal(format!(
+                                        "sum state {other} for Int64 column"
+                                    )))
+                                }
+                            };
+                        }
+                    }
+                    (Accumulator::Sum { sum }, Column::Float64(tc)) => {
+                        let mut s = 0f64;
+                        let mut any = false;
+                        for i in 0..tc.len() {
+                            if let Some(v) = tc.get(i) {
+                                s += *v;
+                                any = true;
+                            }
+                        }
+                        if any {
+                            *sum = match sum {
+                                Value::Null => Value::Float64(s),
+                                Value::Float64(old) => Value::Float64(*old + s),
+                                other => {
+                                    return Err(SsError::Internal(format!(
+                                        "sum state {other} for Float64 column"
+                                    )))
+                                }
+                            };
+                        }
+                    }
+                    (Accumulator::Sum { .. }, other) => {
+                        return Err(SsError::Type(format!(
+                            "sum() requires numeric, got {}",
+                            other.data_type()
+                        )))
+                    }
+                    (Accumulator::Avg { sum, count }, c) => {
+                        let tc = match c {
+                            Column::Float64(_) => c.as_f64().map(|t| {
+                                t.iter().map(|v| v.copied()).collect::<Vec<Option<f64>>>()
+                            })?,
+                            Column::Int64(t) => {
+                                t.iter().map(|v| v.map(|&x| x as f64)).collect()
+                            }
+                            other => {
+                                return Err(SsError::Type(format!(
+                                    "avg() requires numeric, got {}",
+                                    other.data_type()
+                                )))
+                            }
+                        };
+                        for v in tc.into_iter().flatten() {
+                            *sum += v;
+                            *count += 1;
+                        }
+                    }
+                    (Accumulator::Min { min }, c) => {
+                        for i in 0..c.len() {
+                            let v = c.value(i);
+                            if !v.is_null() && (min.is_null() || v < *min) {
+                                *min = v;
+                            }
+                        }
+                    }
+                    (Accumulator::Max { max }, c) => {
+                        for i in 0..c.len() {
+                            let v = c.value(i);
+                            if !v.is_null() && (max.is_null() || v > *max) {
+                                *max = v;
+                            }
+                        }
+                    }
+                    (Accumulator::Count { .. }, _) => unreachable!("handled above"),
+                }
+            }
+            (acc, None) => {
+                return Err(SsError::Internal(format!(
+                    "{acc:?} requires an argument column"
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// Scalar update (continuous mode / stateful operators).
+    pub fn update_value(&mut self, v: &Value) -> Result<()> {
+        match self {
+            Accumulator::Count { n } => {
+                if !v.is_null() {
+                    *n += 1;
+                }
+            }
+            Accumulator::Sum { sum } => {
+                if !v.is_null() {
+                    *sum = match (&sum, v) {
+                        (Value::Null, v) => v.clone(),
+                        (Value::Int64(a), Value::Int64(b)) => Value::Int64(a.wrapping_add(*b)),
+                        (Value::Float64(a), Value::Float64(b)) => Value::Float64(a + b),
+                        (Value::Int64(a), Value::Float64(b)) => Value::Float64(*a as f64 + b),
+                        (Value::Float64(a), Value::Int64(b)) => Value::Float64(*a + *b as f64),
+                        (s, v) => {
+                            return Err(SsError::Type(format!("cannot sum {v} into {s}")))
+                        }
+                    };
+                }
+            }
+            Accumulator::Min { min } => {
+                if !v.is_null() && (min.is_null() || *v < *min) {
+                    *min = v.clone();
+                }
+            }
+            Accumulator::Max { max } => {
+                if !v.is_null() && (max.is_null() || *v > *max) {
+                    *max = v.clone();
+                }
+            }
+            Accumulator::Avg { sum, count } => {
+                if let Some(x) = v.as_f64()? {
+                    *sum += x;
+                    *count += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Merge a checkpointed/partial state into this accumulator.
+    pub fn merge(&mut self, state: &Row) -> Result<()> {
+        let wrong = || SsError::Serde(format!("bad aggregate state {state}"));
+        match self {
+            Accumulator::Count { n } => {
+                let m = state.values().first().ok_or_else(wrong)?;
+                *n += m.as_i64()?.ok_or_else(wrong)?;
+            }
+            Accumulator::Sum { sum } => {
+                let other = state.values().first().ok_or_else(wrong)?;
+                if !other.is_null() {
+                    let mut tmp = Accumulator::Sum { sum: sum.clone() };
+                    tmp.update_value(other)?;
+                    if let Accumulator::Sum { sum: s } = tmp {
+                        *sum = s;
+                    }
+                }
+            }
+            Accumulator::Min { min } => {
+                let other = state.values().first().ok_or_else(wrong)?;
+                if !other.is_null() && (min.is_null() || *other < *min) {
+                    *min = other.clone();
+                }
+            }
+            Accumulator::Max { max } => {
+                let other = state.values().first().ok_or_else(wrong)?;
+                if !other.is_null() && (max.is_null() || *other > *max) {
+                    *max = other.clone();
+                }
+            }
+            Accumulator::Avg { sum, count } => {
+                if state.len() != 2 {
+                    return Err(wrong());
+                }
+                *sum += state.get(0).as_f64()?.ok_or_else(wrong)?;
+                *count += state.get(1).as_i64()?.ok_or_else(wrong)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The checkpointable partial state.
+    pub fn state(&self) -> AggState {
+        match self {
+            Accumulator::Count { n } => Row::new(vec![Value::Int64(*n)]),
+            Accumulator::Sum { sum } => Row::new(vec![sum.clone()]),
+            Accumulator::Min { min } => Row::new(vec![min.clone()]),
+            Accumulator::Max { max } => Row::new(vec![max.clone()]),
+            Accumulator::Avg { sum, count } => {
+                Row::new(vec![Value::Float64(*sum), Value::Int64(*count)])
+            }
+        }
+    }
+
+    /// The final aggregate value.
+    pub fn evaluate(&self) -> Value {
+        match self {
+            Accumulator::Count { n } => Value::Int64(*n),
+            Accumulator::Sum { sum } => sum.clone(),
+            Accumulator::Min { min } => min.clone(),
+            Accumulator::Max { max } => max.clone(),
+            Accumulator::Avg { sum, count } => {
+                if *count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float64(*sum / *count as f64)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::{avg, col, count, count_star, max, min, sum};
+    use ss_common::{row, Field, Schema};
+
+    fn int_column(vals: &[Option<i64>]) -> Column {
+        let values: Vec<Value> = vals.iter().map(|v| Value::from(*v)).collect();
+        Column::from_values(DataType::Int64, &values).unwrap()
+    }
+
+    #[test]
+    fn count_star_counts_rows_count_col_skips_nulls() {
+        let c = int_column(&[Some(1), None, Some(3)]);
+        let mut star = count_star().create_accumulator();
+        star.update_column(None, 3).unwrap();
+        assert_eq!(star.evaluate(), Value::Int64(3));
+        let mut cnt = count(col("x")).create_accumulator();
+        cnt.update_column(Some(&c), 3).unwrap();
+        assert_eq!(cnt.evaluate(), Value::Int64(2));
+    }
+
+    #[test]
+    fn sum_min_max_avg() {
+        let c = int_column(&[Some(5), None, Some(-2), Some(10)]);
+        let mut s = sum(col("x")).create_accumulator();
+        s.update_column(Some(&c), 4).unwrap();
+        assert_eq!(s.evaluate(), Value::Int64(13));
+        let mut mn = min(col("x")).create_accumulator();
+        mn.update_column(Some(&c), 4).unwrap();
+        assert_eq!(mn.evaluate(), Value::Int64(-2));
+        let mut mx = max(col("x")).create_accumulator();
+        mx.update_column(Some(&c), 4).unwrap();
+        assert_eq!(mx.evaluate(), Value::Int64(10));
+        let mut av = avg(col("x")).create_accumulator();
+        av.update_column(Some(&c), 4).unwrap();
+        assert_eq!(av.evaluate(), Value::Float64(13.0 / 3.0));
+    }
+
+    #[test]
+    fn empty_input_yields_null_or_zero() {
+        assert_eq!(count_star().create_accumulator().evaluate(), Value::Int64(0));
+        assert_eq!(sum(col("x")).create_accumulator().evaluate(), Value::Null);
+        assert_eq!(min(col("x")).create_accumulator().evaluate(), Value::Null);
+        assert_eq!(avg(col("x")).create_accumulator().evaluate(), Value::Null);
+    }
+
+    #[test]
+    fn merge_equals_single_pass() {
+        // Split input across two accumulators, merge, compare with a
+        // single-pass accumulator — the property the incremental engine
+        // relies on.
+        let all = int_column(&[Some(1), Some(2), None, Some(4), Some(5)]);
+        let left = int_column(&[Some(1), Some(2)]);
+        let right = int_column(&[None, Some(4), Some(5)]);
+        for agg in [sum(col("x")), min(col("x")), max(col("x")), avg(col("x")), count(col("x"))] {
+            let mut single = agg.create_accumulator();
+            single.update_column(Some(&all), 5).unwrap();
+            let mut a = agg.create_accumulator();
+            a.update_column(Some(&left), 2).unwrap();
+            let mut b = agg.create_accumulator();
+            b.update_column(Some(&right), 3).unwrap();
+            a.merge(&b.state()).unwrap();
+            assert_eq!(a.evaluate(), single.evaluate(), "{}", agg.output_name());
+        }
+    }
+
+    #[test]
+    fn state_round_trip() {
+        let c = int_column(&[Some(3), Some(9)]);
+        for agg in [sum(col("x")), avg(col("x")), count_star()] {
+            let mut acc = agg.create_accumulator();
+            acc.update_column(Some(&c), 2).unwrap();
+            let restored = agg.accumulator_from_state(&acc.state()).unwrap();
+            assert_eq!(restored.evaluate(), acc.evaluate(), "{}", agg.output_name());
+        }
+    }
+
+    #[test]
+    fn scalar_and_vector_updates_agree() {
+        let vals = [Some(2i64), None, Some(7), Some(-1)];
+        let c = int_column(&vals);
+        for agg in [sum(col("x")), min(col("x")), max(col("x")), avg(col("x")), count(col("x"))] {
+            let mut vectored = agg.create_accumulator();
+            vectored.update_column(Some(&c), 4).unwrap();
+            let mut scalar = agg.create_accumulator();
+            for v in &vals {
+                scalar.update_value(&Value::from(*v)).unwrap();
+            }
+            assert_eq!(scalar.evaluate(), vectored.evaluate(), "{}", agg.output_name());
+        }
+    }
+
+    #[test]
+    fn result_types() {
+        let schema = Schema::new(vec![
+            Field::new("x", DataType::Int64),
+            Field::new("s", DataType::Utf8),
+        ])
+        .unwrap();
+        assert_eq!(count_star().result_type(&schema).unwrap(), DataType::Int64);
+        assert_eq!(sum(col("x")).result_type(&schema).unwrap(), DataType::Int64);
+        assert_eq!(avg(col("x")).result_type(&schema).unwrap(), DataType::Float64);
+        assert_eq!(min(col("s")).result_type(&schema).unwrap(), DataType::Utf8);
+        assert!(sum(col("s")).result_type(&schema).is_err());
+        assert!(avg(col("s")).result_type(&schema).is_err());
+    }
+
+    #[test]
+    fn min_max_work_on_strings_and_floats() {
+        let c = Column::from_values(
+            DataType::Utf8,
+            &[Value::str("pear"), Value::str("apple"), Value::Null],
+        )
+        .unwrap();
+        let mut mn = min(col("s")).create_accumulator();
+        mn.update_column(Some(&c), 3).unwrap();
+        assert_eq!(mn.evaluate(), Value::str("apple"));
+        let f = Column::from_values(
+            DataType::Float64,
+            &[Value::Float64(1.5), Value::Float64(-0.5)],
+        )
+        .unwrap();
+        let mut mx = max(col("f")).create_accumulator();
+        mx.update_column(Some(&f), 2).unwrap();
+        assert_eq!(mx.evaluate(), Value::Float64(1.5));
+    }
+
+    #[test]
+    fn merge_rejects_malformed_state() {
+        let mut acc = avg(col("x")).create_accumulator();
+        assert!(acc.merge(&row![1i64]).is_err());
+        let mut acc = count_star().create_accumulator();
+        assert!(acc.merge(&Row::empty()).is_err());
+    }
+}

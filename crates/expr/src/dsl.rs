@@ -1,0 +1,126 @@
+//! Free-function builders mirroring Spark's DataFrame DSL.
+//!
+//! ```
+//! use ss_expr::{col, lit, window};
+//! // data.where($"state" === "CA").groupBy(window($"time", "30s")) ...
+//! let pred = col("state").eq(lit("CA"));
+//! let w = window(col("time"), "30s").unwrap();
+//! ```
+
+use ss_common::time::parse_duration;
+use ss_common::{Result, Value};
+
+use crate::agg::{AggregateExpr, AggregateFunction};
+use crate::expr::Expr;
+
+/// A column reference.
+pub fn col(name: impl Into<String>) -> Expr {
+    Expr::Column(name.into())
+}
+
+/// A literal value.
+pub fn lit(v: impl Into<Value>) -> Expr {
+    Expr::Literal(v.into())
+}
+
+/// A tumbling event-time window of the given duration, e.g.
+/// `window(col("time"), "10 seconds")`.
+pub fn window(time: Expr, size: &str) -> Result<Expr> {
+    let size_us = parse_duration(size)?;
+    Ok(Expr::Window {
+        time: Box::new(time),
+        size_us,
+        slide_us: size_us,
+    })
+}
+
+/// A sliding event-time window, e.g.
+/// `window_sliding(col("time"), "1 hour", "5 minutes")` — the paper's
+/// "1-hour sliding windows advancing every 5 minutes" example (§4.1).
+pub fn window_sliding(time: Expr, size: &str, slide: &str) -> Result<Expr> {
+    let size_us = parse_duration(size)?;
+    let slide_us = parse_duration(slide)?;
+    if slide_us > size_us || slide_us <= 0 {
+        return Err(ss_common::SsError::Plan(format!(
+            "window slide ({slide}) must be positive and <= size ({size})"
+        )));
+    }
+    Ok(Expr::Window {
+        time: Box::new(time),
+        size_us,
+        slide_us,
+    })
+}
+
+/// `count(expr)` — counts non-NULL values.
+pub fn count(e: Expr) -> AggregateExpr {
+    AggregateExpr::new(AggregateFunction::Count, Some(e))
+}
+
+/// `count(*)` — counts rows.
+pub fn count_star() -> AggregateExpr {
+    AggregateExpr::new(AggregateFunction::Count, None)
+}
+
+/// `sum(expr)`.
+pub fn sum(e: Expr) -> AggregateExpr {
+    AggregateExpr::new(AggregateFunction::Sum, Some(e))
+}
+
+/// `min(expr)`.
+pub fn min(e: Expr) -> AggregateExpr {
+    AggregateExpr::new(AggregateFunction::Min, Some(e))
+}
+
+/// `max(expr)`.
+pub fn max(e: Expr) -> AggregateExpr {
+    AggregateExpr::new(AggregateFunction::Max, Some(e))
+}
+
+/// `avg(expr)`.
+pub fn avg(e: Expr) -> AggregateExpr {
+    AggregateExpr::new(AggregateFunction::Avg, Some(e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_common::time::{minutes, secs};
+
+    #[test]
+    fn window_builders_parse_durations() {
+        let w = window(col("t"), "10 seconds").unwrap();
+        match w {
+            Expr::Window {
+                size_us, slide_us, ..
+            } => {
+                assert_eq!(size_us, secs(10));
+                assert_eq!(slide_us, secs(10));
+            }
+            _ => panic!("expected window"),
+        }
+        let w = window_sliding(col("t"), "1 hour", "5 minutes").unwrap();
+        match w {
+            Expr::Window {
+                size_us, slide_us, ..
+            } => {
+                assert_eq!(size_us, minutes(60));
+                assert_eq!(slide_us, minutes(5));
+            }
+            _ => panic!("expected window"),
+        }
+    }
+
+    #[test]
+    fn sliding_larger_than_size_rejected() {
+        assert!(window_sliding(col("t"), "5 seconds", "10 seconds").is_err());
+        assert!(window(col("t"), "banana").is_err());
+    }
+
+    #[test]
+    fn agg_builders_name_themselves() {
+        assert_eq!(count_star().output_name(), "count(*)");
+        assert_eq!(sum(col("x")).output_name(), "sum(x)");
+        assert_eq!(avg(col("x")).alias("a").output_name(), "a");
+    }
+}

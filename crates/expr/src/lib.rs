@@ -1,0 +1,27 @@
+//! # ss-expr — expressions and vectorized evaluation
+//!
+//! The expression layer of the relational engine:
+//!
+//! * [`Expr`] — the expression AST produced by the DataFrame DSL and the
+//!   SQL front end, consumed by the planner and the evaluator.
+//! * [`dsl`] — `col("x").gt(lit(5))`-style builders, mirroring Spark's
+//!   `Column` API from the paper's examples.
+//! * [`eval`] — the vectorized evaluator: expressions run as tight typed
+//!   loops over [`ss_common::Column`]s. This is the reproduction's
+//!   analogue of Spark SQL's Tungsten code generation (§5.3): the point
+//!   is that no per-record boxing, hashing or virtual dispatch happens on
+//!   the hot path.
+//! * [`agg`] — aggregate functions with *mergeable partial states*, the
+//!   property the incremental engine relies on to keep running aggregates
+//!   in the state store (§5.2).
+
+pub mod agg;
+pub mod dsl;
+pub mod eval;
+pub mod expr;
+pub mod kernels;
+
+pub use agg::{AggState, AggregateExpr, AggregateFunction};
+pub use dsl::{avg, col, count, count_star, lit, max, min, sum, window, window_sliding};
+pub use eval::{evaluate, evaluate_row};
+pub use expr::{BinaryOp, Expr};

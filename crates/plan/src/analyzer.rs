@@ -1,0 +1,339 @@
+//! Analysis (§5.1): attribute/type resolution and query validation.
+//!
+//! `analyze` walks the plan bottom-up, type-checking every expression
+//! against its child's schema and enforcing structural rules (window
+//! placement, watermark columns, join key compatibility, stateful-op
+//! key types). A plan that passes analysis evaluates without type
+//! errors; output-mode compatibility is checked separately by
+//! [`crate::streaming::validate_streaming`] because it depends on the
+//! sink configuration, not just the query.
+
+use std::sync::Arc;
+
+use ss_common::{DataType, Result, SsError};
+use ss_expr::Expr;
+
+use crate::plan::{strip_alias, LogicalPlan};
+
+/// Validate and resolve a logical plan. Returns the plan unchanged on
+/// success (resolution is by name; this pass is a checker).
+pub fn analyze(plan: &Arc<LogicalPlan>) -> Result<Arc<LogicalPlan>> {
+    check(plan)?;
+    Ok(plan.clone())
+}
+
+fn check(plan: &LogicalPlan) -> Result<()> {
+    for child in plan.children() {
+        check(child)?;
+    }
+    match plan {
+        LogicalPlan::Scan { schema, projection, .. } => {
+            if let Some(idx) = projection {
+                schema.project(idx)?;
+            }
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let s = input.schema()?;
+            no_window(predicate, "a WHERE predicate")?;
+            let t = predicate.data_type(&s)?;
+            if t != DataType::Boolean {
+                return Err(SsError::Plan(format!(
+                    "filter predicate `{predicate}` must be BOOLEAN, got {t}"
+                )));
+            }
+        }
+        LogicalPlan::Project { input, exprs } => {
+            let s = input.schema()?;
+            if exprs.is_empty() {
+                return Err(SsError::Plan("projection with no expressions".into()));
+            }
+            for e in exprs {
+                e.data_type(&s)?;
+                // Tumbling windows are fine in projections (they're just
+                // bucketing); sliding windows multiply rows and are only
+                // meaningful as grouping keys.
+                if let Some(w) = find_window(e) {
+                    if let Expr::Window {
+                        size_us, slide_us, ..
+                    } = w
+                    {
+                        if slide_us != size_us {
+                            return Err(SsError::Plan(format!(
+                                "sliding window `{w}` is only valid as a grouping key"
+                            )));
+                        }
+                    }
+                }
+            }
+            // Surfaces duplicate output names.
+            plan.schema()?;
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_exprs,
+            aggregates,
+        } => {
+            let s = input.schema()?;
+            if aggregates.is_empty() {
+                return Err(SsError::Plan(
+                    "aggregation requires at least one aggregate expression".into(),
+                ));
+            }
+            let mut window_keys = 0;
+            for g in group_exprs {
+                g.data_type(&s)?;
+                if let Expr::Window { .. } = strip_alias(g) {
+                    window_keys += 1;
+                } else if g.contains_window() {
+                    return Err(SsError::Plan(format!(
+                        "window() must be a top-level grouping key, not nested in `{g}`"
+                    )));
+                }
+            }
+            if window_keys > 1 {
+                return Err(SsError::Plan(
+                    "at most one window() grouping key is supported".into(),
+                ));
+            }
+            for a in aggregates {
+                if let Some(arg) = &a.arg {
+                    no_window(arg, "an aggregate argument")?;
+                }
+                a.result_type(&s)?;
+            }
+            plan.schema()?;
+        }
+        LogicalPlan::Join {
+            left, right, on, ..
+        } => {
+            if on.is_empty() {
+                return Err(SsError::Plan(
+                    "joins require at least one equality condition".into(),
+                ));
+            }
+            let ls = left.schema()?;
+            let rs = right.schema()?;
+            for (le, re) in on {
+                no_window(le, "a join key")?;
+                no_window(re, "a join key")?;
+                let lt = le.data_type(&ls).map_err(|e| {
+                    SsError::Plan(format!("left join key `{le}`: {e}"))
+                })?;
+                let rt = re.data_type(&rs).map_err(|e| {
+                    SsError::Plan(format!("right join key `{re}`: {e}"))
+                })?;
+                lt.common_type(rt).map_err(|_| {
+                    SsError::Plan(format!(
+                        "join keys `{le}` ({lt}) and `{re}` ({rt}) are not comparable"
+                    ))
+                })?;
+            }
+        }
+        LogicalPlan::Sort { input, keys } => {
+            let s = input.schema()?;
+            if keys.is_empty() {
+                return Err(SsError::Plan("ORDER BY requires at least one key".into()));
+            }
+            for k in keys {
+                no_window(&k.expr, "a sort key")?;
+                k.expr.data_type(&s)?;
+            }
+        }
+        LogicalPlan::Limit { .. } | LogicalPlan::Distinct { .. } => {}
+        LogicalPlan::Watermark {
+            input,
+            column,
+            delay_us,
+        } => {
+            let s = input.schema()?;
+            let f = s.field_by_name(column)?;
+            if f.data_type != DataType::Timestamp {
+                return Err(SsError::Plan(format!(
+                    "withWatermark column `{column}` must be TIMESTAMP, got {}",
+                    f.data_type
+                )));
+            }
+            if *delay_us < 0 {
+                return Err(SsError::Plan("watermark delay must be non-negative".into()));
+            }
+        }
+        LogicalPlan::MapGroupsWithState { input, op } => {
+            let s = input.schema()?;
+            if op.key_exprs.is_empty() {
+                return Err(SsError::Plan(format!(
+                    "stateful operator `{}` requires at least one grouping key",
+                    op.name
+                )));
+            }
+            for k in &op.key_exprs {
+                no_window(k, "a groupByKey expression")?;
+                k.data_type(&s)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+fn find_window(e: &Expr) -> Option<&Expr> {
+    if let Expr::Window { .. } = e {
+        return Some(e);
+    }
+    e.children().iter().find_map(|c| find_window(c))
+}
+
+fn no_window(e: &Expr, place: &str) -> Result<()> {
+    if e.contains_window() {
+        return Err(SsError::Plan(format!(
+            "window() is not allowed in {place}: `{e}`"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::LogicalPlanBuilder;
+    use crate::plan::{JoinType, SortKey};
+
+    use ss_common::{Field, Schema};
+    use ss_expr::{avg, col, count_star, lit, sum, window, window_sliding};
+
+    fn events() -> LogicalPlanBuilder {
+        LogicalPlanBuilder::scan(
+            "events",
+            Schema::of(vec![
+                Field::new("country", DataType::Utf8),
+                Field::new("time", DataType::Timestamp),
+                Field::new("latency", DataType::Float64),
+            ]),
+            true,
+        )
+    }
+
+    #[test]
+    fn valid_plan_passes() {
+        let plan = events()
+            .filter(col("country").eq(lit("CA")))
+            .aggregate(
+                vec![window(col("time"), "30s").unwrap()],
+                vec![avg(col("latency"))],
+            )
+            .build();
+        analyze(&plan).unwrap();
+    }
+
+    #[test]
+    fn unknown_column_rejected() {
+        let plan = events().filter(col("nope").eq(lit(1i64))).build();
+        let err = analyze(&plan).unwrap_err();
+        assert!(err.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn non_boolean_filter_rejected() {
+        let plan = events().filter(col("latency").add(lit(1.0f64))).build();
+        assert!(analyze(&plan).is_err());
+    }
+
+    #[test]
+    fn sum_of_string_rejected() {
+        let plan = events()
+            .aggregate(vec![col("country")], vec![sum(col("country"))])
+            .build();
+        assert!(analyze(&plan).is_err());
+    }
+
+    #[test]
+    fn sliding_window_in_projection_rejected_but_group_key_ok() {
+        let sliding = window_sliding(col("time"), "1 hour", "5 minutes").unwrap();
+        let proj = events().project(vec![sliding.clone()]).build();
+        assert!(analyze(&proj).is_err());
+        let agg = events()
+            .aggregate(vec![sliding], vec![count_star()])
+            .build();
+        analyze(&agg).unwrap();
+    }
+
+    #[test]
+    fn window_in_filter_and_join_keys_rejected() {
+        let w = window(col("time"), "10s").unwrap();
+        let plan = events().filter(w.clone().eq(lit(0i64))).build();
+        assert!(analyze(&plan).is_err());
+        let join = events()
+            .join(events(), JoinType::Inner, vec![(w, col("time"))])
+            .build();
+        assert!(analyze(&join).is_err());
+    }
+
+    #[test]
+    fn two_window_keys_rejected() {
+        let plan = events()
+            .aggregate(
+                vec![
+                    window(col("time"), "10s").unwrap(),
+                    window(col("time"), "20s").unwrap(),
+                ],
+                vec![count_star()],
+            )
+            .build();
+        assert!(analyze(&plan).is_err());
+    }
+
+    #[test]
+    fn join_key_type_mismatch_rejected() {
+        let other = LogicalPlanBuilder::scan(
+            "ads",
+            Schema::of(vec![Field::new("ad_id", DataType::Int64)]),
+            false,
+        );
+        let plan = events()
+            .join(other, JoinType::Inner, vec![(col("country"), col("ad_id"))])
+            .build();
+        let err = analyze(&plan).unwrap_err();
+        assert!(err.to_string().contains("not comparable"));
+    }
+
+    #[test]
+    fn join_without_condition_rejected() {
+        let plan = events().join(events(), JoinType::Inner, vec![]).build();
+        assert!(analyze(&plan).is_err());
+    }
+
+    #[test]
+    fn watermark_on_non_timestamp_rejected() {
+        let plan = events()
+            .with_watermark("country", "10 minutes")
+            .unwrap()
+            .build();
+        assert!(analyze(&plan).is_err());
+        let ok = events().with_watermark("time", "10 minutes").unwrap().build();
+        analyze(&ok).unwrap();
+    }
+
+    #[test]
+    fn empty_projection_and_empty_aggregation_rejected() {
+        let plan = events().project(vec![]).build();
+        assert!(analyze(&plan).is_err());
+        let plan = events().aggregate(vec![col("country")], vec![]).build();
+        assert!(analyze(&plan).is_err());
+    }
+
+    #[test]
+    fn duplicate_projection_names_rejected() {
+        let plan = events().project(vec![col("country"), col("country")]).build();
+        assert!(analyze(&plan).is_err());
+        let ok = events()
+            .project(vec![col("country"), col("country").alias("c2")])
+            .build();
+        analyze(&ok).unwrap();
+    }
+
+    #[test]
+    fn sort_keys_typecheck() {
+        let plan = events().sort(vec![SortKey::asc(col("zzz"))]).build();
+        assert!(analyze(&plan).is_err());
+        let ok = events().sort(vec![SortKey::desc(col("latency"))]).build();
+        analyze(&ok).unwrap();
+    }
+}

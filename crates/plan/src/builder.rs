@@ -1,0 +1,246 @@
+//! A fluent builder for [`LogicalPlan`]s — the plan-level backbone of
+//! the DataFrame API (`ss-core` wraps it with sources and sinks).
+//!
+//! Construction is unchecked; [`crate::analyze`] validates the finished
+//! plan, mirroring Spark where DataFrame operations build an unresolved
+//! plan and analysis runs when the query executes.
+
+use std::sync::Arc;
+
+use ss_common::time::parse_duration;
+use ss_common::{Result, SchemaRef};
+use ss_expr::{AggregateExpr, Expr};
+
+use crate::plan::{JoinType, LogicalPlan, SortKey};
+use crate::stateful::StatefulOpDef;
+
+/// Fluent [`LogicalPlan`] construction.
+#[derive(Debug, Clone)]
+pub struct LogicalPlanBuilder {
+    plan: Arc<LogicalPlan>,
+}
+
+impl LogicalPlanBuilder {
+    /// Start from an existing plan.
+    pub fn from_plan(plan: Arc<LogicalPlan>) -> LogicalPlanBuilder {
+        LogicalPlanBuilder { plan }
+    }
+
+    /// Start from a named table/stream scan.
+    pub fn scan(name: impl Into<String>, schema: SchemaRef, streaming: bool) -> LogicalPlanBuilder {
+        LogicalPlanBuilder {
+            plan: Arc::new(LogicalPlan::Scan {
+                name: name.into(),
+                schema,
+                streaming,
+                projection: None,
+            }),
+        }
+    }
+
+    /// `WHERE predicate`.
+    pub fn filter(self, predicate: Expr) -> LogicalPlanBuilder {
+        LogicalPlanBuilder {
+            plan: Arc::new(LogicalPlan::Filter {
+                input: self.plan,
+                predicate,
+            }),
+        }
+    }
+
+    /// `SELECT exprs`.
+    pub fn project(self, exprs: Vec<Expr>) -> LogicalPlanBuilder {
+        LogicalPlanBuilder {
+            plan: Arc::new(LogicalPlan::Project {
+                input: self.plan,
+                exprs,
+            }),
+        }
+    }
+
+    /// `GROUP BY group_exprs` with aggregate expressions.
+    pub fn aggregate(
+        self,
+        group_exprs: Vec<Expr>,
+        aggregates: Vec<AggregateExpr>,
+    ) -> LogicalPlanBuilder {
+        LogicalPlanBuilder {
+            plan: Arc::new(LogicalPlan::Aggregate {
+                input: self.plan,
+                group_exprs,
+                aggregates,
+            }),
+        }
+    }
+
+    /// Equi-join with another plan on `left_expr = right_expr` pairs.
+    pub fn join(
+        self,
+        right: LogicalPlanBuilder,
+        join_type: JoinType,
+        on: Vec<(Expr, Expr)>,
+    ) -> LogicalPlanBuilder {
+        LogicalPlanBuilder {
+            plan: Arc::new(LogicalPlan::Join {
+                left: self.plan,
+                right: right.plan,
+                join_type,
+                on,
+            }),
+        }
+    }
+
+    /// `ORDER BY keys`.
+    pub fn sort(self, keys: Vec<SortKey>) -> LogicalPlanBuilder {
+        LogicalPlanBuilder {
+            plan: Arc::new(LogicalPlan::Sort {
+                input: self.plan,
+                keys,
+            }),
+        }
+    }
+
+    /// `LIMIT n`.
+    pub fn limit(self, n: usize) -> LogicalPlanBuilder {
+        LogicalPlanBuilder {
+            plan: Arc::new(LogicalPlan::Limit {
+                input: self.plan,
+                n,
+            }),
+        }
+    }
+
+    /// `SELECT DISTINCT`.
+    pub fn distinct(self) -> LogicalPlanBuilder {
+        LogicalPlanBuilder {
+            plan: Arc::new(LogicalPlan::Distinct { input: self.plan }),
+        }
+    }
+
+    /// `withWatermark(column, delay)` — e.g.
+    /// `.with_watermark("time", "10 minutes")` (§4.3.1).
+    pub fn with_watermark(
+        self,
+        column: impl Into<String>,
+        delay: &str,
+    ) -> Result<LogicalPlanBuilder> {
+        let delay_us = parse_duration(delay)?;
+        Ok(LogicalPlanBuilder {
+            plan: Arc::new(LogicalPlan::Watermark {
+                input: self.plan,
+                column: column.into(),
+                delay_us,
+            }),
+        })
+    }
+
+    /// `mapGroupsWithState` / `flatMapGroupsWithState` (§4.3.2).
+    pub fn map_groups_with_state(self, op: StatefulOpDef) -> LogicalPlanBuilder {
+        LogicalPlanBuilder {
+            plan: Arc::new(LogicalPlan::MapGroupsWithState {
+                input: self.plan,
+                op,
+            }),
+        }
+    }
+
+    /// The built plan.
+    pub fn build(self) -> Arc<LogicalPlan> {
+        self.plan
+    }
+
+    /// Peek at the current plan without consuming the builder.
+    pub fn plan(&self) -> &Arc<LogicalPlan> {
+        &self.plan
+    }
+
+    /// The current output schema.
+    pub fn schema(&self) -> Result<SchemaRef> {
+        self.plan.schema()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_common::{DataType, Field, Schema};
+    use ss_expr::{col, count_star, lit, window};
+
+    fn events() -> LogicalPlanBuilder {
+        LogicalPlanBuilder::scan(
+            "events",
+            Schema::of(vec![
+                Field::new("country", DataType::Utf8),
+                Field::new("time", DataType::Timestamp),
+                Field::new("latency", DataType::Float64),
+            ]),
+            true,
+        )
+    }
+
+    #[test]
+    fn paper_section_3_example_builds() {
+        // data.where($"state" === "CA").groupBy(window($"time","30s")).avg("latency")
+        let plan = events()
+            .filter(col("country").eq(lit("CA")))
+            .aggregate(
+                vec![window(col("time"), "30s").unwrap()],
+                vec![ss_expr::avg(col("latency"))],
+            )
+            .build();
+        assert!(plan.is_streaming());
+        assert_eq!(plan.count_aggregates(), 1);
+        let s = plan.schema().unwrap();
+        assert_eq!(
+            s.field_names(),
+            vec!["window_start", "window_end", "avg(latency)"]
+        );
+    }
+
+    #[test]
+    fn chained_operators_nest() {
+        let plan = events()
+            .filter(col("latency").gt(lit(0.0f64)))
+            .project(vec![col("country")])
+            .distinct()
+            .limit(10)
+            .build();
+        assert!(matches!(*plan, LogicalPlan::Limit { .. }));
+        assert_eq!(plan.schema().unwrap().field_names(), vec!["country"]);
+    }
+
+    #[test]
+    fn watermark_parses_duration() {
+        let plan = events()
+            .with_watermark("time", "10 minutes")
+            .unwrap()
+            .aggregate(vec![col("country")], vec![count_star()])
+            .build();
+        assert_eq!(
+            plan.watermarks(),
+            vec![("time".to_string(), 600_000_000)]
+        );
+        assert!(events().with_watermark("time", "banana").is_err());
+    }
+
+    #[test]
+    fn join_builder() {
+        let static_side = LogicalPlanBuilder::scan(
+            "campaigns",
+            Schema::of(vec![
+                Field::new("ad_id", DataType::Int64),
+                Field::new("campaign_id", DataType::Int64),
+            ]),
+            false,
+        );
+        let plan = events()
+            .join(
+                static_side,
+                JoinType::Inner,
+                vec![(col("country"), col("ad_id"))],
+            )
+            .build();
+        assert_eq!(plan.schema().unwrap().len(), 5);
+        assert!(plan.is_streaming());
+    }
+}

@@ -1,0 +1,30 @@
+//! # ss-plan — logical plans, analysis and optimization
+//!
+//! The Catalyst stand-in (§5 of the paper). Query planning proceeds in
+//! the paper's three stages:
+//!
+//! 1. **Analysis** ([`analyzer`]): resolve attributes and types, check
+//!    the query is valid, and — for streaming plans — check the chosen
+//!    output mode is compatible with the query shape (§5.1).
+//! 2. **Incrementalization** happens in `ss-core`, which maps analyzed
+//!    logical plans onto stateful physical operators.
+//! 3. **Optimization** ([`optimizer`]): rule-based rewrites (predicate
+//!    pushdown, projection pruning, constant folding, filter merging),
+//!    applied to fixpoint.
+//!
+//! [`LogicalPlan`] is the tree both the DataFrame builder
+//! ([`builder::LogicalPlanBuilder`]) and the SQL front end produce.
+
+pub mod analyzer;
+pub mod builder;
+pub mod optimizer;
+pub mod plan;
+pub mod stateful;
+pub mod streaming;
+
+pub use analyzer::analyze;
+pub use builder::LogicalPlanBuilder;
+pub use optimizer::{optimize, Optimizer};
+pub use plan::{JoinType, LogicalPlan, SortKey};
+pub use stateful::{GroupState, StateTimeout, StatefulOpDef, StatefulOutputMode};
+pub use streaming::{validate_streaming, OutputMode};

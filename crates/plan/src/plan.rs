@@ -1,0 +1,616 @@
+//! The logical plan tree.
+//!
+//! Nodes mirror the operator classes the paper says the incrementalizer
+//! supports (§5.2): selections/projections, `SELECT DISTINCT`, joins
+//! (inner/left-outer/right-outer; stream–table and stream–stream),
+//! stateful operators (`mapGroupsWithState`), up to one aggregation, and
+//! sorting after aggregation in complete mode. `Watermark` is the
+//! `withWatermark` operator from §4.3.1.
+
+use std::fmt;
+use std::sync::Arc;
+
+use ss_common::{Field, Result, Schema, SchemaRef, SsError};
+use ss_expr::{AggregateExpr, Expr};
+
+use crate::stateful::StatefulOpDef;
+
+/// Join types the incrementalizer supports (§5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JoinType {
+    Inner,
+    LeftOuter,
+    RightOuter,
+}
+
+impl fmt::Display for JoinType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            JoinType::Inner => "INNER",
+            JoinType::LeftOuter => "LEFT OUTER",
+            JoinType::RightOuter => "RIGHT OUTER",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One sort key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SortKey {
+    pub expr: Expr,
+    pub ascending: bool,
+}
+
+impl SortKey {
+    pub fn asc(expr: Expr) -> SortKey {
+        SortKey {
+            expr,
+            ascending: true,
+        }
+    }
+    pub fn desc(expr: Expr) -> SortKey {
+        SortKey {
+            expr,
+            ascending: false,
+        }
+    }
+}
+
+/// A logical query plan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalPlan {
+    /// A leaf: a named table or stream with a known schema. `streaming`
+    /// marks whether this scan reads an unbounded source; the planner
+    /// treats the plan as a streaming query iff any scan is streaming.
+    Scan {
+        name: String,
+        schema: SchemaRef,
+        streaming: bool,
+        /// Pushed-down column projection (indices into `schema`), filled
+        /// in by the optimizer's pruning rule.
+        projection: Option<Vec<usize>>,
+    },
+    /// `WHERE predicate`.
+    Filter {
+        input: Arc<LogicalPlan>,
+        predicate: Expr,
+    },
+    /// `SELECT exprs`.
+    Project {
+        input: Arc<LogicalPlan>,
+        exprs: Vec<Expr>,
+    },
+    /// `GROUP BY group_exprs AGG aggregates`. A `window()` grouping
+    /// expression expands into `window_start`/`window_end` output
+    /// columns.
+    Aggregate {
+        input: Arc<LogicalPlan>,
+        group_exprs: Vec<Expr>,
+        aggregates: Vec<AggregateExpr>,
+    },
+    /// Equi-join: `left.on[i].0 = right.on[i].1` for all i.
+    Join {
+        left: Arc<LogicalPlan>,
+        right: Arc<LogicalPlan>,
+        join_type: JoinType,
+        on: Vec<(Expr, Expr)>,
+    },
+    /// `ORDER BY`.
+    Sort {
+        input: Arc<LogicalPlan>,
+        keys: Vec<SortKey>,
+    },
+    /// `LIMIT n`.
+    Limit {
+        input: Arc<LogicalPlan>,
+        n: usize,
+    },
+    /// `SELECT DISTINCT`.
+    Distinct { input: Arc<LogicalPlan> },
+    /// `withWatermark(column, delay)` (§4.3.1): declares `column` as
+    /// event time with a lateness bound of `delay_us`.
+    Watermark {
+        input: Arc<LogicalPlan>,
+        column: String,
+        delay_us: i64,
+    },
+    /// `mapGroupsWithState` / `flatMapGroupsWithState` (§4.3.2).
+    MapGroupsWithState {
+        input: Arc<LogicalPlan>,
+        op: StatefulOpDef,
+    },
+}
+
+impl LogicalPlan {
+    /// The output schema of this node.
+    pub fn schema(&self) -> Result<SchemaRef> {
+        match self {
+            LogicalPlan::Scan {
+                schema, projection, ..
+            } => match projection {
+                None => Ok(schema.clone()),
+                Some(idx) => Ok(Arc::new(schema.project(idx)?)),
+            },
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. }
+            | LogicalPlan::Distinct { input }
+            | LogicalPlan::Watermark { input, .. } => input.schema(),
+            LogicalPlan::Project { input, exprs } => {
+                let in_schema = input.schema()?;
+                let mut fields = Vec::with_capacity(exprs.len());
+                for e in exprs {
+                    fields.push(Field {
+                        name: e.output_name(),
+                        data_type: e.data_type(&in_schema)?,
+                        nullable: e.nullable(&in_schema),
+                    });
+                }
+                Ok(Arc::new(Schema::new(fields)?))
+            }
+            LogicalPlan::Aggregate {
+                input,
+                group_exprs,
+                aggregates,
+            } => {
+                let in_schema = input.schema()?;
+                let mut fields = Vec::new();
+                for g in group_exprs {
+                    if let Expr::Window { .. } = strip_alias(g) {
+                        // Window keys expand to [start, end), as Spark's
+                        // window struct does.
+                        fields.push(Field::not_null(
+                            "window_start",
+                            ss_common::DataType::Timestamp,
+                        ));
+                        fields.push(Field::not_null(
+                            "window_end",
+                            ss_common::DataType::Timestamp,
+                        ));
+                    } else {
+                        fields.push(Field {
+                            name: g.output_name(),
+                            data_type: g.data_type(&in_schema)?,
+                            nullable: g.nullable(&in_schema),
+                        });
+                    }
+                }
+                for a in aggregates {
+                    fields.push(Field::new(a.output_name(), a.result_type(&in_schema)?));
+                }
+                Ok(Arc::new(Schema::new(fields)?))
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                join_type,
+                ..
+            } => {
+                let ls = left.schema()?;
+                let rs = right.schema()?;
+                // The null-extended side of an outer join becomes
+                // nullable.
+                let lf: Vec<Field> = ls
+                    .fields()
+                    .iter()
+                    .map(|f| {
+                        if *join_type == JoinType::RightOuter {
+                            f.as_nullable()
+                        } else {
+                            f.clone()
+                        }
+                    })
+                    .collect();
+                let rf: Vec<Field> = rs
+                    .fields()
+                    .iter()
+                    .map(|f| {
+                        if *join_type == JoinType::LeftOuter {
+                            f.as_nullable()
+                        } else {
+                            f.clone()
+                        }
+                    })
+                    .collect();
+                let joined = Schema::from(lf).join(&Schema::from(rf));
+                Ok(Arc::new(joined))
+            }
+            LogicalPlan::MapGroupsWithState { op, .. } => Ok(op.output_schema.clone()),
+        }
+    }
+
+    /// Direct children.
+    pub fn children(&self) -> Vec<&Arc<LogicalPlan>> {
+        match self {
+            LogicalPlan::Scan { .. } => vec![],
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. }
+            | LogicalPlan::Distinct { input }
+            | LogicalPlan::Watermark { input, .. }
+            | LogicalPlan::MapGroupsWithState { input, .. } => vec![input],
+            LogicalPlan::Join { left, right, .. } => vec![left, right],
+        }
+    }
+
+    /// Rebuild this node with new children (same order as
+    /// [`Self::children`]).
+    pub fn with_children(&self, mut children: Vec<Arc<LogicalPlan>>) -> Result<LogicalPlan> {
+        let want = self.children().len();
+        if children.len() != want {
+            return Err(SsError::Internal(format!(
+                "with_children: expected {want} children, got {}",
+                children.len()
+            )));
+        }
+        let mut next = || children.remove(0);
+        Ok(match self {
+            LogicalPlan::Scan { .. } => self.clone(),
+            LogicalPlan::Filter { predicate, .. } => LogicalPlan::Filter {
+                input: next(),
+                predicate: predicate.clone(),
+            },
+            LogicalPlan::Project { exprs, .. } => LogicalPlan::Project {
+                input: next(),
+                exprs: exprs.clone(),
+            },
+            LogicalPlan::Aggregate {
+                group_exprs,
+                aggregates,
+                ..
+            } => LogicalPlan::Aggregate {
+                input: next(),
+                group_exprs: group_exprs.clone(),
+                aggregates: aggregates.clone(),
+            },
+            LogicalPlan::Join { join_type, on, .. } => LogicalPlan::Join {
+                left: next(),
+                right: next(),
+                join_type: *join_type,
+                on: on.clone(),
+            },
+            LogicalPlan::Sort { keys, .. } => LogicalPlan::Sort {
+                input: next(),
+                keys: keys.clone(),
+            },
+            LogicalPlan::Limit { n, .. } => LogicalPlan::Limit {
+                input: next(),
+                n: *n,
+            },
+            LogicalPlan::Distinct { .. } => LogicalPlan::Distinct { input: next() },
+            LogicalPlan::Watermark { column, delay_us, .. } => LogicalPlan::Watermark {
+                input: next(),
+                column: column.clone(),
+                delay_us: *delay_us,
+            },
+            LogicalPlan::MapGroupsWithState { op, .. } => LogicalPlan::MapGroupsWithState {
+                input: next(),
+                op: op.clone(),
+            },
+        })
+    }
+
+    /// True if any scan in the tree is a streaming source.
+    pub fn is_streaming(&self) -> bool {
+        match self {
+            LogicalPlan::Scan { streaming, .. } => *streaming,
+            other => other.children().iter().any(|c| c.is_streaming()),
+        }
+    }
+
+    /// Number of `Aggregate` nodes in the tree (§5.2: "up to one
+    /// aggregation" is supported for incremental execution).
+    pub fn count_aggregates(&self) -> usize {
+        let own = matches!(self, LogicalPlan::Aggregate { .. }) as usize;
+        own + self
+            .children()
+            .iter()
+            .map(|c| c.count_aggregates())
+            .sum::<usize>()
+    }
+
+    /// All watermark declarations in the tree as `(column, delay_us)`.
+    pub fn watermarks(&self) -> Vec<(String, i64)> {
+        let mut out = Vec::new();
+        self.collect_watermarks(&mut out);
+        out
+    }
+
+    fn collect_watermarks(&self, out: &mut Vec<(String, i64)>) {
+        if let LogicalPlan::Watermark {
+            column, delay_us, ..
+        } = self
+        {
+            out.push((column.clone(), *delay_us));
+        }
+        for c in self.children() {
+            c.collect_watermarks(out);
+        }
+    }
+
+    /// All streaming scan names in the tree.
+    pub fn streaming_scans(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.visit(&mut |p| {
+            if let LogicalPlan::Scan {
+                name,
+                streaming: true,
+                ..
+            } = p
+            {
+                out.push(name.clone());
+            }
+        });
+        out
+    }
+
+    /// Pre-order traversal.
+    pub fn visit(&self, f: &mut dyn FnMut(&LogicalPlan)) {
+        f(self);
+        for c in self.children() {
+            c.visit(f);
+        }
+    }
+
+    /// Bottom-up transformation: rewrite children first, then apply `f`
+    /// to the rebuilt node.
+    pub fn transform_up(
+        &self,
+        f: &dyn Fn(LogicalPlan) -> Result<LogicalPlan>,
+    ) -> Result<LogicalPlan> {
+        let new_children = self
+            .children()
+            .iter()
+            .map(|c| c.transform_up(f).map(Arc::new))
+            .collect::<Result<Vec<_>>>()?;
+        let rebuilt = if new_children.is_empty() {
+            self.clone()
+        } else {
+            self.with_children(new_children)?
+        };
+        f(rebuilt)
+    }
+
+    /// One-line description of this node (no children).
+    pub fn describe(&self) -> String {
+        match self {
+            LogicalPlan::Scan {
+                name,
+                streaming,
+                projection,
+                schema,
+            } => {
+                let cols = match projection {
+                    Some(idx) => idx
+                        .iter()
+                        .map(|&i| schema.field(i).name.clone())
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                    None => "*".into(),
+                };
+                format!(
+                    "Scan{} {name} [{cols}]",
+                    if *streaming { " (stream)" } else { "" }
+                )
+            }
+            LogicalPlan::Filter { predicate, .. } => format!("Filter {predicate}"),
+            LogicalPlan::Project { exprs, .. } => format!(
+                "Project [{}]",
+                exprs
+                    .iter()
+                    .map(|e| e.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+            LogicalPlan::Aggregate {
+                group_exprs,
+                aggregates,
+                ..
+            } => format!(
+                "Aggregate group=[{}] aggs=[{}]",
+                group_exprs
+                    .iter()
+                    .map(|e| e.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                aggregates
+                    .iter()
+                    .map(|a| a.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+            LogicalPlan::Join { join_type, on, .. } => format!(
+                "Join {join_type} on [{}]",
+                on.iter()
+                    .map(|(l, r)| format!("{l} = {r}"))
+                    .collect::<Vec<_>>()
+                    .join(" AND ")
+            ),
+            LogicalPlan::Sort { keys, .. } => format!(
+                "Sort [{}]",
+                keys.iter()
+                    .map(|k| format!(
+                        "{} {}",
+                        k.expr,
+                        if k.ascending { "ASC" } else { "DESC" }
+                    ))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+            LogicalPlan::Limit { n, .. } => format!("Limit {n}"),
+            LogicalPlan::Distinct { .. } => "Distinct".to_string(),
+            LogicalPlan::Watermark {
+                column, delay_us, ..
+            } => format!("Watermark {column} delay={delay_us}us"),
+            LogicalPlan::MapGroupsWithState { op, .. } => {
+                format!("MapGroupsWithState {}", op.name)
+            }
+        }
+    }
+
+    fn fmt_tree(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+        writeln!(f, "{}{}", "  ".repeat(indent), self.describe())?;
+        for c in self.children() {
+            c.fmt_tree(f, indent + 1)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for LogicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_tree(f, 0)
+    }
+}
+
+/// Unwrap any `Alias` layers.
+pub fn strip_alias(e: &Expr) -> &Expr {
+    match e {
+        Expr::Alias { expr, .. } => strip_alias(expr),
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_common::DataType;
+    use ss_expr::{col, count_star, lit, window};
+
+    fn scan(streaming: bool) -> Arc<LogicalPlan> {
+        Arc::new(LogicalPlan::Scan {
+            name: "events".into(),
+            schema: Schema::of(vec![
+                Field::new("country", DataType::Utf8),
+                Field::new("time", DataType::Timestamp),
+                Field::new("latency", DataType::Float64),
+            ]),
+            streaming,
+            projection: None,
+        })
+    }
+
+    #[test]
+    fn project_schema_uses_output_names() {
+        let p = LogicalPlan::Project {
+            input: scan(false),
+            exprs: vec![col("country"), col("latency").mul(lit(2.0f64)).alias("l2")],
+        };
+        let s = p.schema().unwrap();
+        assert_eq!(s.field_names(), vec!["country", "l2"]);
+        assert_eq!(s.field(1).data_type, DataType::Float64);
+    }
+
+    #[test]
+    fn aggregate_schema_expands_window_keys() {
+        let agg = LogicalPlan::Aggregate {
+            input: scan(true),
+            group_exprs: vec![window(col("time"), "10 seconds").unwrap(), col("country")],
+            aggregates: vec![count_star()],
+        };
+        let s = agg.schema().unwrap();
+        assert_eq!(
+            s.field_names(),
+            vec!["window_start", "window_end", "country", "count(*)"]
+        );
+    }
+
+    #[test]
+    fn join_schema_concats_and_nullifies_outer_side() {
+        let j = LogicalPlan::Join {
+            left: scan(true),
+            right: scan(false),
+            join_type: JoinType::LeftOuter,
+            on: vec![(col("country"), col("country"))],
+        };
+        let s = j.schema().unwrap();
+        assert_eq!(s.len(), 6);
+        // Right side becomes nullable under a left-outer join.
+        assert!(s.field(3).nullable && s.field(4).nullable);
+    }
+
+    #[test]
+    fn streaming_propagates() {
+        let f = LogicalPlan::Filter {
+            input: scan(true),
+            predicate: col("country").eq(lit("CA")),
+        };
+        assert!(f.is_streaming());
+        let f = LogicalPlan::Filter {
+            input: scan(false),
+            predicate: col("country").eq(lit("CA")),
+        };
+        assert!(!f.is_streaming());
+    }
+
+    #[test]
+    fn watermarks_collected() {
+        let w = LogicalPlan::Watermark {
+            input: scan(true),
+            column: "time".into(),
+            delay_us: 5_000_000,
+        };
+        let agg = LogicalPlan::Aggregate {
+            input: Arc::new(w),
+            group_exprs: vec![col("country")],
+            aggregates: vec![count_star()],
+        };
+        assert_eq!(agg.watermarks(), vec![("time".to_string(), 5_000_000)]);
+        assert_eq!(agg.count_aggregates(), 1);
+    }
+
+    #[test]
+    fn transform_up_rewrites() {
+        let f = LogicalPlan::Filter {
+            input: scan(false),
+            predicate: lit(true),
+        };
+        // Replace trivially-true filters with their input.
+        let rewritten = f
+            .transform_up(&|p| {
+                Ok(match p {
+                    LogicalPlan::Filter { input, predicate }
+                        if predicate == lit(true) =>
+                    {
+                        (*input).clone()
+                    }
+                    other => other,
+                })
+            })
+            .unwrap();
+        assert!(matches!(rewritten, LogicalPlan::Scan { .. }));
+    }
+
+    #[test]
+    fn display_renders_tree() {
+        let f = LogicalPlan::Filter {
+            input: scan(true),
+            predicate: col("country").eq(lit("CA")),
+        };
+        let out = f.to_string();
+        assert!(out.contains("Filter (country = 'CA')"));
+        assert!(out.contains("  Scan (stream) events [*]"));
+    }
+
+    #[test]
+    fn scan_projection_narrows_schema() {
+        let mut s = (*scan(false)).clone();
+        if let LogicalPlan::Scan { projection, .. } = &mut s {
+            *projection = Some(vec![2, 0]);
+        }
+        assert_eq!(s.schema().unwrap().field_names(), vec!["latency", "country"]);
+    }
+
+    #[test]
+    fn streaming_scan_names() {
+        let j = LogicalPlan::Join {
+            left: scan(true),
+            right: scan(false),
+            join_type: JoinType::Inner,
+            on: vec![],
+        };
+        assert_eq!(j.streaming_scans(), vec!["events".to_string()]);
+    }
+}

@@ -1,0 +1,312 @@
+//! Stateful processing operators (§4.3.2): "UDFs with state".
+//!
+//! [`StatefulOpDef`] is the plan-level definition of a
+//! `mapGroupsWithState` / `flatMapGroupsWithState` call: a grouping key,
+//! a user function, an output schema, and a timeout configuration.
+//! [`GroupState`] is the handle the user function receives — it mirrors
+//! Spark's `GroupState[S]`: get/update/remove the per-key state and
+//! arrange timeouts in processing or event time.
+//!
+//! The state type `S` is a [`Row`]; the engine checkpoints it to the
+//! state store without user code (§6.1: "all of the state management in
+//! this design is transparent to user code").
+
+use std::fmt;
+use std::sync::Arc;
+
+use ss_common::{Result, Row, SchemaRef, SsError};
+use ss_expr::Expr;
+
+/// Which clock, if any, can fire timeouts for a stateful operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum StateTimeout {
+    /// No timeouts; the function is only called when new data arrives
+    /// for the key.
+    #[default]
+    None,
+    /// Timeouts fire when processing time passes the deadline set with
+    /// [`GroupState::set_timeout_duration`].
+    ProcessingTime,
+    /// Timeouts fire when the event-time watermark passes the timestamp
+    /// set with [`GroupState::set_timeout_timestamp`].
+    EventTime,
+}
+
+/// Per-operator internal output mode, inferred during incrementalization
+/// (§5.2: "users do not have to specify these intra-DAG modes
+/// manually").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StatefulOutputMode {
+    /// The operator only ever emits new rows.
+    Append,
+    /// The operator may re-emit rows for a key, replacing earlier ones.
+    Update,
+}
+
+/// The per-key state handle passed to the user's update function.
+#[derive(Debug, Clone)]
+pub struct GroupState {
+    state: Option<Row>,
+    removed: bool,
+    updated: bool,
+    timeout_conf: StateTimeout,
+    timeout_at: Option<i64>,
+    timed_out: bool,
+    /// Current event-time watermark (µs); -inf before any data.
+    watermark_us: i64,
+    /// Current processing time (µs).
+    processing_time_us: i64,
+}
+
+impl GroupState {
+    /// Build the handle the engine passes into the user function.
+    pub fn for_invocation(
+        state: Option<Row>,
+        timeout_conf: StateTimeout,
+        existing_timeout_at: Option<i64>,
+        timed_out: bool,
+        watermark_us: i64,
+        processing_time_us: i64,
+    ) -> GroupState {
+        GroupState {
+            state,
+            removed: false,
+            updated: false,
+            timeout_conf,
+            timeout_at: existing_timeout_at,
+            timed_out,
+            watermark_us,
+            processing_time_us,
+        }
+    }
+
+    /// Does state exist for this key?
+    pub fn exists(&self) -> bool {
+        self.state.is_some() && !self.removed
+    }
+
+    /// The current state, if any.
+    pub fn get(&self) -> Option<&Row> {
+        if self.removed {
+            None
+        } else {
+            self.state.as_ref()
+        }
+    }
+
+    /// Replace the state for this key.
+    pub fn update(&mut self, state: Row) {
+        self.state = Some(state);
+        self.removed = false;
+        self.updated = true;
+    }
+
+    /// Drop this key from state tracking.
+    pub fn remove(&mut self) {
+        self.state = None;
+        self.removed = true;
+        self.updated = true;
+        self.timeout_at = None;
+    }
+
+    /// Was this invocation triggered by a timeout rather than new data?
+    pub fn has_timed_out(&self) -> bool {
+        self.timed_out
+    }
+
+    /// Set a processing-time timeout `duration_us` from now. Requires
+    /// the operator to be configured with
+    /// [`StateTimeout::ProcessingTime`].
+    pub fn set_timeout_duration(&mut self, duration_us: i64) -> Result<()> {
+        if self.timeout_conf != StateTimeout::ProcessingTime {
+            return Err(SsError::Plan(
+                "set_timeout_duration requires StateTimeout::ProcessingTime".into(),
+            ));
+        }
+        if duration_us <= 0 {
+            return Err(SsError::Plan("timeout duration must be positive".into()));
+        }
+        self.timeout_at = Some(self.processing_time_us + duration_us);
+        Ok(())
+    }
+
+    /// Set an event-time timeout at `timestamp_us`. Requires
+    /// [`StateTimeout::EventTime`] and a timestamp not yet past the
+    /// watermark.
+    pub fn set_timeout_timestamp(&mut self, timestamp_us: i64) -> Result<()> {
+        if self.timeout_conf != StateTimeout::EventTime {
+            return Err(SsError::Plan(
+                "set_timeout_timestamp requires StateTimeout::EventTime".into(),
+            ));
+        }
+        if timestamp_us <= self.watermark_us {
+            return Err(SsError::Plan(format!(
+                "event-time timeout {timestamp_us} is not after the current watermark {}",
+                self.watermark_us
+            )));
+        }
+        self.timeout_at = Some(timestamp_us);
+        Ok(())
+    }
+
+    /// The current event-time watermark (µs since epoch; `i64::MIN`
+    /// before any data has been seen).
+    pub fn current_watermark(&self) -> i64 {
+        self.watermark_us
+    }
+
+    /// The current processing time (µs since epoch).
+    pub fn current_processing_time(&self) -> i64 {
+        self.processing_time_us
+    }
+
+    // -- engine-side accessors (not part of the user API) --
+
+    /// (engine) The state to persist after the invocation, or `None` if
+    /// the key was removed / never set.
+    pub fn final_state(&self) -> Option<&Row> {
+        self.get()
+    }
+
+    /// (engine) Did the function change the state?
+    pub fn was_updated(&self) -> bool {
+        self.updated
+    }
+
+    /// (engine) Was the key explicitly removed?
+    pub fn was_removed(&self) -> bool {
+        self.removed
+    }
+
+    /// (engine) The timeout deadline after the invocation, if any.
+    pub fn timeout_at(&self) -> Option<i64> {
+        if self.removed {
+            None
+        } else {
+            self.timeout_at
+        }
+    }
+}
+
+/// The user update function: `(key, new_values, state) -> output rows`.
+///
+/// For `mapGroupsWithState` the engine expects exactly one output row
+/// per invocation; `flatMapGroupsWithState` may return zero or more.
+pub type StatefulFn = Arc<dyn Fn(&Row, &[Row], &mut GroupState) -> Result<Vec<Row>> + Send + Sync>;
+
+/// Plan-level definition of a stateful operator.
+#[derive(Clone)]
+pub struct StatefulOpDef {
+    /// Name used in plan display and error messages.
+    pub name: String,
+    /// Grouping key expressions (the `groupByKey` argument).
+    pub key_exprs: Vec<Expr>,
+    /// Schema of the rows the update function returns.
+    pub output_schema: SchemaRef,
+    /// Timeout configuration.
+    pub timeout: StateTimeout,
+    /// `true` for `flatMapGroupsWithState` (0..n outputs per call);
+    /// `false` for `mapGroupsWithState` (exactly 1).
+    pub flat: bool,
+    /// The user function.
+    pub func: StatefulFn,
+}
+
+impl fmt::Debug for StatefulOpDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StatefulOpDef")
+            .field("name", &self.name)
+            .field("key_exprs", &self.key_exprs)
+            .field("output_schema", &self.output_schema)
+            .field("timeout", &self.timeout)
+            .field("flat", &self.flat)
+            .finish()
+    }
+}
+
+impl PartialEq for StatefulOpDef {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.key_exprs == other.key_exprs
+            && self.output_schema == other.output_schema
+            && self.timeout == other.timeout
+            && self.flat == other.flat
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_common::row;
+
+    fn fresh(conf: StateTimeout) -> GroupState {
+        GroupState::for_invocation(None, conf, None, false, 0, 1_000_000)
+    }
+
+    #[test]
+    fn state_lifecycle() {
+        let mut gs = fresh(StateTimeout::None);
+        assert!(!gs.exists());
+        assert_eq!(gs.get(), None);
+        gs.update(row![3i64]);
+        assert!(gs.exists());
+        assert_eq!(gs.get(), Some(&row![3i64]));
+        assert!(gs.was_updated());
+        gs.remove();
+        assert!(!gs.exists());
+        assert!(gs.was_removed());
+        assert_eq!(gs.final_state(), None);
+    }
+
+    #[test]
+    fn processing_time_timeout() {
+        let mut gs = fresh(StateTimeout::ProcessingTime);
+        gs.set_timeout_duration(30 * 60 * 1_000_000).unwrap();
+        assert_eq!(gs.timeout_at(), Some(1_000_000 + 30 * 60 * 1_000_000));
+        assert!(gs.set_timeout_duration(0).is_err());
+        // Wrong clock.
+        assert!(gs.set_timeout_timestamp(99).is_err());
+    }
+
+    #[test]
+    fn event_time_timeout_must_beat_watermark() {
+        let mut gs = GroupState::for_invocation(
+            Some(row![1i64]),
+            StateTimeout::EventTime,
+            None,
+            false,
+            5_000_000,
+            0,
+        );
+        assert!(gs.set_timeout_timestamp(4_000_000).is_err());
+        gs.set_timeout_timestamp(6_000_000).unwrap();
+        assert_eq!(gs.timeout_at(), Some(6_000_000));
+        // Wrong clock.
+        assert!(gs.set_timeout_duration(10).is_err());
+    }
+
+    #[test]
+    fn remove_clears_timeout() {
+        let mut gs = fresh(StateTimeout::ProcessingTime);
+        gs.update(row![1i64]);
+        gs.set_timeout_duration(1_000).unwrap();
+        gs.remove();
+        assert_eq!(gs.timeout_at(), None);
+    }
+
+    #[test]
+    fn timed_out_invocation_flag() {
+        let gs = GroupState::for_invocation(
+            Some(row![9i64]),
+            StateTimeout::ProcessingTime,
+            Some(500),
+            true,
+            i64::MIN,
+            1_000,
+        );
+        assert!(gs.has_timed_out());
+        assert!(gs.exists());
+        assert_eq!(gs.current_processing_time(), 1_000);
+        assert_eq!(gs.current_watermark(), i64::MIN);
+    }
+}

@@ -1,0 +1,342 @@
+//! Output modes and the §5.1 streaming-validity rules.
+//!
+//! "The first stage of query planning is analysis, where the engine
+//! validates the user's query [...] It also checks that the user's
+//! chosen output mode is valid for this specific query." This module is
+//! that check. The rules implemented here follow §5.1 and the Spark
+//! 2.3 documentation the paper cites:
+//!
+//! * at most **one aggregation** per streaming query;
+//! * **Complete** mode only for aggregation queries (state bounded by
+//!   the number of result keys), sorting allowed only here;
+//! * **Append** mode only for monotone output: no aggregation unless
+//!   grouped (at least in part) by a watermarked event-time key, since
+//!   only then can a group ever be finalized;
+//! * **Update** mode for aggregations and most other queries;
+//! * `mapGroupsWithState` only in Update mode,
+//!   `flatMapGroupsWithState` in Append or Update;
+//! * stream–stream **outer** joins require a watermark so buffered
+//!   join state can be evicted and NULL-extended rows emitted;
+//! * `LIMIT`/`ORDER BY` rejected outside Complete mode.
+
+use std::fmt;
+
+use ss_common::{Result, SsError};
+
+use crate::plan::{strip_alias, JoinType, LogicalPlan};
+use ss_expr::Expr;
+
+/// How the result table is written to the sink (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OutputMode {
+    /// Only newly-finalized rows are written; rows are never retracted.
+    Append,
+    /// Changed keys are rewritten in place.
+    Update,
+    /// The entire result table is rewritten on every trigger.
+    Complete,
+}
+
+impl fmt::Display for OutputMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OutputMode::Append => "append",
+            OutputMode::Update => "update",
+            OutputMode::Complete => "complete",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::str::FromStr for OutputMode {
+    type Err = SsError;
+    fn from_str(s: &str) -> Result<OutputMode> {
+        match s.to_ascii_lowercase().as_str() {
+            "append" => Ok(OutputMode::Append),
+            "update" => Ok(OutputMode::Update),
+            "complete" => Ok(OutputMode::Complete),
+            other => Err(SsError::Plan(format!(
+                "unknown output mode `{other}` (expected append/update/complete)"
+            ))),
+        }
+    }
+}
+
+/// Validate that `mode` is a legal output mode for the streaming query
+/// `plan` (§5.1). Assumes `plan.is_streaming()`.
+pub fn validate_streaming(plan: &LogicalPlan, mode: OutputMode) -> Result<()> {
+    let n_aggs = plan.count_aggregates();
+    if n_aggs > 1 {
+        return Err(SsError::Plan(format!(
+            "streaming queries support at most one aggregation, found {n_aggs}"
+        )));
+    }
+    let watermarks = plan.watermarks();
+
+    let mut err: Option<SsError> = None;
+    plan.visit(&mut |node| {
+        if err.is_some() {
+            return;
+        }
+        match node {
+            LogicalPlan::Sort { .. } => {
+                if mode != OutputMode::Complete {
+                    err = Some(SsError::Plan(
+                        "sorting a streaming query is only allowed in complete output mode \
+                         after an aggregation (§5.1)"
+                            .into(),
+                    ));
+                } else if n_aggs == 0 {
+                    err = Some(SsError::Plan(
+                        "sorting a streaming query requires an aggregation (§5.1)".into(),
+                    ));
+                }
+            }
+            LogicalPlan::Limit { .. }
+                if mode != OutputMode::Complete => {
+                    err = Some(SsError::Plan(
+                        "LIMIT on a streaming query is only allowed in complete output mode"
+                            .into(),
+                    ));
+                }
+            LogicalPlan::Aggregate { group_exprs, .. }
+                if mode == OutputMode::Append => {
+                    // Append requires monotone output: a group's row may
+                    // only be written once it can never change, which
+                    // requires an event-time key bounded by a watermark.
+                    let keyed_by_event_time = group_exprs.iter().any(|g| {
+                        match strip_alias(g) {
+                            Expr::Window { time, .. } => {
+                                time.referenced_columns()
+                                    .iter()
+                                    .any(|c| watermarks.iter().any(|(wc, _)| wc == c))
+                            }
+                            Expr::Column(c) => watermarks.iter().any(|(wc, _)| wc == c),
+                            _ => false,
+                        }
+                    });
+                    if !keyed_by_event_time {
+                        err = Some(SsError::Plan(
+                            "append output mode requires the aggregation to be keyed by a \
+                             watermarked event-time column (e.g. groupBy(window(...)) after \
+                             withWatermark), because other groups can never be finalized (§5.1)"
+                                .into(),
+                        ));
+                    }
+                }
+            LogicalPlan::MapGroupsWithState { op, .. } => {
+                if mode == OutputMode::Complete {
+                    err = Some(SsError::Plan(format!(
+                        "stateful operator `{}` is not allowed in complete output mode",
+                        op.name
+                    )));
+                } else if !op.flat && mode != OutputMode::Update {
+                    err = Some(SsError::Plan(format!(
+                        "mapGroupsWithState `{}` requires update output mode \
+                         (use flatMapGroupsWithState for append)",
+                        op.name
+                    )));
+                }
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                join_type,
+                ..
+            } => {
+                let both_streaming = left.is_streaming() && right.is_streaming();
+                if both_streaming && *join_type != JoinType::Inner && watermarks.is_empty() {
+                    err = Some(SsError::Plan(format!(
+                        "{join_type} join between two streams requires a watermark so \
+                         buffered rows can be finalized (§5.2)"
+                    )));
+                }
+                if both_streaming && mode == OutputMode::Complete {
+                    err = Some(SsError::Plan(
+                        "stream-stream joins are not supported in complete output mode".into(),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    });
+    if let Some(e) = err {
+        return Err(e);
+    }
+
+    if mode == OutputMode::Complete && n_aggs == 0 {
+        return Err(SsError::Plan(
+            "complete output mode requires an aggregation: the result table must stay \
+             proportional to the number of keys (§5.1)"
+                .into(),
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::LogicalPlanBuilder;
+    use crate::plan::SortKey;
+    use crate::stateful::{StateTimeout, StatefulOpDef};
+    use std::sync::Arc;
+
+    use ss_common::{DataType, Field, Schema};
+    use ss_expr::{col, count_star, lit, window};
+
+    fn events() -> LogicalPlanBuilder {
+        LogicalPlanBuilder::scan(
+            "events",
+            Schema::of(vec![
+                Field::new("country", DataType::Utf8),
+                Field::new("time", DataType::Timestamp),
+            ]),
+            true,
+        )
+    }
+
+    fn stateful(flat: bool) -> StatefulOpDef {
+        StatefulOpDef {
+            name: "sess".into(),
+            key_exprs: vec![col("country")],
+            output_schema: Schema::of(vec![Field::new("n", DataType::Int64)]),
+            timeout: StateTimeout::None,
+            flat,
+            func: Arc::new(|_, _, _| Ok(vec![])),
+        }
+    }
+
+    #[test]
+    fn paper_example_complete_count_by_country_ok() {
+        // §4.1: groupBy(country).count() with complete mode.
+        let plan = events()
+            .aggregate(vec![col("country")], vec![count_star()])
+            .build();
+        validate_streaming(&plan, OutputMode::Complete).unwrap();
+        validate_streaming(&plan, OutputMode::Update).unwrap();
+    }
+
+    #[test]
+    fn paper_example_append_count_by_country_rejected() {
+        // §4.2: "suppose we are aggregating counts by country [...] and
+        // we want to use the append output mode [...] this combination
+        // will not be allowed".
+        let plan = events()
+            .aggregate(vec![col("country")], vec![count_star()])
+            .build();
+        let err = validate_streaming(&plan, OutputMode::Append).unwrap_err();
+        assert!(err.to_string().contains("append"));
+    }
+
+    #[test]
+    fn append_windowed_watermarked_aggregation_ok() {
+        let plan = events()
+            .with_watermark("time", "10 minutes")
+            .unwrap()
+            .aggregate(
+                vec![window(col("time"), "10 seconds").unwrap(), col("country")],
+                vec![count_star()],
+            )
+            .build();
+        validate_streaming(&plan, OutputMode::Append).unwrap();
+    }
+
+    #[test]
+    fn append_windowed_without_watermark_rejected() {
+        let plan = events()
+            .aggregate(
+                vec![window(col("time"), "10 seconds").unwrap()],
+                vec![count_star()],
+            )
+            .build();
+        assert!(validate_streaming(&plan, OutputMode::Append).is_err());
+    }
+
+    #[test]
+    fn complete_without_aggregation_rejected() {
+        let plan = events().filter(col("country").eq(lit("CA"))).build();
+        assert!(validate_streaming(&plan, OutputMode::Complete).is_err());
+        // But append of a map-only query is fine (monotone output).
+        validate_streaming(&plan, OutputMode::Append).unwrap();
+    }
+
+    #[test]
+    fn sort_only_in_complete_after_aggregation() {
+        let sorted_agg = events()
+            .aggregate(vec![col("country")], vec![count_star()])
+            .sort(vec![SortKey::desc(col("count(*)"))])
+            .build();
+        validate_streaming(&sorted_agg, OutputMode::Complete).unwrap();
+        assert!(validate_streaming(&sorted_agg, OutputMode::Update).is_err());
+        let sorted_plain = events().sort(vec![SortKey::asc(col("time"))]).build();
+        assert!(validate_streaming(&sorted_plain, OutputMode::Complete).is_err());
+    }
+
+    #[test]
+    fn at_most_one_aggregation() {
+        let plan = events()
+            .aggregate(vec![col("country")], vec![count_star()])
+            .aggregate(vec![], vec![count_star()])
+            .build();
+        let err = validate_streaming(&plan, OutputMode::Complete).unwrap_err();
+        assert!(err.to_string().contains("at most one aggregation"));
+    }
+
+    #[test]
+    fn map_groups_with_state_update_only() {
+        let plan = events().map_groups_with_state(stateful(false)).build();
+        validate_streaming(&plan, OutputMode::Update).unwrap();
+        assert!(validate_streaming(&plan, OutputMode::Append).is_err());
+        assert!(validate_streaming(&plan, OutputMode::Complete).is_err());
+        let flat = events().map_groups_with_state(stateful(true)).build();
+        validate_streaming(&flat, OutputMode::Append).unwrap();
+        validate_streaming(&flat, OutputMode::Update).unwrap();
+    }
+
+    #[test]
+    fn stream_stream_outer_join_needs_watermark() {
+        let left = events();
+        let right = events();
+        let no_wm = left
+            .clone()
+            .join(
+                right.clone(),
+                crate::plan::JoinType::LeftOuter,
+                vec![(col("country"), col("country"))],
+            )
+            .build();
+        assert!(validate_streaming(&no_wm, OutputMode::Append).is_err());
+        let with_wm = events()
+            .with_watermark("time", "1 min")
+            .unwrap()
+            .join(
+                right,
+                crate::plan::JoinType::LeftOuter,
+                vec![(col("country"), col("country"))],
+            )
+            .build();
+        validate_streaming(&with_wm, OutputMode::Append).unwrap();
+    }
+
+    #[test]
+    fn limit_only_in_complete() {
+        let plan = events()
+            .aggregate(vec![col("country")], vec![count_star()])
+            .limit(5)
+            .build();
+        validate_streaming(&plan, OutputMode::Complete).unwrap();
+        assert!(validate_streaming(&plan, OutputMode::Update).is_err());
+    }
+
+    #[test]
+    fn output_mode_parsing() {
+        assert_eq!("APPEND".parse::<OutputMode>().unwrap(), OutputMode::Append);
+        assert_eq!(
+            "complete".parse::<OutputMode>().unwrap(),
+            OutputMode::Complete
+        );
+        assert!("delta".parse::<OutputMode>().is_err());
+        assert_eq!(OutputMode::Update.to_string(), "update");
+    }
+}

@@ -1,0 +1,239 @@
+//! The SQL tokenizer.
+
+use ss_common::{Result, SsError};
+
+/// One SQL token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (keywords are matched case-insensitively
+    /// by the parser; the original spelling is preserved here).
+    Word(String),
+    /// Integer literal.
+    Integer(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// `'...'` string literal (with `''` escape).
+    Str(String),
+    /// Operators and punctuation.
+    Eq,        // =
+    NotEq,     // <> or !=
+    Lt,        // <
+    LtEq,      // <=
+    Gt,        // >
+    GtEq,      // >=
+    Plus,      // +
+    Minus,     // -
+    Star,      // *
+    Slash,     // /
+    Percent,   // %
+    LParen,    // (
+    RParen,    // )
+    Comma,     // ,
+    Semicolon, // ;
+}
+
+impl Token {
+    /// True if this is the given keyword (case-insensitive).
+    pub fn is_keyword(&self, kw: &str) -> bool {
+        matches!(self, Token::Word(w) if w.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenize SQL text.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = sql.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '-' if chars.get(i + 1) == Some(&'-') => {
+                // Line comment.
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Semicolon);
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token::Minus);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            '%' => {
+                tokens.push(Token::Percent);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '!' if chars.get(i + 1) == Some(&'=') => {
+                tokens.push(Token::NotEq);
+                i += 2;
+            }
+            '<' => {
+                match chars.get(i + 1) {
+                    Some('=') => {
+                        tokens.push(Token::LtEq);
+                        i += 2;
+                    }
+                    Some('>') => {
+                        tokens.push(Token::NotEq);
+                        i += 2;
+                    }
+                    _ => {
+                        tokens.push(Token::Lt);
+                        i += 1;
+                    }
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    tokens.push(Token::GtEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // String literal with '' escaping.
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match chars.get(i) {
+                        None => {
+                            return Err(SsError::Parse("unterminated string literal".into()))
+                        }
+                        Some('\'') if chars.get(i + 1) == Some(&'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&c) => {
+                            s.push(c);
+                            i += 1;
+                        }
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                if text.contains('.') {
+                    tokens.push(Token::Float(text.parse().map_err(|e| {
+                        SsError::Parse(format!("bad float literal `{text}`: {e}"))
+                    })?));
+                } else {
+                    tokens.push(Token::Integer(text.parse().map_err(|e| {
+                        SsError::Parse(format!("bad integer literal `{text}`: {e}"))
+                    })?));
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                tokens.push(Token::Word(chars[start..i].iter().collect()));
+            }
+            other => {
+                return Err(SsError::Parse(format!(
+                    "unexpected character `{other}` in SQL"
+                )))
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_a_full_query() {
+        let t = tokenize(
+            "SELECT a, count(*) FROM t WHERE b >= 1.5 AND c <> 'x''y' -- comment\n LIMIT 3;",
+        )
+        .unwrap();
+        assert!(t.contains(&Token::Word("SELECT".into())));
+        assert!(t.contains(&Token::Float(1.5)));
+        assert!(t.contains(&Token::GtEq));
+        assert!(t.contains(&Token::NotEq));
+        assert!(t.contains(&Token::Str("x'y".into())));
+        assert!(t.contains(&Token::Semicolon));
+        // The comment is dropped.
+        assert!(!t.iter().any(|tok| matches!(tok, Token::Word(w) if w == "comment")));
+    }
+
+    #[test]
+    fn operators_disambiguate() {
+        let t = tokenize("< <= <> != > >= = + - * / %").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Lt,
+                Token::LtEq,
+                Token::NotEq,
+                Token::NotEq,
+                Token::Gt,
+                Token::GtEq,
+                Token::Eq,
+                Token::Plus,
+                Token::Minus,
+                Token::Star,
+                Token::Slash,
+                Token::Percent,
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(tokenize("SELECT 'oops").is_err());
+        assert!(tokenize("SELECT ??").is_err());
+        assert!(tokenize("SELECT 1.2.3").is_err());
+    }
+
+    #[test]
+    fn keywords_match_case_insensitively() {
+        let t = tokenize("select").unwrap();
+        assert!(t[0].is_keyword("SELECT"));
+        assert!(!t[0].is_keyword("FROM"));
+    }
+}

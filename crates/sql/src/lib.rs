@@ -1,0 +1,56 @@
+//! # ss-sql — the SQL front end
+//!
+//! The paper's API is "SQL or DataFrames" (§4.1): both produce the same
+//! relational plan. This crate provides the SQL half: a hand-written
+//! tokenizer ([`lexer`]) and recursive-descent parser ([`parser`]) that
+//! lower a practical SQL subset straight onto [`ss_plan::LogicalPlan`]:
+//!
+//! ```sql
+//! SELECT window_start, campaign_id, COUNT(*) AS views
+//! FROM events JOIN campaigns ON ad_id = c_ad_id
+//! WHERE event_type = 'view'
+//! GROUP BY WINDOW(event_time, '10 seconds'), campaign_id
+//! ```
+//!
+//! Supported: `SELECT [DISTINCT]`, expressions with the full operator
+//! set, `CAST`, `CASE`, scalar functions, aggregate functions
+//! (`COUNT(*)`, `COUNT`, `SUM`, `MIN`, `MAX`, `AVG`),
+//! `WINDOW(col, 'dur' [, 'slide'])` grouping keys, inner/left/right
+//! joins with equi-conditions, `WHERE`, `GROUP BY`, `HAVING`,
+//! `ORDER BY ... ASC|DESC`, `LIMIT`.
+//!
+//! Table names resolve through a [`TableResolver`], so the same SQL
+//! works over static tables and streams (a streaming scan simply marks
+//! the plan streaming, and the §5.1 checks happen downstream, exactly
+//! as for DataFrame-built plans).
+
+pub mod lexer;
+pub mod parser;
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use ss_common::{Result, SchemaRef, SsError};
+use ss_plan::LogicalPlan;
+
+/// Resolves table names to `(schema, is_streaming)`.
+pub trait TableResolver {
+    fn resolve(&self, name: &str) -> Result<(SchemaRef, bool)>;
+}
+
+impl TableResolver for HashMap<String, (SchemaRef, bool)> {
+    fn resolve(&self, name: &str) -> Result<(SchemaRef, bool)> {
+        self.get(name)
+            .cloned()
+            .ok_or_else(|| SsError::Plan(format!("unknown table `{name}`")))
+    }
+}
+
+/// Parse one SQL query into a logical plan.
+pub fn parse_query(sql: &str, resolver: &dyn TableResolver) -> Result<Arc<LogicalPlan>> {
+    let tokens = lexer::tokenize(sql)?;
+    let mut parser = parser::Parser::new(tokens);
+    let query = parser.parse_query()?;
+    parser.expect_end()?;
+    parser::lower(&query, resolver)
+}

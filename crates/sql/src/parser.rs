@@ -1,0 +1,1090 @@
+//! Recursive-descent parser and plan lowering.
+//!
+//! Parsing produces a small [`Query`] AST whose expressions are
+//! [`ss_expr::Expr`] values; aggregate calls travel as
+//! `Expr::Function { name: "count" | "sum" | ... }` placeholders and
+//! are extracted during lowering (rewritten to references to the
+//! aggregate's output column), which handles aggregates in `SELECT`,
+//! `HAVING` and `ORDER BY` uniformly.
+
+use std::sync::Arc;
+
+use ss_common::{DataType, Result, SsError, Value};
+use ss_expr::{dsl, AggregateExpr, AggregateFunction, Expr};
+use ss_plan::{JoinType, LogicalPlan, LogicalPlanBuilder, SortKey};
+
+use crate::lexer::Token;
+use crate::TableResolver;
+
+/// One `SELECT` list entry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `SELECT *`
+    Wildcard,
+    Expr { expr: Expr, alias: Option<String> },
+}
+
+/// `FROM a [JOIN b ON ...]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableExpr {
+    pub name: String,
+    pub join: Option<JoinClause>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinClause {
+    pub table: String,
+    pub join_type: JoinType,
+    /// Equality pairs exactly as written; side assignment happens at
+    /// lowering when schemas are known.
+    pub on: Vec<(Expr, Expr)>,
+}
+
+/// A parsed `SELECT` query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    pub distinct: bool,
+    pub select: Vec<SelectItem>,
+    pub from: TableExpr,
+    pub where_clause: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    pub having: Option<Expr>,
+    pub order_by: Vec<(Expr, bool)>,
+    pub limit: Option<usize>,
+}
+
+/// The recursive-descent parser.
+pub struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    pub fn new(tokens: Vec<Token>) -> Parser {
+        Parser { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: &str) -> SsError {
+        SsError::Parse(format!(
+            "{msg} (at token {} of {})",
+            self.pos,
+            self.tokens.len()
+        ))
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.peek().is_some_and(|t| t.is_keyword(kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{kw}`")))
+        }
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token) -> Result<()> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {t:?}, found {:?}", self.peek())))
+        }
+    }
+
+    fn identifier(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Token::Word(w)) if !is_reserved(&w) => Ok(w),
+            other => Err(self.err(&format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    /// Require the input to be fully consumed (optionally after `;`).
+    pub fn expect_end(&mut self) -> Result<()> {
+        self.eat(&Token::Semicolon);
+        if let Some(t) = self.peek() {
+            return Err(self.err(&format!("unexpected trailing token {t:?}")));
+        }
+        Ok(())
+    }
+
+    /// Parse one full `SELECT` query.
+    pub fn parse_query(&mut self) -> Result<Query> {
+        self.expect_keyword("SELECT")?;
+        let distinct = self.eat_keyword("DISTINCT");
+
+        let mut select = Vec::new();
+        loop {
+            if self.eat(&Token::Star) {
+                select.push(SelectItem::Wildcard);
+            } else {
+                let expr = self.parse_expr()?;
+                let alias = if self.eat_keyword("AS") {
+                    Some(self.identifier()?)
+                } else {
+                    None
+                };
+                select.push(SelectItem::Expr { expr, alias });
+            }
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+
+        self.expect_keyword("FROM")?;
+        let table = self.identifier()?;
+        let join = self.parse_join()?;
+        let from = TableExpr { name: table, join };
+
+        let where_clause = if self.eat_keyword("WHERE") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+
+        let mut group_by = Vec::new();
+        if self.eat_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            loop {
+                group_by.push(self.parse_expr()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+
+        let having = if self.eat_keyword("HAVING") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+
+        let mut order_by = Vec::new();
+        if self.eat_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            loop {
+                let e = self.parse_expr()?;
+                let asc = if self.eat_keyword("DESC") {
+                    false
+                } else {
+                    self.eat_keyword("ASC");
+                    true
+                };
+                order_by.push((e, asc));
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+
+        let limit = if self.eat_keyword("LIMIT") {
+            match self.next() {
+                Some(Token::Integer(n)) if n >= 0 => Some(n as usize),
+                other => return Err(self.err(&format!("expected LIMIT count, got {other:?}"))),
+            }
+        } else {
+            None
+        };
+
+        Ok(Query {
+            distinct,
+            select,
+            from,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
+    }
+
+    fn parse_join(&mut self) -> Result<Option<JoinClause>> {
+        let join_type = if self.eat_keyword("JOIN") {
+            JoinType::Inner
+        } else if self.eat_keyword("INNER") {
+            self.expect_keyword("JOIN")?;
+            JoinType::Inner
+        } else if self.eat_keyword("LEFT") {
+            self.eat_keyword("OUTER");
+            self.expect_keyword("JOIN")?;
+            JoinType::LeftOuter
+        } else if self.eat_keyword("RIGHT") {
+            self.eat_keyword("OUTER");
+            self.expect_keyword("JOIN")?;
+            JoinType::RightOuter
+        } else {
+            return Ok(None);
+        };
+        let table = self.identifier()?;
+        self.expect_keyword("ON")?;
+        let cond = self.parse_expr()?;
+        // The join condition must be a conjunction of equalities.
+        let mut on = Vec::new();
+        for c in ss_plan::optimizer::split_conjunction(&cond) {
+            match c {
+                Expr::BinaryOp {
+                    left,
+                    op: ss_expr::BinaryOp::Eq,
+                    right,
+                } => on.push((*left, *right)),
+                other => {
+                    return Err(SsError::Parse(format!(
+                        "join conditions must be equalities joined by AND, found `{other}`"
+                    )))
+                }
+            }
+        }
+        Ok(Some(JoinClause {
+            table,
+            join_type,
+            on,
+        }))
+    }
+
+    // Precedence climbing: OR < AND < NOT < comparison/IS < add < mul
+    // < unary < primary.
+    pub fn parse_expr(&mut self) -> Result<Expr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr> {
+        let mut left = self.parse_and()?;
+        while self.eat_keyword("OR") {
+            let right = self.parse_and()?;
+            left = left.or(right);
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr> {
+        let mut left = self.parse_not()?;
+        while self.eat_keyword("AND") {
+            let right = self.parse_not()?;
+            left = left.and(right);
+        }
+        Ok(left)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr> {
+        if self.eat_keyword("NOT") {
+            Ok(self.parse_not()?.not())
+        } else {
+            self.parse_comparison()
+        }
+    }
+
+    fn parse_comparison(&mut self) -> Result<Expr> {
+        let left = self.parse_additive()?;
+        // Postfix IS [NOT] NULL.
+        if self.eat_keyword("IS") {
+            let negated = self.eat_keyword("NOT");
+            self.expect_keyword("NULL")?;
+            return Ok(if negated {
+                left.is_not_null()
+            } else {
+                left.is_null()
+            });
+        }
+        // Postfix [NOT] IN (...), [NOT] BETWEEN a AND b, [NOT] LIKE.
+        let negated = {
+            let at = self.pos;
+            if self.eat_keyword("NOT") {
+                if self.peek().is_some_and(|t| {
+                    t.is_keyword("IN") || t.is_keyword("BETWEEN") || t.is_keyword("LIKE")
+                }) {
+                    true
+                } else {
+                    self.pos = at;
+                    false
+                }
+            } else {
+                false
+            }
+        };
+        if self.eat_keyword("IN") {
+            // `x IN (a, b, c)` desugars to a chain of equalities.
+            self.expect(&Token::LParen)?;
+            let mut items = Vec::new();
+            loop {
+                items.push(self.parse_expr()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+            let mut cond = left.clone().eq(items.remove(0));
+            for item in items {
+                cond = cond.or(left.clone().eq(item));
+            }
+            return Ok(if negated { cond.not() } else { cond });
+        }
+        if self.eat_keyword("BETWEEN") {
+            // `x BETWEEN a AND b` == `x >= a AND x <= b`.
+            let low = self.parse_additive()?;
+            self.expect_keyword("AND")?;
+            let high = self.parse_additive()?;
+            let cond = left.clone().gt_eq(low).and(left.lt_eq(high));
+            return Ok(if negated { cond.not() } else { cond });
+        }
+        if self.eat_keyword("LIKE") {
+            let pattern = match self.next() {
+                Some(Token::Str(s)) => s,
+                other => {
+                    return Err(self.err(&format!(
+                        "LIKE requires a string-literal pattern, found {other:?}"
+                    )))
+                }
+            };
+            let e = Expr::Function {
+                name: "like".into(),
+                args: vec![left, Expr::Literal(ss_common::Value::str(pattern))],
+            };
+            return Ok(if negated { e.not() } else { e });
+        }
+        let op = match self.peek() {
+            Some(Token::Eq) => ss_expr::BinaryOp::Eq,
+            Some(Token::NotEq) => ss_expr::BinaryOp::NotEq,
+            Some(Token::Lt) => ss_expr::BinaryOp::Lt,
+            Some(Token::LtEq) => ss_expr::BinaryOp::LtEq,
+            Some(Token::Gt) => ss_expr::BinaryOp::Gt,
+            Some(Token::GtEq) => ss_expr::BinaryOp::GtEq,
+            _ => return Ok(left),
+        };
+        self.pos += 1;
+        let right = self.parse_additive()?;
+        Ok(Expr::BinaryOp {
+            left: Box::new(left),
+            op,
+            right: Box::new(right),
+        })
+    }
+
+    fn parse_additive(&mut self) -> Result<Expr> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            if self.eat(&Token::Plus) {
+                left = left.add(self.parse_multiplicative()?);
+            } else if self.eat(&Token::Minus) {
+                left = left.sub(self.parse_multiplicative()?);
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn parse_multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.parse_unary()?;
+        loop {
+            if self.eat(&Token::Star) {
+                left = left.mul(self.parse_unary()?);
+            } else if self.eat(&Token::Slash) {
+                left = left.div(self.parse_unary()?);
+            } else if self.eat(&Token::Percent) {
+                left = left.modulo(self.parse_unary()?);
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr> {
+        if self.eat(&Token::Minus) {
+            // Fold negative literals; negate other expressions.
+            return Ok(match self.parse_unary()? {
+                Expr::Literal(Value::Int64(v)) => Expr::Literal(Value::Int64(-v)),
+                Expr::Literal(Value::Float64(v)) => Expr::Literal(Value::Float64(-v)),
+                other => dsl::lit(0i64).sub(other),
+            });
+        }
+        if self.eat(&Token::Plus) {
+            return self.parse_unary();
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<Expr> {
+        match self.next() {
+            Some(Token::Integer(n)) => Ok(dsl::lit(n)),
+            Some(Token::Float(f)) => Ok(dsl::lit(f)),
+            Some(Token::Str(s)) => Ok(dsl::lit(s)),
+            Some(Token::LParen) => {
+                let e = self.parse_expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Word(w)) if w.eq_ignore_ascii_case("NULL") => {
+                Ok(Expr::Literal(Value::Null))
+            }
+            Some(Token::Word(w)) if w.eq_ignore_ascii_case("TRUE") => Ok(dsl::lit(true)),
+            Some(Token::Word(w)) if w.eq_ignore_ascii_case("FALSE") => Ok(dsl::lit(false)),
+            Some(Token::Word(w)) if w.eq_ignore_ascii_case("CAST") => {
+                self.expect(&Token::LParen)?;
+                let e = self.parse_expr()?;
+                self.expect_keyword("AS")?;
+                let ty = self.parse_type_name()?;
+                self.expect(&Token::RParen)?;
+                Ok(e.cast(ty))
+            }
+            Some(Token::Word(w)) if w.eq_ignore_ascii_case("CASE") => self.parse_case(),
+            Some(Token::Word(w)) => {
+                if self.eat(&Token::LParen) {
+                    self.parse_call(&w)
+                } else if is_reserved(&w) {
+                    Err(self.err(&format!("unexpected keyword `{w}` in expression")))
+                } else {
+                    Ok(dsl::col(w))
+                }
+            }
+            other => Err(self.err(&format!("unexpected token {other:?} in expression"))),
+        }
+    }
+
+    fn parse_case(&mut self) -> Result<Expr> {
+        let mut branches = Vec::new();
+        while self.eat_keyword("WHEN") {
+            let cond = self.parse_expr()?;
+            self.expect_keyword("THEN")?;
+            let value = self.parse_expr()?;
+            branches.push((cond, value));
+        }
+        if branches.is_empty() {
+            return Err(self.err("CASE requires at least one WHEN"));
+        }
+        let else_expr = if self.eat_keyword("ELSE") {
+            Some(Box::new(self.parse_expr()?))
+        } else {
+            None
+        };
+        self.expect_keyword("END")?;
+        Ok(Expr::Case {
+            branches,
+            else_expr,
+        })
+    }
+
+    /// Parse a function call (the `(` is already consumed).
+    fn parse_call(&mut self, name: &str) -> Result<Expr> {
+        let lname = name.to_ascii_lowercase();
+        // COUNT(*) is special.
+        if lname == "count" && self.eat(&Token::Star) {
+            self.expect(&Token::RParen)?;
+            return Ok(Expr::Function {
+                name: "count".into(),
+                args: vec![Expr::Column("*".into())],
+            });
+        }
+        let mut args = Vec::new();
+        if !self.eat(&Token::RParen) {
+            loop {
+                args.push(self.parse_expr()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+        }
+        if lname == "window" {
+            return build_window(args);
+        }
+        Ok(Expr::Function { name: lname, args })
+    }
+
+    fn parse_type_name(&mut self) -> Result<DataType> {
+        match self.next() {
+            Some(Token::Word(w)) => match w.to_ascii_uppercase().as_str() {
+                "BIGINT" | "INT" | "INTEGER" | "LONG" => Ok(DataType::Int64),
+                "DOUBLE" | "FLOAT" | "REAL" => Ok(DataType::Float64),
+                "STRING" | "VARCHAR" | "TEXT" => Ok(DataType::Utf8),
+                "TIMESTAMP" => Ok(DataType::Timestamp),
+                "BOOLEAN" | "BOOL" => Ok(DataType::Boolean),
+                other => Err(SsError::Parse(format!("unknown type `{other}`"))),
+            },
+            other => Err(self.err(&format!("expected type name, found {other:?}"))),
+        }
+    }
+}
+
+/// `WINDOW(time_col, 'size' [, 'slide'])`.
+fn build_window(args: Vec<Expr>) -> Result<Expr> {
+    let get_str = |e: &Expr| -> Result<String> {
+        match e {
+            Expr::Literal(Value::Utf8(s)) => Ok(s.to_string()),
+            other => Err(SsError::Parse(format!(
+                "WINDOW duration must be a string literal, found `{other}`"
+            ))),
+        }
+    };
+    match args.len() {
+        2 => dsl::window(args[0].clone(), &get_str(&args[1])?),
+        3 => dsl::window_sliding(args[0].clone(), &get_str(&args[1])?, &get_str(&args[2])?),
+        n => Err(SsError::Parse(format!(
+            "WINDOW takes 2 or 3 arguments, got {n}"
+        ))),
+    }
+}
+
+fn is_reserved(w: &str) -> bool {
+    const RESERVED: [&str; 24] = [
+        "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT", "JOIN", "INNER",
+        "LEFT", "RIGHT", "OUTER", "ON", "AND", "OR", "NOT", "AS", "DISTINCT", "CASE", "WHEN",
+        "THEN", "ELSE", "END",
+    ];
+    RESERVED.iter().any(|k| w.eq_ignore_ascii_case(k))
+}
+
+// ---------------------------------------------------------------------
+// Lowering
+// ---------------------------------------------------------------------
+
+const AGG_NAMES: [&str; 5] = ["count", "sum", "min", "max", "avg"];
+
+fn agg_function(name: &str) -> Option<AggregateFunction> {
+    match name {
+        "count" => Some(AggregateFunction::Count),
+        "sum" => Some(AggregateFunction::Sum),
+        "min" => Some(AggregateFunction::Min),
+        "max" => Some(AggregateFunction::Max),
+        "avg" => Some(AggregateFunction::Avg),
+        _ => None,
+    }
+}
+
+/// Replace aggregate calls with references to their output columns,
+/// registering each aggregate (deduplicated by output name).
+fn extract_aggregates(e: &Expr, aggs: &mut Vec<AggregateExpr>) -> Result<Expr> {
+    if let Expr::Function { name, args } = e {
+        if AGG_NAMES.contains(&name.as_str()) {
+            let func = agg_function(name).expect("checked");
+            let agg = if args.len() == 1 && args[0] == Expr::Column("*".into()) {
+                AggregateExpr::new(func, None)
+            } else if args.len() == 1 {
+                if args[0].contains_window() {
+                    return Err(SsError::Parse(format!(
+                        "window() is not allowed inside {name}()"
+                    )));
+                }
+                AggregateExpr::new(func, Some(args[0].clone()))
+            } else {
+                return Err(SsError::Parse(format!(
+                    "{name}() takes exactly one argument"
+                )));
+            };
+            let out = agg.output_name();
+            if !aggs.iter().any(|a| a.output_name() == out) {
+                aggs.push(agg);
+            }
+            return Ok(Expr::Column(out));
+        }
+    }
+    // Recurse structurally.
+    Ok(match e {
+        Expr::Column(_) | Expr::Literal(_) | Expr::Window { .. } => e.clone(),
+        Expr::BinaryOp { left, op, right } => Expr::BinaryOp {
+            left: Box::new(extract_aggregates(left, aggs)?),
+            op: *op,
+            right: Box::new(extract_aggregates(right, aggs)?),
+        },
+        Expr::Not(x) => Expr::Not(Box::new(extract_aggregates(x, aggs)?)),
+        Expr::IsNull(x) => Expr::IsNull(Box::new(extract_aggregates(x, aggs)?)),
+        Expr::IsNotNull(x) => Expr::IsNotNull(Box::new(extract_aggregates(x, aggs)?)),
+        Expr::Cast { expr, to } => Expr::Cast {
+            expr: Box::new(extract_aggregates(expr, aggs)?),
+            to: *to,
+        },
+        Expr::Alias { expr, name } => Expr::Alias {
+            expr: Box::new(extract_aggregates(expr, aggs)?),
+            name: name.clone(),
+        },
+        Expr::Case {
+            branches,
+            else_expr,
+        } => Expr::Case {
+            branches: branches
+                .iter()
+                .map(|(c, v)| {
+                    Ok((
+                        extract_aggregates(c, aggs)?,
+                        extract_aggregates(v, aggs)?,
+                    ))
+                })
+                .collect::<Result<_>>()?,
+            else_expr: match else_expr {
+                Some(x) => Some(Box::new(extract_aggregates(x, aggs)?)),
+                None => None,
+            },
+        },
+        Expr::Function { name, args } => Expr::Function {
+            name: name.clone(),
+            args: args
+                .iter()
+                .map(|a| extract_aggregates(a, aggs))
+                .collect::<Result<_>>()?,
+        },
+        Expr::Udf { udf, args } => Expr::Udf {
+            udf: udf.clone(),
+            args: args
+                .iter()
+                .map(|a| extract_aggregates(a, aggs))
+                .collect::<Result<_>>()?,
+        },
+    })
+}
+
+fn contains_aggregate(e: &Expr) -> bool {
+    if let Expr::Function { name, .. } = e {
+        if AGG_NAMES.contains(&name.as_str()) {
+            return true;
+        }
+    }
+    e.children().iter().any(|c| contains_aggregate(c))
+}
+
+/// Lower a parsed query onto a logical plan.
+pub fn lower(query: &Query, resolver: &dyn TableResolver) -> Result<Arc<LogicalPlan>> {
+    // FROM
+    let (schema, streaming) = resolver.resolve(&query.from.name)?;
+    let mut builder = LogicalPlanBuilder::scan(query.from.name.clone(), schema.clone(), streaming);
+    if let Some(join) = &query.from.join {
+        let (rschema, rstreaming) = resolver.resolve(&join.table)?;
+        let right = LogicalPlanBuilder::scan(join.table.clone(), rschema.clone(), rstreaming);
+        // Assign each equality's sides by resolvability.
+        let mut on = Vec::with_capacity(join.on.len());
+        for (a, b) in &join.on {
+            let a_left = a.referenced_columns().iter().all(|c| schema.contains(c));
+            let b_right = b.referenced_columns().iter().all(|c| rschema.contains(c));
+            if a_left && b_right {
+                on.push((a.clone(), b.clone()));
+                continue;
+            }
+            let b_left = b.referenced_columns().iter().all(|c| schema.contains(c));
+            let a_right = a.referenced_columns().iter().all(|c| rschema.contains(c));
+            if b_left && a_right {
+                on.push((b.clone(), a.clone()));
+            } else {
+                return Err(SsError::Parse(format!(
+                    "join condition `{a} = {b}` does not split across \
+                     `{}` and `{}`",
+                    query.from.name, join.table
+                )));
+            }
+        }
+        builder = builder.join(right, join.join_type, on);
+    }
+
+    // WHERE
+    if let Some(w) = &query.where_clause {
+        if contains_aggregate(w) {
+            return Err(SsError::Parse(
+                "aggregate functions are not allowed in WHERE (use HAVING)".into(),
+            ));
+        }
+        builder = builder.filter(w.clone());
+    }
+
+    // GROUP BY / aggregates anywhere in SELECT, HAVING or ORDER BY.
+    let mut aggs: Vec<AggregateExpr> = Vec::new();
+    let mut select_rewritten: Vec<(Expr, Option<String>)> = Vec::new();
+    let mut any_wildcard = false;
+    for item in &query.select {
+        match item {
+            SelectItem::Wildcard => {
+                any_wildcard = true;
+            }
+            SelectItem::Expr { expr, alias } => {
+                let rewritten = extract_aggregates(expr, &mut aggs)?;
+                select_rewritten.push((rewritten, alias.clone()));
+            }
+        }
+    }
+    let having_rewritten = query
+        .having
+        .as_ref()
+        .map(|h| extract_aggregates(h, &mut aggs))
+        .transpose()?;
+    let order_rewritten: Vec<(Expr, bool)> = query
+        .order_by
+        .iter()
+        .map(|(e, asc)| Ok((extract_aggregates(e, &mut aggs)?, *asc)))
+        .collect::<Result<_>>()?;
+
+    let has_aggregation = !aggs.is_empty() || !query.group_by.is_empty();
+    if has_aggregation {
+        if any_wildcard {
+            return Err(SsError::Parse(
+                "SELECT * cannot be combined with GROUP BY/aggregates".into(),
+            ));
+        }
+        if aggs.is_empty() {
+            return Err(SsError::Parse(
+                "GROUP BY requires at least one aggregate in SELECT/HAVING/ORDER BY".into(),
+            ));
+        }
+        builder = builder.aggregate(query.group_by.clone(), aggs);
+        if let Some(h) = having_rewritten {
+            builder = builder.filter(h);
+        }
+    } else if query.having.is_some() {
+        return Err(SsError::Parse("HAVING requires GROUP BY".into()));
+    }
+
+    // Projection (skip for a bare `SELECT *`).
+    let projecting = !(any_wildcard && select_rewritten.is_empty());
+    let mut sorted_early = false;
+    if projecting {
+        if any_wildcard {
+            return Err(SsError::Parse(
+                "mixing `*` with other select items is not supported".into(),
+            ));
+        }
+        // Sort before projecting when the keys resolve against the
+        // pre-projection schema (lets ORDER BY use unprojected
+        // columns); otherwise sort afterwards (lets ORDER BY use
+        // select aliases).
+        if !order_rewritten.is_empty() {
+            let pre_schema = builder.schema()?;
+            if order_rewritten
+                .iter()
+                .all(|(e, _)| e.data_type(&pre_schema).is_ok())
+            {
+                builder = builder.sort(
+                    order_rewritten
+                        .iter()
+                        .map(|(e, asc)| SortKey {
+                            expr: e.clone(),
+                            ascending: *asc,
+                        })
+                        .collect(),
+                );
+                sorted_early = true;
+            }
+        }
+        let exprs: Vec<Expr> = select_rewritten
+            .iter()
+            .map(|(e, alias)| match alias {
+                Some(a) => e.clone().alias(a.clone()),
+                None => e.clone(),
+            })
+            .collect();
+        builder = builder.project(exprs);
+    }
+
+    if query.distinct {
+        builder = builder.distinct();
+    }
+
+    if !order_rewritten.is_empty() && !sorted_early {
+        builder = builder.sort(
+            order_rewritten
+                .iter()
+                .map(|(e, asc)| SortKey {
+                    expr: e.clone(),
+                    ascending: *asc,
+                })
+                .collect(),
+        );
+    }
+
+    if let Some(n) = query.limit {
+        builder = builder.limit(n);
+    }
+
+    let plan = builder.build();
+    // Analyze now so SQL users get errors at parse_query time.
+    ss_plan::analyze(&plan)?;
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_query;
+    use std::collections::HashMap;
+
+    use ss_common::{Field, Schema, SchemaRef};
+
+    fn resolver() -> HashMap<String, (SchemaRef, bool)> {
+        let mut m = HashMap::new();
+        m.insert(
+            "events".to_string(),
+            (
+                Schema::of(vec![
+                    Field::new("ad_id", DataType::Int64),
+                    Field::new("event_type", DataType::Utf8),
+                    Field::new("event_time", DataType::Timestamp),
+                    Field::new("latency", DataType::Float64),
+                ]),
+                true,
+            ),
+        );
+        m.insert(
+            "campaigns".to_string(),
+            (
+                Schema::of(vec![
+                    Field::new("c_ad_id", DataType::Int64),
+                    Field::new("campaign_id", DataType::Int64),
+                ]),
+                false,
+            ),
+        );
+        m
+    }
+
+    #[test]
+    fn select_star() {
+        let r = resolver();
+        let plan = parse_query("SELECT * FROM events", &r).unwrap();
+        assert!(matches!(&*plan, LogicalPlan::Scan { .. }));
+        assert!(plan.is_streaming());
+    }
+
+    #[test]
+    fn filter_project_with_aliases() {
+        let r = resolver();
+        let plan = parse_query(
+            "SELECT ad_id AS ad, latency * 2 FROM events WHERE event_type = 'view'",
+            &r,
+        )
+        .unwrap();
+        let schema = plan.schema().unwrap();
+        assert_eq!(schema.field_names(), vec!["ad", "(latency * 2)"]);
+    }
+
+    #[test]
+    fn yahoo_query_parses_to_windowed_aggregate() {
+        let r = resolver();
+        let plan = parse_query(
+            "SELECT window_start, campaign_id, COUNT(*) AS views \
+             FROM events JOIN campaigns ON ad_id = c_ad_id \
+             WHERE event_type = 'view' \
+             GROUP BY WINDOW(event_time, '10 seconds'), campaign_id",
+            &r,
+        )
+        .unwrap();
+        assert_eq!(plan.count_aggregates(), 1);
+        let schema = plan.schema().unwrap();
+        assert_eq!(
+            schema.field_names(),
+            vec!["window_start", "campaign_id", "views"]
+        );
+    }
+
+    #[test]
+    fn join_sides_auto_assign_even_when_reversed() {
+        let r = resolver();
+        let plan = parse_query(
+            "SELECT campaign_id FROM events JOIN campaigns ON c_ad_id = ad_id",
+            &r,
+        )
+        .unwrap();
+        let mut found = false;
+        plan.visit(&mut |p| {
+            if let LogicalPlan::Join { on, .. } = p {
+                assert_eq!(on[0].0, dsl::col("ad_id"));
+                assert_eq!(on[0].1, dsl::col("c_ad_id"));
+                found = true;
+            }
+        });
+        assert!(found);
+    }
+
+    #[test]
+    fn having_and_order_by_aggregates() {
+        let r = resolver();
+        let plan = parse_query(
+            "SELECT event_type, COUNT(*) FROM events \
+             GROUP BY event_type HAVING COUNT(*) > 10 \
+             ORDER BY COUNT(*) DESC LIMIT 5",
+            &r,
+        )
+        .unwrap();
+        // Shape: Limit(Sort or Project...). Just verify it analyzed and
+        // kept one aggregate and a limit.
+        assert_eq!(plan.count_aggregates(), 1);
+        assert!(matches!(&*plan, LogicalPlan::Limit { n: 5, .. }));
+    }
+
+    #[test]
+    fn avg_sum_min_max_parse() {
+        let r = resolver();
+        let plan = parse_query(
+            "SELECT event_type, AVG(latency), SUM(latency), MIN(latency), MAX(latency) \
+             FROM events GROUP BY event_type",
+            &r,
+        )
+        .unwrap();
+        assert_eq!(plan.schema().unwrap().len(), 5);
+    }
+
+    #[test]
+    fn distinct_order_limit() {
+        let r = resolver();
+        let plan = parse_query(
+            "SELECT DISTINCT event_type FROM events ORDER BY event_type ASC LIMIT 2",
+            &r,
+        )
+        .unwrap();
+        assert!(matches!(&*plan, LogicalPlan::Limit { .. }));
+    }
+
+    #[test]
+    fn case_cast_functions_null_tests() {
+        let r = resolver();
+        let plan = parse_query(
+            "SELECT CASE WHEN latency > 100.0 THEN 'slow' ELSE 'fast' END AS speed, \
+                    CAST(ad_id AS STRING), \
+                    upper(event_type), \
+                    coalesce(latency, -1.0) \
+             FROM events WHERE latency IS NOT NULL AND NOT (ad_id IS NULL)",
+            &r,
+        )
+        .unwrap();
+        assert_eq!(plan.schema().unwrap().field(0).name, "speed");
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let r = resolver();
+        // 1 + 2 * 3 parses as 1 + (2*3); optimizer folds to 7.
+        let plan = parse_query("SELECT ad_id + 2 * 3 AS x FROM events", &r).unwrap();
+        let optimized = ss_plan::optimize(&plan).unwrap();
+        let mut saw = false;
+        optimized.visit(&mut |p| {
+            if let LogicalPlan::Project { exprs, .. } = p {
+                assert_eq!(exprs[0].to_string(), "(ad_id + 6) AS x");
+                saw = true;
+            }
+        });
+        assert!(saw);
+    }
+
+    #[test]
+    fn unary_minus_and_strings() {
+        let r = resolver();
+        let plan = parse_query(
+            "SELECT -1 AS neg, 'it''s' AS quoted FROM events",
+            &r,
+        )
+        .unwrap();
+        assert_eq!(plan.schema().unwrap().field_names(), vec!["neg", "quoted"]);
+    }
+
+    #[test]
+    fn errors_are_parse_errors() {
+        let r = resolver();
+        for bad in [
+            "SELECT",                                     // truncated
+            "SELECT * FROM",                              // missing table
+            "SELECT * FROM nope",                         // unknown table
+            "SELECT zzz FROM events",                     // unknown column (analysis)
+            "SELECT COUNT(*) FROM events WHERE COUNT(*) > 1", // agg in WHERE
+            "SELECT * FROM events GROUP BY ad_id",        // group by + *
+            "SELECT ad_id FROM events HAVING ad_id > 1",  // having w/o group
+            "SELECT a FROM events JOIN campaigns ON ad_id > c_ad_id", // non-equi
+            "SELECT window(event_time) FROM events",      // window arity
+            "SELECT * FROM events LIMIT 'x'",             // bad limit
+            "SELECT * FROM events trailing garbage",      // trailing
+        ] {
+            assert!(parse_query(bad, &r).is_err(), "should fail: {bad}");
+        }
+    }
+
+    #[test]
+    fn in_between_like_desugar() {
+        let r = resolver();
+        let plan = parse_query(
+            "SELECT ad_id FROM events \
+             WHERE event_type IN ('view', 'click') \
+               AND latency BETWEEN 1.0 AND 9.0 \
+               AND event_type LIKE 'v%' \
+               AND ad_id NOT IN (7) \
+               AND latency NOT BETWEEN 100.0 AND 200.0 \
+               AND event_type NOT LIKE '%zzz'",
+            &r,
+        )
+        .unwrap();
+        let mut pred = None;
+        plan.visit(&mut |p| {
+            if let LogicalPlan::Filter { predicate, .. } = p {
+                pred = Some(predicate.to_string());
+            }
+        });
+        let pred = pred.expect("filter present");
+        assert!(pred.contains("(event_type = 'view') OR (event_type = 'click')"), "{pred}");
+        assert!(pred.contains("(latency >= 1) AND (latency <= 9)"), "{pred}");
+        assert!(pred.contains("like(event_type, 'v%')"), "{pred}");
+        assert!(pred.contains("NOT (ad_id = 7)"), "{pred}");
+    }
+
+    #[test]
+    fn not_column_still_parses() {
+        // `NOT` followed by something other than IN/BETWEEN/LIKE is a
+        // prefix operator, untouched by the postfix probe.
+        let r = resolver();
+        parse_query("SELECT ad_id FROM events WHERE NOT ad_id IS NULL", &r).unwrap();
+    }
+
+    #[test]
+    fn sliding_window_syntax() {
+        let r = resolver();
+        let plan = parse_query(
+            "SELECT window_start, COUNT(*) FROM events \
+             GROUP BY WINDOW(event_time, '1 hour', '5 minutes')",
+            &r,
+        )
+        .unwrap();
+        let mut found = false;
+        plan.visit(&mut |p| {
+            if let LogicalPlan::Aggregate { group_exprs, .. } = p {
+                if let Expr::Window {
+                    size_us, slide_us, ..
+                } = &group_exprs[0]
+                {
+                    assert_eq!(*size_us, 3_600_000_000);
+                    assert_eq!(*slide_us, 300_000_000);
+                    found = true;
+                }
+            }
+        });
+        assert!(found);
+    }
+
+    #[test]
+    fn order_by_unprojected_column_sorts_before_projection() {
+        let r = resolver();
+        let plan =
+            parse_query("SELECT ad_id FROM events ORDER BY latency DESC", &r).unwrap();
+        // Sort must appear below the projection.
+        match &*plan {
+            LogicalPlan::Project { input, .. } => {
+                assert!(matches!(&**input, LogicalPlan::Sort { .. }));
+            }
+            other => panic!("expected Project on top, got {other}"),
+        }
+    }
+}

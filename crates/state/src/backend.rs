@@ -1,0 +1,232 @@
+//! Durable blob storage for checkpoints.
+//!
+//! The paper runs the state store "over pluggable storage systems (e.g.
+//! HDFS or S3)". Both of those are used as durable blob stores whose
+//! completed objects appear atomically; [`FsBackend`] reproduces that
+//! contract on a local filesystem with write-to-temp-then-rename, and
+//! [`MemoryBackend`] provides a hermetic in-memory equivalent for tests
+//! and benchmarks.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use ss_common::{Result, SsError};
+
+/// A durable blob store with atomic whole-object writes.
+pub trait CheckpointBackend: Send + Sync {
+    /// Write `data` at `key` so that readers see either nothing or the
+    /// whole object — never a partial write.
+    fn write_atomic(&self, key: &str, data: &[u8]) -> Result<()>;
+    /// Read the object at `key`, or `None` if absent.
+    fn read(&self, key: &str) -> Result<Option<Vec<u8>>>;
+    /// All keys starting with `prefix`, sorted.
+    fn list(&self, prefix: &str) -> Result<Vec<String>>;
+    /// Remove the object at `key` (idempotent).
+    fn delete(&self, key: &str) -> Result<()>;
+}
+
+/// Local-filesystem backend (HDFS/S3 stand-in).
+#[derive(Debug)]
+pub struct FsBackend {
+    root: PathBuf,
+    tmp_counter: AtomicU64,
+}
+
+impl FsBackend {
+    /// Create (and mkdir) a backend rooted at `root`.
+    pub fn new(root: impl AsRef<Path>) -> Result<FsBackend> {
+        let root = root.as_ref().to_path_buf();
+        fs::create_dir_all(&root)?;
+        Ok(FsBackend {
+            root,
+            tmp_counter: AtomicU64::new(0),
+        })
+    }
+
+    fn path_for(&self, key: &str) -> Result<PathBuf> {
+        if key.contains("..") || key.starts_with('/') {
+            return Err(SsError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("invalid checkpoint key `{key}`"),
+            )));
+        }
+        Ok(self.root.join(key))
+    }
+}
+
+impl CheckpointBackend for FsBackend {
+    fn write_atomic(&self, key: &str, data: &[u8]) -> Result<()> {
+        let path = self.path_for(key)?;
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        // Unique temp name: concurrent writers never collide, and a
+        // crash mid-write leaves only a .tmp file that readers ignore.
+        let n = self.tmp_counter.fetch_add(1, Ordering::Relaxed);
+        let tmp = path.with_extension(format!("tmp{n}"));
+        fs::write(&tmp, data)?;
+        fs::rename(&tmp, &path)?;
+        Ok(())
+    }
+
+    fn read(&self, key: &str) -> Result<Option<Vec<u8>>> {
+        let path = self.path_for(key)?;
+        match fs::read(&path) {
+            Ok(d) => Ok(Some(d)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.root.clone()];
+        while let Some(dir) = stack.pop() {
+            let entries = match fs::read_dir(&dir) {
+                Ok(e) => e,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(e.into()),
+            };
+            for entry in entries {
+                let entry = entry?;
+                let path = entry.path();
+                if path.is_dir() {
+                    stack.push(path);
+                } else if let Ok(rel) = path.strip_prefix(&self.root) {
+                    let key = rel.to_string_lossy().replace('\\', "/");
+                    // Skip in-flight temp files.
+                    if key.starts_with(prefix) && !key.contains(".tmp") {
+                        out.push(key);
+                    }
+                }
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    fn delete(&self, key: &str) -> Result<()> {
+        let path = self.path_for(key)?;
+        match fs::remove_file(&path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+}
+
+/// In-memory backend for tests and hermetic benchmarks.
+#[derive(Debug, Default)]
+pub struct MemoryBackend {
+    objects: Mutex<BTreeMap<String, Vec<u8>>>,
+}
+
+impl MemoryBackend {
+    pub fn new() -> MemoryBackend {
+        MemoryBackend::default()
+    }
+
+    /// Number of stored objects (test helper).
+    pub fn len(&self) -> usize {
+        self.objects.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl CheckpointBackend for MemoryBackend {
+    fn write_atomic(&self, key: &str, data: &[u8]) -> Result<()> {
+        self.objects.lock().insert(key.to_string(), data.to_vec());
+        Ok(())
+    }
+
+    fn read(&self, key: &str) -> Result<Option<Vec<u8>>> {
+        Ok(self.objects.lock().get(key).cloned())
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        Ok(self
+            .objects
+            .lock()
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect())
+    }
+
+    fn delete(&self, key: &str) -> Result<()> {
+        self.objects.lock().remove(key);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ss-state-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn exercise(backend: &dyn CheckpointBackend) {
+        assert_eq!(backend.read("a/b.json").unwrap(), None);
+        backend.write_atomic("a/b.json", b"one").unwrap();
+        backend.write_atomic("a/c.json", b"two").unwrap();
+        backend.write_atomic("z.json", b"three").unwrap();
+        assert_eq!(backend.read("a/b.json").unwrap().unwrap(), b"one");
+        // Overwrite is atomic replacement.
+        backend.write_atomic("a/b.json", b"one-v2").unwrap();
+        assert_eq!(backend.read("a/b.json").unwrap().unwrap(), b"one-v2");
+        assert_eq!(
+            backend.list("a/").unwrap(),
+            vec!["a/b.json".to_string(), "a/c.json".to_string()]
+        );
+        backend.delete("a/b.json").unwrap();
+        backend.delete("a/b.json").unwrap(); // idempotent
+        assert_eq!(backend.list("a/").unwrap(), vec!["a/c.json".to_string()]);
+    }
+
+    #[test]
+    fn memory_backend_contract() {
+        exercise(&MemoryBackend::new());
+    }
+
+    #[test]
+    fn fs_backend_contract() {
+        let dir = tmpdir("contract");
+        exercise(&FsBackend::new(&dir).unwrap());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fs_backend_rejects_escaping_keys() {
+        let dir = tmpdir("escape");
+        let b = FsBackend::new(&dir).unwrap();
+        assert!(b.write_atomic("../evil", b"x").is_err());
+        assert!(b.read("/etc/passwd").is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fs_backend_survives_reopen() {
+        let dir = tmpdir("reopen");
+        {
+            let b = FsBackend::new(&dir).unwrap();
+            b.write_atomic("x.json", b"persist").unwrap();
+        }
+        let b2 = FsBackend::new(&dir).unwrap();
+        assert_eq!(b2.read("x.json").unwrap().unwrap(), b"persist");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

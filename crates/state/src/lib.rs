@@ -1,0 +1,26 @@
+//! # ss-state — the state store (§6.1)
+//!
+//! "The system uses a larger-scale state store to hold snapshots of
+//! operator states for long-running aggregation operators. These are
+//! written asynchronously, and may be 'behind' the latest data written
+//! to the output sink."
+//!
+//! This crate provides exactly that component:
+//!
+//! * [`StateStore`] — keyed state for any number of stateful operators
+//!   (aggregations, stream–stream join buffers, `mapGroupsWithState`
+//!   keys), tagged with the epoch of each checkpoint;
+//! * delta + periodic full checkpoints in human-readable JSON, written
+//!   atomically through a pluggable [`CheckpointBackend`] (local
+//!   filesystem standing in for HDFS/S3, plus an in-memory backend for
+//!   tests);
+//! * point-in-time [`StateStore::restore`] to any retained epoch, which
+//!   is what both failure recovery and manual rollback (§7.2) build on;
+//! * [`StateStore::truncate_after`] to discard checkpoints past a
+//!   rollback point.
+
+pub mod backend;
+pub mod store;
+
+pub use backend::{CheckpointBackend, FsBackend, MemoryBackend};
+pub use store::{OpState, StateEntry, StateStore};

@@ -1,0 +1,486 @@
+//! The versioned, keyed state store.
+//!
+//! One [`StateStore`] serves all stateful operators of a query. Each
+//! operator owns a keyed map ([`OpState`]) of [`Row`] → [`StateEntry`];
+//! the store checkpoints every operator's map together, tagged with the
+//! epoch, as either a **delta** (keys changed/removed since the previous
+//! checkpoint) or a periodic **full snapshot** used as a compaction
+//! point. Restoring to epoch *e* loads the newest full snapshot ≤ *e*
+//! and replays deltas — this is the "reconstruct the application's
+//! in-memory state from the last epoch written to the state store" step
+//! of the recovery protocol (§6.1), and also the substrate for manual
+//! rollback (§7.2).
+//!
+//! Checkpoints are JSON (like the paper's WAL) so an operator can
+//! inspect state with a text editor.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use rustc_hash::{FxHashMap, FxHashSet};
+use serde::{Deserialize, Serialize};
+
+use ss_common::{Result, Row, SsError};
+
+use crate::backend::CheckpointBackend;
+
+/// The state attached to one key of one operator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StateEntry {
+    /// Operator-defined payload: aggregate partial states, buffered join
+    /// rows, or a `mapGroupsWithState` user state row.
+    pub values: Vec<Row>,
+    /// Pending timeout deadline (µs), for stateful operators with
+    /// timeouts (§4.3.2).
+    pub timeout_at: Option<i64>,
+}
+
+impl StateEntry {
+    pub fn new(values: Vec<Row>) -> StateEntry {
+        StateEntry {
+            values,
+            timeout_at: None,
+        }
+    }
+}
+
+/// Keyed state for one operator, with dirty-key tracking for delta
+/// checkpoints.
+#[derive(Debug, Default)]
+pub struct OpState {
+    map: FxHashMap<Row, StateEntry>,
+    dirty: FxHashSet<Row>,
+    removed: FxHashSet<Row>,
+}
+
+impl OpState {
+    pub fn get(&self, key: &Row) -> Option<&StateEntry> {
+        self.map.get(key)
+    }
+
+    pub fn put(&mut self, key: Row, entry: StateEntry) {
+        self.removed.remove(&key);
+        self.dirty.insert(key.clone());
+        self.map.insert(key, entry);
+    }
+
+    pub fn remove(&mut self, key: &Row) -> Option<StateEntry> {
+        let old = self.map.remove(key);
+        if old.is_some() {
+            self.dirty.remove(key);
+            self.removed.insert(key.clone());
+        }
+        old
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&Row, &StateEntry)> {
+        self.map.iter()
+    }
+
+    /// Keys with a timeout deadline at or before `now_us`.
+    pub fn expired_keys(&self, now_us: i64) -> Vec<Row> {
+        let mut keys: Vec<Row> = self
+            .map
+            .iter()
+            .filter(|(_, e)| e.timeout_at.is_some_and(|t| t <= now_us))
+            .map(|(k, _)| k.clone())
+            .collect();
+        keys.sort();
+        keys
+    }
+
+    /// Replace the whole map (snapshot restore).
+    fn load(&mut self, entries: FxHashMap<Row, StateEntry>) {
+        self.map = entries;
+        self.dirty.clear();
+        self.removed.clear();
+    }
+
+    fn clear_tracking(&mut self) {
+        self.dirty.clear();
+        self.removed.clear();
+    }
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct SerializedEntry {
+    key: Row,
+    entry: StateEntry,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct OpCheckpoint {
+    op: String,
+    /// Full snapshot: all entries. Delta: changed entries only.
+    entries: Vec<SerializedEntry>,
+    /// Delta only: keys removed since the previous checkpoint.
+    removed: Vec<Row>,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct CheckpointFile {
+    epoch: u64,
+    kind: String, // "full" | "delta"
+    ops: Vec<OpCheckpoint>,
+}
+
+/// The state store: every stateful operator's keyed state plus the
+/// checkpoint/restore machinery.
+pub struct StateStore {
+    backend: Arc<dyn CheckpointBackend>,
+    ops: BTreeMap<String, OpState>,
+    /// Write a full snapshot every N checkpoints (1 = always full).
+    snapshot_interval: u64,
+    checkpoints_taken: u64,
+}
+
+impl StateStore {
+    pub fn new(backend: Arc<dyn CheckpointBackend>) -> StateStore {
+        StateStore {
+            backend,
+            ops: BTreeMap::new(),
+            snapshot_interval: 10,
+            checkpoints_taken: 0,
+        }
+    }
+
+    /// Set how often a full snapshot (vs. a delta) is written.
+    pub fn with_snapshot_interval(mut self, every: u64) -> StateStore {
+        assert!(every >= 1);
+        self.snapshot_interval = every;
+        self
+    }
+
+    /// Access (creating if needed) the state of one operator.
+    pub fn operator(&mut self, id: &str) -> &mut OpState {
+        self.ops.entry(id.to_string()).or_default()
+    }
+
+    /// Read-only operator access.
+    pub fn operator_ref(&self, id: &str) -> Option<&OpState> {
+        self.ops.get(id)
+    }
+
+    /// Operator ids present in the store.
+    pub fn operator_ids(&self) -> Vec<String> {
+        self.ops.keys().cloned().collect()
+    }
+
+    /// Total keys across operators (the "state size" metric of §2.3).
+    pub fn total_keys(&self) -> usize {
+        self.ops.values().map(|o| o.len()).sum()
+    }
+
+    fn key_for(epoch: u64, kind: &str) -> String {
+        // Zero-padded so lexicographic listing equals numeric order.
+        format!("state/chk-{epoch:020}-{kind}.json")
+    }
+
+    fn parse_key(key: &str) -> Option<(u64, bool)> {
+        let name = key.strip_prefix("state/chk-")?;
+        let (epoch_str, kind) = name.split_once('-')?;
+        let epoch = epoch_str.parse().ok()?;
+        match kind {
+            "full.json" => Some((epoch, true)),
+            "delta.json" => Some((epoch, false)),
+            _ => None,
+        }
+    }
+
+    /// Checkpoint all operator state, tagged with `epoch`. Writes a
+    /// full snapshot every `snapshot_interval` checkpoints (and always
+    /// for the first one); deltas otherwise.
+    pub fn checkpoint(&mut self, epoch: u64) -> Result<()> {
+        let full = self.checkpoints_taken.is_multiple_of(self.snapshot_interval);
+        let mut ops = Vec::with_capacity(self.ops.len());
+        for (id, st) in &self.ops {
+            let entries: Vec<SerializedEntry> = if full {
+                st.map
+                    .iter()
+                    .map(|(k, e)| SerializedEntry {
+                        key: k.clone(),
+                        entry: e.clone(),
+                    })
+                    .collect()
+            } else {
+                st.dirty
+                    .iter()
+                    .filter_map(|k| {
+                        st.map.get(k).map(|e| SerializedEntry {
+                            key: k.clone(),
+                            entry: e.clone(),
+                        })
+                    })
+                    .collect()
+            };
+            let removed = if full {
+                vec![]
+            } else {
+                st.removed.iter().cloned().collect()
+            };
+            ops.push(OpCheckpoint {
+                op: id.clone(),
+                entries,
+                removed,
+            });
+        }
+        let file = CheckpointFile {
+            epoch,
+            kind: if full { "full" } else { "delta" }.into(),
+            ops,
+        };
+        let data = serde_json::to_vec_pretty(&file)
+            .map_err(|e| SsError::Serde(format!("checkpoint encode: {e}")))?;
+        self.backend
+            .write_atomic(&Self::key_for(epoch, if full { "full" } else { "delta" }), &data)?;
+        for st in self.ops.values_mut() {
+            st.clear_tracking();
+        }
+        self.checkpoints_taken += 1;
+        Ok(())
+    }
+
+    /// Epochs with a retained checkpoint, ascending.
+    pub fn retained_epochs(&self) -> Result<Vec<u64>> {
+        let mut epochs: Vec<u64> = self
+            .backend
+            .list("state/chk-")?
+            .iter()
+            .filter_map(|k| Self::parse_key(k).map(|(e, _)| e))
+            .collect();
+        epochs.sort_unstable();
+        epochs.dedup();
+        Ok(epochs)
+    }
+
+    /// The newest checkpoint epoch ≤ `at` (or the newest overall when
+    /// `at` is `None`).
+    pub fn latest_checkpoint(&self, at: Option<u64>) -> Result<Option<u64>> {
+        Ok(self
+            .retained_epochs()?
+            .into_iter().rfind(|&e| at.is_none_or(|a| e <= a)))
+    }
+
+    /// Restore all operator state as of checkpoint `epoch` (which must
+    /// exist). In-memory state is replaced.
+    pub fn restore(&mut self, epoch: u64) -> Result<()> {
+        let keys = self.backend.list("state/chk-")?;
+        let mut chain: Vec<(u64, bool, String)> = keys
+            .iter()
+            .filter_map(|k| Self::parse_key(k).map(|(e, f)| (e, f, k.clone())))
+            .filter(|(e, _, _)| *e <= epoch)
+            .collect();
+        chain.sort();
+        // Find the last full snapshot at or before `epoch`.
+        let base_idx = chain
+            .iter()
+            .rposition(|(_, full, _)| *full)
+            .ok_or_else(|| {
+                SsError::Execution(format!("no full state snapshot at or before epoch {epoch}"))
+            })?;
+        if chain[chain.len() - 1].0 != epoch {
+            return Err(SsError::Execution(format!(
+                "no state checkpoint for epoch {epoch}"
+            )));
+        }
+        // Load base, then apply deltas in order.
+        let mut state: BTreeMap<String, FxHashMap<Row, StateEntry>> = BTreeMap::new();
+        for (i, (_, _, key)) in chain.iter().enumerate().skip(base_idx) {
+            let data = self.backend.read(key)?.ok_or_else(|| {
+                SsError::Execution(format!("checkpoint {key} disappeared during restore"))
+            })?;
+            let file: CheckpointFile = serde_json::from_slice(&data)
+                .map_err(|e| SsError::Serde(format!("checkpoint decode {key}: {e}")))?;
+            let is_base = i == base_idx;
+            for op in file.ops {
+                let map = state.entry(op.op).or_default();
+                if is_base {
+                    map.clear();
+                }
+                for e in op.entries {
+                    map.insert(e.key, e.entry);
+                }
+                for k in op.removed {
+                    map.remove(&k);
+                }
+            }
+        }
+        self.ops.clear();
+        for (id, map) in state {
+            let op = self.ops.entry(id).or_default();
+            op.load(map);
+        }
+        Ok(())
+    }
+
+    /// Delete all checkpoints after `epoch` (manual rollback, §7.2).
+    pub fn truncate_after(&self, epoch: u64) -> Result<()> {
+        for key in self.backend.list("state/chk-")? {
+            if let Some((e, _)) = Self::parse_key(&key) {
+                if e > epoch {
+                    self.backend.delete(&key)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Drop all in-memory state (e.g. before a restore or when starting
+    /// a fresh query against an existing checkpoint directory).
+    pub fn clear_memory(&mut self) {
+        self.ops.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemoryBackend;
+    use ss_common::row;
+
+    fn store() -> StateStore {
+        StateStore::new(Arc::new(MemoryBackend::new())).with_snapshot_interval(3)
+    }
+
+    fn entry(v: i64) -> StateEntry {
+        StateEntry::new(vec![row![v]])
+    }
+
+    #[test]
+    fn put_get_remove() {
+        let mut s = store();
+        let op = s.operator("agg");
+        op.put(row!["a"], entry(1));
+        assert_eq!(op.get(&row!["a"]), Some(&entry(1)));
+        assert_eq!(op.len(), 1);
+        assert_eq!(op.remove(&row!["a"]), Some(entry(1)));
+        assert_eq!(op.get(&row!["a"]), None);
+        assert_eq!(s.total_keys(), 0);
+    }
+
+    #[test]
+    fn checkpoint_and_restore_round_trip() {
+        let mut s = store();
+        s.operator("agg").put(row!["a"], entry(1));
+        s.operator("join").put(row![7i64], entry(2));
+        s.checkpoint(1).unwrap();
+        s.operator("agg").put(row!["a"], entry(10));
+        s.operator("agg").put(row!["b"], entry(3));
+        s.checkpoint(2).unwrap();
+
+        let mut fresh = StateStore::new(Arc::new(MemoryBackend::new()));
+        // Can't restore from an empty backend.
+        assert!(fresh.restore(2).is_err());
+
+        s.restore(1).unwrap();
+        assert_eq!(s.operator("agg").get(&row!["a"]), Some(&entry(1)));
+        assert_eq!(s.operator("agg").get(&row!["b"]), None);
+        assert_eq!(s.operator("join").get(&row![7i64]), Some(&entry(2)));
+
+        s.restore(2).unwrap();
+        assert_eq!(s.operator("agg").get(&row!["a"]), Some(&entry(10)));
+        assert_eq!(s.operator("agg").get(&row!["b"]), Some(&entry(3)));
+    }
+
+    #[test]
+    fn deltas_capture_removals() {
+        let mut s = store();
+        s.operator("agg").put(row!["a"], entry(1));
+        s.operator("agg").put(row!["b"], entry(2));
+        s.checkpoint(1).unwrap(); // full
+        s.operator("agg").remove(&row!["a"]);
+        s.checkpoint(2).unwrap(); // delta with removal
+        s.restore(2).unwrap();
+        assert_eq!(s.operator("agg").get(&row!["a"]), None);
+        assert_eq!(s.operator("agg").get(&row!["b"]), Some(&entry(2)));
+    }
+
+    #[test]
+    fn snapshot_interval_produces_full_snapshots() {
+        let mut s = store(); // interval 3: epochs 1,4 full; 2,3,5 delta
+        for e in 1..=5u64 {
+            s.operator("agg").put(row![e as i64], entry(e as i64));
+            s.checkpoint(e).unwrap();
+        }
+        assert_eq!(s.retained_epochs().unwrap(), vec![1, 2, 3, 4, 5]);
+        // Restore to a delta epoch: base (4) + nothing vs base(1)+deltas.
+        s.restore(3).unwrap();
+        assert_eq!(s.total_keys(), 3);
+        s.restore(5).unwrap();
+        assert_eq!(s.total_keys(), 5);
+    }
+
+    #[test]
+    fn latest_checkpoint_filters_by_epoch() {
+        let mut s = store();
+        s.checkpoint(2).unwrap();
+        s.checkpoint(5).unwrap();
+        assert_eq!(s.latest_checkpoint(None).unwrap(), Some(5));
+        assert_eq!(s.latest_checkpoint(Some(4)).unwrap(), Some(2));
+        assert_eq!(s.latest_checkpoint(Some(1)).unwrap(), None);
+    }
+
+    #[test]
+    fn truncate_after_enables_rollback() {
+        let mut s = store();
+        s.operator("agg").put(row!["a"], entry(1));
+        s.checkpoint(1).unwrap();
+        s.operator("agg").put(row!["a"], entry(99));
+        s.checkpoint(2).unwrap();
+        s.truncate_after(1).unwrap();
+        assert_eq!(s.retained_epochs().unwrap(), vec![1]);
+        assert!(s.restore(2).is_err());
+        s.restore(1).unwrap();
+        assert_eq!(s.operator("agg").get(&row!["a"]), Some(&entry(1)));
+    }
+
+    #[test]
+    fn expired_keys_respect_deadlines() {
+        let mut s = store();
+        let op = s.operator("sess");
+        let mut e1 = entry(1);
+        e1.timeout_at = Some(100);
+        let mut e2 = entry(2);
+        e2.timeout_at = Some(200);
+        op.put(row!["x"], e1);
+        op.put(row!["y"], e2);
+        op.put(row!["z"], entry(3)); // no timeout
+        assert_eq!(op.expired_keys(150), vec![row!["x"]]);
+        assert_eq!(op.expired_keys(250).len(), 2);
+        assert!(op.expired_keys(50).is_empty());
+    }
+
+    #[test]
+    fn restore_replaces_memory_state() {
+        let mut s = store();
+        s.operator("agg").put(row!["a"], entry(1));
+        s.checkpoint(1).unwrap();
+        // Uncheckpointed garbage must vanish on restore.
+        s.operator("agg").put(row!["junk"], entry(9));
+        s.operator("other").put(row!["junk"], entry(9));
+        s.restore(1).unwrap();
+        assert_eq!(s.total_keys(), 1);
+        assert!(s.operator_ref("other").is_none_or(|o| o.is_empty()));
+    }
+
+    #[test]
+    fn checkpoints_are_human_readable_json() {
+        let backend = Arc::new(MemoryBackend::new());
+        let mut s = StateStore::new(backend.clone());
+        s.operator("agg").put(row!["ca"], entry(42));
+        s.checkpoint(7).unwrap();
+        let keys = backend.list("state/").unwrap();
+        assert_eq!(keys.len(), 1);
+        let text = String::from_utf8(backend.read(&keys[0]).unwrap().unwrap()).unwrap();
+        assert!(text.contains("\"epoch\": 7"));
+        assert!(text.contains("ca"));
+    }
+}

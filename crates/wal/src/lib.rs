@@ -1,0 +1,345 @@
+//! # ss-wal — the write-ahead log (§3, §6.1, §7.2)
+//!
+//! "Each application maintains a write-ahead event log in human-readable
+//! JSON format that administrators can use to restart it from an
+//! arbitrary point."
+//!
+//! Two logs, both JSON, both written atomically through the same
+//! pluggable durable backend the state store uses:
+//!
+//! * the **offset log**: before an epoch executes, the master records
+//!   the start/end offsets of every source partition for that epoch
+//!   (§6.1 step 1);
+//! * the **commit log**: after the sink accepts an epoch's output, the
+//!   epoch is recorded as committed (§6.1 step 3). On recovery, the last
+//!   committed epoch tells the engine where to resume; the last
+//!   *offset-logged* epoch may be re-executed, relying on sink
+//!   idempotence (§6.1 step 4).
+//!
+//! [`WriteAheadLog::truncate_after`] implements the manual-rollback
+//! workflow of §7.2: an administrator picks an epoch, the logs are
+//! truncated to it, and the engine recomputes from that prefix.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+pub use ss_common::offsets::{OffsetRange, PartitionOffsets};
+use ss_common::{Result, SsError};
+use ss_state::CheckpointBackend;
+
+/// The offset-log record for one epoch (§6.1 step 1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochOffsets {
+    pub epoch: u64,
+    /// Source name → offset range read in this epoch.
+    pub sources: BTreeMap<String, OffsetRange>,
+    /// The event-time watermark in force when the epoch was defined
+    /// (µs; `i64::MIN` before any data). Persisted so recovery resumes
+    /// with the same watermark and produces identical output.
+    pub watermark_us: i64,
+    /// Processing time when the epoch was defined (µs since epoch).
+    pub defined_at_us: i64,
+}
+
+/// The commit-log record for one epoch (§6.1 step 3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochCommit {
+    pub epoch: u64,
+    /// Rows delivered to the sink in this epoch.
+    pub rows_written: u64,
+    /// Processing time of the commit (µs since epoch).
+    pub committed_at_us: i64,
+}
+
+/// The write-ahead log: offset log + commit log.
+pub struct WriteAheadLog {
+    backend: Arc<dyn CheckpointBackend>,
+}
+
+impl WriteAheadLog {
+    pub fn new(backend: Arc<dyn CheckpointBackend>) -> WriteAheadLog {
+        WriteAheadLog { backend }
+    }
+
+    fn offsets_key(epoch: u64) -> String {
+        format!("wal/offsets/epoch-{epoch:020}.json")
+    }
+
+    fn commit_key(epoch: u64) -> String {
+        format!("wal/commits/epoch-{epoch:020}.json")
+    }
+
+    fn parse_epoch(key: &str) -> Option<u64> {
+        key.rsplit_once("epoch-")?
+            .1
+            .strip_suffix(".json")?
+            .parse()
+            .ok()
+    }
+
+    // ---- offset log ----
+
+    /// Durably record the offsets for an epoch, *before* executing it.
+    /// Rewriting the same epoch (recovery re-running an uncommitted
+    /// epoch) must supply identical content; conflicting content is an
+    /// error — it would violate prefix consistency.
+    pub fn write_offsets(&self, offsets: &EpochOffsets) -> Result<()> {
+        if let Some(existing) = self.read_offsets(offsets.epoch)? {
+            if existing.sources != offsets.sources {
+                return Err(SsError::Execution(format!(
+                    "offset log already has different content for epoch {}",
+                    offsets.epoch
+                )));
+            }
+            return Ok(());
+        }
+        let data = serde_json::to_vec_pretty(offsets)
+            .map_err(|e| SsError::Serde(format!("offset encode: {e}")))?;
+        self.backend
+            .write_atomic(&Self::offsets_key(offsets.epoch), &data)
+    }
+
+    /// Read one epoch's offsets.
+    pub fn read_offsets(&self, epoch: u64) -> Result<Option<EpochOffsets>> {
+        match self.backend.read(&Self::offsets_key(epoch))? {
+            None => Ok(None),
+            Some(data) => serde_json::from_slice(&data)
+                .map(Some)
+                .map_err(|e| SsError::Serde(format!("offset decode epoch {epoch}: {e}"))),
+        }
+    }
+
+    /// All epochs present in the offset log, ascending.
+    pub fn offset_epochs(&self) -> Result<Vec<u64>> {
+        let mut v: Vec<u64> = self
+            .backend
+            .list("wal/offsets/")?
+            .iter()
+            .filter_map(|k| Self::parse_epoch(k))
+            .collect();
+        v.sort_unstable();
+        Ok(v)
+    }
+
+    /// The newest epoch in the offset log.
+    pub fn latest_offsets_epoch(&self) -> Result<Option<u64>> {
+        Ok(self.offset_epochs()?.last().copied())
+    }
+
+    // ---- commit log ----
+
+    /// Record that an epoch's output is durably in the sink.
+    pub fn write_commit(&self, commit: &EpochCommit) -> Result<()> {
+        let data = serde_json::to_vec_pretty(commit)
+            .map_err(|e| SsError::Serde(format!("commit encode: {e}")))?;
+        self.backend
+            .write_atomic(&Self::commit_key(commit.epoch), &data)
+    }
+
+    /// Read one epoch's commit record.
+    pub fn read_commit(&self, epoch: u64) -> Result<Option<EpochCommit>> {
+        match self.backend.read(&Self::commit_key(epoch))? {
+            None => Ok(None),
+            Some(data) => serde_json::from_slice(&data)
+                .map(Some)
+                .map_err(|e| SsError::Serde(format!("commit decode epoch {epoch}: {e}"))),
+        }
+    }
+
+    pub fn is_committed(&self, epoch: u64) -> Result<bool> {
+        Ok(self.backend.read(&Self::commit_key(epoch))?.is_some())
+    }
+
+    /// All committed epochs, ascending.
+    pub fn committed_epochs(&self) -> Result<Vec<u64>> {
+        let mut v: Vec<u64> = self
+            .backend
+            .list("wal/commits/")?
+            .iter()
+            .filter_map(|k| Self::parse_epoch(k))
+            .collect();
+        v.sort_unstable();
+        Ok(v)
+    }
+
+    /// The newest committed epoch.
+    pub fn latest_commit(&self) -> Result<Option<u64>> {
+        Ok(self.committed_epochs()?.last().copied())
+    }
+
+    // ---- recovery / rollback ----
+
+    /// The recovery point: `(resume_epoch, last_committed)` where
+    /// `resume_epoch` is the first epoch that must (re-)execute. Epochs
+    /// in the offset log but not the commit log were in flight during
+    /// the failure; §6.1 step 4 re-runs them with the same offsets.
+    pub fn recovery_point(&self) -> Result<RecoveryPoint> {
+        let committed = self.latest_commit()?;
+        let offsets = self.offset_epochs()?;
+        let uncommitted: Vec<u64> = offsets
+            .into_iter()
+            .filter(|e| committed.is_none_or(|c| *e > c))
+            .collect();
+        Ok(RecoveryPoint {
+            last_committed: committed,
+            uncommitted_epochs: uncommitted,
+        })
+    }
+
+    /// Truncate both logs after `epoch` (manual rollback, §7.2). The
+    /// next run will redefine epochs from `epoch + 1`.
+    pub fn truncate_after(&self, epoch: u64) -> Result<()> {
+        for key in self.backend.list("wal/")? {
+            if let Some(e) = Self::parse_epoch(&key) {
+                if e > epoch {
+                    self.backend.delete(&key)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Where a restarted query resumes (§6.1 step 4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryPoint {
+    /// Newest epoch whose output is durably committed.
+    pub last_committed: Option<u64>,
+    /// Epochs logged in the offset log but never committed; they must
+    /// re-execute with the logged offsets (output rewritten relying on
+    /// sink idempotence).
+    pub uncommitted_epochs: Vec<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_state::MemoryBackend;
+
+    fn wal() -> WriteAheadLog {
+        WriteAheadLog::new(Arc::new(MemoryBackend::new()))
+    }
+
+    fn offsets(epoch: u64, end: u64) -> EpochOffsets {
+        let mut sources = BTreeMap::new();
+        sources.insert(
+            "kafka".to_string(),
+            OffsetRange {
+                start: BTreeMap::from([(0, 0), (1, 0)]),
+                end: BTreeMap::from([(0, end), (1, end * 2)]),
+            },
+        );
+        EpochOffsets {
+            epoch,
+            sources,
+            watermark_us: 0,
+            defined_at_us: 0,
+        }
+    }
+
+    #[test]
+    fn offsets_round_trip() {
+        let w = wal();
+        let o = offsets(1, 100);
+        w.write_offsets(&o).unwrap();
+        assert_eq!(w.read_offsets(1).unwrap(), Some(o));
+        assert_eq!(w.read_offsets(2).unwrap(), None);
+        assert_eq!(w.latest_offsets_epoch().unwrap(), Some(1));
+    }
+
+    #[test]
+    fn rewriting_same_epoch_same_content_is_idempotent() {
+        let w = wal();
+        w.write_offsets(&offsets(1, 100)).unwrap();
+        w.write_offsets(&offsets(1, 100)).unwrap();
+        // Conflicting content (different prefix!) must be refused.
+        let err = w.write_offsets(&offsets(1, 999)).unwrap_err();
+        assert!(err.to_string().contains("different content"));
+    }
+
+    #[test]
+    fn commit_log_tracks_progress() {
+        let w = wal();
+        w.write_offsets(&offsets(1, 10)).unwrap();
+        w.write_offsets(&offsets(2, 20)).unwrap();
+        assert!(!w.is_committed(1).unwrap());
+        w.write_commit(&EpochCommit {
+            epoch: 1,
+            rows_written: 10,
+            committed_at_us: 1,
+        })
+        .unwrap();
+        assert!(w.is_committed(1).unwrap());
+        assert_eq!(w.latest_commit().unwrap(), Some(1));
+        assert_eq!(w.read_commit(1).unwrap().unwrap().rows_written, 10);
+    }
+
+    #[test]
+    fn recovery_point_identifies_in_flight_epochs() {
+        let w = wal();
+        // Nothing yet.
+        assert_eq!(
+            w.recovery_point().unwrap(),
+            RecoveryPoint {
+                last_committed: None,
+                uncommitted_epochs: vec![]
+            }
+        );
+        w.write_offsets(&offsets(1, 10)).unwrap();
+        w.write_commit(&EpochCommit {
+            epoch: 1,
+            rows_written: 10,
+            committed_at_us: 0,
+        })
+        .unwrap();
+        w.write_offsets(&offsets(2, 20)).unwrap();
+        // Crash before committing epoch 2.
+        let rp = w.recovery_point().unwrap();
+        assert_eq!(rp.last_committed, Some(1));
+        assert_eq!(rp.uncommitted_epochs, vec![2]);
+    }
+
+    #[test]
+    fn truncate_after_rolls_back_both_logs() {
+        let w = wal();
+        for e in 1..=4 {
+            w.write_offsets(&offsets(e, e * 10)).unwrap();
+            w.write_commit(&EpochCommit {
+                epoch: e,
+                rows_written: 1,
+                committed_at_us: 0,
+            })
+            .unwrap();
+        }
+        w.truncate_after(2).unwrap();
+        assert_eq!(w.offset_epochs().unwrap(), vec![1, 2]);
+        assert_eq!(w.latest_commit().unwrap(), Some(2));
+        // New epochs can be written after the rollback point.
+        w.write_offsets(&offsets(3, 999)).unwrap();
+        assert_eq!(w.read_offsets(3).unwrap().unwrap().sources["kafka"].end[&0], 999);
+    }
+
+    #[test]
+    fn offset_range_counts_records() {
+        let r = OffsetRange {
+            start: BTreeMap::from([(0, 5), (1, 0)]),
+            end: BTreeMap::from([(0, 15), (1, 7)]),
+        };
+        assert_eq!(r.num_records(), 17);
+        assert!(!r.is_empty());
+        assert!(OffsetRange::default().is_empty());
+    }
+
+    #[test]
+    fn log_is_human_readable_json() {
+        let backend = Arc::new(MemoryBackend::new());
+        let w = WriteAheadLog::new(backend.clone());
+        w.write_offsets(&offsets(3, 42)).unwrap();
+        let keys = backend.list("wal/offsets/").unwrap();
+        let text = String::from_utf8(backend.read(&keys[0]).unwrap().unwrap()).unwrap();
+        assert!(text.contains("\"epoch\": 3"));
+        assert!(text.contains("kafka"));
+    }
+}

@@ -1,0 +1,221 @@
+//! Event time, watermarks and append-mode emission (§4.3.1), through
+//! the public API: the full timeline of a windowed aggregation with
+//! out-of-order and late data, and stream–stream joins with
+//! watermark-bounded state.
+
+use std::sync::Arc;
+
+use structured_streaming::prelude::*;
+
+fn schema() -> SchemaRef {
+    Schema::of(vec![
+        Field::new("device", DataType::Utf8),
+        Field::new("time", DataType::Timestamp),
+    ])
+}
+
+fn ts(seconds: i64) -> Value {
+    Value::Timestamp(seconds * 1_000_000)
+}
+
+fn setup(mode: OutputMode) -> (Arc<MessageBus>, StreamingQuery, Arc<MemorySink>) {
+    let bus = Arc::new(MessageBus::new());
+    bus.create_topic("readings", 1).unwrap();
+    let ctx = StreamingContext::new();
+    let df = ctx
+        .read_source(Arc::new(
+            BusSource::new(bus.clone(), "readings", schema()).unwrap(),
+        ))
+        .unwrap()
+        .with_watermark("time", "5 seconds")
+        .unwrap()
+        .group_by(vec![window(col("time"), "10 seconds").unwrap()])
+        .count();
+    let sink = MemorySink::new("out");
+    let query = df
+        .write_stream()
+        .output_mode(mode)
+        .sink(sink.clone())
+        .start_sync()
+        .unwrap();
+    (bus, query, sink)
+}
+
+#[test]
+fn append_mode_full_timeline() {
+    let (bus, mut query, sink) = setup(OutputMode::Append);
+
+    // Epoch 1: out-of-order events inside [0, 10).
+    bus.append("readings", 0, vec![row!["a", ts(7)], row!["a", ts(2)], row!["a", ts(9)]])
+        .unwrap();
+    query.process_available().unwrap();
+    assert!(sink.snapshot().is_empty(), "window cannot close yet");
+
+    // Epoch 2: an event at 14s. Watermark after this epoch: 14-5 = 9s,
+    // still inside [0,10) — nothing final.
+    bus.append("readings", 0, vec![row!["a", ts(14)]]).unwrap();
+    query.process_available().unwrap();
+    assert!(sink.snapshot().is_empty());
+
+    // Epoch 3: an event at 16s. During this epoch the in-force
+    // watermark is 9s; after it, 11s — so the *next* epoch closes
+    // [0,10).
+    bus.append("readings", 0, vec![row!["a", ts(16)]]).unwrap();
+    query.process_available().unwrap();
+    // Epoch 4 (no data needed — a trigger with an empty epoch would be
+    // Idle, so send one row to drive it).
+    bus.append("readings", 0, vec![row!["a", ts(17)]]).unwrap();
+    query.process_available().unwrap();
+    assert_eq!(
+        sink.snapshot(),
+        vec![row![ts(0), ts(10), 3i64]],
+        "window [0,10) finalized with exactly its 3 events"
+    );
+
+    // A late event for the closed window is dropped, not re-emitted
+    // (append output is immutable).
+    bus.append("readings", 0, vec![row!["a", ts(1)], row!["a", ts(30)]])
+        .unwrap();
+    query.process_available().unwrap();
+    let finalized: Vec<Row> = sink
+        .snapshot()
+        .into_iter()
+        .filter(|r| r.get(0) == &ts(0))
+        .collect();
+    assert_eq!(finalized, vec![row![ts(0), ts(10), 3i64]]);
+
+    assert_eq!(query.watermark_us(), 25 * 1_000_000);
+    query.stop().unwrap();
+}
+
+#[test]
+fn update_mode_emits_early_and_often() {
+    let (bus, mut query, sink) = setup(OutputMode::Update);
+    bus.append("readings", 0, vec![row!["a", ts(2)]]).unwrap();
+    query.process_available().unwrap();
+    // Update mode shows the running count before the window closes.
+    assert_eq!(sink.snapshot(), vec![row![ts(0), ts(10), 1i64]]);
+    bus.append("readings", 0, vec![row!["a", ts(3)]]).unwrap();
+    query.process_available().unwrap();
+    assert_eq!(sink.snapshot(), vec![row![ts(0), ts(10), 2i64]]);
+    query.stop().unwrap();
+}
+
+#[test]
+fn watermark_bounds_aggregation_state() {
+    let (bus, mut query, _sink) = setup(OutputMode::Update);
+    // 20 windows' worth of data, advancing.
+    for s in 0..200 {
+        bus.append("readings", 0, vec![row!["a", ts(s)]]).unwrap();
+        if s % 25 == 0 {
+            query.process_available().unwrap();
+        }
+    }
+    query.process_available().unwrap();
+    // Only windows newer than the watermark are retained (plus the
+    // watermark bookkeeping entry).
+    assert!(
+        query.state_rows() < 6,
+        "state should be bounded, got {}",
+        query.state_rows()
+    );
+    query.stop().unwrap();
+}
+
+#[test]
+fn stream_stream_join_with_watermarks_public_api() {
+    let bus = Arc::new(MessageBus::new());
+    bus.create_topic("impressions", 1).unwrap();
+    bus.create_topic("clicks", 1).unwrap();
+    let imp_schema = Schema::of(vec![
+        Field::new("imp_ad", DataType::Int64),
+        Field::new("imp_time", DataType::Timestamp),
+    ]);
+    let click_schema = Schema::of(vec![
+        Field::new("click_ad", DataType::Int64),
+        Field::new("click_time", DataType::Timestamp),
+    ]);
+    let ctx = StreamingContext::new();
+    let impressions = ctx
+        .read_source(Arc::new(
+            BusSource::new(bus.clone(), "impressions", imp_schema).unwrap(),
+        ))
+        .unwrap()
+        .with_watermark("imp_time", "10 seconds")
+        .unwrap();
+    let clicks = ctx
+        .read_source(Arc::new(
+            BusSource::new(bus.clone(), "clicks", click_schema).unwrap(),
+        ))
+        .unwrap()
+        .with_watermark("click_time", "10 seconds")
+        .unwrap();
+    // Which impressions led to clicks? Left-outer: unclicked
+    // impressions surface once the watermark passes them.
+    let joined = impressions.join(
+        &clicks,
+        JoinType::LeftOuter,
+        vec![(col("imp_ad"), col("click_ad"))],
+    );
+    let sink = MemorySink::new("out");
+    let mut query = joined
+        .write_stream()
+        .output_mode(OutputMode::Append)
+        .sink(sink.clone())
+        .start_sync()
+        .unwrap();
+
+    bus.append("impressions", 0, vec![row![1i64, ts(1)], row![2i64, ts(2)]])
+        .unwrap();
+    query.process_available().unwrap();
+    // The click for ad 1 arrives later.
+    bus.append("clicks", 0, vec![row![1i64, ts(5)]]).unwrap();
+    query.process_available().unwrap();
+    let matched: Vec<Row> = sink.snapshot();
+    assert_eq!(matched, vec![row![1i64, ts(1), 1i64, ts(5)]]);
+
+    // Advance both watermarks past ad 2's impression: it emits
+    // NULL-extended (never clicked).
+    bus.append("impressions", 0, vec![row![9i64, ts(60)]]).unwrap();
+    bus.append("clicks", 0, vec![row![8i64, ts(60)]]).unwrap();
+    query.process_available().unwrap();
+    bus.append("impressions", 0, vec![row![9i64, ts(61)]]).unwrap();
+    query.process_available().unwrap();
+    assert!(
+        sink.snapshot()
+            .iter()
+            .any(|r| r.get(0) == &Value::Int64(2) && r.get(2).is_null()),
+        "unclicked impression should emit NULL-extended: {:?}",
+        sink.snapshot()
+    );
+    query.stop().unwrap();
+}
+
+#[test]
+fn sliding_windows_public_api() {
+    let bus = Arc::new(MessageBus::new());
+    bus.create_topic("readings", 1).unwrap();
+    let ctx = StreamingContext::new();
+    let df = ctx
+        .read_source(Arc::new(
+            BusSource::new(bus.clone(), "readings", schema()).unwrap(),
+        ))
+        .unwrap()
+        .group_by(vec![window_sliding(col("time"), "10 seconds", "5 seconds").unwrap()])
+        .count();
+    let sink = MemorySink::new("out");
+    let mut query = df
+        .write_stream()
+        .output_mode(OutputMode::Complete)
+        .sink(sink.clone())
+        .start_sync()
+        .unwrap();
+    bus.append("readings", 0, vec![row!["a", ts(7)]]).unwrap();
+    query.process_available().unwrap();
+    // One event at 7s lands in windows [0,10) and [5,15).
+    assert_eq!(
+        sink.snapshot(),
+        vec![row![ts(0), ts(10), 1i64], row![ts(5), ts(15), 1i64]]
+    );
+    query.stop().unwrap();
+}
