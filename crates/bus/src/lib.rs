@@ -22,9 +22,11 @@
 
 pub mod bus;
 pub mod json;
+pub mod metrics;
 pub mod sink;
 pub mod source;
 
 pub use bus::{MessageBus, Record};
+pub use metrics::{InstrumentedSink, SinkMetrics, SourceMetrics};
 pub use sink::{BusSink, CallbackSink, EpochOutput, FileSink, MemorySink, Sink};
 pub use source::{BusSource, FileSource, GeneratorSource, Source};

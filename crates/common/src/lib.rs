@@ -15,23 +15,31 @@
 //!   low-volume paths (per-record continuous processing).
 //! * [`time`] — event-time helpers: duration parsing and window
 //!   bucketing arithmetic used by the `window()` expression.
+//! * [`metrics`] — counters/gauges/histograms with a Prometheus-text
+//!   [`MetricsRegistry`]; the substrate of the observability layer.
+//! * [`trace`] — epoch-scoped trace spans, dumpable as a
+//!   chrome://tracing-compatible JSON event log.
 //! * [`SsError`] — the error type shared across the workspace.
 
 pub mod batch;
 pub mod bitmap;
 pub mod column;
 pub mod error;
+pub mod metrics;
 pub mod offsets;
 pub mod row;
 pub mod schema;
 pub mod time;
+pub mod trace;
 pub mod types;
 
 pub use batch::RecordBatch;
 pub use bitmap::Bitmap;
 pub use column::{Column, ColumnBuilder};
 pub use error::{Result, SsError};
+pub use metrics::{Counter, Gauge, Histogram, MetricSample, MetricValue, MetricsRegistry};
 pub use offsets::{OffsetRange, PartitionOffsets};
 pub use row::Row;
 pub use schema::{Field, Schema, SchemaRef};
+pub use trace::{TraceEvent, TraceLog, TraceSpan};
 pub use types::{DataType, Value};

@@ -1,0 +1,527 @@
+//! A lightweight metrics layer (§7.4 Monitoring).
+//!
+//! "Streaming systems need to give operators clear visibility into
+//! system load, backlogs, state size and other metrics." This module is
+//! the shared substrate: lock-free [`Counter`]s, [`Gauge`]s and
+//! [`Histogram`]s handed out by a named [`MetricsRegistry`], rendered in
+//! the Prometheus text exposition format by [`MetricsRegistry::render`].
+//!
+//! Design constraints, in order:
+//!
+//! * **cheap on the hot path** — every instrument is a clonable handle
+//!   around atomics; recording never takes the registry lock;
+//! * **no external dependencies** — the exposition format is plain
+//!   text, written by hand;
+//! * **label-aware** — one metric *family* (e.g.
+//!   `ss_operator_eval_us`) holds one series per label set
+//!   (`{op="agg-0"}`), exactly like Prometheus client libraries.
+//!
+//! Histograms use a fixed microsecond-latency bucket ladder
+//! ([`LATENCY_BUCKETS_US`]) spanning 1µs to 10s, which covers every
+//! duration this engine measures (operator eval, WAL fsync, epoch
+//! wall-clock).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Upper bounds (µs) of the histogram buckets; a final `+Inf` bucket is
+/// implicit. 1µs … 10s in a 1-2-5 ladder.
+pub const LATENCY_BUCKETS_US: [u64; 22] = [
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000,
+    250_000, 500_000, 1_000_000, 2_500_000, 5_000_000, 10_000_000,
+];
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down (backlog, key counts).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    value: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, d: i64) {
+        self.value.fetch_add(d, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// One count per entry of [`LATENCY_BUCKETS_US`], plus `+Inf`.
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A fixed-bucket latency histogram (µs).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        Histogram {
+            inner: Arc::new(HistogramInner {
+                buckets: (0..=LATENCY_BUCKETS_US.len()).map(|_| AtomicU64::new(0)).collect(),
+                sum: AtomicU64::new(0),
+                count: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Record one observation (µs).
+    pub fn observe(&self, us: u64) {
+        let idx = LATENCY_BUCKETS_US.partition_point(|&b| b < us);
+        self.inner.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.inner.sum.fetch_add(us, Ordering::Relaxed);
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations (µs).
+    pub fn sum(&self) -> u64 {
+        self.inner.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket counts (non-cumulative), `+Inf` last.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.inner
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Estimate a percentile (0.0–1.0) from the bucket upper bounds.
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let target = ((total as f64) * p.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, b) in self.inner.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= target {
+                return Some(
+                    LATENCY_BUCKETS_US
+                        .get(i)
+                        .copied()
+                        .unwrap_or(u64::MAX),
+                );
+            }
+        }
+        Some(u64::MAX)
+    }
+}
+
+/// The value of one series in a [`MetricsRegistry::snapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricValue {
+    Counter(u64),
+    Gauge(i64),
+    Histogram { count: u64, sum: u64 },
+}
+
+/// One series (name + labels + current value) from a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MetricSample {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+    pub value: MetricValue,
+}
+
+#[derive(Debug, Clone)]
+enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Instrument {
+    fn kind(&self) -> &'static str {
+        match self {
+            Instrument::Counter(_) => "counter",
+            Instrument::Gauge(_) => "gauge",
+            Instrument::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Family {
+    kind: &'static str,
+    help: Option<String>,
+    /// Sorted label set → shared instrument.
+    series: BTreeMap<Vec<(String, String)>, Instrument>,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    families: BTreeMap<String, Family>,
+}
+
+/// A named collection of metric families. Cloning shares the registry;
+/// instruments returned by [`MetricsRegistry::counter`] (etc.) are
+/// shared per `(name, labels)`, so two callers asking for the same
+/// series increment the same atomic.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<Mutex<RegistryInner>>,
+}
+
+fn label_vec(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    let mut v: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, val)| (k.to_string(), val.to_string()))
+        .collect();
+    v.sort();
+    v
+}
+
+impl MetricsRegistry {
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    fn instrument(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Instrument,
+    ) -> Instrument {
+        let mut inner = self.inner.lock();
+        let family = inner.families.entry(name.to_string()).or_default();
+        let entry = family
+            .series
+            .entry(label_vec(labels))
+            .or_insert_with(make);
+        if family.kind.is_empty() {
+            family.kind = entry.kind();
+        }
+        assert_eq!(
+            family.kind,
+            entry.kind(),
+            "metric `{name}` registered with conflicting kinds"
+        );
+        entry.clone()
+    }
+
+    /// Get-or-create a counter series.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.instrument(name, labels, || Instrument::Counter(Counter::new())) {
+            Instrument::Counter(c) => c,
+            other => panic!("metric `{name}` is a {}, not a counter", other.kind()),
+        }
+    }
+
+    /// Get-or-create a gauge series.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.instrument(name, labels, || Instrument::Gauge(Gauge::new())) {
+            Instrument::Gauge(g) => g,
+            other => panic!("metric `{name}` is a {}, not a gauge", other.kind()),
+        }
+    }
+
+    /// Get-or-create a histogram series.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        match self.instrument(name, labels, || Instrument::Histogram(Histogram::new())) {
+            Instrument::Histogram(h) => h,
+            other => panic!("metric `{name}` is a {}, not a histogram", other.kind()),
+        }
+    }
+
+    /// Attach a `# HELP` line to a family (idempotent).
+    pub fn describe(&self, name: &str, help: &str) {
+        let mut inner = self.inner.lock();
+        inner
+            .families
+            .entry(name.to_string())
+            .or_default()
+            .help = Some(help.to_string());
+    }
+
+    /// A point-in-time copy of every series.
+    pub fn snapshot(&self) -> Vec<MetricSample> {
+        let inner = self.inner.lock();
+        let mut out = Vec::new();
+        for (name, family) in &inner.families {
+            for (labels, instr) in &family.series {
+                let value = match instr {
+                    Instrument::Counter(c) => MetricValue::Counter(c.get()),
+                    Instrument::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Instrument::Histogram(h) => MetricValue::Histogram {
+                        count: h.count(),
+                        sum: h.sum(),
+                    },
+                };
+                out.push(MetricSample {
+                    name: name.clone(),
+                    labels: labels.clone(),
+                    value,
+                });
+            }
+        }
+        out
+    }
+
+    /// The current value of one series, if it exists.
+    pub fn value(&self, name: &str, labels: &[(&str, &str)]) -> Option<MetricValue> {
+        let want = label_vec(labels);
+        self.snapshot()
+            .into_iter()
+            .find(|s| s.name == name && s.labels == want)
+            .map(|s| s.value)
+    }
+
+    /// Render every family in the Prometheus text exposition format
+    /// (version 0.0.4): `# HELP` / `# TYPE` headers, then one line per
+    /// series; histograms expand to cumulative `_bucket{le=...}` lines
+    /// plus `_sum` and `_count`.
+    pub fn render(&self) -> String {
+        let inner = self.inner.lock();
+        let mut out = String::new();
+        for (name, family) in &inner.families {
+            if family.series.is_empty() {
+                continue;
+            }
+            if let Some(help) = &family.help {
+                let _ = writeln!(out, "# HELP {name} {help}");
+            }
+            let _ = writeln!(out, "# TYPE {name} {}", family.kind);
+            for (labels, instr) in &family.series {
+                match instr {
+                    Instrument::Counter(c) => {
+                        let _ = writeln!(out, "{}{} {}", name, render_labels(labels, None), c.get());
+                    }
+                    Instrument::Gauge(g) => {
+                        let _ = writeln!(out, "{}{} {}", name, render_labels(labels, None), g.get());
+                    }
+                    Instrument::Histogram(h) => {
+                        let counts = h.bucket_counts();
+                        let mut cumulative = 0u64;
+                        for (i, c) in counts.iter().enumerate() {
+                            cumulative += c;
+                            let le = match LATENCY_BUCKETS_US.get(i) {
+                                Some(b) => b.to_string(),
+                                None => "+Inf".to_string(),
+                            };
+                            let _ = writeln!(
+                                out,
+                                "{}_bucket{} {}",
+                                name,
+                                render_labels(labels, Some(&le)),
+                                cumulative
+                            );
+                        }
+                        let _ = writeln!(out, "{}_sum{} {}", name, render_labels(labels, None), h.sum());
+                        let _ = writeln!(out, "{}_count{} {}", name, render_labels(labels, None), h.count());
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn render_labels(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{k}=\"{}\"", escape_label_value(v));
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "le=\"{le}\"");
+    }
+    out.push('}');
+    out
+}
+
+/// Prometheus label-value escaping: backslash, double-quote, newline.
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_share_handles() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("ss_rows_total", &[("op", "scan")]);
+        let b = r.counter("ss_rows_total", &[("op", "scan")]);
+        a.add(3);
+        b.inc();
+        assert_eq!(a.get(), 4);
+        // A different label set is a different series.
+        let c = r.counter("ss_rows_total", &[("op", "filter")]);
+        assert_eq!(c.get(), 0);
+
+        let g = r.gauge("ss_backlog", &[]);
+        g.set(10);
+        g.add(-3);
+        assert_eq!(r.gauge("ss_backlog", &[]).get(), 7);
+    }
+
+    #[test]
+    fn histogram_buckets_and_percentiles() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(0.5), None);
+        h.observe(1); // bucket le=1
+        h.observe(3); // le=5
+        h.observe(30_000_000); // +Inf
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 30_000_004);
+        let counts = h.bucket_counts();
+        assert_eq!(counts[0], 1); // le=1
+        assert_eq!(counts[2], 1); // le=5
+        assert_eq!(*counts.last().unwrap(), 1); // +Inf
+        assert_eq!(h.percentile(0.0), Some(1));
+        assert_eq!(h.percentile(0.5), Some(5));
+        assert_eq!(h.percentile(1.0), Some(u64::MAX));
+    }
+
+    #[test]
+    fn render_is_valid_prometheus_text() {
+        let r = MetricsRegistry::new();
+        r.describe("ss_rows_total", "Rows processed per operator.");
+        r.counter("ss_rows_total", &[("op", "scan")]).add(5);
+        r.counter("ss_rows_total", &[("op", "agg-0")]).add(2);
+        r.gauge("ss_state_keys", &[]).set(7);
+        let h = r.histogram("ss_eval_us", &[("op", "scan")]);
+        h.observe(2);
+        h.observe(400);
+
+        let text = r.render();
+        // Families are sorted by name; series sorted by labels.
+        let expected_prefix = "\
+# TYPE ss_eval_us histogram
+ss_eval_us_bucket{op=\"scan\",le=\"1\"} 0
+ss_eval_us_bucket{op=\"scan\",le=\"2\"} 1
+";
+        assert!(text.starts_with(expected_prefix), "got:\n{text}");
+        assert!(text.contains("ss_eval_us_bucket{op=\"scan\",le=\"+Inf\"} 2\n"));
+        assert!(text.contains("ss_eval_us_sum{op=\"scan\"} 402\n"));
+        assert!(text.contains("ss_eval_us_count{op=\"scan\"} 2\n"));
+        assert!(text.contains("# HELP ss_rows_total Rows processed per operator.\n"));
+        assert!(text.contains("# TYPE ss_rows_total counter\n"));
+        assert!(text.contains("ss_rows_total{op=\"agg-0\"} 2\n"));
+        assert!(text.contains("ss_rows_total{op=\"scan\"} 5\n"));
+        assert!(text.contains("# TYPE ss_state_keys gauge\nss_state_keys 7\n"));
+
+        // Every non-comment line is `name[{labels}] <number>`.
+        for line in text.lines() {
+            if line.starts_with('#') || line.is_empty() {
+                continue;
+            }
+            let (series, value) = line.rsplit_once(' ').expect("space-separated");
+            assert!(value.parse::<f64>().is_ok(), "bad value in `{line}`");
+            assert!(!series.is_empty());
+            if let Some(open) = series.find('{') {
+                assert!(series.ends_with('}'), "unclosed labels in `{line}`");
+                assert!(open > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = MetricsRegistry::new();
+        r.counter("m", &[("k", "a\"b\\c\nd")]).inc();
+        let text = r.render();
+        assert!(text.contains("m{k=\"a\\\"b\\\\c\\nd\"} 1"));
+    }
+
+    #[test]
+    fn snapshot_reports_every_series() {
+        let r = MetricsRegistry::new();
+        r.counter("c", &[]).add(1);
+        r.gauge("g", &[("x", "1")]).set(-5);
+        r.histogram("h", &[]).observe(10);
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(r.value("c", &[]), Some(MetricValue::Counter(1)));
+        assert_eq!(r.value("g", &[("x", "1")]), Some(MetricValue::Gauge(-5)));
+        assert_eq!(
+            r.value("h", &[]),
+            Some(MetricValue::Histogram { count: 1, sum: 10 })
+        );
+        assert_eq!(r.value("missing", &[]), None);
+    }
+
+    #[test]
+    fn labels_are_order_insensitive() {
+        let r = MetricsRegistry::new();
+        r.counter("m", &[("a", "1"), ("b", "2")]).inc();
+        r.counter("m", &[("b", "2"), ("a", "1")]).inc();
+        assert_eq!(r.value("m", &[("a", "1"), ("b", "2")]), Some(MetricValue::Counter(2)));
+    }
+}

@@ -1,0 +1,342 @@
+//! Epoch-scoped trace spans, dumpable as a `chrome://tracing` /
+//! Perfetto-compatible JSON event log.
+//!
+//! The engine records **B**egin/**E**nd span pairs and **X** (complete)
+//! events around epoch phases — offset write, incremental execution,
+//! per-operator evaluation, sink commit, checkpoint — so an operator
+//! can load one JSON file and see where an epoch's wall-clock went.
+//!
+//! [`TraceLog`] is a clonable handle around a shared, bounded event
+//! buffer; recording is a short mutex-protected push, cheap relative to
+//! the phases being traced (which are all I/O- or batch-sized). When
+//! the buffer is full new events are dropped and counted rather than
+//! blocking the query.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+/// Default maximum number of buffered events before dropping.
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
+
+/// One trace event in the chrome://tracing "trace event format".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Event name, e.g. `"epoch"` or `"sink-commit"`.
+    pub name: String,
+    /// Phase: `'B'` (begin), `'E'` (end), `'X'` (complete), `'i'` (instant).
+    pub ph: char,
+    /// Timestamp in µs relative to the log's origin.
+    pub ts_us: u64,
+    /// Duration in µs; only present for `'X'` events.
+    pub dur_us: Option<u64>,
+    /// Thread id (a stable per-thread hash).
+    pub tid: u64,
+    /// Extra key/value context rendered into the event's `args`.
+    pub args: Vec<(String, String)>,
+}
+
+#[derive(Debug)]
+struct TraceInner {
+    enabled: AtomicBool,
+    origin: Instant,
+    events: Mutex<Vec<TraceEvent>>,
+    capacity: usize,
+    dropped: AtomicU64,
+}
+
+/// A shared, bounded trace-event log. Clones share the buffer.
+#[derive(Debug, Clone)]
+pub struct TraceLog {
+    inner: Arc<TraceInner>,
+}
+
+impl Default for TraceLog {
+    fn default() -> TraceLog {
+        TraceLog::new()
+    }
+}
+
+fn current_tid() -> u64 {
+    // ThreadId has no stable numeric accessor; hash its Debug repr.
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    std::thread::current().id().hash(&mut h);
+    h.finish() % 1_000_000
+}
+
+impl TraceLog {
+    pub fn new() -> TraceLog {
+        TraceLog::with_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+
+    pub fn with_capacity(capacity: usize) -> TraceLog {
+        TraceLog {
+            inner: Arc::new(TraceInner {
+                enabled: AtomicBool::new(true),
+                origin: Instant::now(),
+                events: Mutex::new(Vec::new()),
+                capacity,
+                dropped: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    pub fn set_enabled(&self, on: bool) {
+        self.inner.enabled.store(on, Ordering::Relaxed);
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Microseconds since this log was created.
+    pub fn now_us(&self) -> u64 {
+        self.inner.origin.elapsed().as_micros() as u64
+    }
+
+    fn push(&self, ev: TraceEvent) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut events = self.inner.events.lock();
+        if events.len() >= self.inner.capacity {
+            self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        events.push(ev);
+    }
+
+    fn args_vec(args: &[(&str, &str)]) -> Vec<(String, String)> {
+        args.iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    }
+
+    /// Record a span begin (`ph: "B"`).
+    pub fn begin(&self, name: &str, args: &[(&str, &str)]) {
+        self.push(TraceEvent {
+            name: name.to_string(),
+            ph: 'B',
+            ts_us: self.now_us(),
+            dur_us: None,
+            tid: current_tid(),
+            args: Self::args_vec(args),
+        });
+    }
+
+    /// Record a span end (`ph: "E"`).
+    pub fn end(&self, name: &str) {
+        self.push(TraceEvent {
+            name: name.to_string(),
+            ph: 'E',
+            ts_us: self.now_us(),
+            dur_us: None,
+            tid: current_tid(),
+            args: Vec::new(),
+        });
+    }
+
+    /// Record a complete event (`ph: "X"`) that started `ts_us` into
+    /// the log and lasted `dur_us`.
+    pub fn complete(&self, name: &str, ts_us: u64, dur_us: u64, args: &[(&str, &str)]) {
+        self.push(TraceEvent {
+            name: name.to_string(),
+            ph: 'X',
+            ts_us,
+            dur_us: Some(dur_us),
+            tid: current_tid(),
+            args: Self::args_vec(args),
+        });
+    }
+
+    /// Record an instant event (`ph: "i"`).
+    pub fn instant(&self, name: &str, args: &[(&str, &str)]) {
+        self.push(TraceEvent {
+            name: name.to_string(),
+            ph: 'i',
+            ts_us: self.now_us(),
+            dur_us: None,
+            tid: current_tid(),
+            args: Self::args_vec(args),
+        });
+    }
+
+    /// Begin a span and return a guard that ends it on drop.
+    pub fn span(&self, name: &str, args: &[(&str, &str)]) -> TraceSpan {
+        self.begin(name, args);
+        TraceSpan {
+            log: self.clone(),
+            name: name.to_string(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.events.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of events dropped because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.inner.dropped.load(Ordering::Relaxed)
+    }
+
+    /// A copy of all buffered events, in record order.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.inner.events.lock().clone()
+    }
+
+    pub fn clear(&self) {
+        self.inner.events.lock().clear();
+        self.inner.dropped.store(0, Ordering::Relaxed);
+    }
+
+    /// Serialize to the chrome://tracing JSON object format:
+    /// `{"traceEvents":[{"name":...,"ph":"B","ts":...,"pid":1,...}]}`.
+    /// Load the result via `chrome://tracing` or <https://ui.perfetto.dev>.
+    pub fn to_chrome_json(&self) -> String {
+        let events = self.inner.events.lock();
+        let mut out = String::from("{\"traceEvents\":[");
+        for (i, ev) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"ph\":\"{}\",\"ts\":{},\"pid\":1,\"tid\":{}",
+                escape_json(&ev.name),
+                ev.ph,
+                ev.ts_us,
+                ev.tid
+            );
+            if let Some(dur) = ev.dur_us {
+                let _ = write!(out, ",\"dur\":{dur}");
+            }
+            if ev.ph == 'i' {
+                // Instant events need a scope; "t" = thread-scoped.
+                out.push_str(",\"s\":\"t\"");
+            }
+            if !ev.args.is_empty() {
+                out.push_str(",\"args\":{");
+                for (j, (k, v)) in ev.args.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "\"{}\":\"{}\"", escape_json(k), escape_json(v));
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Guard returned by [`TraceLog::span`]; records the matching end
+/// event when dropped.
+#[derive(Debug)]
+pub struct TraceSpan {
+    log: TraceLog,
+    name: String,
+}
+
+impl Drop for TraceSpan {
+    fn drop(&mut self) {
+        self.log.end(&self.name);
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_guard_emits_begin_and_end() {
+        let log = TraceLog::new();
+        {
+            let _s = log.span("epoch", &[("epoch", "3")]);
+            log.instant("offsets-written", &[]);
+        }
+        let events = log.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!((events[0].ph, events[0].name.as_str()), ('B', "epoch"));
+        assert_eq!(events[0].args, vec![("epoch".to_string(), "3".to_string())]);
+        assert_eq!(events[1].ph, 'i');
+        assert_eq!((events[2].ph, events[2].name.as_str()), ('E', "epoch"));
+        assert!(events[0].ts_us <= events[2].ts_us);
+    }
+
+    #[test]
+    fn complete_events_carry_duration() {
+        let log = TraceLog::new();
+        log.complete("op:agg-0", 10, 250, &[("rows", "42")]);
+        let ev = &log.events()[0];
+        assert_eq!(ev.ph, 'X');
+        assert_eq!(ev.ts_us, 10);
+        assert_eq!(ev.dur_us, Some(250));
+    }
+
+    #[test]
+    fn chrome_json_shape() {
+        let log = TraceLog::new();
+        log.begin("epoch", &[("epoch", "1")]);
+        log.complete("op:\"scan\"", 5, 7, &[]);
+        log.end("epoch");
+        let json = log.to_chrome_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("]}"));
+        assert!(json.contains("\"ph\":\"B\""));
+        assert!(json.contains("\"dur\":7"));
+        assert!(json.contains("op:\\\"scan\\\""), "escaping: {json}");
+        assert!(json.contains("\"args\":{\"epoch\":\"1\"}"));
+    }
+
+    #[test]
+    fn capacity_bounds_the_buffer() {
+        let log = TraceLog::with_capacity(2);
+        log.instant("a", &[]);
+        log.instant("b", &[]);
+        log.instant("c", &[]);
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.dropped(), 1);
+        log.clear();
+        assert!(log.is_empty());
+        assert_eq!(log.dropped(), 0);
+    }
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let log = TraceLog::new();
+        log.set_enabled(false);
+        log.instant("a", &[]);
+        assert!(log.is_empty());
+        log.set_enabled(true);
+        log.instant("b", &[]);
+        assert_eq!(log.len(), 1);
+    }
+}

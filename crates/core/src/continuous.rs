@@ -32,7 +32,7 @@ use parking_lot::Mutex;
 
 use ss_bus::MessageBus;
 use ss_common::time::now_us;
-use ss_common::{Result, Row, Schema, SchemaRef, SsError};
+use ss_common::{MetricsRegistry, Result, Row, Schema, SchemaRef, SsError, TraceLog};
 use ss_expr::eval::evaluate_row;
 use ss_expr::Expr;
 use ss_plan::LogicalPlan;
@@ -202,6 +202,10 @@ struct ContinuousShared {
     processed: AtomicU64,
     latencies_us: Mutex<Vec<i64>>,
     error: Mutex<Option<String>>,
+    /// Per-query metric registry (§7.4), shared with the caller.
+    registry: MetricsRegistry,
+    /// Epoch-marker trace events (chrome://tracing JSON).
+    trace: TraceLog,
 }
 
 /// A running continuous query.
@@ -227,9 +231,26 @@ impl ContinuousQuery {
         let pipeline = Arc::new(RecordPipeline::compile(&optimized)?);
         let partitions = bus.num_partitions(topic)?;
 
+        let registry = MetricsRegistry::new();
+        let trace = TraceLog::new();
+        registry.describe(
+            "ss_continuous_rows_total",
+            "Records processed by the continuous pipeline.",
+        );
+        registry.describe(
+            "ss_continuous_latency_us",
+            "Per-record end-to-end latency (sink time minus bus ingest time).",
+        );
+        let rows_counter = registry.counter("ss_continuous_rows_total", &[("topic", topic)]);
+        let latency_hist = registry.histogram("ss_continuous_latency_us", &[("topic", topic)]);
+
         // Resume from the last committed epoch's end offsets, if a WAL
         // exists.
-        let wal = wal_backend.map(WriteAheadLog::new);
+        let wal = wal_backend.map(|b| {
+            let mut w = WriteAheadLog::new(b);
+            w.attach_metrics(&registry);
+            w
+        });
         let mut start_offsets = vec![0u64; partitions as usize];
         let mut start_epoch = 0u64;
         if let Some(w) = &wal {
@@ -253,6 +274,8 @@ impl ContinuousQuery {
             processed: AtomicU64::new(0),
             latencies_us: Mutex::new(Vec::new()),
             error: Mutex::new(None),
+            registry,
+            trace,
         });
 
         // Long-lived per-partition workers (§6.3 difference (1)).
@@ -264,6 +287,8 @@ impl ContinuousQuery {
             let pipeline = pipeline.clone();
             let sink = sink.clone();
             let config = config.clone();
+            let rows_counter = rows_counter.clone();
+            let latency_hist = latency_hist.clone();
             workers.push(std::thread::spawn(move || {
                 let mut offset = shared.offsets[p as usize].load(Ordering::SeqCst);
                 while !shared.stop.load(Ordering::SeqCst) {
@@ -287,6 +312,7 @@ impl ContinuousQuery {
                                 }
                                 if config.record_latency {
                                     let lat = now_us() - rec.ingest_time_us;
+                                    latency_hist.observe(lat.max(0) as u64);
                                     let mut l = shared.latencies_us.lock();
                                     // Reservoir-ish cap to bound memory
                                     // in long benchmark runs.
@@ -302,6 +328,7 @@ impl ContinuousQuery {
                             }
                         }
                         offset = rec.offset + 1;
+                        rows_counter.inc();
                         shared.processed.fetch_add(1, Ordering::Relaxed);
                         shared.offsets[p as usize].store(offset, Ordering::Release);
                     }
@@ -354,6 +381,13 @@ impl ContinuousQuery {
                             rows_written: rows,
                             committed_at_us: now_us(),
                         });
+                        shared.trace.instant(
+                            "epoch-marker",
+                            &[
+                                ("epoch", &epoch.to_string()),
+                                ("rows", &rows.to_string()),
+                            ],
+                        );
                     }
                     prev_end = end;
                 }
@@ -370,6 +404,18 @@ impl ContinuousQuery {
     /// Records processed so far.
     pub fn processed(&self) -> u64 {
         self.shared.processed.load(Ordering::Relaxed)
+    }
+
+    /// The query's metric registry: record counts, per-record latency
+    /// histograms and (when a WAL is configured) epoch-marker append
+    /// timings.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.shared.registry
+    }
+
+    /// Epoch-marker trace events as chrome://tracing JSON.
+    pub fn trace(&self) -> &TraceLog {
+        &self.shared.trace
     }
 
     /// First worker error, if any.

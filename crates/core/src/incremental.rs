@@ -26,6 +26,7 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 use rustc_hash::FxHashSet;
 
@@ -42,6 +43,67 @@ use ss_state::{StateEntry, StateStore};
 use crate::sjoin::{JoinSide, StreamJoinExec};
 use crate::stateful::execute_map_groups;
 use crate::watermark::WatermarkTracker;
+
+/// One operator's contribution to one epoch (§7.4 monitoring).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpStat {
+    /// Stable operator label (`scan:events`, `agg-0`, `filter#1`, …).
+    pub op: String,
+    /// Rows the operator emitted this epoch.
+    pub rows_out: u64,
+    /// When the operator started, µs relative to the collector's
+    /// creation (the start of the epoch's execution).
+    pub started_rel_us: u64,
+    /// Inclusive evaluation time (µs): contains the children's time,
+    /// like a flame graph.
+    pub duration_us: u64,
+}
+
+/// Collects per-operator stats while an epoch executes. One collector
+/// is created per epoch; operators record in post-order (children
+/// first), which is deterministic for a fixed plan.
+#[derive(Debug)]
+pub struct OpStatsCollector {
+    base: Instant,
+    stats: Vec<OpStat>,
+}
+
+impl Default for OpStatsCollector {
+    fn default() -> OpStatsCollector {
+        OpStatsCollector::new()
+    }
+}
+
+impl OpStatsCollector {
+    pub fn new() -> OpStatsCollector {
+        OpStatsCollector {
+            base: Instant::now(),
+            stats: Vec::new(),
+        }
+    }
+
+    /// Microseconds since the collector (epoch) started.
+    pub fn now_rel_us(&self) -> u64 {
+        self.base.elapsed().as_micros() as u64
+    }
+
+    fn record(&mut self, op: String, rows_out: u64, started_rel_us: u64, duration_us: u64) {
+        self.stats.push(OpStat {
+            op,
+            rows_out,
+            started_rel_us,
+            duration_us,
+        });
+    }
+
+    pub fn stats(&self) -> &[OpStat] {
+        &self.stats
+    }
+
+    pub fn take(&mut self) -> Vec<OpStat> {
+        std::mem::take(&mut self.stats)
+    }
+}
 
 /// Everything one epoch's execution can see.
 pub struct EpochContext<'a> {
@@ -63,6 +125,8 @@ pub struct EpochContext<'a> {
     /// Event-time maxima observed while running this epoch; folded into
     /// the [`WatermarkTracker`] at the epoch boundary.
     pub tracker: &'a mut WatermarkTracker,
+    /// Per-operator timing collector for this epoch (§7.4).
+    pub ops: &'a mut OpStatsCollector,
 }
 
 /// A tree of incremental operators.
@@ -156,10 +220,41 @@ impl IncNode {
         }
     }
 
+    /// The operator's stable metric label. Nodes with inherent identity
+    /// (scans, watermarks, stateful op_ids) use it; stateless nodes are
+    /// disambiguated with their post-order record sequence number,
+    /// which is deterministic for a fixed plan.
+    fn op_label(&self, seq: usize) -> String {
+        match self {
+            IncNode::StreamScan { name, .. } => format!("scan:{name}"),
+            IncNode::Filter { .. } => format!("filter#{seq}"),
+            IncNode::Project { .. } => format!("project#{seq}"),
+            IncNode::Watermark { column, .. } => format!("watermark:{column}"),
+            IncNode::StaticJoin { .. } => format!("static-join#{seq}"),
+            IncNode::StreamJoin { exec, .. } => exec.op_id.clone(),
+            IncNode::Aggregate { op_id, .. }
+            | IncNode::MapGroups { op_id, .. }
+            | IncNode::Distinct { op_id, .. } => op_id.clone(),
+            IncNode::Sort { .. } => format!("sort#{seq}"),
+            IncNode::Limit { .. } => format!("limit#{seq}"),
+        }
+    }
+
     /// Execute one epoch, returning this operator's output delta (or,
     /// for Complete-mode aggregates and their parents, the full
-    /// table).
+    /// table). Records this operator's rows/duration into `ctx.ops`.
     pub fn execute_epoch(&mut self, ctx: &mut EpochContext<'_>) -> Result<RecordBatch> {
+        let started_rel = ctx.ops.now_rel_us();
+        let started = Instant::now();
+        let out = self.execute_op(ctx)?;
+        let duration = started.elapsed().as_micros() as u64;
+        let label = self.op_label(ctx.ops.stats().len());
+        ctx.ops
+            .record(label, out.num_rows() as u64, started_rel, duration);
+        Ok(out)
+    }
+
+    fn execute_op(&mut self, ctx: &mut EpochContext<'_>) -> Result<RecordBatch> {
         match self {
             IncNode::StreamScan {
                 name,
@@ -293,7 +388,7 @@ impl IncNode {
                             let evicted = agg.evict_expired(ctx.watermark_us);
                             let op = ctx.store.operator(op_id);
                             for k in &evicted {
-                                op.remove(k);
+                                op.evict(k);
                             }
                         }
                         Ok(out)
@@ -312,7 +407,7 @@ impl IncNode {
                             .filter(|k| !live.contains(k))
                             .collect();
                         for k in dead {
-                            op.remove(&k);
+                            op.evict(&k);
                         }
                         Ok(out)
                     }
@@ -744,6 +839,7 @@ mod tests {
         statics: MemoryCatalog,
         output_mode: OutputMode,
         epoch: u64,
+        last_ops: Vec<OpStat>,
     }
 
     impl Harness {
@@ -756,6 +852,7 @@ mod tests {
                 statics: MemoryCatalog::new(),
                 output_mode,
                 epoch: 0,
+                last_ops: Vec::new(),
             }
         }
 
@@ -766,6 +863,7 @@ mod tests {
                 "events".to_string(),
                 RecordBatch::from_rows(events_schema(), rows).unwrap(),
             );
+            let mut ops = OpStatsCollector::new();
             let mut ctx = EpochContext {
                 epoch: self.epoch,
                 inputs: &mut inputs,
@@ -775,8 +873,10 @@ mod tests {
                 processing_time_us: self.epoch as i64 * 1_000_000,
                 output_mode: self.output_mode,
                 tracker: &mut self.tracker,
+                ops: &mut ops,
             };
             let out = self.node.execute_epoch(&mut ctx).unwrap();
+            self.last_ops = ops.take();
             self.tracker.advance();
             out
         }
@@ -941,6 +1041,31 @@ mod tests {
         let h2 = Harness::new(&plan2, OutputMode::Append);
         let s2 = h2.node.schema();
         assert_eq!(h2.node.update_key_columns(&s2), vec![0, 1]);
+    }
+
+    #[test]
+    fn op_stats_record_every_operator_with_stable_labels() {
+        let plan = events()
+            .filter(col("country").eq(lit("CA")))
+            .aggregate(vec![col("country")], vec![count_star()])
+            .build();
+        let mut h = Harness::new(&plan, OutputMode::Update);
+        h.run(&[
+            row!["CA", Value::Timestamp(0)],
+            row!["US", Value::Timestamp(0)],
+        ]);
+        let labels: Vec<&str> = h.last_ops.iter().map(|s| s.op.as_str()).collect();
+        // Post-order: scan, filter, aggregate.
+        assert_eq!(labels, vec!["scan:events", "filter#1", "agg-0"]);
+        assert_eq!(h.last_ops[0].rows_out, 2);
+        assert_eq!(h.last_ops[1].rows_out, 1);
+        assert_eq!(h.last_ops[2].rows_out, 1);
+        // Inclusive timing: the root contains its children.
+        assert!(h.last_ops[2].duration_us >= h.last_ops[1].duration_us);
+        // Labels are identical in the next epoch.
+        h.run(&[row!["CA", Value::Timestamp(1)]]);
+        let labels2: Vec<&str> = h.last_ops.iter().map(|s| s.op.as_str()).collect();
+        assert_eq!(labels2, vec!["scan:events", "filter#1", "agg-0"]);
     }
 
     #[test]

@@ -63,7 +63,7 @@ pub mod watermark;
 
 pub use context::StreamingContext;
 pub use dataframe::{DataFrame, DataStreamWriter, Trigger};
-pub use metrics::QueryProgress;
+pub use metrics::{OpDuration, QueryProgress, StreamingQueryListener};
 pub use microbatch::MicroBatchExecution;
 pub use query::{StreamingQuery, StreamingQueryManager};
 
@@ -71,6 +71,7 @@ pub use query::{StreamingQuery, StreamingQueryManager};
 pub mod prelude {
     pub use crate::context::StreamingContext;
     pub use crate::dataframe::{DataFrame, DataStreamWriter, Trigger};
+    pub use crate::metrics::{QueryProgress, StreamingQueryListener};
     pub use crate::query::{StreamingQuery, StreamingQueryManager};
     pub use ss_expr::{avg, col, count, count_star, lit, max, min, sum, window, window_sliding};
     pub use ss_plan::{JoinType, OutputMode};

@@ -7,6 +7,18 @@
 
 use std::collections::VecDeque;
 
+/// Time spent in one operator during one epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpDuration {
+    /// The operator's stable label, e.g. `"scan:clicks"` or `"agg-0"`.
+    pub op: String,
+    /// Rows the operator produced this epoch.
+    pub rows_out: u64,
+    /// Inclusive evaluation time (µs): a node's time contains its
+    /// children's, like a flame graph.
+    pub duration_us: u64,
+}
+
 /// Metrics for one executed epoch.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryProgress {
@@ -21,28 +33,56 @@ pub struct QueryProgress {
     pub input_rows_per_second: f64,
     /// The event-time watermark in force (µs; `i64::MIN` before data).
     pub watermark_us: i64,
+    /// How far the watermark trails the newest observed event time
+    /// (µs); `None` when the query has no watermark or no data yet.
+    pub watermark_lag_us: Option<i64>,
     /// Total keys across all stateful operators after the epoch — the
     /// "state size" metric of §2.3.
     pub state_rows: u64,
     /// Records known to exist in the sources but not yet processed
     /// (backlog).
     pub backlog_rows: u64,
+    /// Per-operator evaluation breakdown for this epoch, in plan
+    /// traversal order.
+    pub operator_durations: Vec<OpDuration>,
+    /// Time spent committing this epoch's output to the sink (µs).
+    pub sink_commit_us: i64,
 }
 
 impl QueryProgress {
-    /// Render as a one-line human-readable summary.
+    /// Render as a one-line human-readable summary. The watermark is
+    /// shown as `-` before any data has established one.
     pub fn summary(&self) -> String {
+        let wm = if self.watermark_us == i64::MIN {
+            "-".to_string()
+        } else {
+            format!("{}", self.watermark_us)
+        };
         format!(
-            "epoch={} in={} out={} dur={:.1}ms rate={:.0}/s state={} backlog={}",
+            "epoch={} in={} out={} dur={:.1}ms rate={:.0}/s wm={} state={} backlog={}",
             self.epoch,
             self.num_input_rows,
             self.num_output_rows,
             self.batch_duration_us as f64 / 1000.0,
             self.input_rows_per_second,
+            wm,
             self.state_rows,
             self.backlog_rows
         )
     }
+}
+
+/// Observer of query lifecycle events (the `StreamingQueryListener`
+/// surface of §7.4). Register on a query handle or engine; callbacks
+/// run on the query's execution thread, so keep them short.
+pub trait StreamingQueryListener: Send + Sync {
+    /// Called once after every non-idle epoch with that epoch's
+    /// progress record.
+    fn on_progress(&self, _progress: &QueryProgress) {}
+
+    /// Called once when the query stops, with its name and the error
+    /// that terminated it (`None` for a clean stop).
+    fn on_terminated(&self, _name: &str, _error: Option<&str>) {}
 }
 
 /// Bounded history of progress records.
@@ -111,8 +151,11 @@ mod tests {
             batch_duration_us: 1000,
             input_rows_per_second: rows as f64 * 1000.0,
             watermark_us: 0,
+            watermark_lag_us: None,
             state_rows: 3,
             backlog_rows: 0,
+            operator_durations: vec![],
+            sink_commit_us: 0,
         }
     }
 
@@ -134,5 +177,16 @@ mod tests {
         let s = progress(3, 100).summary();
         assert!(s.contains("epoch=3"));
         assert!(s.contains("in=100"));
+        assert!(s.contains("wm=0"));
+    }
+
+    #[test]
+    fn summary_renders_unset_watermark_as_dash() {
+        let mut p = progress(1, 10);
+        p.watermark_us = i64::MIN;
+        let s = p.summary();
+        assert!(s.contains("wm=-"), "got: {s}");
+        // Not the raw i64::MIN sentinel.
+        assert!(!s.contains("-9223372036854775808"), "got: {s}");
     }
 }

@@ -29,17 +29,21 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
-use ss_bus::{EpochOutput, Sink, Source};
+use ss_bus::{EpochOutput, Sink, SinkMetrics, Source, SourceMetrics};
 use ss_common::time::now_us;
-use ss_common::{PartitionOffsets, RecordBatch, Result, SchemaRef, SsError};
+use ss_common::{
+    Histogram, MetricsRegistry, PartitionOffsets, RecordBatch, Result, SchemaRef, SsError,
+    TraceLog,
+};
 use ss_exec::executor::Catalog;
 use ss_plan::{LogicalPlan, OutputMode};
 use ss_state::{CheckpointBackend, StateStore};
 use ss_wal::{EpochCommit, EpochOffsets, OffsetRange, WriteAheadLog};
 
-use crate::incremental::{incrementalize, EpochContext, IncNode};
-use crate::metrics::{ProgressHistory, QueryProgress};
+use crate::incremental::{incrementalize, EpochContext, IncNode, OpStat, OpStatsCollector};
+use crate::metrics::{OpDuration, ProgressHistory, QueryProgress, StreamingQueryListener};
 use crate::watermark::WatermarkTracker;
 
 /// A processing-time clock, injectable for deterministic tests.
@@ -101,6 +105,13 @@ pub enum EpochRun {
     Ran(QueryProgress),
 }
 
+/// What one call to `execute_epoch_offsets` produced (internal).
+struct EpochExecution {
+    out_rows: u64,
+    ops: Vec<OpStat>,
+    sink_commit_us: i64,
+}
+
 /// A running (or recoverable) microbatch query.
 pub struct MicroBatchExecution {
     name: String,
@@ -120,6 +131,16 @@ pub struct MicroBatchExecution {
     positions: HashMap<String, PartitionOffsets>,
     config: MicroBatchConfig,
     progress: ProgressHistory,
+    /// The query's metric registry (§7.4): operator, state, WAL, source
+    /// and sink series all register here.
+    registry: MetricsRegistry,
+    /// Epoch-scoped trace spans, dumpable as chrome://tracing JSON.
+    trace: TraceLog,
+    listeners: Vec<Arc<dyn StreamingQueryListener>>,
+    source_metrics: HashMap<String, SourceMetrics>,
+    sink_metrics: SinkMetrics,
+    epoch_duration_us: Histogram,
+    terminated: bool,
 }
 
 impl MicroBatchExecution {
@@ -152,8 +173,26 @@ impl MicroBatchExecution {
         let output_schema = root.schema();
         let update_key_cols = root.update_key_columns(&output_schema);
         let tracker = WatermarkTracker::new(&optimized.watermarks());
-        let wal = WriteAheadLog::new(backend.clone());
-        let store = StateStore::new(backend);
+        // The registry is created before the WAL/state store so even
+        // recovery replays are captured in the metrics.
+        let registry = MetricsRegistry::new();
+        let trace = TraceLog::new();
+        let mut wal = WriteAheadLog::new(backend.clone());
+        wal.attach_metrics(&registry);
+        let mut store = StateStore::new(backend);
+        store.attach_metrics(&registry);
+        let source_metrics: HashMap<String, SourceMetrics> = sources
+            .keys()
+            .map(|name| (name.clone(), SourceMetrics::new(&registry, name)))
+            .collect();
+        let sink_metrics = SinkMetrics::new(&registry, sink.name());
+        registry.describe("ss_epoch_duration_us", "Wall-clock duration of each epoch.");
+        registry.describe("ss_operator_rows_total", "Rows emitted per incremental operator.");
+        registry.describe(
+            "ss_operator_eval_us",
+            "Inclusive per-operator evaluation time per epoch.",
+        );
+        let epoch_duration_us = registry.histogram("ss_epoch_duration_us", &[]);
         let progress = ProgressHistory::new(config.progress_history);
         let mut engine = MicroBatchExecution {
             name: name.into(),
@@ -171,6 +210,13 @@ impl MicroBatchExecution {
             positions: HashMap::new(),
             config,
             progress,
+            registry,
+            trace,
+            listeners: Vec::new(),
+            source_metrics,
+            sink_metrics,
+            epoch_duration_us,
+            terminated: false,
         };
         engine.recover()?;
         Ok(engine)
@@ -203,6 +249,41 @@ impl MicroBatchExecution {
     /// Total keys across stateful operators.
     pub fn state_rows(&self) -> u64 {
         self.store.total_keys() as u64
+    }
+
+    /// The query's metric registry (§7.4). `render()` it for the
+    /// Prometheus text exposition, `snapshot()` it for programmatic
+    /// access.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// The epoch trace-span log; dump with
+    /// [`TraceLog::to_chrome_json`] and load in `chrome://tracing`.
+    pub fn trace(&self) -> &TraceLog {
+        &self.trace
+    }
+
+    /// Register a listener; it receives `on_progress` after every
+    /// non-idle epoch and `on_terminated` when the query stops.
+    pub fn add_listener(&mut self, listener: Arc<dyn StreamingQueryListener>) {
+        self.listeners.push(listener);
+    }
+
+    /// Fire `on_terminated` on every listener, once. Called by the
+    /// query handle when the query stops or fails.
+    pub fn notify_terminated(&mut self, error: Option<&str>) {
+        if self.terminated {
+            return;
+        }
+        self.terminated = true;
+        self.trace.instant(
+            "terminated",
+            &[("error", error.unwrap_or("none"))],
+        );
+        for l in &self.listeners {
+            l.on_terminated(&self.name, error);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -255,7 +336,11 @@ impl MicroBatchExecution {
                 end: end.clone(),
             };
             new_records += range.num_records();
-            backlog_after += backlog.saturating_sub(range.num_records());
+            let source_backlog = backlog.saturating_sub(range.num_records());
+            backlog_after += source_backlog;
+            if let Some(m) = self.source_metrics.get(name) {
+                m.backlog.set(source_backlog as i64);
+            }
             ranges.insert(name.clone(), range);
         }
 
@@ -265,13 +350,20 @@ impl MicroBatchExecution {
         }
 
         let epoch = self.epoch + 1;
+        let epoch_label = epoch.to_string();
+        let epoch_span = self
+            .trace
+            .span("epoch", &[("epoch", epoch_label.as_str())]);
         let offsets = EpochOffsets {
             epoch,
             sources: ranges,
             watermark_us: self.tracker.current(),
             defined_at_us: started,
         };
-        self.wal.write_offsets(&offsets)?;
+        {
+            let _span = self.trace.span("write-offsets", &[]);
+            self.wal.write_offsets(&offsets)?;
+        }
         self.epoch = epoch;
         for (name, r) in &offsets.sources {
             self.positions.insert(name.clone(), r.end.clone());
@@ -279,21 +371,43 @@ impl MicroBatchExecution {
         self.fail_if(FailurePoint::AfterOffsetWrite)?;
 
         // Steps 2–3: execute and commit.
-        let out_rows = self.execute_epoch_offsets(&offsets, true)?;
+        let exec = self.execute_epoch_offsets(&offsets, true)?;
+        drop(epoch_span);
 
         let finished = (self.config.clock)();
+        // Clamp: with a coarse (or frozen test) clock an epoch can
+        // complete in 0 µs, and the rows/s division must stay finite.
         let duration = (finished - started).max(1);
+        self.epoch_duration_us.observe(duration as u64);
+        let watermark_lag_us = match self.tracker.current() {
+            i64::MIN => None,
+            wm => self.tracker.max_observed().map(|m| (m - wm).max(0)),
+        };
         let progress = QueryProgress {
             epoch,
             num_input_rows: new_records,
-            num_output_rows: out_rows,
+            num_output_rows: exec.out_rows,
             batch_duration_us: duration,
             input_rows_per_second: new_records as f64 / (duration as f64 / 1e6),
             watermark_us: self.tracker.current(),
+            watermark_lag_us,
             state_rows: self.state_rows(),
             backlog_rows: backlog_after,
+            operator_durations: exec
+                .ops
+                .iter()
+                .map(|s| OpDuration {
+                    op: s.op.clone(),
+                    rows_out: s.rows_out,
+                    duration_us: s.duration_us,
+                })
+                .collect(),
+            sink_commit_us: exec.sink_commit_us,
         };
         self.progress.push(progress.clone());
+        for l in &self.listeners {
+            l.on_progress(&progress);
+        }
         Ok(EpochRun::Ran(progress))
     }
 
@@ -331,55 +445,74 @@ impl MicroBatchExecution {
 
     /// Execute the epoch described by `offsets`; commit output when
     /// `with_output` (recovery replays with output disabled). Returns
-    /// the number of output rows.
+    /// the epoch's output row count, per-operator stats and sink
+    /// commit time.
     fn execute_epoch_offsets(
         &mut self,
         offsets: &EpochOffsets,
         with_output: bool,
-    ) -> Result<u64> {
-        let trace = std::env::var_os("SS_TRACE_EPOCH").is_some();
-        let t_read = std::time::Instant::now();
+    ) -> Result<EpochExecution> {
+        let trace = self.trace.clone();
         // Read exactly the logged ranges (replayable sources), with
         // the plan's scan projections pushed into the read (§5.3).
         let projections = self.root.scan_projections();
         let mut inputs: HashMap<String, RecordBatch> = HashMap::new();
-        for (name, range) in &offsets.sources {
-            let source = self.sources.get(name).ok_or_else(|| {
-                SsError::Plan(format!("no source bound for `{name}` during execution"))
-            })?;
-            let projection = projections.get(name).cloned().flatten();
-            if trace {
-                eprintln!("[epoch {}] scan {name} projection={projection:?}", offsets.epoch);
+        {
+            let _span = trace.span("read-sources", &[]);
+            for (name, range) in &offsets.sources {
+                let source = self.sources.get(name).ok_or_else(|| {
+                    SsError::Plan(format!("no source bound for `{name}` during execution"))
+                })?;
+                let projection = projections.get(name).cloned().flatten();
+                let t_read = Instant::now();
+                let batch = source.read_all_projected(range, projection.as_deref())?;
+                if let Some(m) = self.source_metrics.get(name) {
+                    m.rows_read.add(batch.num_rows() as u64);
+                    m.read_us.observe(t_read.elapsed().as_micros() as u64);
+                }
+                inputs.insert(name.clone(), batch);
             }
-            let batch = source.read_all_projected(range, projection.as_deref())?;
-            inputs.insert(name.clone(), batch);
-        }
-        if trace {
-            eprintln!("[epoch {}] read+concat: {:?}", offsets.epoch, t_read.elapsed());
         }
 
         // The logged watermark is authoritative (recovery reproduces
         // the original epoch's output exactly).
         self.tracker.set_current(offsets.watermark_us);
         let pt = (self.config.clock)();
-        let mut ctx = EpochContext {
-            epoch: offsets.epoch,
-            inputs: &mut inputs,
-            statics: self.statics.as_ref(),
-            store: &mut self.store,
-            watermark_us: offsets.watermark_us,
-            processing_time_us: pt,
-            output_mode: self.output_mode,
-            tracker: &mut self.tracker,
+        let mut ops = OpStatsCollector::new();
+        let exec_started = trace.now_us();
+        let out = {
+            let _span = trace.span("execute", &[]);
+            let mut ctx = EpochContext {
+                epoch: offsets.epoch,
+                inputs: &mut inputs,
+                statics: self.statics.as_ref(),
+                store: &mut self.store,
+                watermark_us: offsets.watermark_us,
+                processing_time_us: pt,
+                output_mode: self.output_mode,
+                tracker: &mut self.tracker,
+                ops: &mut ops,
+            };
+            self.root.execute_epoch(&mut ctx)?
         };
-        let t_exec = std::time::Instant::now();
-        let out = self.root.execute_epoch(&mut ctx)?;
-        if trace {
-            eprintln!("[epoch {}] execute: {:?}", offsets.epoch, t_exec.elapsed());
+        let ops = ops.take();
+        for s in &ops {
+            self.registry
+                .counter("ss_operator_rows_total", &[("op", &s.op)])
+                .add(s.rows_out);
+            self.registry
+                .histogram("ss_operator_eval_us", &[("op", &s.op)])
+                .observe(s.duration_us);
+            trace.complete(
+                &format!("op:{}", s.op),
+                exec_started + s.started_rel_us,
+                s.duration_us,
+                &[("rows_out", &s.rows_out.to_string())],
+            );
         }
         let out_rows = out.num_rows() as u64;
-        let t_commit = std::time::Instant::now();
 
+        let mut sink_commit_us = 0i64;
         if with_output {
             let output = match self.output_mode {
                 OutputMode::Append => EpochOutput::Append(out),
@@ -389,7 +522,14 @@ impl MicroBatchExecution {
                 },
                 OutputMode::Complete => EpochOutput::Complete(out),
             };
-            self.sink.commit_epoch(offsets.epoch, &output)?;
+            let t_commit = Instant::now();
+            {
+                let _span = trace.span("sink-commit", &[]);
+                self.sink.commit_epoch(offsets.epoch, &output)?;
+            }
+            sink_commit_us = t_commit.elapsed().as_micros() as i64;
+            self.sink_metrics
+                .observe_commit(out_rows, sink_commit_us as u64);
             self.fail_if(FailurePoint::AfterSinkWrite)?;
             self.wal.write_commit(&EpochCommit {
                 epoch: offsets.epoch,
@@ -406,17 +546,15 @@ impl MicroBatchExecution {
         // committed epochs, so checkpoints never run ahead of the
         // commit log.
         if with_output && offsets.epoch.is_multiple_of(self.config.checkpoint_interval) {
+            let _span = trace.span("checkpoint", &[]);
             self.tracker.save(&mut self.store);
             self.store.checkpoint(offsets.epoch)?;
         }
-        if trace {
-            eprintln!(
-                "[epoch {}] commit+checkpoint: {:?}",
-                offsets.epoch,
-                t_commit.elapsed()
-            );
-        }
-        Ok(out_rows)
+        Ok(EpochExecution {
+            out_rows,
+            ops,
+            sink_commit_us,
+        })
     }
 
     // ------------------------------------------------------------------
@@ -725,6 +863,109 @@ mod tests {
         assert_eq!(eng.current_epoch(), 1);
         eng.process_available().unwrap();
         assert_eq!(sink.snapshot(), vec![row!["CA", 2i64], row!["US", 2i64]]);
+    }
+
+    #[test]
+    fn zero_duration_epoch_keeps_rate_finite() {
+        // A frozen clock makes `finished - started == 0`; the engine
+        // must clamp the duration so rows/s never divides by zero.
+        let src = gen_source(1);
+        let sink = MemorySink::new("out");
+        let config = MicroBatchConfig {
+            clock: Arc::new(|| 42),
+            ..Default::default()
+        };
+        let mut eng = engine(src.clone(), sink, Arc::new(MemoryBackend::new()), config);
+        src.advance(5);
+        match eng.run_epoch().unwrap() {
+            EpochRun::Ran(p) => {
+                assert_eq!(p.batch_duration_us, 1);
+                assert!(p.input_rows_per_second.is_finite());
+                assert!(p.input_rows_per_second > 0.0);
+                // The summary renders without NaN/inf artifacts.
+                assert!(!p.summary().contains("NaN"));
+                assert!(!p.summary().contains("inf"));
+            }
+            EpochRun::Idle => panic!("expected an epoch"),
+        }
+    }
+
+    #[test]
+    fn epoch_produces_metrics_trace_and_listener_callbacks() {
+        use parking_lot::Mutex;
+
+        struct Collector {
+            progress: Mutex<Vec<QueryProgress>>,
+            terminated: Mutex<Vec<(String, Option<String>)>>,
+        }
+        impl StreamingQueryListener for Collector {
+            fn on_progress(&self, p: &QueryProgress) {
+                self.progress.lock().push(p.clone());
+            }
+            fn on_terminated(&self, name: &str, error: Option<&str>) {
+                self.terminated
+                    .lock()
+                    .push((name.to_string(), error.map(str::to_string)));
+            }
+        }
+
+        let src = gen_source(1);
+        let sink = MemorySink::new("out");
+        let mut eng = engine(
+            src.clone(),
+            sink,
+            Arc::new(MemoryBackend::new()),
+            MicroBatchConfig::default(),
+        );
+        let collector = Arc::new(Collector {
+            progress: Mutex::new(Vec::new()),
+            terminated: Mutex::new(Vec::new()),
+        });
+        eng.add_listener(collector.clone());
+        src.advance(4);
+        eng.run_epoch().unwrap();
+        src.advance(2);
+        eng.run_epoch().unwrap();
+
+        // One on_progress per epoch, each with per-operator durations.
+        let progress = collector.progress.lock();
+        assert_eq!(progress.len(), 2);
+        for p in progress.iter() {
+            assert!(!p.operator_durations.is_empty());
+            assert!(p.operator_durations.iter().any(|d| d.op == "scan:events"));
+            assert!(p.sink_commit_us >= 0);
+        }
+        drop(progress);
+
+        // Registry holds operator, state, WAL, source and sink series.
+        let text = eng.metrics().render();
+        for series in [
+            "ss_operator_rows_total",
+            "ss_operator_eval_us",
+            "ss_state_puts_total",
+            "ss_wal_appends_total",
+            "ss_source_rows_total",
+            "ss_sink_commits_total",
+            "ss_epoch_duration_us",
+        ] {
+            assert!(text.contains(series), "missing {series} in:\n{text}");
+        }
+
+        // The trace has epoch spans and per-operator complete events.
+        let events = eng.trace().events();
+        assert!(events.iter().any(|e| e.name == "epoch" && e.ph == 'B'));
+        assert!(events.iter().any(|e| e.name == "epoch" && e.ph == 'E'));
+        assert!(events.iter().any(|e| e.name == "sink-commit"));
+        assert!(events
+            .iter()
+            .any(|e| e.name == "op:scan:events" && e.ph == 'X'));
+
+        // on_terminated fires exactly once, even if notified twice.
+        eng.notify_terminated(None);
+        eng.notify_terminated(Some("late"));
+        let terminated = collector.terminated.lock();
+        assert_eq!(terminated.len(), 1);
+        assert_eq!(terminated[0], ("q".to_string(), None));
     }
 
     #[test]

@@ -24,7 +24,7 @@ use parking_lot::Mutex;
 
 use ss_common::{Result, SsError};
 
-use crate::metrics::QueryProgress;
+use crate::metrics::{QueryProgress, StreamingQueryListener};
 use crate::microbatch::{EpochRun, MicroBatchExecution};
 
 /// When the engine attempts a new incremental computation (§4).
@@ -74,17 +74,23 @@ impl StreamingQuery {
             let error = error.clone();
             std::thread::spawn(move || match trigger {
                 TriggerPolicy::Once => {
-                    if let Err(e) = engine.lock().process_available() {
-                        *error.lock() = Some(e.to_string());
+                    let r = engine.lock().process_available();
+                    if let Err(e) = r {
+                        let msg = e.to_string();
+                        *error.lock() = Some(msg.clone());
+                        engine.lock().notify_terminated(Some(&msg));
                     }
                 }
                 TriggerPolicy::ProcessingTime(interval) => {
                     while !stop.load(Ordering::SeqCst) {
                         let started = Instant::now();
-                        match engine.lock().run_epoch() {
+                        let r = engine.lock().run_epoch();
+                        match r {
                             Ok(_) => {}
                             Err(e) => {
-                                *error.lock() = Some(e.to_string());
+                                let msg = e.to_string();
+                                *error.lock() = Some(msg.clone());
+                                engine.lock().notify_terminated(Some(&msg));
                                 return;
                             }
                         }
@@ -164,6 +170,29 @@ impl StreamingQuery {
         self.with_engine(|e| e.state_rows())
     }
 
+    /// Register a [`StreamingQueryListener`] (§7.4): `on_progress`
+    /// fires after every non-idle epoch, `on_terminated` once when the
+    /// query stops or fails.
+    pub fn add_listener(&mut self, listener: Arc<dyn StreamingQueryListener>) {
+        self.with_engine_mut(|e| e.add_listener(listener));
+    }
+
+    /// A handle to the query's metric registry; clones share the
+    /// underlying series.
+    pub fn metrics(&self) -> ss_common::MetricsRegistry {
+        self.with_engine(|e| e.metrics().clone())
+    }
+
+    /// The registry rendered in the Prometheus text exposition format.
+    pub fn render_metrics(&self) -> String {
+        self.with_engine(|e| e.metrics().render())
+    }
+
+    /// The epoch trace log as chrome://tracing-compatible JSON.
+    pub fn trace_json(&self) -> String {
+        self.with_engine(|e| e.trace().to_chrome_json())
+    }
+
     /// Manual rollback (§7.2): recompute from the chosen epoch.
     pub fn rollback_to(&mut self, epoch: u64) -> Result<()> {
         self.check_error()?;
@@ -225,21 +254,29 @@ impl StreamingQuery {
     }
 
     fn stop_in_place(&mut self) -> Result<()> {
-        if let QueryInner::Background {
-            stop,
-            handle,
-            error,
-            ..
-        } = &mut self.inner
-        {
-            stop.store(true, Ordering::SeqCst);
-            if let Some(h) = handle.take() {
-                h.thread().unpark();
-                h.join()
-                    .map_err(|_| SsError::Execution("query thread panicked".into()))?;
+        match &mut self.inner {
+            QueryInner::Sync(e) => {
+                e.notify_terminated(None);
             }
-            if let Some(e) = error.lock().clone() {
-                return Err(SsError::Execution(e));
+            QueryInner::Background {
+                engine,
+                stop,
+                handle,
+                error,
+            } => {
+                stop.store(true, Ordering::SeqCst);
+                if let Some(h) = handle.take() {
+                    h.thread().unpark();
+                    h.join()
+                        .map_err(|_| SsError::Execution("query thread panicked".into()))?;
+                }
+                let err = error.lock().clone();
+                // Idempotent: a no-op if the trigger thread already
+                // fired it on failure.
+                engine.lock().notify_terminated(err.as_deref());
+                if let Some(e) = err {
+                    return Err(SsError::Execution(e));
+                }
             }
         }
         Ok(())

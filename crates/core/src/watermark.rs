@@ -61,6 +61,13 @@ impl WatermarkTracker {
         self.current_us
     }
 
+    /// The maximum event time observed across all watermarked columns
+    /// (µs), or `None` before any data. `max_observed − current` is the
+    /// watermark lag surfaced in query progress (§7.4).
+    pub fn max_observed(&self) -> Option<i64> {
+        self.max_seen.values().copied().max().filter(|&m| m > i64::MIN)
+    }
+
     /// Record event times observed while executing the current epoch.
     pub fn observe(&mut self, column: &str, max_event_time_us: i64) {
         let e = self.max_seen.entry(column.to_string()).or_insert(i64::MIN);

@@ -1,0 +1,37 @@
+//! Batch-executor instrumentation: per-operator output row counts and
+//! evaluation time, registered under `ss_exec_*`.
+
+use ss_common::MetricsRegistry;
+
+/// Records per-operator row counts (`ss_exec_rows_total{op=...}`) and
+/// evaluation latency (`ss_exec_eval_us{op=...}`) for the batch
+/// executor. Durations are *inclusive*: a node's time contains its
+/// children's, mirroring how a profiler flame graph reads.
+#[derive(Debug, Clone)]
+pub struct ExecMetrics {
+    registry: MetricsRegistry,
+}
+
+impl ExecMetrics {
+    pub fn new(registry: &MetricsRegistry) -> ExecMetrics {
+        registry.describe("ss_exec_rows_total", "Rows produced per batch operator.");
+        registry.describe(
+            "ss_exec_eval_us",
+            "Inclusive per-operator evaluation time in the batch executor.",
+        );
+        ExecMetrics {
+            registry: registry.clone(),
+        }
+    }
+
+    /// Record one evaluation of operator `op` producing `rows` rows in
+    /// `eval_us` microseconds.
+    pub fn record(&self, op: &str, rows: u64, eval_us: u64) {
+        self.registry
+            .counter("ss_exec_rows_total", &[("op", op)])
+            .add(rows);
+        self.registry
+            .histogram("ss_exec_eval_us", &[("op", op)])
+            .observe(eval_us);
+    }
+}

@@ -20,7 +20,9 @@
 //!   rollback point.
 
 pub mod backend;
+pub mod metrics;
 pub mod store;
 
 pub use backend::{CheckpointBackend, FsBackend, MemoryBackend};
+pub use metrics::StateMetrics;
 pub use store::{OpState, StateEntry, StateStore};

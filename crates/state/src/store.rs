@@ -16,13 +16,15 @@
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 use rustc_hash::{FxHashMap, FxHashSet};
 use serde::{Deserialize, Serialize};
 
-use ss_common::{Result, Row, SsError};
+use ss_common::{MetricsRegistry, Result, Row, SsError};
 
 use crate::backend::CheckpointBackend;
+use crate::metrics::StateMetrics;
 
 /// The state attached to one key of one operator.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -51,17 +53,27 @@ pub struct OpState {
     map: FxHashMap<Row, StateEntry>,
     dirty: FxHashSet<Row>,
     removed: FxHashSet<Row>,
+    metrics: Option<Arc<StateMetrics>>,
 }
 
 impl OpState {
     pub fn get(&self, key: &Row) -> Option<&StateEntry> {
+        if let Some(m) = &self.metrics {
+            m.gets.inc();
+        }
         self.map.get(key)
     }
 
     pub fn put(&mut self, key: Row, entry: StateEntry) {
         self.removed.remove(&key);
         self.dirty.insert(key.clone());
-        self.map.insert(key, entry);
+        let prev = self.map.insert(key, entry);
+        if let Some(m) = &self.metrics {
+            m.puts.inc();
+            if prev.is_none() {
+                m.keys.add(1);
+            }
+        }
     }
 
     pub fn remove(&mut self, key: &Row) -> Option<StateEntry> {
@@ -69,6 +81,23 @@ impl OpState {
         if old.is_some() {
             self.dirty.remove(key);
             self.removed.insert(key.clone());
+            if let Some(m) = &self.metrics {
+                m.removes.inc();
+                m.keys.add(-1);
+            }
+        }
+        old
+    }
+
+    /// Remove a key because the watermark or a timeout made it
+    /// unreachable; counted separately from plain [`OpState::remove`]
+    /// so operators can watch state-cleanup progress.
+    pub fn evict(&mut self, key: &Row) -> Option<StateEntry> {
+        let old = self.remove(key);
+        if old.is_some() {
+            if let Some(m) = &self.metrics {
+                m.evictions.inc();
+            }
         }
         old
     }
@@ -140,6 +169,7 @@ pub struct StateStore {
     /// Write a full snapshot every N checkpoints (1 = always full).
     snapshot_interval: u64,
     checkpoints_taken: u64,
+    metrics: Option<Arc<StateMetrics>>,
 }
 
 impl StateStore {
@@ -149,6 +179,7 @@ impl StateStore {
             ops: BTreeMap::new(),
             snapshot_interval: 10,
             checkpoints_taken: 0,
+            metrics: None,
         }
     }
 
@@ -159,9 +190,24 @@ impl StateStore {
         self
     }
 
+    /// Register `ss_state_*` metrics on `registry` and start recording.
+    /// The key-count gauge is synced to the current contents.
+    pub fn attach_metrics(&mut self, registry: &MetricsRegistry) {
+        let metrics = StateMetrics::new(registry);
+        metrics.keys.set(self.total_keys() as i64);
+        for op in self.ops.values_mut() {
+            op.metrics = Some(metrics.clone());
+        }
+        self.metrics = Some(metrics);
+    }
+
     /// Access (creating if needed) the state of one operator.
     pub fn operator(&mut self, id: &str) -> &mut OpState {
-        self.ops.entry(id.to_string()).or_default()
+        let op = self.ops.entry(id.to_string()).or_default();
+        if op.metrics.is_none() {
+            op.metrics = self.metrics.clone();
+        }
+        op
     }
 
     /// Read-only operator access.
@@ -199,6 +245,7 @@ impl StateStore {
     /// full snapshot every `snapshot_interval` checkpoints (and always
     /// for the first one); deltas otherwise.
     pub fn checkpoint(&mut self, epoch: u64) -> Result<()> {
+        let started = Instant::now();
         let full = self.checkpoints_taken.is_multiple_of(self.snapshot_interval);
         let mut ops = Vec::with_capacity(self.ops.len());
         for (id, st) in &self.ops {
@@ -245,6 +292,9 @@ impl StateStore {
             st.clear_tracking();
         }
         self.checkpoints_taken += 1;
+        if let Some(m) = &self.metrics {
+            m.checkpoint_us.observe(started.elapsed().as_micros() as u64);
+        }
         Ok(())
     }
 
@@ -272,6 +322,7 @@ impl StateStore {
     /// Restore all operator state as of checkpoint `epoch` (which must
     /// exist). In-memory state is replaced.
     pub fn restore(&mut self, epoch: u64) -> Result<()> {
+        let started = Instant::now();
         let keys = self.backend.list("state/chk-")?;
         let mut chain: Vec<(u64, bool, String)> = keys
             .iter()
@@ -316,7 +367,12 @@ impl StateStore {
         self.ops.clear();
         for (id, map) in state {
             let op = self.ops.entry(id).or_default();
+            op.metrics = self.metrics.clone();
             op.load(map);
+        }
+        if let Some(m) = &self.metrics {
+            m.keys.set(self.total_keys() as i64);
+            m.restore_us.observe(started.elapsed().as_micros() as u64);
         }
         Ok(())
     }
@@ -337,6 +393,9 @@ impl StateStore {
     /// a fresh query against an existing checkpoint directory).
     pub fn clear_memory(&mut self) {
         self.ops.clear();
+        if let Some(m) = &self.metrics {
+            m.keys.set(0);
+        }
     }
 }
 
@@ -469,6 +528,51 @@ mod tests {
         s.restore(1).unwrap();
         assert_eq!(s.total_keys(), 1);
         assert!(s.operator_ref("other").is_none_or(|o| o.is_empty()));
+    }
+
+    #[test]
+    fn metrics_track_keys_gets_puts_and_evictions() {
+        use ss_common::{MetricValue, MetricsRegistry};
+
+        let registry = MetricsRegistry::new();
+        let mut s = store();
+        s.operator("agg").put(row!["pre"], entry(0)); // before attach
+        s.attach_metrics(&registry);
+        assert_eq!(registry.value("ss_state_keys", &[]), Some(MetricValue::Gauge(1)));
+
+        let op = s.operator("agg");
+        op.put(row!["a"], entry(1));
+        op.put(row!["a"], entry(2)); // overwrite: put counted, key count unchanged
+        op.get(&row!["a"]);
+        op.remove(&row!["a"]);
+        op.evict(&row!["pre"]);
+        op.evict(&row!["missing"]); // no-op eviction is not counted
+
+        assert_eq!(registry.value("ss_state_puts_total", &[]), Some(MetricValue::Counter(2)));
+        assert_eq!(registry.value("ss_state_gets_total", &[]), Some(MetricValue::Counter(1)));
+        assert_eq!(registry.value("ss_state_removes_total", &[]), Some(MetricValue::Counter(2)));
+        assert_eq!(
+            registry.value("ss_state_evictions_total", &[]),
+            Some(MetricValue::Counter(1))
+        );
+        assert_eq!(registry.value("ss_state_keys", &[]), Some(MetricValue::Gauge(0)));
+
+        // Checkpoint/restore record latency and resync the key gauge.
+        s.operator("agg").put(row!["b"], entry(3));
+        s.checkpoint(1).unwrap();
+        s.operator("agg").put(row!["c"], entry(4));
+        s.restore(1).unwrap();
+        assert_eq!(registry.value("ss_state_keys", &[]), Some(MetricValue::Gauge(1)));
+        match registry.value("ss_state_checkpoint_us", &[]) {
+            Some(MetricValue::Histogram { count, .. }) => assert_eq!(count, 1),
+            other => panic!("missing checkpoint histogram: {other:?}"),
+        }
+        match registry.value("ss_state_restore_us", &[]) {
+            Some(MetricValue::Histogram { count, .. }) => assert_eq!(count, 1),
+            other => panic!("missing restore histogram: {other:?}"),
+        }
+        s.clear_memory();
+        assert_eq!(registry.value("ss_state_keys", &[]), Some(MetricValue::Gauge(0)));
     }
 
     #[test]

@@ -22,12 +22,49 @@
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
 pub use ss_common::offsets::{OffsetRange, PartitionOffsets};
-use ss_common::{Result, SsError};
+use ss_common::{Counter, Histogram, MetricsRegistry, Result, SsError};
 use ss_state::CheckpointBackend;
+
+/// Instrument handles for one [`WriteAheadLog`], registered under the
+/// `ss_wal_*` families with a `log` label distinguishing the offset log
+/// from the commit log.
+#[derive(Debug, Clone)]
+struct LogMetrics {
+    appends: Counter,
+    append_us: Histogram,
+    replays: Counter,
+    replay_us: Histogram,
+}
+
+#[derive(Debug, Clone)]
+struct WalMetrics {
+    offsets: LogMetrics,
+    commits: LogMetrics,
+}
+
+impl WalMetrics {
+    fn new(registry: &MetricsRegistry) -> WalMetrics {
+        registry.describe("ss_wal_appends_total", "Records durably appended to the WAL.");
+        registry.describe("ss_wal_append_us", "WAL append (atomic write) latency.");
+        registry.describe("ss_wal_replays_total", "WAL records read back (recovery/replay).");
+        registry.describe("ss_wal_replay_us", "WAL record read latency.");
+        let log = |name: &'static str| LogMetrics {
+            appends: registry.counter("ss_wal_appends_total", &[("log", name)]),
+            append_us: registry.histogram("ss_wal_append_us", &[("log", name)]),
+            replays: registry.counter("ss_wal_replays_total", &[("log", name)]),
+            replay_us: registry.histogram("ss_wal_replay_us", &[("log", name)]),
+        };
+        WalMetrics {
+            offsets: log("offsets"),
+            commits: log("commits"),
+        }
+    }
+}
 
 /// The offset-log record for one epoch (§6.1 step 1).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -56,11 +93,21 @@ pub struct EpochCommit {
 /// The write-ahead log: offset log + commit log.
 pub struct WriteAheadLog {
     backend: Arc<dyn CheckpointBackend>,
+    metrics: Option<WalMetrics>,
 }
 
 impl WriteAheadLog {
     pub fn new(backend: Arc<dyn CheckpointBackend>) -> WriteAheadLog {
-        WriteAheadLog { backend }
+        WriteAheadLog {
+            backend,
+            metrics: None,
+        }
+    }
+
+    /// Register `ss_wal_*` metrics on `registry` and start recording
+    /// append/replay counts and latencies.
+    pub fn attach_metrics(&mut self, registry: &MetricsRegistry) {
+        self.metrics = Some(WalMetrics::new(registry));
     }
 
     fn offsets_key(epoch: u64) -> String {
@@ -86,7 +133,7 @@ impl WriteAheadLog {
     /// epoch) must supply identical content; conflicting content is an
     /// error — it would violate prefix consistency.
     pub fn write_offsets(&self, offsets: &EpochOffsets) -> Result<()> {
-        if let Some(existing) = self.read_offsets(offsets.epoch)? {
+        if let Some(existing) = self.read_offsets_inner(offsets.epoch)? {
             if existing.sources != offsets.sources {
                 return Err(SsError::Execution(format!(
                     "offset log already has different content for epoch {}",
@@ -97,18 +144,36 @@ impl WriteAheadLog {
         }
         let data = serde_json::to_vec_pretty(offsets)
             .map_err(|e| SsError::Serde(format!("offset encode: {e}")))?;
+        let started = Instant::now();
         self.backend
-            .write_atomic(&Self::offsets_key(offsets.epoch), &data)
+            .write_atomic(&Self::offsets_key(offsets.epoch), &data)?;
+        if let Some(m) = &self.metrics {
+            m.offsets.appends.inc();
+            m.offsets.append_us.observe(started.elapsed().as_micros() as u64);
+        }
+        Ok(())
     }
 
-    /// Read one epoch's offsets.
-    pub fn read_offsets(&self, epoch: u64) -> Result<Option<EpochOffsets>> {
+    fn read_offsets_inner(&self, epoch: u64) -> Result<Option<EpochOffsets>> {
         match self.backend.read(&Self::offsets_key(epoch))? {
             None => Ok(None),
             Some(data) => serde_json::from_slice(&data)
                 .map(Some)
                 .map_err(|e| SsError::Serde(format!("offset decode epoch {epoch}: {e}"))),
         }
+    }
+
+    /// Read one epoch's offsets.
+    pub fn read_offsets(&self, epoch: u64) -> Result<Option<EpochOffsets>> {
+        let started = Instant::now();
+        let out = self.read_offsets_inner(epoch)?;
+        if let Some(m) = &self.metrics {
+            if out.is_some() {
+                m.offsets.replays.inc();
+                m.offsets.replay_us.observe(started.elapsed().as_micros() as u64);
+            }
+        }
+        Ok(out)
     }
 
     /// All epochs present in the offset log, ascending.
@@ -134,18 +199,32 @@ impl WriteAheadLog {
     pub fn write_commit(&self, commit: &EpochCommit) -> Result<()> {
         let data = serde_json::to_vec_pretty(commit)
             .map_err(|e| SsError::Serde(format!("commit encode: {e}")))?;
+        let started = Instant::now();
         self.backend
-            .write_atomic(&Self::commit_key(commit.epoch), &data)
+            .write_atomic(&Self::commit_key(commit.epoch), &data)?;
+        if let Some(m) = &self.metrics {
+            m.commits.appends.inc();
+            m.commits.append_us.observe(started.elapsed().as_micros() as u64);
+        }
+        Ok(())
     }
 
     /// Read one epoch's commit record.
     pub fn read_commit(&self, epoch: u64) -> Result<Option<EpochCommit>> {
-        match self.backend.read(&Self::commit_key(epoch))? {
-            None => Ok(None),
+        let started = Instant::now();
+        let out: Option<EpochCommit> = match self.backend.read(&Self::commit_key(epoch))? {
+            None => None,
             Some(data) => serde_json::from_slice(&data)
                 .map(Some)
-                .map_err(|e| SsError::Serde(format!("commit decode epoch {epoch}: {e}"))),
+                .map_err(|e| SsError::Serde(format!("commit decode epoch {epoch}: {e}")))?,
+        };
+        if let Some(m) = &self.metrics {
+            if out.is_some() {
+                m.commits.replays.inc();
+                m.commits.replay_us.observe(started.elapsed().as_micros() as u64);
+            }
         }
+        Ok(out)
     }
 
     pub fn is_committed(&self, epoch: u64) -> Result<bool> {
@@ -330,6 +409,36 @@ mod tests {
         assert_eq!(r.num_records(), 17);
         assert!(!r.is_empty());
         assert!(OffsetRange::default().is_empty());
+    }
+
+    #[test]
+    fn metrics_count_appends_and_replays_per_log() {
+        use ss_common::{MetricValue, MetricsRegistry};
+
+        let registry = MetricsRegistry::new();
+        let mut w = wal();
+        w.attach_metrics(&registry);
+        w.write_offsets(&offsets(1, 10)).unwrap();
+        w.write_offsets(&offsets(1, 10)).unwrap(); // idempotent rewrite: no append
+        w.write_commit(&EpochCommit {
+            epoch: 1,
+            rows_written: 10,
+            committed_at_us: 0,
+        })
+        .unwrap();
+        w.read_offsets(1).unwrap();
+        w.read_offsets(99).unwrap(); // miss: not a replay
+        w.read_commit(1).unwrap();
+
+        let c = |log: &str, name: &str| registry.value(name, &[("log", log)]);
+        assert_eq!(c("offsets", "ss_wal_appends_total"), Some(MetricValue::Counter(1)));
+        assert_eq!(c("commits", "ss_wal_appends_total"), Some(MetricValue::Counter(1)));
+        assert_eq!(c("offsets", "ss_wal_replays_total"), Some(MetricValue::Counter(1)));
+        assert_eq!(c("commits", "ss_wal_replays_total"), Some(MetricValue::Counter(1)));
+        match c("offsets", "ss_wal_append_us") {
+            Some(MetricValue::Histogram { count, .. }) => assert_eq!(count, 1),
+            other => panic!("missing append histogram: {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,210 @@
+//! Vendored stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace's microbenches use —
+//! `criterion_group!`/`criterion_main!`, `benchmark_group`,
+//! `throughput`, `bench_function`, `Bencher::iter`/`iter_batched`,
+//! `black_box` — over a simple calibrated wall-clock loop instead of
+//! the real crate's statistical machinery. Results print as
+//! `group/function: median-ish mean per iter (+ throughput)`; there
+//! are no HTML reports, warm-up phases or outlier analysis.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, like `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// How a setup value is shared across `iter_batched` runs. The stub
+/// regenerates the input per iteration for every size.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Units for per-iteration throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+    BytesDecimal(u64),
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of related benchmark functions.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            mean: Duration::ZERO,
+        };
+        f(&mut b);
+        let mean = b.mean;
+        let mut line = format!(
+            "{}/{}: {:>12}/iter",
+            self.name,
+            id,
+            format_duration(mean)
+        );
+        if let Some(tp) = self.throughput {
+            let per_sec = |n: u64| n as f64 / mean.as_secs_f64().max(1e-12);
+            match tp {
+                Throughput::Elements(n) => {
+                    line.push_str(&format!("  ({:.3e} elem/s)", per_sec(n)));
+                }
+                Throughput::Bytes(n) | Throughput::BytesDecimal(n) => {
+                    line.push_str(&format!("  ({:.3e} B/s)", per_sec(n)));
+                }
+            }
+        }
+        println!("{line}");
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Runs the measured closure and records a mean iteration time.
+pub struct Bencher {
+    mean: Duration,
+}
+
+/// Target per-measurement wall time; short enough that a full bench
+/// binary stays in seconds, long enough to average out jitter.
+const TARGET: Duration = Duration::from_millis(200);
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibrate: grow the batch until it costs >= ~1% of TARGET.
+        let mut batch = 1u64;
+        let per_iter = loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= TARGET / 100 || batch >= 1 << 30 {
+                break elapsed / (batch as u32).max(1);
+            }
+            batch *= 8;
+        };
+        // Measure: as many iterations as fit in TARGET.
+        let iters = (TARGET.as_nanos() / per_iter.as_nanos().max(1))
+            .clamp(1, 10_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.mean = start.elapsed() / (iters as u32).max(1);
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        // Time the routine only, regenerating the input outside the
+        // measured region. Fixed iteration budget: setup may be much
+        // more expensive than the routine, so stay modest.
+        let iters = {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            let one = start.elapsed();
+            (TARGET.as_nanos() / one.as_nanos().max(1)).clamp(1, 10_000) as u64
+        };
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.mean = total / (iters as u32).max(1);
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// `criterion_group!(name, fn_a, fn_b, ...)`: a callable running each
+/// benchmark function against a fresh `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// `criterion_main!(group_a, group_b)`: the bench binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Elements(10));
+        g.bench_function("sum", |b| b.iter(|| (0..10u64).sum::<u64>()));
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 10],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        g.finish();
+    }
+}

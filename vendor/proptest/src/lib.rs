@@ -1,0 +1,207 @@
+//! Vendored stand-in for the `proptest` crate.
+//!
+//! Implements the slice of the proptest API the workspace's property
+//! tests use — `proptest!`, `prop_assert!`/`prop_assert_eq!`,
+//! `prop_oneof!`, `any::<T>()`, `Just`, integer-range strategies,
+//! `prop::collection::vec`, `proptest::option::of`, `prop_map` and
+//! `ProptestConfig::with_cases` — over a deterministic SplitMix64
+//! generator. Two deliberate simplifications versus the real crate:
+//!
+//! * **No shrinking.** A failing case reports the case number; rerun
+//!   with the same build to reproduce (generation is seeded per case,
+//!   so failures are stable across runs).
+//! * **No persistence files.** Every run executes the same cases.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+/// `use proptest::prelude::*;` — everything the tests import.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// The deterministic generator handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Per-case rng: the same (seed, case) always generates the same
+    /// inputs, so failures reproduce without persistence files.
+    pub fn for_case(case: u32) -> TestRng {
+        TestRng {
+            state: 0x9e37_79b9_7f4a_7c15_u64 ^ ((case as u64) << 1),
+        }
+    }
+
+    /// SplitMix64 step.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", args...)`: fail
+/// the current case without panicking mid-generation (the surrounding
+/// `proptest!` expansion turns the `Err` into a panic with context).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// `prop_assert_eq!(left, right)` with optional context format args.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), __l, __r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err(::std::format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                ::std::format!($($fmt)+), __l, __r
+            ));
+        }
+    }};
+}
+
+/// `prop_assert_ne!(left, right)` with optional context format args.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (__l, __r) = (&$left, &$right);
+        if __l == __r {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left), stringify!($right), __l
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if __l == __r {
+            return ::std::result::Result::Err(::std::format!(
+                "{}\n  both: {:?}", ::std::format!($($fmt)+), __l
+            ));
+        }
+    }};
+}
+
+/// Weighted-choice union of strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new()$(.or($strategy))+
+    };
+}
+
+/// The test-defining macro. Each `fn name(arg in strategy, ...) { .. }`
+/// becomes a `#[test]` running `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $config;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::TestRng::for_case(__case);
+                    $(let $arg = $crate::strategy::Strategy::generate(&$strategy, &mut __rng);)*
+                    let __result: ::std::result::Result<(), ::std::string::String> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(__msg) = __result {
+                        panic!("proptest case {}/{} failed: {}", __case + 1, __config.cases, __msg);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $($rest)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in -50i64..50, n in 1usize..20) {
+            prop_assert!((-50..50).contains(&x), "x out of range: {}", x);
+            prop_assert!((1..20).contains(&n));
+        }
+
+        #[test]
+        fn vec_respects_size(v in prop::collection::vec(any::<u8>(), 3..7)) {
+            prop_assert!(v.len() >= 3 && v.len() < 7);
+        }
+
+        #[test]
+        fn oneof_and_map_compose(
+            x in prop_oneof![
+                Just(-1i64),
+                (any::<u8>(), any::<u8>()).prop_map(|(a, b)| (a as i64) + (b as i64)),
+            ],
+            opt in prop::option::of(any::<u32>()),
+        ) {
+            prop_assert!(x == -1 || (0..=510).contains(&x));
+            let _ = opt;
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        use crate::strategy::Strategy;
+        let s = crate::collection::vec(crate::arbitrary::any::<u64>(), 1..10);
+        let a = s.generate(&mut crate::TestRng::for_case(3));
+        let b = s.generate(&mut crate::TestRng::for_case(3));
+        assert_eq!(a, b);
+    }
+}

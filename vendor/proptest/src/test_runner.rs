@@ -1,0 +1,21 @@
+//! Run configuration (`ProptestConfig`).
+
+/// How many generated cases each property runs.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        // The real crate runs 256; 64 keeps the suite quick while still
+        // exploring a useful slice of the input space.
+        ProptestConfig { cases: 64 }
+    }
+}

@@ -1,0 +1,514 @@
+//! Vendored stand-in for the `serde` crate.
+//!
+//! The build environment has no registry access, so the workspace
+//! vendors the subset of serde it actually uses: `#[derive(Serialize,
+//! Deserialize)]` on plain structs and enums, serialized to and from
+//! JSON via the in-tree `serde_json`. Instead of the real crate's
+//! visitor-based zero-copy architecture, this model round-trips
+//! through a small JSON-shaped [`Content`] tree: `Serialize` lowers a
+//! value into `Content`, `Deserialize` rebuilds it. That is exactly
+//! the fidelity the engine needs (checkpoint files, WAL records and
+//! wire rows are all JSON) at a tiny fraction of the surface area.
+//!
+//! Compatibility notes:
+//! * Externally-tagged enum representation, like real serde: unit
+//!   variants as `"Name"`, payload variants as `{"Name": ...}`.
+//! * Newtype structs and newtype variants are transparent.
+//! * Map keys serialize as JSON strings; integer keys round-trip by
+//!   parsing the key string back (matches serde_json's behavior for
+//!   `BTreeMap<u32, _>` et al.).
+//! * `Arc<T>`/`Rc<T>` serialize through their contents (the real
+//!   crate's `rc` feature).
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::{BuildHasher, Hash};
+use std::rc::Rc;
+use std::sync::Arc;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model values lower into.
+///
+/// Mirrors JSON, with integers kept exact (`I64`/`U64`) rather than
+/// coerced to floats.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    /// Key/value pairs in insertion order. Keys are stringified when
+    /// printed as JSON.
+    Map(Vec<(Content, Content)>),
+}
+
+impl Content {
+    /// A short name for error messages ("expected a sequence, got a map").
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "a boolean",
+            Content::I64(_) | Content::U64(_) => "an integer",
+            Content::F64(_) => "a float",
+            Content::Str(_) => "a string",
+            Content::Seq(_) => "a sequence",
+            Content::Map(_) => "a map",
+        }
+    }
+}
+
+/// Deserialization failure: what was expected vs. what the data held.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl DeError {
+    pub fn new(msg: impl Into<String>) -> DeError {
+        DeError(msg.into())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Lower `self` into the [`Content`] data model.
+pub trait Serialize {
+    fn ser(&self) -> Content;
+}
+
+/// Rebuild `Self` from the [`Content`] data model.
+pub trait Deserialize: Sized {
+    fn deser(content: &Content) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------------------
+// Helpers used by the generated derive code (public, hidden from docs).
+// ---------------------------------------------------------------------------
+
+const NULL: Content = Content::Null;
+
+/// Look up a struct field by name; absent fields read as `Null` so
+/// `Option` fields added later deserialize as `None`.
+#[doc(hidden)]
+pub fn map_get<'a>(content: &'a Content, key: &str) -> Result<&'a Content, DeError> {
+    match content {
+        Content::Map(entries) => Ok(entries
+            .iter()
+            .find(|(k, _)| matches!(k, Content::Str(s) if s == key))
+            .map(|(_, v)| v)
+            .unwrap_or(&NULL)),
+        other => Err(DeError(format!(
+            "expected a map with field `{key}`, got {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Expect a sequence of exactly `len` items (tuple structs/variants).
+#[doc(hidden)]
+pub fn seq_items(content: &Content, len: usize) -> Result<&[Content], DeError> {
+    match content {
+        Content::Seq(items) if items.len() == len => Ok(items),
+        Content::Seq(items) => Err(DeError(format!(
+            "expected a sequence of {len} items, got {}",
+            items.len()
+        ))),
+        other => Err(DeError(format!(
+            "expected a sequence, got {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// The single `{"Variant": payload}` entry of an externally-tagged enum.
+#[doc(hidden)]
+pub fn variant_of(content: &Content) -> Result<(&str, &Content), DeError> {
+    match content {
+        Content::Str(name) => Ok((name.as_str(), &NULL)),
+        Content::Map(entries) if entries.len() == 1 => match &entries[0] {
+            (Content::Str(name), payload) => Ok((name.as_str(), payload)),
+            _ => Err(DeError("enum variant tag must be a string".into())),
+        },
+        other => Err(DeError(format!(
+            "expected an enum (string or single-entry map), got {}",
+            other.kind()
+        ))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn ser(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deser(content: &Content) -> Result<bool, DeError> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError(format!("expected a boolean, got {}", other.kind()))),
+        }
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn ser(&self) -> Content {
+                Content::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deser(content: &Content) -> Result<$t, DeError> {
+                let v: i64 = match content {
+                    Content::I64(v) => *v,
+                    Content::U64(v) => i64::try_from(*v)
+                        .map_err(|_| DeError(format!("{v} overflows i64")))?,
+                    // Map keys arrive as strings; parse them back.
+                    Content::Str(s) => s
+                        .parse()
+                        .map_err(|_| DeError(format!("`{s}` is not an integer")))?,
+                    other => {
+                        return Err(DeError(format!(
+                            "expected an integer, got {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(v).map_err(|_| {
+                    DeError(format!("{v} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn ser(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deser(content: &Content) -> Result<$t, DeError> {
+                let v: u64 = match content {
+                    Content::U64(v) => *v,
+                    Content::I64(v) => u64::try_from(*v)
+                        .map_err(|_| DeError(format!("{v} is negative")))?,
+                    Content::Str(s) => s
+                        .parse()
+                        .map_err(|_| DeError(format!("`{s}` is not an unsigned integer")))?,
+                    other => {
+                        return Err(DeError(format!(
+                            "expected an unsigned integer, got {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                <$t>::try_from(v).map_err(|_| {
+                    DeError(format!("{v} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn ser(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deser(content: &Content) -> Result<f64, DeError> {
+        match content {
+            Content::F64(v) => Ok(*v),
+            Content::I64(v) => Ok(*v as f64),
+            Content::U64(v) => Ok(*v as f64),
+            // JSON cannot represent NaN/Inf; serde_json writes null.
+            Content::Null => Ok(f64::NAN),
+            other => Err(DeError(format!("expected a number, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn ser(&self) -> Content {
+        Content::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn deser(content: &Content) -> Result<f32, DeError> {
+        f64::deser(content).map(|v| v as f32)
+    }
+}
+
+impl Serialize for str {
+    fn ser(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn ser(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deser(content: &Content) -> Result<String, DeError> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError(format!("expected a string, got {}", other.kind()))),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn ser(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deser(content: &Content) -> Result<char, DeError> {
+        let s = String::deser(content)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError(format!("expected a single character, got `{s}`"))),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn ser(&self) -> Content {
+        Content::Null
+    }
+}
+
+impl Deserialize for () {
+    fn deser(_: &Content) -> Result<(), DeError> {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn ser(&self) -> Content {
+        (**self).ser()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn ser(&self) -> Content {
+        match self {
+            Some(v) => v.ser(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deser(content: &Content) -> Result<Option<T>, DeError> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::deser(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn ser(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::ser).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deser(content: &Content) -> Result<Vec<T>, DeError> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::deser).collect(),
+            other => Err(DeError(format!(
+                "expected a sequence, got {}",
+                other.kind()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn ser(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::ser).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn ser(&self) -> Content {
+                Content::Seq(vec![$(self.$n.ser()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn deser(content: &Content) -> Result<Self, DeError> {
+                const LEN: usize = 0 $(+ { let _ = $n; 1 })+;
+                let items = seq_items(content, LEN)?;
+                Ok(($($t::deser(&items[$n])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn ser(&self) -> Content {
+        Content::Map(self.iter().map(|(k, v)| (k.ser(), v.ser())).collect())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deser(content: &Content) -> Result<BTreeMap<K, V>, DeError> {
+        match content {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::deser(k)?, V::deser(v)?)))
+                .collect(),
+            other => Err(DeError(format!("expected a map, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize, S: BuildHasher> Serialize for HashMap<K, V, S> {
+    fn ser(&self) -> Content {
+        Content::Map(self.iter().map(|(k, v)| (k.ser(), v.ser())).collect())
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + Eq + Hash,
+    V: Deserialize,
+    S: BuildHasher + Default,
+{
+    fn deser(content: &Content) -> Result<HashMap<K, V, S>, DeError> {
+        match content {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::deser(k)?, V::deser(v)?)))
+                .collect(),
+            other => Err(DeError(format!("expected a map, got {}", other.kind()))),
+        }
+    }
+}
+
+// The real crate gates these behind the `rc` feature; always on here.
+
+impl<T: Serialize + ?Sized> Serialize for Arc<T> {
+    fn ser(&self) -> Content {
+        (**self).ser()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Arc<T> {
+    fn deser(content: &Content) -> Result<Arc<T>, DeError> {
+        T::deser(content).map(Arc::new)
+    }
+}
+
+impl Deserialize for Arc<str> {
+    fn deser(content: &Content) -> Result<Arc<str>, DeError> {
+        match content {
+            Content::Str(s) => Ok(Arc::from(s.as_str())),
+            other => Err(DeError(format!("expected a string, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Rc<T> {
+    fn ser(&self) -> Content {
+        (**self).ser()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Rc<T> {
+    fn deser(content: &Content) -> Result<Rc<T>, DeError> {
+        T::deser(content).map(Rc::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn ser(&self) -> Content {
+        (**self).ser()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deser(content: &Content) -> Result<Box<T>, DeError> {
+        T::deser(content).map(Box::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_round_trip_via_string_keys() {
+        // Map keys come back as strings; integer types re-parse them.
+        assert_eq!(u32::deser(&Content::Str("17".into())).unwrap(), 17);
+        assert_eq!(i64::deser(&Content::Str("-3".into())).unwrap(), -3);
+        assert!(u32::deser(&Content::Str("x".into())).is_err());
+    }
+
+    #[test]
+    fn option_null_round_trip() {
+        assert_eq!(Option::<i64>::deser(&Content::Null).unwrap(), None);
+        assert_eq!(Option::<i64>::deser(&Content::I64(5)).unwrap(), Some(5));
+        assert_eq!(None::<i64>.ser(), Content::Null);
+    }
+
+    #[test]
+    fn btreemap_int_keys() {
+        let mut m: BTreeMap<u32, u64> = BTreeMap::new();
+        m.insert(2, 20);
+        m.insert(1, 10);
+        let c = m.ser();
+        let back = BTreeMap::<u32, u64>::deser(&c).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn missing_struct_field_reads_as_null() {
+        let map = Content::Map(vec![(Content::Str("a".into()), Content::I64(1))]);
+        assert_eq!(map_get(&map, "a").unwrap(), &Content::I64(1));
+        assert_eq!(map_get(&map, "b").unwrap(), &Content::Null);
+        assert!(map_get(&Content::I64(0), "a").is_err());
+    }
+}

@@ -1,0 +1,471 @@
+//! Vendored stand-in for `serde_derive`.
+//!
+//! Generates impls of the in-tree `serde`'s simplified `Serialize` /
+//! `Deserialize` traits (see `vendor/serde`). Written against
+//! `proc_macro` alone: the item is parsed by walking its token trees,
+//! and the impl is emitted as source text and re-parsed — no `syn` or
+//! `quote`, which this offline build environment cannot fetch.
+//!
+//! Supported shapes (everything the workspace derives on):
+//! * named-field structs, tuple/newtype structs, unit structs
+//! * enums with unit, newtype, tuple and struct variants
+//!   (externally tagged, like real serde)
+//! * type generics (`TypedColumn<T>`) — each parameter is bounded by
+//!   the derived trait via a `where` clause
+//!
+//! Not supported (panics with a clear message): `#[serde(...)]`
+//! attributes, where-clauses on the item, lifetime or const generics.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// A minimal model of the deriving item
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    /// Generic parameter list verbatim, e.g. `< T : Clone , U >` ("" if none).
+    generics_decl: String,
+    /// Just the parameter names, e.g. ["T", "U"].
+    params: Vec<String>,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    /// Field count; 1 is a transparent newtype.
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+impl Item {
+    /// `Foo < T , U >` — the type as written in an impl header.
+    fn self_ty(&self) -> String {
+        if self.params.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{} < {} >", self.name, self.params.join(" , "))
+        }
+    }
+
+    /// `impl < T : Clone > Trait for Foo < T > where T : Trait` header.
+    fn impl_header(&self, trait_path: &str) -> String {
+        let mut h = format!("impl {} {} for {}", self.generics_decl, trait_path, self.self_ty());
+        if !self.params.is_empty() {
+            let bounds: Vec<String> = self
+                .params
+                .iter()
+                .map(|p| format!("{p} : {trait_path}"))
+                .collect();
+            let _ = write!(h, " where {}", bounds.join(" , "));
+        }
+        h
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Token-walking parser
+// ---------------------------------------------------------------------------
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(t: &TokenTree, s: &str) -> bool {
+    matches!(t, TokenTree::Ident(id) if id.to_string() == s)
+}
+
+/// Skip `#[...]` attributes (including doc comments) starting at `i`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() && is_punct(&tokens[i], '#') {
+        i += 2; // '#' then the bracketed group
+    }
+    i
+}
+
+/// Skip `pub` / `pub(crate)` starting at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if i < tokens.len() && is_ident(&tokens[i], "pub") {
+        i += 1;
+        if i < tokens.len() {
+            if let TokenTree::Group(g) = &tokens[i] {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_vis(&tokens, skip_attrs(&tokens, 0));
+
+    let is_enum = if is_ident(&tokens[i], "struct") {
+        false
+    } else if is_ident(&tokens[i], "enum") {
+        true
+    } else {
+        panic!("derive(Serialize/Deserialize): expected `struct` or `enum`, got `{}`", tokens[i]);
+    };
+    i += 1;
+    let name = tokens[i].to_string();
+    i += 1;
+
+    let mut generics_decl = String::new();
+    let mut params = Vec::new();
+    if i < tokens.len() && is_punct(&tokens[i], '<') {
+        let start = i;
+        let mut depth = 0i32;
+        let mut expecting_name = true;
+        loop {
+            match &tokens[i] {
+                t if is_punct(t, '<') => depth += 1,
+                t if is_punct(t, '>') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                t if is_punct(t, ',') && depth == 1 => expecting_name = true,
+                t if is_punct(t, '\'') => {
+                    panic!("derive on `{name}`: lifetime generics are not supported by the vendored serde_derive")
+                }
+                TokenTree::Ident(id) if depth == 1 && expecting_name => {
+                    let id = id.to_string();
+                    if id == "const" {
+                        panic!("derive on `{name}`: const generics are not supported by the vendored serde_derive");
+                    }
+                    params.push(id);
+                    expecting_name = false;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        generics_decl = tokens[start..i]
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(" ");
+    }
+
+    // Body: the next brace group (named struct / enum), paren group
+    // (tuple struct), or `;` (unit struct).
+    if let Some(tok) = tokens.get(i) {
+        match tok {
+            t if is_ident(t, "where") => {
+                panic!("derive on `{name}`: where-clauses are not supported by the vendored serde_derive")
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                let kind = if is_enum {
+                    Kind::Enum(parse_variants(&g.stream(), &name))
+                } else {
+                    Kind::NamedStruct(parse_named_fields(&g.stream()))
+                };
+                return Item { name, generics_decl, params, kind };
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis && !is_enum => {
+                let n = count_tuple_fields(&g.stream());
+                return Item { name, generics_decl, params, kind: Kind::TupleStruct(n) };
+            }
+            t if is_punct(t, ';') && !is_enum => {
+                return Item { name, generics_decl, params, kind: Kind::UnitStruct };
+            }
+            other => panic!("derive on `{name}`: unexpected token `{other}` before the item body"),
+        }
+    }
+    panic!("derive on `{name}`: no item body found");
+}
+
+/// Field names of a `{ a: T, pub b: U }` body.
+fn parse_named_fields(stream: &TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_vis(&tokens, skip_attrs(&tokens, i));
+        if i >= tokens.len() {
+            break;
+        }
+        fields.push(tokens[i].to_string());
+        i += 2; // name, ':'
+        // Skip the type: to the next comma outside angle brackets.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                t if is_punct(t, '<') => depth += 1,
+                t if is_punct(t, '>') => depth -= 1,
+                t if is_punct(t, ',') && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Number of fields in a `(T, U)` tuple body.
+fn count_tuple_fields(stream: &TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut n = 1;
+    let mut depth = 0i32;
+    let mut last_was_comma = false;
+    for t in &tokens {
+        last_was_comma = false;
+        if is_punct(t, '<') {
+            depth += 1;
+        } else if is_punct(t, '>') {
+            depth -= 1;
+        } else if is_punct(t, ',') && depth == 0 {
+            n += 1;
+            last_was_comma = true;
+        }
+    }
+    if last_was_comma {
+        n -= 1; // trailing comma
+    }
+    n
+}
+
+fn parse_variants(stream: &TokenStream, enum_name: &str) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("derive on `{enum_name}`: expected a variant name, got `{other}`"),
+        };
+        i += 1;
+        let fields = if i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                    i += 1;
+                    VariantFields::Tuple(count_tuple_fields(&g.stream()))
+                }
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                    i += 1;
+                    VariantFields::Named(parse_named_fields(&g.stream()))
+                }
+                _ => VariantFields::Unit,
+            }
+        } else {
+            VariantFields::Unit
+        };
+        if i < tokens.len() && is_punct(&tokens[i], '=') {
+            panic!("derive on `{enum_name}`: explicit discriminants are not supported by the vendored serde_derive");
+        }
+        if i < tokens.len() && is_punct(&tokens[i], ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (emitted as source text, then re-parsed)
+// ---------------------------------------------------------------------------
+
+const C: &str = "::serde::Content";
+
+fn str_content(s: &str) -> String {
+    format!("{C} :: Str (::std::string::String::from({s:?}))")
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let mut body = String::new();
+    match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("({}, ::serde::Serialize::ser(&self.{f}))", str_content(f)))
+                .collect();
+            let _ = write!(body, "{C} :: Map (::std::vec![{}])", entries.join(" , "));
+        }
+        Kind::TupleStruct(1) => {
+            body.push_str("::serde::Serialize::ser(&self.0)");
+        }
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::ser(&self.{k})"))
+                .collect();
+            let _ = write!(body, "{C} :: Seq (::std::vec![{}])", items.join(" , "));
+        }
+        Kind::UnitStruct => body.push_str(&format!("{C} :: Null")),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let tag = str_content(&v.name);
+                let path = format!("{} :: {}", item.name, v.name);
+                match &v.fields {
+                    VariantFields::Unit => {
+                        let _ = write!(arms, "{path} => {tag} ,");
+                    }
+                    VariantFields::Tuple(1) => {
+                        let _ = write!(
+                            arms,
+                            "{path}(__f0) => {C} :: Map (::std::vec![({tag}, ::serde::Serialize::ser(__f0))]) ,"
+                        );
+                    }
+                    VariantFields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::ser({b})"))
+                            .collect();
+                        let _ = write!(
+                            arms,
+                            "{path}({}) => {C} :: Map (::std::vec![({tag}, {C} :: Seq (::std::vec![{}]))]) ,",
+                            binds.join(" , "),
+                            items.join(" , ")
+                        );
+                    }
+                    VariantFields::Named(fields) => {
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("({}, ::serde::Serialize::ser({f}))", str_content(f)))
+                            .collect();
+                        let _ = write!(
+                            arms,
+                            "{path} {{ {} }} => {C} :: Map (::std::vec![({tag}, {C} :: Map (::std::vec![{}]))]) ,",
+                            fields.join(" , "),
+                            entries.join(" , ")
+                        );
+                    }
+                }
+            }
+            let _ = write!(body, "match self {{ {arms} }}");
+        }
+    }
+    format!(
+        "{header} {{ fn ser(&self) -> {C} {{ {body} }} }}",
+        header = item.impl_header("::serde::Serialize"),
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let ok = "::std::result::Result::Ok";
+    let mut body = String::new();
+    match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("{f} : ::serde::Deserialize::deser(::serde::map_get(__c, {f:?})?)?")
+                })
+                .collect();
+            let _ = write!(body, "{ok}({} {{ {} }})", item.name, inits.join(" , "));
+        }
+        Kind::TupleStruct(1) => {
+            let _ = write!(body, "{ok}({}(::serde::Deserialize::deser(__c)?))", item.name);
+        }
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::deser(&__items[{k}])?"))
+                .collect();
+            let _ = write!(
+                body,
+                "let __items = ::serde::seq_items(__c, {n})? ; {ok}({}({}))",
+                item.name,
+                items.join(" , ")
+            );
+        }
+        Kind::UnitStruct => {
+            let _ = write!(body, "{ok}({})", item.name);
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let path = format!("{} :: {}", item.name, v.name);
+                let tag = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => {
+                        let _ = write!(arms, "{tag:?} => {ok}({path}) ,");
+                    }
+                    VariantFields::Tuple(1) => {
+                        let _ = write!(
+                            arms,
+                            "{tag:?} => {ok}({path}(::serde::Deserialize::deser(__payload)?)) ,"
+                        );
+                    }
+                    VariantFields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::deser(&__items[{k}])?"))
+                            .collect();
+                        let _ = write!(
+                            arms,
+                            "{tag:?} => {{ let __items = ::serde::seq_items(__payload, {n})? ; {ok}({path}({})) }} ,",
+                            items.join(" , ")
+                        );
+                    }
+                    VariantFields::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f} : ::serde::Deserialize::deser(::serde::map_get(__payload, {f:?})?)?"
+                                )
+                            })
+                            .collect();
+                        let _ = write!(
+                            arms,
+                            "{tag:?} => {ok}({path} {{ {} }}) ,",
+                            inits.join(" , ")
+                        );
+                    }
+                }
+            }
+            let _ = write!(
+                body,
+                "let (__tag, __payload) = ::serde::variant_of(__c)? ; \
+                 match __tag {{ {arms} __other => ::std::result::Result::Err(\
+                 ::serde::DeError::new(::std::format!(\
+                 \"unknown variant `{{}}` of {}\", __other))) }}",
+                item.name
+            );
+        }
+    }
+    format!(
+        "{header} {{ fn deser(__c: &{C}) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }} }}",
+        header = item.impl_header("::serde::Deserialize"),
+    )
+}

@@ -1,0 +1,197 @@
+//! Vendored stand-in for the `serde_json` crate.
+//!
+//! Serializes through the vendored serde's [`Content`] model (see
+//! `vendor/serde`): `to_string`/`to_vec_pretty` lower a value and
+//! print it, `from_str`/`from_slice` parse into `Content` and rebuild.
+//! The dynamic [`Value`]/[`Number`] API covers what the connectors use
+//! (`as_object`, `get`, `as_i64`, `as_f64`, `Display`).
+//!
+//! Format compatibility kept from the real crate:
+//! * pretty output is 2-space indented with `"key": value` (the WAL
+//!   and checkpoint tests assert on that shape),
+//! * non-string map keys are printed quoted (`{"3": ...}`),
+//! * `\uXXXX` escapes (including surrogate pairs) parse correctly,
+//!   and control characters are escaped on output.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Content, DeError, Deserialize, Serialize};
+
+mod parse;
+mod print;
+mod value;
+
+pub use value::{Map, Number, Value};
+
+/// Parse or data-shape failure; wraps a message like the real crate's
+/// line/column error (positions are byte offsets here).
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    pub(crate) fn msg(m: impl Into<String>) -> Error {
+        Error(m.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Error {
+        Error(e.0)
+    }
+}
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize `value` as a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    print::compact(&value.ser(), &mut out)?;
+    Ok(out)
+}
+
+/// Serialize `value` as compact JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Serialize `value` as 2-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    print::pretty(&value.ser(), &mut out, 0)?;
+    Ok(out)
+}
+
+/// Serialize `value` as 2-space-indented JSON bytes.
+pub fn to_vec_pretty<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string_pretty(value).map(String::into_bytes)
+}
+
+/// Deserialize a value from JSON text.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T> {
+    let content = parse::parse(text)?;
+    Ok(T::deser(&content)?)
+}
+
+/// Deserialize a value from JSON bytes (must be UTF-8).
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T> {
+    let text = std::str::from_utf8(bytes)
+        .map_err(|e| Error::msg(format!("invalid UTF-8 in JSON input: {e}")))?;
+    from_str(text)
+}
+
+/// Convert any serializable value into a dynamic [`Value`].
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value> {
+    value::from_content(value.ser())
+}
+
+pub(crate) fn map_from_entries(entries: Vec<(Content, Content)>) -> Result<Map<String, Value>> {
+    let mut map = BTreeMap::new();
+    for (k, v) in entries {
+        let key = match k {
+            Content::Str(s) => s,
+            Content::I64(v) => v.to_string(),
+            Content::U64(v) => v.to_string(),
+            other => {
+                return Err(Error::msg(format!(
+                    "JSON object keys must be strings, got {}",
+                    other.kind()
+                )))
+            }
+        };
+        map.insert(key, value::from_content(v)?);
+    }
+    Ok(map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_scalars() {
+        assert_eq!(to_string(&42i64).unwrap(), "42");
+        assert_eq!(to_string(&-7i32).unwrap(), "-7");
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string("a\"b\nc").unwrap(), "\"a\\\"b\\nc\"");
+        assert_eq!(from_str::<i64>("42").unwrap(), 42);
+        assert_eq!(from_str::<String>("\"hi\"").unwrap(), "hi");
+        assert_eq!(from_str::<Option<i64>>("null").unwrap(), None);
+    }
+
+    #[test]
+    fn round_trip_collections() {
+        let v = vec![1i64, 2, 3];
+        let text = to_string(&v).unwrap();
+        assert_eq!(text, "[1,2,3]");
+        assert_eq!(from_str::<Vec<i64>>(&text).unwrap(), v);
+
+        let mut m: BTreeMap<u32, u64> = BTreeMap::new();
+        m.insert(3, 30);
+        m.insert(1, 10);
+        let text = to_string(&m).unwrap();
+        assert_eq!(text, "{\"1\":10,\"3\":30}");
+        assert_eq!(from_str::<BTreeMap<u32, u64>>(&text).unwrap(), m);
+    }
+
+    #[test]
+    fn pretty_format_matches_serde_json() {
+        let mut m: BTreeMap<String, i64> = BTreeMap::new();
+        m.insert("epoch".into(), 7);
+        let text = String::from_utf8(to_vec_pretty(&m).unwrap()).unwrap();
+        assert!(text.contains("\"epoch\": 7"), "pretty output was: {text}");
+        assert!(text.starts_with("{\n  "));
+        let empty: Vec<i64> = vec![];
+        assert_eq!(to_string_pretty(&empty).unwrap(), "[]");
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(from_str::<i64>("not json").is_err());
+        assert!(from_str::<i64>("[1,").is_err());
+        assert!(from_str::<i64>("12 34").is_err());
+        assert!(from_str::<Vec<i64>>("[1 2]").is_err());
+    }
+
+    #[test]
+    fn unicode_escapes() {
+        assert_eq!(from_str::<String>(r#""Aé""#).unwrap(), "Aé");
+        // Surrogate pair: U+1F600.
+        assert_eq!(from_str::<String>(r#""😀""#).unwrap(), "😀");
+        assert!(from_str::<String>(r#""\ud83d""#).is_err());
+    }
+
+    #[test]
+    fn dynamic_value_api() {
+        let v: Value = from_str(r#"{"a": 1, "b": [true, null], "c": 2.5, "s": "x"}"#).unwrap();
+        let obj = v.as_object().unwrap();
+        assert_eq!(obj.get("a").unwrap().as_i64(), Some(1));
+        assert!(matches!(obj.get("s"), Some(Value::String(s)) if s == "x"));
+        match obj.get("c").unwrap() {
+            Value::Number(n) => {
+                assert_eq!(n.as_f64(), Some(2.5));
+                assert_eq!(n.as_i64(), None);
+            }
+            other => panic!("expected a number, got {other}"),
+        }
+        // Display is compact JSON.
+        assert_eq!(from_str::<Value>(&v.to_string()).unwrap(), v);
+    }
+
+    #[test]
+    fn nonfinite_floats_print_as_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+        assert_eq!(to_string(&2.5f64).unwrap(), "2.5");
+        // Whole floats keep a trailing .0 so they re-parse as floats.
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+    }
+}

@@ -1,0 +1,142 @@
+//! Compact and pretty (2-space) JSON printers over `serde::Content`.
+
+use std::fmt::Write;
+
+use serde::Content;
+
+use crate::{Error, Result};
+
+pub fn compact(c: &Content, out: &mut String) -> Result<()> {
+    match c {
+        Content::Null => out.push_str("null"),
+        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Content::I64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Content::U64(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Content::F64(v) => push_float(*v, out),
+        Content::Str(s) => push_escaped(s, out),
+        Content::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                compact(item, out)?;
+            }
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            out.push('{');
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_key(k, out)?;
+                out.push(':');
+                compact(v, out)?;
+            }
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+pub fn pretty(c: &Content, out: &mut String, indent: usize) -> Result<()> {
+    match c {
+        Content::Seq(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                pretty(item, out, indent + 1)?;
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push(']');
+            Ok(())
+        }
+        Content::Map(entries) if !entries.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, v)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                push_key(k, out)?;
+                out.push_str(": ");
+                pretty(v, out, indent + 1)?;
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push('}');
+            Ok(())
+        }
+        other => compact(other, out),
+    }
+}
+
+fn push_indent(out: &mut String, n: usize) {
+    for _ in 0..n {
+        out.push_str("  ");
+    }
+}
+
+/// Map keys print as JSON strings; integer keys are quoted, matching
+/// serde_json's behavior for maps with integer keys.
+fn push_key(k: &Content, out: &mut String) -> Result<()> {
+    match k {
+        Content::Str(s) => {
+            push_escaped(s, out);
+            Ok(())
+        }
+        Content::I64(v) => {
+            let _ = write!(out, "\"{v}\"");
+            Ok(())
+        }
+        Content::U64(v) => {
+            let _ = write!(out, "\"{v}\"");
+            Ok(())
+        }
+        other => Err(Error::msg(format!(
+            "JSON object keys must be strings, got {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// JSON has no NaN/Infinity; serde_json prints them as null. Finite
+/// whole floats keep a `.0` so they round-trip as floats.
+fn push_float(v: f64, out: &mut String) {
+    if !v.is_finite() {
+        out.push_str("null");
+    } else if v == v.trunc() && v.abs() < 1e15 {
+        let _ = write!(out, "{v:.1}");
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+fn push_escaped(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}

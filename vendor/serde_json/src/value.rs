@@ -1,0 +1,199 @@
+//! The dynamic `Value`/`Number` API.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Content, DeError};
+
+use crate::Result;
+
+/// Object representation. The real crate uses an order-preserving map;
+/// the connectors only ever `get` by key, so a `BTreeMap` suffices.
+pub type Map<K, V> = BTreeMap<K, V>;
+
+/// A dynamically-typed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(Map<String, Value>),
+}
+
+impl Value {
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Index into an object by key (`None` for non-objects).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+}
+
+/// Displays as compact JSON, like the real crate.
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        crate::print::compact(&serde::Serialize::ser(self), &mut out).map_err(|_| fmt::Error)?;
+        f.write_str(&out)
+    }
+}
+
+/// A JSON number: integer-exact where possible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    I64(i64),
+    U64(u64),
+    F64(f64),
+}
+
+impl Number {
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Number::I64(v) => Some(*v),
+            Number::U64(v) => i64::try_from(*v).ok(),
+            Number::F64(_) => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Number::I64(v) => u64::try_from(*v).ok(),
+            Number::U64(v) => Some(*v),
+            Number::F64(_) => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Number::I64(v) => Some(*v as f64),
+            Number::U64(v) => Some(*v as f64),
+            Number::F64(v) => Some(*v),
+        }
+    }
+
+    pub fn is_i64(&self) -> bool {
+        self.as_i64().is_some()
+    }
+
+    pub fn is_f64(&self) -> bool {
+        matches!(self, Number::F64(_))
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        let _ = crate::print::compact(&self.to_content(), &mut out);
+        f.write_str(&out)
+    }
+}
+
+impl Number {
+    fn to_content(self) -> Content {
+        match self {
+            Number::I64(v) => Content::I64(v),
+            Number::U64(v) => Content::U64(v),
+            Number::F64(v) => Content::F64(v),
+        }
+    }
+}
+
+pub(crate) fn from_content(c: Content) -> Result<Value> {
+    Ok(match c {
+        Content::Null => Value::Null,
+        Content::Bool(b) => Value::Bool(b),
+        Content::I64(v) => Value::Number(Number::I64(v)),
+        Content::U64(v) => Value::Number(Number::U64(v)),
+        Content::F64(v) => {
+            if v.is_finite() {
+                Value::Number(Number::F64(v))
+            } else {
+                Value::Null
+            }
+        }
+        Content::Str(s) => Value::String(s),
+        Content::Seq(items) => Value::Array(
+            items
+                .into_iter()
+                .map(from_content)
+                .collect::<Result<Vec<_>>>()?,
+        ),
+        Content::Map(entries) => Value::Object(crate::map_from_entries(entries)?),
+    })
+}
+
+impl serde::Serialize for Value {
+    fn ser(&self) -> Content {
+        match self {
+            Value::Null => Content::Null,
+            Value::Bool(b) => Content::Bool(*b),
+            Value::Number(n) => n.to_content(),
+            Value::String(s) => Content::Str(s.clone()),
+            Value::Array(items) => Content::Seq(items.iter().map(serde::Serialize::ser).collect()),
+            Value::Object(map) => Content::Map(
+                map.iter()
+                    .map(|(k, v)| (Content::Str(k.clone()), serde::Serialize::ser(v)))
+                    .collect(),
+            ),
+        }
+    }
+}
+
+impl serde::Deserialize for Value {
+    fn deser(content: &Content) -> std::result::Result<Value, DeError> {
+        from_content(content.clone()).map_err(|e| DeError::new(e.to_string()))
+    }
+}
