@@ -105,6 +105,14 @@ pub struct BusSource {
     bus: Arc<MessageBus>,
     topic: String,
     schema: SchemaRef,
+    faults: ss_common::FaultRegistry,
+}
+
+/// Fail-point names fired by [`BusSource`].
+pub mod failpoints {
+    /// Before reading a partition range from the bus — simulates a
+    /// broker read failure.
+    pub const BUS_READ: &str = "bus.read";
 }
 
 impl BusSource {
@@ -122,7 +130,15 @@ impl BusSource {
             bus,
             topic,
             schema,
+            faults: ss_common::FaultRegistry::new(),
         })
+    }
+
+    /// Attach a fail-point registry; [`failpoints::BUS_READ`] fires
+    /// through it on every partition-range read.
+    pub fn with_faults(mut self, faults: ss_common::FaultRegistry) -> BusSource {
+        self.faults = faults;
+        self
     }
 
     /// Append `[start, end)` of one partition into shared column
@@ -140,6 +156,7 @@ impl BusSource {
                 "read_partition end {end} < start {start}"
             )));
         }
+        self.faults.fire(failpoints::BUS_READ)?;
         let n = (end - start) as usize;
         let mut err: Option<SsError> = None;
         let mut seen = 0usize;
@@ -460,6 +477,29 @@ mod tests {
         let total: usize = batches.iter().map(|b| b.num_rows()).sum();
         assert_eq!(total, 3);
         assert!(BusSource::new(Arc::new(MessageBus::new()), "missing", schema()).is_err());
+    }
+
+    #[test]
+    fn bus_read_fail_point_injects_and_recovers() {
+        use ss_common::fault::{FaultMode, FaultTrigger};
+
+        let bus = Arc::new(MessageBus::new());
+        bus.create_topic("t", 1).unwrap();
+        bus.append_at("t", 0, 0, vec![row![1i64, "a"]]).unwrap();
+        let faults = ss_common::FaultRegistry::new();
+        let src = BusSource::new(bus, "t", schema())
+            .unwrap()
+            .with_faults(faults.clone());
+        faults.configure(
+            failpoints::BUS_READ,
+            FaultTrigger::Once { skip: 0 },
+            FaultMode::TransientError,
+        );
+        let err = src.read_partition(0, 0, 1).unwrap_err();
+        assert!(err.is_transient(), "{err:?}");
+        // The one-shot fault is spent; the same read now succeeds.
+        assert_eq!(src.read_partition(0, 0, 1).unwrap().num_rows(), 1);
+        assert_eq!(faults.hits(failpoints::BUS_READ), 2);
     }
 
     #[test]

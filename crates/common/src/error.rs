@@ -32,6 +32,13 @@ pub enum SsError {
     Serde(String),
     /// SQL text could not be parsed.
     Parse(String),
+    /// A transient environment failure (timeout, connection reset,
+    /// injected flake) that is safe to retry under a `RetryPolicy`.
+    Transient(String),
+    /// Durable data failed an integrity check (bad CRC, torn frame).
+    /// Inside committed history this is fatal; past the last commit it
+    /// is treated as an uncommitted epoch and recomputed.
+    Corruption(String),
     /// An invariant the engine relies on was violated — always a bug.
     Internal(String),
 }
@@ -48,7 +55,28 @@ impl SsError {
             SsError::Io(_) => "io",
             SsError::Serde(_) => "serde",
             SsError::Parse(_) => "parse",
+            SsError::Transient(_) => "transient",
+            SsError::Corruption(_) => "corruption",
             SsError::Internal(_) => "internal",
+        }
+    }
+
+    /// True if the error is safe to retry: an explicit [`SsError::Transient`]
+    /// or an I/O error whose kind indicates a passing environmental fault
+    /// rather than a durable one.
+    pub fn is_transient(&self) -> bool {
+        use std::io::ErrorKind;
+        match self {
+            SsError::Transient(_) => true,
+            SsError::Io(e) => matches!(
+                e.kind(),
+                ErrorKind::Interrupted
+                    | ErrorKind::TimedOut
+                    | ErrorKind::WouldBlock
+                    | ErrorKind::ConnectionReset
+                    | ErrorKind::ConnectionAborted
+            ),
+            _ => false,
         }
     }
 
@@ -77,6 +105,8 @@ impl fmt::Display for SsError {
             SsError::Io(e) => write!(f, "io error: {e}"),
             SsError::Serde(m) => write!(f, "serde error: {m}"),
             SsError::Parse(m) => write!(f, "parse error: {m}"),
+            SsError::Transient(m) => write!(f, "transient error: {m}"),
+            SsError::Corruption(m) => write!(f, "corruption detected: {m}"),
             SsError::Internal(m) => write!(f, "internal error (bug): {m}"),
         }
     }
@@ -148,6 +178,19 @@ mod tests {
         assert!(SsError::Parse("bad".into()).is_user_error());
         assert!(!SsError::Internal("bad".into()).is_user_error());
         assert!(!SsError::Io(std::io::Error::other("x")).is_user_error());
+        assert!(!SsError::Transient("flake".into()).is_user_error());
+        assert!(!SsError::Corruption("bad crc".into()).is_user_error());
+    }
+
+    #[test]
+    fn transient_classification() {
+        use std::io::{Error, ErrorKind};
+        assert!(SsError::Transient("flake".into()).is_transient());
+        assert!(SsError::Io(Error::new(ErrorKind::Interrupted, "x")).is_transient());
+        assert!(SsError::Io(Error::new(ErrorKind::TimedOut, "x")).is_transient());
+        assert!(!SsError::Io(Error::new(ErrorKind::NotFound, "x")).is_transient());
+        assert!(!SsError::Execution("boom".into()).is_transient());
+        assert!(!SsError::Corruption("bad crc".into()).is_transient());
     }
 
     #[test]

@@ -1,0 +1,275 @@
+//! Named fail points for fault injection.
+//!
+//! Production code calls [`FaultRegistry::fire`] (or [`FaultRegistry::check`]
+//! for sites that need mode-specific behaviour, like torn writes) at named
+//! points on its durability paths. With no faults configured the cost is a
+//! single relaxed atomic load, so the points stay compiled into release
+//! builds and the chaos tests exercise the exact binary users run.
+//!
+//! The registry is a cloneable handle (`Arc` inside), *not* a process
+//! global: each test builds its own registry and threads it through the
+//! engine, so parallel tests cannot trip each other's faults.
+
+use crate::error::{Result, SsError};
+use crate::rng::XorShift64;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// When a configured fail point fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultTrigger {
+    /// Fire exactly once, after skipping the first `skip` hits.
+    Once { skip: u64 },
+    /// Fire on every `n`-th hit (`n = 1` means every hit).
+    EveryNth { n: u64 },
+    /// Fire each hit independently with probability `p_millis / 1000`,
+    /// drawn from a deterministic seeded stream.
+    Probability { p_millis: u32, seed: u64 },
+}
+
+/// What happens when a fail point fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Return a fatal `SsError::Execution` ("injected failure at <point>").
+    Error,
+    /// Return a retryable `SsError::Transient` — exercises retry paths.
+    TransientError,
+    /// Panic — simulates a process crash at the point.
+    Panic,
+    /// Site-specific partial write: `FsBackend::write_atomic` leaves a
+    /// truncated temp file behind. Sites without a torn-write behaviour
+    /// treat this as [`FaultMode::Error`].
+    TornWrite,
+}
+
+#[derive(Debug)]
+struct FailPoint {
+    trigger: FaultTrigger,
+    mode: FaultMode,
+    hits: u64,
+    fired: u64,
+    rng: Option<XorShift64>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// Number of configured points; lets `check` bail with one atomic
+    /// load when no faults are active (the common case).
+    active: AtomicUsize,
+    points: Mutex<HashMap<String, FailPoint>>,
+}
+
+/// A cloneable registry of named fail points.
+#[derive(Debug, Clone, Default)]
+pub struct FaultRegistry {
+    inner: Arc<Inner>,
+}
+
+impl FaultRegistry {
+    /// A registry with no faults configured.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Configure (or reconfigure) the point `name`. Hit/fired counters
+    /// for the point reset.
+    pub fn configure(&self, name: &str, trigger: FaultTrigger, mode: FaultMode) {
+        let rng = match trigger {
+            FaultTrigger::Probability { seed, .. } => Some(XorShift64::new(seed)),
+            _ => None,
+        };
+        let mut points = self.inner.points.lock();
+        points.insert(
+            name.to_string(),
+            FailPoint {
+                trigger,
+                mode,
+                hits: 0,
+                fired: 0,
+                rng,
+            },
+        );
+        self.inner.active.store(points.len(), Ordering::Release);
+    }
+
+    /// Remove the point `name` (no-op if absent).
+    pub fn remove(&self, name: &str) {
+        let mut points = self.inner.points.lock();
+        points.remove(name);
+        self.inner.active.store(points.len(), Ordering::Release);
+    }
+
+    /// Remove every configured point.
+    pub fn clear(&self) {
+        let mut points = self.inner.points.lock();
+        points.clear();
+        self.inner.active.store(0, Ordering::Release);
+    }
+
+    /// How many times `name` has been reached (whether or not it fired).
+    pub fn hits(&self, name: &str) -> u64 {
+        self.inner.points.lock().get(name).map_or(0, |p| p.hits)
+    }
+
+    /// How many times `name` has actually fired.
+    pub fn fired(&self, name: &str) -> u64 {
+        self.inner.points.lock().get(name).map_or(0, |p| p.fired)
+    }
+
+    /// Record a hit on `name` and decide whether it fires now. Returns
+    /// the mode to apply, or `None` to proceed normally. Call sites that
+    /// only need error/panic behaviour should use [`fire`](Self::fire).
+    pub fn check(&self, name: &str) -> Option<FaultMode> {
+        if self.inner.active.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        let mut points = self.inner.points.lock();
+        let point = points.get_mut(name)?;
+        point.hits += 1;
+        let fires = match point.trigger {
+            FaultTrigger::Once { skip } => point.fired == 0 && point.hits > skip,
+            FaultTrigger::EveryNth { n } => {
+                let n = n.max(1);
+                point.hits % n == 0
+            }
+            FaultTrigger::Probability { p_millis, .. } => {
+                let rng = point.rng.as_mut().expect("probability point has rng");
+                rng.next_f64() < f64::from(p_millis) / 1000.0
+            }
+        };
+        if fires {
+            point.fired += 1;
+            Some(point.mode)
+        } else {
+            None
+        }
+    }
+
+    /// Record a hit on `name`; return the injected error (or panic) if
+    /// the point fires, `Ok(())` otherwise. [`FaultMode::TornWrite`] is
+    /// treated as [`FaultMode::Error`] here — only sites with a genuine
+    /// partial-write behaviour should use [`check`](Self::check).
+    pub fn fire(&self, name: &str) -> Result<()> {
+        match self.check(name) {
+            None => Ok(()),
+            Some(mode) => Err(Self::error_for(name, mode)),
+        }
+    }
+
+    /// The error produced when `name` fires with `mode`. Panics for
+    /// [`FaultMode::Panic`].
+    pub fn error_for(name: &str, mode: FaultMode) -> SsError {
+        match mode {
+            FaultMode::Panic => panic!("injected panic at {name}"),
+            FaultMode::TransientError => {
+                SsError::Transient(format!("injected transient failure at {name}"))
+            }
+            FaultMode::Error | FaultMode::TornWrite => {
+                SsError::Execution(format!("injected failure at {name}"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_registry_never_fires() {
+        let reg = FaultRegistry::new();
+        for _ in 0..10 {
+            assert!(reg.fire("anything").is_ok());
+        }
+        assert_eq!(reg.hits("anything"), 0);
+    }
+
+    #[test]
+    fn once_fires_exactly_once_after_skip() {
+        let reg = FaultRegistry::new();
+        reg.configure("p", FaultTrigger::Once { skip: 2 }, FaultMode::Error);
+        assert!(reg.fire("p").is_ok());
+        assert!(reg.fire("p").is_ok());
+        let err = reg.fire("p").unwrap_err();
+        assert!(err.to_string().contains("injected failure at p"), "{err}");
+        // Never fires again.
+        for _ in 0..5 {
+            assert!(reg.fire("p").is_ok());
+        }
+        assert_eq!(reg.hits("p"), 8);
+        assert_eq!(reg.fired("p"), 1);
+    }
+
+    #[test]
+    fn every_nth_fires_periodically() {
+        let reg = FaultRegistry::new();
+        reg.configure("p", FaultTrigger::EveryNth { n: 3 }, FaultMode::Error);
+        let outcomes: Vec<bool> = (0..9).map(|_| reg.fire("p").is_err()).collect();
+        assert_eq!(
+            outcomes,
+            [false, false, true, false, false, true, false, false, true]
+        );
+    }
+
+    #[test]
+    fn every_first_fires_always() {
+        let reg = FaultRegistry::new();
+        reg.configure("p", FaultTrigger::EveryNth { n: 1 }, FaultMode::Error);
+        for _ in 0..4 {
+            assert!(reg.fire("p").is_err());
+        }
+    }
+
+    #[test]
+    fn probability_is_seeded_and_roughly_calibrated() {
+        let run = |seed| {
+            let reg = FaultRegistry::new();
+            reg.configure(
+                "p",
+                FaultTrigger::Probability {
+                    p_millis: 300,
+                    seed,
+                },
+                FaultMode::Error,
+            );
+            (0..1000).filter(|_| reg.fire("p").is_err()).count()
+        };
+        let a = run(9);
+        let b = run(9);
+        assert_eq!(a, b, "same seed must give the same schedule");
+        assert!((200..400).contains(&a), "p=0.3 fired {a}/1000 times");
+    }
+
+    #[test]
+    fn transient_mode_builds_transient_error() {
+        let reg = FaultRegistry::new();
+        reg.configure(
+            "p",
+            FaultTrigger::EveryNth { n: 1 },
+            FaultMode::TransientError,
+        );
+        let err = reg.fire("p").unwrap_err();
+        assert!(err.is_transient(), "{err:?}");
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let reg = FaultRegistry::new();
+        let other = reg.clone();
+        reg.configure("p", FaultTrigger::Once { skip: 0 }, FaultMode::Error);
+        assert!(other.fire("p").is_err());
+        other.clear();
+        assert!(reg.fire("p").is_ok());
+        assert_eq!(reg.hits("p"), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "injected panic at p")]
+    fn panic_mode_panics() {
+        let reg = FaultRegistry::new();
+        reg.configure("p", FaultTrigger::Once { skip: 0 }, FaultMode::Panic);
+        let _ = reg.fire("p");
+    }
+}

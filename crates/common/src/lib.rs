@@ -19,14 +19,24 @@
 //!   [`MetricsRegistry`]; the substrate of the observability layer.
 //! * [`trace`] — epoch-scoped trace spans, dumpable as a
 //!   chrome://tracing-compatible JSON event log.
+//! * [`fault`] — named fail points (one-shot / every-Nth / probabilistic)
+//!   wired into the engine's durability paths for chaos testing.
+//! * [`retry`] — [`RetryPolicy`] with exponential backoff and decorrelated
+//!   jitter for transient failures.
+//! * [`frame`] — CRC32 integrity frames around WAL records and
+//!   checkpoint blobs.
 //! * [`SsError`] — the error type shared across the workspace.
 
 pub mod batch;
 pub mod bitmap;
 pub mod column;
 pub mod error;
+pub mod fault;
+pub mod frame;
 pub mod metrics;
 pub mod offsets;
+pub mod retry;
+pub mod rng;
 pub mod row;
 pub mod schema;
 pub mod time;
@@ -37,7 +47,10 @@ pub use batch::RecordBatch;
 pub use bitmap::Bitmap;
 pub use column::{Column, ColumnBuilder};
 pub use error::{Result, SsError};
+pub use fault::{FaultMode, FaultRegistry, FaultTrigger};
 pub use metrics::{Counter, Gauge, Histogram, MetricSample, MetricValue, MetricsRegistry};
+pub use retry::{retry, retry_result, RetryOutcome, RetryPolicy};
+pub use rng::XorShift64;
 pub use offsets::{OffsetRange, PartitionOffsets};
 pub use row::Row;
 pub use schema::{Field, Schema, SchemaRef};

@@ -1,0 +1,238 @@
+//! Retry with exponential backoff and decorrelated jitter.
+//!
+//! Transient failures (classified by [`SsError::is_transient`]) on the
+//! engine's durability paths — source reads, sink commits, WAL appends,
+//! checkpoint writes — are retried under a [`RetryPolicy`] before they
+//! escalate to the query supervisor. Fatal errors are never retried.
+//!
+//! Backoff follows the "decorrelated jitter" scheme: each sleep is drawn
+//! uniformly from `[base, prev * 3]`, capped at `max_delay`, which avoids
+//! the thundering-herd resonance of plain exponential backoff while
+//! keeping the expected growth exponential.
+
+use crate::error::{Result, SsError};
+use crate::rng::XorShift64;
+use std::time::{Duration, Instant};
+
+/// Bounds on how hard to retry a transient failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (1 = no retries).
+    pub max_attempts: u32,
+    /// Lower bound for every backoff sleep.
+    pub base_delay: Duration,
+    /// Upper bound for every backoff sleep.
+    pub max_delay: Duration,
+    /// Wall-clock budget for one retried call: once elapsed time exceeds
+    /// this, no further attempts are made even if attempts remain.
+    pub budget: Duration,
+    /// Seed for the jitter stream (deterministic sleeps in tests).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            base_delay: Duration::from_millis(2),
+            max_delay: Duration::from_millis(100),
+            budget: Duration::from_secs(1),
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// No retries at all: one attempt, errors surface immediately.
+    pub fn none() -> Self {
+        Self {
+            max_attempts: 1,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+            budget: Duration::ZERO,
+            seed: 0,
+        }
+    }
+
+    /// A policy that retries without sleeping — for tests that inject
+    /// transient faults and must not slow the suite down.
+    pub fn immediate(max_attempts: u32) -> Self {
+        Self {
+            max_attempts,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+            budget: Duration::from_secs(1),
+            seed: 0,
+        }
+    }
+}
+
+/// What [`retry`] did, alongside the final result.
+#[derive(Debug)]
+pub struct RetryOutcome<T> {
+    /// The final `Ok` or the error from the last attempt.
+    pub result: Result<T>,
+    /// Number of *re*-attempts performed (0 = first try succeeded or
+    /// failed fatally).
+    pub retries: u32,
+    /// True if the call ultimately failed on a transient error after
+    /// exhausting attempts or budget.
+    pub exhausted: bool,
+}
+
+/// Run `op` under `policy`: transient errors are retried with
+/// decorrelated-jitter backoff until they succeed, turn fatal, or the
+/// policy's attempts/budget run out.
+pub fn retry<T>(policy: &RetryPolicy, mut op: impl FnMut() -> Result<T>) -> RetryOutcome<T> {
+    let start = Instant::now();
+    let mut rng = XorShift64::new(policy.seed);
+    let mut prev_sleep = policy.base_delay;
+    let mut retries = 0u32;
+    loop {
+        match op() {
+            Ok(v) => {
+                return RetryOutcome {
+                    result: Ok(v),
+                    retries,
+                    exhausted: false,
+                }
+            }
+            Err(e) if !e.is_transient() => {
+                return RetryOutcome {
+                    result: Err(e),
+                    retries,
+                    exhausted: false,
+                }
+            }
+            Err(e) => {
+                let attempts_done = retries + 1;
+                if attempts_done >= policy.max_attempts.max(1)
+                    || start.elapsed() > policy.budget
+                {
+                    return RetryOutcome {
+                        result: Err(e),
+                        retries,
+                        exhausted: true,
+                    };
+                }
+                // Decorrelated jitter: uniform in [base, prev * 3].
+                let base = policy.base_delay.as_nanos() as u64;
+                let hi = (prev_sleep.as_nanos() as u64)
+                    .saturating_mul(3)
+                    .max(base.saturating_add(1));
+                let sleep_nanos = (base + rng.next_u64() % (hi - base))
+                    .min(policy.max_delay.as_nanos() as u64);
+                prev_sleep = Duration::from_nanos(sleep_nanos);
+                if !prev_sleep.is_zero() {
+                    std::thread::sleep(prev_sleep);
+                }
+                retries += 1;
+            }
+        }
+    }
+}
+
+/// Like [`retry`] but panics propagate and only the result is returned —
+/// convenience for call sites that don't track counters.
+pub fn retry_result<T>(policy: &RetryPolicy, op: impl FnMut() -> Result<T>) -> Result<T> {
+    retry(policy, op).result
+}
+
+#[allow(dead_code)]
+fn _transient_example() -> SsError {
+    SsError::Transient("example".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    fn flaky(fail_times: u32) -> impl FnMut() -> Result<u32> {
+        let calls = Cell::new(0u32);
+        move || {
+            let n = calls.get() + 1;
+            calls.set(n);
+            if n <= fail_times {
+                Err(SsError::Transient(format!("flake {n}")))
+            } else {
+                Ok(n)
+            }
+        }
+    }
+
+    #[test]
+    fn first_try_success_has_no_retries() {
+        let out = retry(&RetryPolicy::immediate(5), flaky(0));
+        assert_eq!(out.result.unwrap(), 1);
+        assert_eq!(out.retries, 0);
+        assert!(!out.exhausted);
+    }
+
+    #[test]
+    fn transient_errors_are_retried_until_success() {
+        let out = retry(&RetryPolicy::immediate(5), flaky(3));
+        assert_eq!(out.result.unwrap(), 4);
+        assert_eq!(out.retries, 3);
+        assert!(!out.exhausted);
+    }
+
+    #[test]
+    fn attempts_exhaust() {
+        let out = retry(&RetryPolicy::immediate(3), flaky(10));
+        assert!(out.result.is_err());
+        assert_eq!(out.retries, 2, "3 attempts = 2 retries");
+        assert!(out.exhausted);
+    }
+
+    #[test]
+    fn fatal_errors_are_not_retried() {
+        let mut calls = 0;
+        let out = retry(&RetryPolicy::immediate(5), || {
+            calls += 1;
+            Err::<(), _>(SsError::Execution("fatal".into()))
+        });
+        assert!(out.result.is_err());
+        assert_eq!(calls, 1);
+        assert_eq!(out.retries, 0);
+        assert!(!out.exhausted);
+    }
+
+    #[test]
+    fn none_policy_gives_single_attempt() {
+        let out = retry(&RetryPolicy::none(), flaky(1));
+        assert!(out.result.is_err());
+        assert_eq!(out.retries, 0);
+        assert!(out.exhausted);
+    }
+
+    #[test]
+    fn budget_stops_retries() {
+        let policy = RetryPolicy {
+            max_attempts: 100,
+            base_delay: Duration::from_millis(5),
+            max_delay: Duration::from_millis(5),
+            budget: Duration::from_millis(1),
+            seed: 0,
+        };
+        let start = Instant::now();
+        let out = retry(&policy, flaky(1000));
+        assert!(out.exhausted);
+        assert!(out.retries < 50, "budget should cut retries short");
+        assert!(start.elapsed() < Duration::from_secs(2));
+    }
+
+    #[test]
+    fn sleeps_respect_max_delay() {
+        // With base == max == 0 the loop must not sleep at all; verify
+        // a 10-retry exhaustion completes quickly.
+        let start = Instant::now();
+        let _ = retry(&RetryPolicy::immediate(10), flaky(1000));
+        assert!(start.elapsed() < Duration::from_millis(500));
+    }
+
+    #[test]
+    fn retry_result_unwraps_outcome() {
+        assert_eq!(retry_result(&RetryPolicy::immediate(5), flaky(2)).unwrap(), 3);
+    }
+}

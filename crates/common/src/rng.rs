@@ -1,0 +1,101 @@
+//! A small deterministic PRNG (xorshift64*) for fault injection, retry
+//! jitter and chaos tests.
+//!
+//! The workspace is built offline, so we cannot pull in `rand`. Fault
+//! injection and the chaos harness only need a fast, seedable generator
+//! with decent statistical behaviour — xorshift64* seeded through
+//! splitmix64 is plenty, and the fixed algorithm means a seed printed by
+//! a failing chaos run reproduces the exact schedule on any machine.
+
+/// xorshift64* generator, seeded through one splitmix64 round so that
+/// small/sequential seeds (0, 1, 2, …) still produce well-mixed streams.
+#[derive(Debug, Clone)]
+pub struct XorShift64 {
+    state: u64,
+}
+
+impl XorShift64 {
+    /// Create a generator from an arbitrary seed (any value is fine,
+    /// including zero).
+    pub fn new(seed: u64) -> Self {
+        // splitmix64: guarantees a non-zero, well-mixed initial state.
+        let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        Self {
+            state: if z == 0 { 0x9e37_79b9_7f4a_7c15 } else { z },
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // Use the top 53 bits for a uniformly distributed mantissa.
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform integer in `[lo, hi)`. `hi` must be greater than `lo`.
+    pub fn gen_range(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(hi > lo, "gen_range requires hi > lo");
+        lo + self.next_u64() % (hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = XorShift64::new(42);
+        let mut b = XorShift64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = XorShift64::new(0);
+        let mut b = XorShift64::new(1);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "seeds 0 and 1 produced {same}/64 equal values");
+    }
+
+    #[test]
+    fn f64_is_in_unit_interval() {
+        let mut r = XorShift64::new(7);
+        for _ in 0..1000 {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x), "{x} out of [0,1)");
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds_and_covers() {
+        let mut r = XorShift64::new(3);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            let v = r.gen_range(10, 15);
+            assert!((10..15).contains(&v));
+            seen[(v - 10) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "range not covered: {seen:?}");
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut r = XorShift64::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+}

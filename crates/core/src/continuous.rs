@@ -32,12 +32,23 @@ use parking_lot::Mutex;
 
 use ss_bus::MessageBus;
 use ss_common::time::now_us;
-use ss_common::{MetricsRegistry, Result, Row, Schema, SchemaRef, SsError, TraceLog};
+use ss_common::{FaultRegistry, MetricsRegistry, Result, Row, Schema, SchemaRef, SsError, TraceLog};
 use ss_expr::eval::evaluate_row;
 use ss_expr::Expr;
 use ss_plan::LogicalPlan;
 use ss_state::CheckpointBackend;
 use ss_wal::{EpochCommit, EpochOffsets, OffsetRange, WriteAheadLog};
+
+/// Continuous-mode fail points, fired through
+/// [`ContinuousConfig::faults`]. The coordinator's WAL additionally
+/// honours `ss_wal::failpoints`.
+pub mod failpoints {
+    /// After a worker pulled a non-empty batch from the bus, before
+    /// processing it (the long-lived-operator read path of §6.3).
+    pub const WORKER_READ: &str = "continuous.worker.read";
+    /// Before a processed record is handed to the sink.
+    pub const SINK_COMMIT: &str = "continuous.sink.commit";
+}
 
 /// One stage of the compiled per-record pipeline.
 #[derive(Debug)]
@@ -182,6 +193,11 @@ pub struct ContinuousConfig {
     pub idle_sleep: Duration,
     /// Record per-record end-to-end latencies (Figure 7).
     pub record_latency: bool,
+    /// Fail-point registry shared with the workers and the
+    /// coordinator's WAL (see [`failpoints`]). Empty by default; the
+    /// handle is shared, so faults can be (re)configured while the
+    /// query runs.
+    pub faults: FaultRegistry,
 }
 
 impl Default for ContinuousConfig {
@@ -191,6 +207,7 @@ impl Default for ContinuousConfig {
             poll_batch: 256,
             idle_sleep: Duration::from_micros(100),
             record_latency: true,
+            faults: FaultRegistry::new(),
         }
     }
 }
@@ -249,6 +266,7 @@ impl ContinuousQuery {
         let wal = wal_backend.map(|b| {
             let mut w = WriteAheadLog::new(b);
             w.attach_metrics(&registry);
+            w.set_faults(config.faults.clone());
             w
         });
         let mut start_offsets = vec![0u64; partitions as usize];
@@ -303,10 +321,20 @@ impl ContinuousQuery {
                         std::thread::park_timeout(config.idle_sleep);
                         continue;
                     }
+                    // Fired only for non-empty batches so tests injecting
+                    // a one-shot fault crash on data, not on an idle poll.
+                    if let Err(e) = config.faults.fire(failpoints::WORKER_READ) {
+                        *shared.error.lock() = Some(e.to_string());
+                        return;
+                    }
                     for rec in records {
                         match pipeline.process(&rec.row) {
                             Ok(Some(out)) => {
-                                if let Err(e) = sink(p, out) {
+                                if let Err(e) = config
+                                    .faults
+                                    .fire(failpoints::SINK_COMMIT)
+                                    .and_then(|()| sink(p, out))
+                                {
                                     *shared.error.lock() = Some(e.to_string());
                                     return;
                                 }
@@ -601,6 +629,90 @@ mod tests {
         // full reprocessing window, not the whole history.
         q2.stop().unwrap();
         assert!(processed.load(Ordering::SeqCst) <= 20 + 1 + 20);
+    }
+
+    #[test]
+    fn worker_crash_then_restart_recovers_every_record() {
+        use ss_common::fault::{FaultMode, FaultTrigger};
+        use ss_common::Value;
+        use std::collections::BTreeSet;
+
+        let bus = Arc::new(MessageBus::new());
+        bus.create_topic("in", 1).unwrap();
+        let backend: Arc<dyn CheckpointBackend> = Arc::new(MemoryBackend::new());
+        // Distinct output values observed so far; duplicates from the
+        // at-least-once reprocessing window collapse here.
+        let seen = Arc::new(Mutex::new(BTreeSet::<i64>::new()));
+        let s2 = seen.clone();
+        let sink: RecordSink = Arc::new(move |_p, row| {
+            if let Value::Int64(v) = row.get(0) {
+                s2.lock().insert(*v);
+            }
+            Ok(())
+        });
+        let config = ContinuousConfig {
+            epoch_interval_us: 20_000,
+            idle_sleep: Duration::from_micros(50),
+            ..Default::default()
+        };
+        let faults = config.faults.clone();
+        let q = ContinuousQuery::start(
+            &map_plan(),
+            bus.clone(),
+            "in",
+            sink.clone(),
+            Some(backend.clone()),
+            config.clone(),
+        )
+        .unwrap();
+        for i in 0..10i64 {
+            bus.append("in", 0, vec![row!["view", i]]).unwrap();
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while seen.lock().len() < 10 {
+            assert!(std::time::Instant::now() < deadline, "wave 1 timed out");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Let the coordinator durably mark the processed prefix, then
+        // kill the worker on its next non-empty read.
+        std::thread::sleep(Duration::from_millis(60));
+        faults.configure(
+            failpoints::WORKER_READ,
+            FaultTrigger::Once { skip: 0 },
+            FaultMode::Error,
+        );
+        for i in 10..20i64 {
+            bus.append("in", 0, vec![row!["view", i]]).unwrap();
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while q.error().is_none() {
+            assert!(std::time::Instant::now() < deadline, "crash never surfaced");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let err = q.stop().unwrap_err().to_string();
+        assert!(err.contains("injected failure"), "got: {err}");
+
+        // Restart against the same WAL with faults cleared: the new
+        // incarnation resumes from the last epoch marker and delivers
+        // the crashed-over records (at-least-once, §6.3).
+        faults.clear();
+        let q2 = ContinuousQuery::start(
+            &map_plan(),
+            bus.clone(),
+            "in",
+            sink,
+            Some(backend),
+            config,
+        )
+        .unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while seen.lock().len() < 20 {
+            assert!(std::time::Instant::now() < deadline, "recovery timed out");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        q2.stop().unwrap();
+        let expected: BTreeSet<i64> = (0..20).map(|i| i * 2).collect();
+        assert_eq!(*seen.lock(), expected);
     }
 
     #[test]

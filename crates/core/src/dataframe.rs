@@ -311,6 +311,20 @@ impl DataStreamWriter {
         self
     }
 
+    /// Attach a fail-point registry (fault injection for tests and
+    /// chaos drills; see `ss_common::fault`).
+    pub fn faults(mut self, faults: ss_common::FaultRegistry) -> Self {
+        self.config.faults = faults;
+        self
+    }
+
+    /// Retry policy for transient failures on the engine's durability
+    /// paths (source read, sink commit, WAL append, checkpoint write).
+    pub fn retry(mut self, retry: ss_common::RetryPolicy) -> Self {
+        self.config.retry = retry;
+        self
+    }
+
     fn build_engine(&self) -> Result<MicroBatchExecution> {
         let sink = self
             .sink
@@ -373,6 +387,26 @@ impl DataStreamWriter {
         };
         let engine = self.build_engine()?;
         Ok(StreamingQuery::start_background(engine, policy))
+    }
+
+    /// Start with a background trigger thread under a supervisor that
+    /// restarts the query (re-running WAL recovery) on non-user
+    /// failures, per `restart_policy`.
+    pub fn start_supervised(
+        self,
+        restart_policy: crate::query::RestartPolicy,
+    ) -> Result<StreamingQuery> {
+        let policy = match self.trigger {
+            Trigger::ProcessingTime(d) => TriggerPolicy::ProcessingTime(d),
+            Trigger::Once => TriggerPolicy::Once,
+            Trigger::Continuous(_) => {
+                return Err(SsError::Plan(
+                    "continuous trigger: use start_continuous() with a record sink".into(),
+                ))
+            }
+        };
+        let engine = self.build_engine()?;
+        Ok(StreamingQuery::start_supervised(engine, policy, restart_policy))
     }
 
     /// Start in continuous processing mode (§6.3). The plan must be

@@ -65,14 +65,14 @@ pub use context::StreamingContext;
 pub use dataframe::{DataFrame, DataStreamWriter, Trigger};
 pub use metrics::{OpDuration, QueryProgress, StreamingQueryListener};
 pub use microbatch::MicroBatchExecution;
-pub use query::{StreamingQuery, StreamingQueryManager};
+pub use query::{RestartPolicy, StreamingQuery, StreamingQueryManager};
 
 /// Everything a typical application needs.
 pub mod prelude {
     pub use crate::context::StreamingContext;
     pub use crate::dataframe::{DataFrame, DataStreamWriter, Trigger};
     pub use crate::metrics::{QueryProgress, StreamingQueryListener};
-    pub use crate::query::{StreamingQuery, StreamingQueryManager};
+    pub use crate::query::{RestartPolicy, StreamingQuery, StreamingQueryManager};
     pub use ss_expr::{avg, col, count, count_star, lit, max, min, sum, window, window_sliding};
     pub use ss_plan::{JoinType, OutputMode};
 }

@@ -47,6 +47,9 @@ pub struct QueryProgress {
     pub operator_durations: Vec<OpDuration>,
     /// Time spent committing this epoch's output to the sink (µs).
     pub sink_commit_us: i64,
+    /// Supervisor restarts the query has survived so far (0 for a
+    /// query that has never failed).
+    pub restarts: u64,
 }
 
 impl QueryProgress {
@@ -156,6 +159,7 @@ mod tests {
             backlog_rows: 0,
             operator_durations: vec![],
             sink_commit_us: 0,
+            restarts: 0,
         }
     }
 

@@ -34,8 +34,8 @@ use std::time::Instant;
 use ss_bus::{EpochOutput, Sink, SinkMetrics, Source, SourceMetrics};
 use ss_common::time::now_us;
 use ss_common::{
-    Histogram, MetricsRegistry, PartitionOffsets, RecordBatch, Result, SchemaRef, SsError,
-    TraceLog,
+    FaultRegistry, Histogram, MetricsRegistry, PartitionOffsets, RecordBatch, Result, RetryPolicy,
+    SchemaRef, SsError, TraceLog,
 };
 use ss_exec::executor::Catalog;
 use ss_plan::{LogicalPlan, OutputMode};
@@ -49,17 +49,25 @@ use crate::watermark::WatermarkTracker;
 /// A processing-time clock, injectable for deterministic tests.
 pub type Clock = Arc<dyn Fn() -> i64 + Send + Sync>;
 
-/// Points at which a test can simulate a crash, leaving durable state
-/// exactly as a real failure would.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum FailurePoint {
+/// Engine-level fail points, fired between the steps of the epoch
+/// protocol. The layers below expose their own (see
+/// `ss_wal::failpoints`, `ss_state::store::failpoints`,
+/// `ss_state::backend::failpoints`, `ss_bus::source::failpoints`); all
+/// fire through the [`FaultRegistry`] in [`MicroBatchConfig::faults`].
+pub mod failpoints {
     /// Crash after the offset log write, before execution.
-    AfterOffsetWrite,
+    pub const AFTER_OFFSET_WRITE: &str = "microbatch.after_offset_write";
     /// Crash after the sink accepted the epoch, before the commit log
     /// write.
-    AfterSinkWrite,
+    pub const AFTER_SINK_WRITE: &str = "microbatch.after_sink_write";
     /// Crash after the commit log write, before the state checkpoint.
-    AfterCommitWrite,
+    pub const AFTER_COMMIT_WRITE: &str = "microbatch.after_commit_write";
+    /// Before reading an epoch's range from a source (fires regardless
+    /// of the source implementation; retried under the engine policy).
+    pub const SOURCE_READ: &str = "microbatch.source.read";
+    /// Before handing an epoch's output to the sink (retried under the
+    /// engine policy; sinks are idempotent per epoch).
+    pub const SINK_COMMIT: &str = "microbatch.sink.commit";
 }
 
 /// Engine tuning knobs.
@@ -76,8 +84,12 @@ pub struct MicroBatchConfig {
     pub checkpoint_interval: u64,
     /// Progress records to retain (§7.4).
     pub progress_history: usize,
-    /// Test-only crash injection.
-    pub failure_point: Option<FailurePoint>,
+    /// Fail-point registry shared with the WAL, state store and (when
+    /// wired by the caller) sources/backends. Empty by default.
+    pub faults: FaultRegistry,
+    /// Retry policy for transient failures on the durability paths
+    /// (source read, sink commit, WAL append, checkpoint write).
+    pub retry: RetryPolicy,
     /// Processing-time clock.
     pub clock: Clock,
 }
@@ -90,10 +102,35 @@ impl Default for MicroBatchConfig {
             catchup_multiplier: 8,
             checkpoint_interval: 1,
             progress_history: 128,
-            failure_point: None,
+            faults: FaultRegistry::new(),
+            retry: RetryPolicy::default(),
             clock: Arc::new(now_us),
         }
     }
+}
+
+/// Run `op` under `policy`, recording retry activity in the query's
+/// metric registry (`ss_retry_attempts_total` counts re-attempts,
+/// `ss_retries_exhausted_total` counts calls that failed transiently
+/// after using up the policy).
+fn retried<T>(
+    policy: &RetryPolicy,
+    registry: &MetricsRegistry,
+    op: &str,
+    f: impl FnMut() -> Result<T>,
+) -> Result<T> {
+    let out = ss_common::retry::retry(policy, f);
+    if out.retries > 0 {
+        registry
+            .counter("ss_retry_attempts_total", &[("op", op)])
+            .add(u64::from(out.retries));
+    }
+    if out.exhausted {
+        registry
+            .counter("ss_retries_exhausted_total", &[("op", op)])
+            .inc();
+    }
+    out.result
 }
 
 /// The result of one trigger firing.
@@ -141,6 +178,8 @@ pub struct MicroBatchExecution {
     sink_metrics: SinkMetrics,
     epoch_duration_us: Histogram,
     terminated: bool,
+    /// Supervisor restarts survived so far (surfaced in progress).
+    restarts: u64,
 }
 
 impl MicroBatchExecution {
@@ -179,8 +218,18 @@ impl MicroBatchExecution {
         let trace = TraceLog::new();
         let mut wal = WriteAheadLog::new(backend.clone());
         wal.attach_metrics(&registry);
+        wal.set_faults(config.faults.clone());
         let mut store = StateStore::new(backend);
         store.attach_metrics(&registry);
+        store.set_faults(config.faults.clone());
+        registry.describe(
+            "ss_retry_attempts_total",
+            "Transient-failure re-attempts on the engine's durability paths.",
+        );
+        registry.describe(
+            "ss_retries_exhausted_total",
+            "Calls that still failed transiently after the retry policy ran out.",
+        );
         let source_metrics: HashMap<String, SourceMetrics> = sources
             .keys()
             .map(|name| (name.clone(), SourceMetrics::new(&registry, name)))
@@ -217,6 +266,7 @@ impl MicroBatchExecution {
             sink_metrics,
             epoch_duration_us,
             terminated: false,
+            restarts: 0,
         };
         engine.recover()?;
         Ok(engine)
@@ -362,13 +412,15 @@ impl MicroBatchExecution {
         };
         {
             let _span = self.trace.span("write-offsets", &[]);
-            self.wal.write_offsets(&offsets)?;
+            retried(&self.config.retry, &self.registry, "wal_offsets_append", || {
+                self.wal.write_offsets(&offsets)
+            })?;
         }
         self.epoch = epoch;
         for (name, r) in &offsets.sources {
             self.positions.insert(name.clone(), r.end.clone());
         }
-        self.fail_if(FailurePoint::AfterOffsetWrite)?;
+        self.config.faults.fire(failpoints::AFTER_OFFSET_WRITE)?;
 
         // Steps 2–3: execute and commit.
         let exec = self.execute_epoch_offsets(&offsets, true)?;
@@ -403,6 +455,7 @@ impl MicroBatchExecution {
                 })
                 .collect(),
             sink_commit_us: exec.sink_commit_us,
+            restarts: self.restarts,
         };
         self.progress.push(progress.clone());
         for l in &self.listeners {
@@ -434,15 +487,6 @@ impl MicroBatchExecution {
         }
     }
 
-    fn fail_if(&self, point: FailurePoint) -> Result<()> {
-        if self.config.failure_point == Some(point) {
-            return Err(SsError::Execution(format!(
-                "injected failure at {point:?}"
-            )));
-        }
-        Ok(())
-    }
-
     /// Execute the epoch described by `offsets`; commit output when
     /// `with_output` (recovery replays with output disabled). Returns
     /// the epoch's output row count, per-operator stats and sink
@@ -453,6 +497,9 @@ impl MicroBatchExecution {
         with_output: bool,
     ) -> Result<EpochExecution> {
         let trace = self.trace.clone();
+        let retry_policy = self.config.retry;
+        let faults = self.config.faults.clone();
+        let registry = self.registry.clone();
         // Read exactly the logged ranges (replayable sources), with
         // the plan's scan projections pushed into the read (§5.3).
         let projections = self.root.scan_projections();
@@ -465,7 +512,10 @@ impl MicroBatchExecution {
                 })?;
                 let projection = projections.get(name).cloned().flatten();
                 let t_read = Instant::now();
-                let batch = source.read_all_projected(range, projection.as_deref())?;
+                let batch = retried(&retry_policy, &registry, "source_read", || {
+                    faults.fire(failpoints::SOURCE_READ)?;
+                    source.read_all_projected(range, projection.as_deref())
+                })?;
                 if let Some(m) = self.source_metrics.get(name) {
                     m.rows_read.add(batch.num_rows() as u64);
                     m.read_us.observe(t_read.elapsed().as_micros() as u64);
@@ -525,18 +575,26 @@ impl MicroBatchExecution {
             let t_commit = Instant::now();
             {
                 let _span = trace.span("sink-commit", &[]);
-                self.sink.commit_epoch(offsets.epoch, &output)?;
+                // Sinks commit idempotently per epoch, so a retry after
+                // a partial delivery rewrites the same output in place.
+                retried(&retry_policy, &registry, "sink_commit", || {
+                    faults.fire(failpoints::SINK_COMMIT)?;
+                    self.sink.commit_epoch(offsets.epoch, &output)
+                })?;
             }
             sink_commit_us = t_commit.elapsed().as_micros() as i64;
             self.sink_metrics
                 .observe_commit(out_rows, sink_commit_us as u64);
-            self.fail_if(FailurePoint::AfterSinkWrite)?;
-            self.wal.write_commit(&EpochCommit {
+            faults.fire(failpoints::AFTER_SINK_WRITE)?;
+            let commit = EpochCommit {
                 epoch: offsets.epoch,
                 rows_written: out_rows,
                 committed_at_us: (self.config.clock)(),
+            };
+            retried(&retry_policy, &registry, "wal_commits_append", || {
+                self.wal.write_commit(&commit)
             })?;
-            self.fail_if(FailurePoint::AfterCommitWrite)?;
+            faults.fire(failpoints::AFTER_COMMIT_WRITE)?;
         }
 
         // Watermark advances at the epoch boundary (§4.3.1).
@@ -548,7 +606,10 @@ impl MicroBatchExecution {
         if with_output && offsets.epoch.is_multiple_of(self.config.checkpoint_interval) {
             let _span = trace.span("checkpoint", &[]);
             self.tracker.save(&mut self.store);
-            self.store.checkpoint(offsets.epoch)?;
+            let store = &mut self.store;
+            retried(&retry_policy, &registry, "checkpoint_write", || {
+                store.checkpoint(offsets.epoch)
+            })?;
         }
         Ok(EpochExecution {
             out_rows,
@@ -563,10 +624,30 @@ impl MicroBatchExecution {
 
     /// §6.1 step 4: bring state and sink back to a consistent point
     /// after a restart.
+    ///
+    /// Hardened against bad durable data: the WAL is scanned first
+    /// ([`WriteAheadLog::verify_and_repair`] — torn records past the
+    /// last commit become uncommitted work, corruption inside committed
+    /// history fails loudly), and state restore falls back to older
+    /// checkpoints when the newest is unreadable
+    /// ([`StateStore::restore_best`] — the WAL replays the gap).
     fn recover(&mut self) -> Result<()> {
+        let repair = self.wal.verify_and_repair()?;
+        if !repair.is_clean() {
+            self.trace.instant(
+                "wal-repair",
+                &[
+                    ("dropped_offsets", &format!("{:?}", repair.dropped_offsets)),
+                    ("dropped_commits", &format!("{:?}", repair.dropped_commits)),
+                ],
+            );
+        }
         let rp = self.wal.recovery_point()?;
         let Some(last_committed) = rp.last_committed else {
-            // Nothing committed. Re-run any epoch that was in flight.
+            // Nothing committed: any state checkpoint is stale (they
+            // are only written for committed epochs).
+            self.store.truncate_after(0)?;
+            // Re-run any epoch that was in flight.
             for e in rp.uncommitted_epochs {
                 let offsets = self.wal.read_offsets(e)?.ok_or_else(|| {
                     SsError::Internal(format!("offset log lists epoch {e} but read failed"))
@@ -578,11 +659,16 @@ impl MicroBatchExecution {
             return Ok(());
         };
 
-        // Restore the newest checkpoint at or below the commit point.
-        let chk = self.store.latest_checkpoint(Some(last_committed))?;
+        // Checkpoints newer than the commit line describe state the
+        // engine is about to recompute (e.g. the commit record was a
+        // torn tail); a delta written against them could corrupt a
+        // future restore chain, so drop them first.
+        self.store.truncate_after(last_committed)?;
+        // Restore the newest *restorable* checkpoint ≤ the commit point
+        // (corrupt chains are skipped; the WAL replays the difference).
+        let chk = self.store.restore_best(Some(last_committed))?;
         let mut replay_from = 1;
         if let Some(c) = chk {
-            self.store.restore(c)?;
             self.root.restore_state(&mut self.store)?;
             self.tracker.load(&self.store)?;
             replay_from = c + 1;
@@ -638,7 +724,26 @@ impl MicroBatchExecution {
         self.wal.truncate_after(epoch)?;
         self.store.truncate_after(epoch)?;
         self.sink.truncate_after(epoch)?;
-        // Reset in-memory execution state and replay from scratch.
+        self.reset_and_recover()
+    }
+
+    /// In-place restart after a failure (used by the query supervisor):
+    /// throw away all in-memory execution state and re-run WAL recovery
+    /// against the durable logs, exactly as a fresh process would.
+    /// Increments the restart counter surfaced in [`QueryProgress`].
+    pub fn restart(&mut self) -> Result<()> {
+        self.restarts += 1;
+        self.trace
+            .instant("restart", &[("count", &self.restarts.to_string())]);
+        self.reset_and_recover()
+    }
+
+    /// Supervisor restarts survived so far.
+    pub fn restarts(&self) -> u64 {
+        self.restarts
+    }
+
+    fn reset_and_recover(&mut self) -> Result<()> {
         self.store.clear_memory();
         self.tracker = WatermarkTracker::new(&current_watermarks(&self.tracker));
         self.epoch = 0;
@@ -690,6 +795,17 @@ mod tests {
         LogicalPlanBuilder::scan("events", schema(), true)
             .aggregate(vec![col("country")], vec![count_star()])
             .build()
+    }
+
+    /// A config whose registry fires `point` on every hit (matching the
+    /// always-on semantics of the old `FailurePoint` enum).
+    fn faulty_config(point: &str) -> MicroBatchConfig {
+        use ss_common::fault::{FaultMode, FaultTrigger};
+        let config = MicroBatchConfig::default();
+        config
+            .faults
+            .configure(point, FaultTrigger::EveryNth { n: 1 }, FaultMode::Error);
+        config
     }
 
     fn engine(
@@ -796,10 +912,7 @@ mod tests {
         let src = gen_source(1);
         let backend: Arc<dyn CheckpointBackend> = Arc::new(MemoryBackend::new());
         let sink = MemorySink::new("out");
-        let config = MicroBatchConfig {
-            failure_point: Some(FailurePoint::AfterSinkWrite),
-            ..Default::default()
-        };
+        let config = faulty_config(failpoints::AFTER_SINK_WRITE);
         {
             let mut eng = engine(src.clone(), sink.clone(), backend.clone(), config);
             src.advance(4);
@@ -818,10 +931,7 @@ mod tests {
         let src = gen_source(1);
         let backend: Arc<dyn CheckpointBackend> = Arc::new(MemoryBackend::new());
         let sink = MemorySink::new("out");
-        let config = MicroBatchConfig {
-            failure_point: Some(FailurePoint::AfterOffsetWrite),
-            ..Default::default()
-        };
+        let config = faulty_config(failpoints::AFTER_OFFSET_WRITE);
         {
             let mut eng = engine(src.clone(), sink.clone(), backend.clone(), config);
             src.advance(4);
@@ -966,6 +1076,137 @@ mod tests {
         let terminated = collector.terminated.lock();
         assert_eq!(terminated.len(), 1);
         assert_eq!(terminated[0], ("q".to_string(), None));
+    }
+
+    #[test]
+    fn transient_faults_are_retried_and_counted() {
+        use ss_common::fault::{FaultMode, FaultTrigger};
+        use ss_common::MetricValue;
+
+        let src = gen_source(1);
+        let sink = MemorySink::new("out");
+        let config = MicroBatchConfig {
+            retry: RetryPolicy::immediate(4),
+            ..Default::default()
+        };
+        let faults = config.faults.clone();
+        // One transient sink flake, then success on the retry.
+        faults.configure(
+            failpoints::SINK_COMMIT,
+            FaultTrigger::Once { skip: 0 },
+            FaultMode::TransientError,
+        );
+        let mut eng = engine(src.clone(), sink.clone(), Arc::new(MemoryBackend::new()), config);
+        src.advance(4);
+        match eng.run_epoch().unwrap() {
+            EpochRun::Ran(p) => assert_eq!(p.num_input_rows, 4),
+            EpochRun::Idle => panic!("expected an epoch"),
+        }
+        assert_eq!(sink.snapshot(), vec![row!["CA", 2i64], row!["US", 2i64]]);
+        assert_eq!(
+            eng.metrics()
+                .value("ss_retry_attempts_total", &[("op", "sink_commit")]),
+            Some(MetricValue::Counter(1))
+        );
+        assert_eq!(
+            eng.metrics()
+                .value("ss_retries_exhausted_total", &[("op", "sink_commit")]),
+            None,
+            "retry succeeded, nothing exhausted"
+        );
+    }
+
+    #[test]
+    fn exhausted_retries_surface_the_transient_error() {
+        use ss_common::fault::{FaultMode, FaultTrigger};
+        use ss_common::MetricValue;
+
+        let src = gen_source(1);
+        let sink = MemorySink::new("out");
+        let config = MicroBatchConfig {
+            retry: RetryPolicy::immediate(3),
+            ..Default::default()
+        };
+        let faults = config.faults.clone();
+        faults.configure(
+            failpoints::SOURCE_READ,
+            FaultTrigger::EveryNth { n: 1 },
+            FaultMode::TransientError,
+        );
+        let mut eng = engine(src.clone(), sink, Arc::new(MemoryBackend::new()), config);
+        src.advance(2);
+        let err = eng.run_epoch().unwrap_err();
+        assert!(err.is_transient(), "{err:?}");
+        assert_eq!(
+            eng.metrics()
+                .value("ss_retries_exhausted_total", &[("op", "source_read")]),
+            Some(MetricValue::Counter(1))
+        );
+        assert_eq!(faults.hits(failpoints::SOURCE_READ), 3, "3 attempts");
+    }
+
+    #[test]
+    fn restart_reruns_recovery_in_place_and_counts() {
+        let src = gen_source(1);
+        let backend: Arc<dyn CheckpointBackend> = Arc::new(MemoryBackend::new());
+        let sink = MemorySink::new("out");
+        let config = faulty_config(failpoints::AFTER_SINK_WRITE);
+        let faults = config.faults.clone();
+        let mut eng = engine(src.clone(), sink.clone(), backend, config);
+        src.advance(4);
+        assert!(eng.run_epoch().is_err());
+        // Clear the fault and restart the same engine instance — what
+        // the supervisor does instead of rebuilding the process.
+        faults.clear();
+        eng.restart().unwrap();
+        assert_eq!(eng.restarts(), 1);
+        // Recovery already re-ran the in-flight epoch; fresh data after
+        // the restart produces a progress record carrying the counter.
+        assert_eq!(sink.snapshot(), vec![row!["CA", 2i64], row!["US", 2i64]]);
+        src.advance(2);
+        eng.process_available().unwrap();
+        assert_eq!(sink.snapshot(), vec![row!["CA", 3i64], row!["US", 3i64]]);
+        match eng.progress().last() {
+            Some(p) => assert_eq!(p.restarts, 1),
+            None => panic!("expected progress after restart"),
+        }
+    }
+
+    #[test]
+    fn corrupt_committed_wal_record_fails_engine_construction() {
+        let src = gen_source(1);
+        let backend = Arc::new(MemoryBackend::new());
+        let sink = MemorySink::new("out");
+        {
+            let mut eng = engine(
+                src.clone(),
+                sink.clone(),
+                backend.clone(),
+                MicroBatchConfig::default(),
+            );
+            src.advance(4);
+            eng.process_available().unwrap();
+            src.advance(2);
+            eng.process_available().unwrap();
+        }
+        // Corrupt the *first* (committed) offsets record on disk.
+        let key = "wal/offsets/epoch-00000000000000000001.json";
+        backend.write_atomic(key, b"garbage").unwrap();
+        let mut sources: HashMap<String, Arc<dyn Source>> = HashMap::new();
+        sources.insert("events".into(), src);
+        let err = MicroBatchExecution::new(
+            "q",
+            &count_plan(),
+            sources,
+            Arc::new(MemoryCatalog::new()),
+            sink,
+            OutputMode::Complete,
+            backend,
+            MicroBatchConfig::default(),
+        )
+        .err()
+        .expect("corrupt committed record must fail recovery");
+        assert_eq!(err.category(), "corruption");
     }
 
     #[test]

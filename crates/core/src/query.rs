@@ -37,6 +37,47 @@ pub enum TriggerPolicy {
     Once,
 }
 
+/// How the supervisor reacts when a background query's trigger loop
+/// fails (§6.1: "the system automatically restarts failed tasks").
+///
+/// Restarts re-run WAL recovery in place
+/// ([`MicroBatchExecution::restart`]) — exactly what a fresh process
+/// would do — so every restart exercises the paper's recovery path.
+/// User errors ([`SsError::is_user_error`]) are never restarted: a bad
+/// query stays bad no matter how often it is retried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RestartPolicy {
+    /// Restart at most this many times before giving up and
+    /// terminating with the preserved exception.
+    pub max_restarts: u32,
+    /// Delay before the first restart; doubles per consecutive restart.
+    pub backoff: Duration,
+    /// Ceiling for the doubled backoff.
+    pub max_backoff: Duration,
+}
+
+impl Default for RestartPolicy {
+    fn default() -> Self {
+        RestartPolicy {
+            max_restarts: 3,
+            backoff: Duration::from_millis(100),
+            max_backoff: Duration::from_secs(10),
+        }
+    }
+}
+
+impl RestartPolicy {
+    /// Never restart: the first failure terminates the query (the
+    /// pre-supervisor behaviour of [`StreamingQuery::start_background`]).
+    pub fn none() -> RestartPolicy {
+        RestartPolicy {
+            max_restarts: 0,
+            backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        }
+    }
+}
+
 enum QueryInner {
     Sync(Box<MicroBatchExecution>),
     Background {
@@ -62,8 +103,26 @@ impl StreamingQuery {
         }
     }
 
-    /// Spawn a background thread firing `trigger`.
+    /// Spawn a background thread firing `trigger`. The first failure
+    /// terminates the query; use [`StreamingQuery::start_supervised`]
+    /// for automatic restarts.
     pub fn start_background(engine: MicroBatchExecution, trigger: TriggerPolicy) -> StreamingQuery {
+        StreamingQuery::start_supervised(engine, trigger, RestartPolicy::none())
+    }
+
+    /// Spawn a supervised background thread firing `trigger`. When the
+    /// trigger loop fails with anything other than a user error, the
+    /// supervisor backs off, re-runs WAL recovery in place
+    /// ([`MicroBatchExecution::restart`]) and resumes — up to
+    /// `policy.max_restarts` times. A failed recovery attempt consumes
+    /// a restart too. Once exhausted, the query terminates and the last
+    /// error is preserved in [`StreamingQuery::exception`] (suffixed
+    /// with the restart count when any were attempted).
+    pub fn start_supervised(
+        engine: MicroBatchExecution,
+        trigger: TriggerPolicy,
+        policy: RestartPolicy,
+    ) -> StreamingQuery {
         let name = engine.name().to_string();
         let engine = Arc::new(Mutex::new(engine));
         let stop = Arc::new(AtomicBool::new(false));
@@ -72,34 +131,8 @@ impl StreamingQuery {
             let engine = engine.clone();
             let stop = stop.clone();
             let error = error.clone();
-            std::thread::spawn(move || match trigger {
-                TriggerPolicy::Once => {
-                    let r = engine.lock().process_available();
-                    if let Err(e) = r {
-                        let msg = e.to_string();
-                        *error.lock() = Some(msg.clone());
-                        engine.lock().notify_terminated(Some(&msg));
-                    }
-                }
-                TriggerPolicy::ProcessingTime(interval) => {
-                    while !stop.load(Ordering::SeqCst) {
-                        let started = Instant::now();
-                        let r = engine.lock().run_epoch();
-                        match r {
-                            Ok(_) => {}
-                            Err(e) => {
-                                let msg = e.to_string();
-                                *error.lock() = Some(msg.clone());
-                                engine.lock().notify_terminated(Some(&msg));
-                                return;
-                            }
-                        }
-                        let elapsed = started.elapsed();
-                        if elapsed < interval {
-                            std::thread::park_timeout(interval - elapsed);
-                        }
-                    }
-                }
+            std::thread::spawn(move || {
+                supervise(&engine, &stop, &error, trigger, policy);
             })
         };
         StreamingQuery {
@@ -168,6 +201,12 @@ impl StreamingQuery {
     /// Total stateful-operator keys.
     pub fn state_rows(&self) -> u64 {
         self.with_engine(|e| e.state_rows())
+    }
+
+    /// Supervisor restarts the query has survived so far (also carried
+    /// on every [`QueryProgress`] record).
+    pub fn restarts(&self) -> u64 {
+        self.with_engine(|e| e.restarts())
     }
 
     /// Register a [`StreamingQueryListener`] (§7.4): `on_progress`
@@ -289,6 +328,72 @@ impl Drop for StreamingQuery {
     }
 }
 
+/// The supervisor loop: drive the trigger until it fails or a stop is
+/// requested, then decide between restart and termination.
+fn supervise(
+    engine: &Arc<Mutex<MicroBatchExecution>>,
+    stop: &Arc<AtomicBool>,
+    error: &Arc<Mutex<Option<String>>>,
+    trigger: TriggerPolicy,
+    policy: RestartPolicy,
+) {
+    let mut restarts_done: u32 = 0;
+    let mut delay = policy.backoff;
+    'incarnation: loop {
+        // Drive the trigger until it errors (Some) or finishes (None).
+        let failure: Option<SsError> = match trigger {
+            TriggerPolicy::Once => engine.lock().process_available().err(),
+            TriggerPolicy::ProcessingTime(interval) => {
+                let mut failure = None;
+                while !stop.load(Ordering::SeqCst) {
+                    let started = Instant::now();
+                    if let Err(e) = engine.lock().run_epoch() {
+                        failure = Some(e);
+                        break;
+                    }
+                    let elapsed = started.elapsed();
+                    if elapsed < interval {
+                        std::thread::park_timeout(interval - elapsed);
+                    }
+                }
+                failure
+            }
+        };
+        let Some(mut failure) = failure else {
+            // Clean exit: `Once` drained, or `stop()` was requested.
+            // Termination is notified by `stop_in_place`.
+            return;
+        };
+
+        // Restart-or-terminate. A restart whose own recovery fails
+        // consumes an attempt and loops here with the new error.
+        loop {
+            let give_up = failure.is_user_error()
+                || restarts_done >= policy.max_restarts
+                || stop.load(Ordering::SeqCst);
+            if give_up {
+                let mut msg = failure.to_string();
+                if restarts_done > 0 {
+                    msg.push_str(&format!(" (after {restarts_done} restarts)"));
+                }
+                *error.lock() = Some(msg.clone());
+                engine.lock().notify_terminated(Some(&msg));
+                return;
+            }
+            // Exponential backoff; `stop()` unparks us early.
+            if !delay.is_zero() {
+                std::thread::park_timeout(delay);
+            }
+            delay = (delay * 2).min(policy.max_backoff.max(policy.backoff));
+            restarts_done += 1;
+            match engine.lock().restart() {
+                Ok(()) => continue 'incarnation,
+                Err(e) => failure = e,
+            }
+        }
+    }
+}
+
 /// Tracks every active query in an application.
 #[derive(Default)]
 pub struct StreamingQueryManager {
@@ -333,6 +438,16 @@ impl StreamingQueryManager {
         Ok(f(query))
     }
 
+    /// Restart counts of all active queries, sorted by name — a quick
+    /// health overview of a supervised application.
+    pub fn restart_counts(&self) -> Vec<(String, u64)> {
+        let q = self.queries.lock();
+        let mut counts: Vec<(String, u64)> =
+            q.iter().map(|(n, v)| (n.clone(), v.restarts())).collect();
+        counts.sort();
+        counts
+    }
+
     /// Stop and deregister one query.
     pub fn stop_query(&self, name: &str) -> Result<()> {
         let query = self
@@ -353,5 +468,194 @@ impl StreamingQueryManager {
             q.stop()?;
         }
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::microbatch::{failpoints, MicroBatchConfig, MicroBatchExecution};
+    use ss_bus::{GeneratorSource, MemorySink, Source};
+    use ss_common::fault::{FaultMode, FaultTrigger};
+    use ss_common::{row, DataType, Field, Schema, SchemaRef, Value};
+    use ss_exec::MemoryCatalog;
+    use ss_expr::{col, count_star};
+    use ss_plan::{LogicalPlanBuilder, OutputMode};
+    use ss_state::{CheckpointBackend, MemoryBackend};
+
+    fn schema() -> SchemaRef {
+        Schema::of(vec![
+            Field::new("country", DataType::Utf8),
+            Field::new("time", DataType::Timestamp),
+        ])
+    }
+
+    fn gen_source() -> Arc<GeneratorSource> {
+        Arc::new(GeneratorSource::new(
+            "events",
+            schema(),
+            1,
+            Arc::new(|p, o| {
+                let c = if (p as u64 + o).is_multiple_of(2) { "CA" } else { "US" };
+                row![c, Value::Timestamp((o as i64) * 1_000_000)]
+            }),
+        ))
+    }
+
+    fn engine(
+        source: Arc<GeneratorSource>,
+        sink: Arc<MemorySink>,
+        backend: Arc<dyn CheckpointBackend>,
+        config: MicroBatchConfig,
+    ) -> MicroBatchExecution {
+        let mut sources: HashMap<String, Arc<dyn Source>> = HashMap::new();
+        sources.insert("events".into(), source);
+        let plan = LogicalPlanBuilder::scan("events", schema(), true)
+            .aggregate(vec![col("country")], vec![count_star()])
+            .build();
+        MicroBatchExecution::new(
+            "q",
+            &plan,
+            sources,
+            Arc::new(MemoryCatalog::new()),
+            sink,
+            OutputMode::Complete,
+            backend,
+            config,
+        )
+        .unwrap()
+    }
+
+    /// Poll `cond` with a deadline; supervised queries make progress on
+    /// their own thread.
+    fn wait_for(mut cond: impl FnMut() -> bool) -> bool {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while Instant::now() < deadline {
+            if cond() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        false
+    }
+
+    fn fast_policy(max_restarts: u32) -> RestartPolicy {
+        RestartPolicy {
+            max_restarts,
+            backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn supervisor_restarts_after_a_crash_and_the_query_continues() {
+        let src = gen_source();
+        let sink = MemorySink::new("out");
+        let config = MicroBatchConfig::default();
+        // One injected crash between the sink write and the commit-log
+        // write; the restart's recovery re-runs the epoch (the sink's
+        // idempotence absorbs the duplicate).
+        config.faults.configure(
+            failpoints::AFTER_SINK_WRITE,
+            FaultTrigger::Once { skip: 0 },
+            FaultMode::Error,
+        );
+        let eng = engine(
+            src.clone(),
+            sink.clone(),
+            Arc::new(MemoryBackend::new()),
+            config,
+        );
+        src.advance(4);
+        let query = StreamingQuery::start_supervised(
+            eng,
+            TriggerPolicy::ProcessingTime(Duration::from_millis(1)),
+            fast_policy(3),
+        );
+        assert!(
+            wait_for(|| sink.snapshot() == vec![row!["CA", 2i64], row!["US", 2i64]]),
+            "query never produced output after the injected crash; exception={:?}",
+            query.exception()
+        );
+        assert_eq!(query.restarts(), 1);
+        assert!(query.exception().is_none());
+        // The restart count rides on subsequent progress records.
+        src.advance(2);
+        assert!(wait_for(|| {
+            query.last_progress().map(|p| p.restarts) == Some(1) && sink.snapshot().len() == 2
+        }));
+        query.stop().unwrap();
+    }
+
+    #[test]
+    fn supervisor_terminates_with_preserved_exception_once_exhausted() {
+        let src = gen_source();
+        let sink = MemorySink::new("out");
+        let config = MicroBatchConfig::default();
+        // Fires on every hit — including during each restart's recovery
+        // replay — so every restart attempt fails too.
+        config.faults.configure(
+            failpoints::AFTER_SINK_WRITE,
+            FaultTrigger::EveryNth { n: 1 },
+            FaultMode::Error,
+        );
+        let eng = engine(
+            src.clone(),
+            sink.clone(),
+            Arc::new(MemoryBackend::new()),
+            config,
+        );
+        src.advance(4);
+        let query = StreamingQuery::start_supervised(
+            eng,
+            TriggerPolicy::ProcessingTime(Duration::from_millis(1)),
+            fast_policy(2),
+        );
+        assert!(wait_for(|| query.exception().is_some()));
+        let msg = query.exception().unwrap();
+        assert!(msg.contains("injected failure"), "got: {msg}");
+        assert!(msg.contains("(after 2 restarts)"), "got: {msg}");
+        assert_eq!(query.restarts(), 2);
+        // The terminal error also surfaces through `stop`.
+        assert!(query.stop().is_err());
+    }
+
+    #[test]
+    fn unsupervised_background_query_fails_fast_without_restarts() {
+        let src = gen_source();
+        let sink = MemorySink::new("out");
+        let config = MicroBatchConfig::default();
+        config.faults.configure(
+            failpoints::AFTER_SINK_WRITE,
+            FaultTrigger::EveryNth { n: 1 },
+            FaultMode::Error,
+        );
+        let eng = engine(src.clone(), sink, Arc::new(MemoryBackend::new()), config);
+        src.advance(2);
+        let query = StreamingQuery::start_background(
+            eng,
+            TriggerPolicy::ProcessingTime(Duration::from_millis(1)),
+        );
+        assert!(wait_for(|| query.exception().is_some()));
+        let msg = query.exception().unwrap();
+        assert!(!msg.contains("restarts"), "got: {msg}");
+        assert_eq!(query.restarts(), 0);
+        let _ = query.stop();
+    }
+
+    #[test]
+    fn manager_reports_restart_counts() {
+        let src = gen_source();
+        let sink = MemorySink::new("out");
+        let eng = engine(
+            src,
+            sink,
+            Arc::new(MemoryBackend::new()),
+            MicroBatchConfig::default(),
+        );
+        let manager = StreamingQueryManager::new();
+        manager.add(StreamingQuery::new_sync(eng)).unwrap();
+        assert_eq!(manager.restart_counts(), vec![("q".to_string(), 0)]);
+        manager.stop_all().unwrap();
     }
 }

@@ -14,7 +14,17 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::Mutex;
 
+use ss_common::fault::{FaultMode, FaultRegistry};
 use ss_common::{Result, SsError};
+
+/// Fail-point names fired by the filesystem backend.
+pub mod failpoints {
+    /// Inside [`super::FsBackend::write_atomic`], before the temp file
+    /// is written. [`ss_common::fault::FaultMode::TornWrite`] here writes
+    /// half the bytes to the temp file, skips the rename, and returns an
+    /// interrupted-I/O error — exactly what a crash mid-write leaves.
+    pub const FS_WRITE_ATOMIC: &str = "fs.write_atomic";
+}
 
 /// A durable blob store with atomic whole-object writes.
 pub trait CheckpointBackend: Send + Sync {
@@ -34,17 +44,70 @@ pub trait CheckpointBackend: Send + Sync {
 pub struct FsBackend {
     root: PathBuf,
     tmp_counter: AtomicU64,
+    faults: FaultRegistry,
 }
 
 impl FsBackend {
-    /// Create (and mkdir) a backend rooted at `root`.
+    /// Create (and mkdir) a backend rooted at `root`. Stale temp files
+    /// left by a crash mid-`write_atomic` are swept on open — they were
+    /// never renamed into place, so they hold no durable data.
     pub fn new(root: impl AsRef<Path>) -> Result<FsBackend> {
         let root = root.as_ref().to_path_buf();
         fs::create_dir_all(&root)?;
-        Ok(FsBackend {
+        let backend = FsBackend {
             root,
             tmp_counter: AtomicU64::new(0),
-        })
+            faults: FaultRegistry::new(),
+        };
+        backend.sweep_temp_files()?;
+        Ok(backend)
+    }
+
+    /// Like [`new`](Self::new), with a fail-point registry attached.
+    pub fn with_faults(root: impl AsRef<Path>, faults: FaultRegistry) -> Result<FsBackend> {
+        let mut backend = Self::new(root)?;
+        backend.faults = faults;
+        Ok(backend)
+    }
+
+    /// True if `file_name` is an in-flight temp file from `write_atomic`
+    /// (final extension is exactly `tmp` followed by one or more
+    /// digits). Matching the precise pattern means durable keys that
+    /// merely *contain* ".tmp" (e.g. `a.tmp.json`) are not hidden.
+    fn is_temp_file(file_name: &str) -> bool {
+        match file_name.rsplit_once('.') {
+            Some((_, ext)) => match ext.strip_prefix("tmp") {
+                Some(digits) => !digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit()),
+                None => false,
+            },
+            None => false,
+        }
+    }
+
+    /// Delete every temp file under the root (crash leftovers).
+    fn sweep_temp_files(&self) -> Result<()> {
+        let mut stack = vec![self.root.clone()];
+        while let Some(dir) = stack.pop() {
+            let entries = match fs::read_dir(&dir) {
+                Ok(e) => e,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+                Err(e) => return Err(e.into()),
+            };
+            for entry in entries {
+                let entry = entry?;
+                let path = entry.path();
+                if path.is_dir() {
+                    stack.push(path);
+                } else if path
+                    .file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(Self::is_temp_file)
+                {
+                    fs::remove_file(&path)?;
+                }
+            }
+        }
+        Ok(())
     }
 
     fn path_for(&self, key: &str) -> Result<PathBuf> {
@@ -65,9 +128,22 @@ impl CheckpointBackend for FsBackend {
             fs::create_dir_all(parent)?;
         }
         // Unique temp name: concurrent writers never collide, and a
-        // crash mid-write leaves only a .tmp file that readers ignore.
+        // crash mid-write leaves only a temp file that readers ignore.
         let n = self.tmp_counter.fetch_add(1, Ordering::Relaxed);
         let tmp = path.with_extension(format!("tmp{n}"));
+        match self.faults.check(failpoints::FS_WRITE_ATOMIC) {
+            Some(FaultMode::TornWrite) => {
+                // Crash mid-write: half the bytes land in the temp file,
+                // the rename never happens.
+                fs::write(&tmp, &data[..data.len() / 2])?;
+                return Err(SsError::Io(std::io::Error::new(
+                    std::io::ErrorKind::Interrupted,
+                    format!("injected torn write at {} (key {key})", failpoints::FS_WRITE_ATOMIC),
+                )));
+            }
+            Some(mode) => return Err(FaultRegistry::error_for(failpoints::FS_WRITE_ATOMIC, mode)),
+            None => {}
+        }
         fs::write(&tmp, data)?;
         fs::rename(&tmp, &path)?;
         Ok(())
@@ -98,8 +174,13 @@ impl CheckpointBackend for FsBackend {
                     stack.push(path);
                 } else if let Ok(rel) = path.strip_prefix(&self.root) {
                     let key = rel.to_string_lossy().replace('\\', "/");
-                    // Skip in-flight temp files.
-                    if key.starts_with(prefix) && !key.contains(".tmp") {
+                    // Skip in-flight temp files (exact `tmp{n}` final
+                    // extension — keys merely containing ".tmp" are real).
+                    let is_tmp = path
+                        .file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(Self::is_temp_file);
+                    if key.starts_with(prefix) && !is_tmp {
                         out.push(key);
                     }
                 }
@@ -227,6 +308,92 @@ mod tests {
         }
         let b2 = FsBackend::new(&dir).unwrap();
         assert_eq!(b2.read("x.json").unwrap().unwrap(), b"persist");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn temp_file_pattern_is_exact() {
+        assert!(FsBackend::is_temp_file("chk.tmp0"));
+        assert!(FsBackend::is_temp_file("chk.tmp12345"));
+        // Keys that merely contain ".tmp" are legitimate durable keys.
+        assert!(!FsBackend::is_temp_file("a.tmp.json"));
+        assert!(!FsBackend::is_temp_file("report.tmpl"));
+        assert!(!FsBackend::is_temp_file("b.tmp")); // no counter digits
+        assert!(!FsBackend::is_temp_file("plain"));
+    }
+
+    // Regression: the old filter was `!key.contains(".tmp")`, which hid
+    // legitimate keys like `a.tmp.json` from list().
+    #[test]
+    fn list_does_not_hide_keys_containing_dot_tmp() {
+        let dir = tmpdir("dottmp");
+        let b = FsBackend::new(&dir).unwrap();
+        b.write_atomic("a.tmp.json", b"real data").unwrap();
+        b.write_atomic("b.json", b"more").unwrap();
+        assert_eq!(
+            b.list("").unwrap(),
+            vec!["a.tmp.json".to_string(), "b.json".to_string()]
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_temp_files_are_swept_on_open() {
+        let dir = tmpdir("sweep");
+        {
+            let b = FsBackend::new(&dir).unwrap();
+            b.write_atomic("state/chk.json", b"good").unwrap();
+        }
+        // Simulate a crash mid-write: a temp file next to the real one.
+        fs::write(dir.join("state/chk.tmp7"), b"half-writ").unwrap();
+        let b2 = FsBackend::new(&dir).unwrap();
+        assert!(!dir.join("state/chk.tmp7").exists(), "temp not swept");
+        assert_eq!(b2.read("state/chk.json").unwrap().unwrap(), b"good");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_write_leaves_truncated_temp_and_no_durable_object() {
+        use ss_common::fault::{FaultMode, FaultTrigger};
+
+        let dir = tmpdir("torn");
+        let faults = FaultRegistry::new();
+        let b = FsBackend::with_faults(&dir, faults.clone()).unwrap();
+        faults.configure(
+            failpoints::FS_WRITE_ATOMIC,
+            FaultTrigger::Once { skip: 0 },
+            FaultMode::TornWrite,
+        );
+        let err = b.write_atomic("wal/rec.json", b"0123456789").unwrap_err();
+        assert!(err.is_transient(), "torn write is interrupted I/O: {err:?}");
+        // The object never became durable...
+        assert_eq!(b.read("wal/rec.json").unwrap(), None);
+        assert_eq!(b.list("wal/").unwrap(), Vec::<String>::new());
+        // ...but a truncated temp file is on disk, and reopen sweeps it.
+        assert_eq!(fs::read(dir.join("wal/rec.tmp0")).unwrap(), b"01234");
+        let b2 = FsBackend::new(&dir).unwrap();
+        assert!(!dir.join("wal/rec.tmp0").exists());
+        // Retrying the write after the one-shot fault succeeds.
+        b2.write_atomic("wal/rec.json", b"0123456789").unwrap();
+        assert_eq!(b2.read("wal/rec.json").unwrap().unwrap(), b"0123456789");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn error_mode_fault_fails_write_without_side_effects() {
+        use ss_common::fault::{FaultMode, FaultTrigger};
+
+        let dir = tmpdir("errfault");
+        let faults = FaultRegistry::new();
+        let b = FsBackend::with_faults(&dir, faults.clone()).unwrap();
+        faults.configure(
+            failpoints::FS_WRITE_ATOMIC,
+            FaultTrigger::Once { skip: 0 },
+            FaultMode::Error,
+        );
+        assert!(b.write_atomic("k.json", b"x").is_err());
+        assert_eq!(b.read("k.json").unwrap(), None);
+        b.write_atomic("k.json", b"x").unwrap();
         fs::remove_dir_all(&dir).unwrap();
     }
 }

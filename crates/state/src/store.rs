@@ -21,10 +21,19 @@ use std::time::Instant;
 use rustc_hash::{FxHashMap, FxHashSet};
 use serde::{Deserialize, Serialize};
 
-use ss_common::{MetricsRegistry, Result, Row, SsError};
+use ss_common::fault::FaultRegistry;
+use ss_common::{frame, MetricsRegistry, Result, Row, SsError};
 
 use crate::backend::CheckpointBackend;
 use crate::metrics::StateMetrics;
+
+/// Fail-point names fired by the state store.
+pub mod failpoints {
+    /// Before a checkpoint blob is written to the backend.
+    pub const CHECKPOINT_WRITE: &str = "state.checkpoint.write";
+    /// Before a checkpoint blob is read during restore.
+    pub const CHECKPOINT_LOAD: &str = "state.checkpoint.load";
+}
 
 /// The state attached to one key of one operator.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -170,6 +179,7 @@ pub struct StateStore {
     snapshot_interval: u64,
     checkpoints_taken: u64,
     metrics: Option<Arc<StateMetrics>>,
+    faults: FaultRegistry,
 }
 
 impl StateStore {
@@ -180,7 +190,14 @@ impl StateStore {
             snapshot_interval: 10,
             checkpoints_taken: 0,
             metrics: None,
+            faults: FaultRegistry::new(),
         }
+    }
+
+    /// Attach a fail-point registry; the [`failpoints`] in this module
+    /// fire through it.
+    pub fn set_faults(&mut self, faults: FaultRegistry) {
+        self.faults = faults;
     }
 
     /// Set how often a full snapshot (vs. a delta) is written.
@@ -241,6 +258,22 @@ impl StateStore {
         }
     }
 
+    /// Decode a checkpoint blob: unwrap the CRC frame (blobs written
+    /// before framing existed are read as-is) and parse the JSON.
+    /// Integrity failures map to [`SsError::Corruption`] naming the blob.
+    fn decode_checkpoint(data: &[u8], key: &str) -> Result<CheckpointFile> {
+        let payload;
+        let bytes: &[u8] = if frame::is_framed(data) {
+            payload = frame::decode(data)
+                .map_err(|e| SsError::Corruption(format!("checkpoint {key}: {e}")))?;
+            &payload
+        } else {
+            data
+        };
+        serde_json::from_slice(bytes)
+            .map_err(|e| SsError::Corruption(format!("checkpoint {key}: bad JSON: {e}")))
+    }
+
     /// Checkpoint all operator state, tagged with `epoch`. Writes a
     /// full snapshot every `snapshot_interval` checkpoints (and always
     /// for the first one); deltas otherwise.
@@ -284,10 +317,13 @@ impl StateStore {
             kind: if full { "full" } else { "delta" }.into(),
             ops,
         };
+        self.faults.fire(failpoints::CHECKPOINT_WRITE)?;
         let data = serde_json::to_vec_pretty(&file)
             .map_err(|e| SsError::Serde(format!("checkpoint encode: {e}")))?;
-        self.backend
-            .write_atomic(&Self::key_for(epoch, if full { "full" } else { "delta" }), &data)?;
+        self.backend.write_atomic(
+            &Self::key_for(epoch, if full { "full" } else { "delta" }),
+            &frame::encode(&data),
+        )?;
         for st in self.ops.values_mut() {
             st.clear_tracking();
         }
@@ -345,11 +381,11 @@ impl StateStore {
         // Load base, then apply deltas in order.
         let mut state: BTreeMap<String, FxHashMap<Row, StateEntry>> = BTreeMap::new();
         for (i, (_, _, key)) in chain.iter().enumerate().skip(base_idx) {
+            self.faults.fire(failpoints::CHECKPOINT_LOAD)?;
             let data = self.backend.read(key)?.ok_or_else(|| {
                 SsError::Execution(format!("checkpoint {key} disappeared during restore"))
             })?;
-            let file: CheckpointFile = serde_json::from_slice(&data)
-                .map_err(|e| SsError::Serde(format!("checkpoint decode {key}: {e}")))?;
+            let file = Self::decode_checkpoint(&data, key)?;
             let is_base = i == base_idx;
             for op in file.ops {
                 let map = state.entry(op.op).or_default();
@@ -375,6 +411,40 @@ impl StateStore {
             m.restore_us.observe(started.elapsed().as_micros() as u64);
         }
         Ok(())
+    }
+
+    /// Restore to the newest *restorable* checkpoint at or below `at`.
+    ///
+    /// Candidates are tried newest-first; one whose chain contains a
+    /// corrupt blob is skipped (an older full snapshot may still be
+    /// intact — the WAL replays the missing epochs). Once a restore
+    /// succeeds, all checkpoints newer than the restored epoch are
+    /// deleted so a later delta written against discarded state can
+    /// never corrupt a future restore chain. Returns the restored epoch,
+    /// or `None` if no checkpoint could be restored (recovery starts
+    /// from empty state and recomputes via the WAL).
+    ///
+    /// Non-corruption errors (backend I/O) propagate — they indicate an
+    /// environment failure, not bad data to skip over.
+    pub fn restore_best(&mut self, at: Option<u64>) -> Result<Option<u64>> {
+        let mut candidates: Vec<u64> = self
+            .retained_epochs()?
+            .into_iter()
+            .filter(|&e| at.is_none_or(|a| e <= a))
+            .collect();
+        candidates.reverse();
+        for epoch in candidates {
+            match self.restore(epoch) {
+                Ok(()) => {
+                    self.truncate_after(epoch)?;
+                    return Ok(Some(epoch));
+                }
+                Err(SsError::Corruption(_)) => continue,
+                Err(other) => return Err(other),
+            }
+        }
+        self.clear_memory();
+        Ok(None)
     }
 
     /// Delete all checkpoints after `epoch` (manual rollback, §7.2).
@@ -586,5 +656,101 @@ mod tests {
         let text = String::from_utf8(backend.read(&keys[0]).unwrap().unwrap()).unwrap();
         assert!(text.contains("\"epoch\": 7"));
         assert!(text.contains("ca"));
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_a_corruption_error() {
+        let backend = Arc::new(MemoryBackend::new());
+        let mut s = StateStore::new(backend.clone());
+        s.operator("agg").put(row!["a"], entry(1));
+        s.checkpoint(1).unwrap();
+        let key = StateStore::key_for(1, "full");
+        let mut raw = backend.read(&key).unwrap().unwrap();
+        let last = raw.len() - 1;
+        raw[last] ^= 0x01;
+        backend.write_atomic(&key, &raw).unwrap();
+        let err = s.restore(1).unwrap_err();
+        assert_eq!(err.category(), "corruption");
+        assert!(err.to_string().contains(&key), "{err}");
+    }
+
+    #[test]
+    fn restore_best_skips_corrupt_candidates_and_prunes_newer() {
+        let backend = Arc::new(MemoryBackend::new());
+        let mut s = StateStore::new(backend.clone()).with_snapshot_interval(1);
+        for e in 1..=3u64 {
+            s.operator("agg").put(row![e as i64], entry(e as i64));
+            s.checkpoint(e).unwrap(); // interval 1: all full snapshots
+        }
+        // Corrupt the newest snapshot (torn tail after a crash).
+        let key = StateStore::key_for(3, "full");
+        let mut raw = backend.read(&key).unwrap().unwrap();
+        raw.truncate(raw.len() / 2);
+        backend.write_atomic(&key, &raw).unwrap();
+
+        let restored = s.restore_best(None).unwrap();
+        assert_eq!(restored, Some(2));
+        assert_eq!(s.total_keys(), 2);
+        // The corrupt epoch-3 blob is pruned so it can't shadow future
+        // restores.
+        assert_eq!(s.retained_epochs().unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn restore_best_with_nothing_restorable_starts_empty() {
+        let backend = Arc::new(MemoryBackend::new());
+        let mut s = StateStore::new(backend.clone());
+        s.operator("agg").put(row!["a"], entry(1));
+        assert_eq!(s.restore_best(None).unwrap(), None);
+        assert_eq!(s.total_keys(), 0, "memory cleared for a fresh start");
+
+        // A sole, corrupt checkpoint: also None.
+        s.operator("agg").put(row!["a"], entry(1));
+        s.checkpoint(1).unwrap();
+        backend
+            .write_atomic(&StateStore::key_for(1, "full"), b"garbage")
+            .unwrap();
+        assert_eq!(s.restore_best(None).unwrap(), None);
+    }
+
+    #[test]
+    fn restore_best_respects_the_epoch_bound() {
+        let mut s = store().with_snapshot_interval(1);
+        for e in 1..=3u64 {
+            s.operator("agg").put(row![e as i64], entry(e as i64));
+            s.checkpoint(e).unwrap();
+        }
+        assert_eq!(s.restore_best(Some(2)).unwrap(), Some(2));
+        assert_eq!(s.total_keys(), 2);
+        // Checkpoints above the bound were pruned (they describe state
+        // the engine is about to recompute).
+        assert_eq!(s.retained_epochs().unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn checkpoint_fail_points_fire() {
+        use ss_common::fault::{FaultMode, FaultTrigger};
+        use ss_common::FaultRegistry;
+
+        let faults = FaultRegistry::new();
+        let mut s = store();
+        s.set_faults(faults.clone());
+        s.operator("agg").put(row!["a"], entry(1));
+        faults.configure(
+            failpoints::CHECKPOINT_WRITE,
+            FaultTrigger::Once { skip: 0 },
+            FaultMode::TransientError,
+        );
+        assert!(s.checkpoint(1).unwrap_err().is_transient());
+        s.checkpoint(1).unwrap();
+
+        faults.configure(
+            failpoints::CHECKPOINT_LOAD,
+            FaultTrigger::Once { skip: 0 },
+            FaultMode::Error,
+        );
+        assert!(s.restore(1).is_err());
+        s.restore(1).unwrap();
+        assert_eq!(s.total_keys(), 1);
     }
 }

@@ -27,8 +27,22 @@ use std::time::Instant;
 use serde::{Deserialize, Serialize};
 
 pub use ss_common::offsets::{OffsetRange, PartitionOffsets};
+use ss_common::fault::FaultRegistry;
+use ss_common::frame;
 use ss_common::{Counter, Histogram, MetricsRegistry, Result, SsError};
 use ss_state::CheckpointBackend;
+
+/// Fail-point names fired on the WAL's durability paths.
+pub mod failpoints {
+    /// Before appending a record to the offset log.
+    pub const OFFSETS_APPEND: &str = "wal.offsets.append";
+    /// Before appending a record to the commit log.
+    pub const COMMITS_APPEND: &str = "wal.commits.append";
+    /// Before reading a record from the offset log.
+    pub const OFFSETS_READ: &str = "wal.offsets.read";
+    /// Before reading a record from the commit log.
+    pub const COMMITS_READ: &str = "wal.commits.read";
+}
 
 /// Instrument handles for one [`WriteAheadLog`], registered under the
 /// `ss_wal_*` families with a `log` label distinguishing the offset log
@@ -94,6 +108,7 @@ pub struct EpochCommit {
 pub struct WriteAheadLog {
     backend: Arc<dyn CheckpointBackend>,
     metrics: Option<WalMetrics>,
+    faults: FaultRegistry,
 }
 
 impl WriteAheadLog {
@@ -101,7 +116,14 @@ impl WriteAheadLog {
         WriteAheadLog {
             backend,
             metrics: None,
+            faults: FaultRegistry::new(),
         }
+    }
+
+    /// Attach a fail-point registry; the [`failpoints`] in this module
+    /// fire through it.
+    pub fn set_faults(&mut self, faults: FaultRegistry) {
+        self.faults = faults;
     }
 
     /// Register `ss_wal_*` metrics on `registry` and start recording
@@ -126,6 +148,28 @@ impl WriteAheadLog {
             .ok()
     }
 
+    /// Decode one durable record: unwrap the CRC frame (files written
+    /// before framing existed are read as-is) and parse the JSON payload.
+    /// Every failure maps to [`SsError::Corruption`] naming the record.
+    fn decode_record<T: Deserialize>(
+        data: &[u8],
+        what: &str,
+        epoch: u64,
+    ) -> Result<T> {
+        let payload;
+        let bytes: &[u8] = if frame::is_framed(data) {
+            payload = frame::decode(data).map_err(|e| {
+                SsError::Corruption(format!("{what} record for epoch {epoch}: {e}"))
+            })?;
+            &payload
+        } else {
+            data
+        };
+        serde_json::from_slice(bytes).map_err(|e| {
+            SsError::Corruption(format!("{what} record for epoch {epoch}: bad JSON: {e}"))
+        })
+    }
+
     // ---- offset log ----
 
     /// Durably record the offsets for an epoch, *before* executing it.
@@ -142,11 +186,12 @@ impl WriteAheadLog {
             }
             return Ok(());
         }
+        self.faults.fire(failpoints::OFFSETS_APPEND)?;
         let data = serde_json::to_vec_pretty(offsets)
             .map_err(|e| SsError::Serde(format!("offset encode: {e}")))?;
         let started = Instant::now();
         self.backend
-            .write_atomic(&Self::offsets_key(offsets.epoch), &data)?;
+            .write_atomic(&Self::offsets_key(offsets.epoch), &frame::encode(&data))?;
         if let Some(m) = &self.metrics {
             m.offsets.appends.inc();
             m.offsets.append_us.observe(started.elapsed().as_micros() as u64);
@@ -157,14 +202,13 @@ impl WriteAheadLog {
     fn read_offsets_inner(&self, epoch: u64) -> Result<Option<EpochOffsets>> {
         match self.backend.read(&Self::offsets_key(epoch))? {
             None => Ok(None),
-            Some(data) => serde_json::from_slice(&data)
-                .map(Some)
-                .map_err(|e| SsError::Serde(format!("offset decode epoch {epoch}: {e}"))),
+            Some(data) => Self::decode_record(&data, "offset", epoch).map(Some),
         }
     }
 
     /// Read one epoch's offsets.
     pub fn read_offsets(&self, epoch: u64) -> Result<Option<EpochOffsets>> {
+        self.faults.fire(failpoints::OFFSETS_READ)?;
         let started = Instant::now();
         let out = self.read_offsets_inner(epoch)?;
         if let Some(m) = &self.metrics {
@@ -197,11 +241,12 @@ impl WriteAheadLog {
 
     /// Record that an epoch's output is durably in the sink.
     pub fn write_commit(&self, commit: &EpochCommit) -> Result<()> {
+        self.faults.fire(failpoints::COMMITS_APPEND)?;
         let data = serde_json::to_vec_pretty(commit)
             .map_err(|e| SsError::Serde(format!("commit encode: {e}")))?;
         let started = Instant::now();
         self.backend
-            .write_atomic(&Self::commit_key(commit.epoch), &data)?;
+            .write_atomic(&Self::commit_key(commit.epoch), &frame::encode(&data))?;
         if let Some(m) = &self.metrics {
             m.commits.appends.inc();
             m.commits.append_us.observe(started.elapsed().as_micros() as u64);
@@ -211,12 +256,11 @@ impl WriteAheadLog {
 
     /// Read one epoch's commit record.
     pub fn read_commit(&self, epoch: u64) -> Result<Option<EpochCommit>> {
+        self.faults.fire(failpoints::COMMITS_READ)?;
         let started = Instant::now();
         let out: Option<EpochCommit> = match self.backend.read(&Self::commit_key(epoch))? {
             None => None,
-            Some(data) => serde_json::from_slice(&data)
-                .map(Some)
-                .map_err(|e| SsError::Serde(format!("commit decode epoch {epoch}: {e}")))?,
+            Some(data) => Self::decode_record(&data, "commit", epoch).map(Some)?,
         };
         if let Some(m) = &self.metrics {
             if out.is_some() {
@@ -267,6 +311,88 @@ impl WriteAheadLog {
         })
     }
 
+    /// Scan both logs for torn or corrupt records and repair what is
+    /// safely repairable (§6.1 recovery, hardened):
+    ///
+    /// * a bad **commit** record *newer* than every valid commit is a
+    ///   torn tail — the commit never became durable, so the record is
+    ///   deleted and the epoch re-runs as uncommitted;
+    /// * a bad **offset** record for an epoch *past* the last valid
+    ///   commit is likewise uncommitted work — it is deleted **along
+    ///   with every later offset record**, because epoch `e + 1`'s start
+    ///   offsets encode epoch `e`'s end (prefix consistency);
+    /// * a bad record *inside committed history* means output the sink
+    ///   already holds can no longer be reproduced — that fails loudly
+    ///   with [`SsError::Corruption`] naming the record, never silently.
+    ///
+    /// Call before [`recovery_point`](Self::recovery_point) on every
+    /// (re)start.
+    pub fn verify_and_repair(&self) -> Result<WalRepair> {
+        // Pass 1: classify every commit record.
+        let mut valid_commits: Vec<u64> = Vec::new();
+        let mut bad_commits: Vec<(u64, String, SsError)> = Vec::new();
+        for key in self.backend.list("wal/commits/")? {
+            let Some(epoch) = Self::parse_epoch(&key) else {
+                continue;
+            };
+            let data = self.backend.read(&key)?.unwrap_or_default();
+            match Self::decode_record::<EpochCommit>(&data, "commit", epoch) {
+                Ok(_) => valid_commits.push(epoch),
+                Err(e) => bad_commits.push((epoch, key, e)),
+            }
+        }
+        let last_valid_commit = valid_commits.iter().max().copied();
+        let mut repair = WalRepair::default();
+        for (epoch, key, err) in bad_commits {
+            if last_valid_commit.is_some_and(|c| epoch < c) {
+                // A later commit is intact, so this record was durably
+                // committed once: committed history is corrupt.
+                return Err(SsError::Corruption(format!(
+                    "committed WAL record is corrupt ({err}); epoch {epoch} precedes \
+                     valid commit {}",
+                    last_valid_commit.unwrap()
+                )));
+            }
+            // Torn tail: the commit never fully landed. Uncommitted.
+            self.backend.delete(&key)?;
+            repair.dropped_commits.push(epoch);
+        }
+
+        // Pass 2: classify offset records against the valid commit line.
+        let mut bad_offsets: Vec<u64> = Vec::new();
+        let mut offset_keys: BTreeMap<u64, String> = BTreeMap::new();
+        for key in self.backend.list("wal/offsets/")? {
+            let Some(epoch) = Self::parse_epoch(&key) else {
+                continue;
+            };
+            let data = self.backend.read(&key)?.unwrap_or_default();
+            if let Err(err) = Self::decode_record::<EpochOffsets>(&data, "offset", epoch) {
+                if last_valid_commit.is_some_and(|c| epoch <= c) {
+                    // §6.1 step 4 must be able to replay every committed
+                    // epoch with its logged offsets.
+                    return Err(SsError::Corruption(format!(
+                        "committed WAL record is corrupt ({err}); epoch {epoch} is within \
+                         committed history (last commit {})",
+                        last_valid_commit.unwrap()
+                    )));
+                }
+                bad_offsets.push(epoch);
+            }
+            offset_keys.insert(epoch, key);
+        }
+        if let Some(&first_bad) = bad_offsets.iter().min() {
+            // Drop the bad record and everything after it: later epochs'
+            // start offsets chain off the bad epoch's end offsets.
+            for (&epoch, key) in offset_keys.range(first_bad..) {
+                self.backend.delete(key)?;
+                repair.dropped_offsets.push(epoch);
+            }
+        }
+        repair.dropped_commits.sort_unstable();
+        repair.dropped_offsets.sort_unstable();
+        Ok(repair)
+    }
+
     /// Truncate both logs after `epoch` (manual rollback, §7.2). The
     /// next run will redefine epochs from `epoch + 1`.
     pub fn truncate_after(&self, epoch: u64) -> Result<()> {
@@ -278,6 +404,24 @@ impl WriteAheadLog {
             }
         }
         Ok(())
+    }
+}
+
+/// What [`WriteAheadLog::verify_and_repair`] deleted.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WalRepair {
+    /// Epochs whose offset record was torn/corrupt (or chained after
+    /// one) and removed; they will be redefined from live source data.
+    pub dropped_offsets: Vec<u64>,
+    /// Epochs whose commit record was a torn tail and removed; they
+    /// re-execute as uncommitted epochs.
+    pub dropped_commits: Vec<u64>,
+}
+
+impl WalRepair {
+    /// True if nothing had to be repaired.
+    pub fn is_clean(&self) -> bool {
+        self.dropped_offsets.is_empty() && self.dropped_commits.is_empty()
     }
 }
 
@@ -450,5 +594,213 @@ mod tests {
         let text = String::from_utf8(backend.read(&keys[0]).unwrap().unwrap()).unwrap();
         assert!(text.contains("\"epoch\": 3"));
         assert!(text.contains("kafka"));
+    }
+
+    #[test]
+    fn records_are_crc_framed_and_legacy_files_still_read() {
+        let backend = Arc::new(MemoryBackend::new());
+        let w = WriteAheadLog::new(backend.clone());
+        w.write_offsets(&offsets(1, 10)).unwrap();
+        let raw = backend
+            .read(&WriteAheadLog::offsets_key(1))
+            .unwrap()
+            .unwrap();
+        assert!(ss_common::frame::is_framed(&raw));
+        // A pre-framing (raw JSON) file written by an older build parses too.
+        let legacy = serde_json::to_vec_pretty(&offsets(2, 20)).unwrap();
+        backend
+            .write_atomic(&WriteAheadLog::offsets_key(2), &legacy)
+            .unwrap();
+        assert_eq!(w.read_offsets(2).unwrap(), Some(offsets(2, 20)));
+    }
+
+    fn commit(epoch: u64) -> EpochCommit {
+        EpochCommit {
+            epoch,
+            rows_written: 1,
+            committed_at_us: 0,
+        }
+    }
+
+    #[test]
+    fn fail_points_fire_on_append_and_read() {
+        use ss_common::fault::{FaultMode, FaultTrigger};
+
+        let mut w = wal();
+        let faults = ss_common::FaultRegistry::new();
+        w.set_faults(faults.clone());
+        faults.configure(
+            failpoints::COMMITS_APPEND,
+            FaultTrigger::Once { skip: 0 },
+            FaultMode::Error,
+        );
+        w.write_offsets(&offsets(1, 10)).unwrap();
+        let err = w.write_commit(&commit(1)).unwrap_err();
+        assert!(err.to_string().contains("injected failure"), "{err}");
+        // Nothing was committed; retry after the one-shot fault succeeds.
+        assert!(!w.is_committed(1).unwrap());
+        w.write_commit(&commit(1)).unwrap();
+        assert!(w.is_committed(1).unwrap());
+
+        faults.configure(
+            failpoints::OFFSETS_READ,
+            FaultTrigger::Once { skip: 0 },
+            FaultMode::TransientError,
+        );
+        assert!(w.read_offsets(1).unwrap_err().is_transient());
+        assert!(w.read_offsets(1).unwrap().is_some());
+    }
+
+    #[test]
+    fn verify_and_repair_is_a_noop_on_a_clean_log() {
+        let w = wal();
+        w.write_offsets(&offsets(1, 10)).unwrap();
+        w.write_commit(&commit(1)).unwrap();
+        let repair = w.verify_and_repair().unwrap();
+        assert!(repair.is_clean());
+        assert_eq!(w.recovery_point().unwrap().last_committed, Some(1));
+    }
+
+    #[test]
+    fn torn_commit_tail_is_dropped_and_epoch_reruns_as_uncommitted() {
+        let backend = Arc::new(MemoryBackend::new());
+        let w = WriteAheadLog::new(backend.clone());
+        w.write_offsets(&offsets(1, 10)).unwrap();
+        w.write_commit(&commit(1)).unwrap();
+        w.write_offsets(&offsets(2, 20)).unwrap();
+        w.write_commit(&commit(2)).unwrap();
+        // Tear the newest commit record (crash mid-append).
+        let key = WriteAheadLog::commit_key(2);
+        let mut raw = backend.read(&key).unwrap().unwrap();
+        raw.truncate(raw.len() / 2);
+        backend.write_atomic(&key, &raw).unwrap();
+
+        let repair = w.verify_and_repair().unwrap();
+        assert_eq!(repair.dropped_commits, vec![2]);
+        assert_eq!(repair.dropped_offsets, Vec::<u64>::new());
+        let rp = w.recovery_point().unwrap();
+        assert_eq!(rp.last_committed, Some(1));
+        assert_eq!(rp.uncommitted_epochs, vec![2]);
+    }
+
+    #[test]
+    fn torn_offset_tail_drops_the_epoch_and_all_later_offsets() {
+        let backend = Arc::new(MemoryBackend::new());
+        let w = WriteAheadLog::new(backend.clone());
+        w.write_offsets(&offsets(1, 10)).unwrap();
+        w.write_commit(&commit(1)).unwrap();
+        w.write_offsets(&offsets(2, 20)).unwrap();
+        w.write_offsets(&offsets(3, 30)).unwrap();
+        // Corrupt epoch 2's offsets: epoch 3's start offsets chain off
+        // epoch 2's end, so 3 must go as well.
+        backend
+            .write_atomic(&WriteAheadLog::offsets_key(2), b"ss-frame-v1 garbage")
+            .unwrap();
+        let repair = w.verify_and_repair().unwrap();
+        assert_eq!(repair.dropped_offsets, vec![2, 3]);
+        let rp = w.recovery_point().unwrap();
+        assert_eq!(rp.last_committed, Some(1));
+        assert_eq!(rp.uncommitted_epochs, Vec::<u64>::new());
+    }
+
+    #[test]
+    fn corrupt_committed_record_fails_loudly() {
+        let backend = Arc::new(MemoryBackend::new());
+        let w = WriteAheadLog::new(backend.clone());
+        for e in 1..=3 {
+            w.write_offsets(&offsets(e, e * 10)).unwrap();
+            w.write_commit(&commit(e)).unwrap();
+        }
+        // Flip a byte inside committed history (offset record of epoch 2).
+        let key = WriteAheadLog::offsets_key(2);
+        let mut raw = backend.read(&key).unwrap().unwrap();
+        let last = raw.len() - 1;
+        raw[last] ^= 0x01;
+        backend.write_atomic(&key, &raw).unwrap();
+
+        let err = w.verify_and_repair().unwrap_err();
+        assert_eq!(err.category(), "corruption");
+        assert!(
+            err.to_string().contains("committed WAL record is corrupt"),
+            "{err}"
+        );
+        assert!(err.to_string().contains("epoch 2"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_commit_inside_committed_history_fails_loudly() {
+        let backend = Arc::new(MemoryBackend::new());
+        let w = WriteAheadLog::new(backend.clone());
+        for e in 1..=3 {
+            w.write_offsets(&offsets(e, e * 10)).unwrap();
+            w.write_commit(&commit(e)).unwrap();
+        }
+        backend
+            .write_atomic(&WriteAheadLog::commit_key(1), b"garbage")
+            .unwrap();
+        let err = w.verify_and_repair().unwrap_err();
+        assert_eq!(err.category(), "corruption");
+    }
+
+    // Satellite: truncate_after + recovery_point under injected append
+    // failures — epoch lands in the offset log but the commit append
+    // dies mid-frame.
+    #[test]
+    fn injected_commit_append_failure_then_truncate_after_recovers_cleanly() {
+        use ss_common::fault::{FaultMode, FaultTrigger};
+
+        let backend = Arc::new(MemoryBackend::new());
+        let mut w = WriteAheadLog::new(backend.clone());
+        let faults = ss_common::FaultRegistry::new();
+        w.set_faults(faults.clone());
+
+        w.write_offsets(&offsets(1, 10)).unwrap();
+        w.write_commit(&commit(1)).unwrap();
+        // Epoch 2: offsets land, commit append fails (before any bytes).
+        w.write_offsets(&offsets(2, 20)).unwrap();
+        faults.configure(
+            failpoints::COMMITS_APPEND,
+            FaultTrigger::Once { skip: 0 },
+            FaultMode::Error,
+        );
+        assert!(w.write_commit(&commit(2)).is_err());
+        let rp = w.recovery_point().unwrap();
+        assert_eq!(rp.last_committed, Some(1));
+        assert_eq!(rp.uncommitted_epochs, vec![2]);
+
+        // Operator rolls back to epoch 1: the dangling offset record is
+        // discarded and the logs agree again.
+        w.truncate_after(1).unwrap();
+        let rp = w.recovery_point().unwrap();
+        assert_eq!(rp.last_committed, Some(1));
+        assert_eq!(rp.uncommitted_epochs, Vec::<u64>::new());
+        assert_eq!(w.offset_epochs().unwrap(), vec![1]);
+    }
+
+    #[test]
+    fn mid_frame_commit_tear_then_repair_then_truncate_after() {
+        let backend = Arc::new(MemoryBackend::new());
+        let w = WriteAheadLog::new(backend.clone());
+        for e in 1..=2 {
+            w.write_offsets(&offsets(e, e * 10)).unwrap();
+        }
+        w.write_commit(&commit(1)).unwrap();
+        // Simulate the commit append for epoch 2 dying mid-frame: only
+        // the first half of the framed record reaches the backend.
+        let framed = ss_common::frame::encode(&serde_json::to_vec_pretty(&commit(2)).unwrap());
+        backend
+            .write_atomic(&WriteAheadLog::commit_key(2), &framed[..framed.len() / 2])
+            .unwrap();
+        // Before repair, recovery_point would count epoch 2 as committed
+        // (the key exists); verify_and_repair removes the torn record.
+        let repair = w.verify_and_repair().unwrap();
+        assert_eq!(repair.dropped_commits, vec![2]);
+        let rp = w.recovery_point().unwrap();
+        assert_eq!(rp.last_committed, Some(1));
+        assert_eq!(rp.uncommitted_epochs, vec![2]);
+        // truncate_after(0) rolls everything back; both logs empty.
+        w.truncate_after(0).unwrap();
+        assert_eq!(w.recovery_point().unwrap().last_committed, None);
+        assert_eq!(w.offset_epochs().unwrap(), Vec::<u64>::new());
     }
 }

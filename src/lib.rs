@@ -105,7 +105,8 @@ pub mod prelude {
         MemorySink, MessageBus, Sink, Source,
     };
     pub use ss_common::{
-        row, DataType, Field, RecordBatch, Row, Schema, SchemaRef, SsError, Value,
+        row, DataType, FaultMode, FaultRegistry, FaultTrigger, Field, RecordBatch, RetryPolicy,
+        Row, Schema, SchemaRef, SsError, Value,
     };
     pub use ss_core::prelude::*;
     pub use ss_plan::stateful::StateTimeout;

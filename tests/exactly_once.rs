@@ -12,7 +12,8 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use ss_core::microbatch::{EpochRun, FailurePoint, MicroBatchConfig, MicroBatchExecution};
+use ss_common::fault::{FaultMode, FaultTrigger};
+use ss_core::microbatch::{failpoints, EpochRun, MicroBatchConfig, MicroBatchExecution};
 use ss_exec::MemoryCatalog;
 use structured_streaming::prelude::*;
 
@@ -49,7 +50,7 @@ fn try_engine(
     sink: Arc<MemorySink>,
     backend: Arc<MemoryBackend>,
     mode: OutputMode,
-    failure: Option<FailurePoint>,
+    failure: Option<&str>,
 ) -> Result<MicroBatchExecution, SsError> {
     let ctx = StreamingContext::new();
     ctx.read_source(Arc::new(BusSource::new(bus, "in", schema()).unwrap()))
@@ -59,6 +60,18 @@ fn try_engine(
     for (name, s) in ctx.sources_snapshot() {
         sources.insert(name, s);
     }
+    let config = MicroBatchConfig {
+        max_records_per_trigger: Some(10),
+        adaptive_batching: false,
+        ..Default::default()
+    };
+    if let Some(point) = failure {
+        // Fire on every hit, matching the always-on injection the old
+        // hard-coded failure points had.
+        config
+            .faults
+            .configure(point, FaultTrigger::EveryNth { n: 1 }, FaultMode::Error);
+    }
     MicroBatchExecution::new(
         "q",
         &plan,
@@ -67,12 +80,7 @@ fn try_engine(
         sink,
         mode,
         backend,
-        MicroBatchConfig {
-            max_records_per_trigger: Some(10),
-            adaptive_batching: false,
-            failure_point: failure,
-            ..Default::default()
-        },
+        config,
     )
 }
 
@@ -81,7 +89,7 @@ fn engine(
     sink: Arc<MemorySink>,
     backend: Arc<MemoryBackend>,
     mode: OutputMode,
-    failure: Option<FailurePoint>,
+    failure: Option<&str>,
 ) -> MicroBatchExecution {
     try_engine(bus, sink, backend, mode, failure).unwrap()
 }
@@ -99,7 +107,7 @@ fn reference(mode: OutputMode) -> Vec<Row> {
     sink.snapshot()
 }
 
-fn crash_and_recover(mode: OutputMode, failure: FailurePoint) -> Vec<Row> {
+fn crash_and_recover(mode: OutputMode, failure: &str) -> Vec<Row> {
     let bus = Arc::new(MessageBus::new());
     bus.create_topic("in", 2).unwrap();
     let backend = Arc::new(MemoryBackend::new());
@@ -128,7 +136,7 @@ fn crash_after_offset_write_complete_mode() {
     // Only the FIRST epoch can fail AfterOffsetWrite (injection fires
     // every epoch), so the whole stream processes after recovery.
     for mode in [OutputMode::Complete, OutputMode::Update] {
-        let got = crash_and_recover(mode, FailurePoint::AfterOffsetWrite);
+        let got = crash_and_recover(mode, failpoints::AFTER_OFFSET_WRITE);
         assert_eq!(got, reference(mode), "{mode}");
     }
 }
@@ -136,7 +144,7 @@ fn crash_after_offset_write_complete_mode() {
 #[test]
 fn crash_after_sink_write_is_not_duplicated() {
     for mode in [OutputMode::Complete, OutputMode::Update] {
-        let got = crash_and_recover(mode, FailurePoint::AfterSinkWrite);
+        let got = crash_and_recover(mode, failpoints::AFTER_SINK_WRITE);
         assert_eq!(got, reference(mode), "{mode}");
     }
 }
@@ -144,7 +152,7 @@ fn crash_after_sink_write_is_not_duplicated() {
 #[test]
 fn crash_after_commit_write_before_checkpoint() {
     for mode in [OutputMode::Complete, OutputMode::Update] {
-        let got = crash_and_recover(mode, FailurePoint::AfterCommitWrite);
+        let got = crash_and_recover(mode, failpoints::AFTER_COMMIT_WRITE);
         assert_eq!(got, reference(mode), "{mode}");
     }
 }
@@ -158,9 +166,9 @@ fn repeated_crashes_still_converge() {
     let sink = MemorySink::new("out");
     feed(&bus, 40, 0);
     for failure in [
-        FailurePoint::AfterOffsetWrite,
-        FailurePoint::AfterSinkWrite,
-        FailurePoint::AfterCommitWrite,
+        failpoints::AFTER_OFFSET_WRITE,
+        failpoints::AFTER_SINK_WRITE,
+        failpoints::AFTER_COMMIT_WRITE,
     ] {
         // The injection may already fire while *recovering* the epoch
         // the previous incarnation left in flight — a crash during
