@@ -7,14 +7,69 @@
 //! limits are simulated with [`MessageBus::truncate_before`]: reading
 //! past truncated data fails, exactly the "input sources no longer have
 //! the data" failure mode §7.2 mentions for rollbacks.
+//!
+//! ## Bounded topics and producer-side backpressure
+//!
+//! An unbounded topic turns a slow consumer into unbounded memory
+//! growth. Topics created with [`TopicConfig::capacity`] bound the
+//! retained records per partition, and the producer-side
+//! [`OverflowPolicy`] decides what an append into a full partition
+//! does: [`OverflowPolicy::Block`] parks the producer until retention
+//! trimming frees space (pressure propagates upstream, with a timeout
+//! so a wedged consumer surfaces as [`SsError::ResourceExhausted`]),
+//! [`OverflowPolicy::DropOldest`] sheds the oldest retained records
+//! (counted in [`MessageBus::shed_records`]), and
+//! [`OverflowPolicy::Reject`] refuses the append outright.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar};
+use std::time::{Duration, Instant};
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use ss_common::time::now_us;
 use ss_common::{PartitionOffsets, Result, Row, SsError};
+
+/// What a producer append does when a bounded partition is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverflowPolicy {
+    /// Park the producer until retention trimming frees space, up to
+    /// `timeout_us`; a timeout surfaces as
+    /// [`SsError::ResourceExhausted`]. Records are admitted one at a
+    /// time as space frees, so a timed-out append may have appended a
+    /// prefix of the batch (offsets remain dense and ordered).
+    Block { timeout_us: u64 },
+    /// Shed the oldest retained records to make room, advancing the
+    /// retention horizon. Sheds are counted per topic
+    /// ([`MessageBus::shed_records`]).
+    DropOldest,
+    /// Refuse the whole batch (nothing is appended) with
+    /// [`SsError::ResourceExhausted`].
+    Reject,
+}
+
+/// Configuration for a bounded topic ([`MessageBus::create_topic_with`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TopicConfig {
+    /// Number of partitions (must be ≥ 1).
+    pub partitions: u32,
+    /// Maximum retained records *per partition*; `None` is unbounded
+    /// (the [`MessageBus::create_topic`] behavior).
+    pub capacity: Option<usize>,
+    /// Producer-side behavior when a partition is at capacity.
+    pub overflow: OverflowPolicy,
+}
+
+impl Default for TopicConfig {
+    fn default() -> TopicConfig {
+        TopicConfig {
+            partitions: 1,
+            capacity: None,
+            overflow: OverflowPolicy::Reject,
+        }
+    }
+}
 
 /// One message in a partition.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,9 +96,23 @@ impl Partition {
     }
 }
 
+/// A partition plus the condition variable [`OverflowPolicy::Block`]
+/// producers wait on until [`MessageBus::truncate_before`] frees space.
+/// (The vendored `parking_lot` shim's `MutexGuard` is `std`'s, so the
+/// `std` condvar pairs with it directly.)
+#[derive(Debug, Default)]
+struct PartitionSlot {
+    state: Mutex<Partition>,
+    space_freed: Condvar,
+}
+
 #[derive(Debug)]
 struct Topic {
-    partitions: Vec<RwLock<Partition>>,
+    partitions: Vec<PartitionSlot>,
+    capacity: Option<usize>,
+    overflow: OverflowPolicy,
+    /// Records shed by [`OverflowPolicy::DropOldest`] since creation.
+    shed: AtomicU64,
 }
 
 /// A thread-safe, in-process, partitioned message bus.
@@ -57,11 +126,26 @@ impl MessageBus {
         MessageBus::default()
     }
 
-    /// Create a topic with `partitions` partitions. Errors if it
-    /// already exists.
+    /// Create an unbounded topic with `partitions` partitions. Errors
+    /// if it already exists.
     pub fn create_topic(&self, name: &str, partitions: u32) -> Result<()> {
-        if partitions == 0 {
+        self.create_topic_with(
+            name,
+            TopicConfig {
+                partitions,
+                ..TopicConfig::default()
+            },
+        )
+    }
+
+    /// Create a topic with an explicit [`TopicConfig`] — the way to get
+    /// a *bounded* topic whose producers feel backpressure.
+    pub fn create_topic_with(&self, name: &str, config: TopicConfig) -> Result<()> {
+        if config.partitions == 0 {
             return Err(SsError::Plan("topics need at least one partition".into()));
+        }
+        if config.capacity == Some(0) {
+            return Err(SsError::Plan("topic capacity must be at least 1".into()));
         }
         let mut topics = self.topics.write();
         if topics.contains_key(name) {
@@ -70,7 +154,10 @@ impl MessageBus {
         topics.insert(
             name.to_string(),
             Arc::new(Topic {
-                partitions: (0..partitions).map(|_| RwLock::new(Partition::default())).collect(),
+                partitions: (0..config.partitions).map(|_| PartitionSlot::default()).collect(),
+                capacity: config.capacity,
+                overflow: config.overflow,
+                shed: AtomicU64::new(0),
             }),
         );
         Ok(())
@@ -103,12 +190,57 @@ impl MessageBus {
         rows: impl IntoIterator<Item = Row>,
     ) -> Result<u64> {
         let t = self.topic(topic)?;
-        let part = t
+        let slot = t
             .partitions
             .get(partition as usize)
             .ok_or_else(|| SsError::Plan(format!("topic `{topic}` has no partition {partition}")))?;
-        let mut p = part.write();
+        // Materialize so the batch size is known before the capacity
+        // check (`Reject` refuses atomically, nothing half-appended).
+        let rows: Vec<Row> = rows.into_iter().collect();
+        let mut p = slot.state.lock();
         let first = p.next_offset();
+        match (t.capacity, t.overflow) {
+            (Some(cap), OverflowPolicy::Reject) if p.records.len() + rows.len() > cap => {
+                return Err(SsError::ResourceExhausted(format!(
+                    "topic `{topic}`/{partition} is full ({} of {cap} records retained; \
+                     batch of {} rejected)",
+                    p.records.len(),
+                    rows.len()
+                )));
+            }
+            (Some(cap), OverflowPolicy::Block { timeout_us }) => {
+                let deadline = Instant::now() + Duration::from_micros(timeout_us);
+                // Offsets are recomputed per push (and the first one
+                // re-captured): another producer may append while this
+                // one waits with the lock released.
+                let mut first_appended = None;
+                for row in rows {
+                    while p.records.len() >= cap {
+                        let remaining = deadline.saturating_duration_since(Instant::now());
+                        if remaining.is_zero() {
+                            return Err(SsError::ResourceExhausted(format!(
+                                "append to `{topic}`/{partition} blocked for {timeout_us}µs \
+                                 waiting for capacity {cap} to free (consumer stalled?)"
+                            )));
+                        }
+                        let (guard, _) = slot
+                            .space_freed
+                            .wait_timeout(p, remaining)
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        p = guard;
+                    }
+                    let offset = p.next_offset();
+                    first_appended.get_or_insert(offset);
+                    p.records.push(Record {
+                        offset,
+                        ingest_time_us,
+                        row,
+                    });
+                }
+                return Ok(first_appended.unwrap_or(first));
+            }
+            _ => {}
+        }
         for (offset, row) in (first..).zip(rows) {
             p.records.push(Record {
                 offset,
@@ -116,7 +248,21 @@ impl MessageBus {
                 row,
             });
         }
+        if let (Some(cap), OverflowPolicy::DropOldest) = (t.capacity, t.overflow) {
+            if p.records.len() > cap {
+                let shed = p.records.len() - cap;
+                p.records.drain(..shed);
+                p.base_offset += shed as u64;
+                t.shed.fetch_add(shed as u64, Ordering::Relaxed);
+            }
+        }
         Ok(first)
+    }
+
+    /// Records shed by [`OverflowPolicy::DropOldest`] appends since the
+    /// topic was created. Always 0 for unbounded or non-shedding topics.
+    pub fn shed_records(&self, topic: &str) -> Result<u64> {
+        Ok(self.topic(topic)?.shed.load(Ordering::Relaxed))
     }
 
     /// Append rows stamped with the current wall clock.
@@ -140,11 +286,11 @@ impl MessageBus {
         max: usize,
     ) -> Result<Vec<Record>> {
         let t = self.topic(topic)?;
-        let part = t
+        let slot = t
             .partitions
             .get(partition as usize)
             .ok_or_else(|| SsError::Plan(format!("topic `{topic}` has no partition {partition}")))?;
-        let p = part.read();
+        let p = slot.state.lock();
         if from_offset < p.base_offset {
             return Err(SsError::Execution(format!(
                 "offset {from_offset} of {topic}/{partition} is below the retention \
@@ -172,11 +318,11 @@ impl MessageBus {
         f: &mut dyn FnMut(&Record),
     ) -> Result<usize> {
         let t = self.topic(topic)?;
-        let part = t
+        let slot = t
             .partitions
             .get(partition as usize)
             .ok_or_else(|| SsError::Plan(format!("topic `{topic}` has no partition {partition}")))?;
-        let p = part.read();
+        let p = slot.state.lock();
         if from_offset < p.base_offset {
             return Err(SsError::Execution(format!(
                 "offset {from_offset} of {topic}/{partition} is below the retention \
@@ -218,7 +364,7 @@ impl MessageBus {
         Ok(t.partitions
             .iter()
             .enumerate()
-            .map(|(i, p)| (i as u32, p.read().next_offset()))
+            .map(|(i, p)| (i as u32, p.state.lock().next_offset()))
             .collect())
     }
 
@@ -228,7 +374,7 @@ impl MessageBus {
         Ok(t.partitions
             .iter()
             .enumerate()
-            .map(|(i, p)| (i as u32, p.read().base_offset))
+            .map(|(i, p)| (i as u32, p.state.lock().base_offset))
             .collect())
     }
 
@@ -237,24 +383,27 @@ impl MessageBus {
         let t = self.topic(topic)?;
         Ok(t.partitions
             .iter()
-            .map(|p| p.read().records.len() as u64)
+            .map(|p| p.state.lock().records.len() as u64)
             .sum())
     }
 
     /// Simulate retention: drop records below `offset` in a partition.
+    /// Frees capacity in bounded topics, waking blocked producers.
     pub fn truncate_before(&self, topic: &str, partition: u32, offset: u64) -> Result<()> {
         let t = self.topic(topic)?;
-        let part = t
+        let slot = t
             .partitions
             .get(partition as usize)
             .ok_or_else(|| SsError::Plan(format!("topic `{topic}` has no partition {partition}")))?;
-        let mut p = part.write();
+        let mut p = slot.state.lock();
         if offset <= p.base_offset {
             return Ok(());
         }
         let cut = ((offset - p.base_offset) as usize).min(p.records.len());
         p.records.drain(..cut);
         p.base_offset = offset;
+        drop(p);
+        slot.space_freed.notify_all();
         Ok(())
     }
 }
@@ -337,6 +486,98 @@ mod tests {
         // Truncating backwards is a no-op.
         b.truncate_before("events", 0, 1).unwrap();
         assert_eq!(b.earliest_offsets("events").unwrap()[&0], 4);
+    }
+
+    fn bounded(capacity: usize, overflow: OverflowPolicy) -> MessageBus {
+        let b = MessageBus::new();
+        b.create_topic_with(
+            "t",
+            TopicConfig {
+                partitions: 1,
+                capacity: Some(capacity),
+                overflow,
+            },
+        )
+        .unwrap();
+        b
+    }
+
+    #[test]
+    fn bounded_topic_validates_capacity() {
+        let b = MessageBus::new();
+        let err = b
+            .create_topic_with(
+                "t",
+                TopicConfig {
+                    partitions: 1,
+                    capacity: Some(0),
+                    overflow: OverflowPolicy::Reject,
+                },
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("capacity"));
+    }
+
+    #[test]
+    fn reject_policy_refuses_whole_batch() {
+        let b = bounded(3, OverflowPolicy::Reject);
+        b.append_at("t", 0, 0, vec![row![1i64], row![2i64]]).unwrap();
+        // A batch that would overflow is refused atomically.
+        let err = b.append_at("t", 0, 0, vec![row![3i64], row![4i64]]).unwrap_err();
+        assert_eq!(err.category(), "resource_exhausted");
+        assert_eq!(b.retained_records("t").unwrap(), 2);
+        // A batch that fits still lands.
+        b.append_at("t", 0, 0, vec![row![3i64]]).unwrap();
+        assert_eq!(b.retained_records("t").unwrap(), 3);
+        assert_eq!(b.shed_records("t").unwrap(), 0);
+    }
+
+    #[test]
+    fn drop_oldest_sheds_and_counts() {
+        let b = bounded(3, OverflowPolicy::DropOldest);
+        b.append_at("t", 0, 0, (0..5).map(|i| row![i])).unwrap();
+        // Capacity 3: the two oldest records were shed.
+        assert_eq!(b.retained_records("t").unwrap(), 3);
+        assert_eq!(b.shed_records("t").unwrap(), 2);
+        assert_eq!(b.earliest_offsets("t").unwrap()[&0], 2);
+        // Offsets stay dense; shed records read as expired.
+        let r = b.read("t", 0, 2, 10).unwrap();
+        assert_eq!(r[0].row, row![2i64]);
+        assert!(b.read("t", 0, 0, 10).is_err());
+        // Shedding accumulates across appends.
+        b.append_at("t", 0, 0, vec![row![5i64]]).unwrap();
+        assert_eq!(b.shed_records("t").unwrap(), 3);
+    }
+
+    #[test]
+    fn block_policy_times_out_when_consumer_stalls() {
+        let b = bounded(2, OverflowPolicy::Block { timeout_us: 20_000 });
+        b.append_at("t", 0, 0, vec![row![1i64], row![2i64]]).unwrap();
+        let start = Instant::now();
+        let err = b.append_at("t", 0, 0, vec![row![3i64]]).unwrap_err();
+        assert_eq!(err.category(), "resource_exhausted");
+        assert!(start.elapsed() >= Duration::from_millis(20));
+        assert_eq!(b.retained_records("t").unwrap(), 2);
+    }
+
+    #[test]
+    fn block_policy_unblocks_when_retention_frees_space() {
+        let b = Arc::new(bounded(2, OverflowPolicy::Block { timeout_us: 5_000_000 }));
+        b.append_at("t", 0, 0, vec![row![1i64], row![2i64]]).unwrap();
+        let producer = {
+            let b = b.clone();
+            std::thread::spawn(move || b.append_at("t", 0, 0, vec![row![3i64], row![4i64]]))
+        };
+        // Consumer catches up: truncating consumed offsets frees
+        // capacity and wakes the blocked producer.
+        std::thread::sleep(Duration::from_millis(20));
+        b.truncate_before("t", 0, 2).unwrap();
+        let first = producer.join().unwrap().unwrap();
+        assert_eq!(first, 2);
+        let r = b.read("t", 0, 2, 10).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[1].row, row![4i64]);
+        assert_eq!(b.shed_records("t").unwrap(), 0);
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub mod metrics;
 pub mod sink;
 pub mod source;
 
-pub use bus::{MessageBus, Record};
+pub use bus::{MessageBus, OverflowPolicy, Record, TopicConfig};
 pub use metrics::{InstrumentedSink, SinkMetrics, SourceMetrics};
 pub use sink::{BusSink, CallbackSink, EpochOutput, FileSink, MemorySink, Sink};
 pub use source::{BusSource, FileSource, GeneratorSource, Source};

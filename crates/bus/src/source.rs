@@ -26,6 +26,14 @@ pub trait Source: Send + Sync {
     /// The current end offsets (next record to be written) — what the
     /// master snapshots when defining an epoch (§6.1 step 1).
     fn latest_offsets(&self) -> Result<PartitionOffsets>;
+    /// The oldest offsets still readable (the retention horizon).
+    /// Sources that never expire data — the default — report an empty
+    /// map, i.e. everything from offset 0 is available. A bounded
+    /// topic with a `DropOldest` policy moves this forward as it
+    /// sheds; consumers must not ask for anything below it.
+    fn earliest_offsets(&self) -> Result<PartitionOffsets> {
+        Ok(PartitionOffsets::new())
+    }
     /// Read `[start, end)` of one partition. Must return the same data
     /// for the same range every time (replayability).
     fn read_partition(&self, partition: u32, start: u64, end: u64) -> Result<RecordBatch>;
@@ -232,6 +240,10 @@ impl Source for BusSource {
 
     fn latest_offsets(&self) -> Result<PartitionOffsets> {
         self.bus.latest_offsets(&self.topic)
+    }
+
+    fn earliest_offsets(&self) -> Result<PartitionOffsets> {
+        self.bus.earliest_offsets(&self.topic)
     }
 
     fn read_partition(&self, partition: u32, start: u64, end: u64) -> Result<RecordBatch> {

@@ -71,8 +71,14 @@ pub struct JobResult {
 
 impl JobResult {
     /// Aggregate throughput for a job that processed `records`.
+    /// Zero-duration jobs (empty stages, degenerate sims) report 0
+    /// rather than +inf/NaN so dashboards and assertions stay sane.
     pub fn records_per_second(&self, records: u64) -> f64 {
-        records as f64 / (self.duration_us / 1e6)
+        let secs = self.duration_us / 1e6;
+        if secs <= f64::EPSILON {
+            return 0.0;
+        }
+        records as f64 / secs
     }
 }
 
@@ -527,5 +533,24 @@ mod tests {
         let rps = r.records_per_second(1000);
         // 1000 records in 1100µs ≈ 909k records/s.
         assert!((rps - 1000.0 / 1.1e-3).abs() / rps < 0.01);
+    }
+
+    #[test]
+    fn throughput_of_zero_duration_job_is_zero_not_inf() {
+        let zero = JobResult {
+            duration_us: 0.0,
+            runs: vec![],
+            speculative_launched: 0,
+            reruns_after_failure: 0,
+            stage_end_us: vec![],
+        };
+        assert_eq!(zero.records_per_second(1_000_000), 0.0);
+        assert_eq!(zero.records_per_second(0), 0.0);
+        let tiny = JobResult {
+            duration_us: f64::EPSILON / 2.0,
+            ..zero
+        };
+        let rps = tiny.records_per_second(42);
+        assert!(rps.is_finite() && rps == 0.0, "got {rps}");
     }
 }

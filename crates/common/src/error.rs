@@ -39,6 +39,11 @@ pub enum SsError {
     /// Inside committed history this is fatal; past the last commit it
     /// is treated as an uncommitted epoch and recomputed.
     Corruption(String),
+    /// A configured resource budget (topic capacity, state-store memory
+    /// limit, admission timeout) was exhausted. The graceful stand-in
+    /// for an OOM kill or an unbounded queue: the operation is refused
+    /// with the budget named, instead of degrading the whole process.
+    ResourceExhausted(String),
     /// An invariant the engine relies on was violated — always a bug.
     Internal(String),
 }
@@ -57,6 +62,7 @@ impl SsError {
             SsError::Parse(_) => "parse",
             SsError::Transient(_) => "transient",
             SsError::Corruption(_) => "corruption",
+            SsError::ResourceExhausted(_) => "resource_exhausted",
             SsError::Internal(_) => "internal",
         }
     }
@@ -107,6 +113,7 @@ impl fmt::Display for SsError {
             SsError::Parse(m) => write!(f, "parse error: {m}"),
             SsError::Transient(m) => write!(f, "transient error: {m}"),
             SsError::Corruption(m) => write!(f, "corruption detected: {m}"),
+            SsError::ResourceExhausted(m) => write!(f, "resource exhausted: {m}"),
             SsError::Internal(m) => write!(f, "internal error (bug): {m}"),
         }
     }
@@ -180,6 +187,7 @@ mod tests {
         assert!(!SsError::Io(std::io::Error::other("x")).is_user_error());
         assert!(!SsError::Transient("flake".into()).is_user_error());
         assert!(!SsError::Corruption("bad crc".into()).is_user_error());
+        assert!(!SsError::ResourceExhausted("topic full".into()).is_user_error());
     }
 
     #[test]
@@ -191,6 +199,9 @@ mod tests {
         assert!(!SsError::Io(Error::new(ErrorKind::NotFound, "x")).is_transient());
         assert!(!SsError::Execution("boom".into()).is_transient());
         assert!(!SsError::Corruption("bad crc".into()).is_transient());
+        // Retrying without freeing the resource cannot succeed, so an
+        // exhausted budget is not a transient fault.
+        assert!(!SsError::ResourceExhausted("state budget".into()).is_transient());
     }
 
     #[test]

@@ -62,6 +62,13 @@ impl Row {
     pub fn iter(&self) -> std::slice::Iter<'_, Value> {
         self.0.iter()
     }
+
+    /// Approximate memory footprint: the `Vec` header plus each value's
+    /// [`Value::approx_bytes`]. An estimate for budget enforcement, not
+    /// an exact allocator measurement.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Row>() + self.0.iter().map(Value::approx_bytes).sum::<usize>()
+    }
 }
 
 impl fmt::Display for Row {
@@ -150,5 +157,17 @@ mod tests {
     #[test]
     fn display_renders_values() {
         assert_eq!(row![1i64, "x"].to_string(), "[1, x]");
+    }
+
+    #[test]
+    fn approx_bytes_counts_string_payloads() {
+        let short = row![1i64, "x"];
+        let long = row![1i64, "a-much-longer-string-payload"];
+        assert!(long.approx_bytes() > short.approx_bytes());
+        // Exact accounting: header + per-value inline size + string len.
+        let expected = std::mem::size_of::<Row>()
+            + 2 * std::mem::size_of::<Value>()
+            + "x".len();
+        assert_eq!(short.approx_bytes(), expected);
     }
 }

@@ -107,6 +107,18 @@ impl Value {
         matches!(self, Value::Null)
     }
 
+    /// Approximate heap + inline footprint of this value in bytes, used
+    /// by the state store's memory accounting. Strings add their UTF-8
+    /// length (the `Arc<str>` payload); everything else is inline in
+    /// the enum.
+    pub fn approx_bytes(&self) -> usize {
+        let inline = std::mem::size_of::<Value>();
+        match self {
+            Value::Utf8(s) => inline + s.len(),
+            _ => inline,
+        }
+    }
+
     /// Extract a boolean, treating NULL as `None`.
     pub fn as_bool(&self) -> Result<Option<bool>> {
         match self {

@@ -1,0 +1,283 @@
+//! Admission control: PID-based rate estimation and backlog-
+//! proportional budget apportionment.
+//!
+//! Overload in a micro-batch engine shows up as *scheduling delay*:
+//! each epoch takes longer than the trigger interval, so the next one
+//! starts late, backlog accumulates, and per-epoch latency diverges.
+//! The fix (§6.1's rate limiting, implemented in Spark as
+//! `PIDRateEstimator`) is to bound how many rows an epoch may admit,
+//! steering the admission rate toward the measured processing rate and
+//! draining accumulated delay.
+//!
+//! [`PidRateController`] produces a rate in rows/second from the last
+//! epoch's observations; the trigger loop converts it to a row budget
+//! for the next epoch and [`apportion`]s it across sources
+//! proportionally to their backlog. A configured minimum rate keeps a
+//! pathologically slow epoch from driving the budget to zero and
+//! starving the query ([`RateControllerConfig::min_rate`]).
+
+use std::collections::BTreeMap;
+
+/// Gains and bounds for the [`PidRateController`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateControllerConfig {
+    /// Weight on the instantaneous error (admitted rate − processing
+    /// rate). Spark's default: 1.0.
+    pub proportional: f64,
+    /// Weight on the accumulated error, measured as the rows of backlog
+    /// implied by the current scheduling delay. Spark's default: 0.2.
+    pub integral: f64,
+    /// Weight on the error's rate of change. Spark's default: 0.0.
+    pub derivative: f64,
+    /// Floor on the produced rate (rows/second). The self-starvation
+    /// guard: one catastrophic epoch cannot drive admission to zero.
+    pub min_rate: f64,
+    /// The trigger interval the controller steers against; also the
+    /// horizon over which a rate converts to a per-epoch row budget.
+    pub batch_interval_us: u64,
+}
+
+impl Default for RateControllerConfig {
+    fn default() -> RateControllerConfig {
+        RateControllerConfig {
+            proportional: 1.0,
+            integral: 0.2,
+            derivative: 0.0,
+            min_rate: 100.0,
+            batch_interval_us: 100_000,
+        }
+    }
+}
+
+/// PID estimator for the admission rate, after Spark's
+/// `PIDRateEstimator`.
+///
+/// Feed it each completed epoch's observations via [`update`]; it
+/// returns the rate (rows/second) the *next* epoch should admit at, or
+/// `None` until it has enough history (the first useful epoch seeds
+/// the latest-rate term).
+///
+/// [`update`]: PidRateController::update
+#[derive(Debug, Clone)]
+pub struct PidRateController {
+    config: RateControllerConfig,
+    latest_time_us: i64,
+    latest_rate: f64,
+    latest_error: f64,
+    seeded: bool,
+}
+
+impl PidRateController {
+    pub fn new(config: RateControllerConfig) -> PidRateController {
+        PidRateController {
+            config,
+            latest_time_us: -1,
+            latest_rate: -1.0,
+            latest_error: -1.0,
+            seeded: false,
+        }
+    }
+
+    pub fn config(&self) -> &RateControllerConfig {
+        &self.config
+    }
+
+    /// The most recent rate estimate (rows/second), if any.
+    pub fn rate(&self) -> Option<f64> {
+        self.seeded.then_some(self.latest_rate)
+    }
+
+    /// Convert the current rate into a row budget for one epoch.
+    pub fn budget_rows(&self) -> Option<u64> {
+        self.rate()
+            .map(|r| (r * self.config.batch_interval_us as f64 / 1e6).max(1.0) as u64)
+    }
+
+    /// Ingest one completed epoch: its end time, rows processed, time
+    /// spent processing, and the scheduling delay it started with.
+    /// Returns the new rate when the controller has enough history;
+    /// epochs with no rows or no measured processing time are ignored
+    /// (they carry no rate signal).
+    pub fn update(
+        &mut self,
+        time_us: i64,
+        rows: u64,
+        processing_time_us: u64,
+        scheduling_delay_us: u64,
+    ) -> Option<f64> {
+        if time_us <= self.latest_time_us || rows == 0 || processing_time_us == 0 {
+            return None;
+        }
+        // Rows/second the engine actually sustained this epoch.
+        let processing_rate = rows as f64 / processing_time_us as f64 * 1e6;
+        if !self.seeded {
+            // First observation: adopt the measured rate as-is.
+            self.latest_time_us = time_us;
+            self.latest_rate = processing_rate;
+            self.latest_error = 0.0;
+            self.seeded = true;
+            return None;
+        }
+        let delay_since_update_s = (time_us - self.latest_time_us) as f64 / 1e6;
+        // How far the admitted rate overshot what was sustainable.
+        let error = self.latest_rate - processing_rate;
+        // The integral term: scheduling delay re-expressed as the rows
+        // of backlog it represents, amortized over one interval.
+        let historical_error = scheduling_delay_us as f64 * processing_rate
+            / self.config.batch_interval_us as f64;
+        let d_error = (error - self.latest_error) / delay_since_update_s;
+        let new_rate = (self.latest_rate
+            - self.config.proportional * error
+            - self.config.integral * historical_error
+            - self.config.derivative * d_error)
+            .max(self.config.min_rate);
+        self.latest_time_us = time_us;
+        self.latest_rate = new_rate;
+        self.latest_error = error;
+        Some(new_rate)
+    }
+}
+
+/// Split a total row budget across sources proportionally to their
+/// backlog, using the largest-remainder method so the shares sum to
+/// exactly `min(budget, total backlog)` and no source with backlog is
+/// rounded to zero while budget remains. Deterministic: ties break by
+/// source name (the `BTreeMap` order).
+pub fn apportion(budget: u64, backlogs: &BTreeMap<String, u64>) -> BTreeMap<String, u64> {
+    let total: u64 = backlogs.values().sum();
+    if total <= budget {
+        // No contention: everyone gets their whole backlog.
+        return backlogs.clone();
+    }
+    let mut shares: BTreeMap<String, u64> = BTreeMap::new();
+    let mut remainders: Vec<(f64, &String)> = Vec::new();
+    let mut assigned = 0u64;
+    for (name, &backlog) in backlogs {
+        let exact = budget as f64 * backlog as f64 / total as f64;
+        let floor = exact.floor() as u64;
+        assigned += floor;
+        shares.insert(name.clone(), floor);
+        remainders.push((exact - floor as f64, name));
+    }
+    // Hand the leftover rows to the largest fractional shares; on equal
+    // fractions the earlier (smaller) name wins.
+    remainders.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then_with(|| a.1.cmp(b.1)));
+    let mut leftover = budget - assigned;
+    for (_, name) in remainders {
+        if leftover == 0 {
+            break;
+        }
+        // Never hand a source more than its backlog.
+        let share = shares.get_mut(name).expect("share exists");
+        if *share < backlogs[name] {
+            *share += 1;
+            leftover -= 1;
+        }
+    }
+    shares
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(min_rate: f64) -> RateControllerConfig {
+        RateControllerConfig {
+            min_rate,
+            batch_interval_us: 100_000,
+            ..RateControllerConfig::default()
+        }
+    }
+
+    #[test]
+    fn first_epoch_seeds_without_estimate() {
+        let mut c = PidRateController::new(config(1.0));
+        assert_eq!(c.rate(), None);
+        assert_eq!(c.budget_rows(), None);
+        // 1000 rows in 100ms → 10_000 rows/s seeds the controller.
+        assert_eq!(c.update(100_000, 1000, 100_000, 0), None);
+        assert_eq!(c.rate(), Some(10_000.0));
+        assert_eq!(c.budget_rows(), Some(1000));
+    }
+
+    #[test]
+    fn overload_reduces_rate_and_recovery_raises_it() {
+        let mut c = PidRateController::new(config(1.0));
+        c.update(100_000, 1000, 100_000, 0);
+        // Next epoch only sustains 5000 rows/s and sits on 200ms of
+        // scheduling delay: the rate must drop below the seed.
+        let slow = c.update(300_000, 1000, 200_000, 200_000).unwrap();
+        assert!(slow < 10_000.0, "rate should fall under overload, got {slow}");
+        // Load lifts: processing is fast again and delay drains; the
+        // controller steers back up.
+        let fast = c.update(400_000, 1000, 50_000, 0).unwrap();
+        assert!(fast > slow, "rate should recover, got {fast} <= {slow}");
+    }
+
+    #[test]
+    fn min_rate_floor_survives_pathological_epoch() {
+        // Satellite: a catastrophically slow epoch must not drive the
+        // budget below the configured minimum rate.
+        let mut c = PidRateController::new(config(50.0));
+        c.update(100_000, 1000, 100_000, 0);
+        // 10 rows in 30 seconds of processing with a huge delay: the
+        // raw PID output is deeply negative.
+        let rate = c.update(31_000_000, 10, 30_000_000, 60_000_000).unwrap();
+        assert_eq!(rate, 50.0);
+        // And it stays floored on repeat, never reaching zero.
+        let rate = c.update(62_000_000, 10, 30_000_000, 120_000_000).unwrap();
+        assert_eq!(rate, 50.0);
+        assert!(c.budget_rows().unwrap() >= 1);
+    }
+
+    #[test]
+    fn empty_and_stale_epochs_carry_no_signal() {
+        let mut c = PidRateController::new(config(1.0));
+        c.update(100_000, 1000, 100_000, 0);
+        assert_eq!(c.update(200_000, 0, 100_000, 0), None);
+        assert_eq!(c.update(200_001, 10, 0, 0), None);
+        // Non-advancing clock is ignored too.
+        assert_eq!(c.update(100_000, 10, 10, 0), None);
+        assert_eq!(c.rate(), Some(10_000.0));
+    }
+
+    fn backlogs(pairs: &[(&str, u64)]) -> BTreeMap<String, u64> {
+        pairs.iter().map(|(n, b)| (n.to_string(), *b)).collect()
+    }
+
+    #[test]
+    fn apportion_under_budget_grants_all() {
+        let b = backlogs(&[("a", 10), ("b", 5)]);
+        assert_eq!(apportion(100, &b), b);
+        assert_eq!(apportion(15, &b), b);
+    }
+
+    #[test]
+    fn apportion_splits_proportionally_and_exactly() {
+        let b = backlogs(&[("a", 300), ("b", 100)]);
+        let shares = apportion(100, &b);
+        assert_eq!(shares["a"], 75);
+        assert_eq!(shares["b"], 25);
+        assert_eq!(shares.values().sum::<u64>(), 100);
+    }
+
+    #[test]
+    fn apportion_distributes_remainder_deterministically() {
+        // 10 rows across three equal backlogs: 3/3/3 plus one leftover,
+        // which goes to the lexicographically first source.
+        let b = backlogs(&[("a", 7), ("b", 7), ("c", 7)]);
+        let shares = apportion(10, &b);
+        assert_eq!(shares.values().sum::<u64>(), 10);
+        assert_eq!(shares["a"], 4);
+        assert_eq!(shares["b"], 3);
+        assert_eq!(shares["c"], 3);
+    }
+
+    #[test]
+    fn apportion_never_exceeds_a_sources_backlog() {
+        let b = backlogs(&[("a", 1), ("b", 1000)]);
+        let shares = apportion(500, &b);
+        assert!(shares["a"] <= 1);
+        assert_eq!(shares.values().sum::<u64>(), 500);
+    }
+}

@@ -305,6 +305,22 @@ impl DataStreamWriter {
         self
     }
 
+    /// Enable PID admission control: each epoch's measured processing
+    /// rate and scheduling delay bound the next epoch's admitted rows
+    /// (overload backpressure, floored at the config's `min_rate`).
+    pub fn rate_control(mut self, config: crate::admission::RateControllerConfig) -> Self {
+        self.config.rate_controller = Some(config);
+        self
+    }
+
+    /// Bound in-memory operator state: spill cold operators to the
+    /// checkpoint backend over the soft limit, fail the epoch
+    /// gracefully (`SsError::ResourceExhausted`) over the hard one.
+    pub fn state_budget(mut self, budget: crate::microbatch::MemoryBudget) -> Self {
+        self.config.state_budget = budget;
+        self
+    }
+
     /// Override the full engine config (advanced).
     pub fn engine_config(mut self, config: MicroBatchConfig) -> Self {
         self.config = config;

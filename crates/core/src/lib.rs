@@ -50,6 +50,7 @@
 //! assert_eq!(sink.snapshot().len(), 2);
 //! ```
 
+pub mod admission;
 pub mod context;
 pub mod continuous;
 pub mod dataframe;
@@ -61,6 +62,7 @@ pub mod sjoin;
 pub mod stateful;
 pub mod watermark;
 
+pub use admission::{PidRateController, RateControllerConfig};
 pub use context::StreamingContext;
 pub use dataframe::{DataFrame, DataStreamWriter, Trigger};
 pub use metrics::{OpDuration, QueryProgress, StreamingQueryListener};
@@ -69,7 +71,9 @@ pub use query::{RestartPolicy, StreamingQuery, StreamingQueryManager};
 
 /// Everything a typical application needs.
 pub mod prelude {
+    pub use crate::admission::RateControllerConfig;
     pub use crate::context::StreamingContext;
+    pub use ss_state::MemoryBudget;
     pub use crate::dataframe::{DataFrame, DataStreamWriter, Trigger};
     pub use crate::metrics::{QueryProgress, StreamingQueryListener};
     pub use crate::query::{RestartPolicy, StreamingQuery, StreamingQueryManager};

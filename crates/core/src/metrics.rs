@@ -50,6 +50,25 @@ pub struct QueryProgress {
     /// Supervisor restarts the query has survived so far (0 for a
     /// query that has never failed).
     pub restarts: u64,
+    /// How late this epoch started versus the trigger interval (µs) —
+    /// the primary overload signal (0 when keeping up or when no rate
+    /// controller is configured).
+    pub scheduling_delay_us: u64,
+    /// Rows the admission controller let into this epoch (equals
+    /// `num_input_rows`; named separately because under overload it is
+    /// a *decision*, not just an observation).
+    pub admitted_rows: u64,
+    /// The admission rate limit in force (rows/s); `None` when no rate
+    /// controller is configured or it has not seeded yet.
+    pub rate_limit: Option<f64>,
+    /// Approximate bytes of stateful-operator state held in memory.
+    pub state_bytes: u64,
+    /// Approximate bytes of state spilled to the checkpoint backend
+    /// under memory pressure.
+    pub spilled_bytes: u64,
+    /// Records shed so far by bounded bus topics feeding this query
+    /// (cumulative; 0 for non-bus sources or non-shedding policies).
+    pub shed_records: u64,
 }
 
 impl QueryProgress {
@@ -61,7 +80,7 @@ impl QueryProgress {
         } else {
             format!("{}", self.watermark_us)
         };
-        format!(
+        let mut s = format!(
             "epoch={} in={} out={} dur={:.1}ms rate={:.0}/s wm={} state={} backlog={}",
             self.epoch,
             self.num_input_rows,
@@ -71,7 +90,20 @@ impl QueryProgress {
             wm,
             self.state_rows,
             self.backlog_rows
-        )
+        );
+        if let Some(limit) = self.rate_limit {
+            s.push_str(&format!(
+                " limit={limit:.0}/s delay={:.1}ms",
+                self.scheduling_delay_us as f64 / 1000.0
+            ));
+        }
+        if self.spilled_bytes > 0 {
+            s.push_str(&format!(" spilled={}B", self.spilled_bytes));
+        }
+        if self.shed_records > 0 {
+            s.push_str(&format!(" shed={}", self.shed_records));
+        }
+        s
     }
 }
 
@@ -160,6 +192,12 @@ mod tests {
             operator_durations: vec![],
             sink_commit_us: 0,
             restarts: 0,
+            scheduling_delay_us: 0,
+            admitted_rows: rows,
+            rate_limit: None,
+            state_bytes: 0,
+            spilled_bytes: 0,
+            shed_records: 0,
         }
     }
 
@@ -182,6 +220,24 @@ mod tests {
         assert!(s.contains("epoch=3"));
         assert!(s.contains("in=100"));
         assert!(s.contains("wm=0"));
+    }
+
+    #[test]
+    fn summary_shows_overload_fields_only_when_engaged() {
+        let calm = progress(1, 10);
+        assert!(!calm.summary().contains("limit="));
+        assert!(!calm.summary().contains("spilled="));
+        assert!(!calm.summary().contains("shed="));
+        let mut hot = progress(2, 10);
+        hot.rate_limit = Some(1234.0);
+        hot.scheduling_delay_us = 2500;
+        hot.spilled_bytes = 4096;
+        hot.shed_records = 7;
+        let s = hot.summary();
+        assert!(s.contains("limit=1234/s"), "got: {s}");
+        assert!(s.contains("delay=2.5ms"), "got: {s}");
+        assert!(s.contains("spilled=4096B"), "got: {s}");
+        assert!(s.contains("shed=7"), "got: {s}");
     }
 
     #[test]

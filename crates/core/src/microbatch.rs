@@ -42,9 +42,12 @@ use ss_plan::{LogicalPlan, OutputMode};
 use ss_state::{CheckpointBackend, StateStore};
 use ss_wal::{EpochCommit, EpochOffsets, OffsetRange, WriteAheadLog};
 
+use crate::admission::{apportion, PidRateController, RateControllerConfig};
 use crate::incremental::{incrementalize, EpochContext, IncNode, OpStat, OpStatsCollector};
 use crate::metrics::{OpDuration, ProgressHistory, QueryProgress, StreamingQueryListener};
 use crate::watermark::WatermarkTracker;
+
+pub use ss_state::MemoryBudget;
 
 /// A processing-time clock, injectable for deterministic tests.
 pub type Clock = Arc<dyn Fn() -> i64 + Send + Sync>;
@@ -92,6 +95,17 @@ pub struct MicroBatchConfig {
     pub retry: RetryPolicy,
     /// Processing-time clock.
     pub clock: Clock,
+    /// PID-based admission control (`None` = disabled): each epoch's
+    /// row budget is steered toward the measured processing rate, with
+    /// scheduling delay drained via the integral term. Composes with
+    /// `max_records_per_trigger` (the hard cap still applies) and with
+    /// WAL recovery (budgets only shape *new* epochs; logged offsets
+    /// replay exactly).
+    pub rate_controller: Option<RateControllerConfig>,
+    /// Memory budget for the state store: soft limit spills cold
+    /// operators to the checkpoint backend, hard limit fails the epoch
+    /// with `ResourceExhausted` instead of OOMing.
+    pub state_budget: MemoryBudget,
 }
 
 impl Default for MicroBatchConfig {
@@ -105,6 +119,8 @@ impl Default for MicroBatchConfig {
             faults: FaultRegistry::new(),
             retry: RetryPolicy::default(),
             clock: Arc::new(now_us),
+            rate_controller: None,
+            state_budget: MemoryBudget::default(),
         }
     }
 }
@@ -180,6 +196,12 @@ pub struct MicroBatchExecution {
     terminated: bool,
     /// Supervisor restarts survived so far (surfaced in progress).
     restarts: u64,
+    /// PID admission controller (when configured).
+    rate_controller: Option<PidRateController>,
+    /// Duration of the previous non-idle epoch, for the scheduling
+    /// delay of the next one (how late it starts vs. the trigger
+    /// interval in the sequential trigger loop).
+    last_epoch_duration_us: i64,
 }
 
 impl MicroBatchExecution {
@@ -222,6 +244,7 @@ impl MicroBatchExecution {
         let mut store = StateStore::new(backend);
         store.attach_metrics(&registry);
         store.set_faults(config.faults.clone());
+        store.set_budget(config.state_budget);
         registry.describe(
             "ss_retry_attempts_total",
             "Transient-failure re-attempts on the engine's durability paths.",
@@ -241,8 +264,25 @@ impl MicroBatchExecution {
             "ss_operator_eval_us",
             "Inclusive per-operator evaluation time per epoch.",
         );
+        registry.describe(
+            "ss_scheduling_delay_us",
+            "How late each epoch started versus the trigger interval.",
+        );
+        registry.describe(
+            "ss_admitted_rows_total",
+            "Rows admitted into epochs by the admission controller.",
+        );
+        registry.describe(
+            "ss_admission_rate_limit",
+            "Current admission rate limit (rows/second; -1 when uncapped).",
+        );
+        registry.describe(
+            "ss_bus_shed_records",
+            "Records shed by bounded bus topics feeding this query.",
+        );
         let epoch_duration_us = registry.histogram("ss_epoch_duration_us", &[]);
         let progress = ProgressHistory::new(config.progress_history);
+        let rate_controller = config.rate_controller.map(PidRateController::new);
         let mut engine = MicroBatchExecution {
             name: name.into(),
             root,
@@ -267,6 +307,8 @@ impl MicroBatchExecution {
             epoch_duration_us,
             terminated: false,
             restarts: 0,
+            rate_controller,
+            last_epoch_duration_us: 0,
         };
         engine.recover()?;
         Ok(engine)
@@ -344,31 +386,82 @@ impl MicroBatchExecution {
     /// there is nothing to do.
     pub fn run_epoch(&mut self) -> Result<EpochRun> {
         let started = (self.config.clock)();
+        // In the sequential trigger loop, this epoch starts late by
+        // however much the previous one overran the trigger interval.
+        let interval_us = self
+            .rate_controller
+            .as_ref()
+            .map(|rc| rc.config().batch_interval_us as i64)
+            .unwrap_or(0);
+        let scheduling_delay_us = if interval_us > 0 {
+            (self.last_epoch_duration_us - interval_us).max(0) as u64
+        } else {
+            0
+        };
 
-        // Step 1: define the epoch's offset ranges.
-        let mut ranges: std::collections::BTreeMap<String, OffsetRange> =
+        // Step 1 (admission): measure each source's backlog, derive the
+        // epoch's total row budget — the batch cap (with adaptive
+        // catch-up) further bounded by the PID rate controller — and
+        // apportion it across sources proportionally to backlog.
+        let mut latests: std::collections::BTreeMap<String, PartitionOffsets> =
             std::collections::BTreeMap::new();
-        let mut new_records: u64 = 0;
-        let mut backlog_after: u64 = 0;
+        let mut starts: std::collections::BTreeMap<String, PartitionOffsets> =
+            std::collections::BTreeMap::new();
+        let mut backlogs: std::collections::BTreeMap<String, u64> =
+            std::collections::BTreeMap::new();
         for (name, source) in &self.sources {
             let latest = source.latest_offsets()?;
-            let start = self
+            let earliest = source.earliest_offsets()?;
+            let pos = self
                 .positions
                 .entry(name.clone())
-                .or_insert_with(|| latest.keys().map(|&p| (p, 0)).collect())
-                .clone();
+                .or_insert_with(|| latest.keys().map(|&p| (p, 0)).collect());
+            // A bounded topic with a DropOldest policy may have shed
+            // records this query never read. Skip forward to the
+            // retention horizon: the data is gone by declared policy,
+            // and the clamped position is what gets logged to the WAL,
+            // so recovery replays a range that still exists.
+            for (&p, &e) in &earliest {
+                let slot = pos.entry(p).or_insert(0);
+                if *slot < e {
+                    *slot = e;
+                }
+            }
+            let start = pos.clone();
             let backlog: u64 = latest
                 .iter()
                 .map(|(p, e)| e.saturating_sub(*start.get(p).unwrap_or(&0)))
                 .sum();
-            let take = self.effective_cap(backlog);
+            latests.insert(name.clone(), latest);
+            starts.insert(name.clone(), start);
+            backlogs.insert(name.clone(), backlog);
+        }
+        let total_backlog: u64 = backlogs.values().sum();
+        let mut admit = self.effective_cap(total_backlog);
+        let mut rate_limit = None;
+        if let Some(rc) = &self.rate_controller {
+            if let (Some(rate), Some(budget)) = (rc.rate(), rc.budget_rows()) {
+                admit = admit.min(budget);
+                rate_limit = Some(rate);
+            }
+        }
+        let shares = apportion(admit, &backlogs);
+
+        let mut ranges: std::collections::BTreeMap<String, OffsetRange> =
+            std::collections::BTreeMap::new();
+        let mut new_records: u64 = 0;
+        let mut backlog_after: u64 = 0;
+        for (name, start) in starts {
+            let latest = &latests[&name];
+            let backlog = backlogs[&name];
+            let take = shares.get(&name).copied().unwrap_or(0);
             let mut end = PartitionOffsets::new();
             if take >= backlog {
                 // Uncapped: take everything available.
                 end = latest.clone();
             } else {
-                // Spread the cap across partitions, giving each of the
-                // remaining partitions a proportional share.
+                // Spread the source's share across partitions, giving
+                // each of the remaining partitions a proportional cut.
                 let mut remaining = take;
                 let n_parts = latest.len() as u64;
                 for (i, (&p, &lat)) in latest.iter().enumerate() {
@@ -388,15 +481,38 @@ impl MicroBatchExecution {
             new_records += range.num_records();
             let source_backlog = backlog.saturating_sub(range.num_records());
             backlog_after += source_backlog;
-            if let Some(m) = self.source_metrics.get(name) {
+            if let Some(m) = self.source_metrics.get(&name) {
                 m.backlog.set(source_backlog as i64);
             }
-            ranges.insert(name.clone(), range);
+            ranges.insert(name, range);
         }
 
         let pt = (self.config.clock)();
         if new_records == 0 && !self.root.has_pending_timeouts(&mut self.store, pt) {
+            // Caught up: the next epoch starts on time.
+            self.last_epoch_duration_us = 0;
             return Ok(EpochRun::Idle);
+        }
+
+        self.registry
+            .histogram("ss_scheduling_delay_us", &[])
+            .observe(scheduling_delay_us);
+        self.registry
+            .counter("ss_admitted_rows_total", &[])
+            .add(new_records);
+        self.registry
+            .gauge("ss_admission_rate_limit", &[])
+            .set(rate_limit.map_or(-1, |r| r as i64));
+        if rate_limit.is_some() && admit < total_backlog {
+            // The controller is actively holding rows back.
+            self.trace.instant(
+                "overload",
+                &[
+                    ("phase", "admission-limited"),
+                    ("admitted", &new_records.to_string()),
+                    ("backlog", &total_backlog.to_string()),
+                ],
+            );
         }
 
         let epoch = self.epoch + 1;
@@ -431,6 +547,19 @@ impl MicroBatchExecution {
         // complete in 0 µs, and the rows/s division must stay finite.
         let duration = (finished - started).max(1);
         self.epoch_duration_us.observe(duration as u64);
+        self.last_epoch_duration_us = duration;
+        // Feed the controller this epoch's observations; the rate it
+        // produces shapes the *next* epoch's admission budget.
+        if let Some(rc) = &mut self.rate_controller {
+            rc.update(finished, new_records, duration as u64, scheduling_delay_us);
+            self.registry
+                .gauge("ss_admission_rate_limit", &[])
+                .set(rc.rate().map_or(-1, |r| r as i64));
+        }
+        let shed_records = self.shed_records_total();
+        self.registry
+            .gauge("ss_bus_shed_records", &[])
+            .set(shed_records as i64);
         let watermark_lag_us = match self.tracker.current() {
             i64::MIN => None,
             wm => self.tracker.max_observed().map(|m| (m - wm).max(0)),
@@ -456,6 +585,12 @@ impl MicroBatchExecution {
                 .collect(),
             sink_commit_us: exec.sink_commit_us,
             restarts: self.restarts,
+            scheduling_delay_us,
+            admitted_rows: new_records,
+            rate_limit: self.rate_controller.as_ref().and_then(|rc| rc.rate()),
+            state_bytes: self.store.memory_bytes() as u64,
+            spilled_bytes: self.store.spilled_bytes(),
+            shed_records,
         };
         self.progress.push(progress.clone());
         for l in &self.listeners {
@@ -474,6 +609,9 @@ impl MicroBatchExecution {
         Ok(epochs)
     }
 
+    /// The epoch's row budget from the static cap: `max_records_per_
+    /// trigger` across all sources, grown by the catch-up multiplier
+    /// while backlogged (§7.3).
     fn effective_cap(&self, backlog: u64) -> u64 {
         match self.config.max_records_per_trigger {
             None => backlog,
@@ -485,6 +623,23 @@ impl MicroBatchExecution {
                 }
             }
         }
+    }
+
+    /// Records shed so far by bounded bus topics feeding this query's
+    /// sources (0 for sources not bound to a bus topic).
+    fn shed_records_total(&self) -> u64 {
+        self.sources
+            .values()
+            .filter_map(|s| s.bus_binding())
+            .filter_map(|(bus, topic)| bus.shed_records(&topic).ok())
+            .sum()
+    }
+
+    /// End offsets of the last defined epoch, per source — what a
+    /// consumer tracking this query's progress (e.g. a retention
+    /// trimmer) should consider consumed.
+    pub fn positions(&self) -> &HashMap<String, PartitionOffsets> {
+        &self.positions
     }
 
     /// Execute the epoch described by `offsets`; commit output when
@@ -545,6 +700,11 @@ impl MicroBatchExecution {
             };
             self.root.execute_epoch(&mut ctx)?
         };
+        // Surface overload failures before anything becomes durable: a
+        // spill reload that failed mid-execution (the operator saw
+        // empty state) or an epoch that blew the hard memory limit.
+        self.store.check_health()?;
+        self.store.check_hard_limit()?;
         let ops = ops.take();
         for s in &ops {
             self.registry
@@ -610,6 +770,20 @@ impl MicroBatchExecution {
             retried(&retry_policy, &registry, "checkpoint_write", || {
                 store.checkpoint(offsets.epoch)
             })?;
+            // Right after a checkpoint every operator is clean, so the
+            // soft memory limit can spill the cold ones.
+            let report = self.store.enforce_budget()?;
+            if report.ops_spilled > 0 {
+                trace.instant(
+                    "overload",
+                    &[
+                        ("phase", "state-spill"),
+                        ("ops_spilled", &report.ops_spilled.to_string()),
+                        ("memory_bytes", &report.memory_bytes.to_string()),
+                        ("spilled_bytes", &report.spilled_bytes.to_string()),
+                    ],
+                );
+            }
         }
         Ok(EpochExecution {
             out_rows,
@@ -882,6 +1056,117 @@ mod tests {
         let epochs = eng.process_available().unwrap();
         assert!(epochs >= 2);
         assert_eq!(eng.progress().total_input_rows(), 105);
+    }
+
+    #[test]
+    fn rate_controller_limits_admission_and_reports() {
+        use std::sync::atomic::{AtomicI64, Ordering};
+
+        // A stepping clock: every reading advances 100ms, so each epoch
+        // appears to take several hundred ms of processing time.
+        let t = Arc::new(AtomicI64::new(0));
+        let clock: Clock = {
+            let t = t.clone();
+            Arc::new(move || t.fetch_add(100_000, Ordering::SeqCst))
+        };
+        let src = gen_source(1);
+        let sink = MemorySink::new("out");
+        let config = MicroBatchConfig {
+            rate_controller: Some(RateControllerConfig {
+                min_rate: 1.0,
+                batch_interval_us: 100_000,
+                ..RateControllerConfig::default()
+            }),
+            clock,
+            ..Default::default()
+        };
+        let mut eng = engine(src.clone(), sink, Arc::new(MemoryBackend::new()), config);
+        // Epoch 1 seeds the controller (no limit in force yet).
+        src.advance(50);
+        let p1 = match eng.run_epoch().unwrap() {
+            EpochRun::Ran(p) => p,
+            EpochRun::Idle => panic!("expected an epoch"),
+        };
+        // No limit constrained admission yet; the record carries the
+        // rate seeded from this epoch (now in force for the next one).
+        assert_eq!(p1.admitted_rows, 50);
+        assert_eq!(p1.scheduling_delay_us, 0);
+        assert!(p1.rate_limit.is_some());
+        // Epoch 2: the measured rate (50 rows over ~0.4s of fake time)
+        // bounds admission to far less than the fresh 100-row backlog.
+        src.advance(100);
+        let p2 = match eng.run_epoch().unwrap() {
+            EpochRun::Ran(p) => p,
+            EpochRun::Idle => panic!("expected an epoch"),
+        };
+        let limit = p2.rate_limit.expect("controller seeded after one epoch");
+        assert!(limit > 0.0);
+        assert!(
+            p2.admitted_rows < 100,
+            "budget must hold rows back, admitted {}",
+            p2.admitted_rows
+        );
+        assert_eq!(p2.backlog_rows, 100 - p2.admitted_rows);
+        // The previous epoch overran the 100ms interval, so this one
+        // started late.
+        assert!(p2.scheduling_delay_us > 0);
+        // Capped admission composes with draining: everything is
+        // eventually processed exactly once.
+        eng.process_available().unwrap();
+        assert_eq!(eng.progress().total_input_rows(), 150);
+        assert!(eng.metrics().render().contains("ss_admission_rate_limit"));
+    }
+
+    #[test]
+    fn state_budget_spills_and_results_stay_correct() {
+        use ss_common::MetricValue;
+        use ss_state::MemoryBudget;
+
+        let src = gen_source(1);
+        let sink = MemorySink::new("out");
+        let config = MicroBatchConfig {
+            // 1-byte soft limit: the aggregation state spills after
+            // every checkpoint and transparently reloads next epoch.
+            state_budget: MemoryBudget {
+                soft_limit_bytes: Some(1),
+                hard_limit_bytes: None,
+            },
+            ..Default::default()
+        };
+        let mut eng = engine(src.clone(), sink.clone(), Arc::new(MemoryBackend::new()), config);
+        src.advance(4);
+        eng.run_epoch().unwrap();
+        src.advance(2);
+        eng.run_epoch().unwrap();
+        // Counts accumulated across the spill/reload cycle correctly.
+        assert_eq!(sink.snapshot(), vec![row!["CA", 3i64], row!["US", 3i64]]);
+        match eng.metrics().value("ss_state_spills_total", &[]) {
+            Some(MetricValue::Counter(n)) => assert!(n >= 1, "expected spills, got {n}"),
+            other => panic!("missing spill counter: {other:?}"),
+        }
+        let last = eng.progress().last().unwrap();
+        assert!(last.spilled_bytes > 0, "progress must surface spill bytes");
+    }
+
+    #[test]
+    fn hard_memory_limit_fails_epoch_before_commit() {
+        use ss_state::MemoryBudget;
+
+        let src = gen_source(1);
+        let sink = MemorySink::new("out");
+        let config = MicroBatchConfig {
+            state_budget: MemoryBudget {
+                soft_limit_bytes: None,
+                hard_limit_bytes: Some(16),
+            },
+            ..Default::default()
+        };
+        let mut eng = engine(src.clone(), sink.clone(), Arc::new(MemoryBackend::new()), config);
+        src.advance(4);
+        let err = eng.run_epoch().unwrap_err();
+        assert_eq!(err.category(), "resource_exhausted");
+        // The epoch aborted before the sink commit: nothing durable.
+        assert!(sink.snapshot().is_empty());
     }
 
     #[test]

@@ -25,4 +25,4 @@ pub mod store;
 
 pub use backend::{CheckpointBackend, FsBackend, MemoryBackend};
 pub use metrics::StateMetrics;
-pub use store::{OpState, StateEntry, StateStore};
+pub use store::{BudgetReport, MemoryBudget, OpState, StateEntry, StateStore};

@@ -56,16 +56,30 @@ impl StateEntry {
 }
 
 /// Keyed state for one operator, with dirty-key tracking for delta
-/// checkpoints.
+/// checkpoints and approximate byte accounting for the memory budget.
 #[derive(Debug, Default)]
 pub struct OpState {
     map: FxHashMap<Row, StateEntry>,
     dirty: FxHashSet<Row>,
     removed: FxHashSet<Row>,
     metrics: Option<Arc<StateMetrics>>,
+    /// Approximate bytes held by `map` ([`Row::approx_bytes`]-based).
+    bytes: usize,
+    /// Store-level access tick, used to rank operators coldest-first
+    /// when the memory budget forces a spill.
+    last_access: u64,
 }
 
 impl OpState {
+    fn payload_bytes(entry: &StateEntry) -> usize {
+        std::mem::size_of::<StateEntry>()
+            + entry.values.iter().map(Row::approx_bytes).sum::<usize>()
+    }
+
+    fn entry_bytes(key: &Row, entry: &StateEntry) -> usize {
+        key.approx_bytes() + Self::payload_bytes(entry)
+    }
+
     pub fn get(&self, key: &Row) -> Option<&StateEntry> {
         if let Some(m) = &self.metrics {
             m.gets.inc();
@@ -76,9 +90,19 @@ impl OpState {
     pub fn put(&mut self, key: Row, entry: StateEntry) {
         self.removed.remove(&key);
         self.dirty.insert(key.clone());
+        let key_bytes = key.approx_bytes();
+        let new_payload = Self::payload_bytes(&entry);
         let prev = self.map.insert(key, entry);
+        // The key is unchanged on overwrite, so only the payload delta
+        // counts; a fresh key adds both.
+        let delta = match &prev {
+            Some(p) => new_payload as i64 - Self::payload_bytes(p) as i64,
+            None => (key_bytes + new_payload) as i64,
+        };
+        self.bytes = (self.bytes as i64 + delta).max(0) as usize;
         if let Some(m) = &self.metrics {
             m.puts.inc();
+            m.bytes.add(delta);
             if prev.is_none() {
                 m.keys.add(1);
             }
@@ -87,15 +111,30 @@ impl OpState {
 
     pub fn remove(&mut self, key: &Row) -> Option<StateEntry> {
         let old = self.map.remove(key);
-        if old.is_some() {
+        if let Some(old_entry) = &old {
             self.dirty.remove(key);
             self.removed.insert(key.clone());
+            let freed = Self::entry_bytes(key, old_entry);
+            self.bytes = self.bytes.saturating_sub(freed);
             if let Some(m) = &self.metrics {
                 m.removes.inc();
                 m.keys.add(-1);
+                m.bytes.add(-(freed as i64));
             }
         }
         old
+    }
+
+    /// Approximate in-memory bytes held by this operator's state.
+    pub fn approx_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// True when all in-memory content has been captured by the last
+    /// checkpoint (nothing dirty, nothing removed) — the precondition
+    /// for spilling this operator without losing delta information.
+    fn is_clean(&self) -> bool {
+        self.dirty.is_empty() && self.removed.is_empty()
     }
 
     /// Remove a key because the watermark or a timeout made it
@@ -138,6 +177,11 @@ impl OpState {
     /// Replace the whole map (snapshot restore).
     fn load(&mut self, entries: FxHashMap<Row, StateEntry>) {
         self.map = entries;
+        self.bytes = self
+            .map
+            .iter()
+            .map(|(k, e)| Self::entry_bytes(k, e))
+            .sum();
         self.dirty.clear();
         self.removed.clear();
     }
@@ -170,6 +214,30 @@ struct CheckpointFile {
     ops: Vec<OpCheckpoint>,
 }
 
+/// Soft and hard bounds on the store's approximate in-memory bytes.
+///
+/// Past the soft limit, [`StateStore::enforce_budget`] spills cold,
+/// clean operators to the checkpoint backend (reloaded transparently on
+/// next access). Past the hard limit, [`StateStore::check_hard_limit`]
+/// returns [`SsError::ResourceExhausted`] — the graceful stand-in for
+/// an OOM kill. `None` disables the respective bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoryBudget {
+    pub soft_limit_bytes: Option<usize>,
+    pub hard_limit_bytes: Option<usize>,
+}
+
+/// What [`StateStore::enforce_budget`] did and where memory stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BudgetReport {
+    /// Approximate in-memory bytes after enforcement.
+    pub memory_bytes: usize,
+    /// Operators spilled by *this* enforcement pass.
+    pub ops_spilled: usize,
+    /// Approximate bytes resident in spill blobs (cumulative).
+    pub spilled_bytes: u64,
+}
+
 /// The state store: every stateful operator's keyed state plus the
 /// checkpoint/restore machinery.
 pub struct StateStore {
@@ -180,6 +248,16 @@ pub struct StateStore {
     checkpoints_taken: u64,
     metrics: Option<Arc<StateMetrics>>,
     faults: FaultRegistry,
+    budget: MemoryBudget,
+    /// Operators currently resident in spill blobs, with their
+    /// approximate byte sizes.
+    spilled: BTreeMap<String, u64>,
+    /// Monotonic tick stamped on each [`StateStore::operator`] access.
+    access_clock: u64,
+    /// Spill-reload failures stashed by the infallible
+    /// [`StateStore::operator`]; surfaced by
+    /// [`StateStore::check_health`] before results become durable.
+    reload_errors: Vec<SsError>,
 }
 
 impl StateStore {
@@ -191,6 +269,10 @@ impl StateStore {
             checkpoints_taken: 0,
             metrics: None,
             faults: FaultRegistry::new(),
+            budget: MemoryBudget::default(),
+            spilled: BTreeMap::new(),
+            access_clock: 0,
+            reload_errors: Vec::new(),
         }
     }
 
@@ -207,23 +289,53 @@ impl StateStore {
         self
     }
 
+    /// Set the memory budget (builder form).
+    pub fn with_budget(mut self, budget: MemoryBudget) -> StateStore {
+        self.budget = budget;
+        self
+    }
+
+    /// Set the memory budget on an existing store.
+    pub fn set_budget(&mut self, budget: MemoryBudget) {
+        self.budget = budget;
+    }
+
+    pub fn budget(&self) -> MemoryBudget {
+        self.budget
+    }
+
     /// Register `ss_state_*` metrics on `registry` and start recording.
     /// The key-count gauge is synced to the current contents.
     pub fn attach_metrics(&mut self, registry: &MetricsRegistry) {
         let metrics = StateMetrics::new(registry);
         metrics.keys.set(self.total_keys() as i64);
+        metrics.bytes.set(self.memory_bytes() as i64);
+        metrics.spilled_bytes.set(self.spilled_bytes() as i64);
         for op in self.ops.values_mut() {
             op.metrics = Some(metrics.clone());
         }
         self.metrics = Some(metrics);
     }
 
-    /// Access (creating if needed) the state of one operator.
+    /// Access (creating if needed) the state of one operator. If the
+    /// operator was spilled under memory pressure it is transparently
+    /// reloaded; a reload failure is stashed (this accessor is on the
+    /// hot path and infallible) and must be surfaced via
+    /// [`StateStore::check_health`] before the epoch's output is made
+    /// durable.
     pub fn operator(&mut self, id: &str) -> &mut OpState {
+        self.access_clock += 1;
+        let tick = self.access_clock;
+        if self.spilled.contains_key(id) {
+            if let Err(e) = self.reload_spilled(id) {
+                self.reload_errors.push(e);
+            }
+        }
         let op = self.ops.entry(id.to_string()).or_default();
         if op.metrics.is_none() {
             op.metrics = self.metrics.clone();
         }
+        op.last_access = tick;
         op
     }
 
@@ -238,13 +350,36 @@ impl StateStore {
     }
 
     /// Total keys across operators (the "state size" metric of §2.3).
+    /// Counts in-memory keys only; spilled operators contribute zero
+    /// until their next access reloads them.
     pub fn total_keys(&self) -> usize {
         self.ops.values().map(|o| o.len()).sum()
+    }
+
+    /// Approximate in-memory bytes across all operators.
+    pub fn memory_bytes(&self) -> usize {
+        self.ops.values().map(|o| o.bytes).sum()
+    }
+
+    /// Approximate bytes currently resident in spill blobs.
+    pub fn spilled_bytes(&self) -> u64 {
+        self.spilled.values().sum()
+    }
+
+    /// Operator ids currently spilled to the backend.
+    pub fn spilled_ops(&self) -> Vec<String> {
+        self.spilled.keys().cloned().collect()
     }
 
     fn key_for(epoch: u64, kind: &str) -> String {
         // Zero-padded so lexicographic listing equals numeric order.
         format!("state/chk-{epoch:020}-{kind}.json")
+    }
+
+    fn spill_key(op: &str) -> String {
+        // Distinct prefix from `state/chk-` so checkpoint listings and
+        // epoch parsing never see spill blobs.
+        format!("state/spill/{op}.json")
     }
 
     fn parse_key(key: &str) -> Option<(u64, bool)> {
@@ -274,12 +409,161 @@ impl StateStore {
             .map_err(|e| SsError::Corruption(format!("checkpoint {key}: bad JSON: {e}")))
     }
 
+    /// Write one operator's full contents to its spill blob and drop it
+    /// from memory. Caller guarantees the operator exists, is clean,
+    /// and is not already spilled.
+    fn spill_op(&mut self, id: &str) -> Result<u64> {
+        let op = self.ops.get_mut(id).expect("spill candidate exists");
+        debug_assert!(op.is_clean(), "only clean operators may spill");
+        let entries: Vec<SerializedEntry> = op
+            .map
+            .iter()
+            .map(|(k, e)| SerializedEntry {
+                key: k.clone(),
+                entry: e.clone(),
+            })
+            .collect();
+        let data = serde_json::to_vec(&entries)
+            .map_err(|e| SsError::Serde(format!("spill encode for `{id}`: {e}")))?;
+        self.backend
+            .write_atomic(&Self::spill_key(id), &frame::encode(&data))?;
+        let freed = op.bytes as u64;
+        let keys_freed = op.map.len() as i64;
+        op.map = FxHashMap::default();
+        op.bytes = 0;
+        self.spilled.insert(id.to_string(), freed);
+        if let Some(m) = &self.metrics {
+            m.spills.inc();
+            m.keys.add(-keys_freed);
+            m.bytes.add(-(freed as i64));
+            m.spilled_bytes.set(self.spilled_bytes() as i64);
+        }
+        Ok(freed)
+    }
+
+    /// Load a spilled operator back into memory and delete its blob.
+    fn reload_spilled(&mut self, id: &str) -> Result<()> {
+        let key = Self::spill_key(id);
+        let data = self.backend.read(&key)?.ok_or_else(|| {
+            SsError::Execution(format!("spill blob {key} disappeared before reload"))
+        })?;
+        let payload = frame::decode(&data)
+            .map_err(|e| SsError::Corruption(format!("spill {key}: {e}")))?;
+        let entries: Vec<SerializedEntry> = serde_json::from_slice(&payload)
+            .map_err(|e| SsError::Corruption(format!("spill {key}: bad JSON: {e}")))?;
+        let op = self.ops.entry(id.to_string()).or_default();
+        op.load(entries.into_iter().map(|e| (e.key, e.entry)).collect());
+        let keys_loaded = op.map.len() as i64;
+        let bytes_loaded = op.bytes as i64;
+        self.backend.delete(&key)?;
+        self.spilled.remove(id);
+        if let Some(m) = &self.metrics {
+            m.spill_reloads.inc();
+            m.keys.add(keys_loaded);
+            m.bytes.add(bytes_loaded);
+            m.spilled_bytes.set(self.spilled_bytes() as i64);
+        }
+        Ok(())
+    }
+
+    /// Surface any spill-reload failure stashed by the infallible
+    /// [`StateStore::operator`] accessor. The engine calls this after
+    /// executing an epoch and *before* committing its output, so a
+    /// failed reload (which handed an operator empty state) can never
+    /// make a wrong result durable.
+    pub fn check_health(&mut self) -> Result<()> {
+        match self.reload_errors.pop() {
+            Some(e) => {
+                self.reload_errors.clear();
+                Err(e)
+            }
+            None => Ok(()),
+        }
+    }
+
+    /// Enforce the soft memory limit: while in-memory bytes exceed it,
+    /// spill clean operators coldest-first (by last access) to the
+    /// checkpoint backend. Call right after a checkpoint, when every
+    /// operator is clean and therefore spillable. Dirty operators are
+    /// never spilled (their delta information would be lost).
+    pub fn enforce_budget(&mut self) -> Result<BudgetReport> {
+        let mut ops_spilled = 0usize;
+        if let Some(soft) = self.budget.soft_limit_bytes {
+            if self.memory_bytes() > soft {
+                let mut candidates: Vec<(u64, String)> = self
+                    .ops
+                    .iter()
+                    .filter(|(id, op)| {
+                        !op.map.is_empty() && op.is_clean() && !self.spilled.contains_key(*id)
+                    })
+                    .map(|(id, op)| (op.last_access, id.clone()))
+                    .collect();
+                candidates.sort();
+                for (_, id) in candidates {
+                    if self.memory_bytes() <= soft {
+                        break;
+                    }
+                    self.spill_op(&id)?;
+                    ops_spilled += 1;
+                }
+            }
+        }
+        Ok(BudgetReport {
+            memory_bytes: self.memory_bytes(),
+            ops_spilled,
+            spilled_bytes: self.spilled_bytes(),
+        })
+    }
+
+    /// Fail with [`SsError::ResourceExhausted`] when in-memory state
+    /// exceeds the hard limit — the graceful alternative to an OOM
+    /// kill. The engine checks this before committing an epoch, so the
+    /// offending epoch aborts and can be retried (or the query fails)
+    /// with all durable state intact.
+    pub fn check_hard_limit(&self) -> Result<()> {
+        if let Some(hard) = self.budget.hard_limit_bytes {
+            let bytes = self.memory_bytes();
+            if bytes > hard {
+                return Err(SsError::ResourceExhausted(format!(
+                    "state store holds ~{bytes} bytes in memory, over the hard \
+                     limit of {hard} bytes"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Delete every spill blob and forget the spill markers. Called
+    /// when in-memory state is wholesale replaced (restore) or dropped
+    /// (clear): checkpoints are authoritative for recovery, so stale
+    /// spill blobs must not survive to shadow them.
+    fn purge_spill_blobs(&mut self) -> Result<()> {
+        for key in self.backend.list("state/spill/")? {
+            self.backend.delete(&key)?;
+        }
+        self.spilled.clear();
+        self.reload_errors.clear();
+        if let Some(m) = &self.metrics {
+            m.spilled_bytes.set(0);
+        }
+        Ok(())
+    }
+
     /// Checkpoint all operator state, tagged with `epoch`. Writes a
     /// full snapshot every `snapshot_interval` checkpoints (and always
     /// for the first one); deltas otherwise.
     pub fn checkpoint(&mut self, epoch: u64) -> Result<()> {
         let started = Instant::now();
         let full = self.checkpoints_taken.is_multiple_of(self.snapshot_interval);
+        if full {
+            // A full snapshot must capture spilled operators too: their
+            // in-memory maps are empty, so reload them first. (Deltas
+            // can skip them — a spilled operator is clean by
+            // construction, so its delta is empty.)
+            for id in self.spilled.keys().cloned().collect::<Vec<_>>() {
+                self.reload_spilled(&id)?;
+            }
+        }
         let mut ops = Vec::with_capacity(self.ops.len());
         for (id, st) in &self.ops {
             let entries: Vec<SerializedEntry> = if full {
@@ -400,6 +684,9 @@ impl StateStore {
                 }
             }
         }
+        // In-memory state is being wholesale replaced: spill blobs
+        // describe the old state and must not survive.
+        self.purge_spill_blobs()?;
         self.ops.clear();
         for (id, map) in state {
             let op = self.ops.entry(id).or_default();
@@ -408,6 +695,7 @@ impl StateStore {
         }
         if let Some(m) = &self.metrics {
             m.keys.set(self.total_keys() as i64);
+            m.bytes.set(self.memory_bytes() as i64);
             m.restore_us.observe(started.elapsed().as_micros() as u64);
         }
         Ok(())
@@ -460,11 +748,19 @@ impl StateStore {
     }
 
     /// Drop all in-memory state (e.g. before a restore or when starting
-    /// a fresh query against an existing checkpoint directory).
+    /// a fresh query against an existing checkpoint directory). Spill
+    /// blobs are purged best-effort: the spill markers are forgotten
+    /// regardless, so a blob left behind by a backend error is inert
+    /// (never reloaded, overwritten atomically by any future spill).
     pub fn clear_memory(&mut self) {
+        let _ = self.purge_spill_blobs();
+        self.spilled.clear();
+        self.reload_errors.clear();
         self.ops.clear();
         if let Some(m) = &self.metrics {
             m.keys.set(0);
+            m.bytes.set(0);
+            m.spilled_bytes.set(0);
         }
     }
 }
@@ -725,6 +1021,187 @@ mod tests {
         // Checkpoints above the bound were pruned (they describe state
         // the engine is about to recompute).
         assert_eq!(s.retained_epochs().unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn byte_accounting_tracks_puts_overwrites_and_removes() {
+        let mut s = store();
+        let op = s.operator("agg");
+        assert_eq!(op.approx_bytes(), 0);
+        op.put(row!["key"], entry(1));
+        let one = op.approx_bytes();
+        assert!(one > 0);
+        // Overwrite with a fatter payload grows the estimate; shrinking
+        // it back restores the original.
+        op.put(row!["key"], StateEntry::new(vec![row![1i64], row![2i64], row![3i64]]));
+        assert!(op.approx_bytes() > one);
+        op.put(row!["key"], entry(1));
+        assert_eq!(op.approx_bytes(), one);
+        op.remove(&row!["key"]);
+        assert_eq!(op.approx_bytes(), 0);
+        assert_eq!(s.memory_bytes(), 0);
+    }
+
+    #[test]
+    fn soft_limit_spills_cold_clean_ops_and_reloads_on_access() {
+        let backend = Arc::new(MemoryBackend::new());
+        let mut s = StateStore::new(backend.clone()).with_budget(MemoryBudget {
+            soft_limit_bytes: Some(1), // everything clean must spill
+            hard_limit_bytes: None,
+        });
+        s.operator("cold").put(row!["a"], entry(1));
+        s.operator("hot").put(row!["b"], entry(2));
+        // Dirty state never spills: budget enforcement before any
+        // checkpoint finds no candidates.
+        let report = s.enforce_budget().unwrap();
+        assert_eq!(report.ops_spilled, 0);
+        assert!(report.memory_bytes > 0);
+
+        s.checkpoint(1).unwrap(); // everything clean now
+        s.operator("hot"); // touch: "cold" is now the colder one
+        let report = s.enforce_budget().unwrap();
+        assert_eq!(report.ops_spilled, 2, "limit of 1 byte forces both out");
+        assert_eq!(report.memory_bytes, 0);
+        assert!(report.spilled_bytes > 0);
+        assert_eq!(s.spilled_ops(), vec!["cold", "hot"]);
+        assert_eq!(s.total_keys(), 0);
+        assert!(!backend.list("state/spill/").unwrap().is_empty());
+
+        // Transparent reload on access: data intact, blob deleted.
+        assert_eq!(s.operator("cold").get(&row!["a"]), Some(&entry(1)));
+        s.check_health().unwrap();
+        assert_eq!(s.spilled_ops(), vec!["hot"]);
+        assert_eq!(s.operator("hot").get(&row!["b"]), Some(&entry(2)));
+        assert!(backend.list("state/spill/").unwrap().is_empty());
+        assert_eq!(s.spilled_bytes(), 0);
+    }
+
+    #[test]
+    fn spill_prefers_the_coldest_op() {
+        let mut s = store();
+        s.operator("x").put(row!["a"], entry(1));
+        s.operator("y").put(row!["b"], entry(2));
+        // A limit that one op fits under but two do not: spilling the
+        // single coldest op suffices.
+        let one_op = s.operator_ref("x").unwrap().approx_bytes();
+        s.set_budget(MemoryBudget {
+            soft_limit_bytes: Some(one_op + 1),
+            hard_limit_bytes: None,
+        });
+        s.checkpoint(1).unwrap();
+        // Touch "x" after the checkpoint: "y" is colder.
+        s.operator("x");
+        let report = s.enforce_budget().unwrap();
+        assert_eq!(report.ops_spilled, 1);
+        assert_eq!(s.spilled_ops(), vec!["y"]);
+    }
+
+    #[test]
+    fn full_snapshot_reloads_spilled_ops_first() {
+        let backend = Arc::new(MemoryBackend::new());
+        // Interval 1: every checkpoint is a full snapshot.
+        let mut s = StateStore::new(backend.clone())
+            .with_snapshot_interval(1)
+            .with_budget(MemoryBudget {
+                soft_limit_bytes: Some(1),
+                hard_limit_bytes: None,
+            });
+        s.operator("agg").put(row!["a"], entry(1));
+        s.checkpoint(1).unwrap();
+        s.enforce_budget().unwrap();
+        assert_eq!(s.total_keys(), 0, "spilled out of memory");
+        // The next full snapshot must still contain the spilled data.
+        s.checkpoint(2).unwrap();
+        s.clear_memory();
+        s.restore(2).unwrap();
+        assert_eq!(s.operator("agg").get(&row!["a"]), Some(&entry(1)));
+    }
+
+    #[test]
+    fn restore_purges_stale_spill_blobs() {
+        let backend = Arc::new(MemoryBackend::new());
+        let mut s = StateStore::new(backend.clone()).with_budget(MemoryBudget {
+            soft_limit_bytes: Some(1),
+            hard_limit_bytes: None,
+        });
+        s.operator("agg").put(row!["a"], entry(1));
+        s.checkpoint(1).unwrap();
+        s.enforce_budget().unwrap();
+        assert!(!backend.list("state/spill/").unwrap().is_empty());
+        // Restoring replaces memory: the spill blob is stale and gone.
+        s.restore(1).unwrap();
+        assert!(backend.list("state/spill/").unwrap().is_empty());
+        assert_eq!(s.spilled_ops(), Vec::<String>::new());
+        assert_eq!(s.operator("agg").get(&row!["a"]), Some(&entry(1)));
+    }
+
+    #[test]
+    fn hard_limit_fails_gracefully() {
+        let mut s = store().with_budget(MemoryBudget {
+            soft_limit_bytes: None,
+            hard_limit_bytes: Some(16),
+        });
+        s.check_hard_limit().unwrap();
+        s.operator("agg")
+            .put(row!["key"], StateEntry::new(vec![row!["a-large-payload-string"]]));
+        let err = s.check_hard_limit().unwrap_err();
+        assert_eq!(err.category(), "resource_exhausted");
+        assert!(err.to_string().contains("hard"), "{err}");
+    }
+
+    #[test]
+    fn lost_spill_blob_surfaces_via_check_health() {
+        let backend = Arc::new(MemoryBackend::new());
+        let mut s = StateStore::new(backend.clone()).with_budget(MemoryBudget {
+            soft_limit_bytes: Some(1),
+            hard_limit_bytes: None,
+        });
+        s.operator("agg").put(row!["a"], entry(1));
+        s.checkpoint(1).unwrap();
+        s.enforce_budget().unwrap();
+        // Simulate the blob vanishing out from under the store.
+        for key in backend.list("state/spill/").unwrap() {
+            backend.delete(&key).unwrap();
+        }
+        // The infallible accessor hands back (empty) state...
+        assert!(s.operator("agg").get(&row!["a"]).is_none());
+        // ...but the stashed error stops the epoch before commit.
+        let err = s.check_health().unwrap_err();
+        assert!(err.to_string().contains("spill"), "{err}");
+        s.check_health().unwrap();
+    }
+
+    #[test]
+    fn spill_metrics_are_recorded() {
+        use ss_common::{MetricValue, MetricsRegistry};
+
+        let registry = MetricsRegistry::new();
+        let mut s = store().with_budget(MemoryBudget {
+            soft_limit_bytes: Some(1),
+            hard_limit_bytes: None,
+        });
+        s.attach_metrics(&registry);
+        s.operator("agg").put(row!["a"], entry(1));
+        match registry.value("ss_state_bytes", &[]) {
+            Some(MetricValue::Gauge(b)) => assert!(b > 0),
+            other => panic!("missing bytes gauge: {other:?}"),
+        }
+        s.checkpoint(1).unwrap();
+        s.enforce_budget().unwrap();
+        assert_eq!(registry.value("ss_state_spills_total", &[]), Some(MetricValue::Counter(1)));
+        assert_eq!(registry.value("ss_state_bytes", &[]), Some(MetricValue::Gauge(0)));
+        assert_eq!(registry.value("ss_state_keys", &[]), Some(MetricValue::Gauge(0)));
+        match registry.value("ss_state_spilled_bytes", &[]) {
+            Some(MetricValue::Gauge(b)) => assert!(b > 0),
+            other => panic!("missing spilled-bytes gauge: {other:?}"),
+        }
+        s.operator("agg"); // reload
+        assert_eq!(
+            registry.value("ss_state_spill_reloads_total", &[]),
+            Some(MetricValue::Counter(1))
+        );
+        assert_eq!(registry.value("ss_state_spilled_bytes", &[]), Some(MetricValue::Gauge(0)));
+        assert_eq!(registry.value("ss_state_keys", &[]), Some(MetricValue::Gauge(1)));
     }
 
     #[test]

@@ -102,7 +102,7 @@ pub mod prelude {
     pub use crate::sql;
     pub use ss_bus::{
         BusSink, BusSource, CallbackSink, EpochOutput, FileSink, FileSource, GeneratorSource,
-        MemorySink, MessageBus, Sink, Source,
+        MemorySink, MessageBus, OverflowPolicy, Sink, Source, TopicConfig,
     };
     pub use ss_common::{
         row, DataType, FaultMode, FaultRegistry, FaultTrigger, Field, RecordBatch, RetryPolicy,

@@ -64,15 +64,35 @@ fn feed(bus: &MessageBus, n: u64, start: u64) {
     }
 }
 
+fn base_config(faults: FaultRegistry) -> MicroBatchConfig {
+    MicroBatchConfig {
+        max_records_per_trigger: Some(7),
+        adaptive_batching: false,
+        checkpoint_interval: 2,
+        faults,
+        retry: RetryPolicy::immediate(3),
+        ..Default::default()
+    }
+}
+
 fn build_engine(
     bus: Arc<MessageBus>,
     sink: Arc<MemorySink>,
     backend: Arc<MemoryBackend>,
     faults: FaultRegistry,
 ) -> Result<MicroBatchExecution, SsError> {
+    build_engine_with(bus, sink, backend, base_config(faults))
+}
+
+fn build_engine_with(
+    bus: Arc<MessageBus>,
+    sink: Arc<MemorySink>,
+    backend: Arc<MemoryBackend>,
+    config: MicroBatchConfig,
+) -> Result<MicroBatchExecution, SsError> {
     let ctx = StreamingContext::new();
     ctx.read_source(Arc::new(
-        BusSource::new(bus, "in", schema())?.with_faults(faults.clone()),
+        BusSource::new(bus, "in", schema())?.with_faults(config.faults.clone()),
     ))?;
     let plan = ctx
         .table("in")
@@ -87,14 +107,6 @@ fn build_engine(
     for (name, s) in ctx.sources_snapshot() {
         sources.insert(name, s);
     }
-    let config = MicroBatchConfig {
-        max_records_per_trigger: Some(7),
-        adaptive_batching: false,
-        checkpoint_interval: 2,
-        faults,
-        retry: RetryPolicy::immediate(3),
-        ..Default::default()
-    };
     MicroBatchExecution::new(
         "q",
         &plan,
@@ -241,4 +253,96 @@ fn corrupting_a_committed_wal_record_is_rejected_with_a_distinct_error() {
         Err(e) => e,
     };
     assert_eq!(err.category(), "corruption", "got: {err}");
+}
+
+/// Bursty load under active admission control, with crashes landing
+/// mid-epoch while rate limits are in force. A deterministic stepping
+/// clock makes every epoch look slow (hundreds of fake milliseconds),
+/// so the PID controller genuinely throttles admission to a few rows
+/// per epoch against 20-row bursts. Crash, recover, repeat: restarted
+/// incarnations must re-admit exactly the in-flight epoch's logged
+/// offsets, so the sink still converges byte-for-byte to the no-fault,
+/// no-limit reference run.
+#[test]
+fn bursty_load_under_rate_limiting_converges_after_crashes() {
+    use std::sync::atomic::{AtomicI64, Ordering};
+
+    use ss_core::microbatch::Clock;
+    use ss_core::RateControllerConfig;
+
+    const BURST: u64 = 20;
+
+    std::panic::set_hook(Box::new(|_| {}));
+    let expected = reference();
+    for seed in [1u64, 7, 21, 33] {
+        // One monotone fake clock per run, shared across incarnations
+        // so restarts never see time move backwards.
+        let ticks = Arc::new(AtomicI64::new(0));
+        let clock: Clock = {
+            let t = ticks.clone();
+            Arc::new(move || t.fetch_add(50_000, Ordering::SeqCst))
+        };
+        let throttled = |faults: FaultRegistry| MicroBatchConfig {
+            rate_controller: Some(RateControllerConfig {
+                min_rate: 1.0,
+                batch_interval_us: 100_000,
+                ..RateControllerConfig::default()
+            }),
+            clock: clock.clone(),
+            ..base_config(faults)
+        };
+        let mut rng = XorShift64::new(seed);
+        let bus = Arc::new(MessageBus::new());
+        bus.create_topic("in", 2).unwrap();
+        let backend = Arc::new(MemoryBackend::new());
+        let sink = MemorySink::new("out");
+        let mut fed: u64 = 0;
+        let mut incarnation = 0u32;
+        let limited = loop {
+            incarnation += 1;
+            let faults = FaultRegistry::new();
+            if incarnation <= 30 {
+                let (point, mode) = POOL[rng.gen_range(0, POOL.len() as u64) as usize];
+                faults.configure(point, FaultTrigger::Once { skip: rng.gen_range(0, 5) }, mode);
+            }
+            let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<bool, SsError> {
+                let mut eng = build_engine_with(
+                    bus.clone(),
+                    sink.clone(),
+                    backend.clone(),
+                    throttled(faults.clone()),
+                )?;
+                while fed < TOTAL_ROWS {
+                    feed(&bus, BURST, fed);
+                    fed += BURST;
+                    eng.process_available()?;
+                }
+                eng.process_available()?;
+                // Did admission control actually hold rows back?
+                let engaged = eng
+                    .progress()
+                    .all()
+                    .any(|p| p.rate_limit.is_some() && p.backlog_rows > 0);
+                Ok(engaged)
+            }));
+            if let Ok(Ok(l)) = outcome {
+                break l;
+            }
+            assert!(
+                incarnation < 100,
+                "bursty chaos run (seed {seed}) did not converge"
+            );
+        };
+        let mut rows = sink.snapshot();
+        rows.sort();
+        assert_eq!(
+            rows, expected,
+            "seed {seed} diverged from the clean unthrottled run"
+        );
+        assert!(
+            limited,
+            "rate limiter never engaged under bursty load (seed {seed})"
+        );
+    }
+    let _ = std::panic::take_hook();
 }

@@ -1,0 +1,224 @@
+//! Short soak under sustained 2× overload, gated on `SS_SOAK_SECS`.
+//!
+//! A windowed aggregation runs behind a throttled sink while a
+//! producer feeds twice whatever the query managed to admit last
+//! epoch — by construction the query can never catch up. For the
+//! configured wall-clock duration the test samples epoch latency and
+//! state memory, then fails if either diverges: latency must not trend
+//! upward (admission keeps epochs constant-size) and in-memory state
+//! must stay under the soft budget (spill keeps it there). The input
+//! topic itself is bounded with a `DropOldest` policy, so process
+//! memory as a whole is bounded too — the backlog that matters lives
+//! in the (shedding) bus, not the engine.
+//!
+//! Unset or zero `SS_SOAK_SECS` skips the test (the default for the
+//! fast tier-1 suite); CI runs it with a small value.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use structured_streaming::prelude::*;
+use structured_streaming::ss_bus::{OverflowPolicy, TopicConfig};
+use structured_streaming::ss_common::{MetricValue, Result as SsResult};
+use structured_streaming::ss_core::microbatch::{
+    EpochRun, MemoryBudget, MicroBatchConfig, MicroBatchExecution,
+};
+use structured_streaming::ss_core::RateControllerConfig;
+use structured_streaming::ss_exec::MemoryCatalog;
+
+struct SlowSink {
+    inner: Arc<MemorySink>,
+    delay_us: AtomicU64,
+}
+
+impl Sink for SlowSink {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn commit_epoch(&self, epoch: u64, output: &EpochOutput) -> SsResult<()> {
+        let d = self.delay_us.load(Ordering::SeqCst);
+        if d > 0 {
+            thread::sleep(Duration::from_micros(d));
+        }
+        self.inner.commit_epoch(epoch, output)
+    }
+
+    fn truncate_after(&self, epoch: u64) -> SsResult<()> {
+        self.inner.truncate_after(epoch)
+    }
+
+    fn rows_written(&self) -> u64 {
+        self.inner.rows_written()
+    }
+}
+
+fn schema() -> SchemaRef {
+    Schema::of(vec![
+        Field::new("key", DataType::Utf8),
+        Field::new("v", DataType::Int64),
+        Field::new("time", DataType::Timestamp),
+    ])
+}
+
+fn feed(bus: &MessageBus, n: u64, start: u64) {
+    for i in start..start + n {
+        bus.append(
+            "in",
+            0,
+            vec![row![
+                format!("k{}", i % 7),
+                i as i64,
+                Value::Timestamp(i as i64 * 250_000)
+            ]],
+        )
+        .unwrap();
+    }
+}
+
+const SOFT_LIMIT: usize = 2 * 1024;
+
+fn median(mut xs: Vec<i64>) -> i64 {
+    xs.sort_unstable();
+    if xs.is_empty() {
+        0
+    } else {
+        xs[xs.len() / 2]
+    }
+}
+
+#[test]
+fn soak_overload_stays_bounded() {
+    let secs: u64 = match std::env::var("SS_SOAK_SECS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+    {
+        Some(n) if n > 0 => n,
+        _ => {
+            eprintln!("soak skipped; set SS_SOAK_SECS=<seconds> to run");
+            return;
+        }
+    };
+
+    let bus = Arc::new(MessageBus::new());
+    bus.create_topic_with(
+        "in",
+        TopicConfig {
+            partitions: 1,
+            capacity: Some(5_000),
+            overflow: OverflowPolicy::DropOldest,
+        },
+    )
+    .unwrap();
+    let mem = MemorySink::new("out");
+    let sink = Arc::new(SlowSink {
+        inner: mem.clone(),
+        delay_us: AtomicU64::new(2_000),
+    });
+
+    let ctx = StreamingContext::new();
+    ctx.read_source(Arc::new(BusSource::new(bus.clone(), "in", schema()).unwrap()))
+        .unwrap();
+    let plan = ctx
+        .table("in")
+        .unwrap()
+        .with_watermark("time", "30 seconds")
+        .unwrap()
+        .group_by(vec![
+            window(col("time"), "10 seconds").unwrap(),
+            col("key"),
+        ])
+        .agg(vec![count_star(), sum(col("v"))])
+        .plan();
+    let mut sources: HashMap<String, Arc<dyn Source>> = HashMap::new();
+    for (name, s) in ctx.sources_snapshot() {
+        sources.insert(name, s);
+    }
+    let config = MicroBatchConfig {
+        max_records_per_trigger: Some(64),
+        adaptive_batching: false,
+        checkpoint_interval: 1,
+        rate_controller: Some(RateControllerConfig {
+            min_rate: 16.0,
+            batch_interval_us: 2_000,
+            ..RateControllerConfig::default()
+        }),
+        state_budget: MemoryBudget {
+            soft_limit_bytes: Some(SOFT_LIMIT),
+            hard_limit_bytes: None,
+        },
+        ..Default::default()
+    };
+    let mut eng = MicroBatchExecution::new(
+        "soak",
+        &plan,
+        sources,
+        Arc::new(MemoryCatalog::new()),
+        sink,
+        OutputMode::Update,
+        Arc::new(MemoryBackend::new()),
+        config,
+    )
+    .unwrap();
+
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    let mut fed: u64 = 0;
+    let mut last_admitted: u64 = 32;
+    let mut durations: Vec<i64> = Vec::new();
+    let mut state_bytes: Vec<u64> = Vec::new();
+    while Instant::now() < deadline {
+        // 2× whatever the query actually absorbed last epoch: the
+        // producer outruns the consumer by construction.
+        feed(&bus, (2 * last_admitted).max(32), fed);
+        fed += (2 * last_admitted).max(32);
+        match eng.run_epoch().unwrap() {
+            EpochRun::Ran(p) => {
+                last_admitted = p.admitted_rows.max(1);
+                durations.push(p.batch_duration_us);
+                state_bytes.push(p.state_bytes);
+            }
+            EpochRun::Idle => {}
+        }
+    }
+    let epochs = durations.len();
+    assert!(epochs >= 8, "soak too short to be meaningful ({epochs} epochs)");
+
+    // Latency must not diverge: the second half of the run is no worse
+    // than a small constant factor over the first half.
+    let half = epochs / 2;
+    let first = median(durations[..half].to_vec());
+    let second = median(durations[half..].to_vec());
+    assert!(
+        second <= first * 5 + 10_000,
+        "epoch latency diverged: median {first}us -> {second}us over {epochs} epochs"
+    );
+
+    // Memory must not diverge: every sampled epoch ends under the soft
+    // state budget (spill keeps trimming), and the bounded input topic
+    // can never exceed its capacity.
+    let worst = state_bytes.iter().copied().max().unwrap_or(0);
+    assert!(
+        worst <= SOFT_LIMIT as u64,
+        "state memory exceeded the soft budget: {worst}B > {SOFT_LIMIT}B"
+    );
+    assert!(bus.retained_records("in").unwrap() <= 5_000);
+
+    // The overload machinery demonstrably engaged.
+    match eng.metrics().value("ss_state_spills_total", &[]) {
+        Some(MetricValue::Counter(n)) => assert!(n >= 1, "soak never spilled"),
+        other => panic!("missing spill counter: {other:?}"),
+    }
+    assert!(
+        eng.progress()
+            .all()
+            .any(|p| p.rate_limit.is_some() && p.backlog_rows > 0),
+        "soak never rate-limited"
+    );
+    eprintln!(
+        "soak ok: {epochs} epochs, median latency {first}us/{second}us, peak state {worst}B, shed {}",
+        bus.shed_records("in").unwrap()
+    );
+}
