@@ -44,6 +44,12 @@ pub enum SsError {
     /// for an OOM kill or an unbounded queue: the operation is refused
     /// with the budget named, instead of degrading the whole process.
     ResourceExhausted(String),
+    /// A restarted query is incompatible with the checkpoint it is
+    /// resuming from: a stateful operator's semantics changed (grouping
+    /// keys, window size, join type, ...) or the manifest was written by
+    /// a newer format version. Raised *before* any durable write so the
+    /// checkpoint stays intact for the old query or a rollback.
+    IncompatibleUpgrade(String),
     /// An invariant the engine relies on was violated — always a bug.
     Internal(String),
 }
@@ -63,6 +69,7 @@ impl SsError {
             SsError::Transient(_) => "transient",
             SsError::Corruption(_) => "corruption",
             SsError::ResourceExhausted(_) => "resource_exhausted",
+            SsError::IncompatibleUpgrade(_) => "incompatible_upgrade",
             SsError::Internal(_) => "internal",
         }
     }
@@ -96,6 +103,7 @@ impl SsError {
                 | SsError::Plan(_)
                 | SsError::Unsupported(_)
                 | SsError::Parse(_)
+                | SsError::IncompatibleUpgrade(_)
         )
     }
 }
@@ -114,6 +122,7 @@ impl fmt::Display for SsError {
             SsError::Transient(m) => write!(f, "transient error: {m}"),
             SsError::Corruption(m) => write!(f, "corruption detected: {m}"),
             SsError::ResourceExhausted(m) => write!(f, "resource exhausted: {m}"),
+            SsError::IncompatibleUpgrade(m) => write!(f, "incompatible upgrade: {m}"),
             SsError::Internal(m) => write!(f, "internal error (bug): {m}"),
         }
     }
@@ -177,6 +186,10 @@ mod tests {
             SsError::Io(std::io::Error::other("x")).category(),
             "io"
         );
+        assert_eq!(
+            SsError::IncompatibleUpgrade(String::new()).category(),
+            "incompatible_upgrade"
+        );
     }
 
     #[test]
@@ -188,6 +201,9 @@ mod tests {
         assert!(!SsError::Transient("flake".into()).is_user_error());
         assert!(!SsError::Corruption("bad crc".into()).is_user_error());
         assert!(!SsError::ResourceExhausted("topic full".into()).is_user_error());
+        // A rejected upgrade is the user's query edit, not an engine
+        // fault: the supervisor must not burn restarts on it.
+        assert!(SsError::IncompatibleUpgrade("group keys changed".into()).is_user_error());
     }
 
     #[test]

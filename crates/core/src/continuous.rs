@@ -35,9 +35,9 @@ use ss_common::time::now_us;
 use ss_common::{FaultRegistry, MetricsRegistry, Result, Row, Schema, SchemaRef, SsError, TraceLog};
 use ss_expr::eval::evaluate_row;
 use ss_expr::Expr;
-use ss_plan::LogicalPlan;
+use ss_plan::{plan_fingerprint, LogicalPlan};
 use ss_state::CheckpointBackend;
-use ss_wal::{EpochCommit, EpochOffsets, OffsetRange, WriteAheadLog};
+use ss_wal::{EpochCommit, EpochOffsets, Manifest, OffsetRange, WriteAheadLog, MANIFEST_VERSION};
 
 /// Continuous-mode fail points, fired through
 /// [`ContinuousConfig::faults`]. The coordinator's WAL additionally
@@ -263,7 +263,8 @@ impl ContinuousQuery {
 
         // Resume from the last committed epoch's end offsets, if a WAL
         // exists.
-        let wal = wal_backend.map(|b| {
+        let backend = wal_backend;
+        let wal = backend.clone().map(|b| {
             let mut w = WriteAheadLog::new(b);
             w.attach_metrics(&registry);
             w.set_faults(config.faults.clone());
@@ -284,6 +285,49 @@ impl ContinuousQuery {
                     start_epoch = last;
                 }
             }
+        }
+
+        // Upgrade safety: the checkpoint manifest records which engine
+        // owns the directory. A microbatch checkpoint's state layout is
+        // meaningless to continuous mode (and vice versa), so refuse it
+        // here — before any epoch marker lands — and stamp a fresh
+        // continuous manifest so the reverse mismatch is caught too.
+        // (A newer-than-supported manifest format is refused inside
+        // `Manifest::load`; a checkpoint without a manifest is the
+        // legacy v0 layout and resumes unchecked.)
+        if let Some(b) = &backend {
+            match Manifest::load(b)? {
+                Some(m) if m.engine != "continuous" => {
+                    return Err(SsError::IncompatibleUpgrade(format!(
+                        "checkpoint was written by the `{}` engine; its layout is \
+                         not readable by the continuous engine",
+                        m.engine
+                    )));
+                }
+                _ => {}
+            }
+            let mut sources = std::collections::BTreeMap::new();
+            sources.insert(
+                topic.to_string(),
+                start_offsets
+                    .iter()
+                    .enumerate()
+                    .map(|(p, &o)| (p as u32, o))
+                    .collect::<ss_common::PartitionOffsets>(),
+            );
+            Manifest {
+                version: MANIFEST_VERSION,
+                query_name: format!("continuous-{topic}"),
+                engine: "continuous".into(),
+                last_epoch: start_epoch,
+                sources,
+                watermark_us: i64::MIN,
+                sealed: false,
+                plan_fingerprint: plan_fingerprint(&optimized),
+                // Map-like pipelines carry no operator state to check.
+                operators: Vec::new(),
+            }
+            .write(b)?;
         }
 
         let shared = Arc::new(ContinuousShared {
@@ -713,6 +757,72 @@ mod tests {
         q2.stop().unwrap();
         let expected: BTreeSet<i64> = (0..20).map(|i| i * 2).collect();
         assert_eq!(*seen.lock(), expected);
+    }
+
+    #[test]
+    fn refuses_a_checkpoint_owned_by_the_microbatch_engine() {
+        let bus = Arc::new(MessageBus::new());
+        bus.create_topic("in", 1).unwrap();
+        let backend: Arc<dyn CheckpointBackend> = Arc::new(MemoryBackend::new());
+        Manifest {
+            version: MANIFEST_VERSION,
+            query_name: "q".into(),
+            engine: "microbatch".into(),
+            last_epoch: 3,
+            sources: Default::default(),
+            watermark_us: i64::MIN,
+            sealed: true,
+            plan_fingerprint: "0".repeat(16),
+            operators: Vec::new(),
+        }
+        .write(&backend)
+        .unwrap();
+        let sink: RecordSink = Arc::new(|_p, _row| Ok(()));
+        let err = match ContinuousQuery::start(
+            &map_plan(),
+            bus,
+            "in",
+            sink,
+            Some(backend),
+            ContinuousConfig::default(),
+        ) {
+            Err(e) => e,
+            Ok(_) => panic!("microbatch-owned checkpoint must be refused"),
+        };
+        assert_eq!(err.category(), "incompatible_upgrade");
+        assert!(err.to_string().contains("microbatch"), "{err}");
+    }
+
+    #[test]
+    fn stamps_and_reloads_its_own_manifest() {
+        let bus = Arc::new(MessageBus::new());
+        bus.create_topic("in", 1).unwrap();
+        let backend: Arc<dyn CheckpointBackend> = Arc::new(MemoryBackend::new());
+        let sink: RecordSink = Arc::new(|_p, _row| Ok(()));
+        let q = ContinuousQuery::start(
+            &map_plan(),
+            bus.clone(),
+            "in",
+            sink.clone(),
+            Some(backend.clone()),
+            ContinuousConfig::default(),
+        )
+        .unwrap();
+        q.stop().unwrap();
+        let m = Manifest::load(&backend).unwrap().expect("manifest written");
+        assert_eq!(m.engine, "continuous");
+        assert!(m.operators.is_empty());
+        // A second incarnation accepts its own manifest.
+        let q2 = ContinuousQuery::start(
+            &map_plan(),
+            bus,
+            "in",
+            sink,
+            Some(backend),
+            ContinuousConfig::default(),
+        )
+        .unwrap();
+        q2.stop().unwrap();
     }
 
     #[test]

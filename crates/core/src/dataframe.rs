@@ -321,6 +321,17 @@ impl DataStreamWriter {
         self
     }
 
+    /// Checkpoint retention: after each checkpoint, purge state
+    /// generations and compact the WAL so at least the last `n` epochs
+    /// stay individually rollback-able (the horizon snaps down to a
+    /// full-snapshot boundary; everything older is garbage-collected
+    /// and counted in `ss_checkpoint_purged_total`). Default: keep
+    /// everything.
+    pub fn min_epochs_to_retain(mut self, n: u64) -> Self {
+        self.config.min_epochs_to_retain = Some(n);
+        self
+    }
+
     /// Override the full engine config (advanced).
     pub fn engine_config(mut self, config: MicroBatchConfig) -> Self {
         self.config = config;

@@ -60,6 +60,7 @@ pub mod microbatch;
 pub mod query;
 pub mod sjoin;
 pub mod stateful;
+pub mod upgrade;
 pub mod watermark;
 
 pub use admission::{PidRateController, RateControllerConfig};
@@ -68,6 +69,7 @@ pub use dataframe::{DataFrame, DataStreamWriter, Trigger};
 pub use metrics::{OpDuration, QueryProgress, StreamingQueryListener};
 pub use microbatch::MicroBatchExecution;
 pub use query::{RestartPolicy, StreamingQuery, StreamingQueryManager};
+pub use upgrade::{check_compatibility, MigrationAction, StateMigration};
 
 /// Everything a typical application needs.
 pub mod prelude {

@@ -34,17 +34,18 @@ use std::time::Instant;
 use ss_bus::{EpochOutput, Sink, SinkMetrics, Source, SourceMetrics};
 use ss_common::time::now_us;
 use ss_common::{
-    FaultRegistry, Histogram, MetricsRegistry, PartitionOffsets, RecordBatch, Result, RetryPolicy,
-    SchemaRef, SsError, TraceLog,
+    Counter, FaultRegistry, Histogram, MetricsRegistry, PartitionOffsets, RecordBatch, Result,
+    RetryPolicy, SchemaRef, SsError, TraceLog,
 };
 use ss_exec::executor::Catalog;
-use ss_plan::{LogicalPlan, OutputMode};
+use ss_plan::{operator_signatures, plan_fingerprint, LogicalPlan, OperatorSignature, OutputMode};
 use ss_state::{CheckpointBackend, StateStore};
-use ss_wal::{EpochCommit, EpochOffsets, OffsetRange, WriteAheadLog};
+use ss_wal::{EpochCommit, EpochOffsets, Manifest, OffsetRange, WriteAheadLog, MANIFEST_VERSION};
 
 use crate::admission::{apportion, PidRateController, RateControllerConfig};
 use crate::incremental::{incrementalize, EpochContext, IncNode, OpStat, OpStatsCollector};
 use crate::metrics::{OpDuration, ProgressHistory, QueryProgress, StreamingQueryListener};
+use crate::upgrade::{self, StateMigration};
 use crate::watermark::WatermarkTracker;
 
 pub use ss_state::MemoryBudget;
@@ -71,6 +72,10 @@ pub mod failpoints {
     /// Before handing an epoch's output to the sink (retried under the
     /// engine policy; sinks are idempotent per epoch).
     pub const SINK_COMMIT: &str = "microbatch.sink.commit";
+    /// Before (re)writing the checkpoint manifest (retried under the
+    /// engine policy; the write is atomic, so a failure leaves the
+    /// previous manifest in place).
+    pub const MANIFEST_WRITE: &str = "microbatch.manifest.write";
 }
 
 /// Engine tuning knobs.
@@ -106,6 +111,11 @@ pub struct MicroBatchConfig {
     /// operators to the checkpoint backend, hard limit fails the epoch
     /// with `ResourceExhausted` instead of OOMing.
     pub state_budget: MemoryBudget,
+    /// Checkpoint retention (`None` = keep everything): after each
+    /// checkpoint, purge state-checkpoint generations and compact the
+    /// WAL so at least the last N epochs stay individually rollback-able
+    /// (the actual horizon snaps down to a full-snapshot boundary).
+    pub min_epochs_to_retain: Option<u64>,
 }
 
 impl Default for MicroBatchConfig {
@@ -121,6 +131,7 @@ impl Default for MicroBatchConfig {
             clock: Arc::new(now_us),
             rate_controller: None,
             state_budget: MemoryBudget::default(),
+            min_epochs_to_retain: None,
         }
     }
 }
@@ -177,6 +188,22 @@ pub struct MicroBatchExecution {
     update_key_cols: Vec<usize>,
     wal: WriteAheadLog,
     store: StateStore,
+    /// The checkpoint backend, kept for the manifest (which lives at
+    /// the backend root, outside the `wal/` and `state/` prefixes) and
+    /// for rebuilding the engine on `restart_from_checkpoint`.
+    backend: Arc<dyn CheckpointBackend>,
+    /// Canonical signatures of this plan's stateful operators, recorded
+    /// in every manifest write.
+    signatures: Vec<OperatorSignature>,
+    /// Canonical whole-plan fingerprint (informational).
+    plan_fingerprint: String,
+    /// State migrations owed to the checkpoint this engine resumed
+    /// from, applied after every state restore. Empty when the plan is
+    /// unchanged.
+    migrations: Vec<StateMigration>,
+    /// `ss_checkpoint_purged_total`: blobs/records removed by retention
+    /// GC.
+    purged_total: Counter,
     tracker: WatermarkTracker,
     /// Last epoch with offsets logged.
     epoch: u64,
@@ -234,6 +261,25 @@ impl MicroBatchExecution {
         let output_schema = root.schema();
         let update_key_cols = root.update_key_columns(&output_schema);
         let tracker = WatermarkTracker::new(&optimized.watermarks());
+        // Upgrade safety: classify this plan against the checkpoint's
+        // manifest *before* recovery touches anything durable. An
+        // incompatible edit (changed grouping keys, window, join type)
+        // fails here, leaving the checkpoint intact for the old query
+        // or a rollback; a checkpoint without a manifest is the legacy
+        // v0 layout and resumes unchecked, exactly as older builds did.
+        let signatures = operator_signatures(&optimized)?;
+        let plan_fp = plan_fingerprint(&optimized);
+        let migrations = match Manifest::load(&backend)? {
+            Some(m) if m.engine != "microbatch" => {
+                return Err(SsError::IncompatibleUpgrade(format!(
+                    "checkpoint was written by the `{}` engine; its state layout is \
+                     not readable by the microbatch engine",
+                    m.engine
+                )));
+            }
+            Some(m) => upgrade::check_compatibility(&m.operators, &signatures)?,
+            None => Vec::new(),
+        };
         // The registry is created before the WAL/state store so even
         // recovery replays are captured in the metrics.
         let registry = MetricsRegistry::new();
@@ -241,7 +287,7 @@ impl MicroBatchExecution {
         let mut wal = WriteAheadLog::new(backend.clone());
         wal.attach_metrics(&registry);
         wal.set_faults(config.faults.clone());
-        let mut store = StateStore::new(backend);
+        let mut store = StateStore::new(backend.clone());
         store.attach_metrics(&registry);
         store.set_faults(config.faults.clone());
         store.set_budget(config.state_budget);
@@ -280,6 +326,11 @@ impl MicroBatchExecution {
             "ss_bus_shed_records",
             "Records shed by bounded bus topics feeding this query.",
         );
+        registry.describe(
+            "ss_checkpoint_purged_total",
+            "Checkpoint blobs and WAL records removed by retention GC.",
+        );
+        let purged_total = registry.counter("ss_checkpoint_purged_total", &[]);
         let epoch_duration_us = registry.histogram("ss_epoch_duration_us", &[]);
         let progress = ProgressHistory::new(config.progress_history);
         let rate_controller = config.rate_controller.map(PidRateController::new);
@@ -294,6 +345,11 @@ impl MicroBatchExecution {
             update_key_cols,
             wal,
             store,
+            backend,
+            signatures,
+            plan_fingerprint: plan_fp,
+            migrations,
+            purged_total,
             tracker,
             epoch: 0,
             positions: HashMap::new(),
@@ -784,12 +840,129 @@ impl MicroBatchExecution {
                     ],
                 );
             }
+            // The manifest rides along with the checkpoint — it must
+            // only ever describe a state layout that exists on disk, so
+            // it is never written ahead of the first checkpoint of the
+            // current plan.
+            retried(&retry_policy, &registry, "manifest_write", || {
+                faults.fire(failpoints::MANIFEST_WRITE)?;
+                self.write_manifest(false)
+            })?;
+            self.maybe_gc(offsets.epoch)?;
         }
         Ok(EpochExecution {
             out_rows,
             ops,
             sink_commit_us,
         })
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoint manifest & retention
+    // ------------------------------------------------------------------
+
+    /// Build the manifest describing the checkpoint as of the last
+    /// defined epoch.
+    fn manifest(&self, sealed: bool) -> Manifest {
+        Manifest {
+            version: MANIFEST_VERSION,
+            query_name: self.name.clone(),
+            engine: "microbatch".into(),
+            last_epoch: self.epoch,
+            sources: self
+                .positions
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+            watermark_us: self.tracker.current(),
+            sealed,
+            plan_fingerprint: self.plan_fingerprint.clone(),
+            operators: self.signatures.clone(),
+        }
+    }
+
+    /// Atomically (re)write the manifest. Deliberately **not** called at
+    /// startup: until the first checkpoint of the current plan lands,
+    /// the manifest must keep describing the previous plan's layout, or
+    /// a crash-before-checkpoint would leave un-migrated state behind a
+    /// manifest that claims the new layout.
+    fn write_manifest(&self, sealed: bool) -> Result<()> {
+        self.manifest(sealed).write(&self.backend)
+    }
+
+    /// Seal the manifest after a graceful drain: every defined epoch is
+    /// committed and no in-flight work remains. Called by
+    /// `StreamingQuery::stop_graceful`.
+    pub fn seal_manifest(&mut self) -> Result<()> {
+        if self.epoch == 0 {
+            // Nothing was ever committed; an empty checkpoint needs no
+            // manifest (and writing one would pin the plan's signatures
+            // onto a directory that holds no state).
+            return Ok(());
+        }
+        let registry = self.registry.clone();
+        let faults = self.config.faults.clone();
+        retried(&self.config.retry, &registry, "manifest_write", || {
+            faults.fire(failpoints::MANIFEST_WRITE)?;
+            self.write_manifest(true)
+        })
+    }
+
+    /// Canonical signatures of this plan's stateful operators.
+    pub fn operator_signatures(&self) -> &[OperatorSignature] {
+        &self.signatures
+    }
+
+    /// Build a fresh engine over the **same checkpoint, sources and
+    /// sink** but a new (edited) plan. The compatibility check and any
+    /// state migrations run inside [`MicroBatchExecution::new`]; an
+    /// incompatible edit errors before anything durable is touched.
+    /// Used by `StreamingQuery::restart_from_checkpoint`.
+    pub fn rebuild_from_checkpoint(
+        &self,
+        new_plan: &Arc<LogicalPlan>,
+    ) -> Result<MicroBatchExecution> {
+        MicroBatchExecution::new(
+            self.name.clone(),
+            new_plan,
+            self.sources.clone(),
+            self.statics.clone(),
+            self.sink.clone(),
+            self.output_mode,
+            self.backend.clone(),
+            self.config.clone(),
+        )
+    }
+
+    /// Retention GC after a checkpoint at `epoch`: purge state
+    /// generations below the horizon (snapped down to a full-snapshot
+    /// boundary so every retained epoch stays restorable) and compact
+    /// the WAL up to the new restore floor.
+    fn maybe_gc(&mut self, epoch: u64) -> Result<()> {
+        let Some(retain) = self.config.min_epochs_to_retain else {
+            return Ok(());
+        };
+        let horizon = epoch.saturating_sub(retain);
+        if horizon == 0 {
+            return Ok(());
+        }
+        let mut purged = self.store.purge_before(horizon)?;
+        if purged > 0 {
+            if let Some(base) = self.store.earliest_full_epoch()? {
+                purged += self.wal.compact_before(base)?;
+            }
+        }
+        if purged > 0 {
+            self.purged_total.add(purged as u64);
+            self.trace.instant(
+                "checkpoint-gc",
+                &[
+                    ("purged", &purged.to_string()),
+                    ("horizon", &horizon.to_string()),
+                ],
+            );
+        }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -843,6 +1016,17 @@ impl MicroBatchExecution {
         let chk = self.store.restore_best(Some(last_committed))?;
         let mut replay_from = 1;
         if let Some(c) = chk {
+            if !self.migrations.is_empty() {
+                // The checkpoint predates the current plan: rewrite each
+                // migratable operator's rows to the new layout *before*
+                // operators load them. Idempotent — rows already in the
+                // new arity are left alone.
+                upgrade::apply_migrations(&mut self.store, &self.migrations);
+                self.trace.instant(
+                    "state-migration",
+                    &[("operators", &self.migrations.len().to_string())],
+                );
+            }
             self.root.restore_state(&mut self.store)?;
             self.tracker.load(&self.store)?;
             replay_from = c + 1;
@@ -894,7 +1078,55 @@ impl MicroBatchExecution {
     /// sink output to `epoch`, then recover. Subsequent triggers
     /// recompute everything after `epoch` from the (retained) source
     /// data.
+    /// Both validations below run **before** any truncation, so a
+    /// refused rollback leaves the checkpoint untouched.
     pub fn rollback_to(&mut self, epoch: u64) -> Result<()> {
+        // Retention horizon: if GC compacted the WAL prefix, epochs
+        // below the earliest retained full snapshot cannot be rebuilt.
+        let epochs = self.wal.offset_epochs()?;
+        if let Some(&first) = epochs.first() {
+            if first > 1 {
+                let floor = self.store.earliest_full_epoch()?.unwrap_or(first);
+                if epoch < floor {
+                    return Err(SsError::Execution(format!(
+                        "cannot roll back to epoch {epoch}: checkpoint retention \
+                         horizon is epoch {floor} (earlier checkpoints and WAL \
+                         records were purged)"
+                    )));
+                }
+            }
+        }
+        // Source retention: replaying from `epoch` re-reads every source
+        // from its position at that epoch; refuse if a source has
+        // already aged that data out.
+        let resume: HashMap<String, PartitionOffsets> = if epoch == 0 {
+            self.sources.keys().map(|n| (n.clone(), PartitionOffsets::new())).collect()
+        } else {
+            let offsets = self.wal.read_offsets(epoch)?.ok_or_else(|| {
+                SsError::Execution(format!(
+                    "cannot roll back to epoch {epoch}: its offset record is missing"
+                ))
+            })?;
+            offsets
+                .sources
+                .iter()
+                .map(|(n, r)| (n.clone(), r.end.clone()))
+                .collect()
+        };
+        for (name, source) in &self.sources {
+            let earliest = source.earliest_offsets()?;
+            let positions = resume.get(name).cloned().unwrap_or_default();
+            for (partition, avail) in &earliest {
+                let have = positions.get(partition).copied().unwrap_or(0);
+                if *avail > have {
+                    return Err(SsError::Execution(format!(
+                        "cannot roll back to epoch {epoch}: source `{name}` \
+                         partition {partition} has aged out data before offset \
+                         {avail} (replay would need offset {have})"
+                    )));
+                }
+            }
+        }
         self.wal.truncate_after(epoch)?;
         self.store.truncate_after(epoch)?;
         self.sink.truncate_after(epoch)?;

@@ -286,10 +286,81 @@ impl StreamingQuery {
         }
     }
 
-    /// Stop the query (graceful shutdown, §2.3). Idempotent; the sync
-    /// mode simply drops the engine.
+    /// Stop the query (§2.3). Always lands on an **epoch commit
+    /// boundary**: the background stop flag is only examined between
+    /// trigger firings, and each firing runs the full epoch protocol
+    /// (offsets → execute → sink → commit → checkpoint) under the
+    /// engine lock, so an in-flight epoch completes — or fails — whole.
+    /// A later restart therefore never recomputes a committed epoch's
+    /// sink output. Idempotent.
     pub fn stop(mut self) -> Result<()> {
         self.stop_in_place()
+    }
+
+    /// Graceful drain stop: stop at the next commit boundary like
+    /// [`StreamingQuery::stop`], then **seal** the checkpoint manifest
+    /// — recording that every defined epoch is committed with no
+    /// in-flight work — so the checkpoint is a clean handoff point for
+    /// [`StreamingQuery::restart_from_checkpoint`] or a new deployment.
+    pub fn stop_graceful(mut self) -> Result<()> {
+        self.drain_and_seal()
+    }
+
+    /// Upgrade the query in place (§7.2 "updating a query's code"):
+    /// gracefully stop, then build a fresh engine over the **same
+    /// checkpoint, sources and sink** running `new_df`'s plan. The
+    /// compatibility check classifies the edit against the sealed
+    /// manifest before anything durable is touched — a compatible edit
+    /// resumes from the retained state (migrating it if needed), an
+    /// incompatible one ([`SsError::IncompatibleUpgrade`]) leaves the
+    /// checkpoint intact for the old query or a rollback.
+    ///
+    /// The returned query is in synchronous mode; re-wrap it with a
+    /// trigger to resume background execution.
+    pub fn restart_from_checkpoint(mut self, new_df: &crate::DataFrame) -> Result<StreamingQuery> {
+        self.drain_and_seal()?;
+        let plan = new_df.plan();
+        let engine = match &self.inner {
+            QueryInner::Sync(e) => e.rebuild_from_checkpoint(&plan)?,
+            QueryInner::Background { engine, .. } => engine.lock().rebuild_from_checkpoint(&plan)?,
+        };
+        Ok(StreamingQuery::new_sync(engine))
+    }
+
+    /// Shared drain for the graceful paths: join the trigger thread at
+    /// the commit boundary, surface any failure, then seal the
+    /// manifest.
+    fn drain_and_seal(&mut self) -> Result<()> {
+        match &mut self.inner {
+            QueryInner::Sync(e) => {
+                e.seal_manifest()?;
+                e.notify_terminated(None);
+            }
+            QueryInner::Background {
+                engine,
+                stop,
+                handle,
+                error,
+            } => {
+                stop.store(true, Ordering::SeqCst);
+                if let Some(h) = handle.take() {
+                    h.thread().unpark();
+                    h.join()
+                        .map_err(|_| SsError::Execution("query thread panicked".into()))?;
+                }
+                if let Some(e) = error.lock().clone() {
+                    // A failed query did not drain; leave the manifest
+                    // unsealed so the next recovery re-runs the
+                    // in-flight work.
+                    engine.lock().notify_terminated(Some(&e));
+                    return Err(SsError::Execution(e));
+                }
+                let mut eng = engine.lock();
+                eng.seal_manifest()?;
+                eng.notify_terminated(None);
+            }
+        }
+        Ok(())
     }
 
     fn stop_in_place(&mut self) -> Result<()> {

@@ -17,12 +17,17 @@
 
 pub mod analyzer;
 pub mod builder;
+pub mod fingerprint;
 pub mod optimizer;
 pub mod plan;
 pub mod stateful;
 pub mod streaming;
 
 pub use analyzer::analyze;
+pub use fingerprint::{
+    canonical_expr, operator_signatures, plan_fingerprint, AggregateSig, KeySig,
+    OperatorSignature, WindowSig,
+};
 pub use builder::LogicalPlanBuilder;
 pub use optimizer::{optimize, Optimizer};
 pub use plan::{JoinType, LogicalPlan, SortKey};

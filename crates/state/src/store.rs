@@ -747,6 +747,49 @@ impl StateStore {
         Ok(())
     }
 
+    /// The oldest epoch with a retained **full** snapshot — the floor of
+    /// what [`restore`](Self::restore) can reach, and hence the oldest
+    /// valid rollback target.
+    pub fn earliest_full_epoch(&self) -> Result<Option<u64>> {
+        Ok(self
+            .backend
+            .list("state/chk-")?
+            .iter()
+            .filter_map(|k| Self::parse_key(k))
+            .filter_map(|(e, full)| full.then_some(e))
+            .min())
+    }
+
+    /// Checkpoint GC: delete every checkpoint blob **strictly older**
+    /// than the newest full snapshot at or before `horizon`. Deltas
+    /// chained off a retained full snapshot are never orphaned — the
+    /// purge boundary is always a full-snapshot epoch, so every epoch ≥
+    /// the boundary remains restorable. A no-op (returns 0) when no full
+    /// snapshot exists at or before `horizon`. Returns the number of
+    /// blobs deleted; the new restore floor is
+    /// [`earliest_full_epoch`](Self::earliest_full_epoch).
+    pub fn purge_before(&self, horizon: u64) -> Result<usize> {
+        let keys = self.backend.list("state/chk-")?;
+        let base = keys
+            .iter()
+            .filter_map(|k| Self::parse_key(k))
+            .filter_map(|(e, full)| (full && e <= horizon).then_some(e))
+            .max();
+        let Some(base) = base else {
+            return Ok(0);
+        };
+        let mut deleted = 0usize;
+        for key in &keys {
+            if let Some((e, _)) = Self::parse_key(key) {
+                if e < base {
+                    self.backend.delete(key)?;
+                    deleted += 1;
+                }
+            }
+        }
+        Ok(deleted)
+    }
+
     /// Drop all in-memory state (e.g. before a restore or when starting
     /// a fresh query against an existing checkpoint directory). Spill
     /// blobs are purged best-effort: the spill markers are forgotten
@@ -789,6 +832,33 @@ mod tests {
         assert_eq!(op.remove(&row!["a"]), Some(entry(1)));
         assert_eq!(op.get(&row!["a"]), None);
         assert_eq!(s.total_keys(), 0);
+    }
+
+    #[test]
+    fn purge_before_keeps_the_delta_chain_restorable() {
+        let mut s = store(); // full snapshot every 3rd checkpoint: 1, 4, 7
+        for e in 1..=8 {
+            s.operator("agg").put(row!["k"], entry(e as i64));
+            s.checkpoint(e).unwrap();
+        }
+        assert_eq!(s.earliest_full_epoch().unwrap(), Some(1));
+
+        // Horizon 6: newest full ≤ 6 is epoch 4 — epochs 1..=3 go.
+        assert_eq!(s.purge_before(6).unwrap(), 3);
+        assert_eq!(s.earliest_full_epoch().unwrap(), Some(4));
+        assert_eq!(s.retained_epochs().unwrap(), vec![4, 5, 6, 7, 8]);
+        // Every surviving epoch still restores (5 and 6 chain off 4).
+        for e in 4..=8 {
+            s.restore(e).unwrap();
+            assert_eq!(s.operator("agg").get(&row!["k"]), Some(&entry(e as i64)));
+        }
+        // Restoring a purged epoch is a clean error, not silence.
+        assert!(s.restore(3).is_err());
+
+        // Horizon below any full snapshot: nothing to do.
+        assert_eq!(s.purge_before(3).unwrap(), 0);
+        // Idempotent at the same horizon.
+        assert_eq!(s.purge_before(6).unwrap(), 0);
     }
 
     #[test]

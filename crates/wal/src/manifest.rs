@@ -1,0 +1,190 @@
+//! The checkpoint `MANIFEST`: a versioned, self-describing summary of a
+//! checkpoint directory, making the checkpoint a **contract between
+//! deployments** rather than an opaque pile of epoch files.
+//!
+//! One CRC-framed, atomically-written JSON document at the root of the
+//! checkpoint backend records:
+//!
+//! * the manifest **format version** (a newer-than-supported version is
+//!   refused — forward-compat guard — while a checkpoint with *no*
+//!   manifest reads as legacy v0 and skips compatibility checking);
+//! * the **engine** that wrote it (microbatch vs continuous state
+//!   layouts are not interchangeable);
+//! * the query's progress at the last write: epoch, per-source offsets
+//!   and the event-time watermark;
+//! * whether the checkpoint was **sealed** by a graceful drain (a
+//!   sealed checkpoint has no in-flight epoch to re-run);
+//! * the canonical **plan fingerprint** plus, per stateful operator, a
+//!   stable id and its semantic signature ([`OperatorSignature`]) — the
+//!   inputs to restart-time compatibility checking.
+//!
+//! The manifest is advisory metadata *about* the WAL and state files
+//! next to it; recovery correctness never depends on it being current.
+//! It is rewritten at every checkpoint and sealed on graceful stop.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use ss_common::frame;
+use ss_common::offsets::PartitionOffsets;
+use ss_common::{Result, SsError};
+use ss_plan::OperatorSignature;
+use ss_state::CheckpointBackend;
+
+/// Backend key of the manifest document. Lives at the checkpoint root,
+/// outside the `wal/` and `state/` prefixes, so log truncation and
+/// state purges never touch it.
+pub const MANIFEST_KEY: &str = "MANIFEST.json";
+
+/// Newest manifest format this build can read and the version it
+/// writes. Checkpoints without a manifest are format 0 (the layout of
+/// builds that predate manifests).
+pub const MANIFEST_VERSION: u32 = 1;
+
+/// The manifest document. See the module docs for field semantics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Manifest format version (currently [`MANIFEST_VERSION`]).
+    pub version: u32,
+    /// The query name the checkpoint belongs to.
+    pub query_name: String,
+    /// `microbatch` or `continuous`.
+    pub engine: String,
+    /// Newest epoch reflected in this manifest.
+    pub last_epoch: u64,
+    /// Source name → end offsets consumed through `last_epoch`.
+    pub sources: BTreeMap<String, PartitionOffsets>,
+    /// Event-time watermark at `last_epoch` (µs; `i64::MIN` = none).
+    pub watermark_us: i64,
+    /// True once a graceful drain sealed the checkpoint: every defined
+    /// epoch is committed and no in-flight work remains.
+    pub sealed: bool,
+    /// Canonical whole-plan fingerprint (informational; per-operator
+    /// decisions use `operators`).
+    pub plan_fingerprint: String,
+    /// Signature of every stateful operator, in incrementalizer id
+    /// order.
+    pub operators: Vec<OperatorSignature>,
+}
+
+impl Manifest {
+    /// Read the manifest from a checkpoint backend.
+    ///
+    /// * `Ok(None)` — no manifest: a legacy **v0** checkpoint (or a
+    ///   fresh directory); callers skip compatibility checking and rely
+    ///   on the WAL/state files alone, exactly as older builds did.
+    /// * `Err(IncompatibleUpgrade)` — the manifest declares a format
+    ///   version newer than this build understands; refusing early
+    ///   beats misreading a future layout.
+    /// * `Err(Corruption)` — the document exists but fails CRC or JSON
+    ///   validation.
+    pub fn load(backend: &Arc<dyn CheckpointBackend>) -> Result<Option<Manifest>> {
+        let Some(data) = backend.read(MANIFEST_KEY)? else {
+            return Ok(None);
+        };
+        let payload;
+        let bytes: &[u8] = if frame::is_framed(&data) {
+            payload = frame::decode(&data)
+                .map_err(|e| SsError::Corruption(format!("checkpoint manifest: {e}")))?;
+            &payload
+        } else {
+            &data
+        };
+        let manifest: Manifest = serde_json::from_slice(bytes)
+            .map_err(|e| SsError::Corruption(format!("checkpoint manifest: bad JSON: {e}")))?;
+        if manifest.version > MANIFEST_VERSION {
+            return Err(SsError::IncompatibleUpgrade(format!(
+                "checkpoint manifest is format v{} but this build supports at most v{}; \
+                 upgrade the engine before resuming from this checkpoint",
+                manifest.version, MANIFEST_VERSION
+            )));
+        }
+        Ok(Some(manifest))
+    }
+
+    /// Atomically (re)write the manifest, CRC-framed.
+    pub fn write(&self, backend: &Arc<dyn CheckpointBackend>) -> Result<()> {
+        let data = serde_json::to_vec_pretty(self)
+            .map_err(|e| SsError::Serde(format!("manifest encode: {e}")))?;
+        backend.write_atomic(MANIFEST_KEY, &frame::encode(&data))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_state::MemoryBackend;
+
+    fn backend() -> Arc<dyn CheckpointBackend> {
+        Arc::new(MemoryBackend::new())
+    }
+
+    fn manifest() -> Manifest {
+        let mut sources = BTreeMap::new();
+        sources.insert("kafka".to_string(), PartitionOffsets::from([(0, 42)]));
+        Manifest {
+            version: MANIFEST_VERSION,
+            query_name: "q".into(),
+            engine: "microbatch".into(),
+            last_epoch: 7,
+            sources,
+            watermark_us: 1_000_000,
+            sealed: false,
+            plan_fingerprint: "00ff00ff00ff00ff".into(),
+            operators: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn round_trips_through_backend() {
+        let b = backend();
+        assert_eq!(Manifest::load(&b).unwrap(), None); // v0: no manifest
+        let m = manifest();
+        m.write(&b).unwrap();
+        assert_eq!(Manifest::load(&b).unwrap(), Some(m));
+    }
+
+    #[test]
+    fn is_crc_framed_human_readable_json() {
+        let b = backend();
+        manifest().write(&b).unwrap();
+        let raw = b.read(MANIFEST_KEY).unwrap().unwrap();
+        assert!(frame::is_framed(&raw));
+        let text = String::from_utf8(frame::decode(&raw).unwrap()).unwrap();
+        assert!(text.contains("\"engine\": \"microbatch\""));
+        assert!(text.contains("\"last_epoch\": 7"));
+    }
+
+    #[test]
+    fn newer_format_version_is_refused() {
+        let b = backend();
+        let mut m = manifest();
+        m.version = MANIFEST_VERSION + 1;
+        m.write(&b).unwrap();
+        let err = Manifest::load(&b).unwrap_err();
+        assert_eq!(err.category(), "incompatible_upgrade");
+        assert!(err.to_string().contains("format v2"), "{err}");
+    }
+
+    #[test]
+    fn torn_manifest_is_corruption_not_silence() {
+        let b = backend();
+        manifest().write(&b).unwrap();
+        let mut raw = b.read(MANIFEST_KEY).unwrap().unwrap();
+        raw.truncate(raw.len() / 2);
+        b.write_atomic(MANIFEST_KEY, &raw).unwrap();
+        assert_eq!(Manifest::load(&b).unwrap_err().category(), "corruption");
+    }
+
+    #[test]
+    fn unframed_manifest_from_interrupted_tooling_still_reads() {
+        // Mirrors the WAL's legacy-read policy: raw JSON (no frame) is
+        // accepted so hand-edited manifests keep working.
+        let b = backend();
+        let data = serde_json::to_vec_pretty(&manifest()).unwrap();
+        b.write_atomic(MANIFEST_KEY, &data).unwrap();
+        assert_eq!(Manifest::load(&b).unwrap(), Some(manifest()));
+    }
+}

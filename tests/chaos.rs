@@ -35,6 +35,8 @@ const POOL: &[(&str, FaultMode)] = &[
     (failpoints::AFTER_COMMIT_WRITE, FaultMode::Panic),
     (failpoints::SOURCE_READ, FaultMode::TransientError),
     (failpoints::SINK_COMMIT, FaultMode::TransientError),
+    (failpoints::MANIFEST_WRITE, FaultMode::Error),
+    (failpoints::MANIFEST_WRITE, FaultMode::TransientError),
     (ss_wal::failpoints::OFFSETS_APPEND, FaultMode::Error),
     (ss_wal::failpoints::OFFSETS_APPEND, FaultMode::TransientError),
     (ss_wal::failpoints::COMMITS_APPEND, FaultMode::Error),
@@ -253,6 +255,136 @@ fn corrupting_a_committed_wal_record_is_rejected_with_a_distinct_error() {
         Err(e) => e,
     };
     assert_eq!(err.category(), "corruption", "got: {err}");
+}
+
+/// Chaos over the *lifecycle* APIs: a query is repeatedly drained with
+/// `stop_graceful` and re-deployed with `restart_from_checkpoint` under
+/// a semantically equivalent (but differently fingerprinted) plan,
+/// while seeded faults land on the manifest write, the commit path and
+/// the recovery replay. A failed drain or upgrade models a crash during
+/// shutdown: the next cycle rebuilds straight from the checkpoint. The
+/// sink must still converge byte-for-byte to a clean run.
+#[test]
+fn graceful_stop_and_upgrade_survive_injected_faults() {
+    std::panic::set_hook(Box::new(|_| {}));
+
+    // Three plan variants whose filters all pass every row (v = i ≥ 0):
+    // upgrades between them are Compatible (the aggregate's signature
+    // is untouched) yet change the plan fingerprint.
+    let variants: &[fn(DataFrame) -> DataFrame] = &[
+        |df| df.filter(col("v").gt_eq(lit(0i64))),
+        |df| df.filter(col("v").gt(lit(-1i64))),
+        |df| df,
+    ];
+    let plan_for = |bus: &Arc<MessageBus>, variant: usize| -> DataFrame {
+        let ctx = StreamingContext::new();
+        let df = ctx
+            .read_source(Arc::new(BusSource::new(bus.clone(), "in", schema()).unwrap()))
+            .unwrap();
+        variants[variant](df)
+            .group_by(vec![col("key")])
+            .agg(vec![count_star(), sum(col("v"))])
+    };
+    let lifecycle_pool: &[(&str, FaultMode)] = &[
+        (failpoints::MANIFEST_WRITE, FaultMode::Error),
+        (failpoints::MANIFEST_WRITE, FaultMode::TransientError),
+        (failpoints::AFTER_COMMIT_WRITE, FaultMode::Error),
+        (failpoints::SOURCE_READ, FaultMode::TransientError),
+        (ss_state::store::failpoints::CHECKPOINT_WRITE, FaultMode::TransientError),
+    ];
+
+    // Clean reference over the full input.
+    let expected = {
+        let bus = Arc::new(MessageBus::new());
+        bus.create_topic("in", 2).unwrap();
+        feed(&bus, TOTAL_ROWS, 0);
+        let sink = MemorySink::new("ref");
+        let mut q = plan_for(&bus, 0)
+            .write_stream()
+            .output_mode(OutputMode::Complete)
+            .sink(sink.clone())
+            .checkpoint(Arc::new(MemoryBackend::new()))
+            .start_sync()
+            .unwrap();
+        q.process_available().unwrap();
+        let mut rows = sink.snapshot();
+        rows.sort();
+        rows
+    };
+
+    for seed in [3u64, 11, 29] {
+        let mut rng = XorShift64::new(seed);
+        let bus = Arc::new(MessageBus::new());
+        bus.create_topic("in", 2).unwrap();
+        let backend: Arc<dyn CheckpointBackend> = Arc::new(MemoryBackend::new());
+        let sink = MemorySink::new("out");
+        let faults = FaultRegistry::new();
+        let start_variant = |variant: usize| {
+            plan_for(&bus, variant)
+                .write_stream()
+                .output_mode(OutputMode::Complete)
+                .sink(sink.clone())
+                .checkpoint(backend.clone())
+                .faults(faults.clone())
+                .retry(RetryPolicy::immediate(3))
+                .start_sync()
+        };
+
+        let mut variant = 0usize;
+        let mut query: Option<StreamingQuery> = Some(start_variant(variant).unwrap());
+        let mut fed = 0u64;
+        for cycle in 0..8u32 {
+            faults.clear();
+            // (Re)incarnate after a failed drain/upgrade of the
+            // previous cycle.
+            let mut q = match query.take() {
+                Some(q) => q,
+                None => match catch_unwind(AssertUnwindSafe(|| start_variant(variant))) {
+                    Ok(Ok(q)) => q,
+                    _ => continue, // recovery itself crashed; next cycle retries
+                },
+            };
+            if fed < TOTAL_ROWS {
+                feed(&bus, WAVE, fed);
+                fed += WAVE;
+            }
+            if catch_unwind(AssertUnwindSafe(|| q.process_available())).is_err() {
+                continue; // panic mid-epoch: drop the incarnation
+            }
+            // Arm one fault, then drain-and-upgrade: even cycles stop
+            // gracefully, odd ones hot-upgrade to the next variant.
+            let (point, mode) = lifecycle_pool[rng.gen_range(0, lifecycle_pool.len() as u64) as usize];
+            faults.configure(point, FaultTrigger::Once { skip: 0 }, mode);
+            if cycle % 2 == 0 {
+                let _ = catch_unwind(AssertUnwindSafe(|| q.stop_graceful()));
+                // query stays None: rebuilt next cycle from durable state
+            } else {
+                variant = (variant + 1) % variants.len();
+                query = match catch_unwind(AssertUnwindSafe(|| {
+                    q.restart_from_checkpoint(&plan_for(&bus, variant))
+                })) {
+                    Ok(Ok(q2)) => Some(q2),
+                    _ => None,
+                };
+            }
+        }
+        // Settle: no faults, finish feeding, drain everything.
+        faults.clear();
+        let mut q = match query.take() {
+            Some(q) => q,
+            None => start_variant(variant).unwrap(),
+        };
+        while fed < TOTAL_ROWS {
+            feed(&bus, WAVE, fed);
+            fed += WAVE;
+        }
+        q.process_available().unwrap();
+        let mut rows = sink.snapshot();
+        rows.sort();
+        assert_eq!(rows, expected, "seed {seed} diverged after lifecycle chaos");
+        q.stop_graceful().unwrap();
+    }
+    let _ = std::panic::take_hook();
 }
 
 /// Bursty load under active admission control, with crashes landing
