@@ -75,6 +75,17 @@ pub fn build_ss_yahoo_query(
     workload: &YahooWorkload,
     bus: Arc<MessageBus>,
 ) -> Result<(ss_core::StreamingQuery, Arc<MemorySink>)> {
+    build_ss_yahoo_query_at(workload, bus, 1)
+}
+
+/// [`build_ss_yahoo_query`] with data-parallel execution: epochs run
+/// as partitioned map/shuffle/reduce stages on `parallelism` workers
+/// (1 = the serial engine).
+pub fn build_ss_yahoo_query_at(
+    workload: &YahooWorkload,
+    bus: Arc<MessageBus>,
+    parallelism: usize,
+) -> Result<(ss_core::StreamingQuery, Arc<MemorySink>)> {
     let ctx = StreamingContext::new();
     let events = ctx.read_source(Arc::new(BusSource::new(
         bus,
@@ -104,6 +115,7 @@ pub fn build_ss_yahoo_query(
         .query_name("yahoo")
         .output_mode(OutputMode::Update)
         .sink(sink.clone())
+        .parallelism(parallelism)
         .start_sync()?;
     Ok((query, sink))
 }
@@ -130,12 +142,26 @@ pub fn run_structured_streaming(
     bus: Arc<MessageBus>,
     total_records: u64,
 ) -> Result<ThroughputRun> {
-    let (mut query, sink) = build_ss_yahoo_query(workload, bus)?;
+    run_structured_streaming_at(workload, bus, total_records, 1)
+}
+
+/// Timed Structured Streaming run at a given worker count.
+pub fn run_structured_streaming_at(
+    workload: &YahooWorkload,
+    bus: Arc<MessageBus>,
+    total_records: u64,
+    parallelism: usize,
+) -> Result<ThroughputRun> {
+    let (mut query, sink) = build_ss_yahoo_query_at(workload, bus, parallelism)?;
     let start = Instant::now();
     query.process_available()?;
     let seconds = start.elapsed().as_secs_f64();
     Ok(ThroughputRun {
-        system: "Structured Streaming".into(),
+        system: if parallelism > 1 {
+            format!("Structured Streaming ({parallelism} workers)")
+        } else {
+            "Structured Streaming".into()
+        },
         records: total_records,
         seconds,
         counts: sink_to_counts(&sink),

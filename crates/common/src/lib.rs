@@ -25,6 +25,8 @@
 //!   jitter for transient failures.
 //! * [`frame`] — CRC32 integrity frames around WAL records and
 //!   checkpoint blobs.
+//! * [`shuffle`] — the stable FNV-1a row hash that assigns keys to
+//!   shuffle partitions in data-parallel execution.
 //! * [`SsError`] — the error type shared across the workspace.
 
 pub mod batch;
@@ -39,6 +41,7 @@ pub mod retry;
 pub mod rng;
 pub mod row;
 pub mod schema;
+pub mod shuffle;
 pub mod time;
 pub mod trace;
 pub mod types;
@@ -54,5 +57,6 @@ pub use rng::XorShift64;
 pub use offsets::{OffsetRange, PartitionOffsets};
 pub use row::Row;
 pub use schema::{Field, Schema, SchemaRef};
+pub use shuffle::{shuffle_hash, shuffle_partition};
 pub use trace::{TraceEvent, TraceLog, TraceSpan};
 pub use types::{DataType, Value};

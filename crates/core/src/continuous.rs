@@ -326,6 +326,7 @@ impl ContinuousQuery {
                 plan_fingerprint: plan_fingerprint(&optimized),
                 // Map-like pipelines carry no operator state to check.
                 operators: Vec::new(),
+                state_partitions: None,
             }
             .write(b)?;
         }
@@ -774,6 +775,7 @@ mod tests {
             sealed: true,
             plan_fingerprint: "0".repeat(16),
             operators: Vec::new(),
+            state_partitions: None,
         }
         .write(&backend)
         .unwrap();

@@ -87,7 +87,13 @@ impl OpStatsCollector {
         self.base.elapsed().as_micros() as u64
     }
 
-    fn record(&mut self, op: String, rows_out: u64, started_rel_us: u64, duration_us: u64) {
+    pub(crate) fn record(
+        &mut self,
+        op: String,
+        rows_out: u64,
+        started_rel_us: u64,
+        duration_us: u64,
+    ) {
         self.stats.push(OpStat {
             op,
             rows_out,

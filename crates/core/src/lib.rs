@@ -57,6 +57,7 @@ pub mod dataframe;
 pub mod incremental;
 pub mod metrics;
 pub mod microbatch;
+pub mod parallel;
 pub mod query;
 pub mod sjoin;
 pub mod stateful;

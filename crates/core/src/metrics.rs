@@ -69,6 +69,13 @@ pub struct QueryProgress {
     /// Records shed so far by bounded bus topics feeding this query
     /// (cumulative; 0 for non-bus sources or non-shedding policies).
     pub shed_records: u64,
+    /// Tasks the data-parallel scheduler launched this epoch (0 on the
+    /// serial path).
+    pub tasks_launched: u64,
+    /// Wall-clock duration of the slowest task this epoch (µs; 0 on
+    /// the serial path). The gap to `batch_duration_us` is scheduling
+    /// plus merge overhead; a single dominant task signals skew.
+    pub max_task_duration_us: u64,
 }
 
 impl QueryProgress {
@@ -102,6 +109,13 @@ impl QueryProgress {
         }
         if self.shed_records > 0 {
             s.push_str(&format!(" shed={}", self.shed_records));
+        }
+        if self.tasks_launched > 0 {
+            s.push_str(&format!(
+                " tasks={} max_task={:.1}ms",
+                self.tasks_launched,
+                self.max_task_duration_us as f64 / 1000.0
+            ));
         }
         s
     }
@@ -198,6 +212,8 @@ mod tests {
             state_bytes: 0,
             spilled_bytes: 0,
             shed_records: 0,
+            tasks_launched: 0,
+            max_task_duration_us: 0,
         }
     }
 
@@ -238,6 +254,18 @@ mod tests {
         assert!(s.contains("delay=2.5ms"), "got: {s}");
         assert!(s.contains("spilled=4096B"), "got: {s}");
         assert!(s.contains("shed=7"), "got: {s}");
+    }
+
+    #[test]
+    fn summary_shows_task_fields_only_under_parallel_execution() {
+        let serial = progress(1, 10);
+        assert!(!serial.summary().contains("tasks="));
+        let mut par = progress(2, 10);
+        par.tasks_launched = 8;
+        par.max_task_duration_us = 1500;
+        let s = par.summary();
+        assert!(s.contains("tasks=8"), "got: {s}");
+        assert!(s.contains("max_task=1.5ms"), "got: {s}");
     }
 
     #[test]

@@ -45,6 +45,7 @@ use ss_wal::{EpochCommit, EpochOffsets, Manifest, OffsetRange, WriteAheadLog, MA
 use crate::admission::{apportion, PidRateController, RateControllerConfig};
 use crate::incremental::{incrementalize, EpochContext, IncNode, OpStat, OpStatsCollector};
 use crate::metrics::{OpDuration, ProgressHistory, QueryProgress, StreamingQueryListener};
+use crate::parallel::{repartition_family, state_families, ParallelExec};
 use crate::upgrade::{self, StateMigration};
 use crate::watermark::WatermarkTracker;
 
@@ -116,6 +117,18 @@ pub struct MicroBatchConfig {
     /// WAL so at least the last N epochs stay individually rollback-able
     /// (the actual horizon snaps down to a full-snapshot boundary).
     pub min_epochs_to_retain: Option<u64>,
+    /// Worker threads for data-parallel epoch execution. `1` (the
+    /// default) runs the serial engine unchanged. `> 1` compiles the
+    /// plan into partitioned map/shuffle/reduce stages on a worker
+    /// pool when the plan shape supports it (falling back to serial
+    /// when it does not). Output is byte-identical either way.
+    /// Defaults to `SS_PARALLELISM` when set.
+    pub parallelism: usize,
+    /// Reduce partitions (= state shards) for parallel execution.
+    /// `0` (the default) follows `parallelism`. The checkpoint
+    /// manifest records this count; restarting with a different one
+    /// repartitions restored state by shuffle hash.
+    pub shuffle_partitions: usize,
 }
 
 impl Default for MicroBatchConfig {
@@ -132,6 +145,12 @@ impl Default for MicroBatchConfig {
             rate_controller: None,
             state_budget: MemoryBudget::default(),
             min_epochs_to_retain: None,
+            parallelism: std::env::var("SS_PARALLELISM")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n >= 1)
+                .unwrap_or(1),
+            shuffle_partitions: 0,
         }
     }
 }
@@ -140,7 +159,7 @@ impl Default for MicroBatchConfig {
 /// metric registry (`ss_retry_attempts_total` counts re-attempts,
 /// `ss_retries_exhausted_total` counts calls that failed transiently
 /// after using up the policy).
-fn retried<T>(
+pub(crate) fn retried<T>(
     policy: &RetryPolicy,
     registry: &MetricsRegistry,
     op: &str,
@@ -174,6 +193,11 @@ struct EpochExecution {
     out_rows: u64,
     ops: Vec<OpStat>,
     sink_commit_us: i64,
+    /// Tasks the parallel executor ran this epoch (0 on the serial
+    /// path).
+    tasks_launched: u64,
+    /// Slowest task's wall-clock duration (µs; 0 on the serial path).
+    max_task_duration_us: u64,
 }
 
 /// A running (or recoverable) microbatch query.
@@ -229,6 +253,11 @@ pub struct MicroBatchExecution {
     /// delay of the next one (how late it starts vs. the trigger
     /// interval in the sequential trigger loop).
     last_epoch_duration_us: i64,
+    /// Data-parallel epoch executor: present when
+    /// `config.parallelism > 1` *and* the plan compiled into
+    /// partitioned stages; `None` runs the serial path (byte-identical
+    /// output either way).
+    parallel: Option<ParallelExec>,
 }
 
 impl MicroBatchExecution {
@@ -334,6 +363,24 @@ impl MicroBatchExecution {
         let epoch_duration_us = registry.histogram("ss_epoch_duration_us", &[]);
         let progress = ProgressHistory::new(config.progress_history);
         let rate_controller = config.rate_controller.map(PidRateController::new);
+        let parallel = if config.parallelism > 1 {
+            let partitions = if config.shuffle_partitions == 0 {
+                config.parallelism
+            } else {
+                config.shuffle_partitions
+            };
+            ParallelExec::try_build(
+                &root,
+                config.parallelism,
+                partitions,
+                &registry,
+                &trace,
+                config.faults.clone(),
+                config.retry,
+            )
+        } else {
+            None
+        };
         let mut engine = MicroBatchExecution {
             name: name.into(),
             root,
@@ -365,6 +412,7 @@ impl MicroBatchExecution {
             restarts: 0,
             rate_controller,
             last_epoch_duration_us: 0,
+            parallel,
         };
         engine.recover()?;
         Ok(engine)
@@ -647,6 +695,8 @@ impl MicroBatchExecution {
             state_bytes: self.store.memory_bytes() as u64,
             spilled_bytes: self.store.spilled_bytes(),
             shed_records,
+            tasks_launched: exec.tasks_launched,
+            max_task_duration_us: exec.max_task_duration_us,
         };
         self.progress.push(progress.clone());
         for l in &self.listeners {
@@ -741,7 +791,7 @@ impl MicroBatchExecution {
         let pt = (self.config.clock)();
         let mut ops = OpStatsCollector::new();
         let exec_started = trace.now_us();
-        let out = {
+        let (out, task_stats) = {
             let _span = trace.span("execute", &[]);
             let mut ctx = EpochContext {
                 epoch: offsets.epoch,
@@ -754,7 +804,13 @@ impl MicroBatchExecution {
                 tracker: &mut self.tracker,
                 ops: &mut ops,
             };
-            self.root.execute_epoch(&mut ctx)?
+            match self.parallel.as_mut() {
+                Some(p) => {
+                    let (batch, stats) = p.execute_epoch(&mut ctx)?;
+                    (batch, Some(stats))
+                }
+                None => (self.root.execute_epoch(&mut ctx)?, None),
+            }
         };
         // Surface overload failures before anything becomes durable: a
         // spill reload that failed mid-execution (the operator saw
@@ -854,6 +910,8 @@ impl MicroBatchExecution {
             out_rows,
             ops,
             sink_commit_us,
+            tasks_launched: task_stats.as_ref().map_or(0, |s| s.tasks),
+            max_task_duration_us: task_stats.as_ref().map_or(0, |s| s.max_task_duration_us),
         })
     }
 
@@ -878,6 +936,9 @@ impl MicroBatchExecution {
             sealed,
             plan_fingerprint: self.plan_fingerprint.clone(),
             operators: self.signatures.clone(),
+            state_partitions: Some(
+                self.parallel.as_ref().map_or(1, |p| p.partitions() as u32),
+            ),
         }
     }
 
@@ -1020,15 +1081,31 @@ impl MicroBatchExecution {
                 // The checkpoint predates the current plan: rewrite each
                 // migratable operator's rows to the new layout *before*
                 // operators load them. Idempotent — rows already in the
-                // new arity are left alone.
+                // new arity are left alone. Migrations address operators
+                // by their serial (unsharded) namespace, so collapse any
+                // sharded layout first; the repartition below re-shards.
+                for (base, suffix) in state_families(&self.root) {
+                    repartition_family(&mut self.store, &base, suffix, 1)?;
+                }
                 upgrade::apply_migrations(&mut self.store, &self.migrations);
                 self.trace.instant(
                     "state-migration",
                     &[("operators", &self.migrations.len().to_string())],
                 );
             }
+            // Re-shard restored stateful-operator families to this
+            // run's partition layout (layout-agnostic and idempotent:
+            // a checkpoint already in the target layout is untouched,
+            // whatever partition count the manifest declares).
+            let target = self.parallel.as_ref().map_or(1, |p| p.partitions());
+            for (base, suffix) in state_families(&self.root) {
+                repartition_family(&mut self.store, &base, suffix, target)?;
+            }
             self.root.restore_state(&mut self.store)?;
             self.tracker.load(&self.store)?;
+            if let Some(p) = &mut self.parallel {
+                p.restore_state(&mut self.store)?;
+            }
             replay_from = c + 1;
         }
 
@@ -1155,6 +1232,9 @@ impl MicroBatchExecution {
         self.epoch = 0;
         self.positions.clear();
         self.root.restore_state(&mut self.store)?; // clears operators
+        if let Some(p) = &mut self.parallel {
+            p.restore_state(&mut self.store)?; // clears shards
+        }
         self.recover()
     }
 }

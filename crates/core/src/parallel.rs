@@ -1,0 +1,1007 @@
+//! Data-parallel epoch execution: partitioned stages with a shuffle
+//! exchange and sharded operator state.
+//!
+//! This is the engine-side half of the task scheduler (`ss-sched`
+//! provides the worker pool). An epoch over a supported plan shape is
+//! compiled into two stages:
+//!
+//! 1. **Map stage** — the epoch's input batch is split into row chunks
+//!    and each chunk runs the stateless operator chain (scan
+//!    projection, filter, project, watermark, stream–static join) on a
+//!    worker. For stateful plans the map task also evaluates the
+//!    shuffle keys: aggregate chunks expand into `(group key, argument
+//!    values)` pairs, join chunks into keyed delta rows.
+//! 2. **Shuffle + reduce stage** — rows are hash-bucketed by key
+//!    ([`ss_common::shuffle_partition`]), so every key is **owned by
+//!    exactly one reduce partition**. Each reduce task runs the same
+//!    stateful kernel serial execution runs, against that partition's
+//!    sharded state-store namespace (`{op_id}/p{r}`, joins
+//!    `{op_id}/p{r}-left/-right`).
+//!
+//! ## Determinism
+//!
+//! The merged epoch output is **byte-identical to serial execution**,
+//! regardless of worker count or OS interleaving:
+//!
+//! * map outputs are concatenated in chunk order, so shuffled rows
+//!   reach their owning reduce partition in original arrival order —
+//!   each accumulator sees exactly the update sequence serial
+//!   execution would have fed it (bit-exact even for non-associative
+//!   float aggregation);
+//! * aggregate shards emit key-sorted rows and keys never span shards,
+//!   so concat-then-sort reproduces the serial (key-sorted) emission
+//!   order; join shards emit [`TaggedRow`]s whose `(phase, idx, key,
+//!   seq)` sort key reconstructs the serial emission sequence;
+//! * the worker pool itself returns results in task-index order and
+//!   resolves failures lowest-index-first.
+//!
+//! Plans the compiler cannot prove chunk-safe (shared scans, stateful
+//! UDFs, dedup, right-outer static joins, …) return `None` from
+//! [`ParallelExec::try_build`] and fall back to the serial path.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+use std::time::Instant;
+
+use rustc_hash::FxHashSet;
+
+use ss_common::{
+    shuffle_partition, FaultRegistry, MetricsRegistry, RecordBatch, Result, RetryPolicy, Row,
+    SchemaRef, SsError, TraceLog, Value,
+};
+use ss_exec::aggregate::{HashAggregator, KeyExpander};
+use ss_exec::executor::Catalog;
+use ss_exec::join::hash_join_projected;
+use ss_exec::ops;
+use ss_expr::Expr;
+use ss_plan::{JoinType, LogicalPlan, OutputMode, SortKey};
+use ss_sched::{failpoints, ScatterStats, WorkerPool};
+use ss_state::{OpState, StateEntry, StateStore};
+
+use crate::incremental::{EpochContext, IncNode};
+use crate::microbatch::retried;
+use crate::sjoin::{KeyedDeltaRow, StreamJoinExec, TaggedRow};
+
+/// One stateless operator in a map task's chain, applied per chunk.
+/// Every variant is row-wise (chunking the input and concatenating the
+/// outputs is byte-identical to one whole-batch application).
+#[derive(Clone)]
+enum MapOp {
+    Filter(Expr),
+    Project(Vec<Expr>),
+    /// `Project(Filter(x))` fused, mirroring the serial engine's fusion
+    /// (filtered-out columns the projection drops are never built).
+    FilterProject { predicate: Expr, exprs: Vec<Expr> },
+    /// Observe per-chunk event-time maxima (merged by the engine) and
+    /// drop rows later than the in-force watermark.
+    Watermark { column: String },
+    /// Stream–static join. Only chunk-safe shapes compile: the stream
+    /// must be the probe (left) side and the static side must not emit
+    /// unmatched rows (no right-outer), since those pad once per batch.
+    StaticJoin {
+        static_plan: Arc<LogicalPlan>,
+        /// Computed once per run on the engine thread, shared by tasks.
+        cache: Option<Arc<RecordBatch>>,
+        join_type: JoinType,
+        on: Vec<(Expr, Expr)>,
+        output_projection: Option<Vec<usize>>,
+    },
+}
+
+/// The epoch's input binding for one map stage.
+#[derive(Clone)]
+struct ScanSpec {
+    name: String,
+    schema: SchemaRef,
+    projection: Option<Vec<usize>>,
+}
+
+/// A post-aggregate serial suffix (Complete-mode `Sort`/`Limit`),
+/// applied to the merged output on the engine thread.
+#[derive(Clone)]
+enum SuffixOp {
+    Sort(Vec<SortKey>),
+    Limit(usize),
+}
+
+/// A plan compiled for partitioned execution.
+enum ParallelPlan {
+    /// Stateless: map chunks, concatenate in chunk order.
+    Map {
+        scan: ScanSpec,
+        chain: Vec<MapOp>,
+    },
+    /// Map → shuffle by group key → per-partition stateful aggregation.
+    Aggregate {
+        scan: ScanSpec,
+        chain: Vec<MapOp>,
+        op_id: String,
+        expander: KeyExpander,
+        /// Empty blueprint for rebuilding shards on restore.
+        template: HashAggregator,
+        /// One aggregator per reduce partition, holding only the keys
+        /// that hash there.
+        shards: Vec<HashAggregator>,
+        suffix: Vec<SuffixOp>,
+    },
+    /// Two map sides → shuffle by join key → per-partition symmetric
+    /// join against sharded buffers.
+    Join {
+        left_scan: ScanSpec,
+        left_chain: Vec<MapOp>,
+        right_scan: ScanSpec,
+        right_chain: Vec<MapOp>,
+        exec: StreamJoinExec,
+    },
+}
+
+/// The data-parallel epoch executor: a worker pool plus the compiled
+/// stage plan. Built once per query when `parallelism > 1` and the
+/// plan shape is supported.
+pub struct ParallelExec {
+    pool: WorkerPool,
+    partitions: usize,
+    plan: ParallelPlan,
+    registry: MetricsRegistry,
+    faults: FaultRegistry,
+    retry: RetryPolicy,
+}
+
+impl ParallelExec {
+    /// Compile `root` for partitioned execution, or `None` when the
+    /// plan contains a shape that cannot be chunked/sharded safely
+    /// (the engine then stays on the serial path).
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_build(
+        root: &IncNode,
+        parallelism: usize,
+        partitions: usize,
+        registry: &MetricsRegistry,
+        trace: &TraceLog,
+        faults: FaultRegistry,
+        retry: RetryPolicy,
+    ) -> Option<ParallelExec> {
+        let partitions = partitions.max(1);
+        let plan = compile(root)?;
+        registry.describe(
+            "ss_shuffle_rows_total",
+            "Rows moved through the shuffle exchange between stages.",
+        );
+        Some(ParallelExec {
+            pool: WorkerPool::new(parallelism, Some(registry.clone()), Some(trace.clone())),
+            partitions,
+            plan,
+            registry: registry.clone(),
+            faults,
+            retry,
+        })
+    }
+
+    /// Number of reduce partitions (= state shards) this executor runs
+    /// with; recorded in the checkpoint manifest.
+    pub fn partitions(&self) -> usize {
+        self.partitions
+    }
+
+    /// Execute one epoch. Byte-identical to
+    /// `IncNode::execute_epoch` on the same inputs and state.
+    pub fn execute_epoch(
+        &mut self,
+        ctx: &mut EpochContext<'_>,
+    ) -> Result<(RecordBatch, ScatterStats)> {
+        let mut stats = ScatterStats::default();
+        let started_rel = ctx.ops.now_rel_us();
+        let started = Instant::now();
+        // Disjoint borrows: the match below holds `&mut self.plan`, so
+        // everything else the arms need is lifted out first.
+        let pool = &self.pool;
+        let partitions = self.partitions;
+        let registry = self.registry.clone();
+        let env = TaskEnv {
+            faults: self.faults.clone(),
+            retry: self.retry,
+            registry: self.registry.clone(),
+        };
+        let (out, label) = match &mut self.plan {
+            ParallelPlan::Map { scan, chain } => {
+                prime_static_caches(chain, ctx.statics)?;
+                let input = take_scan(scan, ctx)?;
+                record_scan(ctx, scan, input.num_rows());
+                let chunks = split_chunks(input, partitions);
+                let results =
+                    scatter_map(pool, &env, chunks, chain, ctx.watermark_us, &mut stats)?;
+                let mut batches = Vec::with_capacity(results.len());
+                let mut maxima = Vec::new();
+                for (b, m) in results {
+                    batches.push(b);
+                    maxima.extend(m);
+                }
+                observe_maxima(ctx, maxima);
+                (RecordBatch::concat(&batches)?, "parallel-map".to_string())
+            }
+            ParallelPlan::Aggregate {
+                scan,
+                chain,
+                op_id,
+                expander,
+                template,
+                shards,
+                suffix,
+            } => {
+                prime_static_caches(chain, ctx.statics)?;
+                let input = take_scan(scan, ctx)?;
+                record_scan(ctx, scan, input.num_rows());
+                let chunks = split_chunks(input, partitions);
+                let parts = partitions;
+
+                // Map stage: chain + key expansion + local bucketing.
+                let mut tasks: Vec<MapTask<AggMapOut>> = Vec::with_capacity(chunks.len());
+                for chunk in chunks {
+                    let chain = chain.clone();
+                    let expander = expander.clone();
+                    let wm = ctx.watermark_us;
+                    let TaskEnv {
+                        faults,
+                        retry,
+                        registry,
+                    } = env.clone();
+                    tasks.push(Box::new(move || {
+                        retried(&retry, &registry, "sched_task_run", || {
+                            faults.fire(failpoints::TASK_RUN)
+                        })?;
+                        let mut maxima = Vec::new();
+                        let out = run_chain(&chain, chunk, wm, &mut maxima)?;
+                        let pairs = expander.expand(&out)?;
+                        retried(&retry, &registry, "sched_shuffle_write", || {
+                            faults.fire(failpoints::SHUFFLE_WRITE)
+                        })?;
+                        let mut buckets: Vec<Vec<(Row, Row)>> =
+                            (0..parts).map(|_| Vec::new()).collect();
+                        for (key, args) in pairs {
+                            buckets[shuffle_partition(&key, parts)].push((key, args));
+                        }
+                        Ok((buckets, maxima))
+                    }));
+                }
+                let map_out = pool.scatter("map", tasks)?;
+                stats.absorb(map_out.stats);
+
+                // Shuffle: concatenate per-chunk buckets in chunk order
+                // so each partition receives its keys' pairs in the
+                // original global arrival order.
+                let mut shuffled: Vec<Vec<(Row, Row)>> =
+                    (0..parts).map(|_| Vec::new()).collect();
+                let mut maxima = Vec::new();
+                for (buckets, m) in map_out.results {
+                    for (r, b) in buckets.into_iter().enumerate() {
+                        shuffled[r].extend(b);
+                    }
+                    maxima.extend(m);
+                }
+                observe_maxima(ctx, maxima);
+                let shuffle_rows: usize = shuffled.iter().map(Vec::len).sum();
+                registry
+                    .counter("ss_shuffle_rows_total", &[("op", op_id.as_str())])
+                    .add(shuffle_rows as u64);
+
+                // Reduce stage: every partition runs the serial
+                // aggregate kernel over its own shard + state shard.
+                if shards.len() != parts {
+                    // First epoch (or post-failure): build fresh shards.
+                    *shards = (0..parts).map(|_| template.fresh_clone()).collect();
+                }
+                let shard_aggs = std::mem::take(shards);
+                let mut tasks: Vec<MapTask<AggReduceOut>> = Vec::with_capacity(parts);
+                for (r, (shard, pairs)) in
+                    shard_aggs.into_iter().zip(shuffled).enumerate()
+                {
+                    let op = ctx.store.take_op(&shard_ns(op_id, r, parts, ""));
+                    let mode = ctx.output_mode;
+                    let wm = ctx.watermark_us;
+                    let TaskEnv {
+                        faults,
+                        retry,
+                        registry,
+                    } = env.clone();
+                    tasks.push(Box::new(move || {
+                        retried(&retry, &registry, "sched_task_run", || {
+                            faults.fire(failpoints::TASK_RUN)
+                        })?;
+                        reduce_aggregate(shard, op, pairs, mode, wm)
+                    }));
+                }
+                let red = pool.scatter("reduce", tasks)?;
+                stats.absorb(red.stats);
+
+                let mut rows: Vec<Row> = Vec::new();
+                for (r, (shard, op, shard_rows)) in red.results.into_iter().enumerate() {
+                    ctx.store.put_op(&shard_ns(op_id, r, parts, ""), op);
+                    shards.push(shard);
+                    rows.extend(shard_rows);
+                }
+                // Keys never span shards and every shard emits
+                // key-sorted rows (the window-end column is a function
+                // of window-start, so whole-row order == key order):
+                // a global sort reproduces the serial emission order.
+                rows.sort();
+                let mut batch =
+                    RecordBatch::from_rows(template.output_schema().clone(), &rows)?;
+                for s in suffix.iter() {
+                    batch = match s {
+                        SuffixOp::Sort(keys) => ops::sort_batch(&batch, keys)?,
+                        SuffixOp::Limit(n) => ops::limit_batch(&batch, *n)?,
+                    };
+                }
+                (batch, op_id.clone())
+            }
+            ParallelPlan::Join {
+                left_scan,
+                left_chain,
+                right_scan,
+                right_chain,
+                exec,
+            } => {
+                prime_static_caches(left_chain, ctx.statics)?;
+                prime_static_caches(right_chain, ctx.statics)?;
+                let left_in = take_scan(left_scan, ctx)?;
+                let right_in = take_scan(right_scan, ctx)?;
+                record_scan(ctx, left_scan, left_in.num_rows());
+                record_scan(ctx, right_scan, right_in.num_rows());
+                let parts = partitions;
+                let left_chunks = split_chunks(left_in, parts);
+                let n_left = left_chunks.len();
+                let right_chunks = split_chunks(right_in, parts);
+
+                // Map stage, both sides in one scatter: chain + join-key
+                // evaluation per chunk (indices local to the chunk).
+                let mut tasks: Vec<MapTask<JoinMapOut>> =
+                    Vec::with_capacity(n_left + right_chunks.len());
+                for (is_left, chunk) in left_chunks
+                    .into_iter()
+                    .map(|c| (true, c))
+                    .chain(right_chunks.into_iter().map(|c| (false, c)))
+                {
+                    let chain = if is_left { left_chain.clone() } else { right_chain.clone() };
+                    let exec = exec.clone();
+                    let wm = ctx.watermark_us;
+                    let TaskEnv {
+                        faults,
+                        retry,
+                        registry,
+                    } = env.clone();
+                    tasks.push(Box::new(move || {
+                        retried(&retry, &registry, "sched_task_run", || {
+                            faults.fire(failpoints::TASK_RUN)
+                        })?;
+                        let mut maxima = Vec::new();
+                        let out = run_chain(&chain, chunk, wm, &mut maxima)?;
+                        let keyed = exec.prepare_side(&out, is_left, 0)?;
+                        retried(&retry, &registry, "sched_shuffle_write", || {
+                            faults.fire(failpoints::SHUFFLE_WRITE)
+                        })?;
+                        Ok((keyed, maxima))
+                    }));
+                }
+                let map_out = pool.scatter("map", tasks)?;
+                stats.absorb(map_out.stats);
+
+                // Shuffle: restore global arrival indices (chunk order)
+                // then bucket by join key. NULL-keyed rows shuffle on
+                // their buffer key (`[NULL]`), so exactly one partition
+                // owns their buffering and outer-row eviction.
+                let null_key = Row::new(vec![Value::Null]);
+                let mut lbuckets: Vec<Vec<KeyedDeltaRow>> =
+                    (0..parts).map(|_| Vec::new()).collect();
+                let mut rbuckets: Vec<Vec<KeyedDeltaRow>> =
+                    (0..parts).map(|_| Vec::new()).collect();
+                let mut maxima = Vec::new();
+                let mut shuffle_rows = 0u64;
+                let (mut loff, mut roff) = (0u64, 0u64);
+                for (i, (keyed, m)) in map_out.results.into_iter().enumerate() {
+                    maxima.extend(m);
+                    let is_left = i < n_left;
+                    let offset = if is_left { &mut loff } else { &mut roff };
+                    let buckets = if is_left { &mut lbuckets } else { &mut rbuckets };
+                    let n = keyed.len() as u64;
+                    shuffle_rows += n;
+                    for (j, (_, key, row)) in keyed.into_iter().enumerate() {
+                        let r = shuffle_partition(key.as_ref().unwrap_or(&null_key), parts);
+                        buckets[r].push((*offset + j as u64, key, row));
+                    }
+                    *offset += n;
+                }
+                observe_maxima(ctx, maxima);
+                registry
+                    .counter("ss_shuffle_rows_total", &[("op", exec.op_id.as_str())])
+                    .add(shuffle_rows);
+
+                // Reduce stage: each partition probes/buffers/evicts
+                // against its own `-left`/`-right` state shards.
+                let mut tasks: Vec<MapTask<JoinReduceOut>> = Vec::with_capacity(parts);
+                for (r, (lrows, rrows)) in
+                    lbuckets.into_iter().zip(rbuckets).enumerate()
+                {
+                    let left_op = ctx.store.take_op(&shard_ns(&exec.op_id, r, parts, "-left"));
+                    let right_op =
+                        ctx.store.take_op(&shard_ns(&exec.op_id, r, parts, "-right"));
+                    let exec = exec.clone();
+                    let wm = ctx.watermark_us;
+                    let TaskEnv {
+                        faults,
+                        retry,
+                        registry,
+                    } = env.clone();
+                    tasks.push(Box::new(move || {
+                        retried(&retry, &registry, "sched_task_run", || {
+                            faults.fire(failpoints::TASK_RUN)
+                        })?;
+                        let mut left_op = left_op;
+                        let mut right_op = right_op;
+                        let tagged = exec.execute_on_states(
+                            &lrows,
+                            &rrows,
+                            &mut left_op,
+                            &mut right_op,
+                            wm,
+                        )?;
+                        Ok((left_op, right_op, tagged))
+                    }));
+                }
+                let red = pool.scatter("reduce", tasks)?;
+                stats.absorb(red.stats);
+
+                let mut tagged: Vec<TaggedRow> = Vec::new();
+                for (r, (left_op, right_op, t)) in red.results.into_iter().enumerate() {
+                    ctx.store
+                        .put_op(&shard_ns(&exec.op_id, r, parts, "-left"), left_op);
+                    ctx.store
+                        .put_op(&shard_ns(&exec.op_id, r, parts, "-right"), right_op);
+                    tagged.extend(t);
+                }
+                // `(phase, idx, key, seq)` is the serial emission order.
+                tagged.sort();
+                let rows: Vec<Row> = tagged.into_iter().map(|t| t.row).collect();
+                (
+                    RecordBatch::from_rows(exec.output_schema.clone(), &rows)?,
+                    exec.op_id.clone(),
+                )
+            }
+        };
+        ctx.ops.record(
+            label,
+            out.num_rows() as u64,
+            started_rel,
+            started.elapsed().as_micros() as u64,
+        );
+        Ok((out, stats))
+    }
+
+    /// Rebuild shard state from the (restored, already repartitioned)
+    /// state store — the parallel counterpart of
+    /// `IncNode::restore_state`.
+    pub fn restore_state(&mut self, store: &mut StateStore) -> Result<()> {
+        let parts = self.partitions;
+        match &mut self.plan {
+            ParallelPlan::Map { chain, .. } => reset_static_caches(chain),
+            ParallelPlan::Join {
+                left_chain,
+                right_chain,
+                ..
+            } => {
+                reset_static_caches(left_chain);
+                reset_static_caches(right_chain);
+            }
+            ParallelPlan::Aggregate {
+                chain,
+                op_id,
+                template,
+                shards,
+                ..
+            } => {
+                reset_static_caches(chain);
+                *shards = (0..parts).map(|_| template.fresh_clone()).collect();
+                for (r, shard) in shards.iter_mut().enumerate() {
+                    let ns = shard_ns(op_id, r, parts, "");
+                    let entries: Vec<(Row, Vec<Row>)> = store
+                        .operator(&ns)
+                        .iter()
+                        .map(|(k, e)| (k.clone(), e.values.clone()))
+                        .collect();
+                    for (key, states) in entries {
+                        shard.restore_entry(key, &states)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+}
+
+/// Cloneable environment every task closure captures: fail points,
+/// retry policy and the metric registry the retries report into.
+#[derive(Clone)]
+struct TaskEnv {
+    faults: FaultRegistry,
+    retry: RetryPolicy,
+    registry: MetricsRegistry,
+}
+
+/// Scatter a stateless map stage (used by the `Map` plan).
+fn scatter_map(
+    pool: &WorkerPool,
+    env: &TaskEnv,
+    chunks: Vec<RecordBatch>,
+    chain: &[MapOp],
+    watermark_us: i64,
+    stats: &mut ScatterStats,
+) -> Result<Vec<ChainOut>> {
+    let mut tasks: Vec<MapTask<ChainOut>> = Vec::with_capacity(chunks.len());
+    for chunk in chunks {
+        let chain = chain.to_vec();
+        let TaskEnv {
+            faults,
+            retry,
+            registry,
+        } = env.clone();
+        tasks.push(Box::new(move || {
+            retried(&retry, &registry, "sched_task_run", || {
+                faults.fire(failpoints::TASK_RUN)
+            })?;
+            let mut maxima = Vec::new();
+            let out = run_chain(&chain, chunk, watermark_us, &mut maxima)?;
+            Ok((out, maxima))
+        }));
+    }
+    let out = pool.scatter("map", tasks)?;
+    stats.absorb(out.stats);
+    Ok(out.results)
+}
+
+type MapTask<R> = Box<dyn FnOnce() -> Result<R> + Send>;
+/// A stateless map task's output: the chunk after the chain, plus
+/// per-column event-time maxima observed by watermark ops.
+type ChainOut = (RecordBatch, Vec<(String, i64)>);
+type AggMapOut = (Vec<Vec<(Row, Row)>>, Vec<(String, i64)>);
+type AggReduceOut = (HashAggregator, OpState, Vec<Row>);
+type JoinMapOut = (Vec<KeyedDeltaRow>, Vec<(String, i64)>);
+type JoinReduceOut = (OpState, OpState, Vec<TaggedRow>);
+
+/// The sharded state-store namespace for one reduce partition.
+/// `partitions == 1` uses the serial unsharded layout, so a
+/// single-partition parallel run reads and writes exactly the
+/// namespaces serial execution does.
+fn shard_ns(base: &str, r: usize, partitions: usize, suffix: &str) -> String {
+    if partitions <= 1 {
+        format!("{base}{suffix}")
+    } else {
+        format!("{base}/p{r}{suffix}")
+    }
+}
+
+/// The serial aggregate kernel, verbatim, over one partition's shard.
+fn reduce_aggregate(
+    mut shard: HashAggregator,
+    mut op: OpState,
+    pairs: Vec<(Row, Row)>,
+    mode: OutputMode,
+    watermark_us: i64,
+) -> Result<AggReduceOut> {
+    shard.update_pairs(pairs)?;
+    let changed = shard.take_changed();
+    for key in &changed {
+        let states = shard
+            .state_for_key(key)
+            .ok_or_else(|| SsError::Internal("changed key missing".into()))?;
+        op.put(key.clone(), StateEntry::new(states));
+    }
+    let out = match mode {
+        OutputMode::Complete => shard.finish_all()?,
+        OutputMode::Update => {
+            let out = shard.output_for_keys(&changed)?;
+            if shard.is_windowed() && watermark_us > i64::MIN {
+                for k in shard.evict_expired(watermark_us) {
+                    op.evict(&k);
+                }
+            }
+            out
+        }
+        OutputMode::Append => {
+            let out = shard.drain_finalized(watermark_us)?;
+            let live: FxHashSet<Row> =
+                shard.state_entries().map(|(k, _)| k.clone()).collect();
+            let dead: Vec<Row> = op
+                .iter()
+                .map(|(k, _)| k.clone())
+                .filter(|k| !live.contains(k))
+                .collect();
+            for k in dead {
+                op.evict(&k);
+            }
+            out
+        }
+    };
+    let rows = out.to_rows();
+    Ok((shard, op, rows))
+}
+
+/// Apply a map chain to one chunk. Mirrors the serial
+/// `IncNode::execute_op` arms for the same operators, row for row.
+fn run_chain(
+    chain: &[MapOp],
+    mut batch: RecordBatch,
+    watermark_us: i64,
+    maxima: &mut Vec<(String, i64)>,
+) -> Result<RecordBatch> {
+    for op in chain {
+        batch = match op {
+            MapOp::Filter(predicate) => ops::filter_batch(&batch, predicate)?,
+            MapOp::Project(exprs) => ops::project_batch(&batch, exprs)?,
+            MapOp::FilterProject { predicate, exprs } => {
+                ops::filter_project_batch(&batch, predicate, exprs)?
+            }
+            MapOp::Watermark { column } => {
+                let col = batch.column_by_name(column)?;
+                let tc = col.as_i64()?;
+                let mut max_seen = i64::MIN;
+                for i in 0..tc.len() {
+                    if let Some(&v) = tc.get(i) {
+                        max_seen = max_seen.max(v);
+                    }
+                }
+                if max_seen > i64::MIN {
+                    maxima.push((column.clone(), max_seen));
+                }
+                if watermark_us > i64::MIN {
+                    let mask: Vec<bool> = (0..tc.len())
+                        .map(|i| tc.get(i).is_none_or(|&v| v >= watermark_us))
+                        .collect();
+                    batch.filter(&mask)?
+                } else {
+                    batch
+                }
+            }
+            MapOp::StaticJoin {
+                cache,
+                join_type,
+                on,
+                output_projection,
+                ..
+            } => {
+                let static_batch = cache.as_ref().ok_or_else(|| {
+                    SsError::Internal("static join cache not primed".into())
+                })?;
+                hash_join_projected(
+                    &batch,
+                    static_batch,
+                    *join_type,
+                    on,
+                    output_projection.as_deref(),
+                )?
+            }
+        };
+    }
+    Ok(batch)
+}
+
+/// Fill every static-join cache in `chain` (once per run, engine
+/// thread — the batch engine result is then shared by all map tasks).
+fn prime_static_caches(chain: &mut [MapOp], statics: &dyn Catalog) -> Result<()> {
+    for op in chain.iter_mut() {
+        if let MapOp::StaticJoin {
+            static_plan, cache, ..
+        } = op
+        {
+            if cache.is_none() {
+                *cache = Some(Arc::new(ss_exec::execute(static_plan, statics)?));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn reset_static_caches(chain: &mut [MapOp]) {
+    for op in chain.iter_mut() {
+        if let MapOp::StaticJoin { cache, .. } = op {
+            *cache = None;
+        }
+    }
+}
+
+/// Take one scan's epoch input, mirroring the serial `StreamScan` arm
+/// (pre-projected batches pass through; others get the projection).
+fn take_scan(scan: &ScanSpec, ctx: &mut EpochContext<'_>) -> Result<RecordBatch> {
+    let projected_schema = match &scan.projection {
+        Some(idx) => Arc::new(scan.schema.project(idx)?),
+        None => scan.schema.clone(),
+    };
+    let batch = match ctx.inputs.remove(&scan.name) {
+        Some(b) => b,
+        None => return Ok(RecordBatch::empty(projected_schema)),
+    };
+    if batch.schema().fields() == projected_schema.fields() {
+        Ok(batch)
+    } else {
+        match &scan.projection {
+            Some(idx) => batch.project(idx),
+            None => Ok(batch),
+        }
+    }
+}
+
+fn record_scan(ctx: &mut EpochContext<'_>, scan: &ScanSpec, rows: usize) {
+    let rel = ctx.ops.now_rel_us();
+    ctx.ops
+        .record(format!("scan:{}", scan.name), rows as u64, rel, 0);
+}
+
+/// Merge per-chunk watermark observations (max per column) and fold
+/// them into the tracker, exactly once per column as serial execution
+/// would.
+fn observe_maxima(ctx: &mut EpochContext<'_>, maxima: Vec<(String, i64)>) {
+    let mut merged: BTreeMap<String, i64> = BTreeMap::new();
+    for (column, v) in maxima {
+        let e = merged.entry(column).or_insert(i64::MIN);
+        *e = (*e).max(v);
+    }
+    for (column, v) in merged {
+        if v > i64::MIN {
+            ctx.tracker.observe(&column, v);
+        }
+    }
+}
+
+/// Split an epoch input into at most `parts` row chunks. An empty
+/// batch still produces one (empty) chunk so stateful reduce stages run
+/// (watermark-driven eviction happens on empty epochs too).
+fn split_chunks(batch: RecordBatch, parts: usize) -> Vec<RecordBatch> {
+    let rows = batch.num_rows();
+    if rows == 0 {
+        return vec![batch];
+    }
+    let chunk_rows = rows.div_ceil(parts.max(1)).max(1);
+    batch.chunks(chunk_rows)
+}
+
+/// Compile an incremental operator tree into a stage plan, or `None`
+/// when any node is not provably chunk-safe.
+fn compile(root: &IncNode) -> Option<ParallelPlan> {
+    // Peel a Complete-mode Sort/Limit suffix (valid only above an
+    // aggregate; the analyzer enforces the mode).
+    let mut suffix: Vec<SuffixOp> = Vec::new();
+    let mut node = root;
+    loop {
+        match node {
+            IncNode::Sort { input, keys } => {
+                suffix.insert(0, SuffixOp::Sort(keys.clone()));
+                node = input;
+            }
+            IncNode::Limit { input, n } => {
+                suffix.insert(0, SuffixOp::Limit(*n));
+                node = input;
+            }
+            _ => break,
+        }
+    }
+    match node {
+        IncNode::Aggregate { input, op_id, agg } => {
+            let mut chain = Vec::new();
+            let scan = build_chain(input, &mut chain)?;
+            Some(ParallelPlan::Aggregate {
+                scan,
+                chain,
+                op_id: op_id.clone(),
+                expander: agg.key_expander(),
+                template: agg.fresh_clone(),
+                shards: Vec::new(),
+                suffix,
+            })
+        }
+        IncNode::StreamJoin { left, right, exec } => {
+            if !suffix.is_empty() {
+                return None;
+            }
+            let mut left_chain = Vec::new();
+            let left_scan = build_chain(left, &mut left_chain)?;
+            let mut right_chain = Vec::new();
+            let right_scan = build_chain(right, &mut right_chain)?;
+            Some(ParallelPlan::Join {
+                left_scan,
+                left_chain,
+                right_scan,
+                right_chain,
+                exec: exec.clone(),
+            })
+        }
+        _ => {
+            if !suffix.is_empty() {
+                return None;
+            }
+            let mut chain = Vec::new();
+            let scan = build_chain(node, &mut chain)?;
+            Some(ParallelPlan::Map { scan, chain })
+        }
+    }
+}
+
+/// Walk a stateless operator chain down to its scan, collecting map
+/// ops in execution order. `None` for unsupported shapes.
+fn build_chain(node: &IncNode, chain: &mut Vec<MapOp>) -> Option<ScanSpec> {
+    match node {
+        IncNode::StreamScan {
+            name,
+            schema,
+            projection,
+            shared,
+        } => {
+            if *shared {
+                // A shared scan's input is consumed by several plan
+                // branches; chunk ownership would be ambiguous.
+                return None;
+            }
+            Some(ScanSpec {
+                name: name.clone(),
+                schema: schema.clone(),
+                projection: projection.clone(),
+            })
+        }
+        IncNode::Filter { input, predicate } => {
+            let scan = build_chain(input, chain)?;
+            chain.push(MapOp::Filter(predicate.clone()));
+            Some(scan)
+        }
+        IncNode::Project { input, exprs, .. } => {
+            if let IncNode::Filter {
+                input: filter_input,
+                predicate,
+            } = input.as_ref()
+            {
+                let scan = build_chain(filter_input, chain)?;
+                chain.push(MapOp::FilterProject {
+                    predicate: predicate.clone(),
+                    exprs: exprs.clone(),
+                });
+                return Some(scan);
+            }
+            let scan = build_chain(input, chain)?;
+            chain.push(MapOp::Project(exprs.clone()));
+            Some(scan)
+        }
+        IncNode::Watermark { input, column, .. } => {
+            let scan = build_chain(input, chain)?;
+            chain.push(MapOp::Watermark {
+                column: column.clone(),
+            });
+            Some(scan)
+        }
+        IncNode::StaticJoin {
+            stream,
+            static_plan,
+            stream_is_left,
+            join_type,
+            on,
+            output_projection,
+            ..
+        } => {
+            // Chunk-safe only when the stream probes (output follows
+            // probe-row order) and the static side never pads
+            // unmatched rows (right-outer pads once per *batch*).
+            if !*stream_is_left || *join_type == JoinType::RightOuter {
+                return None;
+            }
+            let scan = build_chain(stream, chain)?;
+            chain.push(MapOp::StaticJoin {
+                static_plan: static_plan.clone(),
+                cache: None,
+                join_type: *join_type,
+                on: on.clone(),
+                output_projection: output_projection.clone(),
+            });
+            Some(scan)
+        }
+        // Stateful / order-sensitive nodes inside a map chain (or at
+        // the root): MapGroups (UDF sees arrival order per group across
+        // the whole epoch), Distinct (first-wins races), nested
+        // aggregates/joins, Sort/Limit below a stateful op.
+        _ => None,
+    }
+}
+
+/// The stateful operator families of a plan: `(namespace base,
+/// namespace suffix)` per sharded state family. Used to repartition
+/// checkpointed state when the partition count changes across restarts.
+pub fn state_families(root: &IncNode) -> Vec<(String, &'static str)> {
+    let mut out = Vec::new();
+    collect_families(root, &mut out);
+    out
+}
+
+fn collect_families(node: &IncNode, out: &mut Vec<(String, &'static str)>) {
+    match node {
+        IncNode::Aggregate { input, op_id, .. } => {
+            out.push((op_id.clone(), ""));
+            collect_families(input, out);
+        }
+        IncNode::StreamJoin { left, right, exec } => {
+            out.push((exec.op_id.clone(), "-left"));
+            out.push((exec.op_id.clone(), "-right"));
+            collect_families(left, out);
+            collect_families(right, out);
+        }
+        IncNode::StreamScan { .. } => {}
+        IncNode::Filter { input, .. }
+        | IncNode::Project { input, .. }
+        | IncNode::Watermark { input, .. }
+        | IncNode::StaticJoin { stream: input, .. }
+        | IncNode::MapGroups { input, .. }
+        | IncNode::Distinct { input, .. }
+        | IncNode::Sort { input, .. }
+        | IncNode::Limit { input, .. } => collect_families(input, out),
+    }
+}
+
+/// Re-shard one state family to `to` partitions, whatever layout the
+/// restored checkpoint is in.
+///
+/// Layout-agnostic on the source side: entries are gathered from the
+/// unsharded namespace (`{base}{suffix}`) *and* every sharded one
+/// (`{base}/p{r}{suffix}`) present in the store, then rehashed into
+/// the target layout. This makes the operation idempotent and safe
+/// against a crash between a checkpoint write (new layout on disk) and
+/// its manifest write (still declaring the old partition count): if
+/// the store already matches the target layout exactly, nothing moves.
+///
+/// Moves go through `OpState::remove`/`put`, so the store's dirty and
+/// removed tracking stays correct and the next delta checkpoint
+/// captures the migration.
+pub fn repartition_family(
+    store: &mut StateStore,
+    base: &str,
+    suffix: &str,
+    to: usize,
+) -> Result<()> {
+    let to = to.max(1);
+    let flat = format!("{base}{suffix}");
+    let shard_prefix = format!("{base}/p");
+    let sources: BTreeSet<String> = store
+        .operator_ids()
+        .into_iter()
+        .filter(|id| {
+            if *id == flat {
+                return true;
+            }
+            id.strip_prefix(&shard_prefix)
+                .and_then(|rest| rest.strip_suffix(suffix))
+                .is_some_and(|num| {
+                    !num.is_empty() && num.bytes().all(|b| b.is_ascii_digit())
+                })
+        })
+        .collect();
+    let targets: BTreeSet<String> = if to == 1 {
+        std::iter::once(flat.clone()).collect()
+    } else {
+        (0..to).map(|r| format!("{base}/p{r}{suffix}")).collect()
+    };
+    if sources == targets {
+        return Ok(()); // already in the requested layout
+    }
+    let mut moved: Vec<(Row, StateEntry)> = Vec::new();
+    for id in &sources {
+        let op = store.operator(id);
+        let keys: Vec<Row> = op.iter().map(|(k, _)| k.clone()).collect();
+        for k in keys {
+            if let Some(e) = op.remove(&k) {
+                moved.push((k, e));
+            }
+        }
+    }
+    for (key, entry) in moved {
+        let ns = if to == 1 {
+            flat.clone()
+        } else {
+            format!("{base}/p{}{suffix}", shuffle_partition(&key, to))
+        };
+        store.operator(&ns).put(key, entry);
+    }
+    Ok(())
+}

@@ -17,7 +17,37 @@ use ss_common::{RecordBatch, Result, Row, SchemaRef, SsError, Value};
 use ss_exec::join::{evaluate_keys, join_output_schema};
 use ss_expr::Expr;
 use ss_plan::JoinType;
-use ss_state::{StateEntry, StateStore};
+use ss_state::{OpState, StateEntry, StateStore};
+
+/// One join output row, tagged with where in the epoch's emission
+/// sequence it was produced, so rows computed by different shards can
+/// be merged back into the exact serial order:
+///
+/// * `phase` — 0: left delta probing right buffer, 1: right delta
+///   probing left buffer, 2: left-side eviction, 3: right-side
+///   eviction (the order serial execution runs them in);
+/// * `idx` — the *global* delta row index for probe phases (eviction
+///   phases use 0 — ordering there comes from the key);
+/// * `key` — the join key (eviction emits keys in sorted order);
+/// * `seq` — position within one key's buffer (one probing row can
+///   match many buffered rows; a buffer drains in insertion order).
+///
+/// Sorting tagged rows by `(phase, idx, key, seq)` therefore yields
+/// the serial emission order, because a key is owned by exactly one
+/// shard and within a shard the sequence is already serial.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TaggedRow {
+    pub phase: u8,
+    pub idx: u64,
+    pub key: Row,
+    pub seq: u64,
+    pub row: Row,
+}
+
+/// A delta row prepared for the join: its global arrival index, its
+/// evaluated join key (`None` = NULL key: buffered for outer-row
+/// emission, never matched) and the row itself.
+pub type KeyedDeltaRow = (u64, Option<Row>, Row);
 
 /// One side's configuration.
 #[derive(Debug, Clone)]
@@ -66,6 +96,37 @@ impl StreamJoinExec {
         format!("{}-right", self.op_id)
     }
 
+    /// Evaluate one side's join keys and pair them with the delta rows,
+    /// preserving arrival order and assigning global indices starting
+    /// at `base_idx`. This is the map-side preparation step: parallel
+    /// execution runs it per input chunk, shuffles the results by key,
+    /// and hands each shard its subset (with the global indices
+    /// intact, so the merge can restore arrival order).
+    pub fn prepare_side(
+        &self,
+        delta: &RecordBatch,
+        is_left: bool,
+        base_idx: u64,
+    ) -> Result<Vec<KeyedDeltaRow>> {
+        let side = if is_left { &self.left } else { &self.right };
+        if delta.num_rows() == 0 {
+            return Ok(Vec::new());
+        }
+        if delta.schema().fields() != side.schema.fields() {
+            return Err(SsError::Internal(format!(
+                "stream join `{}`: {} delta schema mismatch",
+                self.op_id,
+                if is_left { "left" } else { "right" }
+            )));
+        }
+        let keys = evaluate_keys(delta, &side.key_exprs)?;
+        Ok(keys
+            .into_iter()
+            .enumerate()
+            .map(|(i, key)| (base_idx + i as u64, key, delta.row(i)))
+            .collect())
+    }
+
     /// Execute one epoch: probe + buffer new rows on both sides, then
     /// evict expired state against the watermark.
     pub fn execute_epoch(
@@ -75,32 +136,57 @@ impl StreamJoinExec {
         store: &mut StateStore,
         watermark_us: i64,
     ) -> Result<RecordBatch> {
-        let mut out: Vec<Row> = Vec::new();
+        let left_rows = self.prepare_side(left_delta, true, 0)?;
+        let right_rows = self.prepare_side(right_delta, false, 0)?;
+        let left_id = self.left_store_id();
+        let right_id = self.right_store_id();
+        let mut left_op = store.take_op(&left_id);
+        let mut right_op = store.take_op(&right_id);
+        let tagged = self.execute_on_states(
+            &left_rows,
+            &right_rows,
+            &mut left_op,
+            &mut right_op,
+            watermark_us,
+        );
+        store.put_op(&left_id, left_op);
+        store.put_op(&right_id, right_op);
+        // The single-shard emission sequence IS the serial order; no
+        // sort needed (and none applied, so pre-refactor byte output
+        // is preserved).
+        let rows: Vec<Row> = tagged?.into_iter().map(|t| t.row).collect();
+        RecordBatch::from_rows(self.output_schema.clone(), &rows)
+    }
 
+    /// The shard-level epoch body: probe + buffer both sides' prepared
+    /// delta rows against a pair of owned buffer states, then evict
+    /// expired rows against the watermark. Serial execution calls this
+    /// once with everything; parallel execution calls it once per
+    /// reduce partition with that partition's key subset and its
+    /// sharded `{op_id}/p{r}-left/-right` states. Emitted rows carry
+    /// [`TaggedRow`] ordering facts so shard outputs merge back into
+    /// the serial sequence.
+    pub fn execute_on_states(
+        &self,
+        left_rows: &[KeyedDeltaRow],
+        right_rows: &[KeyedDeltaRow],
+        left_op: &mut OpState,
+        right_op: &mut OpState,
+        watermark_us: i64,
+    ) -> Result<Vec<TaggedRow>> {
+        let mut out: Vec<TaggedRow> = Vec::new();
         // New left rows probe the right buffer, then join the buffer.
-        self.probe_and_insert(
-            left_delta,
-            true,
-            store,
-            &mut out,
-        )?;
+        self.probe_and_insert(left_rows, true, right_op, left_op, 0, &mut out)?;
         // New right rows probe the left buffer — which now includes
         // this epoch's left rows, so newL × newR pairs are produced
         // exactly once.
-        self.probe_and_insert(
-            right_delta,
-            false,
-            store,
-            &mut out,
-        )?;
-
+        self.probe_and_insert(right_rows, false, left_op, right_op, 1, &mut out)?;
         // Watermark-based eviction with outer-row emission.
         if watermark_us > i64::MIN {
-            self.evict(true, store, watermark_us, &mut out)?;
-            self.evict(false, store, watermark_us, &mut out)?;
+            self.evict(true, left_op, watermark_us, 2, &mut out)?;
+            self.evict(false, right_op, watermark_us, 3, &mut out)?;
         }
-
-        RecordBatch::from_rows(self.output_schema.clone(), &out)
+        Ok(out)
     }
 
     /// Total buffered rows (state size metric).
@@ -120,36 +206,22 @@ impl StreamJoinExec {
 
     fn probe_and_insert(
         &self,
-        delta: &RecordBatch,
+        rows: &[KeyedDeltaRow],
         is_left: bool,
-        store: &mut StateStore,
-        out: &mut Vec<Row>,
+        probe_op: &mut OpState,
+        insert_op: &mut OpState,
+        phase: u8,
+        out: &mut Vec<TaggedRow>,
     ) -> Result<()> {
-        if delta.num_rows() == 0 {
-            return Ok(());
-        }
-        let (side, probe_id, insert_id) = if is_left {
-            (&self.left, self.right_store_id(), self.left_store_id())
-        } else {
-            (&self.right, self.left_store_id(), self.right_store_id())
-        };
-        if delta.schema().fields() != side.schema.fields() {
-            return Err(SsError::Internal(format!(
-                "stream join `{}`: {} delta schema mismatch",
-                self.op_id,
-                if is_left { "left" } else { "right" }
-            )));
-        }
-        let keys = evaluate_keys(delta, &side.key_exprs)?;
-        for (i, key) in keys.into_iter().enumerate() {
-            let row = delta.row(i);
+        let side = if is_left { &self.left } else { &self.right };
+        for (idx, key, row) in rows {
             let mut matched = false;
-            if let Some(key) = &key {
+            if let Some(key) = key {
                 // Probe the opposite buffer.
-                if let Some(entry) = store.operator(&probe_id).get(key).cloned() {
+                if let Some(entry) = probe_op.get(key).cloned() {
                     let mut updated = entry.clone();
                     let mut any_flag_changed = false;
-                    for stored in updated.values.iter_mut() {
+                    for (seq, stored) in updated.values.iter_mut().enumerate() {
                         let other = decode(stored)?;
                         matched = true;
                         if self.join_type != JoinType::Inner && !other.matched {
@@ -159,27 +231,37 @@ impl StreamJoinExec {
                         let joined = if is_left {
                             row.concat(&other.row)
                         } else {
-                            other.row.concat(&row)
+                            other.row.concat(row)
                         };
-                        out.push(joined);
+                        out.push(TaggedRow {
+                            phase,
+                            idx: *idx,
+                            key: key.clone(),
+                            seq: seq as u64,
+                            row: joined,
+                        });
                     }
                     if any_flag_changed {
-                        store.operator(&probe_id).put(key.clone(), updated);
+                        probe_op.put(key.clone(), updated);
                     }
                 }
             }
             // Buffer the new row (NULL-keyed rows are buffered only for
             // outer-row emission; they can never match).
-            let buffer_key = key.unwrap_or_else(|| Row::new(vec![Value::Null]));
+            let buffer_key = key
+                .clone()
+                .unwrap_or_else(|| Row::new(vec![Value::Null]));
             let ts = match side.time_col {
                 Some(c) => row.get(c).as_i64()?.unwrap_or(i64::MIN),
                 None => i64::MIN,
             };
-            let encoded = encode(&row, ts, matched && self.join_type != JoinType::Inner);
-            let op = store.operator(&insert_id);
-            let mut entry = op.get(&buffer_key).cloned().unwrap_or_else(|| StateEntry::new(vec![]));
+            let encoded = encode(row, ts, matched && self.join_type != JoinType::Inner);
+            let mut entry = insert_op
+                .get(&buffer_key)
+                .cloned()
+                .unwrap_or_else(|| StateEntry::new(vec![]));
             entry.values.push(encoded);
-            op.put(buffer_key, entry);
+            insert_op.put(buffer_key, entry);
         }
         Ok(())
     }
@@ -187,15 +269,12 @@ impl StreamJoinExec {
     fn evict(
         &self,
         is_left: bool,
-        store: &mut StateStore,
+        op: &mut OpState,
         watermark_us: i64,
-        out: &mut Vec<Row>,
+        phase: u8,
+        out: &mut Vec<TaggedRow>,
     ) -> Result<()> {
-        let (side, store_id) = if is_left {
-            (&self.left, self.left_store_id())
-        } else {
-            (&self.right, self.right_store_id())
-        };
+        let side = if is_left { &self.left } else { &self.right };
         if side.time_col.is_none() {
             return Ok(());
         }
@@ -208,13 +287,12 @@ impl StreamJoinExec {
         } else {
             self.left.schema.len()
         };
-        let op = store.operator(&store_id);
         let mut keys: Vec<Row> = op.iter().map(|(k, _)| k.clone()).collect();
         keys.sort();
         for key in keys {
             let Some(entry) = op.get(&key).cloned() else { continue };
             let mut kept = Vec::with_capacity(entry.values.len());
-            for stored in &entry.values {
+            for (seq, stored) in entry.values.iter().enumerate() {
                 let d = decode(stored)?;
                 if d.event_time_us < watermark_us {
                     if emits_outer && !d.matched {
@@ -224,7 +302,13 @@ impl StreamJoinExec {
                         } else {
                             nulls.concat(&d.row)
                         };
-                        out.push(joined);
+                        out.push(TaggedRow {
+                            phase,
+                            idx: 0,
+                            key: key.clone(),
+                            seq: seq as u64,
+                            row: joined,
+                        });
                     }
                 } else {
                     kept.push(stored.clone());
@@ -512,6 +596,77 @@ mod tests {
             )
             .unwrap();
         assert_eq!(out.num_rows(), 0);
+    }
+
+    #[test]
+    fn sharded_execution_merges_to_serial_order() {
+        use ss_common::shuffle::shuffle_partition;
+        // Drive a few epochs with overlapping keys on both sides and
+        // compare: serial execute_epoch vs 3 shards of
+        // execute_on_states merged by tag order.
+        let n_shards = 3usize;
+        let epochs: Vec<(Vec<Row>, Vec<Row>, i64)> = vec![
+            (
+                (0..8i64)
+                    .map(|k| row![k % 4, Value::Timestamp(secs(k)), format!("L{k}")])
+                    .collect(),
+                vec![row![2i64, Value::Timestamp(secs(1)), "R0"]],
+                i64::MIN,
+            ),
+            (
+                vec![row![Value::Null, Value::Timestamp(secs(2)), "Lnull"]],
+                (0..6i64)
+                    .map(|k| row![k % 3, Value::Timestamp(secs(k + 2)), format!("R{k}")])
+                    .collect(),
+                secs(3),
+            ),
+            (vec![], vec![], secs(40)),
+        ];
+        for jt in [JoinType::Inner, JoinType::LeftOuter, JoinType::RightOuter] {
+            let j = exec(jt);
+            let mut serial_store = store();
+            let mut shard_left: Vec<OpState> = (0..n_shards).map(|_| OpState::default()).collect();
+            let mut shard_right: Vec<OpState> = (0..n_shards).map(|_| OpState::default()).collect();
+            for (lrows, rrows, wm) in &epochs {
+                let ld = lb(lrows);
+                let rd = rb(rrows);
+                let serial = j.execute_epoch(&ld, &rd, &mut serial_store, *wm).unwrap();
+
+                // Shard the prepared rows by join key ownership.
+                let mut lparts: Vec<Vec<KeyedDeltaRow>> = vec![Vec::new(); n_shards];
+                for kd in j.prepare_side(&ld, true, 0).unwrap() {
+                    let owner = match &kd.1 {
+                        Some(k) => shuffle_partition(k, n_shards),
+                        None => shuffle_partition(&row![Value::Null], n_shards),
+                    };
+                    lparts[owner].push(kd);
+                }
+                let mut rparts: Vec<Vec<KeyedDeltaRow>> = vec![Vec::new(); n_shards];
+                for kd in j.prepare_side(&rd, false, 0).unwrap() {
+                    let owner = match &kd.1 {
+                        Some(k) => shuffle_partition(k, n_shards),
+                        None => shuffle_partition(&row![Value::Null], n_shards),
+                    };
+                    rparts[owner].push(kd);
+                }
+                let mut tagged: Vec<TaggedRow> = Vec::new();
+                for s in 0..n_shards {
+                    tagged.extend(
+                        j.execute_on_states(
+                            &lparts[s],
+                            &rparts[s],
+                            &mut shard_left[s],
+                            &mut shard_right[s],
+                            *wm,
+                        )
+                        .unwrap(),
+                    );
+                }
+                tagged.sort();
+                let merged: Vec<Row> = tagged.into_iter().map(|t| t.row).collect();
+                assert_eq!(merged, serial.to_rows(), "join_type={jt:?} wm={wm}");
+            }
+        }
     }
 
     #[test]

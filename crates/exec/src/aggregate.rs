@@ -409,6 +409,185 @@ impl HashAggregator {
     pub fn clear(&mut self) {
         self.groups.clear();
     }
+
+    // ---- data-parallel execution (partial/merge split) ----
+
+    /// An empty aggregator with the same configuration — the shard
+    /// constructor for partitioned execution (each reduce partition
+    /// owns one clone holding only its keys' state).
+    pub fn fresh_clone(&self) -> HashAggregator {
+        HashAggregator {
+            input_schema: self.input_schema.clone(),
+            group_exprs: self.group_exprs.clone(),
+            window: self.window.clone(),
+            aggregates: self.aggregates.clone(),
+            output_schema: self.output_schema.clone(),
+            groups: FxHashMap::default(),
+        }
+    }
+
+    /// The map-side half of this aggregator: evaluates grouping keys
+    /// (with window expansion) and aggregate arguments, without
+    /// touching any group state. Map tasks run this per input
+    /// partition; the resulting pairs are shuffled by key.
+    pub fn key_expander(&self) -> KeyExpander {
+        KeyExpander {
+            group_exprs: self.group_exprs.clone(),
+            window: self.window.clone(),
+            aggregates: self.aggregates.clone(),
+        }
+    }
+
+    /// Reduce-side ingest of shuffled `(key, argument-values)` pairs
+    /// produced by [`KeyExpander::expand`].
+    ///
+    /// Pairs must arrive in the original arrival order of their source
+    /// rows; each accumulator then sees exactly the same update
+    /// sequence as [`HashAggregator::update_batch`] would have fed it,
+    /// so results are bit-identical to serial execution even for
+    /// non-associative float accumulation.
+    pub fn update_pairs(&mut self, pairs: Vec<(Row, Row)>) -> Result<()> {
+        for (key, args) in pairs {
+            if args.len() != self.aggregates.len() {
+                return Err(SsError::Internal(format!(
+                    "shuffled pair has {} argument values, expected {}",
+                    args.len(),
+                    self.aggregates.len()
+                )));
+            }
+            match self.groups.get_mut(&key) {
+                Some(entry) => {
+                    for (acc, v) in entry.accs.iter_mut().zip(args.values()) {
+                        acc.update_value(v)?;
+                    }
+                    entry.dirty = true;
+                }
+                None => {
+                    let mut accs: Vec<Accumulator> = self
+                        .aggregates
+                        .iter()
+                        .map(|a| a.create_accumulator())
+                        .collect();
+                    for (acc, v) in accs.iter_mut().zip(args.values()) {
+                        acc.update_value(v)?;
+                    }
+                    self.groups.insert(key, GroupEntry { accs, dirty: true });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Drain every group as `(key, per-aggregate partial state)`,
+    /// sorted by key. The partial half of the partial/merge kernel
+    /// split: used to move state between shards when the partition
+    /// count changes, and by opt-in map-side combining.
+    pub fn take_partials(&mut self) -> Vec<(Row, Vec<Row>)> {
+        let mut out: Vec<(Row, Vec<Row>)> = self
+            .groups
+            .drain()
+            .map(|(k, e)| (k, e.accs.iter().map(|a| a.state()).collect()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Merge one partial state produced by [`HashAggregator::take_partials`]
+    /// into this aggregator, marking the group changed this epoch.
+    /// Unlike [`HashAggregator::restore_entry`] (checkpoint restore,
+    /// which leaves groups clean), merged partials represent new data
+    /// and must show up in `take_changed`.
+    pub fn merge_partial(&mut self, key: Row, states: &[Row]) -> Result<()> {
+        self.restore_entry(key.clone(), states)?;
+        if let Some(entry) = self.groups.get_mut(&key) {
+            entry.dirty = true;
+        }
+        Ok(())
+    }
+}
+
+/// The map-side half of a [`HashAggregator`]: key evaluation, window
+/// expansion and aggregate-argument evaluation, with no group state.
+///
+/// [`KeyExpander::expand`] preserves arrival order — pair `i` comes
+/// from an earlier (row, window) visit than pair `i+1` — which is what
+/// lets the reduce side replay serial accumulation order per key.
+#[derive(Debug, Clone)]
+pub struct KeyExpander {
+    group_exprs: Vec<Expr>,
+    window: Option<WindowSpec>,
+    aggregates: Vec<AggregateExpr>,
+}
+
+impl KeyExpander {
+    /// Expand a batch into `(group key, aggregate-argument values)`
+    /// pairs, in arrival order. Rows with NULL event time are dropped
+    /// and sliding windows fan one row out to `size/slide` pairs,
+    /// exactly as [`HashAggregator::update_batch`] does.
+    pub fn expand(&self, batch: &RecordBatch) -> Result<Vec<(Row, Row)>> {
+        let mut pairs = Vec::new();
+        if batch.num_rows() == 0 {
+            return Ok(pairs);
+        }
+        let mut key_cols: Vec<Column> = Vec::with_capacity(self.group_exprs.len());
+        for (i, g) in self.group_exprs.iter().enumerate() {
+            let col = match &self.window {
+                Some(w) if w.slot == i => evaluate(&w.time, batch)?,
+                _ => evaluate(g, batch)?,
+            };
+            key_cols.push(col);
+        }
+        let arg_cols: Vec<Option<Column>> = self
+            .aggregates
+            .iter()
+            .map(|a| a.arg.as_ref().map(|e| evaluate(e, batch)).transpose())
+            .collect::<Result<_>>()?;
+        let window_info = match &self.window {
+            Some(w) => {
+                let tc = key_cols[w.slot].as_i64()?.clone();
+                Some((w.slot, w.size_us, w.slide_us, tc))
+            }
+            None => None,
+        };
+        let mut starts_buf: Vec<i64> = Vec::new();
+        for row in 0..batch.num_rows() {
+            starts_buf.clear();
+            match &window_info {
+                Some((_, size, slide, tc)) => match tc.get(row) {
+                    None => continue,
+                    Some(&ts) if slide == size => {
+                        starts_buf.push(ss_common::time::window_start(ts, *size, 0));
+                    }
+                    Some(&ts) => {
+                        starts_buf.extend(
+                            ss_common::time::windows_for(ts, *size, *slide)
+                                .into_iter()
+                                .map(|(s, _)| s),
+                        );
+                    }
+                },
+                None => starts_buf.push(0),
+            }
+            for &start in &starts_buf {
+                let mut key = Vec::with_capacity(self.group_exprs.len());
+                for (i, kc) in key_cols.iter().enumerate() {
+                    match &window_info {
+                        Some((slot, ..)) if *slot == i => key.push(Value::Timestamp(start)),
+                        _ => key.push(kc.value(row)),
+                    }
+                }
+                let args: Vec<Value> = arg_cols
+                    .iter()
+                    .map(|arg| match arg {
+                        Some(col) => col.value(row),
+                        None => Value::Int64(1),
+                    })
+                    .collect();
+                pairs.push((Row::new(key), Row::new(args)));
+            }
+        }
+        Ok(pairs)
+    }
 }
 
 #[cfg(test)]
@@ -633,6 +812,100 @@ mod tests {
             restored.finish_all().unwrap(),
             full.finish_all().unwrap()
         );
+    }
+
+    #[test]
+    fn expand_plus_update_pairs_matches_update_batch() {
+        // Includes avg (float accumulation) so order sensitivity would
+        // show up as bit differences.
+        let make = || {
+            HashAggregator::new(
+                schema(),
+                vec![window(col("time"), "10 seconds").unwrap(), col("campaign")],
+                vec![count_star(), sum(col("v")), avg(col("v"))],
+            )
+            .unwrap()
+        };
+        let input = batch(&[
+            row!["a", Value::Timestamp(secs(5)), 1i64],
+            row!["b", Value::Timestamp(secs(9)), 2i64],
+            row!["a", Value::Timestamp(secs(15)), 3i64],
+            row!["a", Value::Timestamp(secs(6)), 4i64],
+        ]);
+        let mut serial = make();
+        serial.update_batch(&input).unwrap();
+        let mut sharded = make();
+        sharded
+            .update_pairs(sharded.key_expander().expand(&input).unwrap())
+            .unwrap();
+        assert_eq!(
+            sharded.finish_all().unwrap(),
+            serial.finish_all().unwrap()
+        );
+        assert_eq!(sharded.take_changed(), serial.take_changed());
+    }
+
+    #[test]
+    fn expander_drops_null_event_times_and_fans_out_sliding_windows() {
+        let agg = HashAggregator::new(
+            schema(),
+            vec![window_sliding(col("time"), "10 seconds", "5 seconds").unwrap()],
+            vec![count_star()],
+        )
+        .unwrap();
+        let pairs = agg
+            .key_expander()
+            .expand(&batch(&[
+                row!["a", Value::Null, 0i64],
+                row!["a", Value::Timestamp(secs(7)), 0i64],
+            ]))
+            .unwrap();
+        // NULL row dropped; t=7s expands to windows [0,10) and [5,15).
+        assert_eq!(
+            pairs,
+            vec![
+                (row![Value::Timestamp(0)], row![1i64]),
+                (row![Value::Timestamp(secs(5))], row![1i64]),
+            ]
+        );
+    }
+
+    #[test]
+    fn update_pairs_rejects_wrong_arity() {
+        let mut agg =
+            HashAggregator::new(schema(), vec![col("campaign")], vec![count_star()]).unwrap();
+        assert!(agg
+            .update_pairs(vec![(row!["a"], row![1i64, 2i64])])
+            .is_err());
+    }
+
+    #[test]
+    fn take_partials_then_merge_partial_rebuilds_state_as_changed() {
+        let mut agg = HashAggregator::new(
+            schema(),
+            vec![col("campaign")],
+            vec![sum(col("v")), count_star()],
+        )
+        .unwrap();
+        agg.update_batch(&batch(&[
+            row!["a", Value::Timestamp(0), 5i64],
+            row!["b", Value::Timestamp(0), 2i64],
+        ]))
+        .unwrap();
+        agg.take_changed();
+        let expected = agg.finish_all().unwrap();
+        let partials = agg.take_partials();
+        assert_eq!(agg.num_groups(), 0);
+        assert_eq!(partials.len(), 2);
+        assert!(partials[0].0 < partials[1].0, "partials sorted by key");
+        let mut rebuilt = agg.fresh_clone();
+        for (k, s) in partials {
+            rebuilt.merge_partial(k, &s).unwrap();
+        }
+        assert_eq!(rebuilt.finish_all().unwrap(), expected);
+        // Merged partials count as changed this epoch (restore_entry
+        // would not).
+        assert_eq!(rebuilt.take_changed(), vec![row!["a"], row!["b"]]);
     }
 
     #[test]

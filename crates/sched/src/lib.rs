@@ -1,0 +1,386 @@
+//! # ss-sched — data-parallel task scheduler
+//!
+//! A fixed-size worker pool that runs an epoch's per-partition tasks in
+//! parallel, in the role Spark's task scheduler plays for the paper's
+//! engine (§4.2): each microbatch compiles to *stages* of independent
+//! tasks, a shuffle exchange moves rows between stages by key, and the
+//! results are collected so downstream code observes a deterministic
+//! order no matter how the OS interleaved the workers.
+//!
+//! The pool itself is deliberately small and policy-free:
+//!
+//! * [`WorkerPool::scatter`] fans a vector of closures out to the
+//!   workers and gathers their results **in task-index order** — the
+//!   caller's submission order fully determines the observed order, so
+//!   merges built on top of it stay byte-identical run to run.
+//! * Task panics are caught on the worker, shipped back, and re-raised
+//!   on the *calling* thread only after every task has finished, so a
+//!   crashing task never leaves the pool holding half an epoch. When
+//!   several tasks fail, the lowest-index failure wins — again for
+//!   determinism under chaos schedules.
+//! * Per-task metrics (`ss_task_duration_us` histogram per stage,
+//!   `ss_task_queue_wait_us` gauge) and a trace span per task make the
+//!   parallel schedule observable with the same tooling as the rest of
+//!   the engine.
+//!
+//! What runs *inside* the tasks — operator kernels, shuffle bucketing,
+//! sharded state updates — lives in `ss-core::parallel`; this crate
+//! only promises "run these, give them back in order, lose nothing."
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use ss_common::metrics::MetricsRegistry;
+use ss_common::trace::TraceLog;
+use ss_common::{Result, SsError};
+
+/// Fail points inside worker tasks, used by the chaos suite to crash
+/// parallel schedules mid-flight (see `ss_common::fault`).
+pub mod failpoints {
+    /// Fires at the start of every scheduled task body.
+    pub const TASK_RUN: &str = "sched.task.run";
+    /// Fires while a map task writes rows into shuffle buckets.
+    pub const SHUFFLE_WRITE: &str = "sched.shuffle.write";
+}
+
+/// A unit of work scheduled onto the pool: run on a worker thread,
+/// result delivered back through a channel.
+type Job = Box<dyn FnOnce() + Send>;
+
+/// Aggregate timing facts from one [`WorkerPool::scatter`] call,
+/// surfaced on `QueryProgress` when running parallel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScatterStats {
+    /// Number of tasks launched.
+    pub tasks: u64,
+    /// Wall-clock duration of the slowest task, in microseconds.
+    pub max_task_duration_us: u64,
+    /// Longest time any task sat queued before a worker picked it up.
+    pub max_queue_wait_us: u64,
+}
+
+impl ScatterStats {
+    /// Fold another scatter's stats into this one (an epoch runs
+    /// several stages; progress reports the epoch-wide totals).
+    pub fn absorb(&mut self, other: ScatterStats) {
+        self.tasks += other.tasks;
+        self.max_task_duration_us = self.max_task_duration_us.max(other.max_task_duration_us);
+        self.max_queue_wait_us = self.max_queue_wait_us.max(other.max_queue_wait_us);
+    }
+}
+
+/// Results of a scatter: per-task outputs in task-index order.
+#[derive(Debug)]
+pub struct ScatterResult<R> {
+    pub results: Vec<R>,
+    pub stats: ScatterStats,
+}
+
+enum TaskOutcome<R> {
+    Ok(R),
+    Err(SsError),
+    Panic(Box<dyn std::any::Any + Send>),
+}
+
+struct TaskReport<R> {
+    index: usize,
+    outcome: TaskOutcome<R>,
+    queue_wait_us: u64,
+    duration_us: u64,
+}
+
+/// A fixed-size pool of persistent worker threads.
+///
+/// Workers are spawned once (per query) and fed through a shared queue;
+/// dropping the pool closes the queue and joins every worker.
+pub struct WorkerPool {
+    size: usize,
+    queue: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    metrics: Option<MetricsRegistry>,
+    trace: Option<TraceLog>,
+}
+
+impl WorkerPool {
+    /// Spawn `size` worker threads (clamped to at least 1).
+    pub fn new(size: usize, metrics: Option<MetricsRegistry>, trace: Option<TraceLog>) -> WorkerPool {
+        let size = size.max(1);
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..size)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("ss-worker-{i}"))
+                    .spawn(move || worker_loop(&rx))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        if let Some(m) = &metrics {
+            m.describe(
+                "ss_task_duration_us",
+                "Wall-clock duration of scheduled per-partition tasks",
+            );
+            m.describe(
+                "ss_task_queue_wait_us",
+                "Longest queue wait of any task in the most recent stage",
+            );
+        }
+        WorkerPool { size, queue: Some(tx), workers, metrics, trace }
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Run `tasks` on the pool and return their results **in task-index
+    /// order**, together with timing stats.
+    ///
+    /// All tasks are always driven to completion before this returns,
+    /// even when some fail: a task owns state moved into its closure,
+    /// and abandoning in-flight siblings would tear the epoch. Failure
+    /// resolution is deterministic — if any task panicked, the panic of
+    /// the lowest-index panicking task is re-raised here; otherwise if
+    /// any task errored, the lowest-index error is returned.
+    pub fn scatter<R: Send + 'static>(
+        &self,
+        stage: &str,
+        tasks: Vec<Box<dyn FnOnce() -> Result<R> + Send>>,
+    ) -> Result<ScatterResult<R>> {
+        let n = tasks.len();
+        if n == 0 {
+            return Ok(ScatterResult { results: Vec::new(), stats: ScatterStats::default() });
+        }
+        let queue = self.queue.as_ref().expect("pool is live until dropped");
+        let (report_tx, report_rx) = channel::<TaskReport<R>>();
+        let hist = self
+            .metrics
+            .as_ref()
+            .map(|m| m.histogram("ss_task_duration_us", &[("stage", stage)]));
+        for (index, task) in tasks.into_iter().enumerate() {
+            let report_tx = report_tx.clone();
+            let hist = hist.clone();
+            let trace = self.trace.clone();
+            let stage = stage.to_string();
+            let enqueued = Instant::now();
+            let job: Job = Box::new(move || {
+                let queue_wait_us = enqueued.elapsed().as_micros() as u64;
+                let span = trace.as_ref().map(|t| {
+                    t.span(
+                        &format!("task:{stage}"),
+                        &[("task", index.to_string().as_str())],
+                    )
+                });
+                let started = Instant::now();
+                let outcome = match panic::catch_unwind(AssertUnwindSafe(task)) {
+                    Ok(Ok(r)) => TaskOutcome::Ok(r),
+                    Ok(Err(e)) => TaskOutcome::Err(e),
+                    Err(payload) => TaskOutcome::Panic(payload),
+                };
+                let duration_us = started.elapsed().as_micros() as u64;
+                drop(span);
+                if let Some(h) = &hist {
+                    h.observe(duration_us);
+                }
+                // The receiver only disappears if the scattering thread
+                // itself died; nothing left to report to.
+                let _ = report_tx.send(TaskReport { index, outcome, queue_wait_us, duration_us });
+            });
+            queue
+                .send(job)
+                .map_err(|_| SsError::Internal("worker pool queue closed".into()))?;
+        }
+        drop(report_tx);
+        self.gather(n, &report_rx, stage)
+    }
+
+    fn gather<R>(
+        &self,
+        n: usize,
+        report_rx: &Receiver<TaskReport<R>>,
+        stage: &str,
+    ) -> Result<ScatterResult<R>> {
+        let mut slots: Vec<Option<TaskOutcome<R>>> = (0..n).map(|_| None).collect();
+        let mut stats = ScatterStats { tasks: n as u64, ..ScatterStats::default() };
+        for _ in 0..n {
+            let report = report_rx.recv().map_err(|_| {
+                SsError::Internal(format!("worker pool lost a task report in stage {stage}"))
+            })?;
+            stats.max_task_duration_us = stats.max_task_duration_us.max(report.duration_us);
+            stats.max_queue_wait_us = stats.max_queue_wait_us.max(report.queue_wait_us);
+            slots[report.index] = Some(report.outcome);
+        }
+        if let Some(m) = &self.metrics {
+            m.gauge("ss_task_queue_wait_us", &[("stage", stage)])
+                .set(stats.max_queue_wait_us as i64);
+        }
+        // Every task has finished; resolve failures deterministically.
+        let mut first_err: Option<SsError> = None;
+        let mut results = Vec::with_capacity(n);
+        for slot in slots {
+            match slot.expect("every index reported exactly once") {
+                TaskOutcome::Panic(payload) => panic::resume_unwind(payload),
+                TaskOutcome::Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+                TaskOutcome::Ok(r) => results.push(r),
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(ScatterResult { results, stats }),
+        }
+    }
+}
+
+fn worker_loop(rx: &Arc<Mutex<Receiver<Job>>>) {
+    loop {
+        let job = {
+            let guard = rx.lock().unwrap_or_else(|poisoned| poisoned.into_inner());
+            guard.recv()
+        };
+        match job {
+            Ok(job) => job(),
+            Err(_) => break, // queue closed: pool dropped
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        drop(self.queue.take()); // close the queue so workers exit
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn boxed<R: Send + 'static>(
+        f: impl FnOnce() -> Result<R> + Send + 'static,
+    ) -> Box<dyn FnOnce() -> Result<R> + Send> {
+        Box::new(f)
+    }
+
+    #[test]
+    fn results_come_back_in_task_index_order() {
+        let pool = WorkerPool::new(4, None, None);
+        for _ in 0..20 {
+            let tasks: Vec<_> = (0..16u64)
+                .map(|i| {
+                    boxed(move || {
+                        // Stagger completion so out-of-order finish is likely.
+                        std::thread::sleep(std::time::Duration::from_micros(
+                            (16 - i) * 50,
+                        ));
+                        Ok(i * 10)
+                    })
+                })
+                .collect();
+            let out = pool.scatter("test", tasks).unwrap();
+            assert_eq!(out.results, (0..16u64).map(|i| i * 10).collect::<Vec<_>>());
+            assert_eq!(out.stats.tasks, 16);
+        }
+    }
+
+    #[test]
+    fn lowest_index_error_wins() {
+        let pool = WorkerPool::new(4, None, None);
+        let tasks: Vec<_> = (0..8)
+            .map(|i| {
+                boxed(move || -> Result<()> {
+                    if i >= 3 {
+                        Err(SsError::Execution(format!("task {i} failed")))
+                    } else {
+                        Ok(())
+                    }
+                })
+            })
+            .collect();
+        let err = pool.scatter("test", tasks).unwrap_err();
+        assert!(matches!(&err, SsError::Execution(m) if m == "task 3 failed"), "{err:?}");
+    }
+
+    #[test]
+    fn all_tasks_run_even_when_one_errors() {
+        let pool = WorkerPool::new(2, None, None);
+        let ran = Arc::new(AtomicUsize::new(0));
+        let tasks: Vec<_> = (0..6)
+            .map(|i| {
+                let ran = Arc::clone(&ran);
+                boxed(move || -> Result<()> {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                    if i == 0 {
+                        Err(SsError::Execution("boom".into()))
+                    } else {
+                        Ok(())
+                    }
+                })
+            })
+            .collect();
+        assert!(pool.scatter("test", tasks).is_err());
+        assert_eq!(ran.load(Ordering::SeqCst), 6);
+    }
+
+    #[test]
+    fn panics_propagate_to_the_caller() {
+        let pool = WorkerPool::new(2, None, None);
+        let tasks: Vec<_> = (0..4)
+            .map(|i| {
+                boxed(move || -> Result<()> {
+                    if i == 2 {
+                        panic!("injected task panic");
+                    }
+                    Ok(())
+                })
+            })
+            .collect();
+        let caught =
+            panic::catch_unwind(AssertUnwindSafe(|| pool.scatter("test", tasks).map(|_| ())));
+        let payload = caught.expect_err("scatter should re-raise the task panic");
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "injected task panic");
+        // Pool must still be usable after a panic.
+        let out = pool
+            .scatter("test", vec![boxed(|| Ok(7u64))])
+            .unwrap();
+        assert_eq!(out.results, vec![7]);
+    }
+
+    #[test]
+    fn empty_scatter_is_a_noop() {
+        let pool = WorkerPool::new(2, None, None);
+        let out = pool
+            .scatter("test", Vec::<Box<dyn FnOnce() -> Result<u64> + Send>>::new())
+            .unwrap();
+        assert!(out.results.is_empty());
+        assert_eq!(out.stats, ScatterStats::default());
+    }
+
+    #[test]
+    fn metrics_record_task_durations() {
+        let registry = MetricsRegistry::new();
+        let pool = WorkerPool::new(2, Some(registry.clone()), None);
+        let tasks: Vec<_> = (0..5).map(|i| boxed(move || Ok(i))).collect();
+        pool.scatter("map", tasks).unwrap();
+        let hist = registry.histogram("ss_task_duration_us", &[("stage", "map")]);
+        assert_eq!(hist.count(), 5);
+    }
+
+    #[test]
+    fn stats_absorb_takes_max_and_sums_tasks() {
+        let mut a = ScatterStats { tasks: 2, max_task_duration_us: 10, max_queue_wait_us: 3 };
+        a.absorb(ScatterStats { tasks: 3, max_task_duration_us: 7, max_queue_wait_us: 9 });
+        assert_eq!(a, ScatterStats { tasks: 5, max_task_duration_us: 10, max_queue_wait_us: 9 });
+    }
+}

@@ -344,6 +344,45 @@ impl StateStore {
         self.ops.get(id)
     }
 
+    /// Take ownership of one operator's state, removing it from the
+    /// store. Spilled state is reloaded first (failures stashed for
+    /// [`StateStore::check_health`], like [`StateStore::operator`]).
+    ///
+    /// Parallel tasks move the [`OpState`] shards they own into worker
+    /// closures — Rust has no way to hand out several `&mut OpState`
+    /// from one store — and give them back with [`StateStore::put_op`]
+    /// when the stage completes. Between take and put the store simply
+    /// doesn't contain the operator; a crash in between loses only
+    /// in-memory state, which recovery rebuilds from the checkpoint.
+    pub fn take_op(&mut self, id: &str) -> OpState {
+        self.access_clock += 1;
+        let tick = self.access_clock;
+        if self.spilled.contains_key(id) {
+            if let Err(e) = self.reload_spilled(id) {
+                self.reload_errors.push(e);
+            }
+        }
+        let mut op = self.ops.remove(id).unwrap_or_default();
+        if op.metrics.is_none() {
+            op.metrics = self.metrics.clone();
+        }
+        op.last_access = tick;
+        op
+    }
+
+    /// Return an operator taken with [`StateStore::take_op`]. Dirty /
+    /// removed tracking and byte accounting accumulated while the shard
+    /// was out travel with the [`OpState`], so the next delta
+    /// checkpoint and memory-budget pass stay correct.
+    pub fn put_op(&mut self, id: &str, mut op: OpState) {
+        self.access_clock += 1;
+        op.last_access = self.access_clock;
+        if op.metrics.is_none() {
+            op.metrics = self.metrics.clone();
+        }
+        self.ops.insert(id.to_string(), op);
+    }
+
     /// Operator ids present in the store.
     pub fn operator_ids(&self) -> Vec<String> {
         self.ops.keys().cloned().collect()
@@ -832,6 +871,36 @@ mod tests {
         assert_eq!(op.remove(&row!["a"]), Some(entry(1)));
         assert_eq!(op.get(&row!["a"]), None);
         assert_eq!(s.total_keys(), 0);
+    }
+
+    #[test]
+    fn take_op_and_put_op_preserve_checkpoint_tracking() {
+        let mut s = store();
+        s.operator("agg").put(row!["a"], entry(1));
+        s.checkpoint(1).unwrap();
+        // Mutate the shard while it is out of the store.
+        let mut op = s.take_op("agg");
+        assert!(s.operator_ref("agg").is_none());
+        op.put(row!["b"], entry(2));
+        op.remove(&row!["a"]);
+        s.put_op("agg", op);
+        s.checkpoint(2).unwrap();
+        // The delta built from out-of-store tracking must restore.
+        s.restore(2).unwrap();
+        let op = s.operator_ref("agg").unwrap();
+        assert_eq!(op.get(&row!["a"]), None);
+        assert_eq!(op.get(&row!["b"]), Some(&entry(2)));
+    }
+
+    #[test]
+    fn take_op_reloads_spilled_state_first() {
+        let mut s = store();
+        s.operator("agg").put(row!["a"], entry(1));
+        s.checkpoint(1).unwrap();
+        assert!(s.spill_op("agg").unwrap() > 0);
+        let op = s.take_op("agg");
+        assert_eq!(op.get(&row!["a"]), Some(&entry(1)));
+        s.check_health().unwrap();
     }
 
     #[test]

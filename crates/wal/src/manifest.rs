@@ -67,9 +67,25 @@ pub struct Manifest {
     /// Signature of every stateful operator, in incrementalizer id
     /// order.
     pub operators: Vec<OperatorSignature>,
+    /// Number of shuffle partitions the stateful operators' checkpoints
+    /// are sharded into. `None` (manifests written before data-parallel
+    /// execution; absent fields deserialize as `None`) and `Some(1)`
+    /// both mean the serial unsharded layout (`{op_id}`); `Some(N)` for
+    /// `N > 1` means per-partition namespaces (`{op_id}/p{r}`). Restart
+    /// with a different partition count repartitions the restored state
+    /// by shuffle hash. Read through
+    /// [`Manifest::state_partitions`](Self::state_partitions) rather
+    /// than the raw field.
+    pub state_partitions: Option<u32>,
 }
 
 impl Manifest {
+    /// The state-shard count this checkpoint was written with (absent =
+    /// legacy serial layout = 1).
+    pub fn state_partitions(&self) -> u32 {
+        self.state_partitions.unwrap_or(1).max(1)
+    }
+
     /// Read the manifest from a checkpoint backend.
     ///
     /// * `Ok(None)` — no manifest: a legacy **v0** checkpoint (or a
@@ -134,6 +150,7 @@ mod tests {
             sealed: false,
             plan_fingerprint: "00ff00ff00ff00ff".into(),
             operators: Vec::new(),
+            state_partitions: None,
         }
     }
 
@@ -155,6 +172,31 @@ mod tests {
         let text = String::from_utf8(frame::decode(&raw).unwrap()).unwrap();
         assert!(text.contains("\"engine\": \"microbatch\""));
         assert!(text.contains("\"last_epoch\": 7"));
+    }
+
+    #[test]
+    fn manifests_without_state_partitions_default_to_serial_layout() {
+        // A manifest written before data-parallel execution existed has
+        // no `state_partitions` field; it must read as 1 (unsharded).
+        let b = backend();
+        let legacy = r#"{
+            "version": 1,
+            "query_name": "q",
+            "engine": "microbatch",
+            "last_epoch": 7,
+            "sources": {},
+            "watermark_us": 0,
+            "sealed": false,
+            "plan_fingerprint": "00ff00ff00ff00ff",
+            "operators": []
+        }"#;
+        b.write_atomic(MANIFEST_KEY, legacy.as_bytes()).unwrap();
+        let m = Manifest::load(&b).unwrap().unwrap();
+        assert_eq!(m.state_partitions, None);
+        assert_eq!(m.state_partitions(), 1);
+        let mut sharded = manifest();
+        sharded.state_partitions = Some(4);
+        assert_eq!(sharded.state_partitions(), 4);
     }
 
     #[test]

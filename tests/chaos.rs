@@ -387,6 +387,120 @@ fn graceful_stop_and_upgrade_survive_injected_faults() {
     let _ = std::panic::take_hook();
 }
 
+/// Worker-task chaos: the same windowed aggregation runs
+/// data-parallel (4 workers, 4 shuffle partitions) while seeded faults
+/// land *inside* scheduler tasks — at task start
+/// (`sched.task.run`) and at the shuffle write (`sched.shuffle.write`)
+/// — alongside the usual epoch-protocol crash points. Transient faults
+/// must be absorbed by the task retry path without killing the epoch;
+/// fatal errors and panics kill the incarnation mid-scatter (its
+/// sharded in-memory state is lost with the worker results) and the
+/// next incarnation must rebuild from the checkpoint. The sink must
+/// converge byte-for-byte to the clean **serial** run.
+#[test]
+fn parallel_execution_survives_worker_faults_and_matches_serial() {
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let parallel_config = |faults: FaultRegistry| MicroBatchConfig {
+        parallelism: 4,
+        shuffle_partitions: 4,
+        ..base_config(faults)
+    };
+    let serial_config = |faults: FaultRegistry| MicroBatchConfig {
+        parallelism: 1,
+        ..base_config(faults)
+    };
+    let worker_pool: &[(&str, FaultMode)] = &[
+        (ss_sched::failpoints::TASK_RUN, FaultMode::TransientError),
+        (ss_sched::failpoints::TASK_RUN, FaultMode::Error),
+        (ss_sched::failpoints::TASK_RUN, FaultMode::Panic),
+        (ss_sched::failpoints::SHUFFLE_WRITE, FaultMode::TransientError),
+        (ss_sched::failpoints::SHUFFLE_WRITE, FaultMode::Error),
+        (failpoints::AFTER_OFFSET_WRITE, FaultMode::Panic),
+        (failpoints::AFTER_COMMIT_WRITE, FaultMode::Error),
+        (ss_state::store::failpoints::CHECKPOINT_WRITE, FaultMode::TransientError),
+    ];
+
+    // Clean serial reference: the parallel chaos runs must reproduce
+    // these exact rows.
+    let expected = {
+        let bus = Arc::new(MessageBus::new());
+        bus.create_topic("in", 2).unwrap();
+        let sink = MemorySink::new("ref");
+        let mut eng = build_engine_with(
+            bus.clone(),
+            sink.clone(),
+            Arc::new(MemoryBackend::new()),
+            serial_config(FaultRegistry::new()),
+        )
+        .unwrap();
+        let mut fed = 0;
+        while fed < TOTAL_ROWS {
+            feed(&bus, WAVE, fed);
+            fed += WAVE;
+            eng.process_available().unwrap();
+        }
+        let mut rows = sink.snapshot();
+        rows.sort();
+        rows
+    };
+    assert!(!expected.is_empty());
+
+    let mut crashes = 0u32;
+    for seed in 0..12u64 {
+        let mut rng = XorShift64::new(seed);
+        let bus = Arc::new(MessageBus::new());
+        bus.create_topic("in", 2).unwrap();
+        let backend = Arc::new(MemoryBackend::new());
+        let sink = MemorySink::new("out");
+        let mut fed: u64 = 0;
+        let mut incarnation = 0u32;
+        loop {
+            incarnation += 1;
+            let faults = FaultRegistry::new();
+            if incarnation <= 40 {
+                let (point, mode) =
+                    worker_pool[rng.gen_range(0, worker_pool.len() as u64) as usize];
+                let skip = rng.gen_range(0, 6);
+                faults.configure(point, FaultTrigger::Once { skip }, mode);
+            }
+            let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<(), SsError> {
+                let mut eng = build_engine_with(
+                    bus.clone(),
+                    sink.clone(),
+                    backend.clone(),
+                    parallel_config(faults.clone()),
+                )?;
+                while fed < TOTAL_ROWS {
+                    feed(&bus, WAVE, fed);
+                    fed += WAVE;
+                    eng.process_available()?;
+                }
+                eng.process_available()?;
+                Ok(())
+            }));
+            if let Ok(Ok(())) = outcome {
+                break;
+            }
+            crashes += 1;
+            assert!(
+                incarnation < 100,
+                "parallel chaos run (seed {seed}) did not converge"
+            );
+        }
+        let mut rows = sink.snapshot();
+        rows.sort();
+        assert_eq!(
+            rows, expected,
+            "seed {seed} diverged from the clean serial run"
+        );
+    }
+    let _ = std::panic::take_hook();
+    // The worker fail points must actually fire and kill incarnations,
+    // or the injection wiring has regressed.
+    assert!(crashes >= 6, "only {crashes} crashes across 12 seeds");
+}
+
 /// Bursty load under active admission control, with crashes landing
 /// mid-epoch while rate limits are in force. A deterministic stepping
 /// clock makes every epoch look slow (hundreds of fake milliseconds),
