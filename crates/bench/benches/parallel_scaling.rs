@@ -112,6 +112,31 @@ fn main() {
         &rows,
     );
 
+    // Where did the epochs spend their time? (top-level phases are
+    // disjoint engine-thread intervals; `execute/...` children overlap
+    // the parent and may exceed it — shuffle-write is CPU time summed
+    // across map tasks.)
+    println!();
+    for (workers, r) in &results {
+        let top: u64 = r
+            .phases
+            .iter()
+            .filter(|d| d.parent.is_none())
+            .map(|d| d.duration_us)
+            .sum();
+        let breakdown: Vec<String> = r
+            .phases
+            .iter()
+            .filter(|d| d.parent.is_none() && d.duration_us > 0)
+            .map(|d| format!("{} {:.0}%", d.name, 100.0 * d.duration_us as f64 / top as f64))
+            .collect();
+        println!(
+            "   {workers} worker(s): {} | shuffle share {:.1}%",
+            breakdown.join(", "),
+            100.0 * r.shuffle_share().unwrap_or(0.0)
+        );
+    }
+
     // Emit the machine-readable trajectory record.
     let mut points = Vec::new();
     for (workers, r) in &results {
@@ -126,6 +151,20 @@ fn main() {
             "speedup".into(),
             serde_json::to_value(&(r.records_per_second() / base)).unwrap(),
         );
+        // Per-phase attribution: `<phase>` for top-level entries,
+        // `<parent>/<child>` for execute's children.
+        let mut phases = serde_json::Map::new();
+        for d in &r.phases {
+            let key = match &d.parent {
+                Some(parent) => format!("{parent}/{}", d.name),
+                None => d.name.clone(),
+            };
+            phases.insert(key, serde_json::to_value(&d.duration_us).unwrap());
+        }
+        p.insert("phases_us".into(), serde_json::Value::Object(phases));
+        if let Some(share) = r.shuffle_share() {
+            p.insert("shuffle_share".into(), serde_json::to_value(&share).unwrap());
+        }
         points.push(serde_json::Value::Object(p));
     }
     let mut doc = serde_json::Map::new();

@@ -1,0 +1,83 @@
+//! Compare a freshly measured `BENCH_parallel.json` against the
+//! committed baseline and gate on serial-throughput regressions.
+//!
+//! CI runs the scaling bench with `SS_BENCH_OUT` pointed at a scratch
+//! file, then invokes this binary with the committed baseline and the
+//! fresh result. The 1-worker (serial) throughput is the gated number:
+//! it is the least scheduler-noise-sensitive point, and a >25% drop
+//! there means the engine itself got slower, not that the runner was
+//! busy. On a single-core runner the comparison is warn-only — with
+//! one hardware thread even the serial point is hostage to co-tenant
+//! load.
+//!
+//! Usage: `bench_compare <baseline.json> <fresh.json>`
+//! Exit codes: 0 ok (or warn-only), 1 regression, 2 usage/parse error.
+
+use std::process::exit;
+
+/// Allowed serial slowdown before the gate fails: fresh must be at
+/// least 75% of the baseline rate.
+const MIN_RATIO: f64 = 0.75;
+
+fn load(path: &str) -> serde_json::Value {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_compare: cannot read `{path}`: {e}");
+        exit(2);
+    });
+    serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("bench_compare: cannot parse `{path}`: {e}");
+        exit(2);
+    })
+}
+
+/// The 1-worker throughput from a parallel_scaling result document.
+fn serial_rate(doc: &serde_json::Value) -> Option<f64> {
+    doc.get("results")?.as_array()?.iter().find_map(|point| {
+        if point.get("workers")?.as_u64()? != 1 {
+            return None;
+        }
+        point.get("records_per_second")?.as_f64()
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let [_, baseline_path, fresh_path] = &args[..] else {
+        eprintln!("usage: bench_compare <baseline.json> <fresh.json>");
+        exit(2);
+    };
+    let baseline = load(baseline_path);
+    let fresh = load(fresh_path);
+    let base = serial_rate(&baseline).unwrap_or_else(|| {
+        eprintln!("bench_compare: `{baseline_path}` has no 1-worker result");
+        exit(2);
+    });
+    let now = serial_rate(&fresh).unwrap_or_else(|| {
+        eprintln!("bench_compare: `{fresh_path}` has no 1-worker result");
+        exit(2);
+    });
+    let ratio = now / base;
+    println!(
+        "serial throughput: baseline {base:.0} rec/s, fresh {now:.0} rec/s ({:+.1}%)",
+        100.0 * (ratio - 1.0)
+    );
+    if ratio >= MIN_RATIO {
+        println!("ok: within the {:.0}% regression budget", 100.0 * (1.0 - MIN_RATIO));
+        return;
+    }
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if cores <= 1 {
+        println!(
+            "WARN: serial throughput regressed {:.1}%, but this is a \
+             single-core machine — warn-only",
+            100.0 * (1.0 - ratio)
+        );
+        return;
+    }
+    eprintln!(
+        "FAIL: serial throughput regressed {:.1}% (budget is {:.0}%)",
+        100.0 * (1.0 - ratio),
+        100.0 * (1.0 - MIN_RATIO)
+    );
+    exit(1);
+}

@@ -12,9 +12,12 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use std::collections::BTreeMap;
+
 use ss_baselines::workload::{BenchCounts, YahooWorkload};
 use ss_baselines::{flink_like, kstreams_like};
 use ss_bus::{BusSource, MemorySink, MessageBus};
+use ss_common::profile::PhaseDuration;
 use ss_common::{Result, Row, Value};
 use ss_core::prelude::*;
 use ss_core::StreamingContext;
@@ -35,12 +38,58 @@ pub struct ThroughputRun {
     pub records: u64,
     pub seconds: f64,
     pub counts: BenchCounts,
+    /// Per-phase wall time summed across the run's epochs (from the
+    /// engine's epoch profiler); empty for engines without a profiler.
+    pub phases: Vec<PhaseDuration>,
 }
 
 impl ThroughputRun {
     pub fn records_per_second(&self) -> f64 {
         self.records as f64 / self.seconds
     }
+
+    /// Fraction of attributed top-level time spent in the shuffle
+    /// exchange (`execute`'s shuffle-write + shuffle-read children
+    /// over the sum of all top-level phases). `None` without profiles.
+    pub fn shuffle_share(&self) -> Option<f64> {
+        let top: u64 = self
+            .phases
+            .iter()
+            .filter(|d| d.parent.is_none())
+            .map(|d| d.duration_us)
+            .sum();
+        if top == 0 {
+            return None;
+        }
+        let shuffle: u64 = self
+            .phases
+            .iter()
+            .filter(|d| d.name == "shuffle-write" || d.name == "shuffle-read")
+            .map(|d| d.duration_us)
+            .sum();
+        Some(shuffle as f64 / top as f64)
+    }
+}
+
+/// Sum the query's retained per-epoch phase durations into one
+/// per-(phase, parent) total.
+fn phase_totals(query: &ss_core::StreamingQuery) -> Vec<PhaseDuration> {
+    let mut totals: BTreeMap<(String, Option<String>), u64> = BTreeMap::new();
+    for profile in query.profiles() {
+        for d in &profile.phases {
+            *totals
+                .entry((d.name.clone(), d.parent.clone()))
+                .or_insert(0) += d.duration_us;
+        }
+    }
+    totals
+        .into_iter()
+        .map(|((name, parent), duration_us)| PhaseDuration {
+            name,
+            parent,
+            duration_us,
+        })
+        .collect()
 }
 
 /// Create a bus with the benchmark topic preloaded:
@@ -156,6 +205,7 @@ pub fn run_structured_streaming_at(
     let start = Instant::now();
     query.process_available()?;
     let seconds = start.elapsed().as_secs_f64();
+    let phases = phase_totals(&query);
     Ok(ThroughputRun {
         system: if parallelism > 1 {
             format!("Structured Streaming ({parallelism} workers)")
@@ -165,6 +215,7 @@ pub fn run_structured_streaming_at(
         records: total_records,
         seconds,
         counts: sink_to_counts(&sink),
+        phases,
     })
 }
 
@@ -182,6 +233,7 @@ pub fn run_flink_like(
         records: total_records,
         seconds,
         counts: job.counts(),
+        phases: Vec::new(),
     })
 }
 
@@ -199,6 +251,7 @@ pub fn run_kstreams_like(
         records: total_records,
         seconds,
         counts: job.counts(),
+        phases: Vec::new(),
     })
 }
 
@@ -251,6 +304,7 @@ pub fn run_row_at_a_time(
         records: consumed,
         seconds,
         counts: counts.into_iter().collect(),
+        phases: Vec::new(),
     })
 }
 

@@ -85,6 +85,16 @@ pub trait Source: Send + Sync {
         Ok(out)
     }
 
+    /// The earliest and latest ingest timestamps (wall-clock µs) of the
+    /// records in `range`, if this source tracks ingest times. The
+    /// engine subtracts these from the sink-commit time to measure
+    /// end-to-end event latency (source ingest → sink commit). Sources
+    /// without ingest timestamps — the default — report `None`.
+    fn ingest_bounds(&self, range: &OffsetRange) -> Result<Option<(i64, i64)>> {
+        let _ = range;
+        Ok(None)
+    }
+
     /// Read a whole offset range into **one** batch. The default
     /// concatenates per-partition batches; sources that can append all
     /// partitions into a single set of column builders (e.g.
@@ -283,6 +293,33 @@ impl Source for BusSource {
         }
         let columns = builders.into_iter().map(|b| b.finish()).collect();
         RecordBatch::try_new(out_schema, columns)
+    }
+
+    /// Every bus record carries the wall-clock time `append` stamped on
+    /// it; scan the range (in place, no clone) for the min/max.
+    fn ingest_bounds(&self, range: &OffsetRange) -> Result<Option<(i64, i64)>> {
+        let mut min = i64::MAX;
+        let mut max = i64::MIN;
+        for (&p, &end) in &range.end {
+            let start = *range.start.get(&p).unwrap_or(&0);
+            if end <= start {
+                continue;
+            }
+            self.bus.read_with(
+                &self.topic,
+                p,
+                start,
+                (end - start) as usize,
+                &mut |rec| {
+                    min = min.min(rec.ingest_time_us);
+                    max = max.max(rec.ingest_time_us);
+                },
+            )?;
+        }
+        if min > max {
+            return Ok(None); // empty range
+        }
+        Ok(Some((min, max)))
     }
 
     fn bus_binding(&self) -> Option<(Arc<MessageBus>, String)> {
@@ -512,6 +549,36 @@ mod tests {
         // The one-shot fault is spent; the same read now succeeds.
         assert_eq!(src.read_partition(0, 0, 1).unwrap().num_rows(), 1);
         assert_eq!(faults.hits(failpoints::BUS_READ), 2);
+    }
+
+    #[test]
+    fn bus_source_reports_ingest_bounds() {
+        let bus = Arc::new(MessageBus::new());
+        bus.create_topic("t", 2).unwrap();
+        bus.append_at("t", 0, 100, vec![row![1i64, "a"]]).unwrap();
+        bus.append_at("t", 0, 300, vec![row![2i64, "b"]]).unwrap();
+        bus.append_at("t", 1, 200, vec![row![3i64, "c"]]).unwrap();
+        let src = BusSource::new(bus, "t", schema()).unwrap();
+        let full = OffsetRange {
+            start: PartitionOffsets::new(),
+            end: src.latest_offsets().unwrap(),
+        };
+        assert_eq!(src.ingest_bounds(&full).unwrap(), Some((100, 300)));
+        // A sub-range only sees its own records.
+        let tail = OffsetRange {
+            start: PartitionOffsets::from([(0, 1)]),
+            end: PartitionOffsets::from([(0, 2)]),
+        };
+        assert_eq!(src.ingest_bounds(&tail).unwrap(), Some((300, 300)));
+        // Empty range → no bounds; sources without timestamps default
+        // to None.
+        let empty = OffsetRange {
+            start: PartitionOffsets::from([(0, 2)]),
+            end: PartitionOffsets::from([(0, 2)]),
+        };
+        assert_eq!(src.ingest_bounds(&empty).unwrap(), None);
+        let gen = GeneratorSource::new("g", schema(), 1, Arc::new(|_, o| row![o as i64, "x"]));
+        assert_eq!(gen.ingest_bounds(&full).unwrap(), None);
     }
 
     #[test]

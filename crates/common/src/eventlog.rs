@@ -1,0 +1,250 @@
+//! A structured, append-only query lifecycle log, rendered as JSON
+//! Lines (one JSON object per line).
+//!
+//! Where the metrics registry answers "how much" and the trace log
+//! answers "where did the time go", the event log answers "what
+//! happened": query start, per-epoch progress, restarts, state spills,
+//! admission-limited epochs and termination, each stamped with a
+//! wall-clock timestamp. The buffer is bounded (oldest events are
+//! evicted) and can optionally mirror every event to a JSONL file for
+//! offline analysis (`SS_EVENT_LOG=<path>` in the engine).
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::time::now_us;
+use crate::trace::escape_json;
+
+/// Default maximum number of retained events.
+pub const DEFAULT_EVENT_CAPACITY: usize = 4_096;
+
+/// Well-known event kinds emitted by the engines.
+pub const EVENT_START: &str = "start";
+pub const EVENT_PROGRESS: &str = "progress";
+pub const EVENT_RESTART: &str = "restart";
+pub const EVENT_SPILL: &str = "spill";
+pub const EVENT_ADMISSION_LIMITED: &str = "admission-limited";
+pub const EVENT_TERMINATE: &str = "terminate";
+
+/// One structured event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructuredEvent {
+    /// Wall-clock µs since the Unix epoch.
+    pub ts_us: i64,
+    /// Event kind (one of the `EVENT_*` constants, or engine-defined).
+    pub kind: String,
+    /// The query this event belongs to.
+    pub query: String,
+    /// Extra key/value context.
+    pub fields: Vec<(String, String)>,
+}
+
+impl StructuredEvent {
+    /// Render as one JSON Lines record (no trailing newline). Field
+    /// values that are plain integers or floats are emitted as JSON
+    /// numbers; everything else as strings.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"ts_us\":{},\"event\":\"{}\",\"query\":\"{}\"",
+            self.ts_us,
+            escape_json(&self.kind),
+            escape_json(&self.query)
+        );
+        for (k, v) in &self.fields {
+            let _ = write!(out, ",\"{}\":", escape_json(k));
+            if is_json_number(v) {
+                out.push_str(v);
+            } else {
+                let _ = write!(out, "\"{}\"", escape_json(v));
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// `true` when `v` can be emitted verbatim as a JSON number.
+fn is_json_number(v: &str) -> bool {
+    if v.is_empty() {
+        return false;
+    }
+    let body = v.strip_prefix('-').unwrap_or(v);
+    if body.is_empty() || body.starts_with('.') || body.ends_with('.') {
+        return false;
+    }
+    let mut dots = 0;
+    for c in body.chars() {
+        match c {
+            '0'..='9' => {}
+            '.' => dots += 1,
+            _ => return false,
+        }
+    }
+    dots <= 1
+}
+
+#[derive(Debug)]
+struct EventLogInner {
+    events: VecDeque<StructuredEvent>,
+    capacity: usize,
+    file: Option<std::fs::File>,
+}
+
+/// A bounded, shared structured event log. Clones share the buffer.
+#[derive(Debug, Clone)]
+pub struct EventLog {
+    inner: Arc<Mutex<EventLogInner>>,
+}
+
+impl Default for EventLog {
+    fn default() -> EventLog {
+        EventLog::new()
+    }
+}
+
+impl EventLog {
+    pub fn new() -> EventLog {
+        EventLog::with_capacity(DEFAULT_EVENT_CAPACITY)
+    }
+
+    pub fn with_capacity(capacity: usize) -> EventLog {
+        EventLog {
+            inner: Arc::new(Mutex::new(EventLogInner {
+                events: VecDeque::new(),
+                capacity: capacity.max(1),
+                file: None,
+            })),
+        }
+    }
+
+    /// Mirror every future event to `path` (JSONL, append mode).
+    /// Returns an error if the file cannot be opened.
+    pub fn attach_file(&self, path: &Path) -> std::io::Result<()> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        self.inner.lock().file = Some(file);
+        Ok(())
+    }
+
+    /// Record one event, stamped with the current wall clock.
+    pub fn emit(&self, query: &str, kind: &str, fields: &[(&str, &str)]) {
+        let ev = StructuredEvent {
+            ts_us: now_us(),
+            kind: kind.to_string(),
+            query: query.to_string(),
+            fields: fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+        };
+        let mut inner = self.inner.lock();
+        if let Some(f) = inner.file.as_mut() {
+            // Best-effort: a full disk must not take the query down.
+            let _ = writeln!(f, "{}", ev.to_json());
+        }
+        if inner.events.len() == inner.capacity {
+            inner.events.pop_front();
+        }
+        inner.events.push_back(ev);
+    }
+
+    /// A copy of all retained events, oldest first.
+    pub fn events(&self) -> Vec<StructuredEvent> {
+        self.inner.lock().events.iter().cloned().collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.lock().events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All retained events as JSON Lines (one object per line,
+    /// trailing newline included when non-empty).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for ev in self.inner.lock().events.iter() {
+            out.push_str(&ev.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_and_render_jsonl() {
+        let log = EventLog::new();
+        log.emit("q", EVENT_START, &[("engine", "microbatch")]);
+        log.emit("q", EVENT_PROGRESS, &[("epoch", "3"), ("rows", "120")]);
+        assert_eq!(log.len(), 2);
+        let jsonl = log.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"event\":\"start\""));
+        assert!(lines[0].contains("\"query\":\"q\""));
+        assert!(lines[0].contains("\"engine\":\"microbatch\""));
+        // Numeric field values are JSON numbers, not strings.
+        assert!(lines[1].contains("\"epoch\":3,\"rows\":120"), "got: {}", lines[1]);
+        assert!(lines[1].starts_with("{\"ts_us\":"));
+    }
+
+    #[test]
+    fn strings_are_escaped_and_numbers_detected() {
+        let ev = StructuredEvent {
+            ts_us: 5,
+            kind: "terminate".into(),
+            query: "q\"1\"".into(),
+            fields: vec![
+                ("error".into(), "disk\nfull \\ dev".into()),
+                ("ratio".into(), "0.5".into()),
+                ("neg".into(), "-3".into()),
+                ("not_a_number".into(), "1.2.3".into()),
+            ],
+        };
+        let json = ev.to_json();
+        assert!(json.contains("\"query\":\"q\\\"1\\\"\""));
+        assert!(json.contains("\"error\":\"disk\\nfull \\\\ dev\""));
+        assert!(json.contains("\"ratio\":0.5"));
+        assert!(json.contains("\"neg\":-3"));
+        assert!(json.contains("\"not_a_number\":\"1.2.3\""));
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let log = EventLog::with_capacity(2);
+        log.emit("q", "a", &[]);
+        log.emit("q", "b", &[]);
+        log.emit("q", "c", &[]);
+        let kinds: Vec<String> = log.events().into_iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec!["b".to_string(), "c".to_string()]);
+    }
+
+    #[test]
+    fn file_mirror_appends_jsonl() {
+        let dir = std::env::temp_dir().join(format!("ss-eventlog-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let log = EventLog::new();
+        log.attach_file(&path).unwrap();
+        log.emit("q", EVENT_SPILL, &[("bytes", "1024")]);
+        log.emit("q", EVENT_TERMINATE, &[]);
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body.lines().count(), 2);
+        assert!(body.contains("\"event\":\"spill\""));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -19,6 +19,10 @@
 //!   [`MetricsRegistry`]; the substrate of the observability layer.
 //! * [`trace`] — epoch-scoped trace spans, dumpable as a
 //!   chrome://tracing-compatible JSON event log.
+//! * [`profile`] — the epoch profiler: per-epoch phase-tree wall-time
+//!   attribution with task-skew and shuffle statistics.
+//! * [`eventlog`] — a bounded JSONL structured event log of query
+//!   lifecycle events (start/progress/restart/spill/terminate).
 //! * [`fault`] — named fail points (one-shot / every-Nth / probabilistic)
 //!   wired into the engine's durability paths for chaos testing.
 //! * [`retry`] — [`RetryPolicy`] with exponential backoff and decorrelated
@@ -33,9 +37,11 @@ pub mod batch;
 pub mod bitmap;
 pub mod column;
 pub mod error;
+pub mod eventlog;
 pub mod fault;
 pub mod frame;
 pub mod metrics;
+pub mod profile;
 pub mod offsets;
 pub mod retry;
 pub mod rng;
@@ -50,8 +56,10 @@ pub use batch::RecordBatch;
 pub use bitmap::Bitmap;
 pub use column::{Column, ColumnBuilder};
 pub use error::{Result, SsError};
+pub use eventlog::{EventLog, StructuredEvent};
 pub use fault::{FaultMode, FaultRegistry, FaultTrigger};
 pub use metrics::{Counter, Gauge, Histogram, MetricSample, MetricValue, MetricsRegistry};
+pub use profile::{EpochProfile, EpochProfiler, PhaseDuration, ShuffleProfile, TaskSkew};
 pub use retry::{retry, retry_result, RetryOutcome, RetryPolicy};
 pub use rng::XorShift64;
 pub use offsets::{OffsetRange, PartitionOffsets};

@@ -334,41 +334,88 @@ impl MetricsRegistry {
                 continue;
             }
             if let Some(help) = &family.help {
-                let _ = writeln!(out, "# HELP {name} {help}");
+                let _ = writeln!(out, "# HELP {name} {}", escape_help(help));
             }
             let _ = writeln!(out, "# TYPE {name} {}", family.kind);
             for (labels, instr) in &family.series {
-                match instr {
-                    Instrument::Counter(c) => {
-                        let _ = writeln!(out, "{}{} {}", name, render_labels(labels, None), c.get());
-                    }
-                    Instrument::Gauge(g) => {
-                        let _ = writeln!(out, "{}{} {}", name, render_labels(labels, None), g.get());
-                    }
-                    Instrument::Histogram(h) => {
-                        let counts = h.bucket_counts();
-                        let mut cumulative = 0u64;
-                        for (i, c) in counts.iter().enumerate() {
-                            cumulative += c;
-                            let le = match LATENCY_BUCKETS_US.get(i) {
-                                Some(b) => b.to_string(),
-                                None => "+Inf".to_string(),
-                            };
-                            let _ = writeln!(
-                                out,
-                                "{}_bucket{} {}",
-                                name,
-                                render_labels(labels, Some(&le)),
-                                cumulative
-                            );
-                        }
-                        let _ = writeln!(out, "{}_sum{} {}", name, render_labels(labels, None), h.sum());
-                        let _ = writeln!(out, "{}_count{} {}", name, render_labels(labels, None), h.count());
-                    }
-                }
+                render_series(&mut out, name, labels, instr);
             }
         }
         out
+    }
+}
+
+/// Render several registries as ONE Prometheus exposition, injecting a
+/// `query="<name>"` label into every series so same-named families from
+/// different queries merge under a single `# TYPE` header instead of
+/// colliding. This is what the introspection server's `/metrics`
+/// endpoint serves when more than one query is live.
+pub fn render_merged(views: &[(&str, &MetricsRegistry)]) -> String {
+    type SeriesVec = Vec<(Vec<(String, String)>, Instrument)>;
+    let mut merged: BTreeMap<String, (&'static str, Option<String>, SeriesVec)> = BTreeMap::new();
+    // One registry lock at a time; clone instrument handles out.
+    for (qname, reg) in views {
+        let inner = reg.inner.lock();
+        for (name, family) in &inner.families {
+            if family.series.is_empty() {
+                continue;
+            }
+            let entry = merged
+                .entry(name.clone())
+                .or_insert_with(|| (family.kind, family.help.clone(), Vec::new()));
+            if entry.1.is_none() {
+                entry.1 = family.help.clone();
+            }
+            for (labels, instr) in &family.series {
+                let mut labeled = labels.clone();
+                labeled.push(("query".to_string(), qname.to_string()));
+                labeled.sort();
+                entry.2.push((labeled, instr.clone()));
+            }
+        }
+    }
+    let mut out = String::new();
+    for (name, (kind, help, mut series)) in merged {
+        if let Some(help) = &help {
+            let _ = writeln!(out, "# HELP {name} {}", escape_help(help));
+        }
+        let _ = writeln!(out, "# TYPE {name} {kind}");
+        series.sort_by(|a, b| a.0.cmp(&b.0));
+        for (labels, instr) in &series {
+            render_series(&mut out, &name, labels, instr);
+        }
+    }
+    out
+}
+
+fn render_series(out: &mut String, name: &str, labels: &[(String, String)], instr: &Instrument) {
+    match instr {
+        Instrument::Counter(c) => {
+            let _ = writeln!(out, "{}{} {}", name, render_labels(labels, None), c.get());
+        }
+        Instrument::Gauge(g) => {
+            let _ = writeln!(out, "{}{} {}", name, render_labels(labels, None), g.get());
+        }
+        Instrument::Histogram(h) => {
+            let counts = h.bucket_counts();
+            let mut cumulative = 0u64;
+            for (i, c) in counts.iter().enumerate() {
+                cumulative += c;
+                let le = match LATENCY_BUCKETS_US.get(i) {
+                    Some(b) => b.to_string(),
+                    None => "+Inf".to_string(),
+                };
+                let _ = writeln!(
+                    out,
+                    "{}_bucket{} {}",
+                    name,
+                    render_labels(labels, Some(&le)),
+                    cumulative
+                );
+            }
+            let _ = writeln!(out, "{}_sum{} {}", name, render_labels(labels, None), h.sum());
+            let _ = writeln!(out, "{}_count{} {}", name, render_labels(labels, None), h.count());
+        }
     }
 }
 
@@ -392,6 +439,20 @@ fn render_labels(labels: &[(String, String)], le: Option<&str>) -> String {
         let _ = write!(out, "le=\"{le}\"");
     }
     out.push('}');
+    out
+}
+
+/// Prometheus `# HELP` text escaping: backslash and newline (the text
+/// exposition format leaves double quotes alone in help lines).
+fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
     out
 }
 
@@ -498,6 +559,47 @@ ss_eval_us_bucket{op=\"scan\",le=\"2\"} 1
         r.counter("m", &[("k", "a\"b\\c\nd")]).inc();
         let text = r.render();
         assert!(text.contains("m{k=\"a\\\"b\\\\c\\nd\"} 1"));
+    }
+
+    #[test]
+    fn escaping_known_answer() {
+        // Known-answer test over the whole exposition: label values
+        // escape backslash, double-quote and newline; HELP text escapes
+        // backslash and newline.
+        let r = MetricsRegistry::new();
+        r.describe("m_total", "line one\nline two with a \\ backslash");
+        r.counter("m_total", &[("path", "C:\\tmp"), ("q", "say \"hi\"\nbye")])
+            .add(3);
+        assert_eq!(
+            r.render(),
+            concat!(
+                "# HELP m_total line one\\nline two with a \\\\ backslash\n",
+                "# TYPE m_total counter\n",
+                "m_total{path=\"C:\\\\tmp\",q=\"say \\\"hi\\\"\\nbye\"} 3\n",
+            )
+        );
+    }
+
+    #[test]
+    fn merged_render_injects_query_label() {
+        let a = MetricsRegistry::new();
+        a.describe("ss_rows_total", "Rows.");
+        a.counter("ss_rows_total", &[("op", "scan")]).add(5);
+        a.histogram("ss_lat_us", &[]).observe(3);
+        let b = MetricsRegistry::new();
+        b.counter("ss_rows_total", &[("op", "scan")]).add(7);
+        b.gauge("ss_keys", &[]).set(2);
+
+        let text = render_merged(&[("q1", &a), ("q2", &b)]);
+        // One TYPE header per family even though both registries expose
+        // the family; every series carries its query label.
+        assert_eq!(text.matches("# TYPE ss_rows_total counter").count(), 1);
+        assert!(text.contains("# HELP ss_rows_total Rows.\n"));
+        assert!(text.contains("ss_rows_total{op=\"scan\",query=\"q1\"} 5\n"));
+        assert!(text.contains("ss_rows_total{op=\"scan\",query=\"q2\"} 7\n"));
+        assert!(text.contains("ss_keys{query=\"q2\"} 2\n"));
+        assert!(text.contains("ss_lat_us_bucket{query=\"q1\",le=\"+Inf\"} 1\n"));
+        assert!(text.contains("ss_lat_us_count{query=\"q1\"} 1\n"));
     }
 
     #[test]

@@ -19,6 +19,8 @@ use std::time::Instant;
 
 use parking_lot::Mutex;
 
+use crate::metrics::Counter;
+
 /// Default maximum number of buffered events before dropping.
 pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
 
@@ -46,6 +48,9 @@ struct TraceInner {
     events: Mutex<Vec<TraceEvent>>,
     capacity: usize,
     dropped: AtomicU64,
+    /// Optional registry counter mirroring `dropped`, so silent span
+    /// loss shows up as `ss_trace_dropped_total` in `/metrics`.
+    drop_counter: Mutex<Option<Counter>>,
 }
 
 /// A shared, bounded trace-event log. Clones share the buffer.
@@ -81,8 +86,21 @@ impl TraceLog {
                 events: Mutex::new(Vec::new()),
                 capacity,
                 dropped: AtomicU64::new(0),
+                drop_counter: Mutex::new(None),
             }),
         }
+    }
+
+    /// Mirror future buffer-full drops into `counter` (typically the
+    /// registry's `ss_trace_dropped_total`). Drops that already
+    /// happened are credited immediately so the counter never
+    /// understates [`TraceLog::dropped`].
+    pub fn attach_drop_counter(&self, counter: Counter) {
+        let already = self.inner.dropped.load(Ordering::Relaxed);
+        if already > counter.get() {
+            counter.add(already - counter.get());
+        }
+        *self.inner.drop_counter.lock() = Some(counter);
     }
 
     pub fn set_enabled(&self, on: bool) {
@@ -104,7 +122,11 @@ impl TraceLog {
         }
         let mut events = self.inner.events.lock();
         if events.len() >= self.inner.capacity {
+            drop(events);
             self.inner.dropped.fetch_add(1, Ordering::Relaxed);
+            if let Some(c) = self.inner.drop_counter.lock().as_ref() {
+                c.inc();
+            }
             return;
         }
         events.push(ev);
@@ -201,18 +223,30 @@ impl TraceLog {
     /// `{"traceEvents":[{"name":...,"ph":"B","ts":...,"pid":1,...}]}`.
     /// Load the result via `chrome://tracing` or <https://ui.perfetto.dev>.
     pub fn to_chrome_json(&self) -> String {
-        let events = self.inner.events.lock();
         let mut out = String::from("{\"traceEvents\":[");
+        self.write_chrome_events(1, &mut out);
+        out.push_str("]}");
+        out
+    }
+
+    /// Append this log's events as comma-separated chrome://tracing
+    /// JSON objects under the given `pid`, without the surrounding
+    /// `traceEvents` wrapper. The introspection server uses this to
+    /// merge several queries into one trace, one pid per query. Returns
+    /// the number of events written.
+    pub fn write_chrome_events(&self, pid: u64, out: &mut String) -> usize {
+        let events = self.inner.events.lock();
         for (i, ev) in events.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
             let _ = write!(
                 out,
-                "{{\"name\":\"{}\",\"ph\":\"{}\",\"ts\":{},\"pid\":1,\"tid\":{}",
+                "{{\"name\":\"{}\",\"ph\":\"{}\",\"ts\":{},\"pid\":{},\"tid\":{}",
                 escape_json(&ev.name),
                 ev.ph,
                 ev.ts_us,
+                pid,
                 ev.tid
             );
             if let Some(dur) = ev.dur_us {
@@ -234,8 +268,7 @@ impl TraceLog {
             }
             out.push('}');
         }
-        out.push_str("]}");
-        out
+        events.len()
     }
 }
 
@@ -253,7 +286,9 @@ impl Drop for TraceSpan {
     }
 }
 
-fn escape_json(s: &str) -> String {
+/// JSON string escaping shared by the hand-written JSON emitters
+/// (trace, profile, event log) — ss-common has no JSON dependency.
+pub fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -327,6 +362,31 @@ mod tests {
         log.clear();
         assert!(log.is_empty());
         assert_eq!(log.dropped(), 0);
+    }
+
+    #[test]
+    fn drop_counter_mirrors_buffer_drops() {
+        let log = TraceLog::with_capacity(1);
+        log.instant("kept", &[]);
+        log.instant("lost-before-attach", &[]);
+        let c = Counter::new();
+        // Attaching after a drop credits the backlog.
+        log.attach_drop_counter(c.clone());
+        assert_eq!(c.get(), 1);
+        log.instant("lost-after-attach", &[]);
+        assert_eq!(log.dropped(), 2);
+        assert_eq!(c.get(), 2);
+    }
+
+    #[test]
+    fn chrome_events_use_the_given_pid() {
+        let log = TraceLog::new();
+        log.instant("marker", &[]);
+        let mut out = String::new();
+        let n = log.write_chrome_events(7, &mut out);
+        assert_eq!(n, 1);
+        assert!(out.contains("\"pid\":7"), "got: {out}");
+        assert!(log.to_chrome_json().contains("\"pid\":1"));
     }
 
     #[test]

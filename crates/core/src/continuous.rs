@@ -31,8 +31,11 @@ use std::time::Duration;
 use parking_lot::Mutex;
 
 use ss_bus::MessageBus;
+use ss_common::eventlog::{EVENT_PROGRESS, EVENT_START, EVENT_TERMINATE};
 use ss_common::time::now_us;
-use ss_common::{FaultRegistry, MetricsRegistry, Result, Row, Schema, SchemaRef, SsError, TraceLog};
+use ss_common::{
+    EventLog, FaultRegistry, MetricsRegistry, Result, Row, Schema, SchemaRef, SsError, TraceLog,
+};
 use ss_expr::eval::evaluate_row;
 use ss_expr::Expr;
 use ss_plan::{plan_fingerprint, LogicalPlan};
@@ -223,6 +226,10 @@ struct ContinuousShared {
     registry: MetricsRegistry,
     /// Epoch-marker trace events (chrome://tracing JSON).
     trace: TraceLog,
+    /// Structured lifecycle events (start / epoch progress / terminate).
+    events: EventLog,
+    /// `continuous-<topic>`, the name events are stamped with.
+    name: String,
 }
 
 /// A running continuous query.
@@ -258,6 +265,11 @@ impl ContinuousQuery {
             "ss_continuous_latency_us",
             "Per-record end-to-end latency (sink time minus bus ingest time).",
         );
+        registry.describe(
+            "ss_trace_dropped_total",
+            "Trace events dropped because the bounded trace buffer wrapped.",
+        );
+        trace.attach_drop_counter(registry.counter("ss_trace_dropped_total", &[]));
         let rows_counter = registry.counter("ss_continuous_rows_total", &[("topic", topic)]);
         let latency_hist = registry.histogram("ss_continuous_latency_us", &[("topic", topic)]);
 
@@ -331,6 +343,17 @@ impl ContinuousQuery {
             .write(b)?;
         }
 
+        let events = EventLog::new();
+        let name = format!("continuous-{topic}");
+        events.emit(
+            &name,
+            EVENT_START,
+            &[
+                ("engine", "continuous"),
+                ("epoch", &start_epoch.to_string()),
+                ("partitions", &partitions.to_string()),
+            ],
+        );
         let shared = Arc::new(ContinuousShared {
             stop: AtomicBool::new(false),
             offsets: start_offsets.iter().map(|&o| AtomicU64::new(o)).collect(),
@@ -339,6 +362,8 @@ impl ContinuousQuery {
             error: Mutex::new(None),
             registry,
             trace,
+            events,
+            name,
         });
 
         // Long-lived per-partition workers (§6.3 difference (1)).
@@ -461,6 +486,14 @@ impl ContinuousQuery {
                                 ("rows", &rows.to_string()),
                             ],
                         );
+                        shared.events.emit(
+                            &shared.name,
+                            EVENT_PROGRESS,
+                            &[
+                                ("epoch", &epoch.to_string()),
+                                ("rows_in", &rows.to_string()),
+                            ],
+                        );
                     }
                     prev_end = end;
                 }
@@ -491,6 +524,11 @@ impl ContinuousQuery {
         &self.shared.trace
     }
 
+    /// The structured lifecycle event log (JSONL-renderable).
+    pub fn events(&self) -> &EventLog {
+        &self.shared.events
+    }
+
     /// First worker error, if any.
     pub fn error(&self) -> Option<String> {
         self.shared.error.lock().clone()
@@ -511,8 +549,14 @@ impl ContinuousQuery {
                 .map_err(|_| SsError::Execution("continuous coordinator panicked".into()))?;
         }
         if let Some(e) = self.shared.error.lock().take() {
+            self.shared
+                .events
+                .emit(&self.shared.name, EVENT_TERMINATE, &[("error", &e)]);
             return Err(SsError::Execution(format!("continuous worker failed: {e}")));
         }
+        self.shared
+            .events
+            .emit(&self.shared.name, EVENT_TERMINATE, &[("error", "none")]);
         let mut lat = std::mem::take(&mut *self.shared.latencies_us.lock());
         lat.sort_unstable();
         Ok(lat)

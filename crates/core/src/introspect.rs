@@ -1,0 +1,268 @@
+//! The live HTTP introspection server (§7.4 Monitoring, operational
+//! surface).
+//!
+//! A tiny, dependency-free HTTP/1.1 server over `std::net::TcpListener`
+//! that exposes every query registered in a [`StreamingQueryManager`]:
+//!
+//! | Endpoint | Content |
+//! |---|---|
+//! | `/healthz` | liveness probe (`ok`) |
+//! | `/metrics` | all queries' registries merged into one Prometheus text exposition, each series tagged with a `query` label |
+//! | `/queries` | JSON array of live queries with their last progress record |
+//! | `/query/<name>/profile` | the named query's retained epoch profiles (phase tree, task skew, shuffle, e2e latency) as JSON |
+//! | `/trace` | every query's trace spans merged into one chrome://tracing JSON document, one pid per query |
+//! | `/events` | all queries' structured lifecycle events as JSON Lines |
+//!
+//! The server runs one accept thread and handles requests inline —
+//! introspection traffic is a human or a scraper, not a data path.
+//! [`IntrospectServer::stop`] (also fired on drop) flips a flag and
+//! connects to itself to unblock `accept`.
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use ss_common::metrics::render_merged;
+use ss_common::trace::escape_json;
+use ss_common::{Result, SsError};
+
+use crate::query::StreamingQueryManager;
+
+/// A running introspection server. Stops (and joins its accept thread)
+/// on [`IntrospectServer::stop`] or drop.
+pub struct IntrospectServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl IntrospectServer {
+    /// Bind `bind` (e.g. `"127.0.0.1:8080"`; port 0 picks an ephemeral
+    /// port) and serve the manager's queries until stopped.
+    pub fn start(
+        manager: Arc<StreamingQueryManager>,
+        bind: impl ToSocketAddrs,
+    ) -> Result<IntrospectServer> {
+        let listener = TcpListener::bind(bind).map_err(SsError::Io)?;
+        let addr = listener.local_addr().map_err(SsError::Io)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let handle = {
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                for conn in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(mut stream) = conn else { continue };
+                    // A stalled client must not wedge the server.
+                    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+                    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+                    if let Some(path) = read_request_path(&mut stream) {
+                        let (status, content_type, body) = route(&manager, &path);
+                        let _ = write_response(&mut stream, status, content_type, &body);
+                    }
+                }
+            })
+        };
+        Ok(IntrospectServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the server thread. Idempotent.
+    pub fn stop(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock `accept` with a throwaway connection to ourselves.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for IntrospectServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Parse the request line of an HTTP/1.x request and return the path
+/// (query strings stripped). `None` on anything malformed or non-GET.
+fn read_request_path(stream: &mut TcpStream) -> Option<String> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    // Read until the end of the headers; the request line is all we
+    // need, so stop as soon as it is complete.
+    while !buf.windows(2).any(|w| w == b"\r\n") && buf.len() < 8 * 1024 {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => return None,
+        }
+    }
+    let line_end = buf.windows(2).position(|w| w == b"\r\n")?;
+    let line = std::str::from_utf8(&buf[..line_end]).ok()?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?;
+    let target = parts.next()?;
+    if method != "GET" {
+        return None;
+    }
+    let path = target.split('?').next().unwrap_or(target);
+    Some(path.to_string())
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Error",
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Dispatch one GET to its handler. Returns (status, content type,
+/// body).
+fn route(manager: &StreamingQueryManager, path: &str) -> (u16, &'static str, String) {
+    match path {
+        "/healthz" => (200, "text/plain; charset=utf-8", "ok\n".to_string()),
+        "/metrics" => (
+            200,
+            "text/plain; version=0.0.4; charset=utf-8",
+            metrics_body(manager),
+        ),
+        "/queries" => (200, "application/json", queries_body(manager)),
+        "/trace" => (200, "application/json", trace_body(manager)),
+        "/events" => (200, "application/x-ndjson", events_body(manager)),
+        _ => {
+            if let Some(rest) = path.strip_prefix("/query/") {
+                if let Some(name) = rest.strip_suffix("/profile") {
+                    return match manager.with_query(name, |q| q.profile_json()) {
+                        Ok(body) => (200, "application/json", body),
+                        Err(_) => (
+                            404,
+                            "application/json",
+                            format!("{{\"error\":\"no active query `{}`\"}}", escape_json(name)),
+                        ),
+                    };
+                }
+            }
+            (404, "text/plain; charset=utf-8", "not found\n".to_string())
+        }
+    }
+}
+
+/// All queries' registries merged into one exposition, each series
+/// tagged `query="<name>"`.
+fn metrics_body(manager: &StreamingQueryManager) -> String {
+    let views = manager.for_each_query(|q| (q.name().to_string(), q.metrics()));
+    let refs: Vec<(&str, &ss_common::MetricsRegistry)> =
+        views.iter().map(|(n, r)| (n.as_str(), r)).collect();
+    render_merged(&refs)
+}
+
+/// JSON array of live queries with status and last progress.
+fn queries_body(manager: &StreamingQueryManager) -> String {
+    let entries = manager.for_each_query(|q| {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"epoch\":{},\"restarts\":{},\"state_rows\":{}",
+            escape_json(q.name()),
+            q.current_epoch(),
+            q.restarts(),
+            q.state_rows(),
+        ));
+        let wm = q.watermark_us();
+        if wm == i64::MIN {
+            out.push_str(",\"watermark_us\":null");
+        } else {
+            out.push_str(&format!(",\"watermark_us\":{wm}"));
+        }
+        match q.exception() {
+            Some(e) => out.push_str(&format!(",\"exception\":\"{}\"", escape_json(&e))),
+            None => out.push_str(",\"exception\":null"),
+        }
+        match q.last_progress() {
+            Some(p) => {
+                out.push_str(&format!(
+                    ",\"last_progress\":{{\"epoch\":{},\"num_input_rows\":{},\
+                     \"num_output_rows\":{},\"batch_duration_us\":{},\
+                     \"input_rows_per_second\":{:.2},\"backlog_rows\":{},\
+                     \"state_bytes\":{},\"tasks_launched\":{},\"summary\":\"{}\"}}",
+                    p.epoch,
+                    p.num_input_rows,
+                    p.num_output_rows,
+                    p.batch_duration_us,
+                    p.input_rows_per_second,
+                    p.backlog_rows,
+                    p.state_bytes,
+                    p.tasks_launched,
+                    escape_json(&p.summary()),
+                ));
+            }
+            None => out.push_str(",\"last_progress\":null"),
+        }
+        out.push('}');
+        out
+    });
+    let mut body = String::from("[");
+    body.push_str(&entries.join(","));
+    body.push(']');
+    body
+}
+
+/// Every query's trace merged into one chrome://tracing document, one
+/// pid per query (named via `process_name` metadata events).
+fn trace_body(manager: &StreamingQueryManager) -> String {
+    let traces = manager.for_each_query(|q| (q.name().to_string(), q.trace()));
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    for (i, (name, trace)) in traces.iter().enumerate() {
+        let pid = (i + 1) as u64;
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            escape_json(name)
+        ));
+        let mut events = String::new();
+        if trace.write_chrome_events(pid, &mut events) > 0 {
+            out.push(',');
+            out.push_str(&events);
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+/// All queries' lifecycle events concatenated as JSON Lines.
+fn events_body(manager: &StreamingQueryManager) -> String {
+    manager.for_each_query(|q| q.events_jsonl()).concat()
+}

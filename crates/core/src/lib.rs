@@ -55,6 +55,7 @@ pub mod context;
 pub mod continuous;
 pub mod dataframe;
 pub mod incremental;
+pub mod introspect;
 pub mod metrics;
 pub mod microbatch;
 pub mod parallel;
@@ -67,6 +68,7 @@ pub mod watermark;
 pub use admission::{PidRateController, RateControllerConfig};
 pub use context::StreamingContext;
 pub use dataframe::{DataFrame, DataStreamWriter, Trigger};
+pub use introspect::IntrospectServer;
 pub use metrics::{OpDuration, QueryProgress, StreamingQueryListener};
 pub use microbatch::MicroBatchExecution;
 pub use query::{RestartPolicy, StreamingQuery, StreamingQueryManager};
@@ -78,6 +80,7 @@ pub mod prelude {
     pub use crate::context::StreamingContext;
     pub use ss_state::MemoryBudget;
     pub use crate::dataframe::{DataFrame, DataStreamWriter, Trigger};
+    pub use crate::introspect::IntrospectServer;
     pub use crate::metrics::{QueryProgress, StreamingQueryListener};
     pub use crate::query::{RestartPolicy, StreamingQuery, StreamingQueryManager};
     pub use ss_expr::{avg, col, count, count_star, lit, max, min, sum, window, window_sliding};

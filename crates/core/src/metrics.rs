@@ -7,6 +7,8 @@
 
 use std::collections::VecDeque;
 
+use ss_common::profile::EpochProfile;
+
 /// Time spent in one operator during one epoch.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OpDuration {
@@ -76,6 +78,12 @@ pub struct QueryProgress {
     /// the serial path). The gap to `batch_duration_us` is scheduling
     /// plus merge overhead; a single dominant task signals skew.
     pub max_task_duration_us: u64,
+    /// The epoch profiler's phase-tree breakdown for this epoch:
+    /// where the wall time went (admission → source read → execute →
+    /// commit), task skew and shuffle attribution. `None` only for
+    /// engines that do not profile (the continuous engine's epoch
+    /// markers).
+    pub profile: Option<EpochProfile>,
 }
 
 impl QueryProgress {
@@ -214,6 +222,7 @@ mod tests {
             shed_records: 0,
             tasks_launched: 0,
             max_task_duration_us: 0,
+            profile: None,
         }
     }
 

@@ -32,10 +32,18 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use ss_bus::{EpochOutput, Sink, SinkMetrics, Source, SourceMetrics};
+use ss_common::eventlog::{
+    EVENT_ADMISSION_LIMITED, EVENT_PROGRESS, EVENT_RESTART, EVENT_SPILL, EVENT_START,
+    EVENT_TERMINATE,
+};
+use ss_common::profile::{
+    PHASE_ADMISSION, PHASE_EXECUTE, PHASE_FINALIZE, PHASE_SINK_COMMIT, PHASE_SOURCE_READ,
+    PHASE_STATE_COMMIT, PHASE_WAL,
+};
 use ss_common::time::now_us;
 use ss_common::{
-    Counter, FaultRegistry, Histogram, MetricsRegistry, PartitionOffsets, RecordBatch, Result,
-    RetryPolicy, SchemaRef, SsError, TraceLog,
+    Counter, EpochProfile, EpochProfiler, EventLog, FaultRegistry, Histogram, MetricsRegistry,
+    PartitionOffsets, RecordBatch, Result, RetryPolicy, SchemaRef, SsError, TraceLog,
 };
 use ss_exec::executor::Catalog;
 use ss_plan::{operator_signatures, plan_fingerprint, LogicalPlan, OperatorSignature, OutputMode};
@@ -181,6 +189,7 @@ pub(crate) fn retried<T>(
 
 /// The result of one trigger firing.
 #[derive(Debug, Clone, PartialEq)]
+#[allow(clippy::large_enum_variant)] // Ran is the overwhelmingly common case
 pub enum EpochRun {
     /// No new data and no pending timeouts.
     Idle,
@@ -258,6 +267,17 @@ pub struct MicroBatchExecution {
     /// partitioned stages; `None` runs the serial path (byte-identical
     /// output either way).
     parallel: Option<ParallelExec>,
+    /// Bounded history of per-epoch phase-tree profiles, served by the
+    /// introspection server's `/query/<name>/profile` endpoint.
+    profiler: EpochProfiler,
+    /// Structured lifecycle event log (start / progress / restart /
+    /// spill / admission-limited / terminate), optionally mirrored to
+    /// the JSONL file named by `SS_EVENT_LOG`.
+    events: EventLog,
+    /// `ss_e2e_latency_us`: sink-commit wall time minus record ingest
+    /// time, observed once each for the epoch's oldest and newest
+    /// input record.
+    e2e_latency_us: Histogram,
 }
 
 impl MicroBatchExecution {
@@ -359,8 +379,31 @@ impl MicroBatchExecution {
             "ss_checkpoint_purged_total",
             "Checkpoint blobs and WAL records removed by retention GC.",
         );
+        registry.describe(
+            "ss_phase_duration_us",
+            "Wall time the epoch profiler attributes to each top-level phase.",
+        );
+        registry.describe(
+            "ss_e2e_latency_us",
+            "End-to-end event latency: sink-commit time minus source ingest time.",
+        );
+        registry.describe(
+            "ss_trace_dropped_total",
+            "Trace events dropped because the bounded trace buffer wrapped.",
+        );
+        trace.attach_drop_counter(registry.counter("ss_trace_dropped_total", &[]));
         let purged_total = registry.counter("ss_checkpoint_purged_total", &[]);
         let epoch_duration_us = registry.histogram("ss_epoch_duration_us", &[]);
+        let e2e_latency_us = registry.histogram("ss_e2e_latency_us", &[]);
+        let events = EventLog::new();
+        if let Ok(path) = std::env::var("SS_EVENT_LOG") {
+            if !path.is_empty() {
+                // Best-effort: an unwritable path disables the file
+                // mirror rather than failing the query (the in-memory
+                // buffer still works).
+                let _ = events.attach_file(std::path::Path::new(&path));
+            }
+        }
         let progress = ProgressHistory::new(config.progress_history);
         let rate_controller = config.rate_controller.map(PidRateController::new);
         let parallel = if config.parallelism > 1 {
@@ -413,8 +456,19 @@ impl MicroBatchExecution {
             rate_controller,
             last_epoch_duration_us: 0,
             parallel,
+            profiler: EpochProfiler::default(),
+            events,
+            e2e_latency_us,
         };
         engine.recover()?;
+        engine.events.emit(
+            &engine.name,
+            EVENT_START,
+            &[
+                ("engine", "microbatch"),
+                ("epoch", &engine.epoch.to_string()),
+            ],
+        );
         Ok(engine)
     }
 
@@ -460,6 +514,17 @@ impl MicroBatchExecution {
         &self.trace
     }
 
+    /// The epoch profiler: bounded history of per-epoch phase-tree
+    /// wall-time breakdowns with task-skew and shuffle attribution.
+    pub fn profiler(&self) -> &EpochProfiler {
+        &self.profiler
+    }
+
+    /// The structured lifecycle event log (JSONL-renderable).
+    pub fn events(&self) -> &EventLog {
+        &self.events
+    }
+
     /// Register a listener; it receives `on_progress` after every
     /// non-idle epoch and `on_terminated` when the query stops.
     pub fn add_listener(&mut self, listener: Arc<dyn StreamingQueryListener>) {
@@ -477,6 +542,11 @@ impl MicroBatchExecution {
             "terminated",
             &[("error", error.unwrap_or("none"))],
         );
+        self.events.emit(
+            &self.name,
+            EVENT_TERMINATE,
+            &[("error", error.unwrap_or("none"))],
+        );
         for l in &self.listeners {
             l.on_terminated(&self.name, error);
         }
@@ -490,6 +560,9 @@ impl MicroBatchExecution {
     /// there is nothing to do.
     pub fn run_epoch(&mut self) -> Result<EpochRun> {
         let started = (self.config.clock)();
+        // Wall-clock phase attribution runs on the monotonic clock, so
+        // profiles stay meaningful even under a frozen test clock.
+        let epoch_wall = Instant::now();
         // In the sequential trigger loop, this epoch starts late by
         // however much the previous one overran the trigger interval.
         let interval_us = self
@@ -617,9 +690,21 @@ impl MicroBatchExecution {
                     ("backlog", &total_backlog.to_string()),
                 ],
             );
+            self.events.emit(
+                &self.name,
+                EVENT_ADMISSION_LIMITED,
+                &[
+                    ("admitted", &new_records.to_string()),
+                    ("backlog", &total_backlog.to_string()),
+                ],
+            );
         }
 
         let epoch = self.epoch + 1;
+        let mut profile = EpochProfile::new(epoch);
+        // Everything since the trigger fired was backlog accounting and
+        // budget apportionment.
+        profile.record(PHASE_ADMISSION, None, epoch_wall.elapsed().as_micros() as u64);
         let epoch_label = epoch.to_string();
         let epoch_span = self
             .trace
@@ -632,9 +717,11 @@ impl MicroBatchExecution {
         };
         {
             let _span = self.trace.span("write-offsets", &[]);
+            let t_wal = Instant::now();
             retried(&self.config.retry, &self.registry, "wal_offsets_append", || {
                 self.wal.write_offsets(&offsets)
             })?;
+            profile.record(PHASE_WAL, None, t_wal.elapsed().as_micros() as u64);
         }
         self.epoch = epoch;
         for (name, r) in &offsets.sources {
@@ -643,9 +730,10 @@ impl MicroBatchExecution {
         self.config.faults.fire(failpoints::AFTER_OFFSET_WRITE)?;
 
         // Steps 2–3: execute and commit.
-        let exec = self.execute_epoch_offsets(&offsets, true)?;
+        let exec = self.execute_epoch_offsets(&offsets, true, &mut profile)?;
         drop(epoch_span);
 
+        let t_finalize = Instant::now();
         let finished = (self.config.clock)();
         // Clamp: with a coarse (or frozen test) clock an epoch can
         // complete in 0 µs, and the rows/s division must stay finite.
@@ -668,6 +756,19 @@ impl MicroBatchExecution {
             i64::MIN => None,
             wm => self.tracker.max_observed().map(|m| (m - wm).max(0)),
         };
+        // The controller update, shedding accounting and watermark
+        // arithmetic above are the epoch's tail; attribute it so the
+        // top-level phases sum to (almost all of) the measured total.
+        profile.record(PHASE_FINALIZE, None, t_finalize.elapsed().as_micros() as u64);
+        profile.total_us = epoch_wall.elapsed().as_micros() as u64;
+        for p in &profile.phases {
+            if p.parent.is_none() {
+                self.registry
+                    .histogram("ss_phase_duration_us", &[("phase", &p.name)])
+                    .observe(p.duration_us);
+            }
+        }
+        self.profiler.push(profile.clone());
         let progress = QueryProgress {
             epoch,
             num_input_rows: new_records,
@@ -697,8 +798,19 @@ impl MicroBatchExecution {
             shed_records,
             tasks_launched: exec.tasks_launched,
             max_task_duration_us: exec.max_task_duration_us,
+            profile: Some(profile),
         };
         self.progress.push(progress.clone());
+        self.events.emit(
+            &self.name,
+            EVENT_PROGRESS,
+            &[
+                ("epoch", &epoch.to_string()),
+                ("rows_in", &new_records.to_string()),
+                ("rows_out", &progress.num_output_rows.to_string()),
+                ("duration_us", &duration.to_string()),
+            ],
+        );
         for l in &self.listeners {
             l.on_progress(&progress);
         }
@@ -751,11 +863,13 @@ impl MicroBatchExecution {
     /// Execute the epoch described by `offsets`; commit output when
     /// `with_output` (recovery replays with output disabled). Returns
     /// the epoch's output row count, per-operator stats and sink
-    /// commit time.
+    /// commit time; phase wall times accumulate into `profile`
+    /// (recovery replays pass a throwaway).
     fn execute_epoch_offsets(
         &mut self,
         offsets: &EpochOffsets,
         with_output: bool,
+        profile: &mut EpochProfile,
     ) -> Result<EpochExecution> {
         let trace = self.trace.clone();
         let retry_policy = self.config.retry;
@@ -765,8 +879,13 @@ impl MicroBatchExecution {
         // the plan's scan projections pushed into the read (§5.3).
         let projections = self.root.scan_projections();
         let mut inputs: HashMap<String, RecordBatch> = HashMap::new();
+        // Ingest-time bounds across the epoch's input records, for the
+        // end-to-end latency observed at sink commit.
+        let mut ingest_min = i64::MAX;
+        let mut ingest_max = i64::MIN;
         {
             let _span = trace.span("read-sources", &[]);
+            let t_sources = Instant::now();
             for (name, range) in &offsets.sources {
                 let source = self.sources.get(name).ok_or_else(|| {
                     SsError::Plan(format!("no source bound for `{name}` during execution"))
@@ -777,12 +896,17 @@ impl MicroBatchExecution {
                     faults.fire(failpoints::SOURCE_READ)?;
                     source.read_all_projected(range, projection.as_deref())
                 })?;
+                if let Some((lo, hi)) = source.ingest_bounds(range)? {
+                    ingest_min = ingest_min.min(lo);
+                    ingest_max = ingest_max.max(hi);
+                }
                 if let Some(m) = self.source_metrics.get(name) {
                     m.rows_read.add(batch.num_rows() as u64);
                     m.read_us.observe(t_read.elapsed().as_micros() as u64);
                 }
                 inputs.insert(name.clone(), batch);
             }
+            profile.record(PHASE_SOURCE_READ, None, t_sources.elapsed().as_micros() as u64);
         }
 
         // The logged watermark is authoritative (recovery reproduces
@@ -791,6 +915,7 @@ impl MicroBatchExecution {
         let pt = (self.config.clock)();
         let mut ops = OpStatsCollector::new();
         let exec_started = trace.now_us();
+        let t_exec = Instant::now();
         let (out, task_stats) = {
             let _span = trace.span("execute", &[]);
             let mut ctx = EpochContext {
@@ -832,6 +957,16 @@ impl MicroBatchExecution {
                 &[("rows_out", &s.rows_out.to_string())],
             );
         }
+        // The execute phase covers the plan run plus its bookkeeping
+        // (health checks, operator metric export).
+        profile.record(PHASE_EXECUTE, None, t_exec.elapsed().as_micros() as u64);
+        if let Some(run) = &task_stats {
+            for (name, us) in &run.phases {
+                profile.record(name, Some(PHASE_EXECUTE), *us);
+            }
+            profile.tasks = run.scatter.skew();
+            profile.shuffle = run.shuffle.clone();
+        }
         let out_rows = out.num_rows() as u64;
 
         let mut sink_commit_us = 0i64;
@@ -855,17 +990,32 @@ impl MicroBatchExecution {
                 })?;
             }
             sink_commit_us = t_commit.elapsed().as_micros() as i64;
+            profile.record(PHASE_SINK_COMMIT, None, sink_commit_us as u64);
             self.sink_metrics
                 .observe_commit(out_rows, sink_commit_us as u64);
+            // End-to-end latency: the epoch's output just became
+            // visible, so every input record's journey ends here.
+            // Measured on the real clock — ingest stamps come from the
+            // bus's wall clock, not the engine's injectable one.
+            if ingest_min <= ingest_max {
+                let commit_at = now_us();
+                let lat_min = (commit_at - ingest_max).max(0) as u64;
+                let lat_max = (commit_at - ingest_min).max(0) as u64;
+                self.e2e_latency_us.observe(lat_min);
+                self.e2e_latency_us.observe(lat_max);
+                profile.e2e_latency_us = Some((lat_min, lat_max));
+            }
             faults.fire(failpoints::AFTER_SINK_WRITE)?;
             let commit = EpochCommit {
                 epoch: offsets.epoch,
                 rows_written: out_rows,
                 committed_at_us: (self.config.clock)(),
             };
+            let t_wal = Instant::now();
             retried(&retry_policy, &registry, "wal_commits_append", || {
                 self.wal.write_commit(&commit)
             })?;
+            profile.record(PHASE_WAL, None, t_wal.elapsed().as_micros() as u64);
             faults.fire(failpoints::AFTER_COMMIT_WRITE)?;
         }
 
@@ -877,6 +1027,7 @@ impl MicroBatchExecution {
         // commit log.
         if with_output && offsets.epoch.is_multiple_of(self.config.checkpoint_interval) {
             let _span = trace.span("checkpoint", &[]);
+            let t_state = Instant::now();
             self.tracker.save(&mut self.store);
             let store = &mut self.store;
             retried(&retry_policy, &registry, "checkpoint_write", || {
@@ -895,6 +1046,15 @@ impl MicroBatchExecution {
                         ("spilled_bytes", &report.spilled_bytes.to_string()),
                     ],
                 );
+                self.events.emit(
+                    &self.name,
+                    EVENT_SPILL,
+                    &[
+                        ("epoch", &offsets.epoch.to_string()),
+                        ("ops_spilled", &report.ops_spilled.to_string()),
+                        ("spilled_bytes", &report.spilled_bytes.to_string()),
+                    ],
+                );
             }
             // The manifest rides along with the checkpoint — it must
             // only ever describe a state layout that exists on disk, so
@@ -905,13 +1065,16 @@ impl MicroBatchExecution {
                 self.write_manifest(false)
             })?;
             self.maybe_gc(offsets.epoch)?;
+            profile.record(PHASE_STATE_COMMIT, None, t_state.elapsed().as_micros() as u64);
         }
         Ok(EpochExecution {
             out_rows,
             ops,
             sink_commit_us,
-            tasks_launched: task_stats.as_ref().map_or(0, |s| s.tasks),
-            max_task_duration_us: task_stats.as_ref().map_or(0, |s| s.max_task_duration_us),
+            tasks_launched: task_stats.as_ref().map_or(0, |s| s.scatter.tasks),
+            max_task_duration_us: task_stats
+                .as_ref()
+                .map_or(0, |s| s.scatter.max_task_duration_us),
         })
     }
 
@@ -1062,7 +1225,7 @@ impl MicroBatchExecution {
                 })?;
                 self.apply_positions(&offsets);
                 self.epoch = e;
-                self.execute_epoch_offsets(&offsets, true)?;
+                self.execute_epoch_offsets(&offsets, true, &mut EpochProfile::new(e))?;
             }
             return Ok(());
         };
@@ -1120,7 +1283,9 @@ impl MicroBatchExecution {
             })?;
             self.apply_positions(&offsets);
             self.epoch = e;
-            self.execute_epoch_offsets(&offsets, false)?;
+            // Replays profile into a throwaway: the profiler history
+            // describes live epochs, not recovery.
+            self.execute_epoch_offsets(&offsets, false, &mut EpochProfile::new(e))?;
         }
         if replay_from > last_committed && chk.is_some() {
             // State came wholly from the checkpoint; synchronize the
@@ -1140,7 +1305,7 @@ impl MicroBatchExecution {
             })?;
             self.apply_positions(&offsets);
             self.epoch = e;
-            self.execute_epoch_offsets(&offsets, true)?;
+            self.execute_epoch_offsets(&offsets, true, &mut EpochProfile::new(e))?;
         }
         Ok(())
     }
@@ -1218,6 +1383,11 @@ impl MicroBatchExecution {
         self.restarts += 1;
         self.trace
             .instant("restart", &[("count", &self.restarts.to_string())]);
+        self.events.emit(
+            &self.name,
+            EVENT_RESTART,
+            &[("count", &self.restarts.to_string())],
+        );
         self.reset_and_recover()
     }
 

@@ -45,6 +45,9 @@ use std::time::Instant;
 
 use rustc_hash::FxHashSet;
 
+use ss_common::profile::{
+    ShuffleProfile, PHASE_MAP, PHASE_MERGE, PHASE_REDUCE, PHASE_SHUFFLE_READ, PHASE_SHUFFLE_WRITE,
+};
 use ss_common::{
     shuffle_partition, FaultRegistry, MetricsRegistry, RecordBatch, Result, RetryPolicy, Row,
     SchemaRef, SsError, TraceLog, Value,
@@ -135,6 +138,24 @@ enum ParallelPlan {
     },
 }
 
+/// Profiling facts from one parallel epoch, alongside the output
+/// batch: task-level scatter stats, the `execute`-child phase
+/// durations, and the shuffle exchange's per-partition volume.
+#[derive(Debug, Clone, Default)]
+pub struct ParallelRunStats {
+    /// Aggregate task stats across the epoch's scatters.
+    pub scatter: ScatterStats,
+    /// `(phase, µs)` for the children of the `execute` phase:
+    /// map / shuffle-write / shuffle-read / reduce / merge. All are
+    /// engine-thread wall time except shuffle-write, which is CPU time
+    /// summed across map tasks (it runs inside them) and may therefore
+    /// exceed sibling wall durations on multi-core runs.
+    pub phases: Vec<(&'static str, u64)>,
+    /// Per-partition shuffle rows/bytes and the key-skew ratio; `None`
+    /// when the plan has no shuffle (stateless map plans).
+    pub shuffle: Option<ShuffleProfile>,
+}
+
 /// The data-parallel epoch executor: a worker pool plus the compiled
 /// stage plan. Built once per query when `parallelism > 1` and the
 /// plan shape is supported.
@@ -167,6 +188,14 @@ impl ParallelExec {
             "ss_shuffle_rows_total",
             "Rows moved through the shuffle exchange between stages.",
         );
+        registry.describe(
+            "ss_shuffle_bytes_total",
+            "Approximate bytes moved through the shuffle exchange.",
+        );
+        registry.describe(
+            "ss_shuffle_key_skew_x1000",
+            "Hottest reduce partition's rows over the mean, x1000 (last epoch).",
+        );
         Some(ParallelExec {
             pool: WorkerPool::new(parallelism, Some(registry.clone()), Some(trace.clone())),
             partitions,
@@ -188,8 +217,11 @@ impl ParallelExec {
     pub fn execute_epoch(
         &mut self,
         ctx: &mut EpochContext<'_>,
-    ) -> Result<(RecordBatch, ScatterStats)> {
+    ) -> Result<(RecordBatch, ParallelRunStats)> {
+        let mut run = ParallelRunStats::default();
         let mut stats = ScatterStats::default();
+        let mut phases: Vec<(&'static str, u64)> = Vec::new();
+        let mut shuffle_prof: Option<ShuffleProfile> = None;
         let started_rel = ctx.ops.now_rel_us();
         let started = Instant::now();
         // Disjoint borrows: the match below holds `&mut self.plan`, so
@@ -208,8 +240,11 @@ impl ParallelExec {
                 let input = take_scan(scan, ctx)?;
                 record_scan(ctx, scan, input.num_rows());
                 let chunks = split_chunks(input, partitions);
+                let t_map = Instant::now();
                 let results =
                     scatter_map(pool, &env, chunks, chain, ctx.watermark_us, &mut stats)?;
+                phases.push((PHASE_MAP, t_map.elapsed().as_micros() as u64));
+                let t_merge = Instant::now();
                 let mut batches = Vec::with_capacity(results.len());
                 let mut maxima = Vec::new();
                 for (b, m) in results {
@@ -217,7 +252,9 @@ impl ParallelExec {
                     maxima.extend(m);
                 }
                 observe_maxima(ctx, maxima);
-                (RecordBatch::concat(&batches)?, "parallel-map".to_string())
+                let out = RecordBatch::concat(&batches)?;
+                phases.push((PHASE_MERGE, t_merge.elapsed().as_micros() as u64));
+                (out, "parallel-map".to_string())
             }
             ParallelPlan::Aggregate {
                 scan,
@@ -255,34 +292,51 @@ impl ParallelExec {
                         retried(&retry, &registry, "sched_shuffle_write", || {
                             faults.fire(failpoints::SHUFFLE_WRITE)
                         })?;
+                        let t_write = Instant::now();
                         let mut buckets: Vec<Vec<(Row, Row)>> =
                             (0..parts).map(|_| Vec::new()).collect();
                         for (key, args) in pairs {
                             buckets[shuffle_partition(&key, parts)].push((key, args));
                         }
-                        Ok((buckets, maxima))
+                        let write_us = t_write.elapsed().as_micros() as u64;
+                        Ok((buckets, maxima, write_us))
                     }));
                 }
+                let t_map = Instant::now();
                 let map_out = pool.scatter("map", tasks)?;
+                phases.push((PHASE_MAP, t_map.elapsed().as_micros() as u64));
                 stats.absorb(map_out.stats);
 
                 // Shuffle: concatenate per-chunk buckets in chunk order
                 // so each partition receives its keys' pairs in the
                 // original global arrival order.
+                let t_read = Instant::now();
                 let mut shuffled: Vec<Vec<(Row, Row)>> =
                     (0..parts).map(|_| Vec::new()).collect();
                 let mut maxima = Vec::new();
-                for (buckets, m) in map_out.results {
+                let mut write_us_total = 0u64;
+                for (buckets, m, write_us) in map_out.results {
                     for (r, b) in buckets.into_iter().enumerate() {
                         shuffled[r].extend(b);
                     }
                     maxima.extend(m);
+                    write_us_total += write_us;
                 }
                 observe_maxima(ctx, maxima);
-                let shuffle_rows: usize = shuffled.iter().map(Vec::len).sum();
-                registry
-                    .counter("ss_shuffle_rows_total", &[("op", op_id.as_str())])
-                    .add(shuffle_rows as u64);
+                let part_rows: Vec<u64> = shuffled.iter().map(|p| p.len() as u64).collect();
+                let part_bytes: Vec<u64> = shuffled
+                    .iter()
+                    .map(|p| {
+                        p.iter()
+                            .map(|(k, a)| (k.approx_bytes() + a.approx_bytes()) as u64)
+                            .sum()
+                    })
+                    .collect();
+                phases.push((PHASE_SHUFFLE_WRITE, write_us_total));
+                phases.push((PHASE_SHUFFLE_READ, t_read.elapsed().as_micros() as u64));
+                let prof = ShuffleProfile::new(part_rows, part_bytes);
+                record_shuffle(&registry, op_id.as_str(), &prof);
+                shuffle_prof = Some(prof);
 
                 // Reduce stage: every partition runs the serial
                 // aggregate kernel over its own shard + state shard.
@@ -310,9 +364,12 @@ impl ParallelExec {
                         reduce_aggregate(shard, op, pairs, mode, wm)
                     }));
                 }
+                let t_reduce = Instant::now();
                 let red = pool.scatter("reduce", tasks)?;
+                phases.push((PHASE_REDUCE, t_reduce.elapsed().as_micros() as u64));
                 stats.absorb(red.stats);
 
+                let t_merge = Instant::now();
                 let mut rows: Vec<Row> = Vec::new();
                 for (r, (shard, op, shard_rows)) in red.results.into_iter().enumerate() {
                     ctx.store.put_op(&shard_ns(op_id, r, parts, ""), op);
@@ -332,6 +389,7 @@ impl ParallelExec {
                         SuffixOp::Limit(n) => ops::limit_batch(&batch, *n)?,
                     };
                 }
+                phases.push((PHASE_MERGE, t_merge.elapsed().as_micros() as u64));
                 (batch, op_id.clone())
             }
             ParallelPlan::Join {
@@ -382,20 +440,24 @@ impl ParallelExec {
                         Ok((keyed, maxima))
                     }));
                 }
+                let t_map = Instant::now();
                 let map_out = pool.scatter("map", tasks)?;
+                phases.push((PHASE_MAP, t_map.elapsed().as_micros() as u64));
                 stats.absorb(map_out.stats);
 
                 // Shuffle: restore global arrival indices (chunk order)
                 // then bucket by join key. NULL-keyed rows shuffle on
                 // their buffer key (`[NULL]`), so exactly one partition
-                // owns their buffering and outer-row eviction.
+                // owns their buffering and outer-row eviction. The
+                // bucketing runs on the engine thread here (keys were
+                // evaluated in the map tasks), so it's all shuffle-write.
+                let t_write = Instant::now();
                 let null_key = Row::new(vec![Value::Null]);
                 let mut lbuckets: Vec<Vec<KeyedDeltaRow>> =
                     (0..parts).map(|_| Vec::new()).collect();
                 let mut rbuckets: Vec<Vec<KeyedDeltaRow>> =
                     (0..parts).map(|_| Vec::new()).collect();
                 let mut maxima = Vec::new();
-                let mut shuffle_rows = 0u64;
                 let (mut loff, mut roff) = (0u64, 0u64);
                 for (i, (keyed, m)) in map_out.results.into_iter().enumerate() {
                     maxima.extend(m);
@@ -403,7 +465,6 @@ impl ParallelExec {
                     let offset = if is_left { &mut loff } else { &mut roff };
                     let buckets = if is_left { &mut lbuckets } else { &mut rbuckets };
                     let n = keyed.len() as u64;
-                    shuffle_rows += n;
                     for (j, (_, key, row)) in keyed.into_iter().enumerate() {
                         let r = shuffle_partition(key.as_ref().unwrap_or(&null_key), parts);
                         buckets[r].push((*offset + j as u64, key, row));
@@ -411,9 +472,25 @@ impl ParallelExec {
                     *offset += n;
                 }
                 observe_maxima(ctx, maxima);
-                registry
-                    .counter("ss_shuffle_rows_total", &[("op", exec.op_id.as_str())])
-                    .add(shuffle_rows);
+                let part_rows: Vec<u64> = lbuckets
+                    .iter()
+                    .zip(&rbuckets)
+                    .map(|(l, r)| (l.len() + r.len()) as u64)
+                    .collect();
+                let part_bytes: Vec<u64> = lbuckets
+                    .iter()
+                    .zip(&rbuckets)
+                    .map(|(l, r)| {
+                        l.iter()
+                            .chain(r.iter())
+                            .map(|(_, _, row)| row.approx_bytes() as u64)
+                            .sum()
+                    })
+                    .collect();
+                phases.push((PHASE_SHUFFLE_WRITE, t_write.elapsed().as_micros() as u64));
+                let prof = ShuffleProfile::new(part_rows, part_bytes);
+                record_shuffle(&registry, exec.op_id.as_str(), &prof);
+                shuffle_prof = Some(prof);
 
                 // Reduce stage: each partition probes/buffers/evicts
                 // against its own `-left`/`-right` state shards.
@@ -447,9 +524,12 @@ impl ParallelExec {
                         Ok((left_op, right_op, tagged))
                     }));
                 }
+                let t_reduce = Instant::now();
                 let red = pool.scatter("reduce", tasks)?;
+                phases.push((PHASE_REDUCE, t_reduce.elapsed().as_micros() as u64));
                 stats.absorb(red.stats);
 
+                let t_merge = Instant::now();
                 let mut tagged: Vec<TaggedRow> = Vec::new();
                 for (r, (left_op, right_op, t)) in red.results.into_iter().enumerate() {
                     ctx.store
@@ -461,10 +541,9 @@ impl ParallelExec {
                 // `(phase, idx, key, seq)` is the serial emission order.
                 tagged.sort();
                 let rows: Vec<Row> = tagged.into_iter().map(|t| t.row).collect();
-                (
-                    RecordBatch::from_rows(exec.output_schema.clone(), &rows)?,
-                    exec.op_id.clone(),
-                )
+                let batch = RecordBatch::from_rows(exec.output_schema.clone(), &rows)?;
+                phases.push((PHASE_MERGE, t_merge.elapsed().as_micros() as u64));
+                (batch, exec.op_id.clone())
             }
         };
         ctx.ops.record(
@@ -473,7 +552,10 @@ impl ParallelExec {
             started_rel,
             started.elapsed().as_micros() as u64,
         );
-        Ok((out, stats))
+        run.scatter = stats;
+        run.phases = phases;
+        run.shuffle = shuffle_prof;
+        Ok((out, run))
     }
 
     /// Rebuild shard state from the (restored, already repartitioned)
@@ -516,6 +598,19 @@ impl ParallelExec {
         Ok(())
     }
 
+}
+
+/// Record one epoch's shuffle volume and skew into the registry.
+fn record_shuffle(registry: &MetricsRegistry, op: &str, prof: &ShuffleProfile) {
+    registry
+        .counter("ss_shuffle_rows_total", &[("op", op)])
+        .add(prof.total_rows());
+    registry
+        .counter("ss_shuffle_bytes_total", &[("op", op)])
+        .add(prof.total_bytes());
+    registry
+        .gauge("ss_shuffle_key_skew_x1000", &[("op", op)])
+        .set((prof.key_skew * 1000.0) as i64);
 }
 
 /// Cloneable environment every task closure captures: fail points,
@@ -562,7 +657,9 @@ type MapTask<R> = Box<dyn FnOnce() -> Result<R> + Send>;
 /// A stateless map task's output: the chunk after the chain, plus
 /// per-column event-time maxima observed by watermark ops.
 type ChainOut = (RecordBatch, Vec<(String, i64)>);
-type AggMapOut = (Vec<Vec<(Row, Row)>>, Vec<(String, i64)>);
+/// An aggregate map task's output: per-partition key/args buckets,
+/// watermark maxima, and the in-task shuffle-write bucketing time (µs).
+type AggMapOut = (Vec<Vec<(Row, Row)>>, Vec<(String, i64)>, u64);
 type AggReduceOut = (HashAggregator, OpState, Vec<Row>);
 type JoinMapOut = (Vec<KeyedDeltaRow>, Vec<(String, i64)>);
 type JoinReduceOut = (OpState, OpState, Vec<TaggedRow>);

@@ -232,6 +232,27 @@ impl StreamingQuery {
         self.with_engine(|e| e.trace().to_chrome_json())
     }
 
+    /// A handle to the query's trace log; clones share the buffer.
+    pub fn trace(&self) -> ss_common::TraceLog {
+        self.with_engine(|e| e.trace().clone())
+    }
+
+    /// The epoch profiler's retained phase-tree profiles, oldest first.
+    pub fn profiles(&self) -> Vec<ss_common::EpochProfile> {
+        self.with_engine(|e| e.profiler().profiles())
+    }
+
+    /// The retained epoch profiles as a JSON array — what the
+    /// introspection server serves at `/query/<name>/profile`.
+    pub fn profile_json(&self) -> String {
+        self.with_engine(|e| e.profiler().to_json())
+    }
+
+    /// The structured lifecycle event log rendered as JSON Lines.
+    pub fn events_jsonl(&self) -> String {
+        self.with_engine(|e| e.events().to_jsonl())
+    }
+
     /// Manual rollback (§7.2): recompute from the chosen epoch.
     pub fn rollback_to(&mut self, epoch: u64) -> Result<()> {
         self.check_error()?;
@@ -507,6 +528,16 @@ impl StreamingQueryManager {
             .get_mut(name)
             .ok_or_else(|| SsError::Plan(format!("no active query `{name}`")))?;
         Ok(f(query))
+    }
+
+    /// Run a closure against every active query, sorted by name — how
+    /// the introspection server assembles merged views (metrics,
+    /// traces, per-query status) without taking ownership of handles.
+    pub fn for_each_query<R>(&self, mut f: impl FnMut(&StreamingQuery) -> R) -> Vec<R> {
+        let q = self.queries.lock();
+        let mut names: Vec<&String> = q.keys().collect();
+        names.sort();
+        names.into_iter().map(|n| f(&q[n])).collect()
     }
 
     /// Restart counts of all active queries, sorted by name — a quick

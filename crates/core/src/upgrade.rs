@@ -433,7 +433,7 @@ mod tests {
                 MigrationAction::Default(row![ss_common::Value::Null]),
             ],
         };
-        apply_migrations(&mut store, &[m.clone()]);
+        apply_migrations(&mut store, std::slice::from_ref(&m));
         let entry = store.operator("agg-0").get(&row!["CA"]).unwrap().clone();
         assert_eq!(entry.values, vec![row![5i64], row![ss_common::Value::Null]]);
 
@@ -457,7 +457,7 @@ mod tests {
             old_arity: 1,
             actions: vec![MigrationAction::Widen(0)],
         };
-        apply_migrations(&mut store, &[m.clone()]);
+        apply_migrations(&mut store, std::slice::from_ref(&m));
         let entry = store.operator("agg-0").get(&row!["CA"]).unwrap().clone();
         assert_eq!(entry.values, vec![row![10.0f64]]);
         // Pure-widen migrations keep the arity, so idempotency rides on

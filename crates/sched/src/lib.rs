@@ -34,6 +34,7 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use ss_common::metrics::MetricsRegistry;
+use ss_common::profile::TaskSkew;
 use ss_common::trace::TraceLog;
 use ss_common::{Result, SsError};
 
@@ -52,7 +53,7 @@ type Job = Box<dyn FnOnce() + Send>;
 
 /// Aggregate timing facts from one [`WorkerPool::scatter`] call,
 /// surfaced on `QueryProgress` when running parallel.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ScatterStats {
     /// Number of tasks launched.
     pub tasks: u64,
@@ -60,6 +61,9 @@ pub struct ScatterStats {
     pub max_task_duration_us: u64,
     /// Longest time any task sat queued before a worker picked it up.
     pub max_queue_wait_us: u64,
+    /// Raw wall-clock duration of every task, in completion order. The
+    /// profiler summarizes these into min/p50/p99/max skew stats.
+    pub task_durations_us: Vec<u64>,
 }
 
 impl ScatterStats {
@@ -69,6 +73,13 @@ impl ScatterStats {
         self.tasks += other.tasks;
         self.max_task_duration_us = self.max_task_duration_us.max(other.max_task_duration_us);
         self.max_queue_wait_us = self.max_queue_wait_us.max(other.max_queue_wait_us);
+        self.task_durations_us.extend(other.task_durations_us);
+    }
+
+    /// Per-task skew summary (min/p50/p99/max); `None` when no tasks
+    /// ran.
+    pub fn skew(&self) -> Option<TaskSkew> {
+        TaskSkew::from_durations(&self.task_durations_us)
     }
 }
 
@@ -212,6 +223,7 @@ impl WorkerPool {
             })?;
             stats.max_task_duration_us = stats.max_task_duration_us.max(report.duration_us);
             stats.max_queue_wait_us = stats.max_queue_wait_us.max(report.queue_wait_us);
+            stats.task_durations_us.push(report.duration_us);
             slots[report.index] = Some(report.outcome);
         }
         if let Some(m) = &self.metrics {
@@ -379,8 +391,47 @@ mod tests {
 
     #[test]
     fn stats_absorb_takes_max_and_sums_tasks() {
-        let mut a = ScatterStats { tasks: 2, max_task_duration_us: 10, max_queue_wait_us: 3 };
-        a.absorb(ScatterStats { tasks: 3, max_task_duration_us: 7, max_queue_wait_us: 9 });
-        assert_eq!(a, ScatterStats { tasks: 5, max_task_duration_us: 10, max_queue_wait_us: 9 });
+        let mut a = ScatterStats {
+            tasks: 2,
+            max_task_duration_us: 10,
+            max_queue_wait_us: 3,
+            task_durations_us: vec![4, 10],
+        };
+        a.absorb(ScatterStats {
+            tasks: 3,
+            max_task_duration_us: 7,
+            max_queue_wait_us: 9,
+            task_durations_us: vec![7, 2, 1],
+        });
+        assert_eq!(
+            a,
+            ScatterStats {
+                tasks: 5,
+                max_task_duration_us: 10,
+                max_queue_wait_us: 9,
+                task_durations_us: vec![4, 10, 7, 2, 1],
+            }
+        );
+    }
+
+    #[test]
+    fn scatter_collects_per_task_durations_for_skew() {
+        let pool = WorkerPool::new(4, None, None);
+        let tasks: Vec<_> = (0..8u64)
+            .map(|i| {
+                boxed(move || {
+                    std::thread::sleep(std::time::Duration::from_micros(i * 100));
+                    Ok(i)
+                })
+            })
+            .collect();
+        let out = pool.scatter("test", tasks).unwrap();
+        assert_eq!(out.stats.task_durations_us.len(), 8);
+        let skew = out.stats.skew().expect("skew stats for 8 tasks");
+        assert_eq!(skew.tasks, 8);
+        assert!(skew.min_us <= skew.p50_us);
+        assert!(skew.p50_us <= skew.p99_us);
+        assert!(skew.p99_us <= skew.max_us);
+        assert_eq!(skew.max_us, out.stats.max_task_duration_us);
     }
 }

@@ -166,3 +166,102 @@ fn query_exposes_metrics_traces_and_listener_events() {
     let terminated = collector.terminated.lock().unwrap().clone();
     assert_eq!(terminated, vec![("obs".to_string(), None)]);
 }
+
+/// Snapshots and renders taken while a data-parallel query is actively
+/// writing metrics from four worker threads must never show torn
+/// samples: counters and histogram count/sum only move forward, and
+/// every rendered exposition stays well-formed.
+#[test]
+fn metrics_snapshot_and_render_are_consistent_under_concurrent_writers() {
+    use std::collections::HashMap;
+
+    let bus = Arc::new(MessageBus::new());
+    bus.create_topic("in", 2).unwrap();
+    let ctx = StreamingContext::new();
+    let wschema = Schema::of(vec![
+        Field::new("k", DataType::Utf8),
+        Field::new("time", DataType::Timestamp),
+    ]);
+    let df = ctx
+        .read_source(Arc::new(BusSource::new(bus.clone(), "in", wschema).unwrap()))
+        .unwrap()
+        .group_by(vec![window(col("time"), "10 seconds").unwrap(), col("k")])
+        .count();
+    let sink = MemorySink::new("out");
+    let mut q = df
+        .write_stream()
+        .query_name("conc")
+        .output_mode(OutputMode::Complete)
+        .parallelism(4)
+        .sink(sink)
+        .start_sync()
+        .unwrap();
+    // A shared handle onto the same registry the engine writes to.
+    let registry = q.metrics();
+
+    const EPOCHS: u64 = 40;
+    const ROWS_PER_EPOCH: u64 = 400;
+    let driver = std::thread::spawn(move || {
+        for e in 0..EPOCHS {
+            let base = e * ROWS_PER_EPOCH;
+            let make = |start: u64, n: u64| -> Vec<Row> {
+                (start..start + n)
+                    .map(|i| row![format!("k{}", i % 13), Value::Timestamp((i as i64) * 100_000)])
+                    .collect()
+            };
+            bus.append("in", 0, make(base, ROWS_PER_EPOCH / 2)).unwrap();
+            bus.append("in", 1, make(base + ROWS_PER_EPOCH / 2, ROWS_PER_EPOCH / 2))
+                .unwrap();
+            q.process_available().unwrap();
+        }
+        q
+    });
+
+    // Poll snapshots and renders while the driver runs epochs. Keyed
+    // by (family, sorted labels); value is the (count, sum) floor.
+    type SeriesKey = (String, Vec<(String, String)>);
+    let mut floor: HashMap<SeriesKey, (u64, u64)> = HashMap::new();
+    let mut polls = 0u32;
+    while !driver.is_finished() {
+        let snap = registry.snapshot();
+        for s in snap {
+            let key = (s.name.clone(), s.labels.clone());
+            let observed = match s.value {
+                MetricValue::Counter(n) => (n, 0),
+                MetricValue::Histogram { count, sum } => (count, sum),
+                MetricValue::Gauge(_) => continue, // gauges may move both ways
+            };
+            let prev = floor.entry(key).or_insert((0, 0));
+            assert!(
+                observed.0 >= prev.0 && observed.1 >= prev.1,
+                "`{}` moved backwards: {:?} -> {:?}",
+                s.name,
+                prev,
+                observed
+            );
+            *prev = observed;
+        }
+        // Renders taken mid-write must still be line-by-line parseable.
+        let text = registry.render();
+        for line in text.lines().filter(|l| !l.starts_with('#') && !l.is_empty()) {
+            let (_, value) = line.rsplit_once(' ').expect("sample line has a value");
+            value
+                .parse::<f64>()
+                .unwrap_or_else(|_| panic!("torn sample line: {line}"));
+        }
+        polls += 1;
+    }
+    let q = driver.join().expect("driver thread");
+    assert!(polls > 0, "the poller never overlapped the driver");
+    // Final totals are exact: no increments were lost to races.
+    match registry.value("ss_admitted_rows_total", &[]) {
+        Some(MetricValue::Counter(n)) => assert_eq!(n, EPOCHS * ROWS_PER_EPOCH),
+        other => panic!("unexpected admitted rows: {other:?}"),
+    }
+    assert_eq!(
+        q.last_progress().map(|p| p.epoch),
+        Some(EPOCHS),
+        "all epochs ran"
+    );
+    q.stop().unwrap();
+}
