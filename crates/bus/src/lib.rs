@@ -19,14 +19,18 @@
 //!   topic, the "stream-to-stream transform" deployment of §6.3).
 //! * [`json`] — row ⇄ JSON conversion shared by the file connectors and
 //!   the Kafka-Streams-style baseline (which pays this cost per hop).
+//! * [`dlq`] — the [`DeadLetterQueue`]: an epoch-committed, idempotent
+//!   destination for quarantined poison records with failure metadata.
 
 pub mod bus;
+pub mod dlq;
 pub mod json;
 pub mod metrics;
 pub mod sink;
 pub mod source;
 
 pub use bus::{MessageBus, OverflowPolicy, Record, TopicConfig};
+pub use dlq::{DeadLetterQueue, DeadLetterRecord};
 pub use metrics::{InstrumentedSink, SinkMetrics, SourceMetrics};
 pub use sink::{BusSink, CallbackSink, EpochOutput, FileSink, MemorySink, Sink};
 pub use source::{BusSource, FileSource, GeneratorSource, Source};

@@ -35,6 +35,11 @@ pub enum SsError {
     /// A transient environment failure (timeout, connection reset,
     /// injected flake) that is safe to retry under a `RetryPolicy`.
     Transient(String),
+    /// A deadline expired: a task overran its hard deadline or an epoch
+    /// overran its watchdog. Transient — the supervisor may retry the
+    /// epoch after the stuck resource has been abandoned — but surfaced
+    /// as its own variant so callers can tell "it hung" from "it flaked".
+    Timeout(String),
     /// Durable data failed an integrity check (bad CRC, torn frame).
     /// Inside committed history this is fatal; past the last commit it
     /// is treated as an uncommitted epoch and recomputed.
@@ -67,6 +72,7 @@ impl SsError {
             SsError::Serde(_) => "serde",
             SsError::Parse(_) => "parse",
             SsError::Transient(_) => "transient",
+            SsError::Timeout(_) => "timeout",
             SsError::Corruption(_) => "corruption",
             SsError::ResourceExhausted(_) => "resource_exhausted",
             SsError::IncompatibleUpgrade(_) => "incompatible_upgrade",
@@ -81,6 +87,7 @@ impl SsError {
         use std::io::ErrorKind;
         match self {
             SsError::Transient(_) => true,
+            SsError::Timeout(_) => true,
             SsError::Io(e) => matches!(
                 e.kind(),
                 ErrorKind::Interrupted
@@ -120,6 +127,7 @@ impl fmt::Display for SsError {
             SsError::Serde(m) => write!(f, "serde error: {m}"),
             SsError::Parse(m) => write!(f, "parse error: {m}"),
             SsError::Transient(m) => write!(f, "transient error: {m}"),
+            SsError::Timeout(m) => write!(f, "deadline exceeded: {m}"),
             SsError::Corruption(m) => write!(f, "corruption detected: {m}"),
             SsError::ResourceExhausted(m) => write!(f, "resource exhausted: {m}"),
             SsError::IncompatibleUpgrade(m) => write!(f, "incompatible upgrade: {m}"),
@@ -190,6 +198,7 @@ mod tests {
             SsError::IncompatibleUpgrade(String::new()).category(),
             "incompatible_upgrade"
         );
+        assert_eq!(SsError::Timeout(String::new()).category(), "timeout");
     }
 
     #[test]
@@ -201,6 +210,9 @@ mod tests {
         assert!(!SsError::Transient("flake".into()).is_user_error());
         assert!(!SsError::Corruption("bad crc".into()).is_user_error());
         assert!(!SsError::ResourceExhausted("topic full".into()).is_user_error());
+        // A hung task is an engine/environment failure, never the query's
+        // fault: the supervisor should restart, not give up.
+        assert!(!SsError::Timeout("task overran deadline".into()).is_user_error());
         // A rejected upgrade is the user's query edit, not an engine
         // fault: the supervisor must not burn restarts on it.
         assert!(SsError::IncompatibleUpgrade("group keys changed".into()).is_user_error());
@@ -210,6 +222,8 @@ mod tests {
     fn transient_classification() {
         use std::io::{Error, ErrorKind};
         assert!(SsError::Transient("flake".into()).is_transient());
+        // A deadline trip is retryable once the stuck resource is gone.
+        assert!(SsError::Timeout("epoch watchdog".into()).is_transient());
         assert!(SsError::Io(Error::new(ErrorKind::Interrupted, "x")).is_transient());
         assert!(SsError::Io(Error::new(ErrorKind::TimedOut, "x")).is_transient());
         assert!(!SsError::Io(Error::new(ErrorKind::NotFound, "x")).is_transient());

@@ -31,6 +31,8 @@ pub const EVENT_RESTART: &str = "restart";
 pub const EVENT_SPILL: &str = "spill";
 pub const EVENT_ADMISSION_LIMITED: &str = "admission-limited";
 pub const EVENT_TERMINATE: &str = "terminate";
+pub const EVENT_QUARANTINE: &str = "quarantine";
+pub const EVENT_WATCHDOG: &str = "watchdog";
 
 /// One structured event.
 #[derive(Debug, Clone, PartialEq, Eq)]

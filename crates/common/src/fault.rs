@@ -11,11 +11,18 @@
 //! engine, so parallel tests cannot trip each other's faults.
 
 use crate::error::{Result, SsError};
+use crate::isolate::Deadline;
 use crate::rng::XorShift64;
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Upper bound on how long an injected [`FaultMode::Hang`] can stall a
+/// thread with no deadline armed and no cancellation — a backstop so a
+/// misconfigured test cannot wedge forever.
+const HANG_CAP: Duration = Duration::from_secs(10);
 
 /// When a configured fail point fires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,6 +49,13 @@ pub enum FaultMode {
     /// truncated temp file behind. Sites without a torn-write behaviour
     /// treat this as [`FaultMode::Error`].
     TornWrite,
+    /// Stall the calling thread — simulates a hung task or a wedged
+    /// syscall. The stall releases when the registry's attached
+    /// [`Deadline`] expires, [`FaultRegistry::cancel_hangs`] is called,
+    /// or a 10 s backstop elapses; the call then returns a transient
+    /// [`SsError::Timeout`]. Only [`FaultRegistry::fire`] honours the
+    /// stall; `check`-based sites degrade to an immediate timeout error.
+    Hang,
 }
 
 #[derive(Debug)]
@@ -59,6 +73,12 @@ struct Inner {
     /// load when no faults are active (the common case).
     active: AtomicUsize,
     points: Mutex<HashMap<String, FailPoint>>,
+    /// Generation counter for injected hangs: a hang loop snapshots it
+    /// on entry and releases when it changes.
+    hang_gen: AtomicU64,
+    /// Watchdog shared with the owning engine; injected hangs release
+    /// when it expires so a wedged epoch fails instead of stalling.
+    deadline: Mutex<Deadline>,
 }
 
 /// A cloneable registry of named fail points.
@@ -151,11 +171,40 @@ impl FaultRegistry {
     /// the point fires, `Ok(())` otherwise. [`FaultMode::TornWrite`] is
     /// treated as [`FaultMode::Error`] here — only sites with a genuine
     /// partial-write behaviour should use [`check`](Self::check).
+    /// [`FaultMode::Hang`] stalls the calling thread until released.
     pub fn fire(&self, name: &str) -> Result<()> {
         match self.check(name) {
             None => Ok(()),
+            Some(FaultMode::Hang) => Err(self.hang(name)),
             Some(mode) => Err(Self::error_for(name, mode)),
         }
+    }
+
+    /// Share the engine's watchdog with injected hangs, so a wedged
+    /// epoch releases when the epoch deadline expires.
+    pub fn attach_deadline(&self, deadline: &Deadline) {
+        *self.inner.deadline.lock() = deadline.clone();
+    }
+
+    /// Release every in-flight injected hang (e.g. after the scheduler
+    /// abandoned the hung worker and the epoch already failed).
+    pub fn cancel_hangs(&self) {
+        self.inner.hang_gen.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Stall until cancelled, the attached deadline expires, or the
+    /// backstop elapses; then report the stall as a transient timeout.
+    fn hang(&self, name: &str) -> SsError {
+        let generation = self.inner.hang_gen.load(Ordering::Acquire);
+        let deadline = self.inner.deadline.lock().clone();
+        let start = Instant::now();
+        while self.inner.hang_gen.load(Ordering::Acquire) == generation
+            && !deadline.expired()
+            && start.elapsed() < HANG_CAP
+        {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        SsError::Timeout(format!("injected hang at {name} released"))
     }
 
     /// The error produced when `name` fires with `mode`. Panics for
@@ -169,6 +218,7 @@ impl FaultRegistry {
             FaultMode::Error | FaultMode::TornWrite => {
                 SsError::Execution(format!("injected failure at {name}"))
             }
+            FaultMode::Hang => SsError::Timeout(format!("injected hang at {name} released")),
         }
     }
 }
@@ -263,6 +313,33 @@ mod tests {
         other.clear();
         assert!(reg.fire("p").is_ok());
         assert_eq!(reg.hits("p"), 0);
+    }
+
+    #[test]
+    fn hang_releases_on_cancel() {
+        let reg = FaultRegistry::new();
+        reg.configure("p", FaultTrigger::EveryNth { n: 1 }, FaultMode::Hang);
+        let remote = reg.clone();
+        let handle = std::thread::spawn(move || remote.fire("p"));
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!handle.is_finished(), "hang should stall until released");
+        reg.cancel_hangs();
+        let err = handle.join().unwrap().unwrap_err();
+        assert!(matches!(err, SsError::Timeout(_)), "{err:?}");
+        assert!(err.is_transient());
+    }
+
+    #[test]
+    fn hang_releases_when_attached_deadline_expires() {
+        let reg = FaultRegistry::new();
+        reg.configure("p", FaultTrigger::EveryNth { n: 1 }, FaultMode::Hang);
+        let deadline = Deadline::new();
+        reg.attach_deadline(&deadline);
+        deadline.arm(Some(Duration::from_millis(15)));
+        let start = Instant::now();
+        let err = reg.fire("p").unwrap_err();
+        assert!(matches!(err, SsError::Timeout(_)), "{err:?}");
+        assert!(start.elapsed() < HANG_CAP, "deadline, not backstop, released");
     }
 
     #[test]

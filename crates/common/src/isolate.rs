@@ -1,0 +1,256 @@
+//! Error isolation: per-query error policy, failure fingerprinting and
+//! the epoch watchdog deadline.
+//!
+//! The recovery story in the paper assumes failures are *transient*:
+//! replay the epoch from the WAL and the query converges. The dominant
+//! production failure is the opposite — a malformed record or a
+//! pathological key that fails identically on every exactly-once replay.
+//! This module provides the three small primitives the engines use to
+//! tell the two apart and degrade gracefully:
+//!
+//! * [`ErrorPolicy`] — what a query does with a record that
+//!   deterministically fails evaluation: fail the query (default),
+//!   quarantine the record to a dead-letter queue, or silently drop it.
+//! * [`failure_fingerprint`] / [`FailureTracker`] — a stable hash over a
+//!   failure's identity (category + message + epoch). A fingerprint that
+//!   repeats across restarts is classified *deterministic*: replaying it
+//!   again cannot succeed, so the supervisor stops burning its restart
+//!   budget and switches the engine into isolation mode instead.
+//! * [`Deadline`] — a cloneable, arm/disarm watchdog token. The engine
+//!   arms it at the start of each epoch; long-running loops (and
+//!   injected [`crate::fault::FaultMode::Hang`] points) poll it so a
+//!   wedged epoch fails restartably with [`SsError::Timeout`] instead of
+//!   hanging the query forever.
+
+use crate::error::{Result, SsError};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// What a query does with a record that deterministically fails
+/// evaluation once the engine is in isolation mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ErrorPolicy {
+    /// Fail the epoch (and ultimately the query) — the paper's behaviour
+    /// and the default: no record is ever silently lost.
+    #[default]
+    Fail,
+    /// Divert failing records to the dead-letter queue with full error
+    /// metadata and commit the epoch without them. If more than
+    /// `max_per_epoch` records fail in one epoch the epoch fails anyway:
+    /// a fully-poisoned stream is a pipeline bug, not bad input.
+    Quarantine {
+        /// Upper bound on diverted records per epoch.
+        max_per_epoch: u64,
+    },
+    /// Drop failing records without recording them. Cheapest, and
+    /// appropriate only when the input is known-noisy and the records
+    /// are worthless; offsets are still recorded in the commit so
+    /// replays stay byte-identical.
+    Drop,
+}
+
+impl ErrorPolicy {
+    /// True when the policy permits diverting records (i.e. isolation
+    /// mode can do something other than fail).
+    pub fn isolates(&self) -> bool {
+        !matches!(self, ErrorPolicy::Fail)
+    }
+}
+
+/// Stable FNV-1a fingerprint of a failure's identity.
+///
+/// Two failures with the same fingerprint observed across a restart are
+/// overwhelmingly likely to be the *same deterministic failure*: same
+/// error category, same rendered message, same epoch being replayed.
+/// (Offsets are part of the epoch's identity — the WAL pins an epoch to
+/// its offset ranges, so epoch number stands in for them.)
+pub fn failure_fingerprint(category: &str, message: &str, epoch: u64) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for part in [category.as_bytes(), b"\x1f", message.as_bytes()] {
+        for &b in part {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    }
+    for b in epoch.to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Tracks consecutive identical failure fingerprints across restarts.
+#[derive(Debug, Default)]
+pub struct FailureTracker {
+    last: Option<(u64, u32)>,
+}
+
+impl FailureTracker {
+    /// A tracker that has seen no failures.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a failure; returns how many times this exact fingerprint
+    /// has now been seen consecutively (1 = first sighting).
+    pub fn observe(&mut self, fingerprint: u64) -> u32 {
+        let count = match self.last {
+            Some((fp, n)) if fp == fingerprint => n + 1,
+            _ => 1,
+        };
+        self.last = Some((fingerprint, count));
+        count
+    }
+
+    /// True once the same fingerprint has repeated — i.e. a restart
+    /// replayed the failure byte-identically, so it is deterministic.
+    pub fn is_deterministic(&self, fingerprint: u64) -> bool {
+        matches!(self.last, Some((fp, n)) if fp == fingerprint && n >= 2)
+    }
+
+    /// Forget the failure history (called after a healthy epoch).
+    pub fn reset(&mut self) {
+        self.last = None;
+    }
+}
+
+/// Extract a readable message from a caught panic payload (the `Box<dyn
+/// Any>` returned by `std::panic::catch_unwind`).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[derive(Debug, Default)]
+struct DeadlineInner {
+    expires: Mutex<Option<Instant>>,
+}
+
+/// A cloneable watchdog token: armed with a duration at the start of a
+/// guarded region, polled by long-running loops, disarmed on exit.
+///
+/// Clones share state, so the engine can hand the same token to the
+/// fault registry (to break injected hangs) and to its own phase
+/// boundaries. An unarmed deadline never expires.
+#[derive(Debug, Clone, Default)]
+pub struct Deadline {
+    inner: Arc<DeadlineInner>,
+}
+
+impl Deadline {
+    /// A new, unarmed deadline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arm the deadline `timeout` from now; `None` disarms.
+    pub fn arm(&self, timeout: Option<Duration>) {
+        *self.inner.expires.lock() = timeout.map(|t| Instant::now() + t);
+    }
+
+    /// Disarm the deadline (it no longer expires).
+    pub fn disarm(&self) {
+        *self.inner.expires.lock() = None;
+    }
+
+    /// True if armed and past the deadline.
+    pub fn expired(&self) -> bool {
+        self.inner
+            .expires
+            .lock()
+            .is_some_and(|at| Instant::now() >= at)
+    }
+
+    /// Err([`SsError::Timeout`]) naming `context` if expired, else Ok.
+    pub fn check(&self, context: &str) -> Result<()> {
+        if self.expired() {
+            Err(SsError::Timeout(format!(
+                "epoch watchdog expired during {context}"
+            )))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_policy_fails() {
+        assert_eq!(ErrorPolicy::default(), ErrorPolicy::Fail);
+        assert!(!ErrorPolicy::Fail.isolates());
+        assert!(ErrorPolicy::Quarantine { max_per_epoch: 8 }.isolates());
+        assert!(ErrorPolicy::Drop.isolates());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_discriminating() {
+        let a = failure_fingerprint("type", "bad int `x`", 7);
+        assert_eq!(a, failure_fingerprint("type", "bad int `x`", 7));
+        assert_ne!(a, failure_fingerprint("type", "bad int `x`", 8));
+        assert_ne!(a, failure_fingerprint("type", "bad int `y`", 7));
+        assert_ne!(a, failure_fingerprint("execution", "bad int `x`", 7));
+        // The separator keeps (category, message) splits from colliding.
+        assert_ne!(
+            failure_fingerprint("ab", "c", 0),
+            failure_fingerprint("a", "bc", 0)
+        );
+    }
+
+    #[test]
+    fn tracker_classifies_repeats_as_deterministic() {
+        let mut t = FailureTracker::new();
+        let fp = failure_fingerprint("type", "boom", 3);
+        assert_eq!(t.observe(fp), 1);
+        assert!(!t.is_deterministic(fp));
+        assert_eq!(t.observe(fp), 2);
+        assert!(t.is_deterministic(fp));
+        // A different failure resets the streak.
+        let other = failure_fingerprint("io", "disk", 3);
+        assert_eq!(t.observe(other), 1);
+        assert!(!t.is_deterministic(other));
+        t.reset();
+        assert_eq!(t.observe(other), 1);
+    }
+
+    #[test]
+    fn unarmed_deadline_never_expires() {
+        let d = Deadline::new();
+        assert!(!d.expired());
+        assert!(d.check("anything").is_ok());
+    }
+
+    #[test]
+    fn armed_deadline_expires_and_reports_context() {
+        let d = Deadline::new();
+        d.arm(Some(Duration::from_millis(0)));
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(d.expired());
+        let err = d.check("sink-commit").unwrap_err();
+        assert!(matches!(err, SsError::Timeout(_)), "{err:?}");
+        assert!(err.to_string().contains("sink-commit"), "{err}");
+        d.disarm();
+        assert!(d.check("sink-commit").is_ok());
+    }
+
+    #[test]
+    fn clones_share_arming() {
+        let d = Deadline::new();
+        let other = d.clone();
+        other.arm(Some(Duration::from_millis(0)));
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(d.expired());
+        d.disarm();
+        assert!(!other.expired());
+    }
+}

@@ -25,6 +25,9 @@
 //!   lifecycle events (start/progress/restart/spill/terminate).
 //! * [`fault`] — named fail points (one-shot / every-Nth / probabilistic)
 //!   wired into the engine's durability paths for chaos testing.
+//! * [`isolate`] — error isolation: per-query [`ErrorPolicy`], failure
+//!   fingerprinting for deterministic-failure classification, and the
+//!   [`Deadline`] watchdog token.
 //! * [`retry`] — [`RetryPolicy`] with exponential backoff and decorrelated
 //!   jitter for transient failures.
 //! * [`frame`] — CRC32 integrity frames around WAL records and
@@ -40,6 +43,7 @@ pub mod error;
 pub mod eventlog;
 pub mod fault;
 pub mod frame;
+pub mod isolate;
 pub mod metrics;
 pub mod profile;
 pub mod offsets;
@@ -58,6 +62,7 @@ pub use column::{Column, ColumnBuilder};
 pub use error::{Result, SsError};
 pub use eventlog::{EventLog, StructuredEvent};
 pub use fault::{FaultMode, FaultRegistry, FaultTrigger};
+pub use isolate::{failure_fingerprint, panic_message, Deadline, ErrorPolicy, FailureTracker};
 pub use metrics::{Counter, Gauge, Histogram, MetricSample, MetricValue, MetricsRegistry};
 pub use profile::{EpochProfile, EpochProfiler, PhaseDuration, ShuffleProfile, TaskSkew};
 pub use retry::{retry, retry_result, RetryOutcome, RetryPolicy};

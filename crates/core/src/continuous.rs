@@ -478,6 +478,7 @@ impl ContinuousQuery {
                             epoch,
                             rows_written: rows,
                             committed_at_us: now_us(),
+                            quarantined: Default::default(),
                         });
                         shared.trace.instant(
                             "epoch-marker",

@@ -352,6 +352,14 @@ impl DataStreamWriter {
         self
     }
 
+    /// What to do when a single record deterministically fails the
+    /// epoch (default [`ss_common::ErrorPolicy::Fail`]): `Quarantine` diverts
+    /// offenders to the dead-letter queue, `Drop` discards them.
+    pub fn error_policy(mut self, policy: ss_common::ErrorPolicy) -> Self {
+        self.config.error_policy = policy;
+        self
+    }
+
     /// Worker threads for data-parallel epoch execution (default 1 =
     /// serial; `SS_PARALLELISM` overrides the default). Epochs split
     /// into per-partition tasks with a hash shuffle between stages;

@@ -30,7 +30,7 @@ use std::time::Instant;
 
 use rustc_hash::FxHashSet;
 
-use ss_common::{RecordBatch, Result, Row, SchemaRef, SsError};
+use ss_common::{FaultRegistry, RecordBatch, Result, Row, SchemaRef, SsError};
 use ss_exec::aggregate::HashAggregator;
 use ss_exec::executor::Catalog;
 use ss_exec::join::hash_join_projected;
@@ -133,6 +133,9 @@ pub struct EpochContext<'a> {
     pub tracker: &'a mut WatermarkTracker,
     /// Per-operator timing collector for this epoch (§7.4).
     pub ops: &'a mut OpStatsCollector,
+    /// Fail-point registry: stateless eval arms fire
+    /// `exec.record.eval` so the chaos suite can poison evaluation.
+    pub faults: &'a FaultRegistry,
 }
 
 /// A tree of incremental operators.
@@ -294,6 +297,9 @@ impl IncNode {
             }
             IncNode::Filter { input, predicate } => {
                 let batch = input.execute_epoch(ctx)?;
+                if batch.num_rows() > 0 {
+                    ctx.faults.fire(ops::failpoints::RECORD_EVAL)?;
+                }
                 ops::filter_batch(&batch, predicate)
             }
             IncNode::Project { input, exprs, .. } => {
@@ -305,9 +311,15 @@ impl IncNode {
                 } = input.as_mut()
                 {
                     let batch = filter_input.execute_epoch(ctx)?;
+                    if batch.num_rows() > 0 {
+                        ctx.faults.fire(ops::failpoints::RECORD_EVAL)?;
+                    }
                     return ops::filter_project_batch(&batch, predicate, exprs);
                 }
                 let batch = input.execute_epoch(ctx)?;
+                if batch.num_rows() > 0 {
+                    ctx.faults.fire(ops::failpoints::RECORD_EVAL)?;
+                }
                 ops::project_batch(&batch, exprs)
             }
             IncNode::Watermark {
@@ -846,6 +858,7 @@ mod tests {
         output_mode: OutputMode,
         epoch: u64,
         last_ops: Vec<OpStat>,
+        faults: FaultRegistry,
     }
 
     impl Harness {
@@ -859,6 +872,7 @@ mod tests {
                 output_mode,
                 epoch: 0,
                 last_ops: Vec::new(),
+                faults: FaultRegistry::new(),
             }
         }
 
@@ -880,6 +894,7 @@ mod tests {
                 output_mode: self.output_mode,
                 tracker: &mut self.tracker,
                 ops: &mut ops,
+                faults: &self.faults,
             };
             let out = self.node.execute_epoch(&mut ctx).unwrap();
             self.last_ops = ops.take();

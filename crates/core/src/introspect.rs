@@ -10,6 +10,7 @@
 //! | `/metrics` | all queries' registries merged into one Prometheus text exposition, each series tagged with a `query` label |
 //! | `/queries` | JSON array of live queries with their last progress record |
 //! | `/query/<name>/profile` | the named query's retained epoch profiles (phase tree, task skew, shuffle, e2e latency) as JSON |
+//! | `/query/<name>/dlq` | the named query's dead-letter queue (quarantined poison records with fingerprints) as JSON Lines |
 //! | `/trace` | every query's trace spans merged into one chrome://tracing JSON document, one pid per query |
 //! | `/events` | all queries' structured lifecycle events as JSON Lines |
 //!
@@ -163,6 +164,16 @@ fn route(manager: &StreamingQueryManager, path: &str) -> (u16, &'static str, Str
                 if let Some(name) = rest.strip_suffix("/profile") {
                     return match manager.with_query(name, |q| q.profile_json()) {
                         Ok(body) => (200, "application/json", body),
+                        Err(_) => (
+                            404,
+                            "application/json",
+                            format!("{{\"error\":\"no active query `{}`\"}}", escape_json(name)),
+                        ),
+                    };
+                }
+                if let Some(name) = rest.strip_suffix("/dlq") {
+                    return match manager.with_query(name, |q| q.dlq_jsonl()) {
+                        Ok(body) => (200, "application/x-ndjson", body),
                         Err(_) => (
                             404,
                             "application/json",

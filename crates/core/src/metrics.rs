@@ -78,6 +78,10 @@ pub struct QueryProgress {
     /// the serial path). The gap to `batch_duration_us` is scheduling
     /// plus merge overhead; a single dominant task signals skew.
     pub max_task_duration_us: u64,
+    /// Poison records diverted to the dead-letter queue (or dropped,
+    /// per the query's error policy) instead of failing this epoch (0
+    /// outside isolation mode).
+    pub quarantined_records: u64,
     /// The epoch profiler's phase-tree breakdown for this epoch:
     /// where the wall time went (admission → source read → execute →
     /// commit), task skew and shuffle attribution. `None` only for
@@ -124,6 +128,9 @@ impl QueryProgress {
                 self.tasks_launched,
                 self.max_task_duration_us as f64 / 1000.0
             ));
+        }
+        if self.quarantined_records > 0 {
+            s.push_str(&format!(" quarantined={}", self.quarantined_records));
         }
         s
     }
@@ -222,6 +229,7 @@ mod tests {
             shed_records: 0,
             tasks_launched: 0,
             max_task_duration_us: 0,
+            quarantined_records: 0,
             profile: None,
         }
     }
@@ -275,6 +283,16 @@ mod tests {
         let s = par.summary();
         assert!(s.contains("tasks=8"), "got: {s}");
         assert!(s.contains("max_task=1.5ms"), "got: {s}");
+    }
+
+    #[test]
+    fn summary_shows_quarantine_only_when_engaged() {
+        let clean = progress(1, 10);
+        assert!(!clean.summary().contains("quarantined="));
+        let mut poisoned = progress(2, 10);
+        poisoned.quarantined_records = 3;
+        let s = poisoned.summary();
+        assert!(s.contains("quarantined=3"), "got: {s}");
     }
 
     #[test]

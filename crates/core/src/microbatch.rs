@@ -27,33 +27,39 @@
 //! truncates the WAL, the state checkpoints and (where supported) the
 //! sink to an epoch chosen by the operator, then recovers from there.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use ss_bus::{EpochOutput, Sink, SinkMetrics, Source, SourceMetrics};
-use ss_common::eventlog::{
-    EVENT_ADMISSION_LIMITED, EVENT_PROGRESS, EVENT_RESTART, EVENT_SPILL, EVENT_START,
-    EVENT_TERMINATE,
+use ss_bus::json::row_to_json;
+use ss_bus::{
+    DeadLetterQueue, DeadLetterRecord, EpochOutput, Sink, SinkMetrics, Source, SourceMetrics,
 };
+use ss_common::eventlog::{
+    EVENT_ADMISSION_LIMITED, EVENT_PROGRESS, EVENT_QUARANTINE, EVENT_RESTART, EVENT_SPILL,
+    EVENT_START, EVENT_TERMINATE, EVENT_WATCHDOG,
+};
+use ss_common::isolate::panic_message;
 use ss_common::profile::{
     PHASE_ADMISSION, PHASE_EXECUTE, PHASE_FINALIZE, PHASE_SINK_COMMIT, PHASE_SOURCE_READ,
     PHASE_STATE_COMMIT, PHASE_WAL,
 };
 use ss_common::time::now_us;
 use ss_common::{
-    Counter, EpochProfile, EpochProfiler, EventLog, FaultRegistry, Histogram, MetricsRegistry,
-    PartitionOffsets, RecordBatch, Result, RetryPolicy, SchemaRef, SsError, TraceLog,
+    failure_fingerprint, Counter, Deadline, EpochProfile, EpochProfiler, ErrorPolicy, EventLog,
+    FaultRegistry, Histogram, MetricsRegistry, PartitionOffsets, RecordBatch, Result, RetryPolicy,
+    SchemaRef, SsError, TraceLog,
 };
 use ss_exec::executor::Catalog;
 use ss_plan::{operator_signatures, plan_fingerprint, LogicalPlan, OperatorSignature, OutputMode};
-use ss_state::{CheckpointBackend, StateStore};
+use ss_state::{CheckpointBackend, MemoryBackend, StateStore};
 use ss_wal::{EpochCommit, EpochOffsets, Manifest, OffsetRange, WriteAheadLog, MANIFEST_VERSION};
 
 use crate::admission::{apportion, PidRateController, RateControllerConfig};
 use crate::incremental::{incrementalize, EpochContext, IncNode, OpStat, OpStatsCollector};
 use crate::metrics::{OpDuration, ProgressHistory, QueryProgress, StreamingQueryListener};
-use crate::parallel::{repartition_family, state_families, ParallelExec};
+use crate::parallel::{repartition_family, state_families, ParallelExec, ParallelRunStats};
 use crate::upgrade::{self, StateMigration};
 use crate::watermark::WatermarkTracker;
 
@@ -61,6 +67,11 @@ pub use ss_state::MemoryBudget;
 
 /// A processing-time clock, injectable for deterministic tests.
 pub type Clock = Arc<dyn Fn() -> i64 + Send + Sync>;
+
+/// Quarantined `(partition, offset)` pairs per source — the shape
+/// recorded in an epoch's WAL commit so replay can strip poison rows
+/// without re-probing.
+type QuarantinedOffsets = BTreeMap<String, Vec<(u32, u64)>>;
 
 /// Engine-level fail points, fired between the steps of the epoch
 /// protocol. The layers below expose their own (see
@@ -137,6 +148,32 @@ pub struct MicroBatchConfig {
     /// manifest records this count; restarting with a different one
     /// repartitions restored state by shuffle hash.
     pub shuffle_partitions: usize,
+    /// What to do with records that deterministically fail evaluation
+    /// once isolation mode is active: fail the query (the default),
+    /// quarantine them to the dead-letter queue, or drop them.
+    /// Quarantined offsets are recorded in the epoch's commit record,
+    /// so crash/replay reproduces the committed output byte for byte.
+    pub error_policy: ErrorPolicy,
+    /// Epoch watchdog: a hard wall-clock deadline per epoch. A wedged
+    /// epoch (stuck source, hung task, runaway operator) fails
+    /// restartably with [`SsError::Timeout`] instead of hanging the
+    /// query forever. Defaults to `SS_EPOCH_DEADLINE_MS` when set.
+    pub epoch_deadline: Option<Duration>,
+    /// Soft per-task deadline for parallel execution: overrunning
+    /// tasks are counted (`ss_task_deadline_exceeded_total`) and
+    /// traced as stragglers, but keep running.
+    pub task_soft_deadline: Option<Duration>,
+    /// Hard per-task deadline for parallel execution: the pool
+    /// abandons the stuck worker, replenishes itself and fails the
+    /// stage with a transient [`SsError::Timeout`].
+    pub task_hard_deadline: Option<Duration>,
+    /// Dead-letter queue for quarantined records. `None` (the default)
+    /// gives the engine a private queue that dies with it; pass a
+    /// shared handle to model a durable DLQ topic that survives
+    /// process restarts (the per-epoch commit is insert-replace, so
+    /// re-running an in-flight epoch after a crash rewrites the same
+    /// letters instead of duplicating them).
+    pub dlq: Option<Arc<DeadLetterQueue>>,
 }
 
 impl Default for MicroBatchConfig {
@@ -159,6 +196,15 @@ impl Default for MicroBatchConfig {
                 .filter(|&n| n >= 1)
                 .unwrap_or(1),
             shuffle_partitions: 0,
+            error_policy: ErrorPolicy::default(),
+            epoch_deadline: std::env::var("SS_EPOCH_DEADLINE_MS")
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+                .filter(|&ms| ms > 0)
+                .map(Duration::from_millis),
+            task_soft_deadline: None,
+            task_hard_deadline: None,
+            dlq: None,
         }
     }
 }
@@ -207,6 +253,8 @@ struct EpochExecution {
     tasks_launched: u64,
     /// Slowest task's wall-clock duration (µs; 0 on the serial path).
     max_task_duration_us: u64,
+    /// Poison records diverted (or dropped) by isolation mode.
+    quarantined: u64,
 }
 
 /// A running (or recoverable) microbatch query.
@@ -278,6 +326,30 @@ pub struct MicroBatchExecution {
     /// time, observed once each for the epoch's oldest and newest
     /// input record.
     e2e_latency_us: Histogram,
+    /// The optimized logical plan, kept to build fresh single-row
+    /// probe executors while isolation mode is active.
+    optimized_plan: Arc<LogicalPlan>,
+    /// Sticky isolation flag: set when a failure is classified as
+    /// deterministic (by the supervisor's fingerprint tracker or a
+    /// record-failure-shaped epoch error under an isolating policy).
+    /// While set, every epoch probes its rows individually and strips
+    /// the offenders. Survives in-place restarts by design.
+    isolation: bool,
+    /// The epoch watchdog; armed per epoch with
+    /// [`MicroBatchConfig::epoch_deadline`] and shared with the fault
+    /// registry so injected hangs break when it expires.
+    watchdog: Deadline,
+    /// Dead-letter queue: quarantined records with failure metadata,
+    /// committed idempotently per epoch.
+    dlq: Arc<DeadLetterQueue>,
+    /// `ss_quarantined_records_total`.
+    quarantined_total: Counter,
+    /// `ss_deterministic_failures_total`.
+    deterministic_failures: Counter,
+    /// The last in-flight epoch recovery re-ran with output enabled:
+    /// `(epoch, input_rows, execution)`. Consumed by the isolation
+    /// retry path to synthesize the epoch's progress record.
+    last_inflight: Option<(u64, u64, EpochExecution)>,
 }
 
 impl MicroBatchExecution {
@@ -391,6 +463,15 @@ impl MicroBatchExecution {
             "ss_trace_dropped_total",
             "Trace events dropped because the bounded trace buffer wrapped.",
         );
+        registry.describe(
+            "ss_quarantined_records_total",
+            "Poison records diverted to the dead-letter queue (or dropped) \
+             instead of failing the epoch.",
+        );
+        registry.describe(
+            "ss_deterministic_failures_total",
+            "Failures classified deterministic by fingerprint repetition.",
+        );
         trace.attach_drop_counter(registry.counter("ss_trace_dropped_total", &[]));
         let purged_total = registry.counter("ss_checkpoint_purged_total", &[]);
         let epoch_duration_us = registry.histogram("ss_epoch_duration_us", &[]);
@@ -420,10 +501,19 @@ impl MicroBatchExecution {
                 &trace,
                 config.faults.clone(),
                 config.retry,
+                config.task_soft_deadline,
+                config.task_hard_deadline,
             )
         } else {
             None
         };
+        // The watchdog is shared with the fault registry so injected
+        // hangs release (as transient timeouts) when it expires.
+        let watchdog = Deadline::new();
+        let dlq = config.dlq.clone().unwrap_or_default();
+        config.faults.attach_deadline(&watchdog);
+        let quarantined_total = registry.counter("ss_quarantined_records_total", &[]);
+        let deterministic_failures = registry.counter("ss_deterministic_failures_total", &[]);
         let mut engine = MicroBatchExecution {
             name: name.into(),
             root,
@@ -459,6 +549,13 @@ impl MicroBatchExecution {
             profiler: EpochProfiler::default(),
             events,
             e2e_latency_us,
+            optimized_plan: optimized,
+            isolation: false,
+            watchdog,
+            dlq,
+            quarantined_total,
+            deterministic_failures,
+            last_inflight: None,
         };
         engine.recover()?;
         engine.events.emit(
@@ -558,7 +655,69 @@ impl MicroBatchExecution {
 
     /// Execute one trigger (§6.1). Returns [`EpochRun::Idle`] when
     /// there is nothing to do.
+    ///
+    /// The epoch runs under the watchdog deadline
+    /// ([`MicroBatchConfig::epoch_deadline`]): a wedged epoch fails
+    /// restartably with [`SsError::Timeout`]. On a record-shaped
+    /// failure under an isolating [`ErrorPolicy`], the engine flips
+    /// into isolation mode and re-runs the epoch once with per-record
+    /// probing, quarantining the offenders instead of failing.
     pub fn run_epoch(&mut self) -> Result<EpochRun> {
+        self.last_inflight = None;
+        self.watchdog.arm(self.config.epoch_deadline);
+        let result = self.run_epoch_inner();
+        let expired = self.watchdog.expired();
+        self.watchdog.disarm();
+        let err = match result {
+            Ok(run) => return Ok(run),
+            Err(err) => err,
+        };
+        // Release workers parked on injected hangs: the epoch already
+        // failed, nobody will collect their results.
+        self.config.faults.cancel_hangs();
+        if expired {
+            self.trace.instant("watchdog", &[("error", &err.to_string())]);
+            self.events.emit(
+                &self.name,
+                EVENT_WATCHDOG,
+                &[
+                    ("epoch", &self.epoch.to_string()),
+                    ("error", &err.to_string()),
+                ],
+            );
+        }
+        if self.config.error_policy.isolates() && !self.isolation && is_record_failure(&err) {
+            // First record-shaped failure under an isolating policy:
+            // enter isolation and re-run the epoch with probing. The
+            // failed epoch's offsets are already in the WAL, so
+            // recovery re-runs it in-flight — now stripping poison.
+            self.enter_isolation(&err);
+            self.reset_and_recover()?;
+            if let Some((epoch, in_rows, exec)) = self.last_inflight.take() {
+                let progress = self.synthesize_progress(epoch, in_rows, exec);
+                self.progress.push(progress.clone());
+                self.events.emit(
+                    &self.name,
+                    EVENT_PROGRESS,
+                    &[
+                        ("epoch", &epoch.to_string()),
+                        ("rows_in", &progress.num_input_rows.to_string()),
+                        ("rows_out", &progress.num_output_rows.to_string()),
+                        ("quarantined", &progress.quarantined_records.to_string()),
+                    ],
+                );
+                for l in &self.listeners {
+                    l.on_progress(&progress);
+                }
+                return Ok(EpochRun::Ran(progress));
+            }
+            // The failure predated the offset write; nothing ran.
+            return Ok(EpochRun::Idle);
+        }
+        Err(err)
+    }
+
+    fn run_epoch_inner(&mut self) -> Result<EpochRun> {
         let started = (self.config.clock)();
         // Wall-clock phase attribution runs on the monotonic clock, so
         // profiles stay meaningful even under a frozen test clock.
@@ -798,6 +957,7 @@ impl MicroBatchExecution {
             shed_records,
             tasks_launched: exec.tasks_launched,
             max_task_duration_us: exec.max_task_duration_us,
+            quarantined_records: exec.quarantined,
             profile: Some(profile),
         };
         self.progress.push(progress.clone());
@@ -908,6 +1068,45 @@ impl MicroBatchExecution {
             }
             profile.record(PHASE_SOURCE_READ, None, t_sources.elapsed().as_micros() as u64);
         }
+        self.watchdog.check("source-read")?;
+
+        // Poison-record isolation. Live epochs in isolation mode probe
+        // every input row alone through a scratch copy of the plan and
+        // strip the offenders before real execution; the stripped
+        // offsets go into the epoch's commit record. Recovery replays
+        // (`!with_output`) never re-probe: they strip exactly the
+        // offsets the commit recorded, so the replayed output is byte
+        // for byte the committed output at any parallelism.
+        let mut quarantined: QuarantinedOffsets = BTreeMap::new();
+        let mut letters: Vec<DeadLetterRecord> = Vec::new();
+        if !with_output {
+            if let Some(commit) = self.wal.read_commit(offsets.epoch)? {
+                if !commit.quarantined.is_empty() {
+                    // Evidence the query was already isolating poison:
+                    // resume in isolation mode so new epochs keep
+                    // probing instead of re-failing.
+                    self.isolation = true;
+                    quarantined = commit.quarantined;
+                }
+            }
+        } else if self.isolation && self.config.error_policy.isolates() {
+            let _span = trace.span("quarantine-probe", &[]);
+            (quarantined, letters) = self.probe_poison_rows(offsets, &inputs)?;
+            if let ErrorPolicy::Quarantine { max_per_epoch } = self.config.error_policy {
+                let n: u64 = quarantined.values().map(|v| v.len() as u64).sum();
+                if n > max_per_epoch {
+                    return Err(SsError::Execution(format!(
+                        "quarantine limit exceeded: {n} poison records in epoch {} \
+                         (max_per_epoch is {max_per_epoch})",
+                        offsets.epoch
+                    )));
+                }
+            }
+        }
+        if !quarantined.is_empty() {
+            strip_quarantined(&mut inputs, offsets, &quarantined)?;
+        }
+        self.watchdog.check("quarantine-probe")?;
 
         // The logged watermark is authoritative (recovery reproduces
         // the original epoch's output exactly).
@@ -918,25 +1117,43 @@ impl MicroBatchExecution {
         let t_exec = Instant::now();
         let (out, task_stats) = {
             let _span = trace.span("execute", &[]);
-            let mut ctx = EpochContext {
-                epoch: offsets.epoch,
-                inputs: &mut inputs,
-                statics: self.statics.as_ref(),
-                store: &mut self.store,
-                watermark_us: offsets.watermark_us,
-                processing_time_us: pt,
-                output_mode: self.output_mode,
-                tracker: &mut self.tracker,
-                ops: &mut ops,
-            };
-            match self.parallel.as_mut() {
-                Some(p) => {
-                    let (batch, stats) = p.execute_epoch(&mut ctx)?;
-                    (batch, Some(stats))
+            // Panics inside operators (UDFs, injected faults) fail the
+            // epoch restartably instead of killing the query thread;
+            // the restart path clears any half-updated in-memory state.
+            let outcome = catch_unwind(AssertUnwindSafe(
+                || -> Result<(RecordBatch, Option<ParallelRunStats>)> {
+                let mut ctx = EpochContext {
+                    epoch: offsets.epoch,
+                    inputs: &mut inputs,
+                    statics: self.statics.as_ref(),
+                    store: &mut self.store,
+                    watermark_us: offsets.watermark_us,
+                    processing_time_us: pt,
+                    output_mode: self.output_mode,
+                    tracker: &mut self.tracker,
+                    ops: &mut ops,
+                    faults: &faults,
+                };
+                match self.parallel.as_mut() {
+                    Some(p) => {
+                        let (batch, stats) = p.execute_epoch(&mut ctx)?;
+                        Ok((batch, Some(stats)))
+                    }
+                    None => Ok((self.root.execute_epoch(&mut ctx)?, None)),
                 }
-                None => (self.root.execute_epoch(&mut ctx)?, None),
+            },
+            ));
+            match outcome {
+                Ok(result) => result?,
+                Err(payload) => {
+                    return Err(SsError::Execution(format!(
+                        "panic during epoch execution: {}",
+                        panic_message(payload.as_ref())
+                    )))
+                }
             }
         };
+        self.watchdog.check("execute")?;
         // Surface overload failures before anything becomes durable: a
         // spill reload that failed mid-execution (the operator saw
         // empty state) or an epoch that blew the hard memory limit.
@@ -1006,10 +1223,47 @@ impl MicroBatchExecution {
                 profile.e2e_latency_us = Some((lat_min, lat_max));
             }
             faults.fire(failpoints::AFTER_SINK_WRITE)?;
+            let n_quarantined: u64 = quarantined.values().map(|v| v.len() as u64).sum();
+            if n_quarantined > 0 {
+                // Divert the offenders to the dead-letter queue (with
+                // failure metadata) before the commit record makes the
+                // quarantine durable. The DLQ commit is idempotent per
+                // epoch, so a crash/replay rewrites the same records in
+                // place — exactly-once dead letters. `Drop` keeps the
+                // offsets (for replay determinism) but no letters.
+                if matches!(self.config.error_policy, ErrorPolicy::Quarantine { .. }) {
+                    let dlq = self.dlq.clone();
+                    let epoch = offsets.epoch;
+                    let to_commit = letters.clone();
+                    retried(&retry_policy, &registry, "dlq_write", || {
+                        faults.fire(ss_bus::dlq::failpoints::DLQ_WRITE)?;
+                        dlq.commit_epoch(epoch, to_commit.clone());
+                        Ok(())
+                    })?;
+                }
+                self.quarantined_total.add(n_quarantined);
+                self.events.emit(
+                    &self.name,
+                    EVENT_QUARANTINE,
+                    &[
+                        ("epoch", &offsets.epoch.to_string()),
+                        ("records", &n_quarantined.to_string()),
+                        (
+                            "action",
+                            if matches!(self.config.error_policy, ErrorPolicy::Drop) {
+                                "dropped"
+                            } else {
+                                "quarantined"
+                            },
+                        ),
+                    ],
+                );
+            }
             let commit = EpochCommit {
                 epoch: offsets.epoch,
                 rows_written: out_rows,
                 committed_at_us: (self.config.clock)(),
+                quarantined: quarantined.clone(),
             };
             let t_wal = Instant::now();
             retried(&retry_policy, &registry, "wal_commits_append", || {
@@ -1075,7 +1329,88 @@ impl MicroBatchExecution {
             max_task_duration_us: task_stats
                 .as_ref()
                 .map_or(0, |s| s.scatter.max_task_duration_us),
+            quarantined: quarantined.values().map(|v| v.len() as u64).sum(),
         })
+    }
+
+    /// Probe each input row alone through a fresh scratch copy of the
+    /// plan (in-memory state, scratch tracker, **no** fault injection:
+    /// the probe detects failures carried by the data itself, not
+    /// injected chaos) and collect the rows that deterministically
+    /// fail, as `(partition, offset)` pairs per source plus their
+    /// dead-letter records.
+    fn probe_poison_rows(
+        &self,
+        offsets: &EpochOffsets,
+        inputs: &HashMap<String, RecordBatch>,
+    ) -> Result<(QuarantinedOffsets, Vec<DeadLetterRecord>)> {
+        let pt = (self.config.clock)();
+        let probe_faults = FaultRegistry::new();
+        let mut quarantined: QuarantinedOffsets = BTreeMap::new();
+        let mut letters = Vec::new();
+        for (source, range) in &offsets.sources {
+            let Some(batch) = inputs.get(source) else {
+                continue;
+            };
+            if batch.num_rows() == 0 {
+                continue;
+            }
+            // Row index ↔ (partition, offset): sources concatenate
+            // partitions in ascending order, offsets in range order.
+            let rows = row_offsets(range);
+            for i in 0..batch.num_rows() {
+                let single = batch.slice(i, 1)?;
+                let mut probe_inputs: HashMap<String, RecordBatch> = HashMap::new();
+                probe_inputs.insert(source.clone(), single);
+                let mut counter = 0;
+                let mut probe = incrementalize(&self.optimized_plan, &mut counter)?;
+                let mut store = StateStore::new(Arc::new(MemoryBackend::new()));
+                let mut tracker = WatermarkTracker::new(&self.tracker.clone_config());
+                let mut probe_ops = OpStatsCollector::new();
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    let mut ctx = EpochContext {
+                        epoch: offsets.epoch,
+                        inputs: &mut probe_inputs,
+                        statics: self.statics.as_ref(),
+                        store: &mut store,
+                        watermark_us: offsets.watermark_us,
+                        processing_time_us: pt,
+                        output_mode: self.output_mode,
+                        tracker: &mut tracker,
+                        ops: &mut probe_ops,
+                        faults: &probe_faults,
+                    };
+                    probe.execute_epoch(&mut ctx)
+                }));
+                let error = match outcome {
+                    Ok(Ok(_)) => None,
+                    Ok(Err(e)) => Some(e),
+                    Err(payload) => Some(SsError::Execution(format!(
+                        "panic during record probe: {}",
+                        panic_message(payload.as_ref())
+                    ))),
+                };
+                if let Some(e) = error {
+                    let (partition, offset) = rows.get(i).copied().unwrap_or((0, i as u64));
+                    let msg = e.to_string();
+                    quarantined
+                        .entry(source.clone())
+                        .or_default()
+                        .push((partition, offset));
+                    letters.push(DeadLetterRecord {
+                        epoch: offsets.epoch,
+                        source: source.clone(),
+                        partition,
+                        offset,
+                        fingerprint: failure_fingerprint(e.category(), &msg, offsets.epoch),
+                        error: msg,
+                        row_json: row_to_json(batch.schema(), &batch.row(i))
+                            .unwrap_or_else(|_| "null".into()),
+                    });
+                }
+            }
+        }
+        Ok((quarantined, letters))
     }
 
     // ------------------------------------------------------------------
@@ -1203,6 +1538,24 @@ impl MicroBatchExecution {
     /// checkpoints when the newest is unreadable
     /// ([`StateStore::restore_best`] — the WAL replays the gap).
     fn recover(&mut self) -> Result<()> {
+        match self.recover_inner() {
+            Err(err)
+                if self.config.error_policy.isolates()
+                    && !self.isolation
+                    && is_record_failure(&err) =>
+            {
+                // An in-flight epoch re-ran into a deterministic record
+                // failure: flip isolation on and recover again — the
+                // probe strips the offenders this time. The sticky flag
+                // bounds this to a single retry.
+                self.enter_isolation(&err);
+                self.reset_and_recover()
+            }
+            other => other,
+        }
+    }
+
+    fn recover_inner(&mut self) -> Result<()> {
         let repair = self.wal.verify_and_repair()?;
         if !repair.is_clean() {
             self.trace.instant(
@@ -1225,7 +1578,9 @@ impl MicroBatchExecution {
                 })?;
                 self.apply_positions(&offsets);
                 self.epoch = e;
-                self.execute_epoch_offsets(&offsets, true, &mut EpochProfile::new(e))?;
+                let in_rows: u64 = offsets.sources.values().map(|r| r.num_records()).sum();
+                let exec = self.execute_epoch_offsets(&offsets, true, &mut EpochProfile::new(e))?;
+                self.last_inflight = Some((e, in_rows, exec));
             }
             return Ok(());
         };
@@ -1305,7 +1660,9 @@ impl MicroBatchExecution {
             })?;
             self.apply_positions(&offsets);
             self.epoch = e;
-            self.execute_epoch_offsets(&offsets, true, &mut EpochProfile::new(e))?;
+            let in_rows: u64 = offsets.sources.values().map(|r| r.num_records()).sum();
+            let exec = self.execute_epoch_offsets(&offsets, true, &mut EpochProfile::new(e))?;
+            self.last_inflight = Some((e, in_rows, exec));
         }
         Ok(())
     }
@@ -1372,6 +1729,7 @@ impl MicroBatchExecution {
         self.wal.truncate_after(epoch)?;
         self.store.truncate_after(epoch)?;
         self.sink.truncate_after(epoch)?;
+        self.dlq.truncate_after(epoch);
         self.reset_and_recover()
     }
 
@@ -1396,6 +1754,105 @@ impl MicroBatchExecution {
         self.restarts
     }
 
+    /// The dead-letter queue holding quarantined poison records.
+    pub fn dlq(&self) -> &Arc<DeadLetterQueue> {
+        &self.dlq
+    }
+
+    /// True while the engine probes rows individually and quarantines
+    /// deterministic failures.
+    pub fn isolation_active(&self) -> bool {
+        self.isolation
+    }
+
+    /// Called by the supervisor when a failure fingerprint repeated
+    /// across a restart — i.e. the failure is deterministic and
+    /// replaying it again cannot succeed. Counts the classification
+    /// and, when the error policy allows, switches the engine into
+    /// isolation mode so the next restart quarantines the offending
+    /// records instead of replaying the failure forever.
+    pub fn note_deterministic(&mut self, fingerprint: u64, message: &str) {
+        self.deterministic_failures.inc();
+        let fp = format!("{fingerprint:016x}");
+        self.events.emit(
+            &self.name,
+            EVENT_QUARANTINE,
+            &[
+                ("action", "deterministic-failure"),
+                ("fingerprint", &fp),
+                ("error", message),
+            ],
+        );
+        if self.config.error_policy.isolates() && !self.isolation {
+            self.isolation = true;
+            self.trace
+                .instant("isolation", &[("fingerprint", fp.as_str())]);
+        }
+    }
+
+    /// Flip isolation mode on after a record-shaped failure.
+    fn enter_isolation(&mut self, err: &SsError) {
+        if self.isolation {
+            return;
+        }
+        self.isolation = true;
+        let msg = err.to_string();
+        self.trace.instant("isolation", &[("error", &msg)]);
+        self.events.emit(
+            &self.name,
+            EVENT_QUARANTINE,
+            &[("action", "isolation-on"), ("error", &msg)],
+        );
+    }
+
+    /// Progress record for an epoch that completed via the isolation
+    /// retry path (recovery re-ran it with probing; the usual trigger
+    /// bookkeeping was skipped).
+    fn synthesize_progress(
+        &mut self,
+        epoch: u64,
+        in_rows: u64,
+        exec: EpochExecution,
+    ) -> QueryProgress {
+        let duration = self.last_epoch_duration_us.max(1);
+        let watermark_lag_us = match self.tracker.current() {
+            i64::MIN => None,
+            wm => self.tracker.max_observed().map(|m| (m - wm).max(0)),
+        };
+        QueryProgress {
+            epoch,
+            num_input_rows: in_rows,
+            num_output_rows: exec.out_rows,
+            batch_duration_us: duration,
+            input_rows_per_second: in_rows as f64 / (duration as f64 / 1e6),
+            watermark_us: self.tracker.current(),
+            watermark_lag_us,
+            state_rows: self.state_rows(),
+            backlog_rows: 0,
+            operator_durations: exec
+                .ops
+                .iter()
+                .map(|s| OpDuration {
+                    op: s.op.clone(),
+                    rows_out: s.rows_out,
+                    duration_us: s.duration_us,
+                })
+                .collect(),
+            sink_commit_us: exec.sink_commit_us,
+            restarts: self.restarts,
+            scheduling_delay_us: 0,
+            admitted_rows: in_rows,
+            rate_limit: None,
+            state_bytes: self.store.memory_bytes() as u64,
+            spilled_bytes: self.store.spilled_bytes(),
+            shed_records: self.shed_records_total(),
+            tasks_launched: exec.tasks_launched,
+            max_task_duration_us: exec.max_task_duration_us,
+            quarantined_records: exec.quarantined,
+            profile: None,
+        }
+    }
+
     fn reset_and_recover(&mut self) -> Result<()> {
         self.store.clear_memory();
         self.tracker = WatermarkTracker::new(&current_watermarks(&self.tracker));
@@ -1416,6 +1873,58 @@ fn current_watermarks(t: &WatermarkTracker) -> Vec<(String, i64)> {
     // from scratch with the same config requires keeping it around.
     // `clone_config` below provides it.
     t.clone_config()
+}
+
+/// True for failures a single record can deterministically cause:
+/// evaluation type errors, operator panics (caught and rendered), and
+/// the `exec.record.eval` fail point. Everything else (I/O, torn
+/// writes, timeouts) stays on the transient restart path.
+fn is_record_failure(err: &SsError) -> bool {
+    match err {
+        SsError::Type(_) => true,
+        SsError::Execution(m) => {
+            m.contains("panic during") || m.contains(ss_exec::ops::failpoints::RECORD_EVAL)
+        }
+        _ => false,
+    }
+}
+
+/// The `(partition, offset)` of each row in a source batch read from
+/// `range`, in row order: partitions ascend (sources read them in
+/// `BTreeMap` order), offsets ascend within a partition.
+fn row_offsets(range: &OffsetRange) -> Vec<(u32, u64)> {
+    let mut out = Vec::new();
+    for (&p, &end) in &range.end {
+        let start = range.start.get(&p).copied().unwrap_or(0);
+        for o in start..end {
+            out.push((p, o));
+        }
+    }
+    out
+}
+
+/// Remove the quarantined offsets from each source's epoch batch.
+fn strip_quarantined(
+    inputs: &mut HashMap<String, RecordBatch>,
+    offsets: &EpochOffsets,
+    quarantined: &QuarantinedOffsets,
+) -> Result<()> {
+    for (source, bad) in quarantined {
+        let Some(batch) = inputs.get(source) else {
+            continue;
+        };
+        let Some(range) = offsets.sources.get(source) else {
+            continue;
+        };
+        let rows = row_offsets(range);
+        let bad: BTreeSet<(u32, u64)> = bad.iter().copied().collect();
+        let mask: Vec<bool> = (0..batch.num_rows())
+            .map(|i| rows.get(i).is_none_or(|ro| !bad.contains(ro)))
+            .collect();
+        let filtered = batch.filter(&mask)?;
+        inputs.insert(source.clone(), filtered);
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -41,7 +41,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use rustc_hash::FxHashSet;
 
@@ -181,6 +181,8 @@ impl ParallelExec {
         trace: &TraceLog,
         faults: FaultRegistry,
         retry: RetryPolicy,
+        soft_deadline: Option<Duration>,
+        hard_deadline: Option<Duration>,
     ) -> Option<ParallelExec> {
         let partitions = partitions.max(1);
         let plan = compile(root)?;
@@ -197,7 +199,8 @@ impl ParallelExec {
             "Hottest reduce partition's rows over the mean, x1000 (last epoch).",
         );
         Some(ParallelExec {
-            pool: WorkerPool::new(parallelism, Some(registry.clone()), Some(trace.clone())),
+            pool: WorkerPool::new(parallelism, Some(registry.clone()), Some(trace.clone()))
+                .with_deadlines(soft_deadline, hard_deadline),
             partitions,
             plan,
             registry: registry.clone(),
@@ -286,8 +289,9 @@ impl ParallelExec {
                         retried(&retry, &registry, "sched_task_run", || {
                             faults.fire(failpoints::TASK_RUN)
                         })?;
+                        faults.fire(failpoints::TASK_HANG)?;
                         let mut maxima = Vec::new();
-                        let out = run_chain(&chain, chunk, wm, &mut maxima)?;
+                        let out = run_chain(&chain, chunk, wm, &mut maxima, &faults)?;
                         let pairs = expander.expand(&out)?;
                         retried(&retry, &registry, "sched_shuffle_write", || {
                             faults.fire(failpoints::SHUFFLE_WRITE)
@@ -361,6 +365,7 @@ impl ParallelExec {
                         retried(&retry, &registry, "sched_task_run", || {
                             faults.fire(failpoints::TASK_RUN)
                         })?;
+                        faults.fire(failpoints::TASK_HANG)?;
                         reduce_aggregate(shard, op, pairs, mode, wm)
                     }));
                 }
@@ -431,8 +436,9 @@ impl ParallelExec {
                         retried(&retry, &registry, "sched_task_run", || {
                             faults.fire(failpoints::TASK_RUN)
                         })?;
+                        faults.fire(failpoints::TASK_HANG)?;
                         let mut maxima = Vec::new();
-                        let out = run_chain(&chain, chunk, wm, &mut maxima)?;
+                        let out = run_chain(&chain, chunk, wm, &mut maxima, &faults)?;
                         let keyed = exec.prepare_side(&out, is_left, 0)?;
                         retried(&retry, &registry, "sched_shuffle_write", || {
                             faults.fire(failpoints::SHUFFLE_WRITE)
@@ -512,6 +518,7 @@ impl ParallelExec {
                         retried(&retry, &registry, "sched_task_run", || {
                             faults.fire(failpoints::TASK_RUN)
                         })?;
+                        faults.fire(failpoints::TASK_HANG)?;
                         let mut left_op = left_op;
                         let mut right_op = right_op;
                         let tagged = exec.execute_on_states(
@@ -643,8 +650,9 @@ fn scatter_map(
             retried(&retry, &registry, "sched_task_run", || {
                 faults.fire(failpoints::TASK_RUN)
             })?;
+            faults.fire(failpoints::TASK_HANG)?;
             let mut maxima = Vec::new();
-            let out = run_chain(&chain, chunk, watermark_us, &mut maxima)?;
+            let out = run_chain(&chain, chunk, watermark_us, &mut maxima, &faults)?;
             Ok((out, maxima))
         }));
     }
@@ -729,12 +737,26 @@ fn run_chain(
     mut batch: RecordBatch,
     watermark_us: i64,
     maxima: &mut Vec<(String, i64)>,
+    faults: &FaultRegistry,
 ) -> Result<RecordBatch> {
     for op in chain {
         batch = match op {
-            MapOp::Filter(predicate) => ops::filter_batch(&batch, predicate)?,
-            MapOp::Project(exprs) => ops::project_batch(&batch, exprs)?,
+            MapOp::Filter(predicate) => {
+                if batch.num_rows() > 0 {
+                    faults.fire(ops::failpoints::RECORD_EVAL)?;
+                }
+                ops::filter_batch(&batch, predicate)?
+            }
+            MapOp::Project(exprs) => {
+                if batch.num_rows() > 0 {
+                    faults.fire(ops::failpoints::RECORD_EVAL)?;
+                }
+                ops::project_batch(&batch, exprs)?
+            }
             MapOp::FilterProject { predicate, exprs } => {
+                if batch.num_rows() > 0 {
+                    faults.fire(ops::failpoints::RECORD_EVAL)?;
+                }
                 ops::filter_project_batch(&batch, predicate, exprs)?
             }
             MapOp::Watermark { column } => {

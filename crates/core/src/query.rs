@@ -22,7 +22,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
-use ss_common::{Result, SsError};
+use ss_common::{failure_fingerprint, FailureTracker, Result, SsError};
 
 use crate::metrics::{QueryProgress, StreamingQueryListener};
 use crate::microbatch::{EpochRun, MicroBatchExecution};
@@ -54,6 +54,13 @@ pub struct RestartPolicy {
     pub backoff: Duration,
     /// Ceiling for the doubled backoff.
     pub max_backoff: Duration,
+    /// After this many consecutive non-idle epochs succeed, the
+    /// consumed restart budget and the backoff delay reset — a query
+    /// that recovered and then ran healthily for a while should face a
+    /// transient failure next week with a full budget, not the remnant
+    /// of one spent long ago. `None` never replenishes (the budget
+    /// covers the query's whole lifetime).
+    pub healthy_epochs_to_reset: Option<u32>,
 }
 
 impl Default for RestartPolicy {
@@ -62,6 +69,7 @@ impl Default for RestartPolicy {
             max_restarts: 3,
             backoff: Duration::from_millis(100),
             max_backoff: Duration::from_secs(10),
+            healthy_epochs_to_reset: Some(16),
         }
     }
 }
@@ -74,6 +82,7 @@ impl RestartPolicy {
             max_restarts: 0,
             backoff: Duration::ZERO,
             max_backoff: Duration::ZERO,
+            healthy_epochs_to_reset: None,
         }
     }
 }
@@ -253,6 +262,19 @@ impl StreamingQuery {
         self.with_engine(|e| e.events().to_jsonl())
     }
 
+    /// The query's dead-letter queue rendered as JSON Lines, one
+    /// quarantined record per line — what the introspection server
+    /// serves at `/query/<name>/dlq`.
+    pub fn dlq_jsonl(&self) -> String {
+        self.with_engine(|e| e.dlq().to_jsonl())
+    }
+
+    /// Whether the engine is in record-isolation mode (probing each
+    /// input row individually after a deterministic failure).
+    pub fn isolation_active(&self) -> bool {
+        self.with_engine(|e| e.isolation_active())
+    }
+
     /// Manual rollback (§7.2): recompute from the chosen epoch.
     pub fn rollback_to(&mut self, epoch: u64) -> Result<()> {
         self.check_error()?;
@@ -422,6 +444,16 @@ impl Drop for StreamingQuery {
 
 /// The supervisor loop: drive the trigger until it fails or a stop is
 /// requested, then decide between restart and termination.
+///
+/// Every failure is fingerprinted (error category + message + epoch).
+/// A restart that reproduces the *same* fingerprint proves the failure
+/// is deterministic — replaying the same input through the same code
+/// can never succeed — so the supervisor tells the engine
+/// ([`MicroBatchExecution::note_deterministic`]), which switches into
+/// record-isolation mode when the query's [`ss_common::ErrorPolicy`]
+/// allows it. Under the default `Fail` policy the classification still
+/// rides on the terminal error message so operators can tell a poison
+/// record from an unlucky streak.
 fn supervise(
     engine: &Arc<Mutex<MicroBatchExecution>>,
     stop: &Arc<AtomicBool>,
@@ -431,6 +463,9 @@ fn supervise(
 ) {
     let mut restarts_done: u32 = 0;
     let mut delay = policy.backoff;
+    let mut tracker = FailureTracker::new();
+    let mut healthy_epochs: u32 = 0;
+    let mut deterministic_fp: Option<u64> = None;
     'incarnation: loop {
         // Drive the trigger until it errors (Some) or finishes (None).
         let failure: Option<SsError> = match trigger {
@@ -439,9 +474,28 @@ fn supervise(
                 let mut failure = None;
                 while !stop.load(Ordering::SeqCst) {
                     let started = Instant::now();
-                    if let Err(e) = engine.lock().run_epoch() {
-                        failure = Some(e);
-                        break;
+                    match engine.lock().run_epoch() {
+                        Err(e) => {
+                            failure = Some(e);
+                            break;
+                        }
+                        Ok(EpochRun::Ran(_)) if restarts_done > 0 => {
+                            // A streak of healthy epochs after a restart
+                            // replenishes the budget: the next failure
+                            // is a fresh incident, not a continuation.
+                            healthy_epochs += 1;
+                            if policy
+                                .healthy_epochs_to_reset
+                                .is_some_and(|n| healthy_epochs >= n)
+                            {
+                                restarts_done = 0;
+                                delay = policy.backoff;
+                                healthy_epochs = 0;
+                                tracker.reset();
+                                deterministic_fp = None;
+                            }
+                        }
+                        Ok(_) => {}
                     }
                     let elapsed = started.elapsed();
                     if elapsed < interval {
@@ -456,17 +510,38 @@ fn supervise(
             // Termination is notified by `stop_in_place`.
             return;
         };
+        healthy_epochs = 0;
 
         // Restart-or-terminate. A restart whose own recovery fails
         // consumes an attempt and loops here with the new error.
         loop {
+            let msg_raw = failure.to_string();
+            let fp = {
+                let mut eng = engine.lock();
+                let fp = failure_fingerprint(failure.category(), &msg_raw, eng.current_epoch());
+                if tracker.observe(fp) == 2 {
+                    // The restart replayed the failure byte-identically:
+                    // deterministic. Flip the engine into isolation mode
+                    // (when its error policy allows) so the next replay
+                    // quarantines the offending records instead of
+                    // failing the same way a third time.
+                    eng.note_deterministic(fp, &msg_raw);
+                }
+                fp
+            };
+            if tracker.is_deterministic(fp) {
+                deterministic_fp = Some(fp);
+            }
             let give_up = failure.is_user_error()
                 || restarts_done >= policy.max_restarts
                 || stop.load(Ordering::SeqCst);
             if give_up {
-                let mut msg = failure.to_string();
+                let mut msg = msg_raw;
                 if restarts_done > 0 {
                     msg.push_str(&format!(" (after {restarts_done} restarts)"));
+                }
+                if let Some(fp) = deterministic_fp {
+                    msg.push_str(&format!(" [deterministic failure, fingerprint {fp:016x}]"));
                 }
                 *error.lock() = Some(msg.clone());
                 engine.lock().notify_terminated(Some(&msg));
@@ -646,6 +721,7 @@ mod tests {
             max_restarts,
             backoff: Duration::ZERO,
             max_backoff: Duration::ZERO,
+            healthy_epochs_to_reset: None,
         }
     }
 
@@ -720,6 +796,73 @@ mod tests {
         assert_eq!(query.restarts(), 2);
         // The terminal error also surfaces through `stop`.
         assert!(query.stop().is_err());
+    }
+
+    #[test]
+    fn healthy_epochs_replenish_the_restart_budget() {
+        let src = gen_source();
+        let sink = MemorySink::new("out");
+        let config = MicroBatchConfig::default();
+        // Registry handles share state, so we can arm a second fault
+        // after the first incident is resolved.
+        let faults = config.faults.clone();
+        faults.configure(
+            failpoints::AFTER_SINK_WRITE,
+            FaultTrigger::Once { skip: 0 },
+            FaultMode::Error,
+        );
+        let eng = engine(
+            src.clone(),
+            sink.clone(),
+            Arc::new(MemoryBackend::new()),
+            config,
+        );
+        src.advance(4);
+        let policy = RestartPolicy {
+            max_restarts: 1,
+            backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            healthy_epochs_to_reset: Some(2),
+        };
+        let query = StreamingQuery::start_supervised(
+            eng,
+            TriggerPolicy::ProcessingTime(Duration::from_millis(1)),
+            policy,
+        );
+        // The first crash consumes the entire budget (max_restarts = 1).
+        assert!(
+            wait_for(|| query.restarts() == 1),
+            "first restart never happened; exception={:?}",
+            query.exception()
+        );
+        // Two healthy non-idle epochs replenish it.
+        let mut seen_epoch = query.current_epoch();
+        for _ in 0..2 {
+            src.advance(2);
+            assert!(
+                wait_for(|| {
+                    query.exception().is_none() && query.current_epoch() > seen_epoch
+                }),
+                "healthy epoch never committed; exception={:?}",
+                query.exception()
+            );
+            seen_epoch = query.current_epoch();
+        }
+        // A second crash now restarts again instead of terminating —
+        // without the reset, the exhausted budget would kill the query.
+        faults.configure(
+            failpoints::AFTER_SINK_WRITE,
+            FaultTrigger::Once { skip: 0 },
+            FaultMode::Error,
+        );
+        src.advance(2);
+        assert!(
+            wait_for(|| query.restarts() == 2),
+            "second restart never happened; exception={:?}",
+            query.exception()
+        );
+        assert!(query.exception().is_none());
+        query.stop().unwrap();
     }
 
     #[test]

@@ -6,14 +6,23 @@ use std::sync::Arc;
 use rustc_hash::FxHashSet;
 
 use ss_common::{RecordBatch, Result, Row, Schema, SchemaRef};
-use ss_expr::eval::{evaluate, evaluate_to_mask};
+use ss_expr::eval::{evaluate, evaluate_guarded};
 use ss_expr::Expr;
 use ss_plan::SortKey;
 
+/// Named fail points in the stateless operator chain.
+pub mod failpoints {
+    /// Fires inside the engines around each stateless filter/project
+    /// application — the injection point for simulated per-record
+    /// evaluation failures (the poison-record chaos suite).
+    pub const RECORD_EVAL: &str = "exec.record.eval";
+}
+
 /// `WHERE predicate`: keep rows where the predicate is true (NULL
-/// counts as false, per SQL).
+/// counts as false, per SQL). Evaluation is guarded: a panic inside
+/// the predicate fails the batch, not the thread.
 pub fn filter_batch(batch: &RecordBatch, predicate: &Expr) -> Result<RecordBatch> {
-    let mask = evaluate_to_mask(predicate, batch)?;
+    let mask = evaluate_guarded(predicate, batch)?.to_mask()?;
     batch.filter(&mask)
 }
 
@@ -23,7 +32,7 @@ pub fn project_batch(batch: &RecordBatch, exprs: &[Expr]) -> Result<RecordBatch>
     let mut fields = Vec::with_capacity(exprs.len());
     let mut columns = Vec::with_capacity(exprs.len());
     for e in exprs {
-        let col = evaluate(e, batch)?;
+        let col = evaluate_guarded(e, batch)?;
         fields.push(ss_common::Field {
             name: e.output_name(),
             data_type: col.data_type(),
@@ -43,7 +52,7 @@ pub fn filter_project_batch(
     predicate: &Expr,
     exprs: &[Expr],
 ) -> Result<RecordBatch> {
-    let mask = evaluate_to_mask(predicate, batch)?;
+    let mask = evaluate_guarded(predicate, batch)?.to_mask()?;
     let mut needed: Vec<usize> = Vec::new();
     for e in exprs {
         for name in e.referenced_columns() {

@@ -23,6 +23,14 @@ pub fn lit(v: impl Into<Value>) -> Expr {
     Expr::Literal(v.into())
 }
 
+/// A built-in function call, e.g. `func("to_int", vec![col("raw")])`.
+pub fn func(name: impl Into<String>, args: Vec<Expr>) -> Expr {
+    Expr::Function {
+        name: name.into(),
+        args,
+    }
+}
+
 /// A tumbling event-time window of the given duration, e.g.
 /// `window(col("time"), "10 seconds")`.
 pub fn window(time: Expr, size: &str) -> Result<Expr> {

@@ -312,6 +312,17 @@ fn evaluate_builtin(name: &str, cols: &[Column]) -> Result<Column> {
             }
             Ok(Column::Utf8(TypedColumn::from_options(out, Arc::from(""))))
         }
+        "to_int" => {
+            // Strict parse: unlike CAST (which would yield NULL), a
+            // malformed string is a *per-record error* — the canonical
+            // poison-record shape the quarantine machinery isolates.
+            let c = cols[0].as_utf8()?;
+            let out: Vec<Option<i64>> = c
+                .iter()
+                .map(|s| s.map(|s| parse_strict_int(s)).transpose())
+                .collect::<Result<_>>()?;
+            Ok(Column::Int64(TypedColumn::from_options(out, 0)))
+        }
         "like" => {
             let text = cols[0].as_utf8()?;
             let pattern = cols[1].as_utf8()?;
@@ -336,6 +347,31 @@ fn evaluate_builtin(name: &str, cols: &[Column]) -> Result<Column> {
         }
         other => Err(SsError::Type(format!("unknown function `{other}`"))),
     }
+}
+
+/// Strict string → INT64 parse backing `to_int()`. The error names the
+/// offending value so quarantine metadata (and failure fingerprints)
+/// identify the poison record precisely.
+fn parse_strict_int(s: &str) -> Result<i64> {
+    s.trim().parse::<i64>().map_err(|_| {
+        SsError::Type(format!("to_int(): cannot parse `{s}` as INT64"))
+    })
+}
+
+/// [`evaluate`], with panics converted into [`SsError::Execution`].
+///
+/// Expression evaluation is the engine's main per-record attack surface
+/// for poison data (UDF panics, kernel bugs on pathological values); a
+/// panic here should fail the *epoch*, restartably, not kill the worker
+/// thread. The stateless operators route through this wrapper.
+pub fn evaluate_guarded(expr: &Expr, batch: &RecordBatch) -> Result<Column> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| evaluate(expr, batch)))
+        .unwrap_or_else(|p| {
+            Err(SsError::Execution(format!(
+                "panic during expression eval: {}",
+                ss_common::panic_message(p.as_ref())
+            )))
+        })
 }
 
 /// SQL `LIKE` matching: `%` matches any run (including empty), `_`
@@ -558,6 +594,10 @@ fn scalar_builtin(name: &str, vals: &[Value]) -> Result<Value> {
             (Some(t), Some(p)) => Ok(Value::Boolean(like_match(t, p))),
             _ => Ok(Value::Null),
         },
+        "to_int" => match vals[0].as_str()? {
+            Some(s) => Ok(Value::Int64(parse_strict_int(s)?)),
+            None => Ok(Value::Null),
+        },
         other => Err(SsError::Type(format!("unknown function `{other}`"))),
     }
 }
@@ -583,6 +623,60 @@ mod tests {
             ],
         )
         .unwrap()
+    }
+
+    #[test]
+    fn to_int_parses_and_rejects_per_row() {
+        use crate::dsl::func;
+        let schema = Schema::of(vec![Field::new("s", DataType::Utf8)]);
+        let good = RecordBatch::from_rows(
+            schema.clone(),
+            &[row![" 42 "], row![Value::Null], row!["-7"]],
+        )
+        .unwrap();
+        let e = func("to_int", vec![col("s")]);
+        let c = evaluate(&e, &good).unwrap();
+        assert_eq!(c.value(0), Value::Int64(42));
+        assert_eq!(c.value(1), Value::Null);
+        assert_eq!(c.value(2), Value::Int64(-7));
+        // One bad row poisons the batch with a Type error naming it.
+        let bad = RecordBatch::from_rows(schema.clone(), &[row!["1"], row!["oops"]]).unwrap();
+        let err = evaluate(&e, &bad).unwrap_err();
+        assert!(matches!(err, SsError::Type(_)), "{err:?}");
+        assert!(err.to_string().contains("`oops`"), "{err}");
+        // Scalar path agrees with the vectorized path.
+        assert_eq!(
+            evaluate_row(&e, &schema, &row!["5"]).unwrap(),
+            Value::Int64(5)
+        );
+        assert!(evaluate_row(&e, &schema, &row!["bad"]).is_err());
+        assert_eq!(
+            crate::expr::builtin_return_type("to_int", &[DataType::Utf8]).unwrap(),
+            DataType::Int64
+        );
+        assert!(crate::expr::builtin_return_type("to_int", &[DataType::Int64]).is_err());
+    }
+
+    #[test]
+    fn guarded_eval_converts_panics_to_errors() {
+        use crate::expr::ScalarUdf;
+        let b = batch();
+        // A well-behaved expression passes through untouched.
+        let ok = evaluate_guarded(&col("a"), &b).unwrap();
+        assert_eq!(ok.value(0), Value::Int64(1));
+        // A panicking UDF becomes a restartable Execution error.
+        let udf = ScalarUdf {
+            name: "boom".into(),
+            return_type: DataType::Int64,
+            func: Arc::new(|_cols: &[Column]| -> Result<Column> { panic!("poison key") }),
+        };
+        let e = Expr::Udf {
+            udf,
+            args: vec![col("a")],
+        };
+        let err = evaluate_guarded(&e, &b).unwrap_err();
+        assert!(matches!(err, SsError::Execution(_)), "{err:?}");
+        assert!(err.to_string().contains("poison key"), "{err}");
     }
 
     #[test]

@@ -506,6 +506,15 @@ pub fn builtin_return_type(name: &str, arg_types: &[DataType]) -> Result<DataTyp
             }
             Ok(DataType::Boolean)
         }
+        "to_int" => {
+            if arg_types.len() != 1 {
+                return arity_err("1 STRING");
+            }
+            if arg_types[0] != DataType::Utf8 {
+                return Err(SsError::Type("to_int() requires a STRING argument".into()));
+            }
+            Ok(DataType::Int64)
+        }
         other => Err(SsError::Type(format!("unknown function `{other}`"))),
     }
 }

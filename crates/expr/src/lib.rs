@@ -22,6 +22,6 @@ pub mod expr;
 pub mod kernels;
 
 pub use agg::{AggState, AggregateExpr, AggregateFunction};
-pub use dsl::{avg, col, count, count_star, lit, max, min, sum, window, window_sliding};
-pub use eval::{evaluate, evaluate_row};
+pub use dsl::{avg, col, count, count_star, func, lit, max, min, sum, window, window_sliding};
+pub use eval::{evaluate, evaluate_guarded, evaluate_row};
 pub use expr::{BinaryOp, Expr};

@@ -28,10 +28,10 @@
 //! only promises "run these, give them back in order, lose nothing."
 
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use ss_common::metrics::MetricsRegistry;
 use ss_common::profile::TaskSkew;
@@ -45,7 +45,14 @@ pub mod failpoints {
     pub const TASK_RUN: &str = "sched.task.run";
     /// Fires while a map task writes rows into shuffle buckets.
     pub const SHUFFLE_WRITE: &str = "sched.shuffle.write";
+    /// Fires at the start of a task body with `FaultMode::Hang` to
+    /// simulate a task that never returns (watchdog chaos suite).
+    pub const TASK_HANG: &str = "sched.task.hang";
 }
+
+/// How often `gather` wakes to check its deadlines while waiting for
+/// task reports.
+const GATHER_POLL: Duration = Duration::from_millis(2);
 
 /// A unit of work scheduled onto the pool: run on a worker thread,
 /// result delivered back through a channel.
@@ -103,22 +110,82 @@ struct TaskReport<R> {
     duration_us: u64,
 }
 
+/// The replaceable part of the pool: the job queue and the worker
+/// generation currently serving it. Swapped wholesale when a hard
+/// deadline abandons a stuck worker.
+struct PoolCore {
+    queue: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
 /// A fixed-size pool of persistent worker threads.
 ///
 /// Workers are spawned once (per query) and fed through a shared queue;
 /// dropping the pool closes the queue and joins every worker.
+///
+/// Deadlines (both off by default, see [`with_deadlines`]):
+/// * **soft** — a stage running past it is noted once as a straggler
+///   (`ss_task_deadline_exceeded_total{kind="soft"}` + a trace mark)
+///   but keeps running;
+/// * **hard** — the stage fails with a transient [`SsError::Timeout`].
+///   The stuck worker cannot be killed, so it is *abandoned*: the whole
+///   worker generation is detached and a fresh one spawned, leaving the
+///   pool immediately usable. Idle abandoned workers exit on their own
+///   (their queue is gone); the stuck one leaks until whatever wedged
+///   it returns.
+///
+/// [`with_deadlines`]: WorkerPool::with_deadlines
 pub struct WorkerPool {
     size: usize,
-    queue: Option<Sender<Job>>,
-    workers: Vec<JoinHandle<()>>,
+    core: Mutex<PoolCore>,
     metrics: Option<MetricsRegistry>,
     trace: Option<TraceLog>,
+    soft_deadline: Option<Duration>,
+    hard_deadline: Option<Duration>,
 }
 
 impl WorkerPool {
     /// Spawn `size` worker threads (clamped to at least 1).
     pub fn new(size: usize, metrics: Option<MetricsRegistry>, trace: Option<TraceLog>) -> WorkerPool {
         let size = size.max(1);
+        let (tx, workers) = Self::spawn_workers(size);
+        if let Some(m) = &metrics {
+            m.describe(
+                "ss_task_duration_us",
+                "Wall-clock duration of scheduled per-partition tasks",
+            );
+            m.describe(
+                "ss_task_queue_wait_us",
+                "Longest queue wait of any task in the most recent stage",
+            );
+            m.describe(
+                "ss_task_deadline_exceeded_total",
+                "Stages that overran a task deadline, by kind (soft|hard)",
+            );
+        }
+        WorkerPool {
+            size,
+            core: Mutex::new(PoolCore { queue: Some(tx), workers }),
+            metrics,
+            trace,
+            soft_deadline: None,
+            hard_deadline: None,
+        }
+    }
+
+    /// Set the per-stage straggler (`soft`) and abandonment (`hard`)
+    /// deadlines; `None` disables either.
+    pub fn with_deadlines(
+        mut self,
+        soft: Option<Duration>,
+        hard: Option<Duration>,
+    ) -> WorkerPool {
+        self.soft_deadline = soft;
+        self.hard_deadline = hard;
+        self
+    }
+
+    fn spawn_workers(size: usize) -> (Sender<Job>, Vec<JoinHandle<()>>) {
         let (tx, rx) = channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
         let workers = (0..size)
@@ -130,17 +197,20 @@ impl WorkerPool {
                     .expect("spawn worker thread")
             })
             .collect();
-        if let Some(m) = &metrics {
-            m.describe(
-                "ss_task_duration_us",
-                "Wall-clock duration of scheduled per-partition tasks",
-            );
-            m.describe(
-                "ss_task_queue_wait_us",
-                "Longest queue wait of any task in the most recent stage",
-            );
-        }
-        WorkerPool { size, queue: Some(tx), workers, metrics, trace }
+        (tx, workers)
+    }
+
+    /// Abandon the current worker generation (one of them is stuck) and
+    /// spawn a fresh one so the pool stays usable. The old handles are
+    /// detached, not joined — joining would block on the stuck worker;
+    /// the healthy ones exit as soon as they see their queue is gone.
+    fn replenish(&self) {
+        let mut core = self.core.lock().unwrap_or_else(|p| p.into_inner());
+        core.queue = None;
+        core.workers.clear();
+        let (tx, workers) = Self::spawn_workers(self.size);
+        core.queue = Some(tx);
+        core.workers = workers;
     }
 
     /// Number of worker threads.
@@ -166,7 +236,10 @@ impl WorkerPool {
         if n == 0 {
             return Ok(ScatterResult { results: Vec::new(), stats: ScatterStats::default() });
         }
-        let queue = self.queue.as_ref().expect("pool is live until dropped");
+        let queue = {
+            let core = self.core.lock().unwrap_or_else(|p| p.into_inner());
+            core.queue.clone().expect("pool is live until dropped")
+        };
         let (report_tx, report_rx) = channel::<TaskReport<R>>();
         let hist = self
             .metrics
@@ -217,10 +290,38 @@ impl WorkerPool {
     ) -> Result<ScatterResult<R>> {
         let mut slots: Vec<Option<TaskOutcome<R>>> = (0..n).map(|_| None).collect();
         let mut stats = ScatterStats { tasks: n as u64, ..ScatterStats::default() };
-        for _ in 0..n {
-            let report = report_rx.recv().map_err(|_| {
-                SsError::Internal(format!("worker pool lost a task report in stage {stage}"))
-            })?;
+        let started = Instant::now();
+        let mut soft_noted = false;
+        for done in 0..n {
+            let report = loop {
+                match report_rx.recv_timeout(GATHER_POLL) {
+                    Ok(report) => break report,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        return Err(SsError::Internal(format!(
+                            "worker pool lost a task report in stage {stage}"
+                        )))
+                    }
+                    Err(RecvTimeoutError::Timeout) => {
+                        let elapsed = started.elapsed();
+                        if !soft_noted
+                            && self.soft_deadline.is_some_and(|soft| elapsed >= soft)
+                        {
+                            soft_noted = true;
+                            self.note_deadline(stage, "soft");
+                        }
+                        if self.hard_deadline.is_some_and(|hard| elapsed >= hard) {
+                            self.note_deadline(stage, "hard");
+                            self.replenish();
+                            return Err(SsError::Timeout(format!(
+                                "stage {stage}: {} of {n} task(s) still running after \
+                                 hard deadline of {:?}; stuck worker abandoned",
+                                n - done,
+                                self.hard_deadline.expect("checked above"),
+                            )));
+                        }
+                    }
+                }
+            };
             stats.max_task_duration_us = stats.max_task_duration_us.max(report.duration_us);
             stats.max_queue_wait_us = stats.max_queue_wait_us.max(report.queue_wait_us);
             stats.task_durations_us.push(report.duration_us);
@@ -249,6 +350,21 @@ impl WorkerPool {
             None => Ok(ScatterResult { results, stats }),
         }
     }
+
+    /// Record a deadline crossing: metric counter plus a zero-duration
+    /// trace mark so the schedule shows *when* the straggler was noted.
+    fn note_deadline(&self, stage: &str, kind: &str) {
+        if let Some(m) = &self.metrics {
+            m.counter(
+                "ss_task_deadline_exceeded_total",
+                &[("stage", stage), ("kind", kind)],
+            )
+            .inc();
+        }
+        if let Some(t) = &self.trace {
+            drop(t.span(&format!("deadline-{kind}:{stage}"), &[("kind", kind)]));
+        }
+    }
 }
 
 fn worker_loop(rx: &Arc<Mutex<Receiver<Job>>>) {
@@ -266,8 +382,9 @@ fn worker_loop(rx: &Arc<Mutex<Receiver<Job>>>) {
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        drop(self.queue.take()); // close the queue so workers exit
-        for w in self.workers.drain(..) {
+        let mut core = self.core.lock().unwrap_or_else(|p| p.into_inner());
+        drop(core.queue.take()); // close the queue so workers exit
+        for w in core.workers.drain(..) {
             let _ = w.join();
         }
     }
@@ -387,6 +504,67 @@ mod tests {
         pool.scatter("map", tasks).unwrap();
         let hist = registry.histogram("ss_task_duration_us", &[("stage", "map")]);
         assert_eq!(hist.count(), 5);
+    }
+
+    #[test]
+    fn soft_deadline_notes_straggler_without_failing() {
+        let registry = MetricsRegistry::new();
+        let pool = WorkerPool::new(2, Some(registry.clone()), None)
+            .with_deadlines(Some(Duration::from_millis(10)), None);
+        let tasks: Vec<_> = (0..2u64)
+            .map(|i| {
+                boxed(move || {
+                    std::thread::sleep(Duration::from_millis(30 * i));
+                    Ok(i)
+                })
+            })
+            .collect();
+        let out = pool.scatter("slow", tasks).unwrap();
+        assert_eq!(out.results, vec![0, 1]);
+        let soft = registry.counter(
+            "ss_task_deadline_exceeded_total",
+            &[("stage", "slow"), ("kind", "soft")],
+        );
+        assert_eq!(soft.get(), 1, "straggler noted exactly once");
+    }
+
+    #[test]
+    fn hard_deadline_abandons_stuck_worker_and_replenishes() {
+        let registry = MetricsRegistry::new();
+        let pool = WorkerPool::new(2, Some(registry.clone()), None)
+            .with_deadlines(None, Some(Duration::from_millis(50)));
+        let release = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stuck = Arc::clone(&release);
+        let started = Instant::now();
+        let tasks: Vec<Box<dyn FnOnce() -> Result<u64> + Send>> = vec![
+            boxed(move || {
+                // Simulates a wedged task: spins until released at the
+                // end of the test (never within the deadline).
+                while !stuck.load(Ordering::SeqCst) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Ok(1)
+            }),
+            boxed(|| Ok(2)),
+        ];
+        let err = pool.scatter("wedge", tasks).unwrap_err();
+        assert!(matches!(err, SsError::Timeout(_)), "{err:?}");
+        assert!(err.is_transient(), "hard-deadline failures are retryable");
+        assert!(
+            started.elapsed() < Duration::from_millis(500),
+            "must fail near the deadline, not hang"
+        );
+        let hard = registry.counter(
+            "ss_task_deadline_exceeded_total",
+            &[("stage", "wedge"), ("kind", "hard")],
+        );
+        assert_eq!(hard.get(), 1);
+        // The pool replenished: immediately usable at full size.
+        let out = pool
+            .scatter("after", (0..4u64).map(|i| boxed(move || Ok(i))).collect())
+            .unwrap();
+        assert_eq!(out.results, vec![0, 1, 2, 3]);
+        release.store(true, Ordering::SeqCst); // let the stuck thread die
     }
 
     #[test]

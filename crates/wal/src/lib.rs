@@ -99,13 +99,57 @@ pub struct EpochOffsets {
 }
 
 /// The commit-log record for one epoch (§6.1 step 3).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EpochCommit {
     pub epoch: u64,
     /// Rows delivered to the sink in this epoch.
     pub rows_written: u64,
     /// Processing time of the commit (µs since epoch).
     pub committed_at_us: i64,
+    /// Offsets quarantined (diverted to the dead-letter queue) while
+    /// executing this epoch, keyed by source name as `(partition,
+    /// offset)` pairs. Recorded in the commit so a recovery replay
+    /// drops exactly these records *without re-probing* — committed
+    /// output stays byte-identical and the DLQ exactly-once. Absent in
+    /// records written before quarantine existed (default: empty).
+    pub quarantined: BTreeMap<String, Vec<(u32, u64)>>,
+}
+
+// Hand-written serde impls: `quarantined` is skipped when empty (the
+// on-disk bytes of quarantine-free commits stay identical to the
+// pre-quarantine format) and defaults to empty when absent (legacy
+// records still decode).
+impl serde::Serialize for EpochCommit {
+    fn ser(&self) -> serde::Content {
+        use serde::Content;
+        let mut entries = vec![
+            (Content::Str("epoch".into()), self.epoch.ser()),
+            (Content::Str("rows_written".into()), self.rows_written.ser()),
+            (
+                Content::Str("committed_at_us".into()),
+                self.committed_at_us.ser(),
+            ),
+        ];
+        if !self.quarantined.is_empty() {
+            entries.push((Content::Str("quarantined".into()), self.quarantined.ser()));
+        }
+        Content::Map(entries)
+    }
+}
+
+impl serde::Deserialize for EpochCommit {
+    fn deser(content: &serde::Content) -> Result<Self, serde::DeError> {
+        use serde::{map_get, Content, Deserialize};
+        Ok(EpochCommit {
+            epoch: Deserialize::deser(map_get(content, "epoch")?)?,
+            rows_written: Deserialize::deser(map_get(content, "rows_written")?)?,
+            committed_at_us: Deserialize::deser(map_get(content, "committed_at_us")?)?,
+            quarantined: match map_get(content, "quarantined")? {
+                Content::Null => BTreeMap::new(),
+                other => Deserialize::deser(other)?,
+            },
+        })
+    }
 }
 
 /// The write-ahead log: offset log + commit log.
@@ -516,6 +560,7 @@ mod tests {
             epoch: 1,
             rows_written: 10,
             committed_at_us: 1,
+            quarantined: BTreeMap::new(),
         })
         .unwrap();
         assert!(w.is_committed(1).unwrap());
@@ -539,6 +584,7 @@ mod tests {
             epoch: 1,
             rows_written: 10,
             committed_at_us: 0,
+            quarantined: BTreeMap::new(),
         })
         .unwrap();
         w.write_offsets(&offsets(2, 20)).unwrap();
@@ -557,6 +603,7 @@ mod tests {
                 epoch: e,
                 rows_written: 1,
                 committed_at_us: 0,
+                quarantined: BTreeMap::new(),
             })
             .unwrap();
         }
@@ -592,6 +639,7 @@ mod tests {
             epoch: 1,
             rows_written: 10,
             committed_at_us: 0,
+            quarantined: BTreeMap::new(),
         })
         .unwrap();
         w.read_offsets(1).unwrap();
@@ -643,7 +691,30 @@ mod tests {
             epoch,
             rows_written: 1,
             committed_at_us: 0,
+            quarantined: BTreeMap::new(),
         }
+    }
+
+    #[test]
+    fn commit_quarantined_offsets_round_trip_and_default_empty() {
+        let w = wal();
+        w.write_offsets(&offsets(1, 10)).unwrap();
+        let mut c = commit(1);
+        c.quarantined
+            .insert("kafka".into(), vec![(0, 3), (1, 7)]);
+        w.write_commit(&c).unwrap();
+        let back = w.read_commit(1).unwrap().unwrap();
+        assert_eq!(back.quarantined["kafka"], vec![(0, 3), (1, 7)]);
+        // Pre-quarantine commit records (no field at all) still decode.
+        let legacy: EpochCommit = serde_json::from_str(
+            "{\"epoch\":9,\"rows_written\":4,\"committed_at_us\":0}",
+        )
+        .unwrap();
+        assert!(legacy.quarantined.is_empty());
+        // And an empty map is not serialized, keeping the on-disk format
+        // byte-identical for queries that never quarantine.
+        let plain = serde_json::to_string(&commit(2)).unwrap();
+        assert!(!plain.contains("quarantined"), "{plain}");
     }
 
     #[test]

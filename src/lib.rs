@@ -105,8 +105,8 @@ pub mod prelude {
         MemorySink, MessageBus, OverflowPolicy, Sink, Source, TopicConfig,
     };
     pub use ss_common::{
-        row, DataType, FaultMode, FaultRegistry, FaultTrigger, Field, RecordBatch, RetryPolicy,
-        Row, Schema, SchemaRef, SsError, Value,
+        row, DataType, ErrorPolicy, FaultMode, FaultRegistry, FaultTrigger, Field, RecordBatch,
+        RetryPolicy, Row, Schema, SchemaRef, SsError, Value,
     };
     pub use ss_core::prelude::*;
     pub use ss_plan::stateful::StateTimeout;

@@ -208,6 +208,14 @@ fn introspection_server_serves_all_endpoints() {
     let (status, _) = http_get(addr, "/query/ghost/profile");
     assert_eq!(status, 404);
 
+    // /query/<name>/dlq: the dead-letter queue (empty for a healthy
+    // query, but the endpoint must resolve).
+    let (status, body) = http_get(addr, "/query/prof/dlq");
+    assert_eq!(status, 200);
+    assert!(body.is_empty(), "healthy query has no dead letters: {body}");
+    let (status, _) = http_get(addr, "/query/ghost/dlq");
+    assert_eq!(status, 404);
+
     // /trace: merged chrome://tracing JSON with process names.
     let (status, body) = http_get(addr, "/trace");
     assert_eq!(status, 200);

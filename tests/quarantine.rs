@@ -1,0 +1,493 @@
+//! Poison-record quarantine and the epoch/task watchdog, end to end.
+//!
+//! A stream carrying a few malformed records (a UDF panics on them —
+//! the classic poison-pill) runs under `ErrorPolicy::Quarantine` while
+//! seeded faults crash the process mid-epoch. The sink must converge
+//! byte-for-byte to a clean run over the pre-filtered input, and the
+//! shared dead-letter queue must hold each poison record exactly once,
+//! however many times epochs were replayed. Separate tests pin the
+//! watchdog contract: a never-returning task fails with
+//! `SsError::Timeout` within twice its hard deadline, and the
+//! supervisor recovers the query afterwards.
+
+use std::collections::{BTreeSet, HashMap};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ss_common::fault::{FaultMode, FaultRegistry, FaultTrigger};
+use ss_common::{Column, ErrorPolicy, RetryPolicy, XorShift64};
+use ss_core::microbatch::{failpoints, MicroBatchConfig, MicroBatchExecution};
+use ss_core::query::TriggerPolicy;
+use ss_exec::MemoryCatalog;
+use ss_expr::expr::{Expr, ScalarUdf};
+use structured_streaming::prelude::*;
+
+const TOTAL_ROWS: u64 = 60;
+const WAVE: u64 = 10;
+
+/// Rows whose `v` satisfies this are poison: the validation UDF panics
+/// on them, the way a real UDF chokes on a malformed payload.
+fn is_poison(v: i64) -> bool {
+    v % 17 == 13
+}
+
+fn schema() -> SchemaRef {
+    Schema::of(vec![
+        Field::new("key", DataType::Utf8),
+        Field::new("v", DataType::Int64),
+        Field::new("time", DataType::Timestamp),
+    ])
+}
+
+/// A predicate that accepts every row but panics on poison values.
+fn validate_expr() -> Expr {
+    let udf = ScalarUdf {
+        name: "validate".into(),
+        return_type: DataType::Boolean,
+        func: Arc::new(|cols: &[Column]| {
+            let vs = match &cols[0] {
+                Column::Int64(c) => c.values(),
+                other => panic!("validate: unexpected column {other:?}"),
+            };
+            for &v in vs {
+                if is_poison(v) {
+                    panic!("malformed record: v={v}");
+                }
+            }
+            Column::from_values(DataType::Boolean, &vec![Value::Boolean(true); vs.len()])
+        }),
+    };
+    Expr::Udf {
+        udf,
+        args: vec![col("v")],
+    }
+}
+
+/// Feed rows `[start, start+n)`; when `skip_poison` the poison rows are
+/// withheld (the pre-filtered reference input).
+fn feed(bus: &MessageBus, n: u64, start: u64, skip_poison: bool) {
+    for i in start..start + n {
+        if skip_poison && is_poison(i as i64) {
+            continue;
+        }
+        let key = format!("k{}", i % 5);
+        bus.append(
+            "in",
+            (i % 2) as u32,
+            vec![row![key, i as i64, Value::Timestamp(i as i64 * 1_000_000)]],
+        )
+        .unwrap();
+    }
+}
+
+fn build_engine(
+    bus: Arc<MessageBus>,
+    sink: Arc<MemorySink>,
+    backend: Arc<MemoryBackend>,
+    config: MicroBatchConfig,
+) -> Result<MicroBatchExecution, SsError> {
+    let ctx = StreamingContext::new();
+    ctx.read_source(Arc::new(
+        BusSource::new(bus, "in", schema())?.with_faults(config.faults.clone()),
+    ))?;
+    let plan = ctx
+        .table("in")
+        .unwrap()
+        .filter(validate_expr())
+        .group_by(vec![col("key")])
+        .agg(vec![count_star(), sum(col("v"))])
+        .plan();
+    let mut sources: HashMap<String, Arc<dyn Source>> = HashMap::new();
+    for (name, s) in ctx.sources_snapshot() {
+        sources.insert(name, s);
+    }
+    MicroBatchExecution::new(
+        "q",
+        &plan,
+        sources,
+        Arc::new(MemoryCatalog::new()),
+        sink,
+        OutputMode::Complete,
+        backend,
+        config,
+    )
+}
+
+fn base_config(faults: FaultRegistry) -> MicroBatchConfig {
+    MicroBatchConfig {
+        max_records_per_trigger: Some(7),
+        adaptive_batching: false,
+        checkpoint_interval: 2,
+        faults,
+        retry: RetryPolicy::immediate(3),
+        ..Default::default()
+    }
+}
+
+/// The clean run: poison rows never fed, no faults, no quarantine.
+fn reference() -> Vec<Row> {
+    let bus = Arc::new(MessageBus::new());
+    bus.create_topic("in", 2).unwrap();
+    let sink = MemorySink::new("ref");
+    let mut eng = build_engine(
+        bus.clone(),
+        sink.clone(),
+        Arc::new(MemoryBackend::new()),
+        base_config(FaultRegistry::new()),
+    )
+    .unwrap();
+    let mut fed = 0;
+    while fed < TOTAL_ROWS {
+        feed(&bus, WAVE, fed, true);
+        fed += WAVE;
+        eng.process_available().unwrap();
+    }
+    let mut rows = sink.snapshot();
+    rows.sort();
+    rows
+}
+
+/// Crash points for the quarantine chaos loop — all outside record
+/// evaluation, so every failure here is a process crash, never a
+/// poison record.
+const CRASH_POOL: &[(&str, FaultMode)] = &[
+    (failpoints::AFTER_OFFSET_WRITE, FaultMode::Error),
+    (failpoints::AFTER_SINK_WRITE, FaultMode::Error),
+    (failpoints::AFTER_SINK_WRITE, FaultMode::Panic),
+    (failpoints::AFTER_COMMIT_WRITE, FaultMode::Error),
+    (ss_wal::failpoints::COMMITS_APPEND, FaultMode::Error),
+    (ss_state::store::failpoints::CHECKPOINT_WRITE, FaultMode::TransientError),
+    (ss_bus::dlq::failpoints::DLQ_WRITE, FaultMode::TransientError),
+];
+
+/// The tentpole assertion: a poisoned stream under
+/// `ErrorPolicy::Quarantine`, crashed and restarted mid-epoch, still
+/// produces output byte-identical to the clean pre-filtered run — and
+/// the shared DLQ ends up with each poison record exactly once.
+#[test]
+fn quarantine_is_deterministic_across_crash_restart() {
+    std::panic::set_hook(Box::new(|_| {}));
+    let expected = reference();
+    assert!(!expected.is_empty());
+    let poison: Vec<i64> = (0..TOTAL_ROWS as i64).filter(|&v| is_poison(v)).collect();
+    assert!(poison.len() >= 3, "test input must carry several poison rows");
+
+    for seed in [2u64, 5, 9] {
+        let mut rng = XorShift64::new(seed);
+        let bus = Arc::new(MessageBus::new());
+        bus.create_topic("in", 2).unwrap();
+        let backend = Arc::new(MemoryBackend::new());
+        let sink = MemorySink::new("out");
+        // Shared across incarnations, like the sink and the checkpoint
+        // backend: models a durable DLQ topic.
+        let dlq = ss_bus::DeadLetterQueue::new();
+        let mut fed: u64 = 0;
+        let mut incarnation = 0u32;
+        loop {
+            incarnation += 1;
+            let faults = FaultRegistry::new();
+            if incarnation <= 40 {
+                let (point, mode) = CRASH_POOL[rng.gen_range(0, CRASH_POOL.len() as u64) as usize];
+                let skip = rng.gen_range(0, 5);
+                faults.configure(point, FaultTrigger::Once { skip }, mode);
+            }
+            let config = MicroBatchConfig {
+                error_policy: ErrorPolicy::Quarantine { max_per_epoch: 4 },
+                dlq: Some(dlq.clone()),
+                ..base_config(faults)
+            };
+            let outcome = catch_unwind(AssertUnwindSafe(|| -> Result<(), SsError> {
+                let mut eng = build_engine(bus.clone(), sink.clone(), backend.clone(), config)?;
+                while fed < TOTAL_ROWS {
+                    feed(&bus, WAVE, fed, false);
+                    fed += WAVE;
+                    eng.process_available()?;
+                }
+                eng.process_available()?;
+                assert!(eng.isolation_active(), "poison never engaged isolation");
+                Ok(())
+            }));
+            if let Ok(Ok(())) = outcome {
+                break;
+            }
+            assert!(
+                incarnation < 100,
+                "quarantine chaos run (seed {seed}) did not converge"
+            );
+        }
+        let mut rows = sink.snapshot();
+        rows.sort();
+        assert_eq!(
+            rows, expected,
+            "seed {seed}: quarantined run diverged from the pre-filtered clean run"
+        );
+        // Exactly-once DLQ: one letter per poison row, no duplicates,
+        // however many times epochs were crashed and replayed.
+        let letters = dlq.snapshot();
+        assert_eq!(
+            letters.len(),
+            poison.len(),
+            "seed {seed}: DLQ letter count; letters={letters:?}"
+        );
+        let positions: BTreeSet<(u32, u64)> =
+            letters.iter().map(|l| (l.partition, l.offset)).collect();
+        assert_eq!(positions.len(), poison.len(), "seed {seed}: duplicate DLQ positions");
+        for l in &letters {
+            assert_eq!(l.source, "in");
+            assert!(l.error.contains("malformed record"), "got: {}", l.error);
+            assert_ne!(l.fingerprint, 0);
+        }
+        let mut quarantined_vs: Vec<i64> = letters
+            .iter()
+            .map(|l| {
+                let json = &l.row_json;
+                let tail = &json[json.find("\"v\":").expect("row_json carries v") + 4..];
+                tail[..tail.find([',', '}']).unwrap()].trim().parse().unwrap()
+            })
+            .collect();
+        quarantined_vs.sort();
+        assert_eq!(quarantined_vs, poison, "seed {seed}: wrong rows quarantined");
+    }
+    let _ = std::panic::take_hook();
+}
+
+/// `ErrorPolicy::Drop` discards poison silently: clean output, empty
+/// DLQ, but the quarantine counters still tell the operator.
+#[test]
+fn drop_policy_discards_poison_without_dead_letters() {
+    std::panic::set_hook(Box::new(|_| {}));
+    let expected = reference();
+    let bus = Arc::new(MessageBus::new());
+    bus.create_topic("in", 2).unwrap();
+    let sink = MemorySink::new("out");
+    let config = MicroBatchConfig {
+        error_policy: ErrorPolicy::Drop,
+        ..base_config(FaultRegistry::new())
+    };
+    let mut eng = build_engine(
+        bus.clone(),
+        sink.clone(),
+        Arc::new(MemoryBackend::new()),
+        config,
+    )
+    .unwrap();
+    let mut fed = 0;
+    while fed < TOTAL_ROWS {
+        feed(&bus, WAVE, fed, false);
+        fed += WAVE;
+        eng.process_available().unwrap();
+    }
+    let _ = std::panic::take_hook();
+    let mut rows = sink.snapshot();
+    rows.sort();
+    assert_eq!(rows, expected);
+    assert!(eng.dlq().is_empty(), "Drop must not write dead letters");
+    let dropped: u64 = eng
+        .progress()
+        .all()
+        .map(|p| p.quarantined_records)
+        .sum();
+    assert_eq!(dropped as usize, (0..TOTAL_ROWS as i64).filter(|&v| is_poison(v)).count());
+    let metrics = eng.metrics().render();
+    assert!(
+        metrics.contains("ss_quarantined_records_total"),
+        "metric missing:\n{metrics}"
+    );
+}
+
+/// An epoch carrying more poison than `max_per_epoch` is a pipeline
+/// bug, not bad luck: the epoch fails outright with a non-restartable
+/// explanation instead of flooding the DLQ.
+#[test]
+fn quarantine_limit_fails_the_epoch() {
+    std::panic::set_hook(Box::new(|_| {}));
+    let bus = Arc::new(MessageBus::new());
+    bus.create_topic("in", 2).unwrap();
+    let sink = MemorySink::new("out");
+    let config = MicroBatchConfig {
+        error_policy: ErrorPolicy::Quarantine { max_per_epoch: 0 },
+        ..base_config(FaultRegistry::new())
+    };
+    let mut eng = build_engine(
+        bus.clone(),
+        sink.clone(),
+        Arc::new(MemoryBackend::new()),
+        config,
+    )
+    .unwrap();
+    feed(&bus, 20, 0, false); // rows 0..20 include poison v=13
+    let err = eng.process_available().unwrap_err();
+    let _ = std::panic::take_hook();
+    assert!(
+        err.to_string().contains("quarantine limit exceeded"),
+        "got: {err}"
+    );
+}
+
+/// A task that never returns must not wedge the query: the pool's hard
+/// deadline abandons the stuck worker and the epoch fails with a
+/// transient `SsError::Timeout` within twice the deadline. The hang
+/// releases on the error path, so the very next trigger succeeds.
+#[test]
+fn hung_task_times_out_within_twice_the_hard_deadline() {
+    const DEADLINE: Duration = Duration::from_millis(400);
+    let faults = FaultRegistry::new();
+    faults.configure(
+        ss_sched::failpoints::TASK_HANG,
+        FaultTrigger::Once { skip: 0 },
+        FaultMode::Hang,
+    );
+    let config = MicroBatchConfig {
+        parallelism: 4,
+        shuffle_partitions: 4,
+        task_hard_deadline: Some(DEADLINE),
+        ..base_config(faults)
+    };
+    let bus = Arc::new(MessageBus::new());
+    bus.create_topic("in", 2).unwrap();
+    let sink = MemorySink::new("out");
+    let mut eng = build_engine(
+        bus.clone(),
+        sink.clone(),
+        Arc::new(MemoryBackend::new()),
+        config,
+    )
+    .unwrap();
+    feed(&bus, WAVE, 0, true);
+    let started = Instant::now();
+    let err = eng.process_available().unwrap_err();
+    let elapsed = started.elapsed();
+    assert_eq!(err.category(), "timeout", "got: {err}");
+    assert!(err.is_transient(), "a hung task must fail restartably: {err}");
+    assert!(
+        elapsed < DEADLINE * 2,
+        "timeout took {elapsed:?}, deadline is {DEADLINE:?}"
+    );
+    assert!(
+        eng.metrics()
+            .render()
+            .contains("ss_task_deadline_exceeded_total"),
+        "hard-deadline counter missing"
+    );
+    // The hang was a one-shot: restart (what the supervisor does)
+    // re-runs WAL recovery and the in-flight epoch cleanly.
+    eng.restart().unwrap();
+    eng.process_available().unwrap();
+    let reference = {
+        let bus2 = Arc::new(MessageBus::new());
+        bus2.create_topic("in", 2).unwrap();
+        let sink2 = MemorySink::new("ref");
+        let mut clean = build_engine(
+            bus2.clone(),
+            sink2.clone(),
+            Arc::new(MemoryBackend::new()),
+            base_config(FaultRegistry::new()),
+        )
+        .unwrap();
+        feed(&bus2, WAVE, 0, true);
+        clean.process_available().unwrap();
+        let mut rows = sink2.snapshot();
+        rows.sort();
+        rows
+    };
+    let mut rows = sink.snapshot();
+    rows.sort();
+    assert_eq!(rows, reference);
+}
+
+/// The same hang under a supervisor: the Timeout is restartable, so
+/// the supervisor restarts once and the query converges on its own.
+#[test]
+fn supervisor_recovers_a_query_after_a_hung_task() {
+    let faults = FaultRegistry::new();
+    faults.configure(
+        ss_sched::failpoints::TASK_HANG,
+        FaultTrigger::Once { skip: 0 },
+        FaultMode::Hang,
+    );
+    let config = MicroBatchConfig {
+        parallelism: 4,
+        shuffle_partitions: 4,
+        task_hard_deadline: Some(Duration::from_millis(300)),
+        ..base_config(faults)
+    };
+    let bus = Arc::new(MessageBus::new());
+    bus.create_topic("in", 2).unwrap();
+    let sink = MemorySink::new("out");
+    let eng = build_engine(
+        bus.clone(),
+        sink.clone(),
+        Arc::new(MemoryBackend::new()),
+        config,
+    )
+    .unwrap();
+    feed(&bus, WAVE, 0, true);
+    let query = StreamingQuery::start_supervised(
+        eng,
+        TriggerPolicy::ProcessingTime(Duration::from_millis(1)),
+        RestartPolicy {
+            max_restarts: 3,
+            backoff: Duration::ZERO,
+            max_backoff: Duration::ZERO,
+            healthy_epochs_to_reset: None,
+        },
+    );
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while Instant::now() < deadline {
+        if query.restarts() >= 1 && !sink.snapshot().is_empty() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    assert!(query.restarts() >= 1, "exception={:?}", query.exception());
+    assert!(!sink.snapshot().is_empty());
+    assert!(query.exception().is_none(), "got: {:?}", query.exception());
+    query.stop().unwrap();
+}
+
+/// The epoch-level watchdog: a hang inside serial evaluation releases
+/// when the epoch deadline expires, the epoch fails with Timeout, and
+/// a `watchdog` event is logged. The next trigger runs clean.
+#[test]
+fn epoch_watchdog_fails_a_wedged_epoch() {
+    const DEADLINE: Duration = Duration::from_millis(300);
+    let faults = FaultRegistry::new();
+    faults.configure(
+        ss_exec::ops::failpoints::RECORD_EVAL,
+        FaultTrigger::Once { skip: 0 },
+        FaultMode::Hang,
+    );
+    let config = MicroBatchConfig {
+        parallelism: 1,
+        epoch_deadline: Some(DEADLINE),
+        ..base_config(faults)
+    };
+    let bus = Arc::new(MessageBus::new());
+    bus.create_topic("in", 2).unwrap();
+    let sink = MemorySink::new("out");
+    let mut eng = build_engine(
+        bus.clone(),
+        sink.clone(),
+        Arc::new(MemoryBackend::new()),
+        config,
+    )
+    .unwrap();
+    feed(&bus, WAVE, 0, true);
+    let started = Instant::now();
+    let err = eng.process_available().unwrap_err();
+    let elapsed = started.elapsed();
+    assert_eq!(err.category(), "timeout", "got: {err}");
+    assert!(
+        elapsed < DEADLINE * 2,
+        "watchdog took {elapsed:?}, deadline is {DEADLINE:?}"
+    );
+    assert!(
+        eng.events().to_jsonl().contains("watchdog"),
+        "no watchdog event:\n{}",
+        eng.events().to_jsonl()
+    );
+    eng.restart().unwrap();
+    eng.process_available().unwrap();
+    assert!(!sink.snapshot().is_empty());
+}
