@@ -32,5 +32,5 @@ pub mod source;
 pub use bus::{MessageBus, OverflowPolicy, Record, TopicConfig};
 pub use dlq::{DeadLetterQueue, DeadLetterRecord};
 pub use metrics::{InstrumentedSink, SinkMetrics, SourceMetrics};
-pub use sink::{BusSink, CallbackSink, EpochOutput, FileSink, MemorySink, Sink};
+pub use sink::{BusSink, CallbackSink, EpochOutput, FenceGuard, FencedSink, FileSink, MemorySink, Sink};
 pub use source::{BusSource, FileSource, GeneratorSource, Source};

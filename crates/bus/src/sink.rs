@@ -393,6 +393,53 @@ impl Sink for CallbackSink {
     }
 }
 
+/// The fence predicate a [`FencedSink`] consults before every mutation.
+/// Returns the current fencing epoch, or an error (typically
+/// `SsError::Fenced`) when the writer's leadership lease is gone. A
+/// closure keeps this crate free of a dependency on the lease
+/// implementation — the engine passes `LeaseManager::check_fenced`.
+pub type FenceGuard = Arc<dyn Fn(&str) -> Result<u64> + Send + Sync>;
+
+/// A [`Sink`] decorator that consults a [`FenceGuard`] before every
+/// mutation, so a paused "zombie" leader that wakes after losing its
+/// leadership lease cannot push output into the sink. Reads and
+/// monitoring pass through untouched.
+pub struct FencedSink {
+    inner: Arc<dyn Sink>,
+    guard: FenceGuard,
+}
+
+impl FencedSink {
+    pub fn new(inner: Arc<dyn Sink>, guard: FenceGuard) -> Arc<FencedSink> {
+        Arc::new(FencedSink { inner, guard })
+    }
+
+    /// The wrapped sink.
+    pub fn inner(&self) -> Arc<dyn Sink> {
+        self.inner.clone()
+    }
+}
+
+impl Sink for FencedSink {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn commit_epoch(&self, epoch: u64, output: &EpochOutput) -> Result<()> {
+        (self.guard)("sink-commit")?;
+        self.inner.commit_epoch(epoch, output)
+    }
+
+    fn truncate_after(&self, epoch: u64) -> Result<()> {
+        (self.guard)("sink-truncate")?;
+        self.inner.truncate_after(epoch)
+    }
+
+    fn rows_written(&self) -> u64 {
+        self.inner.rows_written()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -566,5 +613,33 @@ mod tests {
         assert_eq!(bus.retained_records("out").unwrap(), 2);
         assert_eq!(sink.rows_written(), 2);
         assert!(BusSink::new(bus, "missing").is_err());
+    }
+
+    #[test]
+    fn fenced_sink_blocks_mutations_once_the_guard_trips() {
+        let inner = MemorySink::new("out");
+        let fenced_flag = Arc::new(AtomicU64::new(0));
+        let flag = fenced_flag.clone();
+        let guard: FenceGuard = Arc::new(move |ctx: &str| {
+            if flag.load(Ordering::SeqCst) == 0 {
+                Ok(7)
+            } else {
+                Err(ss_common::SsError::Fenced(format!(
+                    "durable write `{ctx}` rejected"
+                )))
+            }
+        });
+        let sink = FencedSink::new(inner.clone(), guard);
+        let out = EpochOutput::Append(batch(&[row!["a", 1i64]]));
+        sink.commit_epoch(1, &out).unwrap();
+        assert_eq!(sink.rows_written(), 1);
+        // Leadership lost: every mutation bounces, the sink is frozen.
+        fenced_flag.store(1, Ordering::SeqCst);
+        let err = sink.commit_epoch(2, &out).unwrap_err();
+        assert_eq!(err.category(), "fenced");
+        assert!(err.to_string().contains("sink-commit"), "{err}");
+        assert!(sink.truncate_after(0).is_err());
+        assert_eq!(inner.snapshot().len(), 1);
+        assert_eq!(sink.name(), "out");
     }
 }

@@ -55,6 +55,13 @@ pub enum SsError {
     /// a newer format version. Raised *before* any durable write so the
     /// checkpoint stays intact for the old query or a rollback.
     IncompatibleUpgrade(String),
+    /// The writer lost its leadership lease: another process holds a
+    /// higher fencing epoch, so this (former) leader's durable writes
+    /// are rejected before they can corrupt state the new leader owns.
+    /// Never transient — retrying cannot reacquire a usurped lease —
+    /// and not a user error: the supervisor must terminate the query,
+    /// not restart it.
+    Fenced(String),
     /// An invariant the engine relies on was violated — always a bug.
     Internal(String),
 }
@@ -76,6 +83,7 @@ impl SsError {
             SsError::Corruption(_) => "corruption",
             SsError::ResourceExhausted(_) => "resource_exhausted",
             SsError::IncompatibleUpgrade(_) => "incompatible_upgrade",
+            SsError::Fenced(_) => "fenced",
             SsError::Internal(_) => "internal",
         }
     }
@@ -131,6 +139,7 @@ impl fmt::Display for SsError {
             SsError::Corruption(m) => write!(f, "corruption detected: {m}"),
             SsError::ResourceExhausted(m) => write!(f, "resource exhausted: {m}"),
             SsError::IncompatibleUpgrade(m) => write!(f, "incompatible upgrade: {m}"),
+            SsError::Fenced(m) => write!(f, "fenced: {m}"),
             SsError::Internal(m) => write!(f, "internal error (bug): {m}"),
         }
     }
@@ -199,6 +208,7 @@ mod tests {
             "incompatible_upgrade"
         );
         assert_eq!(SsError::Timeout(String::new()).category(), "timeout");
+        assert_eq!(SsError::Fenced(String::new()).category(), "fenced");
     }
 
     #[test]
@@ -216,6 +226,8 @@ mod tests {
         // A rejected upgrade is the user's query edit, not an engine
         // fault: the supervisor must not burn restarts on it.
         assert!(SsError::IncompatibleUpgrade("group keys changed".into()).is_user_error());
+        // Losing the lease is a deployment event, not a query bug.
+        assert!(!SsError::Fenced("lease lost".into()).is_user_error());
     }
 
     #[test]
@@ -232,6 +244,10 @@ mod tests {
         // Retrying without freeing the resource cannot succeed, so an
         // exhausted budget is not a transient fault.
         assert!(!SsError::ResourceExhausted("state budget".into()).is_transient());
+        // A usurped lease never comes back — retrying a fenced write
+        // would be exactly the zombie-writer corruption fencing exists
+        // to prevent.
+        assert!(!SsError::Fenced("lease lost".into()).is_transient());
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub const EVENT_ADMISSION_LIMITED: &str = "admission-limited";
 pub const EVENT_TERMINATE: &str = "terminate";
 pub const EVENT_QUARANTINE: &str = "quarantine";
 pub const EVENT_WATCHDOG: &str = "watchdog";
+pub const EVENT_FAILOVER: &str = "failover";
 
 /// One structured event.
 #[derive(Debug, Clone, PartialEq, Eq)]

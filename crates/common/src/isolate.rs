@@ -151,9 +151,15 @@ impl Deadline {
         Self::default()
     }
 
-    /// Arm the deadline `timeout` from now; `None` disarms.
+    /// Arm the deadline `timeout` from now; `None` disarms. A zero
+    /// duration also disarms: "no time budget" is how operators spell
+    /// *disable the watchdog* (`SS_EPOCH_DEADLINE_MS=0`), and arming an
+    /// already-expired deadline would instead fail every epoch on its
+    /// first phase check.
     pub fn arm(&self, timeout: Option<Duration>) {
-        *self.inner.expires.lock() = timeout.map(|t| Instant::now() + t);
+        *self.inner.expires.lock() = timeout
+            .filter(|t| !t.is_zero())
+            .map(|t| Instant::now() + t);
     }
 
     /// Disarm the deadline (it no longer expires).
@@ -233,8 +239,8 @@ mod tests {
     #[test]
     fn armed_deadline_expires_and_reports_context() {
         let d = Deadline::new();
-        d.arm(Some(Duration::from_millis(0)));
-        std::thread::sleep(Duration::from_millis(2));
+        d.arm(Some(Duration::from_millis(1)));
+        std::thread::sleep(Duration::from_millis(3));
         assert!(d.expired());
         let err = d.check("sink-commit").unwrap_err();
         assert!(matches!(err, SsError::Timeout(_)), "{err:?}");
@@ -244,11 +250,28 @@ mod tests {
     }
 
     #[test]
+    fn zero_duration_disarms_instead_of_arming_expired() {
+        // Regression: `SS_EPOCH_DEADLINE_MS=0` means "disable the
+        // watchdog". Arming with zero used to create a deadline that
+        // was already expired, failing every guarded phase immediately.
+        let d = Deadline::new();
+        d.arm(Some(Duration::ZERO));
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(!d.expired());
+        assert!(d.check("execute").is_ok());
+        // Zero-arm after a real arm clears the earlier deadline too.
+        d.arm(Some(Duration::from_millis(1)));
+        d.arm(Some(Duration::ZERO));
+        std::thread::sleep(Duration::from_millis(3));
+        assert!(!d.expired());
+    }
+
+    #[test]
     fn clones_share_arming() {
         let d = Deadline::new();
         let other = d.clone();
-        other.arm(Some(Duration::from_millis(0)));
-        std::thread::sleep(Duration::from_millis(2));
+        other.arm(Some(Duration::from_millis(1)));
+        std::thread::sleep(Duration::from_millis(3));
         assert!(d.expired());
         d.disarm();
         assert!(!other.expired());

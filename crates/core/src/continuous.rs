@@ -339,6 +339,7 @@ impl ContinuousQuery {
                 // Map-like pipelines carry no operator state to check.
                 operators: Vec::new(),
                 state_partitions: None,
+                fencing_epoch: None,
             }
             .write(b)?;
         }
@@ -479,6 +480,7 @@ impl ContinuousQuery {
                             rows_written: rows,
                             committed_at_us: now_us(),
                             quarantined: Default::default(),
+                            fencing_epoch: None,
                         });
                         shared.trace.instant(
                             "epoch-marker",
@@ -821,6 +823,7 @@ mod tests {
             plan_fingerprint: "0".repeat(16),
             operators: Vec::new(),
             state_partitions: None,
+            fencing_epoch: None,
         }
         .write(&backend)
         .unwrap();

@@ -11,6 +11,7 @@
 //! | `/queries` | JSON array of live queries with their last progress record |
 //! | `/query/<name>/profile` | the named query's retained epoch profiles (phase tree, task skew, shuffle, e2e latency) as JSON |
 //! | `/query/<name>/dlq` | the named query's dead-letter queue (quarantined poison records with fingerprints) as JSON Lines |
+//! | `/query/<name>/ha` | the named query's high-availability status (role, fencing epoch, rejection/failover counters, replication lag) as JSON |
 //! | `/trace` | every query's trace spans merged into one chrome://tracing JSON document, one pid per query |
 //! | `/events` | all queries' structured lifecycle events as JSON Lines |
 //!
@@ -181,6 +182,16 @@ fn route(manager: &StreamingQueryManager, path: &str) -> (u16, &'static str, Str
                         ),
                     };
                 }
+                if let Some(name) = rest.strip_suffix("/ha") {
+                    return match manager.with_query(name, |q| q.ha_status_json()) {
+                        Ok(body) => (200, "application/json", body),
+                        Err(_) => (
+                            404,
+                            "application/json",
+                            format!("{{\"error\":\"no active query `{}`\"}}", escape_json(name)),
+                        ),
+                    };
+                }
             }
             (404, "text/plain; charset=utf-8", "not found\n".to_string())
         }
@@ -212,6 +223,10 @@ fn queries_body(manager: &StreamingQueryManager) -> String {
             out.push_str(",\"watermark_us\":null");
         } else {
             out.push_str(&format!(",\"watermark_us\":{wm}"));
+        }
+        match q.ha_role() {
+            Some(role) => out.push_str(&format!(",\"ha_role\":\"{}\"", escape_json(&role))),
+            None => out.push_str(",\"ha_role\":null"),
         }
         match q.exception() {
             Some(e) => out.push_str(&format!(",\"exception\":\"{}\"", escape_json(&e))),

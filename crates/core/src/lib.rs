@@ -54,6 +54,7 @@ pub mod admission;
 pub mod context;
 pub mod continuous;
 pub mod dataframe;
+pub mod ha;
 pub mod incremental;
 pub mod introspect;
 pub mod metrics;
@@ -68,6 +69,7 @@ pub mod watermark;
 pub use admission::{PidRateController, RateControllerConfig};
 pub use context::StreamingContext;
 pub use dataframe::{DataFrame, DataStreamWriter, Trigger};
+pub use ha::{HaConfig, StandbyQuery, StandbyStatus};
 pub use introspect::IntrospectServer;
 pub use metrics::{OpDuration, QueryProgress, StreamingQueryListener};
 pub use microbatch::MicroBatchExecution;
@@ -80,7 +82,9 @@ pub mod prelude {
     pub use crate::context::StreamingContext;
     pub use ss_state::MemoryBudget;
     pub use crate::dataframe::{DataFrame, DataStreamWriter, Trigger};
+    pub use crate::ha::{HaConfig, StandbyQuery, StandbyStatus};
     pub use crate::introspect::IntrospectServer;
+    pub use crate::microbatch::MicroBatchConfig;
     pub use crate::metrics::{QueryProgress, StreamingQueryListener};
     pub use crate::query::{RestartPolicy, StreamingQuery, StreamingQueryManager};
     pub use ss_expr::{avg, col, count, count_star, lit, max, min, sum, window, window_sliding};

@@ -88,6 +88,9 @@ pub struct QueryProgress {
     /// engines that do not profile (the continuous engine's epoch
     /// markers).
     pub profile: Option<EpochProfile>,
+    /// High-availability role when HA is configured (`"leader"`,
+    /// `"standby"` or `"fenced"`); `None` for queries without a lease.
+    pub ha_role: Option<String>,
 }
 
 impl QueryProgress {
@@ -131,6 +134,9 @@ impl QueryProgress {
         }
         if self.quarantined_records > 0 {
             s.push_str(&format!(" quarantined={}", self.quarantined_records));
+        }
+        if let Some(role) = &self.ha_role {
+            s.push_str(&format!(" role={role}"));
         }
         s
     }
@@ -231,6 +237,7 @@ mod tests {
             max_task_duration_us: 0,
             quarantined_records: 0,
             profile: None,
+            ha_role: None,
         }
     }
 
@@ -293,6 +300,15 @@ mod tests {
         poisoned.quarantined_records = 3;
         let s = poisoned.summary();
         assert!(s.contains("quarantined=3"), "got: {s}");
+    }
+
+    #[test]
+    fn summary_shows_ha_role_only_when_configured() {
+        let plain = progress(1, 10);
+        assert!(!plain.summary().contains("role="));
+        let mut ha = progress(2, 10);
+        ha.ha_role = Some("leader".into());
+        assert!(ha.summary().contains("role=leader"), "got: {}", ha.summary());
     }
 
     #[test]

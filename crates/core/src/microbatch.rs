@@ -37,8 +37,8 @@ use ss_bus::{
     DeadLetterQueue, DeadLetterRecord, EpochOutput, Sink, SinkMetrics, Source, SourceMetrics,
 };
 use ss_common::eventlog::{
-    EVENT_ADMISSION_LIMITED, EVENT_PROGRESS, EVENT_QUARANTINE, EVENT_RESTART, EVENT_SPILL,
-    EVENT_START, EVENT_TERMINATE, EVENT_WATCHDOG,
+    EVENT_ADMISSION_LIMITED, EVENT_FAILOVER, EVENT_PROGRESS, EVENT_QUARANTINE, EVENT_RESTART,
+    EVENT_SPILL, EVENT_START, EVENT_TERMINATE, EVENT_WATCHDOG,
 };
 use ss_common::isolate::panic_message;
 use ss_common::profile::{
@@ -54,7 +54,11 @@ use ss_common::{
 use ss_exec::executor::Catalog;
 use ss_plan::{operator_signatures, plan_fingerprint, LogicalPlan, OperatorSignature, OutputMode};
 use ss_state::{CheckpointBackend, MemoryBackend, StateStore};
-use ss_wal::{EpochCommit, EpochOffsets, Manifest, OffsetRange, WriteAheadLog, MANIFEST_VERSION};
+use ss_wal::{
+    EpochCommit, EpochOffsets, HaRole, Manifest, OffsetRange, WriteAheadLog, MANIFEST_VERSION,
+};
+
+use crate::ha::HaConfig;
 
 use crate::admission::{apportion, PidRateController, RateControllerConfig};
 use crate::incremental::{incrementalize, EpochContext, IncNode, OpStat, OpStatsCollector};
@@ -174,6 +178,16 @@ pub struct MicroBatchConfig {
     /// re-running an in-flight epoch after a crash rewrites the same
     /// letters instead of duplicating them).
     pub dlq: Option<Arc<DeadLetterQueue>>,
+    /// High availability (`None` = disabled): a leadership lease with
+    /// fencing epochs, plus (optionally) a handle to the replicated
+    /// checkpoint backend for replication-lag introspection. When set,
+    /// the engine acquires the lease at startup, renews it at phase
+    /// boundaries alongside the watchdog, stamps every WAL commit and
+    /// manifest with the held fencing epoch, and fences sink/DLQ
+    /// commits explicitly. Compose the checkpoint `backend` out of
+    /// `ss_wal::FencedBackend` over `ss_state::ReplicatedBackend` to
+    /// fence and mirror the WAL/state/manifest writes too.
+    pub ha: Option<HaConfig>,
 }
 
 impl Default for MicroBatchConfig {
@@ -205,6 +219,7 @@ impl Default for MicroBatchConfig {
             task_soft_deadline: None,
             task_hard_deadline: None,
             dlq: None,
+            ha: None,
         }
     }
 }
@@ -350,11 +365,21 @@ pub struct MicroBatchExecution {
     /// `(epoch, input_rows, execution)`. Consumed by the isolation
     /// retry path to synthesize the epoch's progress record.
     last_inflight: Option<(u64, u64, EpochExecution)>,
+    /// True for a warm standby: the engine tails the checkpoint
+    /// read-only via [`MicroBatchExecution::standby_catch_up`] and
+    /// refuses to run epochs until [`MicroBatchExecution::promote`].
+    standby: bool,
+    /// Whether the standby already restored a state checkpoint (the
+    /// restore happens once; later catch-up ticks replay the WAL).
+    standby_restored: bool,
 }
 
 impl MicroBatchExecution {
     /// Build the engine for an **analyzed and validated** plan, then
-    /// recover from any existing WAL/state in `backend`.
+    /// recover from any existing WAL/state in `backend`. When
+    /// [`MicroBatchConfig::ha`] is set, the startup sequence also
+    /// sweeps stale lease debris and **acquires the leadership lease**
+    /// before recovery touches anything durable.
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         name: impl Into<String>,
@@ -365,6 +390,52 @@ impl MicroBatchExecution {
         output_mode: OutputMode,
         backend: Arc<dyn CheckpointBackend>,
         config: MicroBatchConfig,
+    ) -> Result<MicroBatchExecution> {
+        Self::build(
+            name, plan, sources, statics, sink, output_mode, backend, config, false,
+        )
+    }
+
+    /// Build a **warm standby** over the same (replicated) checkpoint:
+    /// everything is set up like [`MicroBatchExecution::new`] except
+    /// that the engine neither acquires the lease nor runs recovery —
+    /// it stays read-only, tailing committed epochs via
+    /// [`standby_catch_up`](Self::standby_catch_up) so its state is
+    /// pre-loaded, and takes over within a bounded number of epochs via
+    /// [`promote`](Self::promote) once the leader's lease lapses.
+    /// Requires [`MicroBatchConfig::ha`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_standby(
+        name: impl Into<String>,
+        plan: &Arc<LogicalPlan>,
+        sources: HashMap<String, Arc<dyn Source>>,
+        statics: Arc<dyn Catalog + Send + Sync>,
+        sink: Arc<dyn Sink>,
+        output_mode: OutputMode,
+        backend: Arc<dyn CheckpointBackend>,
+        config: MicroBatchConfig,
+    ) -> Result<MicroBatchExecution> {
+        if config.ha.is_none() {
+            return Err(SsError::Plan(
+                "a standby query needs MicroBatchConfig::ha (a lease to watch)".into(),
+            ));
+        }
+        Self::build(
+            name, plan, sources, statics, sink, output_mode, backend, config, true,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        name: impl Into<String>,
+        plan: &Arc<LogicalPlan>,
+        sources: HashMap<String, Arc<dyn Source>>,
+        statics: Arc<dyn Catalog + Send + Sync>,
+        sink: Arc<dyn Sink>,
+        output_mode: OutputMode,
+        backend: Arc<dyn CheckpointBackend>,
+        config: MicroBatchConfig,
+        standby: bool,
     ) -> Result<MicroBatchExecution> {
         let analyzed = ss_plan::analyze(plan)?;
         ss_plan::validate_streaming(&analyzed, output_mode)?;
@@ -512,6 +583,13 @@ impl MicroBatchExecution {
         let watchdog = Deadline::new();
         let dlq = config.dlq.clone().unwrap_or_default();
         config.faults.attach_deadline(&watchdog);
+        if let Some(ha) = &config.ha {
+            ha.lease.set_faults(config.faults.clone());
+            ha.lease.attach_metrics(&registry);
+            if let Some(r) = &ha.replication {
+                r.attach_metrics(&registry);
+            }
+        }
         let quarantined_total = registry.counter("ss_quarantined_records_total", &[]);
         let deterministic_failures = registry.counter("ss_deterministic_failures_total", &[]);
         let mut engine = MicroBatchExecution {
@@ -556,7 +634,26 @@ impl MicroBatchExecution {
             quarantined_total,
             deterministic_failures,
             last_inflight: None,
+            standby,
+            standby_restored: false,
         };
+        if standby {
+            // A standby never writes: no sweep, no lease acquisition,
+            // no recovery (recovery repairs/truncates durable logs).
+            engine.events.emit(
+                &engine.name,
+                EVENT_START,
+                &[("engine", "microbatch"), ("role", "standby")],
+            );
+            return Ok(engine);
+        }
+        if let Some(ha) = engine.config.ha.clone() {
+            // Startup hygiene first (orphaned `ha/` keys, torn lease),
+            // then take leadership — recovery below writes through the
+            // fenced backend, so the lease must be held before it runs.
+            ha.lease.startup_sweep()?;
+            ha.lease.try_acquire()?;
+        }
         engine.recover()?;
         engine.events.emit(
             &engine.name,
@@ -663,6 +760,12 @@ impl MicroBatchExecution {
     /// into isolation mode and re-runs the epoch once with per-record
     /// probing, quarantining the offenders instead of failing.
     pub fn run_epoch(&mut self) -> Result<EpochRun> {
+        if self.standby {
+            return Err(SsError::Execution(format!(
+                "query `{}` is a warm standby; promote it before running epochs",
+                self.name
+            )));
+        }
         self.last_inflight = None;
         self.watchdog.arm(self.config.epoch_deadline);
         let result = self.run_epoch_inner();
@@ -959,6 +1062,7 @@ impl MicroBatchExecution {
             max_task_duration_us: exec.max_task_duration_us,
             quarantined_records: exec.quarantined,
             profile: Some(profile),
+            ha_role: self.ha_role().map(|r| r.as_str().to_string()),
         };
         self.progress.push(progress.clone());
         self.events.emit(
@@ -1068,7 +1172,7 @@ impl MicroBatchExecution {
             }
             profile.record(PHASE_SOURCE_READ, None, t_sources.elapsed().as_micros() as u64);
         }
-        self.watchdog.check("source-read")?;
+        self.heartbeat("source-read")?;
 
         // Poison-record isolation. Live epochs in isolation mode probe
         // every input row alone through a scratch copy of the plan and
@@ -1106,7 +1210,7 @@ impl MicroBatchExecution {
         if !quarantined.is_empty() {
             strip_quarantined(&mut inputs, offsets, &quarantined)?;
         }
-        self.watchdog.check("quarantine-probe")?;
+        self.heartbeat("quarantine-probe")?;
 
         // The logged watermark is authoritative (recovery reproduces
         // the original epoch's output exactly).
@@ -1153,7 +1257,7 @@ impl MicroBatchExecution {
                 }
             }
         };
-        self.watchdog.check("execute")?;
+        self.heartbeat("execute")?;
         // Surface overload failures before anything becomes durable: a
         // spill reload that failed mid-execution (the operator saw
         // empty state) or an epoch that blew the hard memory limit.
@@ -1201,7 +1305,13 @@ impl MicroBatchExecution {
                 let _span = trace.span("sink-commit", &[]);
                 // Sinks commit idempotently per epoch, so a retry after
                 // a partial delivery rewrites the same output in place.
+                // The sink lives outside the checkpoint backend, so the
+                // fencing check is explicit here: a zombie leader is
+                // rejected before any output becomes visible.
                 retried(&retry_policy, &registry, "sink_commit", || {
+                    if let Some(ha) = &self.config.ha {
+                        ha.lease.check_fenced("sink-commit")?;
+                    }
                     faults.fire(failpoints::SINK_COMMIT)?;
                     self.sink.commit_epoch(offsets.epoch, &output)
                 })?;
@@ -1235,7 +1345,11 @@ impl MicroBatchExecution {
                     let dlq = self.dlq.clone();
                     let epoch = offsets.epoch;
                     let to_commit = letters.clone();
+                    let ha = self.config.ha.as_ref();
                     retried(&retry_policy, &registry, "dlq_write", || {
+                        if let Some(ha) = ha {
+                            ha.lease.check_fenced("dlq-commit")?;
+                        }
                         faults.fire(ss_bus::dlq::failpoints::DLQ_WRITE)?;
                         dlq.commit_epoch(epoch, to_commit.clone());
                         Ok(())
@@ -1264,6 +1378,7 @@ impl MicroBatchExecution {
                 rows_written: out_rows,
                 committed_at_us: (self.config.clock)(),
                 quarantined: quarantined.clone(),
+                fencing_epoch: self.held_fencing_epoch(),
             };
             let t_wal = Instant::now();
             retried(&retry_policy, &registry, "wal_commits_append", || {
@@ -1437,6 +1552,7 @@ impl MicroBatchExecution {
             state_partitions: Some(
                 self.parallel.as_ref().map_or(1, |p| p.partitions() as u32),
             ),
+            fencing_epoch: self.held_fencing_epoch(),
         }
     }
 
@@ -1754,6 +1870,210 @@ impl MicroBatchExecution {
         self.restarts
     }
 
+    /// Phase-boundary liveness check: enforce the epoch watchdog
+    /// deadline and, when HA is configured, piggyback a lease renewal
+    /// on the same boundary. Renewal I/O errors are swallowed — the
+    /// lease simply keeps its remaining TTL and the next boundary
+    /// retries — but a discovered usurper ([`SsError::Fenced`]) is
+    /// fatal and aborts the epoch immediately.
+    fn heartbeat(&self, phase: &str) -> Result<()> {
+        self.watchdog.check(phase)?;
+        if let Some(ha) = &self.config.ha {
+            if let Err(SsError::Fenced(m)) = ha.lease.maybe_renew() {
+                return Err(SsError::Fenced(format!("at phase `{phase}`: {m}")));
+            }
+        }
+        Ok(())
+    }
+
+    /// The HA configuration, when this query runs under a lease.
+    pub fn ha(&self) -> Option<&HaConfig> {
+        self.config.ha.as_ref()
+    }
+
+    /// This query's high-availability role, `None` without a lease.
+    pub fn ha_role(&self) -> Option<HaRole> {
+        let role = self.config.ha.as_ref().map(|h| h.lease.role())?;
+        // A warm standby reports Standby until promoted (or fenced),
+        // whatever its lease manager last observed.
+        if self.standby && role != HaRole::Fenced {
+            return Some(HaRole::Standby);
+        }
+        Some(role)
+    }
+
+    /// The fencing epoch stamped into durable records, `None` when the
+    /// query is not currently the fenced leader.
+    fn held_fencing_epoch(&self) -> Option<u64> {
+        self.config.ha.as_ref().and_then(|h| h.lease.fencing_epoch())
+    }
+
+    /// True for a warm standby that has not yet been promoted.
+    pub fn is_standby(&self) -> bool {
+        self.standby
+    }
+
+    /// One-line JSON snapshot of the HA machinery for the
+    /// introspection server's `/query/<name>/ha` endpoint.
+    pub fn ha_status_json(&self) -> String {
+        use ss_common::trace::escape_json;
+        let Some(ha) = &self.config.ha else {
+            return "{\"configured\":false}".to_string();
+        };
+        let lease = &ha.lease;
+        let role = self
+            .ha_role()
+            .map_or("unknown", |r| r.as_str())
+            .to_string();
+        let fencing = lease
+            .fencing_epoch()
+            .map_or("null".to_string(), |e| e.to_string());
+        let replication = match &ha.replication {
+            None => "null".to_string(),
+            Some(r) => {
+                let mode = match r.mode() {
+                    ss_state::ReplicationMode::Sync => "sync".to_string(),
+                    ss_state::ReplicationMode::Async { max_lag } => {
+                        format!("async(max_lag={max_lag})")
+                    }
+                };
+                format!(
+                    "{{\"mode\":\"{}\",\"mirrored_ops\":{},\"replica_errors\":{},\
+                     \"replication_lag_us\":{}}}",
+                    mode,
+                    r.mirrored_ops(),
+                    r.replica_errors(),
+                    r.last_lag_us()
+                )
+            }
+        };
+        format!(
+            "{{\"configured\":true,\"role\":\"{}\",\"holder\":\"{}\",\
+             \"fencing_epoch\":{},\"fencing_rejections\":{},\"failovers\":{},\
+             \"standby\":{},\"epoch\":{},\"replication\":{}}}",
+            escape_json(&role),
+            escape_json(lease.holder()),
+            fencing,
+            lease.fencing_rejections(),
+            lease.failovers(),
+            self.standby,
+            self.epoch,
+            replication
+        )
+    }
+
+    /// Tail the (replicated) checkpoint **read-only**: restore the
+    /// newest restorable state checkpoint once, then replay every
+    /// newly *committed* epoch with output disabled — the sink already
+    /// holds their output, so a standby produces no writes at all.
+    /// Torn tails and in-flight epochs are deliberately left alone;
+    /// repairing them requires the lease and happens in
+    /// [`promote`](Self::promote). Returns the number of committed
+    /// epochs applied this call.
+    ///
+    /// The standby must be configured with the same plan and partition
+    /// layout as the leader: catch-up performs no state migrations and
+    /// no repartitioning (both would write to the shared checkpoint).
+    pub fn standby_catch_up(&mut self) -> Result<u64> {
+        let rp = self.wal.recovery_point()?;
+        let Some(last_committed) = rp.last_committed else {
+            return Ok(0);
+        };
+        if !self.standby_restored {
+            if let Some(c) = self.store.restore_best(Some(last_committed))? {
+                self.root.restore_state(&mut self.store)?;
+                self.tracker.load(&self.store)?;
+                if let Some(p) = &mut self.parallel {
+                    p.restore_state(&mut self.store)?;
+                }
+                if let Some(offsets) = self.wal.read_offsets(c)? {
+                    self.apply_positions(&offsets);
+                }
+                self.epoch = c;
+            }
+            self.standby_restored = true;
+        }
+        let mut applied = 0;
+        for e in (self.epoch + 1)..=last_committed {
+            let Some(offsets) = self.wal.read_offsets(e)? else {
+                // The leader is mid-write (or left a torn tail):
+                // stop here and let the next tick — or promotion's
+                // repair — pick it up.
+                break;
+            };
+            // Execute before advancing positions so a failed replay
+            // (e.g. a torn commit record the leader left behind)
+            // leaves the standby consistent at the previous epoch.
+            self.execute_epoch_offsets(&offsets, false, &mut EpochProfile::new(e))?;
+            self.apply_positions(&offsets);
+            self.epoch = e;
+            applied += 1;
+        }
+        Ok(applied)
+    }
+
+    /// Warm takeover: acquire the lease — bumping the fencing epoch,
+    /// so every durable write the previous leader still attempts is
+    /// rejected with [`SsError::Fenced`] — then repair the WAL tail,
+    /// finish the read-only committed catch-up, and re-run any epoch
+    /// that was in flight at the failure with output enabled (the
+    /// sink's idempotence absorbs the dead leader's partial writes).
+    /// Promotion work is bounded by the epochs committed since the
+    /// last [`standby_catch_up`](Self::standby_catch_up) tick plus the
+    /// in-flight tail. Returns the fencing epoch now held.
+    pub fn promote(&mut self) -> Result<u64> {
+        let Some(ha) = self.config.ha.clone() else {
+            return Err(SsError::Plan(
+                "promote: query has no HA configuration (MicroBatchConfig::ha)".into(),
+            ));
+        };
+        let fencing = ha.lease.try_acquire()?;
+        self.standby = false;
+        // We own the checkpoint now: torn tails the dead leader left
+        // behind can be repaired, exactly as leader recovery does.
+        let repair = self.wal.verify_and_repair()?;
+        if !repair.is_clean() {
+            self.trace.instant(
+                "wal-repair",
+                &[
+                    ("dropped_offsets", &format!("{:?}", repair.dropped_offsets)),
+                    ("dropped_commits", &format!("{:?}", repair.dropped_commits)),
+                ],
+            );
+        }
+        let rp = self.wal.recovery_point()?;
+        // Checkpoints past the commit line describe state about to be
+        // recomputed (e.g. the commit record was a torn tail we just
+        // dropped); writing deltas against them would corrupt a future
+        // restore chain.
+        self.store.truncate_after(rp.last_committed.unwrap_or(0))?;
+        self.standby_catch_up()?;
+        for e in rp.uncommitted_epochs {
+            let offsets = self.wal.read_offsets(e)?.ok_or_else(|| {
+                SsError::Internal(format!("offset log lists epoch {e} but read failed"))
+            })?;
+            self.apply_positions(&offsets);
+            self.epoch = e;
+            let in_rows: u64 = offsets.sources.values().map(|r| r.num_records()).sum();
+            let exec = self.execute_epoch_offsets(&offsets, true, &mut EpochProfile::new(e))?;
+            self.last_inflight = Some((e, in_rows, exec));
+        }
+        self.events.emit(
+            &self.name,
+            EVENT_FAILOVER,
+            &[
+                ("holder", ha.lease.holder()),
+                ("fencing_epoch", &fencing.to_string()),
+                ("epoch", &self.epoch.to_string()),
+            ],
+        );
+        self.trace.instant(
+            "failover",
+            &[("fencing_epoch", &fencing.to_string())],
+        );
+        Ok(fencing)
+    }
+
     /// The dead-letter queue holding quarantined poison records.
     pub fn dlq(&self) -> &Arc<DeadLetterQueue> {
         &self.dlq
@@ -1850,6 +2170,7 @@ impl MicroBatchExecution {
             max_task_duration_us: exec.max_task_duration_us,
             quarantined_records: exec.quarantined,
             profile: None,
+            ha_role: self.ha_role().map(|r| r.as_str().to_string()),
         }
     }
 

@@ -218,6 +218,19 @@ impl StreamingQuery {
         self.with_engine(|e| e.restarts())
     }
 
+    /// High-availability role (`"leader"`, `"standby"`, `"fenced"`);
+    /// `None` for queries without a lease.
+    pub fn ha_role(&self) -> Option<String> {
+        self.with_engine(|e| e.ha_role().map(|r| r.as_str().to_string()))
+    }
+
+    /// JSON snapshot of the HA machinery (role, fencing epoch,
+    /// rejection/failover counters, replication lag) — the body served
+    /// at `/query/<name>/ha`.
+    pub fn ha_status_json(&self) -> String {
+        self.with_engine(|e| e.ha_status_json())
+    }
+
     /// Register a [`StreamingQueryListener`] (§7.4): `on_progress`
     /// fires after every non-idle epoch, `on_terminated` once when the
     /// query stops or fails.
@@ -532,7 +545,12 @@ fn supervise(
             if tracker.is_deterministic(fp) {
                 deterministic_fp = Some(fp);
             }
+            // A fenced query must terminate, never restart: another
+            // leader holds the lease, and a restart would only replay
+            // the same rejection (or worse, race the new leader's
+            // recovery for the checkpoint).
             let give_up = failure.is_user_error()
+                || matches!(failure, SsError::Fenced(_))
                 || restarts_done >= policy.max_restarts
                 || stop.load(Ordering::SeqCst);
             if give_up {

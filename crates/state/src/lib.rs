@@ -21,8 +21,10 @@
 
 pub mod backend;
 pub mod metrics;
+pub mod replicate;
 pub mod store;
 
 pub use backend::{CheckpointBackend, FsBackend, MemoryBackend};
 pub use metrics::StateMetrics;
+pub use replicate::{ReplicatedBackend, ReplicationMode, ScrubReport};
 pub use store::{BudgetReport, MemoryBudget, OpState, StateEntry, StateStore};

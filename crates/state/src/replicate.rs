@@ -1,0 +1,588 @@
+//! Checkpoint replication: mirror every durable write to a secondary
+//! backend so a warm standby can take over without a cold restore.
+//!
+//! [`ReplicatedBackend`] wraps two [`CheckpointBackend`]s — a *primary*
+//! (the source of truth; all reads come from it) and a *replica* — and
+//! mirrors every `write_atomic` and `delete` to the replica either
+//! inline ([`ReplicationMode::Sync`]) or through a bounded queue drained
+//! by a background thread ([`ReplicationMode::Async`]). The queue bound
+//! is the **lag budget**: once the replica falls more than `max_lag`
+//! operations behind, writers block until it catches up, so the standby
+//! is never more than a bounded number of operations stale.
+//!
+//! Replication is crash-tolerant, not crash-proof: a fault between the
+//! primary write and the mirror (the [`failpoints::REPLICA_WRITE`] fail
+//! point injects exactly this) leaves the replica *diverged*. The
+//! [`ReplicatedBackend::scrub`] catch-up scrubber repairs divergence
+//! using the CRC frames every durable record already carries: for each
+//! differing object the frame decides which side is intact — a valid
+//! primary overwrites the replica, a corrupt primary is restored from a
+//! valid replica, and replica-only leftovers are deleted.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use ss_common::fault::FaultRegistry;
+use ss_common::metrics::{Counter, Gauge, Histogram, MetricsRegistry};
+use ss_common::{frame, Result};
+
+use crate::backend::CheckpointBackend;
+
+/// Fail-point names fired by the replication layer.
+pub mod failpoints {
+    /// Before each mirrored write/delete hits the replica. An `Error`
+    /// here leaves the replica diverged (the primary write already
+    /// succeeded) — exactly the gap [`super::ReplicatedBackend::scrub`]
+    /// exists to close.
+    pub const REPLICA_WRITE: &str = "ha.replica.write";
+}
+
+/// How mirrored writes reach the replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicationMode {
+    /// Mirror inline: the write returns only after both copies are
+    /// durable. A replica failure fails the write (the caller's retry
+    /// policy re-runs it; `write_atomic` is an idempotent overwrite).
+    Sync,
+    /// Mirror through a bounded queue drained by a background thread.
+    /// Writers block once the replica is `max_lag` operations behind;
+    /// replica failures are counted (and repaired by `scrub`), not
+    /// propagated — the caller was already acknowledged.
+    Async {
+        /// Maximum mirrored operations in flight before writers block.
+        max_lag: usize,
+    },
+}
+
+/// One queued mirror operation (async mode).
+enum MirrorOp {
+    Write {
+        key: String,
+        data: Vec<u8>,
+        enqueued: Instant,
+    },
+    Delete {
+        key: String,
+    },
+}
+
+/// Replication counters, shared with the async worker and exported via
+/// [`ReplicatedBackend::attach_metrics`]. Atomics are the source of
+/// truth so tests can assert without a registry attached.
+#[derive(Default)]
+struct ReplStats {
+    mirrored_writes: AtomicU64,
+    mirrored_deletes: AtomicU64,
+    replica_errors: AtomicU64,
+    last_lag_us: AtomicU64,
+}
+
+/// Registry handles installed by `attach_metrics`.
+struct ReplMetrics {
+    writes: Counter,
+    errors: Counter,
+    lag_us: Histogram,
+    queue_depth: Gauge,
+}
+
+/// Queue state shared between writers and the async mirror thread.
+/// `in_flight` keeps an op counted toward the lag bound while the
+/// worker applies it, so backpressure and `flush` see the true lag.
+#[derive(Default)]
+struct QueueState {
+    ops: VecDeque<MirrorOp>,
+    in_flight: bool,
+}
+
+impl QueueState {
+    fn lag(&self) -> usize {
+        self.ops.len() + usize::from(self.in_flight)
+    }
+}
+
+struct AsyncWorker {
+    queue: Arc<(Mutex<QueueState>, Condvar)>,
+    stop: Arc<AtomicBool>,
+    handle: Mutex<Option<JoinHandle<()>>>,
+    max_lag: usize,
+}
+
+/// A [`CheckpointBackend`] that mirrors writes to a secondary backend.
+pub struct ReplicatedBackend {
+    primary: Arc<dyn CheckpointBackend>,
+    replica: Arc<dyn CheckpointBackend>,
+    mode: ReplicationMode,
+    faults: FaultRegistry,
+    stats: Arc<ReplStats>,
+    metrics: Arc<Mutex<Option<ReplMetrics>>>,
+    worker: Option<AsyncWorker>,
+}
+
+/// What [`ReplicatedBackend::scrub`] did to converge the replica.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Objects copied primary → replica (missing, stale, or corrupt on
+    /// the replica side).
+    pub copied_to_replica: u64,
+    /// Objects restored replica → primary (primary copy failed its CRC
+    /// frame while the replica's was intact).
+    pub repaired_primary: u64,
+    /// Replica-only objects deleted (the primary dropped them, e.g.
+    /// retention GC, and the mirror delete was lost).
+    pub deleted_from_replica: u64,
+}
+
+impl ScrubReport {
+    /// True when the scrub found the replica already converged.
+    pub fn is_clean(&self) -> bool {
+        *self == ScrubReport::default()
+    }
+}
+
+impl ReplicatedBackend {
+    /// Mirror `primary` onto `replica` in the given mode.
+    pub fn new(
+        primary: Arc<dyn CheckpointBackend>,
+        replica: Arc<dyn CheckpointBackend>,
+        mode: ReplicationMode,
+    ) -> ReplicatedBackend {
+        let stats = Arc::new(ReplStats::default());
+        let metrics: Arc<Mutex<Option<ReplMetrics>>> = Arc::new(Mutex::new(None));
+        let worker = match mode {
+            ReplicationMode::Sync => None,
+            ReplicationMode::Async { max_lag } => {
+                let queue: Arc<(Mutex<QueueState>, Condvar)> =
+                    Arc::new((Mutex::new(QueueState::default()), Condvar::new()));
+                let stop = Arc::new(AtomicBool::new(false));
+                let handle = {
+                    let queue = queue.clone();
+                    let stop = stop.clone();
+                    let replica = replica.clone();
+                    let stats = stats.clone();
+                    let metrics = metrics.clone();
+                    std::thread::spawn(move || loop {
+                        let op = {
+                            let (lock, cvar) = &*queue;
+                            let mut q = lock.lock().expect("replication queue poisoned");
+                            while q.ops.is_empty() {
+                                if stop.load(Ordering::SeqCst) {
+                                    return;
+                                }
+                                q = cvar.wait(q).expect("replication queue poisoned");
+                            }
+                            let op = q.ops.pop_front().expect("non-empty");
+                            // Keep the op counted toward the lag bound
+                            // until it is applied.
+                            q.in_flight = true;
+                            op
+                        };
+                        Self::apply_mirror(&replica, &stats, &metrics, op);
+                        let (lock, cvar) = &*queue;
+                        let mut q = lock.lock().expect("replication queue poisoned");
+                        q.in_flight = false;
+                        if let Some(m) = metrics.lock().expect("metrics poisoned").as_ref() {
+                            m.queue_depth.set(q.ops.len() as i64);
+                        }
+                        cvar.notify_all();
+                    })
+                };
+                Some(AsyncWorker {
+                    queue,
+                    stop,
+                    handle: Mutex::new(Some(handle)),
+                    max_lag: max_lag.max(1),
+                })
+            }
+        };
+        ReplicatedBackend {
+            primary,
+            replica,
+            mode,
+            faults: FaultRegistry::new(),
+            stats,
+            metrics,
+            worker,
+        }
+    }
+
+    /// Attach a fail-point registry; [`failpoints::REPLICA_WRITE`] fires
+    /// through it before every mirrored operation (sync mode only —
+    /// async mirror faults are injected by faulting the replica backend
+    /// itself, since the worker thread must not panic).
+    pub fn set_faults(&mut self, faults: FaultRegistry) {
+        self.faults = faults;
+    }
+
+    /// The configured replication mode.
+    pub fn mode(&self) -> ReplicationMode {
+        self.mode
+    }
+
+    /// The replica backend (standbys read from it directly).
+    pub fn replica(&self) -> Arc<dyn CheckpointBackend> {
+        self.replica.clone()
+    }
+
+    /// Register `ss_replication_*` metrics on `registry`.
+    pub fn attach_metrics(&self, registry: &MetricsRegistry) {
+        registry.describe(
+            "ss_replication_lag_us",
+            "Delay between a primary write and its replica apply",
+        );
+        registry.describe(
+            "ss_replication_writes_total",
+            "Operations mirrored to the replica backend",
+        );
+        registry.describe(
+            "ss_replication_errors_total",
+            "Mirror operations that failed (replica diverged until scrubbed)",
+        );
+        registry.describe(
+            "ss_replication_queue_depth",
+            "Mirror operations waiting in the async replication queue",
+        );
+        *self.metrics.lock().expect("metrics poisoned") = Some(ReplMetrics {
+            writes: registry.counter("ss_replication_writes_total", &[]),
+            errors: registry.counter("ss_replication_errors_total", &[]),
+            lag_us: registry.histogram("ss_replication_lag_us", &[]),
+            queue_depth: registry.gauge("ss_replication_queue_depth", &[]),
+        });
+    }
+
+    /// Mirrored operations applied to the replica so far.
+    pub fn mirrored_ops(&self) -> u64 {
+        self.stats.mirrored_writes.load(Ordering::Relaxed)
+            + self.stats.mirrored_deletes.load(Ordering::Relaxed)
+    }
+
+    /// Mirror operations that failed (replica diverged until scrubbed).
+    pub fn replica_errors(&self) -> u64 {
+        self.stats.replica_errors.load(Ordering::Relaxed)
+    }
+
+    /// Most recent observed replication lag, µs.
+    pub fn last_lag_us(&self) -> u64 {
+        self.stats.last_lag_us.load(Ordering::Relaxed)
+    }
+
+    fn apply_mirror(
+        replica: &Arc<dyn CheckpointBackend>,
+        stats: &ReplStats,
+        metrics: &Mutex<Option<ReplMetrics>>,
+        op: MirrorOp,
+    ) {
+        let result = match &op {
+            MirrorOp::Write { key, data, .. } => replica.write_atomic(key, data),
+            MirrorOp::Delete { key } => replica.delete(key),
+        };
+        let handles = metrics.lock().expect("metrics poisoned");
+        match result {
+            Ok(()) => match &op {
+                MirrorOp::Write { enqueued, .. } => {
+                    let lag = enqueued.elapsed().as_micros() as u64;
+                    stats.mirrored_writes.fetch_add(1, Ordering::Relaxed);
+                    stats.last_lag_us.store(lag, Ordering::Relaxed);
+                    if let Some(m) = handles.as_ref() {
+                        m.writes.inc();
+                        m.lag_us.observe(lag);
+                    }
+                }
+                MirrorOp::Delete { .. } => {
+                    stats.mirrored_deletes.fetch_add(1, Ordering::Relaxed);
+                    if let Some(m) = handles.as_ref() {
+                        m.writes.inc();
+                    }
+                }
+            },
+            Err(_) => {
+                stats.replica_errors.fetch_add(1, Ordering::Relaxed);
+                if let Some(m) = handles.as_ref() {
+                    m.errors.inc();
+                }
+            }
+        }
+    }
+
+    /// Mirror one operation per the configured mode. Sync errors
+    /// propagate; async enqueues (blocking on the lag bound) and always
+    /// succeeds from the caller's view.
+    fn mirror(&self, op: MirrorOp) -> Result<()> {
+        match &self.worker {
+            None => {
+                // Sync: fail point, then inline apply; an error both
+                // counts as divergence and propagates to the caller.
+                if let Err(e) = self.faults.fire(failpoints::REPLICA_WRITE) {
+                    self.stats.replica_errors.fetch_add(1, Ordering::Relaxed);
+                    if let Some(m) = self.metrics.lock().expect("metrics poisoned").as_ref() {
+                        m.errors.inc();
+                    }
+                    return Err(e);
+                }
+                let before = self.stats.replica_errors.load(Ordering::Relaxed);
+                Self::apply_mirror(&self.replica, &self.stats, &self.metrics, op);
+                if self.stats.replica_errors.load(Ordering::Relaxed) > before {
+                    return Err(ss_common::exec_err!(
+                        "replica write failed (replica diverged; scrub to repair)"
+                    ));
+                }
+                Ok(())
+            }
+            Some(w) => {
+                let (lock, cvar) = &*w.queue;
+                let mut q = lock.lock().expect("replication queue poisoned");
+                while q.lag() >= w.max_lag {
+                    q = cvar.wait(q).expect("replication queue poisoned");
+                }
+                q.ops.push_back(op);
+                if let Some(m) = self.metrics.lock().expect("metrics poisoned").as_ref() {
+                    m.queue_depth.set(q.ops.len() as i64);
+                }
+                cvar.notify_all();
+                Ok(())
+            }
+        }
+    }
+
+    /// Block until every queued mirror operation has been applied
+    /// (no-op in sync mode). Call before reading the replica.
+    pub fn flush(&self) {
+        if let Some(w) = &self.worker {
+            let (lock, cvar) = &*w.queue;
+            let mut q = lock.lock().expect("replication queue poisoned");
+            while q.lag() > 0 {
+                q = cvar.wait(q).expect("replication queue poisoned");
+            }
+        }
+    }
+
+    /// Converge the replica with the primary (and repair a CRC-corrupt
+    /// primary object from an intact replica copy). Flushes the async
+    /// queue first so the comparison sees a settled replica.
+    pub fn scrub(&self) -> Result<ScrubReport> {
+        self.flush();
+        let mut report = ScrubReport::default();
+        let primary_keys = self.primary.list("")?;
+        let replica_keys = self.replica.list("")?;
+        for key in &primary_keys {
+            let p = self.primary.read(key)?;
+            let r = self.replica.read(key)?;
+            match (p, r) {
+                (Some(p_bytes), Some(r_bytes)) if p_bytes == r_bytes => {}
+                (Some(p_bytes), r_bytes) => {
+                    // The sides differ. CRC frames arbitrate: an intact
+                    // primary wins; a corrupt primary with an intact
+                    // replica is restored from the replica. Unframed
+                    // objects carry no checksum, so the primary (source
+                    // of truth) wins by default.
+                    let p_ok = !frame::is_framed(&p_bytes) || frame::decode(&p_bytes).is_ok();
+                    let r_ok = r_bytes.as_ref().is_some_and(|b| {
+                        frame::is_framed(b) && frame::decode(b).is_ok()
+                    });
+                    if p_ok {
+                        self.replica.write_atomic(key, &p_bytes)?;
+                        report.copied_to_replica += 1;
+                    } else if r_ok {
+                        let r_bytes = r_bytes.expect("r_ok implies Some");
+                        self.primary.write_atomic(key, &r_bytes)?;
+                        self.replica.write_atomic(key, &r_bytes)?;
+                        report.repaired_primary += 1;
+                    } else {
+                        // Both sides bad: copy the primary anyway so the
+                        // sides at least agree; recovery's
+                        // verify_and_repair decides what to do with it.
+                        self.replica.write_atomic(key, &p_bytes)?;
+                        report.copied_to_replica += 1;
+                    }
+                }
+                (None, _) => {
+                    // Listed but unreadable (raced a delete): skip.
+                }
+            }
+        }
+        let primary_set: std::collections::BTreeSet<&String> = primary_keys.iter().collect();
+        for key in &replica_keys {
+            if !primary_set.contains(key) {
+                self.replica.delete(key)?;
+                report.deleted_from_replica += 1;
+            }
+        }
+        Ok(report)
+    }
+}
+
+impl Drop for ReplicatedBackend {
+    fn drop(&mut self) {
+        if let Some(w) = &self.worker {
+            w.stop.store(true, Ordering::SeqCst);
+            let (_, cvar) = &*w.queue;
+            cvar.notify_all();
+            if let Some(h) = w.handle.lock().expect("worker handle poisoned").take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+impl CheckpointBackend for ReplicatedBackend {
+    fn write_atomic(&self, key: &str, data: &[u8]) -> Result<()> {
+        self.primary.write_atomic(key, data)?;
+        self.mirror(MirrorOp::Write {
+            key: key.to_string(),
+            data: data.to_vec(),
+            enqueued: Instant::now(),
+        })
+    }
+
+    fn read(&self, key: &str) -> Result<Option<Vec<u8>>> {
+        self.primary.read(key)
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        self.primary.list(prefix)
+    }
+
+    fn delete(&self, key: &str) -> Result<()> {
+        self.primary.delete(key)?;
+        self.mirror(MirrorOp::Delete {
+            key: key.to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemoryBackend;
+    use ss_common::fault::{FaultMode, FaultTrigger};
+
+    fn pair(mode: ReplicationMode) -> (Arc<MemoryBackend>, Arc<MemoryBackend>, ReplicatedBackend) {
+        let primary = Arc::new(MemoryBackend::new());
+        let replica = Arc::new(MemoryBackend::new());
+        let repl = ReplicatedBackend::new(primary.clone(), replica.clone(), mode);
+        (primary, replica, repl)
+    }
+
+    #[test]
+    fn sync_mirrors_writes_and_deletes() {
+        let (primary, replica, repl) = pair(ReplicationMode::Sync);
+        repl.write_atomic("wal/a.json", b"one").unwrap();
+        repl.write_atomic("state/b.json", b"two").unwrap();
+        assert_eq!(primary.read("wal/a.json").unwrap().unwrap(), b"one");
+        assert_eq!(replica.read("wal/a.json").unwrap().unwrap(), b"one");
+        repl.delete("wal/a.json").unwrap();
+        assert_eq!(primary.read("wal/a.json").unwrap(), None);
+        assert_eq!(replica.read("wal/a.json").unwrap(), None);
+        assert_eq!(repl.mirrored_ops(), 3);
+        assert_eq!(repl.replica_errors(), 0);
+    }
+
+    #[test]
+    fn async_mirrors_after_flush() {
+        let (_primary, replica, repl) = pair(ReplicationMode::Async { max_lag: 8 });
+        for i in 0..20 {
+            repl.write_atomic(&format!("wal/e{i:03}.json"), &[i]).unwrap();
+        }
+        repl.flush();
+        assert_eq!(replica.len(), 20);
+        assert_eq!(repl.mirrored_ops(), 20);
+        // Lag is observed per mirrored write.
+        let _ = repl.last_lag_us();
+    }
+
+    #[test]
+    fn sync_replica_fault_counts_and_propagates() {
+        let (primary, replica, mut repl) = pair(ReplicationMode::Sync);
+        let faults = FaultRegistry::new();
+        faults.configure(
+            failpoints::REPLICA_WRITE,
+            FaultTrigger::Once { skip: 0 },
+            FaultMode::Error,
+        );
+        repl.set_faults(faults);
+        let err = repl.write_atomic("wal/a.json", b"one").unwrap_err();
+        assert!(err.to_string().contains(failpoints::REPLICA_WRITE), "{err}");
+        // Primary took the write, replica did not: diverged.
+        assert_eq!(primary.read("wal/a.json").unwrap().unwrap(), b"one");
+        assert_eq!(replica.read("wal/a.json").unwrap(), None);
+        assert_eq!(repl.replica_errors(), 1);
+        // Scrub converges the replica.
+        let report = repl.scrub().unwrap();
+        assert_eq!(report.copied_to_replica, 1);
+        assert_eq!(replica.read("wal/a.json").unwrap().unwrap(), b"one");
+        assert!(repl.scrub().unwrap().is_clean());
+    }
+
+    #[test]
+    fn scrub_repairs_missing_stale_and_extra_objects() {
+        let (_primary, replica, repl) = pair(ReplicationMode::Sync);
+        repl.write_atomic("wal/a.json", &frame::encode(b"aa")).unwrap();
+        repl.write_atomic("wal/b.json", &frame::encode(b"bb")).unwrap();
+        // Diverge the replica behind the mirror's back: drop one object,
+        // corrupt another, add an orphan.
+        replica.delete("wal/a.json").unwrap();
+        replica
+            .write_atomic("wal/b.json", b"garbage-not-a-frame")
+            .unwrap();
+        replica
+            .write_atomic("wal/orphan.json", &frame::encode(b"zz"))
+            .unwrap();
+        let report = repl.scrub().unwrap();
+        assert_eq!(report.copied_to_replica, 2);
+        assert_eq!(report.deleted_from_replica, 1);
+        assert_eq!(report.repaired_primary, 0);
+        assert_eq!(
+            replica.read("wal/a.json").unwrap().unwrap(),
+            frame::encode(b"aa")
+        );
+        assert_eq!(
+            replica.read("wal/b.json").unwrap().unwrap(),
+            frame::encode(b"bb")
+        );
+        assert_eq!(replica.read("wal/orphan.json").unwrap(), None);
+        assert!(repl.scrub().unwrap().is_clean());
+    }
+
+    #[test]
+    fn scrub_restores_corrupt_primary_from_intact_replica() {
+        let (primary, _replica, repl) = pair(ReplicationMode::Sync);
+        let good = frame::encode(b"precious");
+        repl.write_atomic("state/chk.json", &good).unwrap();
+        // Corrupt the primary copy only: flip a payload byte so the CRC
+        // frame no longer verifies.
+        let mut bad = good.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0xff;
+        primary.write_atomic("state/chk.json", &bad).unwrap();
+        let report = repl.scrub().unwrap();
+        assert_eq!(report.repaired_primary, 1);
+        assert_eq!(primary.read("state/chk.json").unwrap().unwrap(), good);
+        assert!(repl.scrub().unwrap().is_clean());
+    }
+
+    #[test]
+    fn async_backpressure_bounds_lag() {
+        // With max_lag=1 every write waits for the previous mirror, so
+        // the replica can never be more than one op behind.
+        let (_primary, replica, repl) = pair(ReplicationMode::Async { max_lag: 1 });
+        for i in 0..10 {
+            repl.write_atomic(&format!("k{i}.json"), &[i]).unwrap();
+        }
+        repl.flush();
+        assert_eq!(replica.len(), 10);
+    }
+
+    #[test]
+    fn metrics_report_mirrored_writes() {
+        let registry = MetricsRegistry::new();
+        let (_primary, _replica, repl) = pair(ReplicationMode::Sync);
+        repl.attach_metrics(&registry);
+        repl.write_atomic("a.json", b"x").unwrap();
+        repl.write_atomic("b.json", b"y").unwrap();
+        let rendered = registry.render();
+        assert!(rendered.contains("ss_replication_writes_total 2"), "{rendered}");
+        assert!(rendered.contains("ss_replication_lag_us"), "{rendered}");
+    }
+}

@@ -20,6 +20,7 @@
 //! workflow of §7.2: an administrator picks an epoch, the logs are
 //! truncated to it, and the engine recomputes from that prefix.
 
+pub mod lease;
 pub mod manifest;
 
 use std::collections::BTreeMap;
@@ -28,6 +29,7 @@ use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
 
+pub use lease::{FencedBackend, HaRole, LeaseManager, LeaseRecord, LEASE_KEY};
 pub use manifest::{Manifest, MANIFEST_KEY, MANIFEST_VERSION};
 
 pub use ss_common::offsets::{OffsetRange, PartitionOffsets};
@@ -113,6 +115,13 @@ pub struct EpochCommit {
     /// output stays byte-identical and the DLQ exactly-once. Absent in
     /// records written before quarantine existed (default: empty).
     pub quarantined: BTreeMap<String, Vec<(u32, u64)>>,
+    /// Fencing epoch of the lease the writer held when committing, when
+    /// HA is enabled. A recovery or standby that finds a commit stamped
+    /// with a *higher* fencing epoch than its own lease knows another
+    /// leader has written past it. `None` when HA is off and in records
+    /// written before HA existed; skipped when absent so non-HA commit
+    /// bytes stay identical to the legacy format.
+    pub fencing_epoch: Option<u64>,
 }
 
 // Hand-written serde impls: `quarantined` is skipped when empty (the
@@ -133,6 +142,9 @@ impl serde::Serialize for EpochCommit {
         if !self.quarantined.is_empty() {
             entries.push((Content::Str("quarantined".into()), self.quarantined.ser()));
         }
+        if let Some(fe) = self.fencing_epoch {
+            entries.push((Content::Str("fencing_epoch".into()), fe.ser()));
+        }
         Content::Map(entries)
     }
 }
@@ -147,6 +159,10 @@ impl serde::Deserialize for EpochCommit {
             quarantined: match map_get(content, "quarantined")? {
                 Content::Null => BTreeMap::new(),
                 other => Deserialize::deser(other)?,
+            },
+            fencing_epoch: match map_get(content, "fencing_epoch")? {
+                Content::Null => None,
+                other => Some(Deserialize::deser(other)?),
             },
         })
     }
@@ -561,6 +577,7 @@ mod tests {
             rows_written: 10,
             committed_at_us: 1,
             quarantined: BTreeMap::new(),
+            fencing_epoch: None,
         })
         .unwrap();
         assert!(w.is_committed(1).unwrap());
@@ -585,6 +602,7 @@ mod tests {
             rows_written: 10,
             committed_at_us: 0,
             quarantined: BTreeMap::new(),
+            fencing_epoch: None,
         })
         .unwrap();
         w.write_offsets(&offsets(2, 20)).unwrap();
@@ -604,6 +622,7 @@ mod tests {
                 rows_written: 1,
                 committed_at_us: 0,
                 quarantined: BTreeMap::new(),
+                fencing_epoch: None,
             })
             .unwrap();
         }
@@ -640,6 +659,7 @@ mod tests {
             rows_written: 10,
             committed_at_us: 0,
             quarantined: BTreeMap::new(),
+            fencing_epoch: None,
         })
         .unwrap();
         w.read_offsets(1).unwrap();
@@ -692,6 +712,7 @@ mod tests {
             rows_written: 1,
             committed_at_us: 0,
             quarantined: BTreeMap::new(),
+            fencing_epoch: None,
         }
     }
 

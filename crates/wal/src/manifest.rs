@@ -77,6 +77,12 @@ pub struct Manifest {
     /// [`Manifest::state_partitions`](Self::state_partitions) rather
     /// than the raw field.
     pub state_partitions: Option<u32>,
+    /// Fencing epoch of the lease held when this manifest was written,
+    /// when HA is enabled (`None` otherwise and in manifests written
+    /// before HA existed; absent fields deserialize as `None`). A
+    /// standby promoting over this checkpoint must hold a fencing epoch
+    /// strictly greater than this value.
+    pub fencing_epoch: Option<u64>,
 }
 
 impl Manifest {
@@ -151,6 +157,7 @@ mod tests {
             plan_fingerprint: "00ff00ff00ff00ff".into(),
             operators: Vec::new(),
             state_partitions: None,
+            fencing_epoch: None,
         }
     }
 
