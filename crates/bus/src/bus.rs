@@ -28,8 +28,15 @@ use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, RwLock};
 
+use ss_common::clock::{system_clock, ClockRef};
 use ss_common::time::now_us;
 use ss_common::{PartitionOffsets, Result, Row, SsError};
+
+/// How often a [`OverflowPolicy::Block`] producer re-checks capacity
+/// when the bus runs on a virtual clock (a condvar wait is invisible to
+/// simulated time, so the blocked producer polls; each poll's sleep is
+/// what lets the simulation advance past it).
+const BLOCK_POLL: Duration = Duration::from_millis(1);
 
 /// What a producer append does when a bounded partition is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -116,14 +123,32 @@ struct Topic {
 }
 
 /// A thread-safe, in-process, partitioned message bus.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct MessageBus {
     topics: RwLock<HashMap<String, Arc<Topic>>>,
+    /// Clock backing [`OverflowPolicy::Block`] timeouts (and nothing
+    /// else — ingest stamps are supplied by callers or `append`).
+    clock: RwLock<ClockRef>,
+}
+
+impl Default for MessageBus {
+    fn default() -> MessageBus {
+        MessageBus {
+            topics: RwLock::new(HashMap::new()),
+            clock: RwLock::new(system_clock()),
+        }
+    }
 }
 
 impl MessageBus {
     pub fn new() -> MessageBus {
         MessageBus::default()
+    }
+
+    /// Re-point blocking-append timeouts at `clock` (virtual timeouts
+    /// under simulation).
+    pub fn set_clock(&self, clock: ClockRef) {
+        *self.clock.write() = clock;
     }
 
     /// Create an unbounded topic with `partitions` partitions. Errors
@@ -209,19 +234,47 @@ impl MessageBus {
                 )));
             }
             (Some(cap), OverflowPolicy::Block { timeout_us }) => {
-                let deadline = Instant::now() + Duration::from_micros(timeout_us);
+                let clock = self.clock.read().clone();
+                let timed_out = || {
+                    SsError::ResourceExhausted(format!(
+                        "append to `{topic}`/{partition} blocked for {timeout_us}µs \
+                         waiting for capacity {cap} to free (consumer stalled?)"
+                    ))
+                };
                 // Offsets are recomputed per push (and the first one
                 // re-captured): another producer may append while this
                 // one waits with the lock released.
                 let mut first_appended = None;
+                if clock.is_virtual() {
+                    // Virtual time cannot observe a condvar wait, so
+                    // poll: release the lock, sleep on the clock (which
+                    // is what lets simulated time advance), re-check.
+                    let deadline = clock.deadline_us(Duration::from_micros(timeout_us));
+                    for row in rows {
+                        while p.records.len() >= cap {
+                            if clock.monotonic_us() >= deadline {
+                                return Err(timed_out());
+                            }
+                            drop(p);
+                            clock.sleep(BLOCK_POLL);
+                            p = slot.state.lock();
+                        }
+                        let offset = p.next_offset();
+                        first_appended.get_or_insert(offset);
+                        p.records.push(Record {
+                            offset,
+                            ingest_time_us,
+                            row,
+                        });
+                    }
+                    return Ok(first_appended.unwrap_or(first));
+                }
+                let deadline = Instant::now() + Duration::from_micros(timeout_us);
                 for row in rows {
                     while p.records.len() >= cap {
                         let remaining = deadline.saturating_duration_since(Instant::now());
                         if remaining.is_zero() {
-                            return Err(SsError::ResourceExhausted(format!(
-                                "append to `{topic}`/{partition} blocked for {timeout_us}µs \
-                                 waiting for capacity {cap} to free (consumer stalled?)"
-                            )));
+                            return Err(timed_out());
                         }
                         let (guard, _) = slot
                             .space_freed
@@ -557,6 +610,24 @@ mod tests {
         let err = b.append_at("t", 0, 0, vec![row![3i64]]).unwrap_err();
         assert_eq!(err.category(), "resource_exhausted");
         assert!(start.elapsed() >= Duration::from_millis(20));
+        assert_eq!(b.retained_records("t").unwrap(), 2);
+    }
+
+    #[test]
+    fn block_policy_times_out_on_virtual_time() {
+        use ss_common::clock::SimClock;
+        // An hour-long producer timeout elapses virtually: the blocked
+        // producer's polls are the only sleeps, so the clock jumps
+        // straight through them and the append fails in wall-microseconds.
+        let b = bounded(2, OverflowPolicy::Block { timeout_us: 3_600_000_000 });
+        let sim = SimClock::new(7);
+        b.set_clock(sim.handle());
+        b.append_at("t", 0, 0, vec![row![1i64], row![2i64]]).unwrap();
+        let start = Instant::now();
+        let err = b.append_at("t", 0, 0, vec![row![3i64]]).unwrap_err();
+        assert_eq!(err.category(), "resource_exhausted");
+        assert!(sim.now_us() >= 3_600_000_000, "virtual wait ran to the deadline");
+        assert!(start.elapsed() < Duration::from_secs(5), "wall time stayed bounded");
         assert_eq!(b.retained_records("t").unwrap(), 2);
     }
 

@@ -10,6 +10,7 @@
 //! global: each test builds its own registry and threads it through the
 //! engine, so parallel tests cannot trip each other's faults.
 
+use crate::clock::{system_clock, ClockRef};
 use crate::error::{Result, SsError};
 use crate::isolate::Deadline;
 use crate::rng::XorShift64;
@@ -17,7 +18,7 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Upper bound on how long an injected [`FaultMode::Hang`] can stall a
 /// thread with no deadline armed and no cancellation — a backstop so a
@@ -67,7 +68,7 @@ struct FailPoint {
     rng: Option<XorShift64>,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Inner {
     /// Number of configured points; lets `check` bail with one atomic
     /// load when no faults are active (the common case).
@@ -79,6 +80,21 @@ struct Inner {
     /// Watchdog shared with the owning engine; injected hangs release
     /// when it expires so a wedged epoch fails instead of stalling.
     deadline: Mutex<Deadline>,
+    /// The clock injected hangs stall on — virtual under simulation, so
+    /// a 10s stall costs no wall time.
+    clock: Mutex<ClockRef>,
+}
+
+impl Default for Inner {
+    fn default() -> Self {
+        Inner {
+            active: AtomicUsize::default(),
+            points: Mutex::default(),
+            hang_gen: AtomicU64::default(),
+            deadline: Mutex::default(),
+            clock: Mutex::new(system_clock()),
+        }
+    }
 }
 
 /// A cloneable registry of named fail points.
@@ -186,6 +202,13 @@ impl FaultRegistry {
         *self.inner.deadline.lock() = deadline.clone();
     }
 
+    /// Measure injected hangs on `clock` instead of the system clock.
+    /// Under a virtual clock the stall and its 10s backstop pass in
+    /// virtual time, so hang schedules are deterministic and free.
+    pub fn set_clock(&self, clock: ClockRef) {
+        *self.inner.clock.lock() = clock;
+    }
+
     /// Release every in-flight injected hang (e.g. after the scheduler
     /// abandoned the hung worker and the epoch already failed).
     pub fn cancel_hangs(&self) {
@@ -197,12 +220,13 @@ impl FaultRegistry {
     fn hang(&self, name: &str) -> SsError {
         let generation = self.inner.hang_gen.load(Ordering::Acquire);
         let deadline = self.inner.deadline.lock().clone();
-        let start = Instant::now();
+        let clock = self.inner.clock.lock().clone();
+        let cap = clock.deadline_us(HANG_CAP);
         while self.inner.hang_gen.load(Ordering::Acquire) == generation
             && !deadline.expired()
-            && start.elapsed() < HANG_CAP
+            && clock.monotonic_us() < cap
         {
-            std::thread::sleep(Duration::from_millis(1));
+            clock.sleep(Duration::from_millis(1));
         }
         SsError::Timeout(format!("injected hang at {name} released"))
     }
@@ -226,6 +250,31 @@ impl FaultRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::clock::SimClock;
+    use std::time::Instant;
+
+    #[test]
+    fn hang_on_a_sim_clock_stalls_virtually() {
+        let sim = SimClock::new(0);
+        let reg = FaultRegistry::new();
+        reg.set_clock(sim.handle());
+        reg.configure("p", FaultTrigger::EveryNth { n: 1 }, FaultMode::Hang);
+        let deadline = Deadline::with_clock(sim.handle());
+        reg.attach_deadline(&deadline);
+        deadline.arm(Some(Duration::from_secs(5)));
+        let wall = Instant::now();
+        let err = reg.fire("p").unwrap_err();
+        assert!(matches!(err, SsError::Timeout(_)), "{err:?}");
+        assert!(
+            sim.now_us() >= 5_000_000,
+            "stall ran to the virtual deadline, got {}us",
+            sim.now_us()
+        );
+        assert!(
+            wall.elapsed() < Duration::from_secs(5),
+            "a 5s virtual stall must not take 5s of wall time"
+        );
+    }
 
     #[test]
     fn empty_registry_never_fires() {

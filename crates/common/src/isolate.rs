@@ -22,10 +22,11 @@
 //!   wedged epoch fails restartably with [`SsError::Timeout`] instead of
 //!   hanging the query forever.
 
+use crate::clock::{system_clock, ClockRef};
 use crate::error::{Result, SsError};
 use parking_lot::Mutex;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// What a query does with a record that deterministically fails
 /// evaluation once the engine is in isolation mode.
@@ -129,9 +130,20 @@ pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct DeadlineInner {
-    expires: Mutex<Option<Instant>>,
+    /// Monotonic expiry on `clock`, or `None` when disarmed.
+    expires_us: Mutex<Option<u64>>,
+    clock: Mutex<ClockRef>,
+}
+
+impl Default for DeadlineInner {
+    fn default() -> Self {
+        DeadlineInner {
+            expires_us: Mutex::new(None),
+            clock: Mutex::new(system_clock()),
+        }
+    }
 }
 
 /// A cloneable watchdog token: armed with a duration at the start of a
@@ -146,9 +158,24 @@ pub struct Deadline {
 }
 
 impl Deadline {
-    /// A new, unarmed deadline.
+    /// A new, unarmed deadline on the system clock.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A new, unarmed deadline measured on `clock` (virtual deadlines
+    /// under simulation).
+    pub fn with_clock(clock: ClockRef) -> Self {
+        let d = Self::default();
+        *d.inner.clock.lock() = clock;
+        d
+    }
+
+    /// Re-point this deadline (and every clone) at `clock`. An armed
+    /// expiry is cleared: it was measured on the old clock.
+    pub fn set_clock(&self, clock: ClockRef) {
+        *self.inner.clock.lock() = clock;
+        *self.inner.expires_us.lock() = None;
     }
 
     /// Arm the deadline `timeout` from now; `None` disarms. A zero
@@ -157,22 +184,24 @@ impl Deadline {
     /// already-expired deadline would instead fail every epoch on its
     /// first phase check.
     pub fn arm(&self, timeout: Option<Duration>) {
-        *self.inner.expires.lock() = timeout
+        let clock = self.inner.clock.lock().clone();
+        *self.inner.expires_us.lock() = timeout
             .filter(|t| !t.is_zero())
-            .map(|t| Instant::now() + t);
+            .map(|t| clock.deadline_us(t));
     }
 
     /// Disarm the deadline (it no longer expires).
     pub fn disarm(&self) {
-        *self.inner.expires.lock() = None;
+        *self.inner.expires_us.lock() = None;
     }
 
     /// True if armed and past the deadline.
     pub fn expired(&self) -> bool {
+        let clock = self.inner.clock.lock().clone();
         self.inner
-            .expires
+            .expires_us
             .lock()
-            .is_some_and(|at| Instant::now() >= at)
+            .is_some_and(|at| clock.monotonic_us() >= at)
     }
 
     /// Err([`SsError::Timeout`]) naming `context` if expired, else Ok.
@@ -263,6 +292,22 @@ mod tests {
         d.arm(Some(Duration::from_millis(1)));
         d.arm(Some(Duration::ZERO));
         std::thread::sleep(Duration::from_millis(3));
+        assert!(!d.expired());
+    }
+
+    #[test]
+    fn deadline_on_a_sim_clock_expires_virtually() {
+        let sim = crate::clock::SimClock::new(0);
+        let d = Deadline::with_clock(sim.handle());
+        d.arm(Some(Duration::from_secs(3600)));
+        assert!(!d.expired(), "no virtual time has passed");
+        sim.advance(Duration::from_secs(3599));
+        assert!(!d.expired());
+        sim.advance(Duration::from_secs(1));
+        assert!(d.expired());
+        assert!(d.check("virtual-phase").is_err());
+        // Re-pointing at a fresh clock clears the stale expiry.
+        d.set_clock(crate::clock::SimClock::new(0).handle());
         assert!(!d.expired());
     }
 

@@ -15,6 +15,9 @@
 //!   low-volume paths (per-record continuous processing).
 //! * [`time`] — event-time helpers: duration parsing and window
 //!   bucketing arithmetic used by the `window()` expression.
+//! * [`clock`] — the unified [`Clock`] trait ([`SystemClock`] /
+//!   [`SimClock`]): how every engine component reads time and sleeps,
+//!   so deterministic-simulation tests can run on virtual time.
 //! * [`metrics`] — counters/gauges/histograms with a Prometheus-text
 //!   [`MetricsRegistry`]; the substrate of the observability layer.
 //! * [`trace`] — epoch-scoped trace spans, dumpable as a
@@ -38,6 +41,7 @@
 
 pub mod batch;
 pub mod bitmap;
+pub mod clock;
 pub mod column;
 pub mod error;
 pub mod eventlog;
@@ -58,6 +62,9 @@ pub mod types;
 
 pub use batch::RecordBatch;
 pub use bitmap::Bitmap;
+pub use clock::{
+    system_clock, Clock, ClockRef, Participation, SimClock, StepClock, SystemClock,
+};
 pub use column::{Column, ColumnBuilder};
 pub use error::{Result, SsError};
 pub use eventlog::{EventLog, StructuredEvent};

@@ -10,9 +10,14 @@
 //! the thundering-herd resonance of plain exponential backoff while
 //! keeping the expected growth exponential.
 
+use crate::clock::{Clock, SystemClock};
 use crate::error::{Result, SsError};
 use crate::rng::XorShift64;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+/// How often an in-flight backoff sleep re-checks its interrupt signal:
+/// a `stop()` issued mid-backoff is honoured within one such interval.
+pub const BACKOFF_POLL: Duration = Duration::from_millis(1);
 
 /// Bounds on how hard to retry a transient failure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,13 +83,31 @@ pub struct RetryOutcome<T> {
     /// True if the call ultimately failed on a transient error after
     /// exhausting attempts or budget.
     pub exhausted: bool,
+    /// True if a backoff sleep was cut short by the interrupt signal
+    /// (the query is stopping or fenced); the last error is returned
+    /// without further attempts.
+    pub interrupted: bool,
 }
 
 /// Run `op` under `policy`: transient errors are retried with
 /// decorrelated-jitter backoff until they succeed, turn fatal, or the
 /// policy's attempts/budget run out.
-pub fn retry<T>(policy: &RetryPolicy, mut op: impl FnMut() -> Result<T>) -> RetryOutcome<T> {
-    let start = Instant::now();
+pub fn retry<T>(policy: &RetryPolicy, op: impl FnMut() -> Result<T>) -> RetryOutcome<T> {
+    retry_with(policy, &SystemClock, &|| false, op)
+}
+
+/// [`retry`] with an explicit clock and interrupt signal. Backoff
+/// sleeps run on `clock` (virtual under simulation) and poll
+/// `interrupted` every [`BACKOFF_POLL`]: a stop or fencing signal cuts
+/// a long backoff short within one poll interval instead of sleeping
+/// it out. The retry *budget* is also measured on `clock`.
+pub fn retry_with<T>(
+    policy: &RetryPolicy,
+    clock: &dyn Clock,
+    interrupted: &dyn Fn() -> bool,
+    mut op: impl FnMut() -> Result<T>,
+) -> RetryOutcome<T> {
+    let budget_until = clock.deadline_us(policy.budget);
     let mut rng = XorShift64::new(policy.seed);
     let mut prev_sleep = policy.base_delay;
     let mut retries = 0u32;
@@ -95,6 +118,7 @@ pub fn retry<T>(policy: &RetryPolicy, mut op: impl FnMut() -> Result<T>) -> Retr
                     result: Ok(v),
                     retries,
                     exhausted: false,
+                    interrupted: false,
                 }
             }
             Err(e) if !e.is_transient() => {
@@ -102,17 +126,27 @@ pub fn retry<T>(policy: &RetryPolicy, mut op: impl FnMut() -> Result<T>) -> Retr
                     result: Err(e),
                     retries,
                     exhausted: false,
+                    interrupted: false,
                 }
             }
             Err(e) => {
+                if interrupted() {
+                    return RetryOutcome {
+                        result: Err(e),
+                        retries,
+                        exhausted: true,
+                        interrupted: true,
+                    };
+                }
                 let attempts_done = retries + 1;
                 if attempts_done >= policy.max_attempts.max(1)
-                    || start.elapsed() > policy.budget
+                    || clock.monotonic_us() > budget_until
                 {
                     return RetryOutcome {
                         result: Err(e),
                         retries,
                         exhausted: true,
+                        interrupted: false,
                     };
                 }
                 // Decorrelated jitter: uniform in [base, prev * 3].
@@ -123,8 +157,15 @@ pub fn retry<T>(policy: &RetryPolicy, mut op: impl FnMut() -> Result<T>) -> Retr
                 let sleep_nanos = (base + rng.next_u64() % (hi - base))
                     .min(policy.max_delay.as_nanos() as u64);
                 prev_sleep = Duration::from_nanos(sleep_nanos);
-                if !prev_sleep.is_zero() {
-                    std::thread::sleep(prev_sleep);
+                if !prev_sleep.is_zero()
+                    && clock.sleep_interruptible(prev_sleep, BACKOFF_POLL, interrupted)
+                {
+                    return RetryOutcome {
+                        result: Err(e),
+                        retries,
+                        exhausted: true,
+                        interrupted: true,
+                    };
                 }
                 retries += 1;
             }
@@ -147,6 +188,7 @@ fn _transient_example() -> SsError {
 mod tests {
     use super::*;
     use std::cell::Cell;
+    use std::time::Instant;
 
     fn flaky(fail_times: u32) -> impl FnMut() -> Result<u32> {
         let calls = Cell::new(0u32);
@@ -234,5 +276,101 @@ mod tests {
     #[test]
     fn retry_result_unwraps_outcome() {
         assert_eq!(retry_result(&RetryPolicy::immediate(5), flaky(2)).unwrap(), 3);
+    }
+
+    #[test]
+    fn stop_during_long_backoff_returns_within_one_poll_interval() {
+        // Regression: backoff used to sleep out its full duration even
+        // when the query was stopping. With a 10s backoff on a virtual
+        // clock, an interrupt raised after the first poll must end the
+        // sleep at the very next check — one BACKOFF_POLL later, not
+        // 10s later.
+        use crate::clock::SimClock;
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let sim = SimClock::new(0);
+        let policy = RetryPolicy {
+            max_attempts: 10,
+            base_delay: Duration::from_secs(10),
+            max_delay: Duration::from_secs(10),
+            budget: Duration::from_secs(3600),
+            seed: 1,
+        };
+        let polls = AtomicU32::new(0);
+        let out = retry_with(
+            &policy,
+            &sim,
+            &|| polls.fetch_add(1, Ordering::SeqCst) >= 2,
+            flaky(1000),
+        );
+        assert!(out.result.is_err());
+        assert!(out.interrupted, "backoff must report the interruption");
+        assert!(out.exhausted);
+        assert_eq!(out.retries, 0, "no further attempt after the stop");
+        let poll_us = BACKOFF_POLL.as_micros() as u64;
+        assert!(
+            sim.now_us() <= 2 * poll_us,
+            "stop honoured within one poll interval, but {}us of backoff elapsed",
+            sim.now_us()
+        );
+    }
+
+    #[test]
+    fn stop_during_backoff_is_prompt_on_the_system_clock() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        use std::time::Instant;
+        let policy = RetryPolicy {
+            max_attempts: 10,
+            base_delay: Duration::from_secs(2),
+            max_delay: Duration::from_secs(2),
+            budget: Duration::from_secs(60),
+            seed: 1,
+        };
+        let stop = Arc::new(AtomicBool::new(false));
+        let setter = stop.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            setter.store(true, Ordering::SeqCst);
+        });
+        let start = Instant::now();
+        let out = retry_with(
+            &policy,
+            &SystemClock,
+            &|| stop.load(Ordering::SeqCst),
+            flaky(1000),
+        );
+        t.join().unwrap();
+        assert!(out.interrupted);
+        assert!(
+            start.elapsed() < Duration::from_secs(1),
+            "a 2s backoff must not be slept out after stop, took {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn backoff_runs_on_the_injected_clock() {
+        // The whole retry (sleeps and budget) is measured on the given
+        // clock: exhausting a 5-attempt policy with 100ms backoffs
+        // advances virtual time but takes ~no wall time.
+        use crate::clock::SimClock;
+        let sim = SimClock::new(9);
+        let policy = RetryPolicy {
+            max_attempts: 5,
+            base_delay: Duration::from_millis(100),
+            max_delay: Duration::from_millis(100),
+            budget: Duration::from_secs(3600),
+            seed: 4,
+        };
+        let wall = std::time::Instant::now();
+        let out = retry_with(&policy, &sim, &|| false, flaky(1000));
+        assert!(out.exhausted);
+        assert_eq!(out.retries, 4);
+        assert!(
+            sim.now_us() >= 4 * 100_000,
+            "four 100ms backoffs should advance >=400ms of virtual time, got {}us",
+            sim.now_us()
+        );
+        assert!(wall.elapsed() < Duration::from_secs(2));
     }
 }

@@ -31,8 +31,8 @@ use std::time::Duration;
 use parking_lot::Mutex;
 
 use ss_bus::MessageBus;
+use ss_common::clock::{system_clock, ClockRef};
 use ss_common::eventlog::{EVENT_PROGRESS, EVENT_START, EVENT_TERMINATE};
-use ss_common::time::now_us;
 use ss_common::{
     EventLog, FaultRegistry, MetricsRegistry, Result, Row, Schema, SchemaRef, SsError, TraceLog,
 };
@@ -201,6 +201,10 @@ pub struct ContinuousConfig {
     /// handle is shared, so faults can be (re)configured while the
     /// query runs.
     pub faults: FaultRegistry,
+    /// Clock the workers' idle sleeps, the coordinator's epoch-marker
+    /// interval and the epoch/latency timestamps run on. A virtual
+    /// clock makes the continuous engine's pacing simulated.
+    pub clock: ClockRef,
 }
 
 impl Default for ContinuousConfig {
@@ -211,6 +215,7 @@ impl Default for ContinuousConfig {
             idle_sleep: Duration::from_micros(100),
             record_latency: true,
             faults: FaultRegistry::new(),
+            clock: system_clock(),
         }
     }
 }
@@ -389,7 +394,13 @@ impl ContinuousQuery {
                         }
                     };
                     if records.is_empty() {
-                        std::thread::park_timeout(config.idle_sleep);
+                        if config.clock.is_virtual() {
+                            // Virtual idle sleeps let simulated time
+                            // advance past quiet polls.
+                            config.clock.sleep(config.idle_sleep);
+                        } else {
+                            std::thread::park_timeout(config.idle_sleep);
+                        }
                         continue;
                     }
                     // Fired only for non-empty batches so tests injecting
@@ -410,7 +421,7 @@ impl ContinuousQuery {
                                     return;
                                 }
                                 if config.record_latency {
-                                    let lat = now_us() - rec.ingest_time_us;
+                                    let lat = config.clock.wall_us() - rec.ingest_time_us;
                                     latency_hist.observe(lat.max(0) as u64);
                                     let mut l = shared.latencies_us.lock();
                                     // Reservoir-ish cap to bound memory
@@ -439,6 +450,7 @@ impl ContinuousQuery {
         let coordinator = wal.map(|wal| {
             let shared = shared.clone();
             let topic = topic.to_string();
+            let clock = config.clock.clone();
             let interval = Duration::from_micros(config.epoch_interval_us.max(1_000) as u64);
             let mut prev_end: ss_common::PartitionOffsets = start_offsets
                 .iter()
@@ -448,7 +460,11 @@ impl ContinuousQuery {
             let mut epoch = start_epoch;
             std::thread::spawn(move || {
                 while !shared.stop.load(Ordering::SeqCst) {
-                    std::thread::park_timeout(interval);
+                    if clock.is_virtual() {
+                        clock.sleep(interval);
+                    } else {
+                        std::thread::park_timeout(interval);
+                    }
                     let end: ss_common::PartitionOffsets = shared
                         .offsets
                         .iter()
@@ -471,14 +487,14 @@ impl ContinuousQuery {
                         epoch,
                         sources,
                         watermark_us: i64::MIN,
-                        defined_at_us: now_us(),
+                        defined_at_us: clock.wall_us(),
                     };
                     let rows = offsets.sources[&topic].num_records();
                     if wal.write_offsets(&offsets).is_ok() {
                         let _ = wal.write_commit(&EpochCommit {
                             epoch,
                             rows_written: rows,
-                            committed_at_us: now_us(),
+                            committed_at_us: clock.wall_us(),
                             quarantined: Default::default(),
                             fencing_epoch: None,
                         });

@@ -168,7 +168,15 @@ impl StandbyQuery {
                 Err(_) => {}
             }
             if tick + 1 < max_ticks {
-                std::thread::sleep(poll);
+                // Poll on the lease's clock: lapse is observed in the
+                // same timebase, and a virtual clock makes the whole
+                // takeover drill run in simulated time.
+                self.engine
+                    .ha()
+                    .expect("standby engines always carry an HA config")
+                    .lease
+                    .clock()
+                    .sleep(poll);
             }
         }
         Err(SsError::Execution(format!(
@@ -183,9 +191,9 @@ impl StandbyQuery {
 mod tests {
     use super::*;
     use std::collections::HashMap;
-    use std::sync::atomic::{AtomicU64, Ordering};
 
     use ss_bus::{GeneratorSource, MemorySink, Sink, Source};
+    use ss_common::clock::{ClockRef, SimClock};
     use ss_common::{row, DataType, Field, Schema, SchemaRef, Value};
     use ss_exec::MemoryCatalog;
     use ss_expr::{col, count_star};
@@ -220,17 +228,18 @@ mod tests {
             .build()
     }
 
-    /// Shared fake monotonic clock (µs).
-    fn fake_clock() -> (Arc<AtomicU64>, Arc<dyn Fn() -> u64 + Send + Sync>) {
-        let t = Arc::new(AtomicU64::new(0));
-        let c = t.clone();
-        (t, Arc::new(move || c.load(Ordering::SeqCst)))
+    /// Shared virtual clock: the `SimClock` half steps time, the
+    /// `ClockRef` half is what lease managers observe.
+    fn fake_clock() -> (SimClock, ClockRef) {
+        let sim = SimClock::new(0);
+        let handle = sim.handle();
+        (sim, handle)
     }
 
     fn lease_on(
         shared: &Arc<dyn CheckpointBackend>,
         holder: &str,
-        clock: Arc<dyn Fn() -> u64 + Send + Sync>,
+        clock: ClockRef,
     ) -> Arc<LeaseManager> {
         Arc::new(LeaseManager::with_clock(
             shared.clone(),
@@ -346,7 +355,7 @@ mod tests {
         let before = sink.snapshot();
 
         // The leader goes silent past ttl + grace of monotonic time.
-        t.fetch_add(151_000, Ordering::SeqCst);
+        t.advance(Duration::from_micros(151_000));
         match standby.tick().unwrap() {
             StandbyStatus::LeaderLapsed { caught_up_to } => assert_eq!(caught_up_to, 1),
             other => panic!("expected LeaderLapsed, got {other:?}"),
@@ -394,7 +403,8 @@ mod tests {
             true,
         );
         let standby = StandbyQuery::new(standby).unwrap();
-        // The clock never advances, so the lease never lapses.
+        // The virtual clock only advances by the 1ms poll sleeps — far
+        // short of the 150ms lapse window — so the lease stays live.
         let err = match standby.run_until_promoted(Duration::from_millis(1), 3) {
             Err(e) => e,
             Ok(_) => panic!("promotion should not happen under a live lease"),

@@ -45,6 +45,7 @@ use ss_common::profile::{
     PHASE_ADMISSION, PHASE_EXECUTE, PHASE_FINALIZE, PHASE_SINK_COMMIT, PHASE_SOURCE_READ,
     PHASE_STATE_COMMIT, PHASE_WAL,
 };
+use ss_common::clock::{system_clock, ClockRef};
 use ss_common::time::now_us;
 use ss_common::{
     failure_fingerprint, Counter, Deadline, EpochProfile, EpochProfiler, ErrorPolicy, EventLog,
@@ -70,7 +71,14 @@ use crate::watermark::WatermarkTracker;
 pub use ss_state::MemoryBudget;
 
 /// A processing-time clock, injectable for deterministic tests.
-pub type Clock = Arc<dyn Fn() -> i64 + Send + Sync>;
+///
+/// Historically this was a bare `Arc<dyn Fn() -> i64>` private to the
+/// engine; it is now the workspace-wide [`ss_common::clock::Clock`]
+/// trait, so one injected clock drives processing-time stamps, retry
+/// backoff, watchdog deadlines and fault stalls coherently (see
+/// [`ss_common::clock::SimClock`] for fully virtual time and
+/// [`ss_common::clock::StepClock`] for stepping/frozen test clocks).
+pub type Clock = ClockRef;
 
 /// Quarantined `(partition, offset)` pairs per source — the shape
 /// recorded in an epoch's WAL commit so replay can strip poison rows
@@ -122,8 +130,19 @@ pub struct MicroBatchConfig {
     /// Retry policy for transient failures on the durability paths
     /// (source read, sink commit, WAL append, checkpoint write).
     pub retry: RetryPolicy,
-    /// Processing-time clock.
+    /// Processing-time clock. Also drives retry backoff, the epoch
+    /// watchdog, per-task deadlines and injected fault stalls, so a
+    /// virtual clock ([`ss_common::clock::SimClock`]) makes the whole
+    /// engine's sense of time simulated.
     pub clock: Clock,
+    /// Cooperative interrupt for retry backoff: while a durability
+    /// retry (source read, sink commit, WAL append, checkpoint write)
+    /// is sleeping out its backoff, raising this flag aborts the sleep
+    /// within one poll interval ([`ss_common::retry::BACKOFF_POLL`])
+    /// and fails the attempt with its transient error. `stop()` on a
+    /// background query raises it, so stopping never waits out a long
+    /// backoff. Clones of this config share the flag.
+    pub interrupt: Arc<std::sync::atomic::AtomicBool>,
     /// PID-based admission control (`None` = disabled): each epoch's
     /// row budget is steered toward the measured processing rate, with
     /// scheduling delay drained via the integral term. Composes with
@@ -200,7 +219,8 @@ impl Default for MicroBatchConfig {
             progress_history: 128,
             faults: FaultRegistry::new(),
             retry: RetryPolicy::default(),
-            clock: Arc::new(now_us),
+            clock: system_clock(),
+            interrupt: Arc::new(std::sync::atomic::AtomicBool::new(false)),
             rate_controller: None,
             state_budget: MemoryBudget::default(),
             min_epochs_to_retain: None,
@@ -227,14 +247,20 @@ impl Default for MicroBatchConfig {
 /// Run `op` under `policy`, recording retry activity in the query's
 /// metric registry (`ss_retry_attempts_total` counts re-attempts,
 /// `ss_retries_exhausted_total` counts calls that failed transiently
-/// after using up the policy).
+/// after using up the policy, `ss_retry_interrupted_total` counts
+/// backoffs cut short by the engine's interrupt flag). Backoff sleeps
+/// run on `clock` and abort within one poll interval once `interrupt`
+/// is raised (`stop()` on a background query raises it).
 pub(crate) fn retried<T>(
     policy: &RetryPolicy,
+    clock: &ClockRef,
+    interrupt: &Arc<std::sync::atomic::AtomicBool>,
     registry: &MetricsRegistry,
     op: &str,
     f: impl FnMut() -> Result<T>,
 ) -> Result<T> {
-    let out = ss_common::retry::retry(policy, f);
+    let interrupted = || interrupt.load(std::sync::atomic::Ordering::SeqCst);
+    let out = ss_common::retry::retry_with(policy, clock.as_ref(), &interrupted, f);
     if out.retries > 0 {
         registry
             .counter("ss_retry_attempts_total", &[("op", op)])
@@ -243,6 +269,11 @@ pub(crate) fn retried<T>(
     if out.exhausted {
         registry
             .counter("ss_retries_exhausted_total", &[("op", op)])
+            .inc();
+    }
+    if out.interrupted {
+        registry
+            .counter("ss_retry_interrupted_total", &[("op", op)])
             .inc();
     }
     out.result
@@ -572,6 +603,8 @@ impl MicroBatchExecution {
                 &trace,
                 config.faults.clone(),
                 config.retry,
+                config.clock.clone(),
+                config.interrupt.clone(),
                 config.task_soft_deadline,
                 config.task_hard_deadline,
             )
@@ -579,8 +612,11 @@ impl MicroBatchExecution {
             None
         };
         // The watchdog is shared with the fault registry so injected
-        // hangs release (as transient timeouts) when it expires.
-        let watchdog = Deadline::new();
+        // hangs release (as transient timeouts) when it expires. Both
+        // run on the engine clock, so a simulated clock expires them
+        // (and stalls through them) virtually.
+        let watchdog = Deadline::with_clock(config.clock.clone());
+        config.faults.set_clock(config.clock.clone());
         let dlq = config.dlq.clone().unwrap_or_default();
         config.faults.attach_deadline(&watchdog);
         if let Some(ha) = &config.ha {
@@ -668,6 +704,21 @@ impl MicroBatchExecution {
 
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The engine's retry-backoff interrupt flag
+    /// ([`MicroBatchConfig::interrupt`]): raise it to make an in-flight
+    /// durability retry give up within one backoff poll interval.
+    /// `StreamingQuery::stop` raises it so stopping never waits out a
+    /// long backoff.
+    pub fn interrupt_handle(&self) -> Arc<std::sync::atomic::AtomicBool> {
+        self.config.interrupt.clone()
+    }
+
+    /// The clock this engine observes time through
+    /// ([`MicroBatchConfig::clock`]).
+    pub fn clock(&self) -> ClockRef {
+        self.config.clock.clone()
     }
 
     /// The schema of rows delivered to the sink.
@@ -821,7 +872,7 @@ impl MicroBatchExecution {
     }
 
     fn run_epoch_inner(&mut self) -> Result<EpochRun> {
-        let started = (self.config.clock)();
+        let started = self.config.clock.wall_us();
         // Wall-clock phase attribution runs on the monotonic clock, so
         // profiles stay meaningful even under a frozen test clock.
         let epoch_wall = Instant::now();
@@ -926,7 +977,7 @@ impl MicroBatchExecution {
             ranges.insert(name, range);
         }
 
-        let pt = (self.config.clock)();
+        let pt = self.config.clock.wall_us();
         if new_records == 0 && !self.root.has_pending_timeouts(&mut self.store, pt) {
             // Caught up: the next epoch starts on time.
             self.last_epoch_duration_us = 0;
@@ -980,7 +1031,7 @@ impl MicroBatchExecution {
         {
             let _span = self.trace.span("write-offsets", &[]);
             let t_wal = Instant::now();
-            retried(&self.config.retry, &self.registry, "wal_offsets_append", || {
+            retried(&self.config.retry, &self.config.clock, &self.config.interrupt, &self.registry, "wal_offsets_append", || {
                 self.wal.write_offsets(&offsets)
             })?;
             profile.record(PHASE_WAL, None, t_wal.elapsed().as_micros() as u64);
@@ -996,7 +1047,7 @@ impl MicroBatchExecution {
         drop(epoch_span);
 
         let t_finalize = Instant::now();
-        let finished = (self.config.clock)();
+        let finished = self.config.clock.wall_us();
         // Clamp: with a coarse (or frozen test) clock an epoch can
         // complete in 0 µs, and the rows/s division must stay finite.
         let duration = (finished - started).max(1);
@@ -1137,6 +1188,8 @@ impl MicroBatchExecution {
     ) -> Result<EpochExecution> {
         let trace = self.trace.clone();
         let retry_policy = self.config.retry;
+        let clock = self.config.clock.clone();
+        let interrupt = self.config.interrupt.clone();
         let faults = self.config.faults.clone();
         let registry = self.registry.clone();
         // Read exactly the logged ranges (replayable sources), with
@@ -1156,7 +1209,7 @@ impl MicroBatchExecution {
                 })?;
                 let projection = projections.get(name).cloned().flatten();
                 let t_read = Instant::now();
-                let batch = retried(&retry_policy, &registry, "source_read", || {
+                let batch = retried(&retry_policy, &clock, &interrupt, &registry, "source_read", || {
                     faults.fire(failpoints::SOURCE_READ)?;
                     source.read_all_projected(range, projection.as_deref())
                 })?;
@@ -1215,7 +1268,7 @@ impl MicroBatchExecution {
         // The logged watermark is authoritative (recovery reproduces
         // the original epoch's output exactly).
         self.tracker.set_current(offsets.watermark_us);
-        let pt = (self.config.clock)();
+        let pt = self.config.clock.wall_us();
         let mut ops = OpStatsCollector::new();
         let exec_started = trace.now_us();
         let t_exec = Instant::now();
@@ -1308,7 +1361,7 @@ impl MicroBatchExecution {
                 // The sink lives outside the checkpoint backend, so the
                 // fencing check is explicit here: a zombie leader is
                 // rejected before any output becomes visible.
-                retried(&retry_policy, &registry, "sink_commit", || {
+                retried(&retry_policy, &clock, &interrupt, &registry, "sink_commit", || {
                     if let Some(ha) = &self.config.ha {
                         ha.lease.check_fenced("sink-commit")?;
                     }
@@ -1346,7 +1399,7 @@ impl MicroBatchExecution {
                     let epoch = offsets.epoch;
                     let to_commit = letters.clone();
                     let ha = self.config.ha.as_ref();
-                    retried(&retry_policy, &registry, "dlq_write", || {
+                    retried(&retry_policy, &clock, &interrupt, &registry, "dlq_write", || {
                         if let Some(ha) = ha {
                             ha.lease.check_fenced("dlq-commit")?;
                         }
@@ -1376,12 +1429,12 @@ impl MicroBatchExecution {
             let commit = EpochCommit {
                 epoch: offsets.epoch,
                 rows_written: out_rows,
-                committed_at_us: (self.config.clock)(),
+                committed_at_us: self.config.clock.wall_us(),
                 quarantined: quarantined.clone(),
                 fencing_epoch: self.held_fencing_epoch(),
             };
             let t_wal = Instant::now();
-            retried(&retry_policy, &registry, "wal_commits_append", || {
+            retried(&retry_policy, &clock, &interrupt, &registry, "wal_commits_append", || {
                 self.wal.write_commit(&commit)
             })?;
             profile.record(PHASE_WAL, None, t_wal.elapsed().as_micros() as u64);
@@ -1399,7 +1452,7 @@ impl MicroBatchExecution {
             let t_state = Instant::now();
             self.tracker.save(&mut self.store);
             let store = &mut self.store;
-            retried(&retry_policy, &registry, "checkpoint_write", || {
+            retried(&retry_policy, &clock, &interrupt, &registry, "checkpoint_write", || {
                 store.checkpoint(offsets.epoch)
             })?;
             // Right after a checkpoint every operator is clean, so the
@@ -1429,7 +1482,7 @@ impl MicroBatchExecution {
             // only ever describe a state layout that exists on disk, so
             // it is never written ahead of the first checkpoint of the
             // current plan.
-            retried(&retry_policy, &registry, "manifest_write", || {
+            retried(&retry_policy, &clock, &interrupt, &registry, "manifest_write", || {
                 faults.fire(failpoints::MANIFEST_WRITE)?;
                 self.write_manifest(false)
             })?;
@@ -1459,7 +1512,7 @@ impl MicroBatchExecution {
         offsets: &EpochOffsets,
         inputs: &HashMap<String, RecordBatch>,
     ) -> Result<(QuarantinedOffsets, Vec<DeadLetterRecord>)> {
-        let pt = (self.config.clock)();
+        let pt = self.config.clock.wall_us();
         let probe_faults = FaultRegistry::new();
         let mut quarantined: QuarantinedOffsets = BTreeMap::new();
         let mut letters = Vec::new();
@@ -1577,7 +1630,7 @@ impl MicroBatchExecution {
         }
         let registry = self.registry.clone();
         let faults = self.config.faults.clone();
-        retried(&self.config.retry, &registry, "manifest_write", || {
+        retried(&self.config.retry, &self.config.clock, &self.config.interrupt, &registry, "manifest_write", || {
             faults.fire(failpoints::MANIFEST_WRITE)?;
             self.write_manifest(true)
         })
@@ -2372,15 +2425,9 @@ mod tests {
 
     #[test]
     fn rate_controller_limits_admission_and_reports() {
-        use std::sync::atomic::{AtomicI64, Ordering};
-
         // A stepping clock: every reading advances 100ms, so each epoch
         // appears to take several hundred ms of processing time.
-        let t = Arc::new(AtomicI64::new(0));
-        let clock: Clock = {
-            let t = t.clone();
-            Arc::new(move || t.fetch_add(100_000, Ordering::SeqCst))
-        };
+        let clock: Clock = ss_common::clock::StepClock::new(0, 100_000).handle();
         let src = gen_source(1);
         let sink = MemorySink::new("out");
         let config = MicroBatchConfig {
@@ -2576,10 +2623,13 @@ mod tests {
     fn zero_duration_epoch_keeps_rate_finite() {
         // A frozen clock makes `finished - started == 0`; the engine
         // must clamp the duration so rows/s never divides by zero.
+        // Serial path only: parallel gather polls sleep on the clock,
+        // which legitimately advances a StepClock past zero.
         let src = gen_source(1);
         let sink = MemorySink::new("out");
         let config = MicroBatchConfig {
-            clock: Arc::new(|| 42),
+            clock: ss_common::clock::StepClock::frozen(42).handle(),
+            parallelism: 1,
             ..Default::default()
         };
         let mut eng = engine(src.clone(), sink, Arc::new(MemoryBackend::new()), config);

@@ -40,11 +40,13 @@
 //! [`ParallelExec::try_build`] and fall back to the serial path.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rustc_hash::FxHashSet;
 
+use ss_common::clock::ClockRef;
 use ss_common::profile::{
     ShuffleProfile, PHASE_MAP, PHASE_MERGE, PHASE_REDUCE, PHASE_SHUFFLE_READ, PHASE_SHUFFLE_WRITE,
 };
@@ -166,6 +168,8 @@ pub struct ParallelExec {
     registry: MetricsRegistry,
     faults: FaultRegistry,
     retry: RetryPolicy,
+    clock: ClockRef,
+    interrupt: Arc<AtomicBool>,
 }
 
 impl ParallelExec {
@@ -181,6 +185,8 @@ impl ParallelExec {
         trace: &TraceLog,
         faults: FaultRegistry,
         retry: RetryPolicy,
+        clock: ClockRef,
+        interrupt: Arc<AtomicBool>,
         soft_deadline: Option<Duration>,
         hard_deadline: Option<Duration>,
     ) -> Option<ParallelExec> {
@@ -200,12 +206,15 @@ impl ParallelExec {
         );
         Some(ParallelExec {
             pool: WorkerPool::new(parallelism, Some(registry.clone()), Some(trace.clone()))
-                .with_deadlines(soft_deadline, hard_deadline),
+                .with_deadlines(soft_deadline, hard_deadline)
+                .with_clock(clock.clone()),
             partitions,
             plan,
             registry: registry.clone(),
             faults,
             retry,
+            clock,
+            interrupt,
         })
     }
 
@@ -235,6 +244,8 @@ impl ParallelExec {
         let env = TaskEnv {
             faults: self.faults.clone(),
             retry: self.retry,
+            clock: self.clock.clone(),
+            interrupt: self.interrupt.clone(),
             registry: self.registry.clone(),
         };
         let (out, label) = match &mut self.plan {
@@ -283,17 +294,19 @@ impl ParallelExec {
                     let TaskEnv {
                         faults,
                         retry,
+                        clock,
+                        interrupt,
                         registry,
                     } = env.clone();
                     tasks.push(Box::new(move || {
-                        retried(&retry, &registry, "sched_task_run", || {
+                        retried(&retry, &clock, &interrupt, &registry, "sched_task_run", || {
                             faults.fire(failpoints::TASK_RUN)
                         })?;
                         faults.fire(failpoints::TASK_HANG)?;
                         let mut maxima = Vec::new();
                         let out = run_chain(&chain, chunk, wm, &mut maxima, &faults)?;
                         let pairs = expander.expand(&out)?;
-                        retried(&retry, &registry, "sched_shuffle_write", || {
+                        retried(&retry, &clock, &interrupt, &registry, "sched_shuffle_write", || {
                             faults.fire(failpoints::SHUFFLE_WRITE)
                         })?;
                         let t_write = Instant::now();
@@ -359,10 +372,12 @@ impl ParallelExec {
                     let TaskEnv {
                         faults,
                         retry,
+                        clock,
+                        interrupt,
                         registry,
                     } = env.clone();
                     tasks.push(Box::new(move || {
-                        retried(&retry, &registry, "sched_task_run", || {
+                        retried(&retry, &clock, &interrupt, &registry, "sched_task_run", || {
                             faults.fire(failpoints::TASK_RUN)
                         })?;
                         faults.fire(failpoints::TASK_HANG)?;
@@ -430,17 +445,19 @@ impl ParallelExec {
                     let TaskEnv {
                         faults,
                         retry,
+                        clock,
+                        interrupt,
                         registry,
                     } = env.clone();
                     tasks.push(Box::new(move || {
-                        retried(&retry, &registry, "sched_task_run", || {
+                        retried(&retry, &clock, &interrupt, &registry, "sched_task_run", || {
                             faults.fire(failpoints::TASK_RUN)
                         })?;
                         faults.fire(failpoints::TASK_HANG)?;
                         let mut maxima = Vec::new();
                         let out = run_chain(&chain, chunk, wm, &mut maxima, &faults)?;
                         let keyed = exec.prepare_side(&out, is_left, 0)?;
-                        retried(&retry, &registry, "sched_shuffle_write", || {
+                        retried(&retry, &clock, &interrupt, &registry, "sched_shuffle_write", || {
                             faults.fire(failpoints::SHUFFLE_WRITE)
                         })?;
                         Ok((keyed, maxima))
@@ -512,10 +529,12 @@ impl ParallelExec {
                     let TaskEnv {
                         faults,
                         retry,
+                        clock,
+                        interrupt,
                         registry,
                     } = env.clone();
                     tasks.push(Box::new(move || {
-                        retried(&retry, &registry, "sched_task_run", || {
+                        retried(&retry, &clock, &interrupt, &registry, "sched_task_run", || {
                             faults.fire(failpoints::TASK_RUN)
                         })?;
                         faults.fire(failpoints::TASK_HANG)?;
@@ -621,11 +640,15 @@ fn record_shuffle(registry: &MetricsRegistry, op: &str, prof: &ShuffleProfile) {
 }
 
 /// Cloneable environment every task closure captures: fail points,
-/// retry policy and the metric registry the retries report into.
+/// retry policy (with the clock its backoffs sleep on and the
+/// interrupt flag that cuts them short) and the metric registry the
+/// retries report into.
 #[derive(Clone)]
 struct TaskEnv {
     faults: FaultRegistry,
     retry: RetryPolicy,
+    clock: ClockRef,
+    interrupt: Arc<AtomicBool>,
     registry: MetricsRegistry,
 }
 
@@ -644,10 +667,12 @@ fn scatter_map(
         let TaskEnv {
             faults,
             retry,
+            clock,
+            interrupt,
             registry,
         } = env.clone();
         tasks.push(Box::new(move || {
-            retried(&retry, &registry, "sched_task_run", || {
+            retried(&retry, &clock, &interrupt, &registry, "sched_task_run", || {
                 faults.fire(failpoints::TASK_RUN)
             })?;
             faults.fire(failpoints::TASK_HANG)?;

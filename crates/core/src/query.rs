@@ -18,7 +18,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use parking_lot::Mutex;
 
@@ -133,8 +133,13 @@ impl StreamingQuery {
         policy: RestartPolicy,
     ) -> StreamingQuery {
         let name = engine.name().to_string();
+        // The stop flag *is* the engine's retry-backoff interrupt
+        // flag: one store both ends the trigger loop and aborts any
+        // in-flight backoff sleep, so `stop()` never waits out a long
+        // retry schedule (the interrupted attempt fails with its
+        // transient error at the commit boundary).
+        let stop = engine.interrupt_handle();
         let engine = Arc::new(Mutex::new(engine));
-        let stop = Arc::new(AtomicBool::new(false));
         let error: Arc<Mutex<Option<String>>> = Arc::new(Mutex::new(None));
         let handle = {
             let engine = engine.clone();
@@ -316,13 +321,16 @@ impl StreamingQuery {
     /// or the timeout expires. Background mode only makes progress on
     /// its own; in sync mode this simply drains.
     pub fn await_idle(&mut self, timeout: Duration) -> Result<bool> {
-        let deadline = Instant::now() + timeout;
         match &mut self.inner {
             QueryInner::Sync(_) => {
                 self.process_available()?;
                 Ok(true)
             }
             QueryInner::Background { engine, error, .. } => {
+                // Deadline and polling sleep both run on the engine
+                // clock, so the wait is virtual under simulation.
+                let clock = engine.lock().clock();
+                let deadline = clock.deadline_us(timeout);
                 loop {
                     if let Some(e) = error.lock().clone() {
                         return Err(SsError::Execution(e));
@@ -333,10 +341,10 @@ impl StreamingQuery {
                             return Ok(true);
                         }
                     }
-                    if Instant::now() >= deadline {
+                    if clock.monotonic_us() >= deadline {
                         return Ok(false);
                     }
-                    std::thread::sleep(Duration::from_millis(1));
+                    clock.sleep(Duration::from_millis(1));
                 }
             }
         }
@@ -404,6 +412,10 @@ impl StreamingQuery {
                     h.join()
                         .map_err(|_| SsError::Execution("query thread panicked".into()))?;
                 }
+                // The trigger thread is gone; clear the shared flag so
+                // an engine rebuilt over the same config (upgrades,
+                // restart_from_checkpoint) starts uninterrupted.
+                stop.store(false, Ordering::SeqCst);
                 if let Some(e) = error.lock().clone() {
                     // A failed query did not drain; leave the manifest
                     // unsealed so the next recovery re-runs the
@@ -436,6 +448,7 @@ impl StreamingQuery {
                     h.join()
                         .map_err(|_| SsError::Execution("query thread panicked".into()))?;
                 }
+                stop.store(false, Ordering::SeqCst);
                 let err = error.lock().clone();
                 // Idempotent: a no-op if the trigger thread already
                 // fired it on failure.
@@ -479,6 +492,20 @@ fn supervise(
     let mut tracker = FailureTracker::new();
     let mut healthy_epochs: u32 = 0;
     let mut deterministic_fp: Option<u64> = None;
+    // Trigger pacing and restart backoff run on the engine clock, so a
+    // simulated clock drives the whole supervision schedule virtually.
+    // `stop()` interrupts both kinds of wait: real waits via unpark,
+    // virtual waits via the interrupted-poll below.
+    let clock = engine.lock().clock();
+    let wait = |d: Duration| {
+        if clock.is_virtual() {
+            clock.sleep_interruptible(d, ss_common::retry::BACKOFF_POLL, &|| {
+                stop.load(Ordering::SeqCst)
+            });
+        } else {
+            std::thread::park_timeout(d);
+        }
+    };
     'incarnation: loop {
         // Drive the trigger until it errors (Some) or finishes (None).
         let failure: Option<SsError> = match trigger {
@@ -486,7 +513,7 @@ fn supervise(
             TriggerPolicy::ProcessingTime(interval) => {
                 let mut failure = None;
                 while !stop.load(Ordering::SeqCst) {
-                    let started = Instant::now();
+                    let started = clock.monotonic_us();
                     match engine.lock().run_epoch() {
                         Err(e) => {
                             failure = Some(e);
@@ -510,9 +537,10 @@ fn supervise(
                         }
                         Ok(_) => {}
                     }
-                    let elapsed = started.elapsed();
+                    let elapsed =
+                        Duration::from_micros(clock.monotonic_us().saturating_sub(started));
                     if elapsed < interval {
-                        std::thread::park_timeout(interval - elapsed);
+                        wait(interval - elapsed);
                     }
                 }
                 failure
@@ -567,7 +595,7 @@ fn supervise(
             }
             // Exponential backoff; `stop()` unparks us early.
             if !delay.is_zero() {
-                std::thread::park_timeout(delay);
+                wait(delay);
             }
             delay = (delay * 2).min(policy.max_backoff.max(policy.backoff));
             restarts_done += 1;
@@ -669,6 +697,8 @@ impl StreamingQueryManager {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Instant;
+
     use crate::microbatch::{failpoints, MicroBatchConfig, MicroBatchExecution};
     use ss_bus::{GeneratorSource, MemorySink, Source};
     use ss_common::fault::{FaultMode, FaultTrigger};

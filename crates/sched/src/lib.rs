@@ -28,11 +28,12 @@
 //! only promises "run these, give them back in order, lose nothing."
 
 use std::panic::{self, AssertUnwindSafe};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use ss_common::clock::{system_clock, ClockRef};
 use ss_common::metrics::MetricsRegistry;
 use ss_common::profile::TaskSkew;
 use ss_common::trace::TraceLog;
@@ -142,6 +143,10 @@ pub struct WorkerPool {
     trace: Option<TraceLog>,
     soft_deadline: Option<Duration>,
     hard_deadline: Option<Duration>,
+    /// The clock stage deadlines are measured on. Virtual under
+    /// simulation, so a hung stage's hard deadline fires in virtual
+    /// time instead of stalling the suite.
+    clock: ClockRef,
 }
 
 impl WorkerPool {
@@ -170,6 +175,7 @@ impl WorkerPool {
             trace,
             soft_deadline: None,
             hard_deadline: None,
+            clock: system_clock(),
         }
     }
 
@@ -182,6 +188,12 @@ impl WorkerPool {
     ) -> WorkerPool {
         self.soft_deadline = soft;
         self.hard_deadline = hard;
+        self
+    }
+
+    /// Measure stage deadlines on `clock` instead of the system clock.
+    pub fn with_clock(mut self, clock: ClockRef) -> WorkerPool {
+        self.clock = clock;
         self
     }
 
@@ -251,7 +263,15 @@ impl WorkerPool {
             let trace = self.trace.clone();
             let stage = stage.to_string();
             let enqueued = Instant::now();
+            // Under a virtual clock the task must count as runnable
+            // from enqueue to completion, or the simulation would
+            // fast-forward past deadlines while the task computes: the
+            // pin covers the queue wait, the scope covers execution.
+            let clock = self.clock.clone();
+            let pin = self.clock.pin();
             let job: Job = Box::new(move || {
+                let _scope = clock.enter_scope();
+                drop(pin);
                 let queue_wait_us = enqueued.elapsed().as_micros() as u64;
                 let span = trace.as_ref().map(|t| {
                     t.span(
@@ -290,19 +310,44 @@ impl WorkerPool {
     ) -> Result<ScatterResult<R>> {
         let mut slots: Vec<Option<TaskOutcome<R>>> = (0..n).map(|_| None).collect();
         let mut stats = ScatterStats { tasks: n as u64, ..ScatterStats::default() };
-        let started = Instant::now();
+        let started_us = self.clock.monotonic_us();
         let mut soft_noted = false;
         for done in 0..n {
             let report = loop {
-                match report_rx.recv_timeout(GATHER_POLL) {
-                    Ok(report) => break report,
-                    Err(RecvTimeoutError::Disconnected) => {
-                        return Err(SsError::Internal(format!(
-                            "worker pool lost a task report in stage {stage}"
-                        )))
+                // Under a virtual clock the channel timeout cannot see
+                // virtual time, so poll with a clock sleep instead —
+                // the sleep is what lets a simulated stage deadline
+                // advance and fire.
+                let next = if self.clock.is_virtual() {
+                    match report_rx.try_recv() {
+                        Ok(report) => Some(report),
+                        Err(TryRecvError::Disconnected) => {
+                            return Err(SsError::Internal(format!(
+                                "worker pool lost a task report in stage {stage}"
+                            )))
+                        }
+                        Err(TryRecvError::Empty) => {
+                            self.clock.sleep(GATHER_POLL);
+                            None
+                        }
                     }
-                    Err(RecvTimeoutError::Timeout) => {
-                        let elapsed = started.elapsed();
+                } else {
+                    match report_rx.recv_timeout(GATHER_POLL) {
+                        Ok(report) => Some(report),
+                        Err(RecvTimeoutError::Disconnected) => {
+                            return Err(SsError::Internal(format!(
+                                "worker pool lost a task report in stage {stage}"
+                            )))
+                        }
+                        Err(RecvTimeoutError::Timeout) => None,
+                    }
+                };
+                match next {
+                    Some(report) => break report,
+                    None => {
+                        let elapsed = Duration::from_micros(
+                            self.clock.monotonic_us().saturating_sub(started_us),
+                        );
                         if !soft_noted
                             && self.soft_deadline.is_some_and(|soft| elapsed >= soft)
                         {
@@ -565,6 +610,43 @@ mod tests {
             .unwrap();
         assert_eq!(out.results, vec![0, 1, 2, 3]);
         release.store(true, Ordering::SeqCst); // let the stuck thread die
+    }
+
+    #[test]
+    fn hard_deadline_fires_on_virtual_time() {
+        // A 60s hard deadline measured on a SimClock: the wedge is
+        // simulated (the task stalls on the virtual clock, as injected
+        // Hang faults do), so the deadline passes in milliseconds of
+        // wall time and the worker is abandoned without really waiting.
+        // Tasks register as simulation participants while they run, so
+        // virtual time only moves through their own clock calls.
+        let sim = ss_common::clock::SimClock::new(0);
+        let registry = MetricsRegistry::new();
+        let pool = WorkerPool::new(2, Some(registry.clone()), None)
+            .with_deadlines(Some(Duration::from_secs(10)), Some(Duration::from_secs(60)))
+            .with_clock(sim.handle());
+        let release = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stuck = Arc::clone(&release);
+        let task_clock = sim.handle();
+        let wall = Instant::now();
+        let tasks: Vec<Box<dyn FnOnce() -> Result<u64> + Send>> = vec![boxed(move || {
+            while !stuck.load(Ordering::SeqCst) {
+                task_clock.sleep(Duration::from_millis(5));
+            }
+            Ok(1)
+        })];
+        let err = pool.scatter("virtual-wedge", tasks).unwrap_err();
+        assert!(matches!(err, SsError::Timeout(_)), "{err:?}");
+        assert!(
+            wall.elapsed() < Duration::from_secs(30),
+            "a 60s virtual deadline must not take 60s of wall time"
+        );
+        let soft = registry.counter(
+            "ss_task_deadline_exceeded_total",
+            &[("stage", "virtual-wedge"), ("kind", "soft")],
+        );
+        assert_eq!(soft.get(), 1, "the 10s soft deadline fired on the way");
+        release.store(true, Ordering::SeqCst);
     }
 
     #[test]

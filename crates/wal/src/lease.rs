@@ -32,11 +32,12 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
+use ss_common::clock::{system_clock, ClockRef};
 use ss_common::fault::FaultRegistry;
 use ss_common::{frame, Counter, MetricsRegistry, Result, SsError};
 use ss_state::CheckpointBackend;
@@ -119,9 +120,11 @@ pub struct LeaseManager {
     holder: String,
     ttl: Duration,
     grace: Duration,
-    /// Local monotonic clock in µs. Injectable so tests control time
-    /// (pausing a "zombie" is advancing everyone else's clock).
-    clock: Arc<dyn Fn() -> u64 + Send + Sync>,
+    /// Local clock (monotonic µs). Injectable so tests control time —
+    /// pausing a "zombie" is advancing everyone else's [`SimClock`].
+    ///
+    /// [`SimClock`]: ss_common::clock::SimClock
+    clock: ClockRef,
     faults: Mutex<FaultRegistry>,
     state: Mutex<HolderState>,
     observed: Mutex<Option<Observation>>,
@@ -145,24 +148,18 @@ impl LeaseManager {
         ttl: Duration,
         grace: Duration,
     ) -> LeaseManager {
-        let origin = Instant::now();
-        Self::with_clock(
-            backend,
-            holder,
-            ttl,
-            grace,
-            Arc::new(move || origin.elapsed().as_micros() as u64),
-        )
+        Self::with_clock(backend, holder, ttl, grace, system_clock())
     }
 
-    /// Like [`new`](Self::new) with an injected monotonic clock
-    /// (µs). Tests advance a shared counter instead of sleeping.
+    /// Like [`new`](Self::new) with an injected [`ClockRef`]. Tests
+    /// pass a [`ss_common::clock::SimClock`] and advance virtual time
+    /// instead of sleeping.
     pub fn with_clock(
         backend: Arc<dyn CheckpointBackend>,
         holder: impl Into<String>,
         ttl: Duration,
         grace: Duration,
-        clock: Arc<dyn Fn() -> u64 + Send + Sync>,
+        clock: ClockRef,
     ) -> LeaseManager {
         LeaseManager {
             backend,
@@ -204,7 +201,12 @@ impl LeaseManager {
     }
 
     fn now_us(&self) -> u64 {
-        (self.clock)()
+        self.clock.monotonic_us()
+    }
+
+    /// The clock this manager measures TTLs on.
+    pub fn clock(&self) -> ClockRef {
+        self.clock.clone()
     }
 
     /// This participant's identity string.
@@ -545,20 +547,28 @@ impl CheckpointBackend for FencedBackend {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ss_common::clock::SimClock;
     use ss_common::fault::{FaultMode, FaultTrigger};
     use ss_state::MemoryBackend;
 
-    /// A shared fake monotonic clock: tests advance it; no sleeping.
-    fn fake_clock() -> (Arc<AtomicU64>, Arc<dyn Fn() -> u64 + Send + Sync>) {
-        let t = Arc::new(AtomicU64::new(0));
-        let t2 = t.clone();
-        (t, Arc::new(move || t2.load(Ordering::SeqCst)))
+    /// A shared virtual clock: tests advance it; no sleeping. `set`
+    /// steps it to an absolute virtual microsecond.
+    fn fake_clock() -> (SimClock, ClockRef) {
+        let sim = SimClock::new(0);
+        let handle = sim.handle();
+        (sim, handle)
+    }
+
+    fn set(sim: &SimClock, us: u64) {
+        let now = sim.now_us();
+        assert!(us >= now, "virtual time only moves forward ({us} < {now})");
+        sim.advance(Duration::from_micros(us - now));
     }
 
     fn manager(
         backend: &Arc<MemoryBackend>,
         holder: &str,
-        clock: &Arc<dyn Fn() -> u64 + Send + Sync>,
+        clock: &ClockRef,
     ) -> Arc<LeaseManager> {
         let b: Arc<dyn CheckpointBackend> = backend.clone();
         Arc::new(LeaseManager::with_clock(
@@ -582,7 +592,7 @@ mod tests {
         // Re-acquiring our own live lease keeps the epoch.
         assert_eq!(a.try_acquire().unwrap(), 1);
         // Renewal keeps the epoch but extends validity.
-        t.store(60_000, Ordering::SeqCst); // past half-life
+        set(&t, 60_000); // past half-life
         a.maybe_renew().unwrap();
         assert_eq!(a.check_fenced("wal/commit").unwrap(), 1);
         assert_eq!(a.fencing_rejections(), 0);
@@ -610,17 +620,17 @@ mod tests {
         // First observation starts the window; not lapsed yet.
         assert!(!b.is_lapsed().unwrap());
         // ttl+grace-1 µs of silence: still not lapsed.
-        t.store(149_999, Ordering::SeqCst);
+        set(&t, 149_999);
         assert!(!b.is_lapsed().unwrap());
         // A renewal changes the lease bytes; the observation window
         // restarts when the observer first *sees* them (the wall-clock
         // stamp inside the record is ignored).
         a.maybe_renew().unwrap();
-        t.store(250_000, Ordering::SeqCst);
+        set(&t, 250_000);
         assert!(!b.is_lapsed().unwrap()); // new bytes: window restarts now
-        t.store(399_999, Ordering::SeqCst);
+        set(&t, 399_999);
         assert!(!b.is_lapsed().unwrap()); // 149_999 µs of silence: not enough
-        t.store(400_000, Ordering::SeqCst);
+        set(&t, 400_000);
         assert!(b.is_lapsed().unwrap()); // full ttl+grace of local silence
     }
 
@@ -638,9 +648,9 @@ mod tests {
         let b = manager(&backend, "b", &clock);
         assert!(!b.is_lapsed().unwrap());
         assert!(b.try_acquire().is_err());
-        t.store(149_999, Ordering::SeqCst);
+        set(&t, 149_999);
         assert!(!b.is_lapsed().unwrap());
-        t.store(150_000, Ordering::SeqCst);
+        set(&t, 150_000);
         assert!(b.is_lapsed().unwrap());
         assert_eq!(b.try_acquire().unwrap(), 2);
     }
@@ -654,7 +664,7 @@ mod tests {
         zombie.try_acquire().unwrap();
         assert!(!standby.is_lapsed().unwrap()); // start observing
         // The zombie pauses: everyone's clock runs past ttl+grace.
-        t.store(200_000, Ordering::SeqCst);
+        set(&t, 200_000);
         assert!(standby.is_lapsed().unwrap());
         assert_eq!(standby.try_acquire().unwrap(), 2);
         assert_eq!(standby.failovers(), 1);
@@ -688,7 +698,7 @@ mod tests {
         assert_eq!(fenced.read("wal/a.json").unwrap().unwrap(), b"ok");
         // Usurp.
         assert!(!usurper.is_lapsed().unwrap());
-        t.store(200_000, Ordering::SeqCst);
+        set(&t, 200_000);
         assert!(usurper.is_lapsed().unwrap());
         usurper.try_acquire().unwrap();
         // Mutations now bounce; the durable object is untouched.
@@ -716,11 +726,11 @@ mod tests {
         a.set_faults(faults);
         // Past the half-life the renewal fires the fail point and
         // errors, but the lease is still live — no fencing.
-        t.store(60_000, Ordering::SeqCst);
+        set(&t, 60_000);
         assert!(a.maybe_renew().is_err());
         assert_eq!(a.check_fenced("wal/x").unwrap(), 1);
         // The retried renewal (fault was Once) succeeds.
-        t.store(99_000, Ordering::SeqCst);
+        set(&t, 99_000);
         a.maybe_renew().unwrap();
         assert_eq!(a.role(), HaRole::Leader);
     }
@@ -754,7 +764,7 @@ mod tests {
         b.attach_metrics(&registry);
         a.try_acquire().unwrap();
         assert!(!b.is_lapsed().unwrap());
-        t.store(200_000, Ordering::SeqCst);
+        set(&t, 200_000);
         b.try_acquire().unwrap();
         let _ = a.check_fenced("wal/y");
         let rendered = registry.render();
@@ -763,5 +773,99 @@ mod tests {
             rendered.contains("ss_fencing_rejections_total 1"),
             "{rendered}"
         );
+    }
+
+    #[test]
+    fn lease_lapse_matrix_across_observer_skews() {
+        // ttl+grace = 150_000 µs of *observer-local* silence. Observers
+        // whose clocks run fast or slow relative to the leader's still
+        // measure the window on their own monotonic clock, so the lapse
+        // verdict depends only on how much local time they waited.
+        for (skew_us, lapsed) in [
+            (-50_000i64, false), // slow observer: window not yet over
+            (-1, false),         // one µs short of ttl+grace
+            (0, true),           // exactly ttl+grace of local silence
+            (1, true),
+            (50_000, true), // fast observer: lapses sooner in real terms
+        ] {
+            let backend = Arc::new(MemoryBackend::new());
+            let (leader_sim, leader_clock) = fake_clock();
+            let a = manager(&backend, "a", &leader_clock);
+            a.try_acquire().unwrap();
+            // The observer runs its own, skewed clock: the leader's
+            // clock is frozen (a paused zombie) while the observer's
+            // advances.
+            let (obs_sim, obs_clock) = fake_clock();
+            let b = manager(&backend, "b", &obs_clock);
+            assert!(!b.is_lapsed().unwrap(), "first sight starts the window");
+            set(&obs_sim, (150_000i64 + skew_us) as u64);
+            assert_eq!(b.is_lapsed().unwrap(), lapsed, "skew {skew_us}");
+            assert_eq!(b.try_acquire().is_ok(), lapsed, "skew {skew_us}");
+            assert_eq!(leader_sim.now_us(), 0, "leader stays paused");
+        }
+    }
+
+    #[test]
+    fn heartbeat_exactly_at_half_life_renews_and_resets_observer_window() {
+        let backend = Arc::new(MemoryBackend::new());
+        let (t, clock) = fake_clock();
+        let a = manager(&backend, "a", &clock);
+        let b = manager(&backend, "b", &clock);
+        a.try_acquire().unwrap(); // valid until 100_000
+        assert!(!b.is_lapsed().unwrap());
+        // One µs before the half-life the renewal is not due: the lease
+        // bytes stay put.
+        set(&t, 49_999);
+        a.maybe_renew().unwrap();
+        // Exactly at the half-life it renews and the bytes change.
+        set(&t, 50_000);
+        a.maybe_renew().unwrap();
+        assert_eq!(a.fencing_epoch(), Some(1), "renewal never bumps the epoch");
+        // The observer sees the fresh bytes at 149_999 and restarts its
+        // window — the old record's silence does not carry over.
+        set(&t, 149_999);
+        assert!(!b.is_lapsed().unwrap(), "renewal restarted the window");
+        // With no further heartbeat the new record lapses a full
+        // ttl+grace after it was first seen.
+        set(&t, 299_998);
+        assert!(!b.is_lapsed().unwrap());
+        set(&t, 299_999);
+        assert!(b.is_lapsed().unwrap());
+    }
+
+    #[test]
+    fn promotion_racing_a_renewing_leader() {
+        // Interleaving 1: the standby's promotion lands first; the
+        // leader's next heartbeat discovers the usurper and fences.
+        let backend = Arc::new(MemoryBackend::new());
+        let (t, clock) = fake_clock();
+        let a = manager(&backend, "a", &clock);
+        let b = manager(&backend, "b", &clock);
+        a.try_acquire().unwrap();
+        assert!(!b.is_lapsed().unwrap());
+        set(&t, 150_000); // a's TTL long gone on everyone's clock
+        assert!(b.is_lapsed().unwrap());
+        assert_eq!(b.try_acquire().unwrap(), 2);
+        let err = a.maybe_renew().unwrap_err();
+        assert!(matches!(err, SsError::Fenced(_)), "{err:?}");
+        assert_eq!(a.role(), HaRole::Fenced);
+        assert_eq!(b.role(), HaRole::Leader);
+
+        // Interleaving 2: the leader's renewal lands one poll earlier;
+        // the standby's byte-identity window restarts and its promotion
+        // attempt loses.
+        let backend = Arc::new(MemoryBackend::new());
+        let (t, clock) = fake_clock();
+        let a = manager(&backend, "a", &clock);
+        let b = manager(&backend, "b", &clock);
+        a.try_acquire().unwrap();
+        assert!(!b.is_lapsed().unwrap());
+        set(&t, 150_000);
+        a.maybe_renew().unwrap(); // the renewal wins the race
+        assert!(!b.is_lapsed().unwrap(), "fresh bytes: the window restarts");
+        let err = b.try_acquire().unwrap_err();
+        assert!(err.to_string().contains("held by `a`"), "{err}");
+        assert_eq!(a.role(), HaRole::Leader);
+        assert_eq!(b.role(), HaRole::Standby);
     }
 }

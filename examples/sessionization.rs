@@ -70,10 +70,9 @@ fn main() -> Result<(), SsError> {
 
     // A deterministic processing-time clock so the example's timeouts
     // are reproducible (the engine's clock is injectable).
-    let now = Arc::new(std::sync::atomic::AtomicI64::new(0));
-    let clock_now = now.clone();
+    let now = ss_common::StepClock::frozen(0);
     let config = MicroBatchConfig {
-        clock: Arc::new(move || clock_now.load(std::sync::atomic::Ordering::SeqCst)),
+        clock: now.handle(),
         ..Default::default()
     };
 
@@ -88,7 +87,7 @@ fn main() -> Result<(), SsError> {
 
     let minute = 60 * 1_000_000i64;
     // t=0: alice browses, bob opens one page.
-    now.store(0, std::sync::atomic::Ordering::SeqCst);
+    now.set_us(0);
     bus.append("events", 0, vec![
         row!["alice", "/home", Value::Timestamp(0)],
         row!["alice", "/search", Value::Timestamp(minute)],
@@ -97,13 +96,13 @@ fn main() -> Result<(), SsError> {
     query.process_available()?;
 
     // t=20min: alice continues (re-arming her timeout); bob idles.
-    now.store(20 * minute, std::sync::atomic::Ordering::SeqCst);
+    now.set_us(20 * minute);
     bus.append("events", 0, vec![row!["alice", "/cart", Value::Timestamp(20 * minute)]])?;
     query.process_available()?;
 
     // t=35min: bob has been idle for 34 minutes -> his session closes.
     // (alice re-armed her timeout at t=20min, so she survives.)
-    now.store(35 * minute, std::sync::atomic::Ordering::SeqCst);
+    now.set_us(35 * minute);
     query.run_epoch()?;
 
     println!("-- session updates so far (update mode):");
@@ -113,7 +112,7 @@ fn main() -> Result<(), SsError> {
     println!("-- live sessions still tracked in the state store: {}", query.state_rows());
 
     // t=55min: alice idles past 30 minutes too.
-    now.store(55 * minute, std::sync::atomic::Ordering::SeqCst);
+    now.set_us(55 * minute);
     query.run_epoch()?;
     println!("-- after alice idles past 30 minutes:");
     for r in sink.snapshot() {

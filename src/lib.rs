@@ -73,6 +73,8 @@ pub use ss_sql;
 pub use ss_state;
 pub use ss_wal;
 
+pub mod sim;
+
 use ss_common::Result;
 use ss_core::{DataFrame, StreamingContext};
 

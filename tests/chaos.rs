@@ -511,8 +511,6 @@ fn parallel_execution_survives_worker_faults_and_matches_serial() {
 /// no-limit reference run.
 #[test]
 fn bursty_load_under_rate_limiting_converges_after_crashes() {
-    use std::sync::atomic::{AtomicI64, Ordering};
-
     use ss_core::microbatch::Clock;
     use ss_core::RateControllerConfig;
 
@@ -521,13 +519,9 @@ fn bursty_load_under_rate_limiting_converges_after_crashes() {
     std::panic::set_hook(Box::new(|_| {}));
     let expected = reference();
     for seed in [1u64, 7, 21, 33] {
-        // One monotone fake clock per run, shared across incarnations
-        // so restarts never see time move backwards.
-        let ticks = Arc::new(AtomicI64::new(0));
-        let clock: Clock = {
-            let t = ticks.clone();
-            Arc::new(move || t.fetch_add(50_000, Ordering::SeqCst))
-        };
+        // One monotone stepping clock per run, shared across
+        // incarnations so restarts never see time move backwards.
+        let clock: Clock = ss_common::StepClock::new(0, 50_000).handle();
         let throttled = |faults: FaultRegistry| MicroBatchConfig {
             rate_controller: Some(RateControllerConfig {
                 min_rate: 1.0,

@@ -22,11 +22,10 @@
 //! smoke job runs both).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use ss_common::XorShift64;
+use ss_common::{ClockRef, SimClock, XorShift64};
 use ss_core::ha::{HaConfig, StandbyQuery, StandbyStatus};
 use ss_core::microbatch::{failpoints, MicroBatchConfig, MicroBatchExecution};
 use ss_exec::MemoryCatalog;
@@ -71,10 +70,10 @@ fn feed(bus: &MessageBus, n: u64, start: u64) {
 
 /// A shared fake monotonic clock (µs): lease lapse is decided by
 /// advancing this, never by sleeping.
-fn fake_clock() -> (Arc<AtomicU64>, Arc<dyn Fn() -> u64 + Send + Sync>) {
-    let t = Arc::new(AtomicU64::new(0));
-    let c = t.clone();
-    (t, Arc::new(move || c.load(Ordering::SeqCst)))
+fn fake_clock() -> (SimClock, ClockRef) {
+    let sim = SimClock::new(0);
+    let handle = sim.handle();
+    (sim, handle)
 }
 
 /// One HA participant: the engine plus the handles the tests poke —
@@ -99,7 +98,7 @@ fn build_participant(
     primary: Arc<dyn CheckpointBackend>,
     replica: Arc<dyn CheckpointBackend>,
     holder: &str,
-    clock: Arc<dyn Fn() -> u64 + Send + Sync>,
+    clock: ClockRef,
     standby: bool,
 ) -> std::result::Result<Participant, SsError> {
     let lease = Arc::new(LeaseManager::with_clock(
@@ -281,7 +280,7 @@ fn zombie_leader_is_fenced_on_every_durable_write_and_output_stays_exactly_once(
     // The lease lapses on the standby's monotonic clock; takeover is
     // bounded: one tick to observe the lapse, one promote call that
     // replays only the in-flight tail.
-    t.fetch_add(160_000, Ordering::SeqCst);
+    t.advance(Duration::from_micros(160_000));
     match standby_q.tick().unwrap() {
         StandbyStatus::LeaderLapsed { .. } => {}
         other => panic!("expected LeaderLapsed, got {other:?}"),
@@ -406,7 +405,7 @@ fn drill(seed: u64, expected: &[Row]) -> u32 {
                 failovers += 1;
                 assert!(failovers < 16, "seed {seed}: drill did not converge");
                 // The dead leader goes silent past ttl + grace.
-                t.fetch_add(160_000, Ordering::SeqCst);
+                t.advance(Duration::from_micros(160_000));
                 // Bounded takeover: the lapse must be visible within
                 // two ticks (one to refresh, one to decide).
                 let mut lapsed = false;

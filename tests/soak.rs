@@ -1,28 +1,35 @@
-//! Short soak under sustained 2× overload, gated on `SS_SOAK_SECS`.
+//! Soak under sustained 2× overload, on real or virtual time.
 //!
 //! A windowed aggregation runs behind a throttled sink while a
 //! producer feeds twice whatever the query managed to admit last
 //! epoch — by construction the query can never catch up. For the
-//! configured wall-clock duration the test samples epoch latency and
-//! state memory, then fails if either diverges: latency must not trend
+//! configured duration the test samples epoch latency and state
+//! memory, then fails if either diverges: latency must not trend
 //! upward (admission keeps epochs constant-size) and in-memory state
 //! must stay under the soft budget (spill keeps it there). The input
 //! topic itself is bounded with a `DropOldest` policy, so process
 //! memory as a whole is bounded too — the backlog that matters lives
 //! in the (shedding) bus, not the engine.
 //!
-//! Unset or zero `SS_SOAK_SECS` skips the test (the default for the
-//! fast tier-1 suite); CI runs it with a small value.
+//! The scenario is clock-parameterized and runs twice:
+//!
+//! * `soak_overload_stays_bounded_virtual_time` — always on. The
+//!   engine and the throttled sink share a seeded [`SimClock`]
+//!   (`SS_SIM_SEED` picks the seed), so the sink's per-commit stall
+//!   and every latency sample happen in virtual microseconds and the
+//!   whole soak completes in a wall instant.
+//! * `soak_overload_stays_bounded` — the original wall-clock variant,
+//!   still gated on `SS_SOAK_SECS` (unset or zero skips it; CI runs
+//!   it with a small value).
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::thread;
 use std::time::{Duration, Instant};
 
 use structured_streaming::prelude::*;
 use structured_streaming::ss_bus::{OverflowPolicy, TopicConfig};
-use structured_streaming::ss_common::{MetricValue, Result as SsResult};
+use structured_streaming::ss_common::{ClockRef, MetricValue, Result as SsResult, SimClock};
 use structured_streaming::ss_core::microbatch::{
     EpochRun, MemoryBudget, MicroBatchConfig, MicroBatchExecution,
 };
@@ -32,6 +39,7 @@ use structured_streaming::ss_exec::MemoryCatalog;
 struct SlowSink {
     inner: Arc<MemorySink>,
     delay_us: AtomicU64,
+    clock: ClockRef,
 }
 
 impl Sink for SlowSink {
@@ -42,7 +50,7 @@ impl Sink for SlowSink {
     fn commit_epoch(&self, epoch: u64, output: &EpochOutput) -> SsResult<()> {
         let d = self.delay_us.load(Ordering::SeqCst);
         if d > 0 {
-            thread::sleep(Duration::from_micros(d));
+            self.clock.sleep(Duration::from_micros(d));
         }
         self.inner.commit_epoch(epoch, output)
     }
@@ -90,19 +98,20 @@ fn median(mut xs: Vec<i64>) -> i64 {
     }
 }
 
-#[test]
-fn soak_overload_stays_bounded() {
-    let secs: u64 = match std::env::var("SS_SOAK_SECS")
-        .ok()
-        .and_then(|v| v.trim().parse().ok())
-    {
-        Some(n) if n > 0 => n,
-        _ => {
-            eprintln!("soak skipped; set SS_SOAK_SECS=<seconds> to run");
-            return;
-        }
-    };
+/// How long to keep the producer outrunning the consumer.
+enum SoakRun {
+    /// Until the wall deadline passes (the real-time soak).
+    Wall(Duration),
+    /// For a fixed number of non-idle epochs (the virtual-time soak —
+    /// virtual clocks have no independent notion of "long enough").
+    Epochs(usize),
+}
 
+/// The soak scenario proper: every timed ingredient — the engine's
+/// epoch stamps and the sink's injected stall — reads `clock`, so the
+/// same invariants hold whether `clock` is the system clock or a
+/// seeded virtual one.
+fn run_soak(clock: ClockRef, run: SoakRun) {
     let bus = Arc::new(MessageBus::new());
     bus.create_topic_with(
         "in",
@@ -117,6 +126,7 @@ fn soak_overload_stays_bounded() {
     let sink = Arc::new(SlowSink {
         inner: mem.clone(),
         delay_us: AtomicU64::new(2_000),
+        clock: clock.clone(),
     });
 
     let ctx = StreamingContext::new();
@@ -150,6 +160,7 @@ fn soak_overload_stays_bounded() {
             soft_limit_bytes: Some(SOFT_LIMIT),
             hard_limit_bytes: None,
         },
+        clock: clock.clone(),
         ..Default::default()
     };
     let mut eng = MicroBatchExecution::new(
@@ -164,12 +175,21 @@ fn soak_overload_stays_bounded() {
     )
     .unwrap();
 
-    let deadline = Instant::now() + Duration::from_secs(secs);
+    let deadline = match &run {
+        SoakRun::Wall(d) => Some(Instant::now() + *d),
+        SoakRun::Epochs(_) => None,
+    };
+    let target_epochs = match &run {
+        SoakRun::Wall(_) => usize::MAX,
+        SoakRun::Epochs(n) => *n,
+    };
     let mut fed: u64 = 0;
     let mut last_admitted: u64 = 32;
     let mut durations: Vec<i64> = Vec::new();
     let mut state_bytes: Vec<u64> = Vec::new();
-    while Instant::now() < deadline {
+    while durations.len() < target_epochs
+        && deadline.is_none_or(|d| Instant::now() < d)
+    {
         // 2× whatever the query actually absorbed last epoch: the
         // producer outruns the consumer by construction.
         feed(&bus, (2 * last_admitted).max(32), fed);
@@ -220,5 +240,47 @@ fn soak_overload_stays_bounded() {
     eprintln!(
         "soak ok: {epochs} epochs, median latency {first}us/{second}us, peak state {worst}B, shed {}",
         bus.shed_records("in").unwrap()
+    );
+}
+
+/// Always-on soak: the whole overload run happens in virtual time, so
+/// regular CI exercises the latency/memory invariants on every push
+/// without spending wall-clock seconds. `SS_SIM_SEED` reseeds the
+/// virtual clock for a different (still deterministic) schedule.
+#[test]
+fn soak_overload_stays_bounded_virtual_time() {
+    let seed: u64 = std::env::var("SS_SIM_SEED")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0x50AC);
+    let sim = SimClock::new(seed);
+    let started = Instant::now();
+    run_soak(sim.handle(), SoakRun::Epochs(64));
+    let wall_us = started.elapsed().as_micros().max(1) as u64;
+    let virtual_us = sim.now_us();
+    eprintln!(
+        "virtual soak: seed {seed}, {virtual_us}us virtual in {wall_us}us wall ({}x)",
+        virtual_us / wall_us
+    );
+}
+
+/// The original wall-clock soak, opt-in: unset or zero `SS_SOAK_SECS`
+/// skips it (the default for the fast tier-1 suite); CI runs it with a
+/// small value.
+#[test]
+fn soak_overload_stays_bounded() {
+    let secs: u64 = match std::env::var("SS_SOAK_SECS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+    {
+        Some(n) if n > 0 => n,
+        _ => {
+            eprintln!("soak skipped; set SS_SOAK_SECS=<seconds> to run");
+            return;
+        }
+    };
+    run_soak(
+        structured_streaming::ss_common::system_clock(),
+        SoakRun::Wall(Duration::from_secs(secs)),
     );
 }
