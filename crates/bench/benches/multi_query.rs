@@ -1,0 +1,263 @@
+//! **Multi-query sharing** — N concurrent Yahoo-style SQL queries on
+//! the shared engine vs. N isolated engines.
+//!
+//! The multi-query engine (`ss-multi`) promises that N structurally
+//! equal queries cost roughly ONE query: one bus read per offset-range
+//! (shared scans), one state namespace and one incremental update per
+//! epoch (fingerprint-keyed sharing), fanned to N output taps. This
+//! bench measures exactly that claim for N = 8 identical Yahoo
+//! benchmark queries submitted as SQL text, at engine parallelism 1
+//! and 4:
+//!
+//! * **single**  — one engine, one query (the unit of cost),
+//! * **shared**  — one multi-query engine, all 8 queries,
+//! * **isolated** — 8 independent engines, one query each.
+//!
+//! Acceptance (checked here, recorded in `BENCH_multi_query.json`):
+//! shared source reads and state bytes stay under 2× the single query
+//! (vs. ~8× isolated), and every shared query's sink is byte-identical
+//! to its isolated twin's.
+//!
+//! Usage: `cargo bench -p ss-bench --bench multi_query`
+//! (scale with `SS_BENCH_RECORDS=<events per partition>`; output path
+//! with `SS_BENCH_OUT=<path>`).
+
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use ss_baselines::workload::YahooWorkload;
+use ss_bench::*;
+use ss_bus::{BusSource, MemorySink, MessageBus};
+use ss_core::StreamingContext;
+use ss_multi::{MultiQueryConfig, MultiQueryEngine, SqlService};
+use ss_plan::OutputMode;
+
+/// The benchmark query, as a client would POST it to the SQL service.
+const YAHOO_SQL: &str = "SELECT window_start, campaign_id, COUNT(*) AS views \
+     FROM events JOIN campaigns ON ad_id = c_ad_id \
+     WHERE event_type = 'view' \
+     GROUP BY WINDOW(event_time, '10 seconds'), campaign_id";
+
+const N_QUERIES: usize = 8;
+
+fn out_path() -> PathBuf {
+    match std::env::var("SS_BENCH_OUT") {
+        Ok(p) => PathBuf::from(p),
+        Err(_) => PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("BENCH_multi_query.json"),
+    }
+}
+
+/// Preload a SQL-addressable topic (`events`; the shared helper's
+/// `ad-events` is not a SQL identifier) with deterministic Yahoo
+/// events.
+fn preload_events(
+    workload: &YahooWorkload,
+    partitions: u32,
+    per_partition: u64,
+) -> Arc<MessageBus> {
+    let bus = Arc::new(MessageBus::new());
+    bus.create_topic("events", partitions).expect("topic");
+    for p in 0..partitions {
+        let mut start = 0u64;
+        while start < per_partition {
+            let end = (start + 65_536).min(per_partition);
+            bus.append_at("events", p, 0, (start..end).map(|o| workload.event(p, o)))
+                .expect("append");
+            start = end;
+        }
+    }
+    bus
+}
+
+fn make_engine(
+    workload: &YahooWorkload,
+    bus: &Arc<MessageBus>,
+    parallelism: usize,
+) -> Arc<MultiQueryEngine> {
+    let ctx = StreamingContext::new();
+    ctx.read_source(Arc::new(
+        BusSource::new(bus.clone(), "events", workload.event_schema()).expect("source"),
+    ))
+    .expect("register source");
+    ctx.read_table("campaigns", vec![workload.campaign_batch()])
+        .expect("register campaigns");
+    let mut config = MultiQueryConfig::default();
+    // One dispatch worker keeps scan-cache counters deterministic; the
+    // `parallelism` under test is the *intra-epoch* worker count.
+    config.workers = 1;
+    config.engine.parallelism = parallelism;
+    Arc::new(MultiQueryEngine::new(ctx, config))
+}
+
+struct RunCost {
+    seconds: f64,
+    source_rows_read: u64,
+    state_bytes: u64,
+    sinks: Vec<Arc<MemorySink>>,
+}
+
+/// All `n` queries on ONE multi-query engine.
+fn run_shared(
+    workload: &YahooWorkload,
+    bus: &Arc<MessageBus>,
+    parallelism: usize,
+    n: usize,
+) -> RunCost {
+    let engine = make_engine(workload, bus, parallelism);
+    let service = SqlService::new(engine.clone());
+    let start = Instant::now();
+    let sinks: Vec<Arc<MemorySink>> = (0..n)
+        .map(|i| {
+            service
+                .start_sql(&format!("q{i}"), YAHOO_SQL, "bench", OutputMode::Update)
+                .expect("start query")
+        })
+        .collect();
+    let stats = engine.stats();
+    assert_eq!(stats.groups, 1, "identical SQL must share one group");
+    assert_eq!(stats.attached as usize, n - 1);
+    engine.run_until_idle(1_000).expect("drain");
+    RunCost {
+        seconds: start.elapsed().as_secs_f64(),
+        source_rows_read: engine.source_rows_read(),
+        state_bytes: engine.state_bytes(),
+        sinks,
+    }
+}
+
+/// `n` queries on `n` independent engines (no sharing possible).
+fn run_isolated(
+    workload: &YahooWorkload,
+    bus: &Arc<MessageBus>,
+    parallelism: usize,
+    n: usize,
+) -> RunCost {
+    let start = Instant::now();
+    let mut cost = RunCost {
+        seconds: 0.0,
+        source_rows_read: 0,
+        state_bytes: 0,
+        sinks: Vec::new(),
+    };
+    for i in 0..n {
+        let engine = make_engine(workload, bus, parallelism);
+        let service = SqlService::new(engine.clone());
+        let sink = service
+            .start_sql(&format!("q{i}"), YAHOO_SQL, "bench", OutputMode::Update)
+            .expect("start query");
+        engine.run_until_idle(1_000).expect("drain");
+        cost.source_rows_read += engine.source_rows_read();
+        cost.state_bytes += engine.state_bytes();
+        cost.sinks.push(sink);
+    }
+    cost.seconds = start.elapsed().as_secs_f64();
+    cost
+}
+
+fn cost_json(c: &RunCost) -> String {
+    format!(
+        "{{\"seconds\":{:.4},\"source_rows_read\":{},\"state_bytes\":{}}}",
+        c.seconds, c.source_rows_read, c.state_bytes
+    )
+}
+
+fn main() {
+    let workload = YahooWorkload::default();
+    let partitions = 4u32;
+    let per_partition = records_per_partition(25_000);
+    let total = per_partition * partitions as u64;
+
+    println!("== Multi-query sharing: {N_QUERIES} identical Yahoo SQL queries ==");
+    println!(
+        "   {partitions} partitions x {per_partition} events = {total} records; \
+         update mode; shared vs {N_QUERIES} isolated engines\n"
+    );
+
+    let mut config_blobs = Vec::new();
+    for parallelism in [1usize, 4] {
+        let bus = preload_events(&workload, partitions, per_partition);
+        let single = run_isolated(&workload, &bus, parallelism, 1);
+        let shared = run_shared(&workload, &bus, parallelism, N_QUERIES);
+        let isolated = run_isolated(&workload, &bus, parallelism, N_QUERIES);
+
+        // Correctness: every shared query's output is byte-identical
+        // to its isolated twin's (and to the single-query run's).
+        for (i, (s, iso)) in shared.sinks.iter().zip(&isolated.sinks).enumerate() {
+            assert_eq!(
+                s.snapshot(),
+                iso.snapshot(),
+                "q{i} @ parallelism {parallelism}: shared != isolated"
+            );
+        }
+        assert_eq!(shared.sinks[0].snapshot(), single.sinks[0].snapshot());
+
+        // The sharing claim: N queries for <2x one query's reads and
+        // state, where isolation pays ~Nx.
+        let reads_ratio = shared.source_rows_read as f64 / single.source_rows_read as f64;
+        let iso_reads_ratio =
+            isolated.source_rows_read as f64 / single.source_rows_read as f64;
+        let state_ratio = shared.state_bytes as f64 / single.state_bytes as f64;
+        let iso_state_ratio = isolated.state_bytes as f64 / single.state_bytes as f64;
+        assert!(
+            reads_ratio < 2.0,
+            "shared reads {reads_ratio:.2}x single (must be < 2x)"
+        );
+        assert!(
+            state_ratio < 2.0,
+            "shared state {state_ratio:.2}x single (must be < 2x)"
+        );
+        assert!(iso_reads_ratio > (N_QUERIES - 1) as f64);
+
+        println!("-- parallelism {parallelism} --");
+        print_table(
+            &["configuration", "time", "source rows read", "state bytes"],
+            &[
+                vec![
+                    "single (1 query)".into(),
+                    format!("{:.2}s", single.seconds),
+                    format!("{}", single.source_rows_read),
+                    format!("{}", single.state_bytes),
+                ],
+                vec![
+                    format!("shared ({N_QUERIES} queries)"),
+                    format!("{:.2}s", shared.seconds),
+                    format!("{} ({reads_ratio:.2}x)", shared.source_rows_read),
+                    format!("{} ({state_ratio:.2}x)", shared.state_bytes),
+                ],
+                vec![
+                    format!("isolated ({N_QUERIES} engines)"),
+                    format!("{:.2}s", isolated.seconds),
+                    format!("{} ({iso_reads_ratio:.2}x)", isolated.source_rows_read),
+                    format!("{} ({iso_state_ratio:.2}x)", isolated.state_bytes),
+                ],
+            ],
+        );
+        println!("   (outputs byte-identical: shared == isolated == single)\n");
+
+        config_blobs.push(format!(
+            "    {{\"parallelism\":{parallelism},\
+             \"single\":{},\"shared\":{},\"isolated\":{},\
+             \"shared_vs_single_reads\":{reads_ratio:.3},\
+             \"shared_vs_single_state\":{state_ratio:.3},\
+             \"isolated_vs_single_reads\":{iso_reads_ratio:.3},\
+             \"isolated_vs_single_state\":{iso_state_ratio:.3},\
+             \"output_identical\":true}}",
+            cost_json(&single),
+            cost_json(&shared),
+            cost_json(&isolated),
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\":\"multi_query\",\n  \"n_queries\":{N_QUERIES},\n  \
+         \"records\":{total},\n  \"sql\":\"{}\",\n  \"configs\":[\n{}\n  ]\n}}\n",
+        YAHOO_SQL.replace('"', "\\\""),
+        config_blobs.join(",\n")
+    );
+    let path = out_path();
+    std::fs::write(&path, json).expect("write bench json");
+    println!("wrote {}", path.display());
+}

@@ -21,16 +21,22 @@
 //!   the Kafka-Streams-style baseline (which pays this cost per hop).
 //! * [`dlq`] — the [`DeadLetterQueue`]: an epoch-committed, idempotent
 //!   destination for quarantined poison records with failure metadata.
+//! * [`scan_cache`] — the multi-query [`ScanCache`] and
+//!   [`SharedScanSource`]: N queries over one topic share one bus read
+//!   per `(topic, offset-range)`, fanned out through a ref-counted
+//!   cache of materialized batches.
 
 pub mod bus;
 pub mod dlq;
 pub mod json;
 pub mod metrics;
+pub mod scan_cache;
 pub mod sink;
 pub mod source;
 
 pub use bus::{MessageBus, OverflowPolicy, Record, TopicConfig};
 pub use dlq::{DeadLetterQueue, DeadLetterRecord};
 pub use metrics::{InstrumentedSink, SinkMetrics, SourceMetrics};
+pub use scan_cache::{ScanCache, ScanCacheStats, SharedScanSource};
 pub use sink::{BusSink, CallbackSink, EpochOutput, FenceGuard, FencedSink, FileSink, MemorySink, Sink};
 pub use source::{BusSource, FileSource, GeneratorSource, Source};

@@ -351,10 +351,26 @@ impl MetricsRegistry {
 /// colliding. This is what the introspection server's `/metrics`
 /// endpoint serves when more than one query is live.
 pub fn render_merged(views: &[(&str, &MetricsRegistry)]) -> String {
+    let labeled: Vec<LabeledView<'_>> = views.iter().map(|(n, r)| (*n, Vec::new(), *r)).collect();
+    render_merged_labeled(&labeled)
+}
+
+/// One view for [`render_merged_labeled`]: `(query name, extra labels,
+/// registry)`.
+pub type LabeledView<'a> = (&'a str, Vec<(&'a str, &'a str)>, &'a MetricsRegistry);
+
+/// [`render_merged`] with additional per-view labels (e.g. a
+/// multi-tenant deployment tagging each query's series with
+/// `tenant="..."`). Families shared across views still emit exactly
+/// one `# HELP`/`# TYPE` header; the extra labels are merged into each
+/// series alongside the injected `query` label and sorted, and label
+/// *values* go through the standard exposition escaping. An extra
+/// label named `query` is ignored — the view name wins.
+pub fn render_merged_labeled(views: &[LabeledView<'_>]) -> String {
     type SeriesVec = Vec<(Vec<(String, String)>, Instrument)>;
     let mut merged: BTreeMap<String, (&'static str, Option<String>, SeriesVec)> = BTreeMap::new();
     // One registry lock at a time; clone instrument handles out.
-    for (qname, reg) in views {
+    for (qname, extra, reg) in views {
         let inner = reg.inner.lock();
         for (name, family) in &inner.families {
             if family.series.is_empty() {
@@ -369,6 +385,11 @@ pub fn render_merged(views: &[(&str, &MetricsRegistry)]) -> String {
             for (labels, instr) in &family.series {
                 let mut labeled = labels.clone();
                 labeled.push(("query".to_string(), qname.to_string()));
+                for (k, v) in extra {
+                    if *k != "query" {
+                        labeled.push((k.to_string(), v.to_string()));
+                    }
+                }
                 labeled.sort();
                 entry.2.push((labeled, instr.clone()));
             }
@@ -600,6 +621,70 @@ ss_eval_us_bucket{op=\"scan\",le=\"2\"} 1
         assert!(text.contains("ss_keys{query=\"q2\"} 2\n"));
         assert!(text.contains("ss_lat_us_bucket{query=\"q1\",le=\"+Inf\"} 1\n"));
         assert!(text.contains("ss_lat_us_count{query=\"q1\"} 1\n"));
+    }
+
+    #[test]
+    fn merged_labeled_render_injects_tenant_without_duplicating_headers() {
+        let a = MetricsRegistry::new();
+        a.describe("ss_rows_total", "Rows.");
+        a.counter("ss_rows_total", &[("op", "scan")]).add(5);
+        let b = MetricsRegistry::new();
+        b.counter("ss_rows_total", &[("op", "scan")]).add(7);
+
+        let text = render_merged_labeled(&[
+            ("q1", vec![("tenant", "acme")], &a),
+            ("q2", vec![("tenant", "zeta co\\nl")], &b),
+        ]);
+        // Still exactly one HELP/TYPE per family across tenants.
+        assert_eq!(text.matches("# HELP ss_rows_total").count(), 1);
+        assert_eq!(text.matches("# TYPE ss_rows_total counter").count(), 1);
+        // Labels are sorted (op < query < tenant) and tenant values go
+        // through the standard label-value escaping.
+        assert!(
+            text.contains("ss_rows_total{op=\"scan\",query=\"q1\",tenant=\"acme\"} 5\n"),
+            "got:\n{text}"
+        );
+        assert!(
+            text.contains("ss_rows_total{op=\"scan\",query=\"q2\",tenant=\"zeta co\\\\nl\"} 7\n"),
+            "got:\n{text}"
+        );
+    }
+
+    #[test]
+    fn merged_labeled_known_answer_with_escaping() {
+        // Known-answer over the full merged exposition: tenant label
+        // values escape backslash/quote/newline exactly like any other
+        // label value, and an extra label named `query` cannot clobber
+        // the injected view name.
+        let r = MetricsRegistry::new();
+        r.describe("m_total", "help \\ with\nnewline");
+        r.counter("m_total", &[("path", "C:\\tmp")]).add(3);
+        let text = render_merged_labeled(&[(
+            "q\"1\"",
+            vec![("tenant", "a\"b\\c\nd"), ("query", "spoofed")],
+            &r,
+        )]);
+        assert_eq!(
+            text,
+            concat!(
+                "# HELP m_total help \\\\ with\\nnewline\n",
+                "# TYPE m_total counter\n",
+                "m_total{path=\"C:\\\\tmp\",query=\"q\\\"1\\\"\",tenant=\"a\\\"b\\\\c\\nd\"} 3\n",
+            )
+        );
+    }
+
+    #[test]
+    fn merged_labeled_with_no_extras_matches_render_merged() {
+        let a = MetricsRegistry::new();
+        a.counter("c_total", &[]).add(1);
+        a.histogram("h_us", &[]).observe(9);
+        let b = MetricsRegistry::new();
+        b.gauge("g", &[]).set(4);
+        let plain = render_merged(&[("x", &a), ("y", &b)]);
+        let labeled =
+            render_merged_labeled(&[("x", Vec::new(), &a), ("y", Vec::new(), &b)]);
+        assert_eq!(plain, labeled);
     }
 
     #[test]

@@ -165,6 +165,19 @@ impl StreamingContext {
         catalog
     }
 
+    /// All registered static tables (for engine-level harnesses — e.g.
+    /// a multi-query driver — that construct a
+    /// [`crate::MicroBatchExecution`] directly and need the context's
+    /// static side as an executor catalog).
+    pub fn statics_snapshot(&self) -> Vec<(String, Vec<RecordBatch>)> {
+        self.inner
+            .statics
+            .lock()
+            .iter()
+            .map(|(n, b)| (n.clone(), b.clone()))
+            .collect()
+    }
+
     /// All registered streaming sources (for engine-level harnesses
     /// that construct a [`crate::MicroBatchExecution`] directly).
     pub fn sources_snapshot(&self) -> Vec<(String, Arc<dyn Source>)> {

@@ -33,6 +33,30 @@ use ss_common::{Result, SsError};
 
 use crate::query::StreamingQueryManager;
 
+/// One parsed HTTP request, handed to [`HttpExtension`]s.
+#[derive(Debug, Clone)]
+pub struct HttpRequest {
+    /// Upper-case method (`GET`, `POST`, `DELETE`, ...).
+    pub method: String,
+    /// Request path with any query string stripped.
+    pub path: String,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: String,
+}
+
+/// A pluggable route handler layered onto the introspection server by
+/// [`IntrospectServer::start_with`]. Extensions are consulted in order
+/// *before* the built-in routes; the first to return `Some` wins.
+/// Return `None` to decline the request (it falls through to the next
+/// extension, then the built-ins). This is how higher layers — e.g. a
+/// multi-query SQL service — mount endpoints like `POST /sql` without
+/// the core crate depending on them.
+pub trait HttpExtension: Send + Sync {
+    /// Handle (or decline) one request. `Some((status, content_type,
+    /// body))` answers it.
+    fn handle(&self, req: &HttpRequest) -> Option<(u16, &'static str, String)>;
+}
+
 /// A running introspection server. Stops (and joins its accept thread)
 /// on [`IntrospectServer::stop`] or drop.
 pub struct IntrospectServer {
@@ -48,6 +72,16 @@ impl IntrospectServer {
         manager: Arc<StreamingQueryManager>,
         bind: impl ToSocketAddrs,
     ) -> Result<IntrospectServer> {
+        Self::start_with(manager, bind, Vec::new())
+    }
+
+    /// [`IntrospectServer::start`] plus extension routes, consulted in
+    /// order before the built-in handlers.
+    pub fn start_with(
+        manager: Arc<StreamingQueryManager>,
+        bind: impl ToSocketAddrs,
+        extensions: Vec<Arc<dyn HttpExtension>>,
+    ) -> Result<IntrospectServer> {
         let listener = TcpListener::bind(bind).map_err(SsError::Io)?;
         let addr = listener.local_addr().map_err(SsError::Io)?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -62,8 +96,17 @@ impl IntrospectServer {
                     // A stalled client must not wedge the server.
                     let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
                     let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
-                    if let Some(path) = read_request_path(&mut stream) {
-                        let (status, content_type, body) = route(&manager, &path);
+                    if let Some(req) = read_request(&mut stream) {
+                        let ext = extensions.iter().find_map(|e| e.handle(&req));
+                        let (status, content_type, body) = match ext {
+                            Some(resp) => resp,
+                            None if req.method == "GET" => route(&manager, &req.path),
+                            None => (
+                                405,
+                                "text/plain; charset=utf-8",
+                                "method not allowed\n".to_string(),
+                            ),
+                        };
                         let _ = write_response(&mut stream, status, content_type, &body);
                     }
                 }
@@ -100,30 +143,49 @@ impl Drop for IntrospectServer {
     }
 }
 
-/// Parse the request line of an HTTP/1.x request and return the path
-/// (query strings stripped). `None` on anything malformed or non-GET.
-fn read_request_path(stream: &mut TcpStream) -> Option<String> {
+/// Parse one HTTP/1.x request: request line, headers (only
+/// `Content-Length` is honored), and — when a length was declared — up
+/// to 1 MiB of body. `None` on anything malformed.
+fn read_request(stream: &mut TcpStream) -> Option<HttpRequest> {
+    const MAX_HEAD: usize = 8 * 1024;
+    const MAX_BODY: usize = 1024 * 1024;
     let mut buf = Vec::with_capacity(512);
     let mut chunk = [0u8; 512];
-    // Read until the end of the headers; the request line is all we
-    // need, so stop as soon as it is complete.
-    while !buf.windows(2).any(|w| w == b"\r\n") && buf.len() < 8 * 1024 {
+    // Read until the blank line that ends the headers.
+    while !buf.windows(4).any(|w| w == b"\r\n\r\n") && buf.len() < MAX_HEAD {
         match stream.read(&mut chunk) {
             Ok(0) => break,
             Ok(n) => buf.extend_from_slice(&chunk[..n]),
             Err(_) => return None,
         }
     }
-    let line_end = buf.windows(2).position(|w| w == b"\r\n")?;
-    let line = std::str::from_utf8(&buf[..line_end]).ok()?;
+    let head_end = buf.windows(4).position(|w| w == b"\r\n\r\n")?;
+    let head = std::str::from_utf8(&buf[..head_end]).ok()?;
+    let mut lines = head.split("\r\n");
+    let line = lines.next()?;
     let mut parts = line.split_whitespace();
-    let method = parts.next()?;
+    let method = parts.next()?.to_ascii_uppercase();
     let target = parts.next()?;
-    if method != "GET" {
+    let path = target.split('?').next().unwrap_or(target).to_string();
+    let content_length = lines
+        .filter_map(|l| l.split_once(':'))
+        .find(|(k, _)| k.trim().eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, v)| v.trim().parse::<usize>().ok())
+        .unwrap_or(0);
+    if content_length > MAX_BODY {
         return None;
     }
-    let path = target.split('?').next().unwrap_or(target);
-    Some(path.to_string())
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(_) => return None,
+        }
+    }
+    body.truncate(content_length);
+    let body = String::from_utf8(body).ok()?;
+    Some(HttpRequest { method, path, body })
 }
 
 fn write_response(

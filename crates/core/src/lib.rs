@@ -70,10 +70,10 @@ pub use admission::{PidRateController, RateControllerConfig};
 pub use context::StreamingContext;
 pub use dataframe::{DataFrame, DataStreamWriter, Trigger};
 pub use ha::{HaConfig, StandbyQuery, StandbyStatus};
-pub use introspect::IntrospectServer;
+pub use introspect::{HttpExtension, HttpRequest, IntrospectServer};
 pub use metrics::{OpDuration, QueryProgress, StreamingQueryListener};
 pub use microbatch::MicroBatchExecution;
-pub use query::{RestartPolicy, StreamingQuery, StreamingQueryManager};
+pub use query::{QuerySnapshot, RestartPolicy, StreamingQuery, StreamingQueryManager};
 pub use upgrade::{check_compatibility, MigrationAction, StateMigration};
 
 /// Everything a typical application needs.

@@ -607,6 +607,17 @@ fn supervise(
     }
 }
 
+/// Owned point-in-time status of one managed query, returned by
+/// [`StreamingQueryManager::get_query`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuerySnapshot {
+    pub name: String,
+    pub epoch: u64,
+    pub restarts: u64,
+    pub state_rows: u64,
+    pub exception: Option<String>,
+}
+
 /// Tracks every active query in an application.
 #[derive(Default)]
 pub struct StreamingQueryManager {
@@ -636,6 +647,24 @@ impl StreamingQueryManager {
         let mut names: Vec<String> = self.queries.lock().keys().cloned().collect();
         names.sort();
         names
+    }
+
+    /// Point-in-time status of one query by name. Unlike
+    /// [`StreamingQueryManager::with_query`] this hands back an owned
+    /// snapshot, so callers (e.g. the SQL service listing sessions)
+    /// hold no lock while formatting it.
+    pub fn get_query(&self, name: &str) -> Result<QuerySnapshot> {
+        let q = self.queries.lock();
+        let query = q
+            .get(name)
+            .ok_or_else(|| SsError::Plan(format!("no active query `{name}`")))?;
+        Ok(QuerySnapshot {
+            name: query.name().to_string(),
+            epoch: query.current_epoch(),
+            restarts: query.restarts(),
+            state_rows: query.state_rows(),
+            exception: query.exception(),
+        })
     }
 
     /// Run a closure against one query.
@@ -949,6 +978,48 @@ mod tests {
         let manager = StreamingQueryManager::new();
         manager.add(StreamingQuery::new_sync(eng)).unwrap();
         assert_eq!(manager.restart_counts(), vec![("q".to_string(), 0)]);
+        manager.stop_all().unwrap();
+    }
+
+    #[test]
+    fn manager_rejects_duplicate_names_and_snapshots_queries() {
+        let manager = StreamingQueryManager::new();
+        let src = gen_source();
+        src.advance(8);
+        let mk = |source: Arc<GeneratorSource>| {
+            let eng = engine(
+                source,
+                MemorySink::new("out"),
+                Arc::new(MemoryBackend::new()),
+                MicroBatchConfig::default(),
+            );
+            StreamingQuery::new_sync(eng)
+        };
+        manager.add(mk(src)).unwrap();
+
+        // A second registration under the same name must NOT silently
+        // shadow the live handle — the original stays registered.
+        let err = manager.add(mk(gen_source())).unwrap_err();
+        assert!(
+            err.to_string().contains("already active"),
+            "got: {err}"
+        );
+        assert_eq!(manager.active(), vec!["q".to_string()]);
+
+        // get_query hands back an owned snapshot of the live handle...
+        manager
+            .with_query("q", |q| q.process_available())
+            .unwrap()
+            .unwrap();
+        let snap = manager.get_query("q").unwrap();
+        assert_eq!(snap.name, "q");
+        assert!(snap.epoch > 0);
+        assert_eq!(snap.restarts, 0);
+        assert_eq!(snap.exception, None);
+
+        // ...and errors (not panics) for unknown names.
+        let missing = manager.get_query("nope").unwrap_err();
+        assert!(missing.to_string().contains("no active query"));
         manager.stop_all().unwrap();
     }
 }

@@ -20,6 +20,7 @@ pub mod builder;
 pub mod fingerprint;
 pub mod optimizer;
 pub mod plan;
+pub mod sharing;
 pub mod stateful;
 pub mod streaming;
 
@@ -31,5 +32,6 @@ pub use fingerprint::{
 pub use builder::LogicalPlanBuilder;
 pub use optimizer::{optimize, Optimizer};
 pub use plan::{JoinType, LogicalPlan, SortKey};
+pub use sharing::{contains_stateful, sharing_split, SharingSplit, SuffixOp};
 pub use stateful::{GroupState, StateTimeout, StatefulOpDef, StatefulOutputMode};
 pub use streaming::{validate_streaming, OutputMode};

@@ -1,0 +1,197 @@
+//! Sharing-key extraction for multi-query execution.
+//!
+//! Two queries can share one incremental execution when their
+//! *stateful* work is structurally equal. The canonical fingerprints
+//! of [`crate::fingerprint`] already normalize representational noise
+//! (aliases, commutative order, mirrored comparisons), so the sharing
+//! key falls out of the same machinery: split a plan into a **stateful
+//! prefix** — everything up to and including the topmost stateful
+//! operator — and a **stateless suffix** of `Project`/`Filter` nodes
+//! above it, then key the prefix by its canonical plan fingerprint.
+//!
+//! Queries with equal prefix keys attach to one shared execution; each
+//! query's suffix is applied per-epoch to the shared output at
+//! fan-out. Only `Project` and `Filter` qualify as suffix operators:
+//! they are row-local, so applying them to each epoch's output batch
+//! commutes with epoch boundaries. `Sort`/`Limit` above the stateful
+//! prefix do **not** commute (a per-epoch top-k is not a global
+//! top-k), so a plan carrying them shares only on whole-plan equality.
+
+use std::sync::Arc;
+
+use ss_expr::Expr;
+
+use crate::fingerprint::plan_fingerprint;
+use crate::plan::LogicalPlan;
+
+/// One stateless post-processing step a query applies to the shared
+/// prefix's output, in application order (outermost last).
+#[derive(Debug, Clone)]
+pub enum SuffixOp {
+    Project(Vec<Expr>),
+    Filter(Expr),
+}
+
+/// A plan split at the sharing boundary.
+#[derive(Debug, Clone)]
+pub struct SharingSplit {
+    /// The shared part: everything up to and including the topmost
+    /// stateful operator (or the whole plan when nothing qualifies for
+    /// the suffix).
+    pub prefix: Arc<LogicalPlan>,
+    /// Stateless steps the owning query applies to the prefix output,
+    /// in application order (innermost first).
+    pub suffix: Vec<SuffixOp>,
+    /// Canonical fingerprint of the prefix — the sharing key.
+    pub key: String,
+}
+
+/// True if the subtree contains a stateful operator (aggregate,
+/// stream–stream join, distinct, mapGroupsWithState).
+pub fn contains_stateful(plan: &LogicalPlan) -> bool {
+    match plan {
+        LogicalPlan::Scan { .. } => false,
+        LogicalPlan::Aggregate { .. }
+        | LogicalPlan::Distinct { .. }
+        | LogicalPlan::MapGroupsWithState { .. } => true,
+        LogicalPlan::Join { left, right, .. } => {
+            if left.is_streaming() && right.is_streaming() {
+                true
+            } else {
+                contains_stateful(left) || contains_stateful(right)
+            }
+        }
+        LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Project { input, .. }
+        | LogicalPlan::Sort { input, .. }
+        | LogicalPlan::Limit { input, .. }
+        | LogicalPlan::Watermark { input, .. } => contains_stateful(input),
+    }
+}
+
+/// Split `plan` (ideally already analyzed + optimized, so fingerprints
+/// match what the engine records) at the sharing boundary.
+///
+/// `allow_suffix = false` forces whole-plan sharing — used for output
+/// modes where post-processing the shared output is not sound (update
+/// mode's upsert keys are positional in the *full* plan's output).
+pub fn sharing_split(plan: &Arc<LogicalPlan>, allow_suffix: bool) -> SharingSplit {
+    let mut suffix_rev: Vec<SuffixOp> = Vec::new();
+    let mut current = plan.clone();
+    if allow_suffix {
+        loop {
+            let next = match current.as_ref() {
+                LogicalPlan::Project { input, exprs } if contains_stateful(input) => {
+                    suffix_rev.push(SuffixOp::Project(exprs.clone()));
+                    input.clone()
+                }
+                LogicalPlan::Filter { input, predicate } if contains_stateful(input) => {
+                    suffix_rev.push(SuffixOp::Filter(predicate.clone()));
+                    input.clone()
+                }
+                _ => break,
+            };
+            current = next;
+        }
+    }
+    suffix_rev.reverse();
+    let key = plan_fingerprint(&current);
+    SharingSplit {
+        prefix: current,
+        suffix: suffix_rev,
+        key,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ss_common::{DataType, Field, Schema};
+    use ss_expr::{col, count_star, lit};
+
+    fn scan() -> Arc<LogicalPlan> {
+        Arc::new(LogicalPlan::Scan {
+            name: "events".into(),
+            schema: Schema::of(vec![
+                Field::new("country", DataType::Utf8),
+                Field::new("latency", DataType::Int64),
+            ]),
+            streaming: true,
+            projection: None,
+        })
+    }
+
+    fn agg() -> Arc<LogicalPlan> {
+        Arc::new(LogicalPlan::Aggregate {
+            input: scan(),
+            group_exprs: vec![col("country")],
+            aggregates: vec![count_star()],
+        })
+    }
+
+    #[test]
+    fn stateless_suffix_peels_to_the_stateful_prefix() {
+        let plan = Arc::new(LogicalPlan::Filter {
+            input: Arc::new(LogicalPlan::Project {
+                input: agg(),
+                exprs: vec![col("country")],
+            }),
+            predicate: col("country").eq(lit("CA")),
+        });
+        let split = sharing_split(&plan, true);
+        assert_eq!(split.suffix.len(), 2);
+        assert!(matches!(split.suffix[0], SuffixOp::Project(_)));
+        assert!(matches!(split.suffix[1], SuffixOp::Filter(_)));
+        assert_eq!(split.key, plan_fingerprint(&agg()));
+    }
+
+    #[test]
+    fn equal_prefixes_key_equal_despite_different_suffixes() {
+        let a = Arc::new(LogicalPlan::Filter {
+            input: agg(),
+            predicate: col("country").eq(lit("CA")),
+        });
+        let b = Arc::new(LogicalPlan::Filter {
+            input: agg(),
+            predicate: col("country").eq(lit("US")),
+        });
+        let sa = sharing_split(&a, true);
+        let sb = sharing_split(&b, true);
+        assert_eq!(sa.key, sb.key);
+        // Whole-plan fingerprints differ; only the prefix keys match.
+        assert_ne!(plan_fingerprint(&a), plan_fingerprint(&b));
+    }
+
+    #[test]
+    fn suffix_disabled_keys_the_whole_plan() {
+        let a = Arc::new(LogicalPlan::Filter {
+            input: agg(),
+            predicate: col("country").eq(lit("CA")),
+        });
+        let split = sharing_split(&a, false);
+        assert!(split.suffix.is_empty());
+        assert_eq!(split.key, plan_fingerprint(&a));
+    }
+
+    #[test]
+    fn fully_stateless_plans_do_not_peel() {
+        let plan = Arc::new(LogicalPlan::Filter {
+            input: scan(),
+            predicate: col("latency").gt(lit(5i64)),
+        });
+        let split = sharing_split(&plan, true);
+        assert!(split.suffix.is_empty());
+        assert_eq!(split.key, plan_fingerprint(&plan));
+    }
+
+    #[test]
+    fn sort_above_the_prefix_blocks_suffix_peeling() {
+        let plan = Arc::new(LogicalPlan::Limit {
+            input: agg(),
+            n: 3,
+        });
+        let split = sharing_split(&plan, true);
+        assert!(split.suffix.is_empty());
+        assert_eq!(split.key, plan_fingerprint(&plan));
+    }
+}

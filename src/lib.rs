@@ -60,6 +60,7 @@
 //! | [`ss_cluster`] | discrete-event cluster simulator (§6.2, Figure 6b) |
 //! | [`ss_baselines`] | Flink-like / Kafka-Streams-like comparison systems (§9.1) |
 //! | [`ss_sql`] | SQL front end |
+//! | [`ss_multi`] | multi-query engine: shared scans, fingerprint-keyed state sharing, pooled scheduling, SQL service |
 
 pub use ss_baselines;
 pub use ss_bus;
@@ -68,6 +69,7 @@ pub use ss_common;
 pub use ss_core;
 pub use ss_exec;
 pub use ss_expr;
+pub use ss_multi;
 pub use ss_plan;
 pub use ss_sql;
 pub use ss_state;
